@@ -1,0 +1,83 @@
+// Baseline: the system-level (DVFS) bi-objective knob of the related
+// work ([16]-[21]) versus the paper's application-level decision
+// variables, on the Haswell node running DGEMM.
+//
+// Prints (a) the DVFS Pareto front over P-states for compute- and
+// memory-bound workloads, (b) the constraint-based optimizers, and
+// (c) a comparison: energy savings available from frequency alone vs
+// from the application configuration space at fixed frequency.
+#include <algorithm>
+#include <iostream>
+
+#include "apps/cpu_dgemm_app.hpp"
+#include "bench_util.hpp"
+#include "dvfs/optimize.hpp"
+#include "dvfs/processor.hpp"
+#include "hw/cpu_model.hpp"
+#include "pareto/tradeoff.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "Baseline: DVFS (system-level) vs application-level decision "
+      "variables",
+      "related work optimizes via frequency; the paper optimizes via "
+      "application configuration at fixed frequency");
+
+  const dvfs::DvfsProcessor proc =
+      dvfs::DvfsProcessor::fromCpuSpec(hw::haswellE52670v3());
+
+  for (const auto& [label, mb] :
+       std::vector<std::pair<const char*, double>>{
+           {"compute-bound (DGEMM-like, blocked)", 0.15},
+           {"memory-bound (streaming)", 0.85}}) {
+    const dvfs::Workload w{2.0 * 17408.0 * 17408.0 * 17408.0 / 1e9, mb};
+    const auto front = dvfs::dvfsParetoFront(proc, w);
+    bench::printFront(std::string("DVFS Pareto front, ") + label, front);
+    const auto tr = pareto::analyzeTradeoff(dvfs::dvfsPoints(proc, w));
+    bench::printTradeoff("DVFS-only trade-off", tr);
+
+    const auto fastest = proc.run(w, proc.table().highest());
+    const auto deadline = dvfs::minimizeEnergyUnderDeadline(
+        proc, w, Seconds{1.1 * fastest.time.value()});
+    if (deadline) {
+      std::printf(
+          "energy-min under 10%% deadline slack: f=%.0f MHz, saves "
+          "%.1f%% energy\n\n",
+          deadline->state.freqMHz,
+          100.0 * (1.0 - deadline->dynamicEnergy.value() /
+                             fastest.dynamicEnergy.value()));
+    }
+  }
+
+  // Application-level savings at fixed frequency, for comparison.
+  {
+    apps::CpuDgemmOptions opts;
+    opts.useMeter = false;
+    const apps::CpuDgemmApp app(hw::CpuModel(hw::haswellE52670v3()), opts);
+    Rng rng(5);
+    const auto points =
+        app.runWorkload(17408, hw::BlasVariant::IntelMklLike, rng);
+    const auto biPoints = apps::CpuDgemmApp::toPoints(points);
+    const auto tr = pareto::analyzeTradeoff(biPoints);
+    double eMin = biPoints.front().energy.value(), eMax = eMin;
+    for (const auto& p : biPoints) {
+      eMin = std::min(eMin, p.energy.value());
+      eMax = std::max(eMax, p.energy.value());
+    }
+    std::printf(
+        "application-level configuration space at fixed frequency: "
+        "%.1f%% front savings at %.1f%% degradation; picking a bad "
+        "configuration wastes up to %.0f%% dynamic energy (weak-EP "
+        "spread) at the same workload\n",
+        100.0 * tr.maxEnergySavings, 100.0 * tr.performanceDegradation,
+        100.0 * (eMax / eMin - 1.0));
+  }
+  std::printf(
+      "\nreading: the two knobs are complementary — DVFS trades clock "
+      "for voltage-squared savings, while the paper's application-level "
+      "variables exploit the nonproportional shared-resource activity "
+      "that DVFS cannot reach.\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Baseline: bi-objective workload distribution across the heterogeneous
+// platform (Haswell CPU + K40c + P100), in the style of the paper's
+// companion methods [25], [12].  Profiles each processor's time/energy
+// as a function of the number of matrix products assigned, computes the
+// exact Pareto-optimal distributions, and compares them against the
+// naive balanced split.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "partition/partitioner.hpp"
+
+using namespace ep;
+
+namespace {
+
+partition::DiscreteProfile gpuProfile(const hw::GpuSpec& spec, int n,
+                                      std::size_t maxUnits) {
+  const hw::GpuModel model(spec);
+  return partition::DiscreteProfile::sample(
+      spec.name, maxUnits,
+      [&model, n](std::size_t k) {
+        return model.modelMatMul({n, 32, 1, static_cast<int>(k)}).time;
+      },
+      [&model, n](std::size_t k) {
+        return model
+            .modelMatMul({n, 32, 1, static_cast<int>(k)})
+            .dynamicEnergy();
+      });
+}
+
+partition::DiscreteProfile cpuProfile(int n, std::size_t maxUnits) {
+  const hw::CpuModel model(hw::haswellE52670v3());
+  hw::CpuDgemmConfig cfg;
+  cfg.n = n;
+  cfg.threadgroups = 1;
+  cfg.threadsPerGroup = 24;
+  const auto one = model.modelDgemm(cfg);
+  return partition::DiscreteProfile::sample(
+      "Haswell CPU", maxUnits,
+      [&one](std::size_t k) {
+        return one.time * static_cast<double>(k);
+      },
+      [&one](std::size_t k) {
+        return one.dynamicEnergy() * static_cast<double>(k);
+      });
+}
+
+}  // namespace
+
+int main() {
+  bench::printHeader(
+      "Baseline: bi-objective workload distribution (CPU + K40c + P100)",
+      "exact Pareto-optimal distributions vs the balanced split "
+      "([25]/[12]-style application-level method)");
+
+  const int n = 8192;               // per-product matrix size
+  const std::size_t totalUnits = 24;  // matrix products to distribute
+  const std::vector<partition::DiscreteProfile> profiles{
+      cpuProfile(n, totalUnits), gpuProfile(hw::nvidiaK40c(), n, totalUnits),
+      gpuProfile(hw::nvidiaP100Pcie(), n, totalUnits)};
+  const partition::WorkloadPartitioner part(profiles);
+
+  const auto front = part.paretoDistributions(totalUnits);
+  Table t({"distribution (units per processor)", "time [s]",
+           "dynamic energy [J]"});
+  t.setTitle("Pareto-optimal distributions of " +
+             std::to_string(totalUnits) + " products of " +
+             std::to_string(n) + "^2 matrices");
+  for (const auto& d : front) {
+    t.addRow({d.describe(profiles), formatDouble(d.time.value(), 2),
+              formatDouble(d.energy.value(), 0)});
+  }
+  t.print(std::cout);
+
+  const auto balanced = part.balanced(totalUnits);
+  std::printf("balanced split  %-28s time %8.2f s, energy %8.0f J\n",
+              balanced.describe(profiles).c_str(), balanced.time.value(),
+              balanced.energy.value());
+  const auto fastest = part.fastest(totalUnits);
+  const auto efficient = part.mostEfficient(totalUnits);
+  std::printf(
+      "bi-objective optimum: fastest is %.1fx faster than balanced; "
+      "most-efficient saves %.1f%% energy vs fastest for %.1fx time\n",
+      balanced.time.value() / fastest.time.value(),
+      100.0 * (1.0 - efficient.energy.value() / fastest.energy.value()),
+      efficient.time.value() / fastest.time.value());
+  return 0;
+}

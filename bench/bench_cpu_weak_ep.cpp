@@ -1,0 +1,57 @@
+// The CPU-side weak-EP study referenced throughout Section III (the [8]
+// result the paper's theory explains): dynamic energy vs execution time
+// for every DGEMM configuration solving the same workload on the
+// dual-socket Haswell, with the weak-EP verdict and the energy cost of
+// choosing the wrong configuration.
+#include <iostream>
+
+#include "apps/cpu_dgemm_app.hpp"
+#include "bench_util.hpp"
+#include "core/cpu_study.hpp"
+#include "hw/cpu_model.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "CPU weak EP: dynamic energy across DGEMM configurations ([8])",
+      "optimizing for performance alone may significantly increase "
+      "dynamic energy; weak EP does not hold for multicore CPUs");
+
+  apps::CpuDgemmOptions opts;
+  opts.useMeter = false;
+  const core::CpuEpStudy study(
+      apps::CpuDgemmApp(hw::CpuModel(hw::haswellE52670v3()), opts));
+  Rng rng(3);
+
+  for (const auto variant :
+       {hw::BlasVariant::IntelMklLike, hw::BlasVariant::OpenBlasLike}) {
+    const char* name =
+        variant == hw::BlasVariant::IntelMklLike ? "MKL-like"
+                                                 : "OpenBLAS-like";
+    for (int n : {8192, 17408}) {
+      const auto r = study.runWorkload(n, variant, rng);
+
+      std::printf("%s N=%d: %zu configurations\n", name, n,
+                  r.points.size());
+      std::printf(
+          "  weak EP: %s (energy spread %.0f%% from %.0f J to %.0f J)\n",
+          r.weakEp.holds ? "holds" : "VIOLATED", 100.0 * r.weakEp.spread,
+          r.weakEp.minEnergyJ, r.weakEp.maxEnergyJ);
+      std::printf("  peak performance %.0f GFLOPs; Ryckbosch EP metric "
+                  "%.3f; same-utilization power scatter %.0f%%\n",
+                  r.peakGflops, r.ryckboschMetric,
+                  100.0 * r.powerScatter.maxResidual);
+      bench::printTradeoff("  front trade-off", r.tradeoff);
+      bench::printFront("global Pareto front", r.globalFront);
+    }
+  }
+  std::printf(
+      "reading: on the CPU the Pareto front is shallow (performance and "
+      "energy optima nearly coincide) but the configuration space is "
+      "wildly energy-nonproportional — a bad (partitioning, p, t) choice "
+      "wastes a large fraction of dynamic energy at the same workload, "
+      "which is exactly the Section III theory's prediction for "
+      "imbalanced shared-resource utilization.\n");
+  return 0;
+}

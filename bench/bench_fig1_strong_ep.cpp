@@ -1,0 +1,62 @@
+// Fig 1: dynamic energy E_d versus work W = 5 N^2 log2 N for the 2D-FFT
+// application on the Haswell CPU, the K40c and the P100 PCIe — the
+// strong-EP study.  Prints the (N, W, E_d) series per processor plus the
+// proportional-fit diagnostics showing E_d is NOT linear in W.
+#include <iostream>
+
+#include "apps/fft2d_app.hpp"
+#include "bench_util.hpp"
+#include "core/definitions.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "Fig 1: strong energy proportionality (2D FFT, E_d vs W)",
+      "E_d is a complex non-linear function of W on all three "
+      "processors; strong EP does not hold");
+
+  // Paper sweeps N in [125, 44000]; board memory (16 N^2 bytes plus
+  // workspace) and statistics budget cap our sweep at 20480, which
+  // already spans all cache/TLB regimes.
+  const std::vector<int> sizes{125,  250,  500,   750,   1000, 1500, 2000,
+                               3000, 4000, 5120,  6144,  8192, 10240,
+                               12288, 14336, 16384, 18432, 20480};
+
+  apps::Fft2dOptions opts;  // full wall-meter + CI protocol
+  Rng rng(2022);
+
+  const std::vector<apps::Fft2dApp> apps_ = {
+      apps::Fft2dApp(hw::CpuModel(hw::haswellE52670v3()), opts),
+      apps::Fft2dApp(hw::GpuModel(hw::nvidiaK40c()), opts),
+      apps::Fft2dApp(hw::GpuModel(hw::nvidiaP100Pcie()), opts)};
+
+  for (const auto& app : apps_) {
+    Rng procRng = rng.fork(std::hash<std::string>{}(app.processorName()));
+    const auto points = app.runSweep(sizes, procRng);
+
+    Table t({"N", "W (= 5 N^2 log2 N)", "time [s]", "E_d [J]",
+             "E_d / W [nJ/unit]"});
+    t.setTitle(app.processorName());
+    std::vector<double> work, energy;
+    for (const auto& p : points) {
+      work.push_back(p.work);
+      energy.push_back(p.dynamicEnergy.value());
+      t.addRow({std::to_string(p.n), formatDouble(p.work, 3),
+                formatDouble(p.time.value(), 4),
+                formatDouble(p.dynamicEnergy.value(), 2),
+                formatDouble(1e9 * p.dynamicEnergy.value() / p.work, 3)});
+    }
+    t.print(std::cout);
+
+    const auto r = core::analyzeStrongEp(work, energy, 0.05);
+    std::printf(
+        "strong EP check: best proportional fit E_d = %.3g * W has "
+        "R^2 = %.4f, max relative deviation %.1f%% => strong EP %s\n\n",
+        r.proportionalFit.slope, r.proportionalFit.r2,
+        100.0 * r.maxRelativeDeviation, r.holds ? "HOLDS" : "VIOLATED");
+  }
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig 2: EP plots for the Nvidia P100 PCIe executing every (BS, G, R)
+// configuration of the matrix-multiplication application at N=18432.
+// Regenerates all four panels as tables/series:
+//   (a) all configurations (the full scatter),
+//   (b) the monotone region BS in [1, 20],
+//   (c) the nonproportionality region BS in [21, 32],
+//   (d) the global Pareto front + trade-off, including the paper's
+//       BS <= 30 sub-region analysis.
+#include <iostream>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "bench_util.hpp"
+#include "core/study.hpp"
+#include "hw/gpu_model.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "Fig 2: P100 PCIe weak EP, matrix multiplication, N=18432",
+      "front of 2 points: 12.5% savings for 2.5% degradation; "
+      "BS<=30 region: 24% savings for 8% degradation");
+
+  apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaP100Pcie()), {});
+  core::GpuEpStudy study(app);
+  Rng rng(18432);
+  const auto r = study.runWorkload(18432, rng);
+
+  // Panel (a): the full scatter.
+  Table all({"config", "time [s]", "E_d [J]", "occupancy", "clock bin"});
+  all.setTitle("all configurations (BS, G, R) with G*R = 8");
+  for (const auto& d : r.data) {
+    all.addRow({d.label(), formatDouble(d.time.value(), 3),
+                formatDouble(d.dynamicEnergy.value(), 1),
+                formatDouble(d.model.occupancy.fraction, 3),
+                formatDouble(d.model.boostRatio, 3)});
+  }
+  all.print(std::cout);
+
+  // Panels (b)/(c): region split at BS = 20/21.
+  std::vector<pareto::BiPoint> low, high, le30;
+  for (std::size_t i = 0; i < r.data.size(); ++i) {
+    const auto pt = r.data[i].toPoint(i);
+    if (r.data[i].config.bs <= 20) {
+      low.push_back(pt);
+    } else {
+      high.push_back(pt);
+    }
+    if (r.data[i].config.bs <= 30) le30.push_back(pt);
+  }
+  const auto trLow = pareto::analyzeTradeoff(low);
+  bench::printTradeoff(
+      "region BS in [1,20] (monotone: performance-opt ~ energy-opt)",
+      trLow);
+  const auto trHigh = pareto::analyzeTradeoff(high);
+  bench::printTradeoff("region BS in [21,32] (bi-objective opportunity)",
+                       trHigh);
+
+  // Panel (d): global front.
+  bench::printFront("global Pareto front", r.globalFront);
+  bench::printTradeoff("global trade-off (paper: 12.5% @ 2.5%)",
+                       r.globalTradeoff);
+
+  const auto tr30 = pareto::analyzeTradeoff(le30);
+  bench::printTradeoff("BS <= 30 sub-region (paper: 24% @ 8%)", tr30);
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Fig 7: energy nonproportionality of the Nvidia K40c for N=8704 and
+// N=10240 — full configuration scatter, the single-point global front,
+// and the local Pareto fronts with their trade-offs.
+#include <iostream>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "bench_util.hpp"
+#include "core/study.hpp"
+#include "hw/gpu_model.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "Fig 7: K40c energy nonproportionality and local Pareto fronts",
+      "global front = 1 point (BS=32, performance-opt == energy-opt); "
+      "local fronts avg 4 / max 5 points; up to 18% savings at 7% "
+      "degradation");
+
+  apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaK40c()), {});
+  core::GpuEpStudy study(app);
+  Rng rng(7);
+
+  for (int n : {8704, 10240}) {
+    const auto r = study.runWorkload(n, rng);
+
+    Table t({"config", "time [s]", "E_d [J]"});
+    t.setTitle("K40c N=" + std::to_string(n) + ": all configurations");
+    for (const auto& d : r.data) {
+      t.addRow({d.label(), formatDouble(d.time.value(), 3),
+                formatDouble(d.dynamicEnergy.value(), 1)});
+    }
+    t.print(std::cout);
+
+    bench::printFront("global Pareto front (paper: a single point, BS=32)",
+                      r.globalFront);
+    bench::printFront("local Pareto front (level-2)", r.localFront);
+    bench::printTradeoff("global trade-off", r.globalTradeoff);
+    if (r.localTradeoff) {
+      bench::printTradeoff("local-front trade-off", *r.localTradeoff);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Fig 8: energy nonproportionality of the Nvidia P100 PCIe for N=10240
+// and N=14336 — configuration scatter, global Pareto fronts, and the
+// headline (50 %, 11 %) trade-off at N=10240.
+#include <iostream>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "bench_util.hpp"
+#include "core/study.hpp"
+#include "hw/gpu_model.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader(
+      "Fig 8: P100 PCIe energy nonproportionality and global Pareto "
+      "fronts",
+      "N=10240: three points in the global front; 11% performance "
+      "degradation buys 50% dynamic energy savings");
+
+  apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaP100Pcie()), {});
+  core::GpuEpStudy study(app);
+  Rng rng(8);
+
+  for (int n : {10240, 14336}) {
+    const auto r = study.runWorkload(n, rng);
+
+    Table t({"config", "time [s]", "E_d [J]", "clock bin", "uncore"});
+    t.setTitle("P100 N=" + std::to_string(n) + ": all configurations");
+    for (const auto& d : r.data) {
+      t.addRow({d.label(), formatDouble(d.time.value(), 3),
+                formatDouble(d.dynamicEnergy.value(), 1),
+                formatDouble(d.model.boostRatio, 3),
+                d.model.uncoreActive ? "on" : "off"});
+    }
+    t.print(std::cout);
+
+    bench::printFront("global Pareto front", r.globalFront);
+    bench::printTradeoff("global trade-off", r.globalTradeoff);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,152 @@
+// google-benchmark microbenchmarks for the library's core algorithms:
+// Pareto fronts, FFTs, DGEMM, the statistics stack and the meter
+// simulation.  Guards against performance regressions in the pieces the
+// experiment harnesses iterate millions of times.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "blas/dgemm.hpp"
+#include "common/rng.hpp"
+#include "fft/fft.hpp"
+#include "hw/gpu_model.hpp"
+#include "pareto/front.hpp"
+#include "power/meter.hpp"
+#include "stats/distributions.hpp"
+#include "stats/ttest.hpp"
+
+namespace {
+
+using namespace ep;
+
+std::vector<pareto::BiPoint> randomPoints(std::size_t n, Rng& rng) {
+  std::vector<pareto::BiPoint> pts;
+  pts.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    pareto::BiPoint p;
+    p.time = Seconds{rng.uniform(1.0, 10.0)};
+    p.energy = Joules{rng.uniform(1.0, 10.0)};
+    p.configId = i;
+    pts.push_back(p);
+  }
+  return pts;
+}
+
+void BM_ParetoFront(benchmark::State& state) {
+  Rng rng(1);
+  const auto pts = randomPoints(static_cast<std::size_t>(state.range(0)),
+                                rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::paretoFront(pts));
+  }
+}
+BENCHMARK(BM_ParetoFront)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_NonDominatedSort(benchmark::State& state) {
+  Rng rng(2);
+  const auto pts = randomPoints(static_cast<std::size_t>(state.range(0)),
+                                rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::nonDominatedSort(pts));
+  }
+}
+BENCHMARK(BM_NonDominatedSort)->Arg(128)->Arg(1024);
+
+void BM_FftRadix2(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<fft::Complex> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : data) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    fft::fftRadix2(data, false);
+    benchmark::ClobberMemory();
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftRadix2)->Arg(1024)->Arg(16384)->Arg(131072);
+
+void BM_FftBluestein(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<fft::Complex> data(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : data) x = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    fft::fftBluestein(data, false);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(10007);
+
+void BM_DgemmBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(5);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    blas::dgemmBlocked(n, 1.0, a, b, 0.0, c, 64);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(2 * n * n * n));
+}
+BENCHMARK(BM_DgemmBlocked)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_ThreadgroupDgemm(benchmark::State& state) {
+  const std::size_t n = 256;
+  Rng rng(6);
+  std::vector<double> a(n * n), b(n * n), c(n * n, 0.0);
+  for (auto& x : a) x = rng.uniform(-1, 1);
+  for (auto& x : b) x = rng.uniform(-1, 1);
+  blas::ThreadgroupConfig cfg;
+  cfg.threadgroups = static_cast<std::size_t>(state.range(0));
+  cfg.threadsPerGroup = 2;
+  const blas::ThreadgroupDgemm dgemm(cfg);
+  for (auto _ : state) {
+    dgemm.run(n, 1.0, a, b, 0.0, c);
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_ThreadgroupDgemm)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_StudentTCritical(benchmark::State& state) {
+  double dof = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::studentTCritical(0.95, dof));
+    dof = dof < 200.0 ? dof + 1.0 : 4.0;
+  }
+}
+BENCHMARK(BM_StudentTCritical);
+
+void BM_MeasurementProtocol(benchmark::State& state) {
+  Rng rng(7);
+  const stats::MeasurementProtocol protocol;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        protocol.run([&] { return rng.normal(100.0, 0.5); }));
+  }
+}
+BENCHMARK(BM_MeasurementProtocol);
+
+void BM_MeterRecord(benchmark::State& state) {
+  power::ProfilePowerSource profile(Watts{100.0});
+  profile.addSegment({Seconds{0.0}, Seconds{60.0}, Watts{80.0}});
+  const power::WattsUpMeter meter;
+  Rng rng(8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(meter.record(profile, Seconds{60.0}, rng));
+  }
+}
+BENCHMARK(BM_MeterRecord);
+
+void BM_GpuModelMatMul(benchmark::State& state) {
+  const hw::GpuModel model(hw::nvidiaP100Pcie());
+  int bs = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.modelMatMul({10240, bs, 2, 4}));
+    bs = bs % 32 + 1;
+  }
+}
+BENCHMARK(BM_GpuModelMatMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Table I: specifications of the Intel Haswell multicore CPU, the
+// Nvidia K40c, and the Nvidia P100 PCIe GPU — regenerated from the ephw
+// catalog the whole simulation is parameterized by.
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hw/spec.hpp"
+
+using namespace ep;
+
+int main() {
+  bench::printHeader("Table I: platform specifications",
+                     "Haswell E5-2670v3 / Nvidia K40c / Nvidia P100 PCIe");
+
+  const hw::CpuSpec cpu = hw::haswellE52670v3();
+  Table cpuTable({"Intel Haswell E5-2670 v3", "value"});
+  cpuTable.addRow({"No. of cores per socket",
+                   std::to_string(cpu.coresPerSocket)});
+  cpuTable.addRow({"Socket(s)", std::to_string(cpu.sockets)});
+  cpuTable.addRow({"SMT ways per core (hyperthreading)",
+                   std::to_string(cpu.smtWaysPerCore)});
+  cpuTable.addRow({"L1d cache, L1i cache",
+                   std::to_string(cpu.l1dKB) + " KB, " +
+                       std::to_string(cpu.l1iKB) + " KB"});
+  cpuTable.addRow({"L2 cache, L3 cache",
+                   std::to_string(cpu.l2KB) + " KB, " +
+                       std::to_string(cpu.l3KB) + " KB"});
+  cpuTable.addRow({"Total main memory",
+                   std::to_string(cpu.memoryGB) + " GB DDR4"});
+  cpuTable.addRow({"Node peak FP64",
+                   formatDouble(cpu.peakGflops, 0) + " GFLOP/s"});
+  cpuTable.addRow({"Node memory bandwidth",
+                   formatDouble(cpu.memBandwidthGBs, 0) + " GB/s"});
+  cpuTable.print(std::cout);
+
+  for (const hw::GpuSpec& gpu : {hw::nvidiaK40c(), hw::nvidiaP100Pcie()}) {
+    Table t({gpu.name, "value"});
+    t.addRow({"No. of CUDA cores (Base clock)",
+              std::to_string(gpu.cudaCores) + " (" +
+                  formatDouble(gpu.baseClockMHz, 0) + " MHz)"});
+    t.addRow({"Boost clock", formatDouble(gpu.boostClockMHz, 0) + " MHz"});
+    t.addRow({"SM count", std::to_string(gpu.smCount)});
+    t.addRow({"Total board memory", std::to_string(gpu.memoryGB) + " GB"});
+    t.addRow({"L2 cache size", std::to_string(gpu.l2KB) + " KB"});
+    t.addRow({"Thermal design power (TDP)",
+              formatDouble(gpu.tdp.value(), 0) + " W"});
+    t.addRow({"FP64 peak",
+              formatDouble(gpu.peakGflopsDouble, 0) + " GFLOP/s"});
+    t.addRow({"Memory bandwidth",
+              formatDouble(gpu.memBandwidthGBs, 0) + " GB/s"});
+    t.addRow({"Autoboost", gpu.hasAutoBoost ? "yes" : "no"});
+    t.addRow({"Uncore component (Fig 6)",
+              formatDouble(gpu.uncorePower.value(), 0) +
+                  " W, active N <= " +
+                  std::to_string(gpu.additivityThresholdN)});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Shared helpers for the figure/table reproduction harnesses.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "pareto/point.hpp"
+#include "pareto/tradeoff.hpp"
+
+namespace ep::bench {
+
+inline void printHeader(const std::string& what, const std::string& paper) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", what.c_str());
+  std::printf("paper reports: %s\n", paper.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void printFront(const std::string& title,
+                       const std::vector<pareto::BiPoint>& front) {
+  Table t({"config", "time [s]", "dynamic energy [J]"});
+  t.setTitle(title);
+  for (const auto& p : front) {
+    t.addRow({p.label, formatDouble(p.time.value(), 3),
+              formatDouble(p.energy.value(), 1)});
+  }
+  t.print(std::cout);
+}
+
+inline void printTradeoff(const std::string& title,
+                          const pareto::Tradeoff& tr) {
+  std::printf(
+      "%s: perf-opt %s (%.3f s, %.1f J) -> energy-opt %s (%.3f s, %.1f J): "
+      "savings %.1f%% at %.1f%% degradation\n",
+      title.c_str(), tr.performanceOptimal.label.c_str(),
+      tr.performanceOptimal.time.value(),
+      tr.performanceOptimal.energy.value(), tr.energyOptimal.label.c_str(),
+      tr.energyOptimal.time.value(), tr.energyOptimal.energy.value(),
+      100.0 * tr.maxEnergySavings, 100.0 * tr.performanceDegradation);
+}
+
+}  // namespace ep::bench

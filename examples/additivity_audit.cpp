@@ -1,0 +1,100 @@
+// Additivity audit: applies the theory of energy predictive models [33]
+// to the simulated GPU — runs two base kernels and their compound
+// through the functional simulator, audits CUPTI counter additivity
+// (including the paper's 32-bit overflow failure mode), and builds a
+// linear dynamic-energy model from the surviving counters.
+#include <cstdio>
+#include <vector>
+
+#include "apps/matmul_kernel.hpp"
+#include "common/rng.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/executor.hpp"
+#include "energymodel/additivity.hpp"
+#include "energymodel/linear_model.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+
+int main() {
+  using namespace ep;
+
+  // --- counter additivity on the functional simulator (small N) ---
+  cusim::Device device(hw::nvidiaP100Pcie());
+  cusim::Executor exec;
+  const std::size_t n = 64;
+  Rng rng(1);
+  std::vector<double> a(n * n), b(n * n);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+
+  auto runAndCount = [&](int g, int r) {
+    cusim::CuptiCounters counters;
+    std::vector<double> c(n * n, 0.0);
+    apps::runMatMulKernel(device, exec, {n, 16, g, r}, a, b, c, &counters);
+    return counters;
+  };
+  const auto base1 = runAndCount(1, 1);
+  const auto base2 = runAndCount(2, 1);
+  const auto compound = runAndCount(3, 1);  // serial: base1 then base2
+
+  std::printf("CUPTI counter additivity audit (N=%zu, functional run):\n",
+              n);
+  const auto records =
+      model::analyzeCounterAdditivity(base1, base2, compound);
+  for (const auto& rec : records) {
+    std::printf("  %-18s base1=%12llu base2=%12llu compound=%12llu "
+                "error=%.2f%%\n",
+                rec.event.c_str(),
+                static_cast<unsigned long long>(rec.base1),
+                static_cast<unsigned long long>(rec.base2),
+                static_cast<unsigned long long>(rec.compound),
+                100.0 * rec.error);
+  }
+  const auto additive = model::selectAdditiveEvents(records, 0.01);
+  std::printf("additive events (error <= 1%%): %zu of %zu\n\n",
+              additive.size(), records.size());
+
+  // --- the paper's CUPTI failure mode for large N ---
+  {
+    cusim::CuptiCounters big;
+    const hw::GpuModel model(hw::nvidiaP100Pcie());
+    const auto k = model.modelMatMul({4096, 32, 1, 1});
+    big.add(cusim::CuptiEvent::kFlopCountDp, k.flopCount);
+    std::printf("at N=4096 the flop_count_dp hardware counter %s "
+                "(reported %llu, true %llu)\n\n",
+                big.overflowed(cusim::CuptiEvent::kFlopCountDp)
+                    ? "OVERFLOWS — the paper's Section V-C observation"
+                    : "is exact",
+                static_cast<unsigned long long>(
+                    big.read(cusim::CuptiEvent::kFlopCountDp)),
+                static_cast<unsigned long long>(
+                    big.trueValue(cusim::CuptiEvent::kFlopCountDp)));
+  }
+
+  // --- linear energy model from (additive) model counters ---
+  const hw::GpuModel model(hw::nvidiaK40c());
+  model::EnergyPredictiveModel energyModel({"flop_count_dp", "dram_bytes"});
+  for (int size : {2048, 3072, 4096, 5120, 6144, 7168, 8192}) {
+    for (int bs : {8, 16, 24, 32}) {
+      const auto k = model.modelMatMul({size, bs, 1, 1});
+      energyModel.addObservation(
+          {{static_cast<double>(k.flopCount),
+            static_cast<double>(k.dramBytes)},
+           k.corePower.value() * k.time.value()});
+    }
+  }
+  const auto report = energyModel.fit();
+  std::printf("linear dynamic-energy model on %s (core energy):\n",
+              model.spec().name.c_str());
+  for (std::size_t i = 0; i < report.variables.size(); ++i) {
+    std::printf("  E += %.3e J per %s (corr. with energy: %.2f)\n",
+                report.coefficients[i], report.variables[i].c_str(),
+                report.correlations[i]);
+  }
+  std::printf("  R^2 = %.4f\n", report.r2);
+  std::printf(
+      "\nthe residual unexplained by work-proportional counters is the "
+      "energy-nonproportional activity the paper attributes to the "
+      "constant-power uncore component.\n");
+  return 0;
+}

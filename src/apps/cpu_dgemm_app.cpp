@@ -1,0 +1,140 @@
+#include "apps/cpu_dgemm_app.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "common/error.hpp"
+#include "blas/dgemm.hpp"
+#include "common/mathutil.hpp"
+
+namespace ep::apps {
+
+pareto::BiPoint CpuDataPoint::toPoint(std::uint64_t id) const {
+  pareto::BiPoint p;
+  p.time = time;
+  p.energy = dynamicEnergy;
+  p.configId = id;
+  p.label = label();
+  return p;
+}
+
+std::string CpuDataPoint::label() const {
+  const char* variant =
+      config.variant == hw::BlasVariant::IntelMklLike ? "mkl" : "openblas";
+  const char* part =
+      config.partition == hw::PartitionScheme::Horizontal ? "hor" : "sq";
+  return std::string(variant) + " " + part +
+         " p=" + std::to_string(config.threadgroups) +
+         " t=" + std::to_string(config.threadsPerGroup);
+}
+
+CpuDgemmApp::CpuDgemmApp(hw::CpuModel model, CpuDgemmOptions options)
+    : model_(std::move(model)), options_(options) {}
+
+std::vector<hw::CpuDgemmConfig> CpuDgemmApp::enumerateConfigs(
+    int n, hw::BlasVariant variant) const {
+  std::vector<hw::CpuDgemmConfig> out;
+  const auto& spec = model_.spec();
+  const auto groupCounts = divisorsOf(spec.physicalCores());
+  for (const auto scheme :
+       {hw::PartitionScheme::Horizontal, hw::PartitionScheme::Square}) {
+    for (const std::uint64_t p : groupCounts) {
+      for (int t = 1;
+           static_cast<int>(p) * t <= spec.logicalCores(); ++t) {
+        hw::CpuDgemmConfig cfg;
+        cfg.n = n;
+        cfg.variant = variant;
+        cfg.partition = scheme;
+        cfg.threadgroups = static_cast<int>(p);
+        cfg.threadsPerGroup = t;
+        if (model_.isRunnable(cfg)) out.push_back(cfg);
+      }
+    }
+  }
+  return out;
+}
+
+CpuDataPoint CpuDgemmApp::runConfig(const hw::CpuDgemmConfig& cfg,
+                                    Rng& rng) const {
+  CpuDataPoint out;
+  out.config = cfg;
+  out.model = model_.modelDgemm(cfg);
+  out.gflops = out.model.gflops;
+
+  // Per-run utilization measurement: /proc/stat deltas include OS noise.
+  double sumU = 0.0;
+  for (double u : out.model.coreUtilization) {
+    const double jitter =
+        u > 0.0 ? rng.normal(0.0, options_.utilizationJitter) : 0.0;
+    sumU += std::clamp(u + jitter, 0.0, 1.0);
+  }
+  out.avgUtilizationPct =
+      100.0 * sumU / static_cast<double>(out.model.coreUtilization.size());
+
+  if (!options_.useMeter) {
+    out.time = out.model.time;
+    out.dynamicPower = out.model.dynamicPower;
+    out.dynamicEnergy = out.model.dynamicEnergy();
+    return out;
+  }
+
+  power::ProfilePowerSource profile(model_.spec().nodeIdlePower);
+  profile.addSegment({Seconds{0.0}, out.model.time, out.model.dynamicPower});
+  const power::WattsUpMeter meter(options_.meter);
+  const power::EnergyMeasurer measurer(meter, model_.spec().nodeIdlePower);
+  const power::MeasuredEnergy measured = measurer.measure(
+      profile, out.model.time, rng, Seconds{0.0}, options_.measurement);
+  out.time = measured.mean.executionTime;
+  out.dynamicEnergy = measured.mean.dynamicEnergy;
+  out.dynamicPower = out.dynamicEnergy / out.time;
+  return out;
+}
+
+std::vector<CpuDataPoint> CpuDgemmApp::runWorkload(int n,
+                                                   hw::BlasVariant variant,
+                                                   Rng& rng) const {
+  std::vector<CpuDataPoint> out;
+  for (const auto& cfg : enumerateConfigs(n, variant)) {
+    Rng configRng = rng.fork(
+        (static_cast<std::uint64_t>(cfg.threadgroups) << 32) ^
+        (static_cast<std::uint64_t>(cfg.threadsPerGroup) << 16) ^
+        (cfg.partition == hw::PartitionScheme::Horizontal ? 1ULL : 2ULL));
+    out.push_back(runConfig(cfg, configRng));
+  }
+  return out;
+}
+
+double CpuDgemmApp::functionalCheck(const hw::CpuDgemmConfig& cfg,
+                                    std::size_t smallN, Rng& rng) {
+  EP_REQUIRE(smallN >= 2, "functional check needs a real matrix");
+  std::vector<double> a(smallN * smallN), b(smallN * smallN);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> expected(smallN * smallN, 0.0);
+  blas::dgemmNaive(smallN, 1.0, a, b, 0.0, expected);
+
+  blas::ThreadgroupConfig tg;
+  tg.threadgroups = static_cast<std::size_t>(cfg.threadgroups);
+  tg.threadsPerGroup = static_cast<std::size_t>(cfg.threadsPerGroup);
+  std::vector<double> c(smallN * smallN, 0.0);
+  blas::ThreadgroupDgemm(tg).run(smallN, 1.0, a, b, 0.0, c);
+
+  double maxErr = 0.0;
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    maxErr = std::max(maxErr, std::fabs(c[i] - expected[i]));
+  }
+  return maxErr;
+}
+
+std::vector<pareto::BiPoint> CpuDgemmApp::toPoints(
+    const std::vector<CpuDataPoint>& data) {
+  std::vector<pareto::BiPoint> pts;
+  pts.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pts.push_back(data[i].toPoint(i));
+  }
+  return pts;
+}
+
+}  // namespace ep::apps

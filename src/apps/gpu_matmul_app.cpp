@@ -1,0 +1,120 @@
+#include "apps/gpu_matmul_app.hpp"
+
+#include <string>
+
+#include "common/error.hpp"
+
+namespace ep::apps {
+
+pareto::BiPoint GpuDataPoint::toPoint(std::uint64_t id) const {
+  pareto::BiPoint p;
+  p.time = time;
+  p.energy = dynamicEnergy;
+  p.configId = id;
+  p.label = label();
+  return p;
+}
+
+std::string GpuDataPoint::label() const {
+  return "BS=" + std::to_string(config.bs) + " G=" + std::to_string(config.g) +
+         " R=" + std::to_string(config.r);
+}
+
+GpuMatMulApp::GpuMatMulApp(hw::GpuModel model, GpuMatMulOptions options)
+    : model_(std::move(model)), options_(options) {
+  EP_REQUIRE(options_.totalProducts >= 1, "workload needs >= 1 product");
+  EP_REQUIRE(options_.bsMin >= 1 && options_.bsMax >= options_.bsMin,
+             "invalid BS range");
+}
+
+Watts GpuMatMulApp::nodeIdlePower() const {
+  return options_.hostIdlePower + model_.spec().boardIdlePower;
+}
+
+std::vector<hw::MatMulConfig> GpuMatMulApp::enumerateConfigs(int n) const {
+  std::vector<hw::MatMulConfig> out;
+  for (int bs = options_.bsMin; bs <= options_.bsMax; ++bs) {
+    for (int g = 1; g <= options_.gMax; ++g) {
+      if (options_.totalProducts % g != 0) continue;
+      hw::MatMulConfig cfg;
+      cfg.n = n;
+      cfg.bs = bs;
+      cfg.g = g;
+      cfg.r = options_.totalProducts / g;
+      if (model_.isLaunchable(cfg)) out.push_back(cfg);
+    }
+  }
+  return out;
+}
+
+std::vector<hw::MatMulConfig> GpuMatMulApp::additivityConfigs(int n, int bs,
+                                                              int gMax,
+                                                              int r) const {
+  std::vector<hw::MatMulConfig> out;
+  for (int g = 1; g <= gMax; ++g) {
+    hw::MatMulConfig cfg;
+    cfg.n = n;
+    cfg.bs = bs;
+    cfg.g = g;
+    cfg.r = r;
+    if (model_.isLaunchable(cfg)) out.push_back(cfg);
+  }
+  return out;
+}
+
+GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
+                                     Rng& rng) const {
+  GpuDataPoint out;
+  out.config = cfg;
+  out.model = model_.modelMatMul(cfg);
+
+  if (!options_.useMeter) {
+    out.time = out.model.time;
+    out.dynamicEnergy = out.model.dynamicEnergy();
+    out.repetitions = 1;
+    return out;
+  }
+
+  // Build the node's ground-truth power profile for one execution.
+  power::ProfilePowerSource profile(nodeIdlePower());
+  profile.addSegment({Seconds{0.0}, out.model.time, out.model.corePower});
+  Seconds tail{0.0};
+  if (out.model.uncoreActive) {
+    tail = out.model.uncoreTail;
+    profile.addSegment(
+        {Seconds{0.0}, out.model.time + tail, out.model.uncorePower});
+  }
+  const power::WattsUpMeter meter(options_.meter);
+  const power::EnergyMeasurer measurer(meter, nodeIdlePower());
+  const power::MeasuredEnergy measured = measurer.measure(
+      profile, out.model.time, rng, tail, options_.measurement);
+  out.time = measured.mean.executionTime;
+  out.dynamicEnergy = measured.mean.dynamicEnergy;
+  out.repetitions = measured.dynamicEnergyStats.repetitions;
+  return out;
+}
+
+std::vector<GpuDataPoint> GpuMatMulApp::runWorkload(int n, Rng& rng) const {
+  std::vector<GpuDataPoint> out;
+  for (const auto& cfg : enumerateConfigs(n)) {
+    Rng configRng = rng.fork(
+        (static_cast<std::uint64_t>(cfg.bs) << 32) ^
+        (static_cast<std::uint64_t>(cfg.g) << 16) ^
+        static_cast<std::uint64_t>(cfg.r) ^
+        (static_cast<std::uint64_t>(cfg.n) << 40));
+    out.push_back(runConfig(cfg, configRng));
+  }
+  return out;
+}
+
+std::vector<pareto::BiPoint> GpuMatMulApp::toPoints(
+    const std::vector<GpuDataPoint>& data) {
+  std::vector<pareto::BiPoint> pts;
+  pts.reserve(data.size());
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    pts.push_back(data[i].toPoint(i));
+  }
+  return pts;
+}
+
+}  // namespace ep::apps

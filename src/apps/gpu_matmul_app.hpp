@@ -1,0 +1,82 @@
+// The Section IV matrix-multiplication application for GPU weak-EP
+// analysis, end to end:
+//
+//   configuration (BS, G, R)  ->  ephw::GpuModel kernel model
+//                             ->  eppower profile + WattsUp meter
+//                             ->  epstats measurement protocol
+//                             ->  (execution time, dynamic energy) point
+//
+// Configurations solving the same workload hold the total product count
+// G x R fixed (the weak-EP "same workload" invariant); enumerateConfigs
+// produces every launchable (BS, G, R) combination for it.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/gpu_model.hpp"
+#include "pareto/point.hpp"
+#include "power/measurer.hpp"
+#include "stats/ttest.hpp"
+
+namespace ep::apps {
+
+struct GpuDataPoint {
+  hw::MatMulConfig config;
+  Seconds time{0.0};
+  Joules dynamicEnergy{0.0};
+  hw::KernelModel model;  // noise-free ground truth
+  std::size_t repetitions = 0;
+
+  [[nodiscard]] pareto::BiPoint toPoint(std::uint64_t id) const;
+  [[nodiscard]] std::string label() const;
+};
+
+struct GpuMatMulOptions {
+  int totalProducts = 8;  // the fixed G x R workload multiplier
+  int bsMin = 1;
+  int bsMax = 32;
+  int gMax = 8;  // Fig 5 provides dgemmG1..dgemmG8
+  // Node hosting the GPU: host idle power feeding the wall meter.
+  Watts hostIdlePower{85.0};
+  // Use the simulated wall meter + measurement protocol (true) or the
+  // noise-free model energies (false; for fast sweeps in tests).
+  bool useMeter = true;
+  stats::MeasurementOptions measurement{};
+  power::MeterOptions meter{};
+};
+
+class GpuMatMulApp {
+ public:
+  explicit GpuMatMulApp(hw::GpuModel model, GpuMatMulOptions options = {});
+
+  [[nodiscard]] const hw::GpuModel& model() const { return model_; }
+  [[nodiscard]] const GpuMatMulOptions& options() const { return options_; }
+  [[nodiscard]] Watts nodeIdlePower() const;
+
+  // All launchable configurations (bs, g, r) with g*r == totalProducts.
+  [[nodiscard]] std::vector<hw::MatMulConfig> enumerateConfigs(int n) const;
+
+  // Configurations for the Fig 6 additivity study: fixed bs, g in
+  // [1, gMax], r fixed (defaults 1) — the workload *varies* with g here.
+  [[nodiscard]] std::vector<hw::MatMulConfig> additivityConfigs(
+      int n, int bs, int gMax = 4, int r = 1) const;
+
+  // Run one configuration through the measurement stack.
+  [[nodiscard]] GpuDataPoint runConfig(const hw::MatMulConfig& cfg,
+                                       Rng& rng) const;
+
+  // Run every configuration of a workload; returns points in
+  // enumeration order.
+  [[nodiscard]] std::vector<GpuDataPoint> runWorkload(int n, Rng& rng) const;
+
+  // Convert data points to bi-objective points (ids = indices).
+  [[nodiscard]] static std::vector<pareto::BiPoint> toPoints(
+      const std::vector<GpuDataPoint>& data);
+
+ private:
+  hw::GpuModel model_;
+  GpuMatMulOptions options_;
+};
+
+}  // namespace ep::apps

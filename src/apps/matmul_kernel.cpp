@@ -1,0 +1,102 @@
+#include "apps/matmul_kernel.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace ep::apps {
+
+void runMatMulKernel(cusim::Device& device, cusim::Executor& executor,
+                     const MatMulLaunch& launch, std::span<const double> a,
+                     std::span<const double> b, std::span<double> c,
+                     cusim::CuptiCounters* counters) {
+  const std::size_t n = launch.n;
+  const std::size_t bs = launch.bs;
+  EP_REQUIRE(n >= 1 && bs >= 1, "empty launch");
+  EP_REQUIRE(launch.groups >= 1 && launch.runs >= 1, "G and R must be >= 1");
+  EP_REQUIRE(a.size() == n * n && b.size() == n * n && c.size() == n * n,
+             "matrix size mismatch");
+
+  const std::size_t tiles = ceilDiv(n, bs);
+  cusim::LaunchConfig cfg;
+  cfg.grid = {static_cast<unsigned>(tiles), static_cast<unsigned>(tiles), 1};
+  cfg.block = {static_cast<unsigned>(bs), static_cast<unsigned>(bs), 1};
+  cfg.sharedBytes = 2 * bs * bs * sizeof(double);
+
+  const int products = launch.groups * launch.runs;
+
+  std::atomic<std::uint64_t> flops{0};
+  std::atomic<std::uint64_t> sharedOps{0};
+  std::atomic<std::uint64_t> globalBytes{0};
+
+  auto kernel = [&](cusim::BlockContext& ctx) {
+    const std::size_t bx = ctx.blockIdx().x;
+    const std::size_t by = ctx.blockIdx().y;
+    auto as = ctx.shared<double>(bs * bs);
+    auto bsh = ctx.shared<double>(bs * bs);
+    std::vector<double> csub(bs * bs);
+    std::uint64_t blockFlops = 0;
+    std::uint64_t blockShared = 0;
+    std::uint64_t blockBytes = 0;
+
+    // R runs of a group of G device matmul codes: G*R sequential
+    // products, each re-initializing Csub and accumulating into C.
+    for (int product = 0; product < products; ++product) {
+      ctx.forEachThread([&](cusim::Dim3 t) {
+        csub[ctx.flatThread(t)] = 0.0;
+      });
+      for (std::size_t tile = 0; tile < tiles; ++tile) {
+        // Load phase: each thread stages one element of A and of B
+        // (zero-padded outside the matrix), then __syncthreads().
+        ctx.forEachThread([&](cusim::Dim3 t) {
+          const std::size_t row = by * bs + t.y;
+          const std::size_t colA = tile * bs + t.x;
+          const std::size_t rowB = tile * bs + t.y;
+          const std::size_t colB = bx * bs + t.x;
+          const std::size_t f = ctx.flatThread(t);
+          as[f] = (row < n && colA < n) ? a[row * n + colA] : 0.0;
+          bsh[f] = (rowB < n && colB < n) ? b[rowB * n + colB] : 0.0;
+          blockShared += 2;
+          blockBytes += 16;
+        });
+        // Compute phase: the unrolled inner product over the staged
+        // tiles, then __syncthreads().
+        ctx.forEachThread([&](cusim::Dim3 t) {
+          double acc = csub[ctx.flatThread(t)];
+          for (std::size_t k = 0; k < bs; ++k) {
+            acc += as[t.y * bs + k] * bsh[k * bs + t.x];
+          }
+          csub[ctx.flatThread(t)] = acc;
+          blockFlops += 2 * bs;
+          blockShared += 2 * bs;
+        });
+      }
+      // Write phase: C[...] += Csub (each thread owns its element).
+      ctx.forEachThread([&](cusim::Dim3 t) {
+        const std::size_t row = by * bs + t.y;
+        const std::size_t col = bx * bs + t.x;
+        if (row < n && col < n) {
+          c[row * n + col] += csub[ctx.flatThread(t)];
+          blockBytes += 16;  // read-modify-write
+        }
+      });
+    }
+    flops.fetch_add(blockFlops, std::memory_order_relaxed);
+    sharedOps.fetch_add(blockShared, std::memory_order_relaxed);
+    globalBytes.fetch_add(blockBytes, std::memory_order_relaxed);
+  };
+
+  executor.launch(device, cfg, kernel);
+
+  if (counters != nullptr) {
+    counters->add(cusim::CuptiEvent::kFlopCountDp, flops.load());
+    counters->add(cusim::CuptiEvent::kSharedLoadStore, sharedOps.load());
+    counters->add(cusim::CuptiEvent::kDramBytes, globalBytes.load());
+    counters->add(cusim::CuptiEvent::kGldTransactions,
+                  globalBytes.load() / 32);
+  }
+}
+
+}  // namespace ep::apps

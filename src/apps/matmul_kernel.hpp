@@ -1,0 +1,40 @@
+// Functional implementation of the paper's Fig 5 CUDA kernel on the
+// cusim substrate.
+//
+// The kernel computes G x R matrix products C += A * B of dense square
+// N x N matrices.  Each block owns one BS x BS tile of C; each thread
+// computes one element.  Per tile-step the block stages a BS x BS tile
+// of A and of B in shared memory (one element per thread), synchronizes,
+// accumulates the partial product from shared memory, and synchronizes
+// again — exactly the structure of lines 1-21 of Fig 5.  G products are
+// executed back-to-back inside one "group" (the textually repeated
+// device code) and the group is run R times.
+//
+// Unlike the paper's kernel, loads and stores are bounds-checked so BS
+// values that do not divide N are legal (partial tiles are zero-padded),
+// matching the modeled tile-quantization behaviour.
+#pragma once
+
+#include <span>
+
+#include "cudasim/cupti.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/executor.hpp"
+
+namespace ep::apps {
+
+struct MatMulLaunch {
+  std::size_t n = 0;
+  std::size_t bs = 0;
+  int groups = 1;  // G
+  int runs = 1;    // R
+};
+
+// Functionally execute the kernel: c += (G*R) accumulated products.
+// Counters (if non-null) receive ground-truth event counts.
+void runMatMulKernel(cusim::Device& device, cusim::Executor& executor,
+                     const MatMulLaunch& launch, std::span<const double> a,
+                     std::span<const double> b, std::span<double> c,
+                     cusim::CuptiCounters* counters = nullptr);
+
+}  // namespace ep::apps

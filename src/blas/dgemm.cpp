@@ -1,0 +1,114 @@
+#include "blas/dgemm.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ep::blas {
+
+namespace {
+
+void checkShapes(std::size_t n, std::span<const double> a,
+                 std::span<const double> b, std::span<double> c) {
+  EP_REQUIRE(a.size() == n * n, "A has wrong size");
+  EP_REQUIRE(b.size() == n * n, "B has wrong size");
+  EP_REQUIRE(c.size() == n * n, "C has wrong size");
+}
+
+// Blocked kernel over a row range [row0, row1).
+void dgemmRows(std::size_t n, double alpha, std::span<const double> a,
+               std::span<const double> b, double beta, std::span<double> c,
+               std::size_t row0, std::size_t row1, std::size_t bs) {
+  for (std::size_t i = row0; i < row1; ++i) {
+    for (std::size_t j = 0; j < n; ++j) c[i * n + j] *= beta;
+  }
+  for (std::size_t kk = 0; kk < n; kk += bs) {
+    const std::size_t kEnd = std::min(n, kk + bs);
+    for (std::size_t jj = 0; jj < n; jj += bs) {
+      const std::size_t jEnd = std::min(n, jj + bs);
+      for (std::size_t i = row0; i < row1; ++i) {
+        for (std::size_t k = kk; k < kEnd; ++k) {
+          const double aik = alpha * a[i * n + k];
+          const double* brow = &b[k * n];
+          double* crow = &c[i * n];
+          for (std::size_t j = jj; j < jEnd; ++j) {
+            crow[j] += aik * brow[j];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void dgemmNaive(std::size_t n, double alpha, std::span<const double> a,
+                std::span<const double> b, double beta, std::span<double> c) {
+  checkShapes(n, a, b, c);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        s += a[i * n + k] * b[k * n + j];
+      }
+      c[i * n + j] = alpha * s + beta * c[i * n + j];
+    }
+  }
+}
+
+void dgemmBlocked(std::size_t n, double alpha, std::span<const double> a,
+                  std::span<const double> b, double beta, std::span<double> c,
+                  std::size_t blockSize) {
+  checkShapes(n, a, b, c);
+  EP_REQUIRE(blockSize >= 1, "block size must be >= 1");
+  dgemmRows(n, alpha, a, b, beta, c, 0, n, blockSize);
+}
+
+ThreadgroupDgemm::ThreadgroupDgemm(ThreadgroupConfig cfg) : cfg_(cfg) {
+  EP_REQUIRE(cfg_.threadgroups >= 1, "need at least one threadgroup");
+  EP_REQUIRE(cfg_.threadsPerGroup >= 1, "need at least one thread per group");
+  EP_REQUIRE(cfg_.blockSize >= 1, "block size must be >= 1");
+}
+
+std::pair<std::size_t, std::size_t> ThreadgroupDgemm::rowsForThread(
+    std::size_t n, std::size_t thread) const {
+  const std::size_t total = cfg_.totalThreads();
+  EP_REQUIRE(thread < total, "thread index out of range");
+  // Equal distribution with the remainder spread one row per leading
+  // thread: |rows_i - rows_j| <= 1 for all i, j (load balance).
+  const std::size_t base = n / total;
+  const std::size_t rem = n % total;
+  const std::size_t begin =
+      thread * base + std::min<std::size_t>(thread, rem);
+  const std::size_t len = base + (thread < rem ? 1 : 0);
+  return {begin, begin + len};
+}
+
+void ThreadgroupDgemm::run(std::size_t n, double alpha,
+                           std::span<const double> a,
+                           std::span<const double> b, double beta,
+                           std::span<double> c) const {
+  checkShapes(n, a, b, c);
+  const std::size_t total = cfg_.totalThreads();
+  if (total == 1) {
+    dgemmRows(n, alpha, a, b, beta, c, 0, n, cfg_.blockSize);
+    return;
+  }
+  // One OS thread per application thread, as the paper's applications
+  // bind one thread per core.  Row ranges are disjoint, so no
+  // synchronization is needed beyond join — by design (Section I-B).
+  std::vector<std::thread> workers;
+  workers.reserve(total);
+  for (std::size_t tIdx = 0; tIdx < total; ++tIdx) {
+    const auto [r0, r1] = rowsForThread(n, tIdx);
+    if (r0 == r1) continue;
+    workers.emplace_back([=, this] {
+      dgemmRows(n, alpha, a, b, beta, c, r0, r1, cfg_.blockSize);
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+}  // namespace ep::blas

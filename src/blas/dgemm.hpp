@@ -1,0 +1,61 @@
+// Double-precision matrix multiplication substrates.
+//
+// Three implementations of C = alpha * A * B + beta * C on dense square
+// row-major matrices:
+//   * dgemmNaive    — reference triple loop (test oracle),
+//   * dgemmBlocked  — cache-blocked single-thread kernel,
+//   * ThreadgroupDgemm — the paper's Fig 3 decomposition: p threadgroups
+//     of t threads each; A and C are split into horizontal panels per
+//     group, B is shared; within a group rows are split per thread.
+//     Load balanced with no inter-thread communication, the property the
+//     weak-EP definition requires of test applications.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "common/thread_pool.hpp"
+
+namespace ep::blas {
+
+// All matrices are n x n, row-major, A/B inputs and C in/out.
+void dgemmNaive(std::size_t n, double alpha, std::span<const double> a,
+                std::span<const double> b, double beta, std::span<double> c);
+
+// Cache-blocked kernel; blockSize is the square tile edge (>= 1).
+void dgemmBlocked(std::size_t n, double alpha, std::span<const double> a,
+                  std::span<const double> b, double beta, std::span<double> c,
+                  std::size_t blockSize = 64);
+
+struct ThreadgroupConfig {
+  std::size_t threadgroups = 1;     // p
+  std::size_t threadsPerGroup = 1;  // t
+  std::size_t blockSize = 64;
+  [[nodiscard]] std::size_t totalThreads() const {
+    return threadgroups * threadsPerGroup;
+  }
+};
+
+class ThreadgroupDgemm {
+ public:
+  explicit ThreadgroupDgemm(ThreadgroupConfig cfg);
+
+  // Compute C = alpha A B + beta C with the Fig 3 decomposition.  Rows
+  // need not divide evenly; remainders are distributed one per leading
+  // thread so the imbalance is at most one row.
+  void run(std::size_t n, double alpha, std::span<const double> a,
+           std::span<const double> b, double beta,
+           std::span<double> c) const;
+
+  [[nodiscard]] const ThreadgroupConfig& config() const { return cfg_; }
+
+  // Row range [begin, end) owned by global thread index `thread`
+  // (group-major ordering), exposed for tests of the decomposition.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> rowsForThread(
+      std::size_t n, std::size_t thread) const;
+
+ private:
+  ThreadgroupConfig cfg_;
+};
+
+}  // namespace ep::blas

@@ -1,0 +1,58 @@
+// Error handling for the epsim library.
+//
+// Following the C++ Core Guidelines (E.2, E.14) we use exceptions for error
+// reporting, with one project exception type per broad failure class so
+// callers can catch narrowly.  EP_REQUIRE is for precondition violations on
+// public API entry points; it always throws (never compiled out) because the
+// library is used from experiment harnesses where silent UB would corrupt
+// published numbers.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ep {
+
+// Base class for all epsim errors.
+class EpError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+// A caller violated a documented precondition.
+class PreconditionError : public EpError {
+ public:
+  using EpError::EpError;
+};
+
+// An iterative procedure (statistics loop, solver) failed to converge
+// within its configured budget.
+class ConvergenceError : public EpError {
+ public:
+  using EpError::EpError;
+};
+
+// A simulated hardware resource was exhausted (device memory, shared
+// memory per block, ...).
+class ResourceError : public EpError {
+ public:
+  using EpError::EpError;
+};
+
+namespace detail {
+[[noreturn]] inline void failPrecondition(const char* expr, const char* file,
+                                          int line, const std::string& msg) {
+  throw PreconditionError(std::string("precondition failed: ") + expr + " at " +
+                          file + ":" + std::to_string(line) +
+                          (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace ep
+
+#define EP_REQUIRE(expr, msg)                                       \
+  do {                                                              \
+    if (!(expr)) {                                                  \
+      ::ep::detail::failPrecondition(#expr, __FILE__, __LINE__, msg); \
+    }                                                               \
+  } while (false)

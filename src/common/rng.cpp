@@ -1,0 +1,31 @@
+#include "common/rng.hpp"
+
+namespace ep {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+double Rng::uniform(double lo, double hi) {
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double sigma) {
+  std::normal_distribution<double> dist(mean, sigma);
+  return dist(engine_);
+}
+
+std::uint64_t Rng::uniformInt(std::uint64_t lo, std::uint64_t hi) {
+  std::uniform_int_distribution<std::uint64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+Rng Rng::fork(std::uint64_t salt) const {
+  return Rng(splitmix64(seed_ ^ splitmix64(salt)));
+}
+
+}  // namespace ep

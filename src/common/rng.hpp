@@ -1,0 +1,42 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulation (power-meter noise, utilization
+// jitter, measurement repetition) draws from an ep::Rng seeded explicitly by
+// the experiment, so that a whole experiment — including its statistics loop —
+// is reproducible bit-for-bit.  Streams can be forked so that adding draws in
+// one component does not perturb another (a common reproducibility bug).
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace ep {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  // Uniform real in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi);
+
+  // Standard normal scaled: mean + sigma * N(0,1).
+  [[nodiscard]] double normal(double mean, double sigma);
+
+  // Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+  // Derive an independent child stream.  Uses splitmix64 over
+  // (seed, salt) so forks with different salts are decorrelated.
+  [[nodiscard]] Rng fork(std::uint64_t salt) const;
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+// splitmix64 mixing function; exposed for deterministic hashing needs.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
+
+}  // namespace ep

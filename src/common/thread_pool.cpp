@@ -1,0 +1,94 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ep {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { workerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock lock(mutex_);
+    stop_ = true;
+  }
+  cvTask_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::unique_lock lock(mutex_);
+    tasks_.push(std::move(task));
+    ++inFlight_;
+  }
+  cvTask_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock lock(mutex_);
+  cvDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cvTask_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::unique_lock lock(mutex_);
+      --inFlight_;
+      if (inFlight_ == 0) cvDone_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t chunks = std::min(n, size());
+  std::atomic<bool> failed{false};
+  std::exception_ptr firstError;
+  std::mutex errMutex;
+
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  std::size_t start = begin;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    const std::size_t lo = start;
+    const std::size_t hi = start + len;
+    start = hi;
+    submit([&, lo, hi] {
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (failed.load(std::memory_order_relaxed)) return;
+          fn(i);
+        }
+      } catch (...) {
+        std::scoped_lock lock(errMutex);
+        if (!failed.exchange(true)) firstError = std::current_exception();
+      }
+    });
+  }
+  wait();
+  if (failed && firstError) std::rethrow_exception(firstError);
+}
+
+}  // namespace ep

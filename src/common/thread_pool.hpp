@@ -1,0 +1,53 @@
+// A small fixed-size thread pool with a parallel-for helper.
+//
+// Used by the real compute substrates (epfft, epblas) and by the functional
+// CUDA-block executor.  Work items are plain std::function tasks; parallelFor
+// chunks an index range statically (the substrates are load-balanced by
+// construction, matching the paper's application design constraints).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ep {
+
+class ThreadPool {
+ public:
+  // threads == 0 means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  // Enqueue a task; tasks may not themselves block on the pool.
+  void submit(std::function<void()> task);
+
+  // Block until all submitted tasks have completed.
+  void wait();
+
+  // Run fn(i) for i in [begin, end), statically chunked over the pool,
+  // and wait for completion.  Exceptions from fn propagate (first one wins).
+  void parallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& fn);
+
+ private:
+  void workerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cvTask_;
+  std::condition_variable cvDone_;
+  std::size_t inFlight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ep

@@ -1,0 +1,121 @@
+// Strong types for the physical quantities the library deals in.
+//
+// Power/energy/time arithmetic is the core of every experiment in this
+// project; mixing up joules and watts (or seconds and watt-hours) is the
+// classic bug in energy-measurement code.  These wrappers make the units
+// part of the type so the compiler rejects such mixes, while keeping the
+// arithmetic that *is* dimensionally valid (W * s = J, J / s = W, ...)
+// ergonomic.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace ep {
+
+namespace detail {
+
+// CRTP base providing the arithmetic shared by all scalar unit wrappers.
+template <typename Derived>
+class UnitBase {
+ public:
+  constexpr UnitBase() = default;
+  constexpr explicit UnitBase(double v) : value_(v) {}
+
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.value() + b.value()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.value() - b.value()};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.value()}; }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived{a.value() * s};
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived{a.value() / s};
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value() / b.value();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.value() <=> b.value();
+  }
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.value() == b.value();
+  }
+  Derived& operator+=(Derived b) {
+    value_ += b.value();
+    return static_cast<Derived&>(*this);
+  }
+  Derived& operator-=(Derived b) {
+    value_ -= b.value();
+    return static_cast<Derived&>(*this);
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+class Seconds : public detail::UnitBase<Seconds> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+class Joules : public detail::UnitBase<Joules> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+class Watts : public detail::UnitBase<Watts> {
+ public:
+  using UnitBase::UnitBase;
+};
+
+// Dimensionally valid cross-unit arithmetic.
+[[nodiscard]] constexpr Joules operator*(Watts p, Seconds t) {
+  return Joules{p.value() * t.value()};
+}
+[[nodiscard]] constexpr Joules operator*(Seconds t, Watts p) { return p * t; }
+[[nodiscard]] constexpr Watts operator/(Joules e, Seconds t) {
+  return Watts{e.value() / t.value()};
+}
+[[nodiscard]] constexpr Seconds operator/(Joules e, Watts p) {
+  return Seconds{e.value() / p.value()};
+}
+
+inline std::ostream& operator<<(std::ostream& os, Seconds s) {
+  return os << s.value() << " s";
+}
+inline std::ostream& operator<<(std::ostream& os, Joules j) {
+  return os << j.value() << " J";
+}
+inline std::ostream& operator<<(std::ostream& os, Watts w) {
+  return os << w.value() << " W";
+}
+
+namespace literals {
+constexpr Seconds operator""_s(long double v) {
+  return Seconds{static_cast<double>(v)};
+}
+constexpr Seconds operator""_ms(long double v) {
+  return Seconds{static_cast<double>(v) * 1e-3};
+}
+constexpr Joules operator""_J(long double v) {
+  return Joules{static_cast<double>(v)};
+}
+constexpr Watts operator""_W(long double v) {
+  return Watts{static_cast<double>(v)};
+}
+}  // namespace literals
+
+}  // namespace ep

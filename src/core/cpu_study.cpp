@@ -1,0 +1,35 @@
+#include "core/cpu_study.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+CpuEpStudy::CpuEpStudy(apps::CpuDgemmApp app) : app_(std::move(app)) {}
+
+CpuWorkloadResult CpuEpStudy::runWorkload(int n, hw::BlasVariant variant,
+                                          Rng& rng) const {
+  CpuWorkloadResult r;
+  r.n = n;
+  r.variant = variant;
+  r.data = app_.runWorkload(n, variant, rng);
+  EP_REQUIRE(!r.data.empty(), "no runnable configurations for workload");
+  r.points = apps::CpuDgemmApp::toPoints(r.data);
+  r.globalFront = pareto::paretoFront(r.points);
+  r.tradeoff = pareto::analyzeTradeoff(r.points);
+  r.weakEp = analyzeWeakEp(r.points, 0.05);
+
+  std::vector<PowerSampleU> samples;
+  samples.reserve(r.data.size());
+  for (const auto& d : r.data) {
+    r.peakGflops = std::max(r.peakGflops, d.gflops);
+    samples.push_back(
+        {d.avgUtilizationPct / 100.0, d.dynamicPower.value()});
+  }
+  r.powerScatter = analyzeScatter(samples, 10);
+  r.ryckboschMetric = ryckboschEpMetric(samples);
+  return r;
+}
+
+}  // namespace ep::core

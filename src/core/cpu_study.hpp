@@ -1,0 +1,45 @@
+// The Section III experiment runner for the multicore CPU: execute the
+// DGEMM configuration space, compute the Fig 4 relationships and the
+// weak-EP verdict, and aggregate across workloads — the CPU-side
+// counterpart of GpuEpStudy.
+#pragma once
+
+#include <vector>
+
+#include "apps/cpu_dgemm_app.hpp"
+#include "core/definitions.hpp"
+#include "core/metrics.hpp"
+#include "pareto/front.hpp"
+#include "pareto/tradeoff.hpp"
+
+namespace ep::core {
+
+struct CpuWorkloadResult {
+  int n = 0;
+  hw::BlasVariant variant = hw::BlasVariant::IntelMklLike;
+  std::vector<apps::CpuDataPoint> data;
+  std::vector<pareto::BiPoint> points;
+  std::vector<pareto::BiPoint> globalFront;
+  pareto::Tradeoff tradeoff;
+  WeakEpResult weakEp;
+  // Fig 4 analyses.
+  double peakGflops = 0.0;
+  ScatterAnalysis powerScatter;
+  double ryckboschMetric = 0.0;
+};
+
+class CpuEpStudy {
+ public:
+  explicit CpuEpStudy(apps::CpuDgemmApp app);
+
+  [[nodiscard]] const apps::CpuDgemmApp& app() const { return app_; }
+
+  [[nodiscard]] CpuWorkloadResult runWorkload(int n,
+                                              hw::BlasVariant variant,
+                                              Rng& rng) const;
+
+ private:
+  apps::CpuDgemmApp app_;
+};
+
+}  // namespace ep::core

@@ -1,0 +1,57 @@
+#include "core/definitions.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+StrongEpResult analyzeStrongEp(std::span<const double> work,
+                               std::span<const double> energy,
+                               double tolerance) {
+  EP_REQUIRE(work.size() == energy.size(), "work/energy size mismatch");
+  EP_REQUIRE(work.size() >= 3, "strong-EP analysis needs >= 3 points");
+  EP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  StrongEpResult r;
+  r.tolerance = tolerance;
+  r.proportionalFit = stats::fitProportional(work, energy);
+  r.affineFit = stats::fitLinear(work, energy);
+  double maxDev = 0.0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const double predicted = r.proportionalFit.predict(work[i]);
+    if (predicted > 0.0) {
+      maxDev = std::max(maxDev,
+                        std::fabs(energy[i] - predicted) / predicted);
+    }
+  }
+  r.maxRelativeDeviation = maxDev;
+  r.holds = maxDev <= tolerance;
+  return r;
+}
+
+WeakEpResult analyzeWeakEp(const std::vector<pareto::BiPoint>& points,
+                           double tolerance) {
+  EP_REQUIRE(points.size() >= 2, "weak-EP analysis needs >= 2 configs");
+  EP_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  WeakEpResult r;
+  r.tolerance = tolerance;
+  double lo = points.front().energy.value();
+  double hi = lo;
+  double sum = 0.0;
+  for (const auto& p : points) {
+    const double e = p.energy.value();
+    lo = std::min(lo, e);
+    hi = std::max(hi, e);
+    sum += e;
+  }
+  EP_REQUIRE(lo > 0.0, "energies must be positive");
+  r.minEnergyJ = lo;
+  r.maxEnergyJ = hi;
+  r.meanEnergyJ = sum / static_cast<double>(points.size());
+  r.spread = (hi - lo) / lo;
+  r.holds = r.spread <= tolerance;
+  return r;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,48 @@
+// Formal strong/weak energy-proportionality definitions (Section I) and
+// the analyzers that decide whether a measured data set satisfies them.
+//
+//   Strong EP:  E_d = c * W  — dynamic energy linear (proportional,
+//               zero intercept) in the amount of work.
+//   Weak EP:    E_d constant across all application configurations
+//               solving the same workload (equal per-thread work).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "pareto/point.hpp"
+#include "stats/regression.hpp"
+
+namespace ep::core {
+
+struct StrongEpResult {
+  stats::LinearFit proportionalFit;  // E = c W (through origin)
+  stats::LinearFit affineFit;        // E = a + b W
+  // Largest relative deviation of any observation from the
+  // proportional fit.
+  double maxRelativeDeviation = 0.0;
+  // Whether strong EP holds within `tolerance` (all deviations below it).
+  bool holds = false;
+  double tolerance = 0.0;
+};
+
+// Test E_d = c W over a (work, dynamic energy) series.
+[[nodiscard]] StrongEpResult analyzeStrongEp(std::span<const double> work,
+                                             std::span<const double> energy,
+                                             double tolerance = 0.05);
+
+struct WeakEpResult {
+  double minEnergyJ = 0.0;
+  double maxEnergyJ = 0.0;
+  double meanEnergyJ = 0.0;
+  // (max - min) / min: 0 for a perfectly weak-EP system.
+  double spread = 0.0;
+  bool holds = false;
+  double tolerance = 0.0;
+};
+
+// Test E_d == const across configurations solving the same workload.
+[[nodiscard]] WeakEpResult analyzeWeakEp(
+    const std::vector<pareto::BiPoint>& points, double tolerance = 0.05);
+
+}  // namespace ep::core

@@ -1,0 +1,142 @@
+#include "core/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+namespace {
+
+std::vector<PowerSampleU> sortedByUtilization(
+    std::span<const PowerSampleU> samples) {
+  std::vector<PowerSampleU> s(samples.begin(), samples.end());
+  std::sort(s.begin(), s.end(), [](const auto& a, const auto& b) {
+    return a.utilization < b.utilization;
+  });
+  return s;
+}
+
+}  // namespace
+
+double ryckboschEpMetric(std::span<const PowerSampleU> samples) {
+  EP_REQUIRE(samples.size() >= 2, "EP metric needs >= 2 samples");
+  const auto s = sortedByUtilization(samples);
+  const double uMax = s.back().utilization;
+  const double pMax = s.back().powerW;
+  EP_REQUIRE(uMax > 0.0 && pMax > 0.0, "need positive peak sample");
+  // Ideal: P_ideal(u) = pMax * u / uMax.
+  // Trapezoidal areas over the sampled range.
+  double areaActualMinusIdeal = 0.0;
+  double areaIdeal = 0.0;
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    const double du = s[i].utilization - s[i - 1].utilization;
+    if (du <= 0.0) continue;
+    const double ideal0 = pMax * s[i - 1].utilization / uMax;
+    const double ideal1 = pMax * s[i].utilization / uMax;
+    areaActualMinusIdeal +=
+        0.5 * (std::fabs(s[i - 1].powerW - ideal0) +
+               std::fabs(s[i].powerW - ideal1)) *
+        du;
+    areaIdeal += 0.5 * (ideal0 + ideal1) * du;
+  }
+  EP_REQUIRE(areaIdeal > 0.0, "degenerate utilization range");
+  return 1.0 - areaActualMinusIdeal / areaIdeal;
+}
+
+double maxLinearDeviation(std::span<const PowerSampleU> samples) {
+  EP_REQUIRE(samples.size() >= 2, "deviation needs >= 2 samples");
+  const auto s = sortedByUtilization(samples);
+  const double uMax = s.back().utilization;
+  const double pMax = s.back().powerW;
+  EP_REQUIRE(uMax > 0.0 && pMax > 0.0, "need positive peak sample");
+  double maxDev = 0.0;
+  for (const auto& x : s) {
+    if (x.utilization <= 0.0) continue;
+    const double ideal = pMax * x.utilization / uMax;
+    maxDev = std::max(maxDev, std::fabs(x.powerW - ideal) / ideal);
+  }
+  return maxDev;
+}
+
+ScatterAnalysis analyzeScatter(std::span<const PowerSampleU> samples,
+                               std::size_t bins) {
+  EP_REQUIRE(samples.size() >= 2, "scatter analysis needs >= 2 samples");
+  EP_REQUIRE(bins >= 1, "need at least one bin");
+  double uLo = samples[0].utilization, uHi = uLo;
+  for (const auto& s : samples) {
+    uLo = std::min(uLo, s.utilization);
+    uHi = std::max(uHi, s.utilization);
+  }
+  EP_REQUIRE(uHi > uLo, "degenerate utilization range");
+  const double width = (uHi - uLo) / static_cast<double>(bins);
+
+  std::vector<double> sum(bins, 0.0);
+  std::vector<std::size_t> count(bins, 0);
+  auto binOf = [&](double u) {
+    auto b = static_cast<std::size_t>((u - uLo) / width);
+    return std::min(b, bins - 1);
+  };
+  for (const auto& s : samples) {
+    const std::size_t b = binOf(s.utilization);
+    sum[b] += s.powerW;
+    count[b] += 1;
+  }
+
+  ScatterAnalysis out;
+  for (std::size_t b = 0; b < bins; ++b) {
+    if (count[b] == 0) continue;
+    out.binCenters.push_back(uLo + (static_cast<double>(b) + 0.5) * width);
+    out.binMeanPower.push_back(sum[b] / static_cast<double>(count[b]));
+  }
+  double sumSq = 0.0;
+  std::size_t n = 0;
+  for (const auto& s : samples) {
+    const std::size_t b = binOf(s.utilization);
+    if (count[b] == 0) continue;
+    const double mean = sum[b] / static_cast<double>(count[b]);
+    if (mean <= 0.0) continue;
+    const double rel = std::fabs(s.powerW - mean) / mean;
+    out.maxResidual = std::max(out.maxResidual, rel);
+    sumSq += rel * rel;
+    ++n;
+  }
+  out.rmsResidual = n > 0 ? std::sqrt(sumSq / static_cast<double>(n)) : 0.0;
+  return out;
+}
+
+std::vector<LevelProportionality> perLevelProportionality(
+    std::span<const PowerSampleU> samples, std::size_t levels) {
+  EP_REQUIRE(samples.size() >= 2, "per-level analysis needs >= 2 samples");
+  EP_REQUIRE(levels >= 1, "need at least one level");
+  const auto s = sortedByUtilization(samples);
+  const double uMax = s.back().utilization;
+  const double pMax = s.back().powerW;
+  EP_REQUIRE(uMax > 0.0 && pMax > 0.0, "need positive peak sample");
+
+  std::vector<double> sum(levels, 0.0);
+  std::vector<std::size_t> count(levels, 0);
+  for (const auto& x : s) {
+    auto b = static_cast<std::size_t>(x.utilization / uMax *
+                                      static_cast<double>(levels));
+    b = std::min(b, levels - 1);
+    sum[b] += x.powerW;
+    count[b] += 1;
+  }
+  std::vector<LevelProportionality> out;
+  for (std::size_t b = 0; b < levels; ++b) {
+    if (count[b] == 0) continue;
+    LevelProportionality lp;
+    lp.utilization =
+        (static_cast<double>(b) + 0.5) / static_cast<double>(levels) * uMax;
+    const double ideal = pMax * lp.utilization / uMax;
+    const double measured = sum[b] / static_cast<double>(count[b]);
+    lp.proportionality = measured > 0.0 ? ideal / measured : 1.0;
+    out.push_back(lp);
+  }
+  return out;
+}
+
+}  // namespace ep::core

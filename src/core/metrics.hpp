@@ -1,0 +1,64 @@
+// Energy-proportionality metrics from the related-work section:
+//
+//   * Ryckbosch/Polfliet/Eeckhout [5]: EP = 1 - (area between the actual
+//     power-vs-utilization curve and the ideal linear curve) / (area
+//     under the ideal curve).  EP = 1 for a perfectly proportional
+//     server; < 1 when the curve bows above the ideal.
+//   * Hsu-Poole-style linear deviation [30]: the maximum relative
+//     deviation of measured power from the ideal line.
+//   * Wong-Annavaram-style per-level proportionality [6]: proportionality
+//     at each utilization level, exposing non-uniform EP improvements.
+//
+// All operate on (utilization fraction in [0,1], power watts) samples of
+// a *functional* power curve.  The paper's point is that modern
+// multicores are not even functional (same utilization, different
+// power); curveFromScatter fits the best functional approximation and
+// reports the residual scatter, quantifying that non-functionality.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ep::core {
+
+struct PowerSampleU {
+  double utilization = 0.0;  // [0, 1]
+  double powerW = 0.0;       // dynamic power
+};
+
+// Ryckbosch et al. EP metric.  Samples must cover (roughly) the full
+// utilization range; the ideal line runs from (0, 0) to (1, P(1)) where
+// P(1) is the power of the highest-utilization sample.
+[[nodiscard]] double ryckboschEpMetric(std::span<const PowerSampleU> samples);
+
+// Maximum |P(u) - ideal(u)| / ideal(u) over the samples (u > 0).
+[[nodiscard]] double maxLinearDeviation(std::span<const PowerSampleU> samples);
+
+struct ScatterAnalysis {
+  // Piecewise-mean functional fit: utilization bins -> mean power.
+  std::vector<double> binCenters;
+  std::vector<double> binMeanPower;
+  // Residual scatter: max (P - mean(bin)) / mean(bin) over all samples —
+  // zero for a functional relationship, large for the paper's Fig 4.
+  double maxResidual = 0.0;
+  // RMS of relative residuals.
+  double rmsResidual = 0.0;
+};
+
+// Quantify how non-functional the power-utilization relationship is.
+[[nodiscard]] ScatterAnalysis analyzeScatter(
+    std::span<const PowerSampleU> samples, std::size_t bins = 10);
+
+struct LevelProportionality {
+  double utilization = 0.0;       // level (bin center)
+  double proportionality = 0.0;   // ideal(u) / mean measured P(u)
+};
+
+// Wong-Annavaram-style per-level proportionality [6]: EP improvements
+// are not uniform across utilization levels; this reports the ratio of
+// the ideal linear power to the mean measured power at each level
+// (1.0 = proportional at that level, < 1 = over-consuming).
+[[nodiscard]] std::vector<LevelProportionality> perLevelProportionality(
+    std::span<const PowerSampleU> samples, std::size_t levels = 10);
+
+}  // namespace ep::core

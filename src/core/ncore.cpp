@@ -1,0 +1,46 @@
+#include "core/ncore.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+NCoreEnergy nCoreEnergy(const NCoreModel& model, std::span<const double> us) {
+  EP_REQUIRE(model.a > 0.0 && model.b > 0.0, "model constants must be > 0");
+  EP_REQUIRE(model.gamma > 0.0 && model.gamma <= 1.0,
+             "gamma must be in (0, 1]");
+  EP_REQUIRE(!us.empty(), "need at least one core");
+  double minU = 1.0;
+  for (double u : us) {
+    EP_REQUIRE(u > 0.0 && u <= 1.0, "utilizations must be in (0,1]");
+    minU = std::min(minU, u);
+  }
+  NCoreEnergy e;
+  e.time = model.b / minU;
+  double powerSum = 0.0;
+  for (double u : us) powerSum += model.a * std::pow(u, model.gamma);
+  e.total = powerSum * e.time;
+  return e;
+}
+
+NCoreEnergy uniformEnergy(const NCoreModel& model, std::size_t cores,
+                          double avgU) {
+  EP_REQUIRE(cores >= 1, "need at least one core");
+  const std::vector<double> us(cores, avgU);
+  return nCoreEnergy(model, us);
+}
+
+double imbalancePenalty(const NCoreModel& model, std::span<const double> us) {
+  EP_REQUIRE(!us.empty(), "need at least one core");
+  double sum = 0.0;
+  for (double u : us) sum += u;
+  const double avg = sum / static_cast<double>(us.size());
+  const NCoreEnergy actual = nCoreEnergy(model, us);
+  const NCoreEnergy uniform = uniformEnergy(model, us.size(), avg);
+  return (actual.total - uniform.total) / uniform.total;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,42 @@
+// Generalization of the Section III two-core analysis to n homogeneous
+// cores and to non-linear (concave polynomial) per-core power models —
+// the investigation the paper lists as future work.
+//
+// Each of the n cores obeys P_i = a * U_i^gamma (gamma = 1 is the simple
+// EP model; gamma < 1 the concave responses reported by [6], [30]).
+// Per-core time is b / U_i and the load-balanced application completes
+// when the slowest core finishes, so every core consumes its dynamic
+// power for T = b / min_i(U_i).
+#pragma once
+
+#include <span>
+
+namespace ep::core {
+
+struct NCoreModel {
+  double a = 1.0;      // power scale
+  double b = 1.0;      // time scale
+  double gamma = 1.0;  // power-vs-utilization exponent, in (0, 1]
+};
+
+struct NCoreEnergy {
+  double total = 0.0;  // sum of per-core dynamic energies
+  double time = 0.0;   // completion time b / min(U)
+};
+
+// Dynamic energy of the utilization vector `us` (all in (0, 1]).
+[[nodiscard]] NCoreEnergy nCoreEnergy(const NCoreModel& model,
+                                      std::span<const double> us);
+
+// Energy of the uniform configuration with the same average utilization.
+[[nodiscard]] NCoreEnergy uniformEnergy(const NCoreModel& model,
+                                        std::size_t cores, double avgU);
+
+// Relative energy penalty of `us` vs the uniform configuration at the
+// same average utilization: (E(us) - E(uniform)) / E(uniform).  By the
+// generalized Section III result this is >= 0, with equality iff the
+// utilizations are all equal.
+[[nodiscard]] double imbalancePenalty(const NCoreModel& model,
+                                      std::span<const double> us);
+
+}  // namespace ep::core

@@ -1,0 +1,76 @@
+#include "core/serverpark.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+double ServerPowerCurve::powerAt(double u) const {
+  EP_REQUIRE(u >= 0.0 && u <= 1.0, "utilization must be in [0,1]");
+  return peakWatts *
+         (idleFraction + (1.0 - idleFraction) * std::pow(u, curvature));
+}
+
+std::vector<PowerSampleU> specPowerLadder(const ServerPowerCurve& curve) {
+  EP_REQUIRE(curve.peakWatts > 0.0, "peak power must be positive");
+  EP_REQUIRE(curve.idleFraction >= 0.0 && curve.idleFraction < 1.0,
+             "idle fraction must be in [0,1)");
+  EP_REQUIRE(curve.curvature > 0.0, "curvature must be positive");
+  std::vector<PowerSampleU> ladder;
+  ladder.reserve(11);
+  for (int step = 0; step <= 10; ++step) {
+    const double u = static_cast<double>(step) / 10.0;
+    ladder.push_back({u, curve.powerAt(u)});
+  }
+  return ladder;
+}
+
+std::vector<ServerPowerCurve> generateFleet(std::size_t count, Rng& rng) {
+  EP_REQUIRE(count >= 1, "fleet needs at least one server");
+  std::vector<ServerPowerCurve> fleet;
+  fleet.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ServerPowerCurve s;
+    s.name = "server-" + std::to_string(i);
+    s.peakWatts = rng.uniform(180.0, 650.0);
+    // Vendor spread observed in SPECpower submissions: idle floors from
+    // excellent (~15 %) to poor (~65 %) of peak.
+    s.idleFraction = rng.uniform(0.15, 0.65);
+    s.curvature = rng.uniform(0.7, 1.8);
+    fleet.push_back(std::move(s));
+  }
+  return fleet;
+}
+
+FleetSurvey surveyFleet(const std::vector<ServerPowerCurve>& fleet) {
+  EP_REQUIRE(!fleet.empty(), "empty fleet");
+  FleetSurvey survey;
+  survey.servers = fleet.size();
+  survey.minEpMetric = 1e300;
+  survey.maxEpMetric = -1e300;
+  double sum = 0.0;
+  for (const auto& s : fleet) {
+    const auto ladder = specPowerLadder(s);
+    const double ep = ryckboschEpMetric(ladder);
+    sum += ep;
+    survey.minEpMetric = std::min(survey.minEpMetric, ep);
+    survey.maxEpMetric = std::max(survey.maxEpMetric, ep);
+    // "Linear relationship" in [5]'s sense concerns the DYNAMIC power
+    // curve (above idle): subtract the idle floor before checking.
+    std::vector<PowerSampleU> dynamic;
+    for (const auto& x : ladder) {
+      if (x.utilization > 0.0) {
+        dynamic.push_back({x.utilization, x.powerW - ladder[0].powerW});
+      }
+    }
+    if (maxLinearDeviation(dynamic) < 0.10) {
+      ++survey.nearlyProportionalCount;
+    }
+  }
+  survey.meanEpMetric = sum / static_cast<double>(fleet.size());
+  return survey;
+}
+
+}  // namespace ep::core

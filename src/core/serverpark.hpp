@@ -1,0 +1,55 @@
+// Server-fleet energy-proportionality survey in the style of Ryckbosch,
+// Polfliet and Eeckhout [5], who analyzed SPECpower_ssj2008 curves of
+// ~210 servers from ~20 vendors and found that only some exhibit the
+// linear (proportional) relationship.
+//
+// We model each server's power curve with the standard two-parameter
+// form P(u) = peak * (idleFraction + (1 - idleFraction) * u^curvature):
+// idleFraction is the idle floor relative to peak (the dominant EP
+// killer), curvature captures sub-/super-linear dynamic response.  A
+// fleet is a seeded random population of such curves; the survey
+// computes the SPECpower-style load ladder per server and the EP-metric
+// distribution over the fleet.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/metrics.hpp"
+
+namespace ep::core {
+
+struct ServerPowerCurve {
+  std::string name;
+  double peakWatts = 0.0;
+  double idleFraction = 0.0;  // idle power / peak power, in [0, 1)
+  double curvature = 1.0;     // exponent of the dynamic response
+
+  // Power at utilization u in [0, 1].
+  [[nodiscard]] double powerAt(double u) const;
+};
+
+// SPECpower-style ladder: samples at 0 %, 10 %, ..., 100 % load.
+[[nodiscard]] std::vector<PowerSampleU> specPowerLadder(
+    const ServerPowerCurve& curve);
+
+// Random fleet with vendor-like parameter spreads.
+[[nodiscard]] std::vector<ServerPowerCurve> generateFleet(std::size_t count,
+                                                          Rng& rng);
+
+struct FleetSurvey {
+  std::size_t servers = 0;
+  double meanEpMetric = 0.0;
+  double minEpMetric = 0.0;
+  double maxEpMetric = 0.0;
+  // Servers whose max deviation from the ideal line is below 10 %
+  // ("some servers exhibit a linear relationship", [5]).
+  std::size_t nearlyProportionalCount = 0;
+};
+
+[[nodiscard]] FleetSurvey surveyFleet(
+    const std::vector<ServerPowerCurve>& fleet);
+
+}  // namespace ep::core

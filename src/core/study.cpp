@@ -1,0 +1,66 @@
+#include "core/study.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+GpuEpStudy::GpuEpStudy(apps::GpuMatMulApp app) : app_(std::move(app)) {}
+
+WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng) const {
+  WorkloadResult r;
+  r.n = n;
+  r.data = app_.runWorkload(n, rng);
+  EP_REQUIRE(!r.data.empty(), "no launchable configurations for workload");
+  r.points = apps::GpuMatMulApp::toPoints(r.data);
+  r.globalFront = pareto::paretoFront(r.points);
+  r.localFront = pareto::localFront(r.points, 2);
+  r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+  if (!r.localFront.empty()) {
+    r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+  }
+  return r;
+}
+
+std::vector<WorkloadResult> GpuEpStudy::runSweep(const std::vector<int>& sizes,
+                                                 Rng& rng) const {
+  std::vector<WorkloadResult> out;
+  out.reserve(sizes.size());
+  for (int n : sizes) {
+    Rng nRng = rng.fork(static_cast<std::uint64_t>(n) * 0x9E37ULL);
+    out.push_back(runWorkload(n, nRng));
+  }
+  return out;
+}
+
+FrontStatistics GpuEpStudy::summarize(
+    const std::vector<WorkloadResult>& results) {
+  EP_REQUIRE(!results.empty(), "no workloads to summarize");
+  FrontStatistics s;
+  s.workloads = results.size();
+  double sumGlobal = 0.0, sumLocal = 0.0;
+  for (const auto& r : results) {
+    sumGlobal += static_cast<double>(r.globalFront.size());
+    sumLocal += static_cast<double>(r.localFront.size());
+    s.maxGlobalFrontSize = std::max(s.maxGlobalFrontSize,
+                                    r.globalFront.size());
+    s.maxLocalFrontSize = std::max(s.maxLocalFrontSize, r.localFront.size());
+    if (r.globalTradeoff.maxEnergySavings > s.maxGlobalSavings) {
+      s.maxGlobalSavings = r.globalTradeoff.maxEnergySavings;
+      s.degradationAtMaxGlobalSavings =
+          r.globalTradeoff.performanceDegradation;
+    }
+    if (r.localTradeoff.has_value() &&
+        r.localTradeoff->maxEnergySavings > s.maxLocalSavings) {
+      s.maxLocalSavings = r.localTradeoff->maxEnergySavings;
+      s.degradationAtMaxLocalSavings =
+          r.localTradeoff->performanceDegradation;
+    }
+  }
+  s.avgGlobalFrontSize = sumGlobal / static_cast<double>(results.size());
+  s.avgLocalFrontSize = sumLocal / static_cast<double>(results.size());
+  return s;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,63 @@
+// The Section V experiment runner: execute the GPU matrix-multiplication
+// application over a range of workloads, compute global and local Pareto
+// fronts per workload, and aggregate the front statistics the paper
+// reports ("the observed average and maximum points in the local Pareto
+// fronts are 4 and 5 for the K40c", "(50 %, 11 %) for the P100", ...).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "pareto/front.hpp"
+#include "pareto/tradeoff.hpp"
+
+namespace ep::core {
+
+struct WorkloadResult {
+  int n = 0;
+  std::vector<apps::GpuDataPoint> data;
+  std::vector<pareto::BiPoint> points;
+  std::vector<pareto::BiPoint> globalFront;
+  std::vector<pareto::BiPoint> localFront;  // level-2 front
+  // Trade-off over all points (energy-optimal vs performance-optimal).
+  pareto::Tradeoff globalTradeoff;
+  // Trade-off within the local front (the paper's K40c analysis, where
+  // the global front collapses to one point); absent if the local front
+  // is empty.
+  std::optional<pareto::Tradeoff> localTradeoff;
+};
+
+struct FrontStatistics {
+  std::size_t workloads = 0;
+  double avgGlobalFrontSize = 0.0;
+  std::size_t maxGlobalFrontSize = 0;
+  double avgLocalFrontSize = 0.0;
+  std::size_t maxLocalFrontSize = 0;
+  // Largest global-front trade-off over the workload range.
+  double maxGlobalSavings = 0.0;
+  double degradationAtMaxGlobalSavings = 0.0;
+  // Largest local-front trade-off over the workload range.
+  double maxLocalSavings = 0.0;
+  double degradationAtMaxLocalSavings = 0.0;
+};
+
+class GpuEpStudy {
+ public:
+  explicit GpuEpStudy(apps::GpuMatMulApp app);
+
+  [[nodiscard]] const apps::GpuMatMulApp& app() const { return app_; }
+
+  [[nodiscard]] WorkloadResult runWorkload(int n, Rng& rng) const;
+
+  [[nodiscard]] std::vector<WorkloadResult> runSweep(
+      const std::vector<int>& sizes, Rng& rng) const;
+
+  [[nodiscard]] static FrontStatistics summarize(
+      const std::vector<WorkloadResult>& results);
+
+ private:
+  apps::GpuMatMulApp app_;
+};
+
+}  // namespace ep::core

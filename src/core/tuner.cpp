@@ -1,0 +1,35 @@
+#include "core/tuner.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+BiObjectiveTuner::BiObjectiveTuner(double maxDegradation)
+    : maxDegradation_(maxDegradation) {
+  EP_REQUIRE(maxDegradation_ >= 0.0, "degradation budget must be >= 0");
+}
+
+TunerRecommendation BiObjectiveTuner::recommend(
+    const std::vector<pareto::BiPoint>& points) const {
+  EP_REQUIRE(!points.empty(), "tuner needs measured points");
+  TunerRecommendation rec;
+  rec.globalFront = pareto::paretoFront(points);
+  const pareto::Tradeoff overall = pareto::analyzeTradeoff(points);
+  rec.performanceOptimal = overall.performanceOptimal;
+  rec.energyOptimal = overall.energyOptimal;
+  rec.knee = pareto::kneePoint(rec.globalFront);
+
+  const auto budgeted = pareto::savingsUnderBudget(points, maxDegradation_);
+  if (budgeted.has_value()) {
+    rec.recommended = budgeted->energyOptimal;
+    rec.energySavings = budgeted->maxEnergySavings;
+    rec.performanceDegradation = budgeted->performanceDegradation;
+  } else {
+    rec.recommended = rec.performanceOptimal;
+    rec.energySavings = 0.0;
+    rec.performanceDegradation = 0.0;
+  }
+  return rec;
+}
+
+}  // namespace ep::core

@@ -1,0 +1,47 @@
+// Bi-objective application tuner: the practical payoff of the paper.
+//
+// Given the measured (time, dynamic energy) points of every
+// configuration solving a workload, recommend:
+//   * the performance-optimal configuration,
+//   * the energy-optimal configuration,
+//   * the best configuration under a performance-degradation budget
+//     ("save as much dynamic energy as possible while staying within
+//      x % of the fastest"), and
+//   * the knee (balanced) configuration of the global Pareto front.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pareto/front.hpp"
+#include "pareto/tradeoff.hpp"
+
+namespace ep::core {
+
+struct TunerRecommendation {
+  pareto::BiPoint performanceOptimal;
+  pareto::BiPoint energyOptimal;
+  pareto::BiPoint knee;
+  std::vector<pareto::BiPoint> globalFront;
+  // Chosen point under the budget (== performanceOptimal when no point
+  // saves energy within it).
+  pareto::BiPoint recommended;
+  double energySavings = 0.0;           // vs performance optimal
+  double performanceDegradation = 0.0;  // vs performance optimal
+};
+
+class BiObjectiveTuner {
+ public:
+  // maxDegradation: allowed slowdown fraction, e.g. 0.07 for 7 %.
+  explicit BiObjectiveTuner(double maxDegradation);
+
+  [[nodiscard]] TunerRecommendation recommend(
+      const std::vector<pareto::BiPoint>& points) const;
+
+  [[nodiscard]] double maxDegradation() const { return maxDegradation_; }
+
+ private:
+  double maxDegradation_;
+};
+
+}  // namespace ep::core

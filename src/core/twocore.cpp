@@ -1,0 +1,33 @@
+#include "core/twocore.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::core {
+
+TwoCoreEnergy twoCoreEnergy(const SimpleEpModel& model, double u1,
+                            double u2) {
+  EP_REQUIRE(model.a > 0.0 && model.b > 0.0, "model constants must be > 0");
+  EP_REQUIRE(u1 > 0.0 && u1 <= 1.0, "u1 must be in (0,1]");
+  EP_REQUIRE(u2 > 0.0 && u2 <= 1.0, "u2 must be in (0,1]");
+  TwoCoreEnergy e;
+  e.time = std::max(model.b / u1, model.b / u2);
+  e.core1 = model.a * u1 * e.time;
+  e.core2 = model.a * u2 * e.time;
+  e.total = e.core1 + e.core2;
+  return e;
+}
+
+PaperScenarios paperScenarios(const SimpleEpModel& model, double u,
+                              double du) {
+  EP_REQUIRE(du > 0.0 && du < u, "need 0 < dU < U");
+  EP_REQUIRE(u + du <= 1.0, "U + dU must not exceed full utilization");
+  PaperScenarios s;
+  s.e1 = twoCoreEnergy(model, u, u);
+  s.e2 = twoCoreEnergy(model, u + du, u);
+  s.e3 = twoCoreEnergy(model, u + du, u - du);
+  return s;
+}
+
+}  // namespace ep::core

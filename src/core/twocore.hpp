@@ -1,0 +1,46 @@
+// Section III: the paper's theoretical analysis of weak-EP violation for
+// the simplest case — two homogeneous cores obeying the simple EP model
+//
+//   P_i = a * U_i           (dynamic power linear in utilization)
+//   t   = b / U             (execution time inversely prop. to utilization)
+//
+// with a shared completion time max_j(b / U_j) (the slowest core gates
+// the parallel application).  Equations (1)-(3) of the paper fall out of
+// twoCoreEnergy(); the theorems E3 > E2 > E1 hold for every dU > 0.
+#pragma once
+
+namespace ep::core {
+
+struct SimpleEpModel {
+  double a = 1.0;  // power-per-utilization constant
+  double b = 1.0;  // time constant: t = b / U
+};
+
+struct TwoCoreEnergy {
+  double core1 = 0.0;   // E_d of core 1
+  double core2 = 0.0;   // E_d of core 2
+  double total = 0.0;   // E = E_d1 + E_d2
+  double time = 0.0;    // application completion time
+};
+
+// Dynamic energy of two cores at utilizations u1, u2 executing one
+// application whose completion time is gated by the slower core:
+//   E_di = a * u_i * max(b/u1, b/u2).
+[[nodiscard]] TwoCoreEnergy twoCoreEnergy(const SimpleEpModel& model,
+                                          double u1, double u2);
+
+// The paper's three scenarios at base utilization U and perturbation dU:
+//   E1: both cores at U            (equation 1; E1 = 2ab)
+//   E2: core1 at U+dU, core2 at U  (equation 2; E2 > E1)
+//   E3: core1 at U+dU, core2 U-dU  (equation 3; E3 > E2 > E1)
+struct PaperScenarios {
+  TwoCoreEnergy e1;
+  TwoCoreEnergy e2;
+  TwoCoreEnergy e3;
+};
+
+// Requires 0 < dU < U and U + dU <= 1.
+[[nodiscard]] PaperScenarios paperScenarios(const SimpleEpModel& model,
+                                            double u, double du);
+
+}  // namespace ep::core

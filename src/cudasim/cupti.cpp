@@ -1,0 +1,71 @@
+#include "cudasim/cupti.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::cusim {
+
+namespace {
+std::size_t index(CuptiEvent e) {
+  const auto i = static_cast<std::size_t>(e);
+  EP_REQUIRE(i < kCuptiEventCount, "unknown CUPTI event");
+  return i;
+}
+}  // namespace
+
+std::string cuptiEventName(CuptiEvent e) {
+  switch (e) {
+    case CuptiEvent::kFlopCountDp:
+      return "flop_count_dp";
+    case CuptiEvent::kDramBytes:
+      return "dram_bytes";
+    case CuptiEvent::kSharedLoadStore:
+      return "shared_load_store";
+    case CuptiEvent::kGldTransactions:
+      return "gld_transactions";
+    case CuptiEvent::kElapsedCycles:
+      return "elapsed_cycles";
+  }
+  throw PreconditionError("unknown CUPTI event");
+}
+
+bool cuptiEventIs32Bit(CuptiEvent e) {
+  switch (e) {
+    case CuptiEvent::kFlopCountDp:
+    case CuptiEvent::kSharedLoadStore:
+    case CuptiEvent::kGldTransactions:
+      return true;  // per-SM 32-bit hardware counters
+    case CuptiEvent::kDramBytes:
+    case CuptiEvent::kElapsedCycles:
+      return false;  // accumulated in 64-bit by the driver
+  }
+  throw PreconditionError("unknown CUPTI event");
+}
+
+void CuptiCounters::add(CuptiEvent e, std::uint64_t delta) {
+  values_[index(e)] += delta;
+}
+
+void CuptiCounters::reset() { values_.fill(0); }
+
+std::uint64_t CuptiCounters::trueValue(CuptiEvent e) const {
+  return values_[index(e)];
+}
+
+std::uint64_t CuptiCounters::read(CuptiEvent e) const {
+  const std::uint64_t v = values_[index(e)];
+  if (cuptiEventIs32Bit(e)) return v & 0xFFFFFFFFULL;
+  return v;
+}
+
+bool CuptiCounters::overflowed(CuptiEvent e) const {
+  return read(e) != trueValue(e);
+}
+
+CuptiCounters& CuptiCounters::operator+=(const CuptiCounters& other) {
+  for (std::size_t i = 0; i < kCuptiEventCount; ++i) {
+    values_[i] += other.values_[i];
+  }
+  return *this;
+}
+
+}  // namespace ep::cusim

@@ -1,0 +1,53 @@
+// CUPTI-like performance event counters.
+//
+// The paper's Section V-C observes that "many key events and metrics
+// overflow for large matrix sizes (N > 2048) and reported inaccurate
+// counts", making CUPTI inadequate for analyzing GPU energy
+// nonproportionality.  The simulation reproduces that instrument
+// limitation: hardware-backed events are 32-bit and wrap, while the
+// model's ground truth stays 64-bit (trueValue) for validation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace ep::cusim {
+
+enum class CuptiEvent {
+  kFlopCountDp = 0,
+  kDramBytes,
+  kSharedLoadStore,
+  kGldTransactions,
+  kElapsedCycles,
+};
+
+inline constexpr std::size_t kCuptiEventCount = 5;
+
+[[nodiscard]] std::string cuptiEventName(CuptiEvent e);
+
+// Which events sit on 32-bit hardware counters (and therefore wrap).
+[[nodiscard]] bool cuptiEventIs32Bit(CuptiEvent e);
+
+class CuptiCounters {
+ public:
+  void add(CuptiEvent e, std::uint64_t delta);
+  void reset();
+
+  // Ground-truth 64-bit value (what the silicon actually did).
+  [[nodiscard]] std::uint64_t trueValue(CuptiEvent e) const;
+
+  // What the CUPTI interface reports: wrapped modulo 2^32 for events on
+  // 32-bit counters.
+  [[nodiscard]] std::uint64_t read(CuptiEvent e) const;
+
+  // True iff read() differs from trueValue() (counter wrapped).
+  [[nodiscard]] bool overflowed(CuptiEvent e) const;
+
+  CuptiCounters& operator+=(const CuptiCounters& other);
+
+ private:
+  std::array<std::uint64_t, kCuptiEventCount> values_{};
+};
+
+}  // namespace ep::cusim

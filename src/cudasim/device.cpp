@@ -1,0 +1,43 @@
+#include "cudasim/device.hpp"
+
+namespace ep::cusim {
+
+Device::Device(hw::GpuSpec spec) : spec_(std::move(spec)) {}
+
+std::size_t Device::memoryCapacityBytes() const {
+  return static_cast<std::size_t>(spec_.memoryGB) * 1024ULL * 1024ULL *
+         1024ULL;
+}
+
+void Device::allocate(std::size_t bytes) {
+  if (usedBytes_ + bytes > memoryCapacityBytes()) {
+    throw ResourceError("device memory exhausted on " + spec_.name + ": " +
+                        std::to_string(usedBytes_ + bytes) + " bytes needed");
+  }
+  usedBytes_ += bytes;
+}
+
+void Device::release(std::size_t bytes) {
+  EP_REQUIRE(bytes <= usedBytes_, "releasing more memory than allocated");
+  usedBytes_ -= bytes;
+}
+
+void Device::advanceClock(Seconds dt) {
+  EP_REQUIRE(dt.value() >= 0.0, "clock cannot run backwards");
+  clock_ += dt;
+}
+
+void Device::record(Event& e) {
+  e.timestamp_ = clock_;
+  e.recorded_ = true;
+}
+
+Seconds Device::elapsed(const Event& start, const Event& stop) {
+  EP_REQUIRE(start.recorded() && stop.recorded(),
+             "both events must be recorded");
+  EP_REQUIRE(start.timestamp() <= stop.timestamp(),
+             "stop event precedes start event");
+  return stop.timestamp() - start.timestamp();
+}
+
+}  // namespace ep::cusim

@@ -1,0 +1,113 @@
+// A simulated CUDA device: board-memory accounting, a simulation clock,
+// and cudaEvent-style timing.
+//
+// The device owns no execution logic itself; functional kernels run
+// through cusim::Executor (executor.hpp) and modeled kernels advance the
+// clock by the time predicted by ephw::GpuModel — mirroring how the
+// paper times kernels with cudaEventRecord/cudaEventElapsedTime around
+// launches.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::cusim {
+
+class Device;
+
+// RAII device allocation of `count` elements of T.
+template <typename T>
+class DeviceBuffer {
+ public:
+  DeviceBuffer(Device& device, std::size_t count);
+  ~DeviceBuffer();
+
+  DeviceBuffer(const DeviceBuffer&) = delete;
+  DeviceBuffer& operator=(const DeviceBuffer&) = delete;
+  DeviceBuffer(DeviceBuffer&& other) noexcept;
+  DeviceBuffer& operator=(DeviceBuffer&&) = delete;
+
+  [[nodiscard]] T* data() { return storage_.data(); }
+  [[nodiscard]] const T* data() const { return storage_.data(); }
+  [[nodiscard]] std::size_t size() const { return storage_.size(); }
+  [[nodiscard]] std::size_t bytes() const { return storage_.size() * sizeof(T); }
+
+  T& operator[](std::size_t i) { return storage_[i]; }
+  const T& operator[](std::size_t i) const { return storage_[i]; }
+
+ private:
+  Device* device_;
+  std::vector<T> storage_;
+};
+
+// cudaEvent-like timestamp on the device's simulation clock.
+class Event {
+ public:
+  [[nodiscard]] bool recorded() const { return recorded_; }
+  [[nodiscard]] Seconds timestamp() const {
+    EP_REQUIRE(recorded_, "event was never recorded");
+    return timestamp_;
+  }
+
+ private:
+  friend class Device;
+  Seconds timestamp_{0.0};
+  bool recorded_ = false;
+};
+
+class Device {
+ public:
+  explicit Device(hw::GpuSpec spec);
+
+  [[nodiscard]] const hw::GpuSpec& spec() const { return spec_; }
+
+  [[nodiscard]] std::size_t memoryCapacityBytes() const;
+  [[nodiscard]] std::size_t memoryUsedBytes() const { return usedBytes_; }
+
+  // Simulation clock — advanced by kernel launches.
+  [[nodiscard]] Seconds now() const { return clock_; }
+  void advanceClock(Seconds dt);
+
+  // cudaEventRecord equivalent.
+  void record(Event& e);
+  // cudaEventElapsedTime equivalent (start must precede stop).
+  [[nodiscard]] static Seconds elapsed(const Event& start, const Event& stop);
+
+ private:
+  template <typename T>
+  friend class DeviceBuffer;
+
+  void allocate(std::size_t bytes);
+  void release(std::size_t bytes);
+
+  hw::GpuSpec spec_;
+  std::size_t usedBytes_ = 0;
+  Seconds clock_{0.0};
+};
+
+template <typename T>
+DeviceBuffer<T>::DeviceBuffer(Device& device, std::size_t count)
+    : device_(&device) {
+  device_->allocate(count * sizeof(T));
+  storage_.resize(count);
+}
+
+template <typename T>
+DeviceBuffer<T>::~DeviceBuffer() {
+  if (device_ != nullptr) device_->release(storage_.size() * sizeof(T));
+}
+
+template <typename T>
+DeviceBuffer<T>::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(other.device_), storage_(std::move(other.storage_)) {
+  other.device_ = nullptr;
+  other.storage_.clear();
+}
+
+}  // namespace ep::cusim

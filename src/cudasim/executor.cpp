@@ -1,0 +1,65 @@
+#include "cudasim/executor.hpp"
+
+#include <cstdint>
+
+namespace ep::cusim {
+
+BlockContext::BlockContext(Dim3 blockIdx, const LaunchConfig& cfg)
+    : blockIdx_(blockIdx), cfg_(cfg), arena_(cfg.sharedBytes) {}
+
+void* BlockContext::allocateShared(std::size_t bytes, std::size_t align) {
+  std::size_t offset = (arenaUsed_ + align - 1) / align * align;
+  if (offset + bytes > arena_.size()) {
+    throw ResourceError(
+        "shared-memory arena exhausted: " + std::to_string(offset + bytes) +
+        " bytes requested, " + std::to_string(arena_.size()) + " configured");
+  }
+  arenaUsed_ = offset + bytes;
+  return arena_.data() + offset;
+}
+
+void BlockContext::forEachThread(const std::function<void(Dim3)>& fn) {
+  Dim3 t;
+  for (t.z = 0; t.z < cfg_.block.z; ++t.z) {
+    for (t.y = 0; t.y < cfg_.block.y; ++t.y) {
+      for (t.x = 0; t.x < cfg_.block.x; ++t.x) {
+        fn(t);
+      }
+    }
+  }
+}
+
+void Executor::launch(Device& device, const LaunchConfig& cfg,
+                      const Kernel& kernel) const {
+  const auto& spec = device.spec();
+  const std::size_t threads = cfg.block.count();
+  if (threads == 0 || cfg.grid.count() == 0) {
+    throw PreconditionError("empty launch configuration");
+  }
+  if (threads > static_cast<std::size_t>(spec.maxThreadsPerBlock)) {
+    throw ResourceError("block exceeds maxThreadsPerBlock on " + spec.name);
+  }
+  if (cfg.sharedBytes >
+      static_cast<std::size_t>(spec.sharedMemPerBlockKB) * 1024) {
+    throw ResourceError("launch exceeds shared memory per block on " +
+                        spec.name);
+  }
+
+  const std::size_t blocks = cfg.grid.count();
+  auto runBlock = [&](std::size_t flat) {
+    Dim3 b;
+    b.x = static_cast<unsigned>(flat % cfg.grid.x);
+    b.y = static_cast<unsigned>((flat / cfg.grid.x) % cfg.grid.y);
+    b.z = static_cast<unsigned>(flat / (static_cast<std::size_t>(cfg.grid.x) *
+                                        cfg.grid.y));
+    BlockContext ctx(b, cfg);
+    kernel(ctx);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallelFor(0, blocks, runBlock);
+  } else {
+    for (std::size_t i = 0; i < blocks; ++i) runBlock(i);
+  }
+}
+
+}  // namespace ep::cusim

@@ -1,0 +1,23 @@
+// Basic CUDA-like geometry types for the functional simulator.
+#pragma once
+
+#include <cstddef>
+
+namespace ep::cusim {
+
+struct Dim3 {
+  unsigned x = 1;
+  unsigned y = 1;
+  unsigned z = 1;
+  [[nodiscard]] std::size_t count() const {
+    return static_cast<std::size_t>(x) * y * z;
+  }
+};
+
+struct LaunchConfig {
+  Dim3 grid;
+  Dim3 block;
+  std::size_t sharedBytes = 0;
+};
+
+}  // namespace ep::cusim

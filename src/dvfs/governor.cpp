@@ -1,0 +1,54 @@
+#include "dvfs/governor.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::dvfs {
+
+GovernorSim::GovernorSim(PStateTable table, GovernorPolicy policy)
+    : table_(std::move(table)), policy_(policy) {
+  reset();
+}
+
+void GovernorSim::reset() {
+  switch (policy_) {
+    case GovernorPolicy::kPerformance:
+      index_ = table_.size() - 1;
+      break;
+    case GovernorPolicy::kPowersave:
+      index_ = 0;
+      break;
+    case GovernorPolicy::kOndemand:
+      index_ = 0;
+      break;
+  }
+}
+
+const PState& GovernorSim::current() const { return table_[index_]; }
+
+const PState& GovernorSim::step(double utilization) {
+  EP_REQUIRE(utilization >= 0.0 && utilization <= 1.0,
+             "utilization must be in [0,1]");
+  switch (policy_) {
+    case GovernorPolicy::kPerformance:
+    case GovernorPolicy::kPowersave:
+      break;  // static policies
+    case GovernorPolicy::kOndemand:
+      if (utilization > kUpThreshold) {
+        index_ = table_.size() - 1;  // ondemand jumps straight to max
+      } else if (utilization < kDownThreshold && index_ > 0) {
+        --index_;  // decay one bin per quiet interval
+      }
+      break;
+  }
+  return table_[index_];
+}
+
+std::vector<PState> GovernorSim::run(
+    const std::vector<double>& utilizationTrace) {
+  std::vector<PState> out;
+  out.reserve(utilizationTrace.size());
+  for (double u : utilizationTrace) out.push_back(step(u));
+  return out;
+}
+
+}  // namespace ep::dvfs

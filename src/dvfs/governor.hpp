@@ -1,0 +1,46 @@
+// OS frequency governors over the P-state ladder: the runtime policies
+// a deployed system would actually use, simulated step-by-step on a
+// utilization trace.  Used to contrast policy-driven frequency choices
+// with the exact bi-objective optima of optimize.hpp.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dvfs/pstate.hpp"
+
+namespace ep::dvfs {
+
+enum class GovernorPolicy {
+  kPerformance,  // always the highest state
+  kPowersave,    // always the lowest state
+  kOndemand,     // jump to max above the up-threshold, step down when idle
+};
+
+class GovernorSim {
+ public:
+  GovernorSim(PStateTable table, GovernorPolicy policy);
+
+  // Feed one utilization sample in [0,1]; returns the state chosen for
+  // the next interval.
+  const PState& step(double utilization);
+
+  [[nodiscard]] const PState& current() const;
+  [[nodiscard]] GovernorPolicy policy() const { return policy_; }
+
+  // Run over a whole trace and return the chosen state per sample.
+  [[nodiscard]] std::vector<PState> run(
+      const std::vector<double>& utilizationTrace);
+
+  void reset();
+
+ private:
+  PStateTable table_;
+  GovernorPolicy policy_;
+  std::size_t index_ = 0;
+
+  static constexpr double kUpThreshold = 0.80;   // ondemand defaults
+  static constexpr double kDownThreshold = 0.30;
+};
+
+}  // namespace ep::dvfs

@@ -1,0 +1,66 @@
+#include "dvfs/processor.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::dvfs {
+
+DvfsProcessor::DvfsProcessor(PStateTable table,
+                             double computeRateAtMaxGflops,
+                             Watts maxDynamicPower,
+                             Watts leakageAtMaxVoltage)
+    : table_(std::move(table)),
+      rateAtMax_(computeRateAtMaxGflops),
+      maxDynamicPower_(maxDynamicPower),
+      leakageAtMaxVoltage_(leakageAtMaxVoltage) {
+  EP_REQUIRE(rateAtMax_ > 0.0, "compute rate must be positive");
+  EP_REQUIRE(maxDynamicPower_.value() > 0.0, "max power must be positive");
+  EP_REQUIRE(leakageAtMaxVoltage_.value() >= 0.0,
+             "leakage must be non-negative");
+  EP_REQUIRE(leakageAtMaxVoltage_ < maxDynamicPower_,
+             "leakage cannot exceed total dynamic power");
+}
+
+DvfsProcessor DvfsProcessor::fromCpuSpec(const hw::CpuSpec& spec) {
+  // Peak rate at the top turbo state; switching power sized so the full
+  // node draws ~1.1x TDP of dynamic power at fmax, with ~15 % leakage.
+  const Watts maxDyn{1.1 * spec.tdpPerSocket.value() * spec.sockets * 0.6};
+  const Watts leak{0.15 * maxDyn.value()};
+  return DvfsProcessor(haswellPStates(), spec.peakGflops, maxDyn, leak);
+}
+
+DvfsRun DvfsProcessor::run(const Workload& w, const PState& state) const {
+  EP_REQUIRE(w.gflops > 0.0, "workload must be positive");
+  EP_REQUIRE(w.memBoundFraction >= 0.0 && w.memBoundFraction <= 1.0,
+             "memory-bound fraction must be in [0,1]");
+  const PState& top = table_.highest();
+
+  // Time at fmax is gflops / rateAtMax; only the compute share scales.
+  const double tAtMax = w.gflops / rateAtMax_;
+  const double fScale = top.freqMHz / state.freqMHz;
+  const double t = tAtMax * ((1.0 - w.memBoundFraction) * fScale +
+                             w.memBoundFraction);
+
+  // Power: switching ~ f V^2 normalized at fmax; leakage ~ V^2.
+  const double fv2 = state.freqMHz * state.voltage * state.voltage;
+  const double fv2Max = top.freqMHz * top.voltage * top.voltage;
+  const double switching =
+      (maxDynamicPower_.value() - leakageAtMaxVoltage_.value()) * fv2 /
+      fv2Max;
+  const double leak = leakageAtMaxVoltage_.value() *
+                      (state.voltage * state.voltage) /
+                      (top.voltage * top.voltage);
+  // Memory-stall periods draw less core switching power.
+  const double utilization =
+      (1.0 - w.memBoundFraction) * fScale /
+      ((1.0 - w.memBoundFraction) * fScale + w.memBoundFraction);
+  const double power = switching * (0.35 + 0.65 * utilization) + leak;
+
+  DvfsRun r;
+  r.time = Seconds{t};
+  r.dynamicPower = Watts{power};
+  r.dynamicEnergy = r.dynamicPower * r.time;
+  r.state = state;
+  return r;
+}
+
+}  // namespace ep::dvfs

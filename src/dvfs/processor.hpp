@@ -1,0 +1,51 @@
+// A processor under DVFS: how execution time and dynamic power respond
+// to the chosen P-state for a workload with a given memory-boundness.
+//
+//   time(f)  = work * [ computeShare / rate(f) + memShare / memRate ]
+//              — the compute part scales with frequency, the memory
+//                part does not (the classic DVFS insight: memory-bound
+//                codes can be down-clocked almost for free),
+//   power(f) = cEff * f * V(f)^2 + leakage(V)
+//              — switching power is f V^2; leakage grows with voltage.
+#pragma once
+
+#include "common/units.hpp"
+#include "dvfs/pstate.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::dvfs {
+
+struct DvfsRun {
+  Seconds time{0.0};
+  Watts dynamicPower{0.0};
+  Joules dynamicEnergy{0.0};
+  PState state;
+};
+
+struct Workload {
+  double gflops = 0.0;          // total compute work
+  double memBoundFraction = 0;  // share of time at fmax spent on memory
+};
+
+class DvfsProcessor {
+ public:
+  // computeRateAtMax: GFLOP/s at the highest P-state; memory throughput
+  // is folded into the workload's memBoundFraction.
+  DvfsProcessor(PStateTable table, double computeRateAtMaxGflops,
+                Watts maxDynamicPower, Watts leakageAtMaxVoltage);
+
+  // Derive the node-level DVFS response of the Table I Haswell.
+  [[nodiscard]] static DvfsProcessor fromCpuSpec(const hw::CpuSpec& spec);
+
+  [[nodiscard]] const PStateTable& table() const { return table_; }
+
+  [[nodiscard]] DvfsRun run(const Workload& w, const PState& state) const;
+
+ private:
+  PStateTable table_;
+  double rateAtMax_;
+  Watts maxDynamicPower_;
+  Watts leakageAtMaxVoltage_;
+};
+
+}  // namespace ep::dvfs

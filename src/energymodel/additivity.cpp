@@ -1,0 +1,60 @@
+#include "energymodel/additivity.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::model {
+
+double additivityError(double base1, double base2, double compound) {
+  const double expected = base1 + base2;
+  EP_REQUIRE(expected > 0.0, "additivity needs positive base observations");
+  return std::fabs(compound - expected) / expected;
+}
+
+std::vector<EventAdditivity> analyzeCounterAdditivity(
+    const cusim::CuptiCounters& base1, const cusim::CuptiCounters& base2,
+    const cusim::CuptiCounters& compound) {
+  std::vector<EventAdditivity> out;
+  for (std::size_t i = 0; i < cusim::kCuptiEventCount; ++i) {
+    const auto e = static_cast<cusim::CuptiEvent>(i);
+    EventAdditivity rec;
+    rec.event = cusim::cuptiEventName(e);
+    rec.base1 = base1.read(e);
+    rec.base2 = base2.read(e);
+    rec.compound = compound.read(e);
+    const double expected =
+        static_cast<double>(rec.base1) + static_cast<double>(rec.base2);
+    rec.error = expected > 0.0
+                    ? std::fabs(static_cast<double>(rec.compound) - expected) /
+                          expected
+                    : 0.0;
+    out.push_back(rec);
+  }
+  return out;
+}
+
+std::vector<std::string> selectAdditiveEvents(
+    const std::vector<EventAdditivity>& records, double maxError) {
+  EP_REQUIRE(maxError >= 0.0, "threshold must be non-negative");
+  std::vector<std::string> out;
+  for (const auto& r : records) {
+    if (r.error <= maxError) out.push_back(r.event);
+  }
+  return out;
+}
+
+EnergyAdditivity analyzeEnergyAdditivity(double baseEnergy,
+                                         double compoundEnergy, int scale) {
+  EP_REQUIRE(scale >= 1, "scale must be >= 1");
+  EP_REQUIRE(baseEnergy > 0.0, "base energy must be positive");
+  EnergyAdditivity r;
+  r.scale = scale;
+  r.baseEnergy = baseEnergy;
+  r.compoundEnergy = compoundEnergy;
+  r.additiveEnergy = scale * baseEnergy;
+  r.error = std::fabs(compoundEnergy - r.additiveEnergy) / r.additiveEnergy;
+  return r;
+}
+
+}  // namespace ep::model

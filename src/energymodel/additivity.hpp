@@ -1,0 +1,60 @@
+// The additivity property from the theory of energy predictive models of
+// computing [33], as used in Section IV:
+//
+//   A model variable (performance event, or dynamic energy itself) is
+//   additive if its value for a *compound* application — the serial
+//   execution of two base applications — equals the sum of its values
+//   for the base applications.  Additivity is a manifestation of energy
+//   conservation; non-additive variables cannot appear in a reliable
+//   linear energy model, and non-additive *energy* exposes a consumer
+//   that is not proportional to work (the paper's 58 W component).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cudasim/cupti.hpp"
+
+namespace ep::model {
+
+// Relative additivity error of a compound observation vs its bases:
+// |compound - (base1 + base2)| / (base1 + base2).
+[[nodiscard]] double additivityError(double base1, double base2,
+                                     double compound);
+
+struct EventAdditivity {
+  std::string event;
+  std::uint64_t base1 = 0;
+  std::uint64_t base2 = 0;
+  std::uint64_t compound = 0;
+  double error = 0.0;
+};
+
+// Compare CUPTI counter sets of two base applications and their
+// compound.  Uses the *reported* (possibly overflowed) values — the
+// instrument's view, which is what a model builder has.
+[[nodiscard]] std::vector<EventAdditivity> analyzeCounterAdditivity(
+    const cusim::CuptiCounters& base1, const cusim::CuptiCounters& base2,
+    const cusim::CuptiCounters& compound);
+
+// Events whose additivity error is below `maxError` — the candidate
+// variables for a linear energy model.
+[[nodiscard]] std::vector<std::string> selectAdditiveEvents(
+    const std::vector<EventAdditivity>& records, double maxError);
+
+struct EnergyAdditivity {
+  int scale = 0;          // compound = `scale` serial copies of the base
+  double baseEnergy = 0;  // E(1)
+  double compoundEnergy = 0;  // E(scale)
+  double additiveEnergy = 0;  // scale * E(1)
+  double error = 0.0;         // relative non-additivity
+};
+
+// Dynamic-energy additivity when an application is repeated g times
+// inside one execution (the Fig 6 study: E(g) vs g * E(1)).
+[[nodiscard]] EnergyAdditivity analyzeEnergyAdditivity(double baseEnergy,
+                                                       double compoundEnergy,
+                                                       int scale);
+
+}  // namespace ep::model

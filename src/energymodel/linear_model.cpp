@@ -1,0 +1,87 @@
+#include "energymodel/linear_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::model {
+
+EnergyPredictiveModel::EnergyPredictiveModel(
+    std::vector<std::string> variables)
+    : variables_(std::move(variables)) {
+  EP_REQUIRE(!variables_.empty(), "model needs at least one variable");
+}
+
+void EnergyPredictiveModel::addObservation(EnergyObservation obs) {
+  EP_REQUIRE(obs.eventCounts.size() == variables_.size(),
+             "observation width mismatch");
+  EP_REQUIRE(obs.dynamicEnergyJ >= 0.0, "energy must be non-negative");
+  observations_.push_back(std::move(obs));
+}
+
+EnergyModelReport EnergyPredictiveModel::fit() const {
+  EP_REQUIRE(observations_.size() > variables_.size(),
+             "need more observations than variables");
+  // Active set of variable indices; shrink until all coefficients >= 0.
+  std::vector<std::size_t> active(variables_.size());
+  for (std::size_t i = 0; i < active.size(); ++i) active[i] = i;
+  EnergyModelReport report;
+
+  std::vector<double> y;
+  y.reserve(observations_.size());
+  for (const auto& o : observations_) y.push_back(o.dynamicEnergyJ);
+
+  stats::MultiLinearFit fit;
+  for (;;) {
+    EP_REQUIRE(!active.empty(), "all variables dropped: no physical model");
+    std::vector<std::vector<double>> rows;
+    rows.reserve(observations_.size());
+    for (const auto& o : observations_) {
+      std::vector<double> row;
+      row.reserve(active.size());
+      for (std::size_t idx : active) row.push_back(o.eventCounts[idx]);
+      rows.push_back(std::move(row));
+    }
+    fit = stats::fitMultiLinear(rows, y, /*withIntercept=*/false);
+    // Find the most negative coefficient, if any.
+    std::size_t worst = active.size();
+    double worstValue = 0.0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (fit.coefficients[i] < worstValue) {
+        worstValue = fit.coefficients[i];
+        worst = i;
+      }
+    }
+    if (worst == active.size()) break;
+    report.dropped.push_back(variables_[active[worst]]);
+    active.erase(active.begin() + static_cast<long>(worst));
+  }
+
+  for (std::size_t i = 0; i < active.size(); ++i) {
+    report.variables.push_back(variables_[active[i]]);
+    report.coefficients.push_back(fit.coefficients[i]);
+  }
+  report.r2 = fit.r2;
+
+  // Correlations of the surviving variables with energy.
+  for (std::size_t idx : active) {
+    std::vector<double> x;
+    x.reserve(observations_.size());
+    for (const auto& o : observations_) x.push_back(o.eventCounts[idx]);
+    report.correlations.push_back(stats::pearsonCorrelation(x, y));
+  }
+  return report;
+}
+
+double EnergyPredictiveModel::predict(const EnergyModelReport& report,
+                                      const std::vector<double>& counts) {
+  EP_REQUIRE(counts.size() == report.coefficients.size(),
+             "count vector width mismatch");
+  double e = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    e += report.coefficients[i] * counts[i];
+  }
+  return e;
+}
+
+}  // namespace ep::model

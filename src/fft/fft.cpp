@@ -1,0 +1,142 @@
+#include "fft/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+
+namespace ep::fft {
+
+namespace {
+
+void bitReversePermute(std::span<Complex> data) {
+  const std::size_t n = data.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+}
+
+}  // namespace
+
+void fftRadix2(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  EP_REQUIRE(isPowerOfTwo(n), "radix-2 FFT needs a power-of-two size");
+  if (n == 1) return;
+  bitReversePermute(data);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const Complex wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+void fftBluestein(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  EP_REQUIRE(n >= 1, "empty FFT");
+  if (n == 1) return;
+  if (isPowerOfTwo(n)) {
+    fftRadix2(data, inverse);
+    return;
+  }
+  // Chirp-z: x_k * a_k convolved with b, where a_k = e^{-i pi k^2 / n}
+  // (sign flipped for the inverse transform).
+  const std::size_t m = nextPowerOfTwo(2 * n + 1);
+  const double sign = inverse ? 1.0 : -1.0;
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n avoids precision loss for large k.
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double angle = sign * std::numbers::pi * k2 / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(angle), std::sin(angle));
+  }
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = data[k] * chirp[k];
+    b[k] = std::conj(chirp[k]);
+  }
+  for (std::size_t k = 1; k < n; ++k) {
+    b[m - k] = b[k];  // symmetric wrap for circular convolution
+  }
+  fftRadix2(a, false);
+  fftRadix2(b, false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fftRadix2(a, true);
+  const double scale = 1.0 / static_cast<double>(m);
+  for (std::size_t k = 0; k < n; ++k) {
+    data[k] = a[k] * scale * chirp[k];
+  }
+}
+
+void fft(std::span<Complex> data, bool inverse) {
+  if (isPowerOfTwo(data.size())) {
+    fftRadix2(data, inverse);
+  } else {
+    fftBluestein(data, inverse);
+  }
+}
+
+void ifftNormalized(std::span<Complex> data) {
+  fft(data, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& x : data) x *= scale;
+}
+
+namespace {
+
+void transpose(std::size_t n, std::span<Complex> data) {
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      std::swap(data[i * n + j], data[j * n + i]);
+    }
+  }
+}
+
+void fftRows(std::size_t n, std::span<Complex> data, ThreadPool* pool,
+             bool inverse) {
+  if (pool != nullptr) {
+    pool->parallelFor(0, n, [&](std::size_t row) {
+      fft(data.subspan(row * n, n), inverse);
+    });
+  } else {
+    for (std::size_t row = 0; row < n; ++row) {
+      fft(data.subspan(row * n, n), inverse);
+    }
+  }
+}
+
+}  // namespace
+
+void fft2d(std::size_t n, std::span<Complex> data, ThreadPool* pool,
+           bool inverse) {
+  EP_REQUIRE(data.size() == n * n, "2D FFT needs an n x n matrix");
+  EP_REQUIRE(n >= 1, "empty 2D FFT");
+  fftRows(n, data, pool, inverse);
+  transpose(n, data);
+  fftRows(n, data, pool, inverse);
+  transpose(n, data);
+}
+
+double fftWork(std::size_t n) {
+  EP_REQUIRE(n >= 2, "work metric needs n >= 2");
+  const double dn = static_cast<double>(n);
+  return 5.0 * dn * dn * std::log2(dn);  // paper: W = 5 N^2 log2 N
+}
+
+}  // namespace ep::fft

@@ -1,0 +1,45 @@
+// Fast Fourier transforms.
+//
+// The Fig 1 application computes the 2D discrete Fourier transform of an
+// N x N complex signal for arbitrary N (the paper sweeps N from 125 to
+// 44000, most of them not powers of two).  We provide:
+//   * fftRadix2   — iterative in-place Cooley-Tukey for power-of-two n,
+//   * fftBluestein — chirp-z fallback for arbitrary n,
+//   * fft/ifft    — dispatch on size,
+//   * fft2d       — row-column 2D transform, rows parallelized over a
+//                   thread pool (the paper's load-balanced design: rows
+//                   split equally, no inter-thread communication).
+#pragma once
+
+#include <complex>
+#include <span>
+
+#include "common/thread_pool.hpp"
+
+namespace ep::fft {
+
+using Complex = std::complex<double>;
+
+// In-place FFT for power-of-two sizes.  inverse applies the conjugate
+// transform WITHOUT the 1/n scale (caller normalizes; matches FFTW/MKL
+// convention).
+void fftRadix2(std::span<Complex> data, bool inverse);
+
+// Arbitrary-size FFT via Bluestein's chirp-z algorithm (same scaling
+// convention).
+void fftBluestein(std::span<Complex> data, bool inverse);
+
+// Dispatch: radix-2 when the size is a power of two, Bluestein otherwise.
+void fft(std::span<Complex> data, bool inverse = false);
+void ifftNormalized(std::span<Complex> data);  // inverse including 1/n
+
+// 2D FFT of an n x n row-major matrix: FFT of every row, transpose,
+// FFT of every (former) column, transpose back.  pool == nullptr runs
+// sequentially.
+void fft2d(std::size_t n, std::span<Complex> data, ThreadPool* pool = nullptr,
+           bool inverse = false);
+
+// The paper's work metric for the N x N 2D FFT: W = 5 N^2 log2 N.
+[[nodiscard]] double fftWork(std::size_t n);
+
+}  // namespace ep::fft

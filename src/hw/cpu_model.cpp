@@ -1,0 +1,245 @@
+#include "hw/cpu_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::hw {
+
+namespace {
+
+// --- DGEMM response constants (Haswell-class node) ---
+// Peak-fraction of a single core's FP64 pipe each BLAS reaches.
+constexpr double kMklEfficiency = 0.90;
+constexpr double kOpenBlasEfficiency = 0.82;
+// Effective bytes of DRAM traffic per flop (post-blocking).
+constexpr double kMklBytesPerFlop = 0.13;
+constexpr double kOpenBlasBytesPerFlop = 0.16;
+// Fraction of solo throughput each SMT sibling sustains when a physical
+// core runs two threads (shared ports/L1).
+constexpr double kSmtShare = 0.62;
+// Effective streaming bandwidth of the node (fraction of datasheet peak).
+constexpr double kStreamEfficiency = 0.80;
+// Remote-socket traffic fraction when the shared B matrix is streamed
+// across sockets (Horizontal partitioning only).
+constexpr double kRemoteTrafficFraction = 0.25;
+constexpr double kRemoteBandwidthLoss = 0.10;
+
+// --- power constants (dynamic, above node idle) ---
+constexpr double kCorePowerFull = 4.0;     // W per fully-busy physical core
+constexpr double kSmtExtraPower = 1.2;     // W extra when both siblings busy
+constexpr double kUncorePerSocket = 11.0;  // W, L3 + ring when socket active
+constexpr double kDramPowerFull = 14.0;    // W at full memory bandwidth
+constexpr double kQpiPowerFull = 8.0;      // W at full remote fraction
+// dTLB page-walk power: the energy-expensive activity of [8].  Walk rate
+// scales with throughput and with the number of threadgroups separately
+// streaming the shared B matrix.
+constexpr double kTlbPowerBase = 2.0;        // W at 700 GF, one group
+constexpr double kTlbGroupFactor = 2.2;      // growth across 12 groups
+constexpr double kTlbWalksPerFlop = 2.0e-5;  // walk rate scale
+
+}  // namespace
+
+CpuModel::CpuModel(CpuSpec spec) : spec_(std::move(spec)) {
+  EP_REQUIRE(spec_.sockets >= 1 && spec_.coresPerSocket >= 1,
+             "malformed CPU spec");
+}
+
+bool CpuModel::isRunnable(const CpuDgemmConfig& cfg) const {
+  if (cfg.n < 1 || cfg.threadgroups < 1 || cfg.threadsPerGroup < 1) {
+    return false;
+  }
+  if (cfg.totalThreads() > spec_.logicalCores()) return false;
+  const double bytes = 3.0 * 8.0 * static_cast<double>(cfg.n) * cfg.n;
+  return bytes <=
+         static_cast<double>(spec_.memoryGB) * 1024.0 * 1024.0 * 1024.0;
+}
+
+CpuRunModel CpuModel::modelDgemm(const CpuDgemmConfig& cfg) const {
+  EP_REQUIRE(isRunnable(cfg), "configuration does not fit the machine");
+  const int physical = spec_.physicalCores();
+  const int logical = spec_.logicalCores();
+  const int m = cfg.totalThreads();
+
+  const double variantEff = cfg.variant == BlasVariant::IntelMklLike
+                                ? kMklEfficiency
+                                : kOpenBlasEfficiency;
+  const double bytesPerFlop = cfg.variant == BlasVariant::IntelMklLike
+                                  ? kMklBytesPerFlop
+                                  : kOpenBlasBytesPerFlop;
+  const double corePeak =
+      spec_.peakGflops / static_cast<double>(physical);  // GF per core
+
+  // Thread placement: scatter over physical cores first (cores 0..23),
+  // then SMT siblings (logical 24..47) — the standard affinity for
+  // load-balanced HPC runs.
+  std::vector<int> threadsOnCore(physical, 0);
+  for (int i = 0; i < m; ++i) threadsOnCore[i % physical] += 1;
+
+  // Raw (pre-bandwidth) throughput per physical core.
+  std::vector<double> coreRate(physical, 0.0);
+  for (int c = 0; c < physical; ++c) {
+    if (threadsOnCore[c] == 1) {
+      coreRate[c] = corePeak * variantEff;
+    } else if (threadsOnCore[c] >= 2) {
+      coreRate[c] = corePeak * variantEff * kSmtShare * threadsOnCore[c];
+    }
+  }
+  double rawGflops = 0.0;
+  for (double r : coreRate) rawGflops += r;
+
+  // Socket activity & cross-socket B traffic.
+  const int perSocket = spec_.coresPerSocket;
+  bool socketActive[2] = {false, false};
+  for (int c = 0; c < physical; ++c) {
+    if (threadsOnCore[c] > 0) socketActive[c / perSocket] = true;
+  }
+  const bool spansSockets = socketActive[0] && socketActive[1];
+  const bool sharesB = cfg.partition == PartitionScheme::Horizontal;
+  const double remoteFraction =
+      (spansSockets && sharesB) ? kRemoteTrafficFraction : 0.0;
+
+  // Bandwidth roofline.
+  double nodeBandwidth = spec_.memBandwidthGBs * kStreamEfficiency;
+  if (!spansSockets) nodeBandwidth *= 0.5;  // one memory domain only
+  nodeBandwidth *= 1.0 - kRemoteBandwidthLoss * remoteFraction /
+                             kRemoteTrafficFraction *
+                             (remoteFraction > 0.0 ? 1.0 : 0.0);
+  const double demandGBs = rawGflops * bytesPerFlop;
+  const double throttle =
+      demandGBs > nodeBandwidth ? nodeBandwidth / demandGBs : 1.0;
+  const double gflops = rawGflops * throttle;
+  const double achievedBandwidth = demandGBs * throttle;
+
+  // Execution time of the 2 N^3 flop product.
+  const double flops = 2.0 * std::pow(static_cast<double>(cfg.n), 3.0);
+  const double timeSec = flops / (gflops * 1e9);
+
+  // Per-logical-core utilization as /proc/stat reports it: compute and
+  // memory-stall cycles are both "busy"; small involuntary-scheduling
+  // losses appear when the memory system saturates, and SMT pairs lose a
+  // little to sibling arbitration.
+  CpuRunModel out;
+  out.coreUtilization.assign(logical, 0.0);
+  for (int i = 0; i < m; ++i) {
+    const int phys = i % physical;
+    const int logicalIdx = i < physical ? phys : physical + phys;
+    double u = 1.0;
+    if (throttle < 1.0) u -= 0.02 * (1.0 - throttle);
+    if (threadsOnCore[phys] >= 2) u -= 0.015;
+    if (remoteFraction > 0.0) u -= 0.01;
+    out.coreUtilization[logicalIdx] = std::max(0.0, u);
+  }
+  double sumU = 0.0;
+  for (double u : out.coreUtilization) sumU += u;
+  out.avgUtilization = sumU / static_cast<double>(logical);
+
+  // --- dynamic power ---
+  double power = 0.0;
+  for (int c = 0; c < physical; ++c) {
+    if (threadsOnCore[c] == 0) continue;
+    const double u0 = out.coreUtilization[c];
+    const double u1 = out.coreUtilization[physical + c];
+    power += kCorePowerFull * std::max(u0, u1);
+    if (threadsOnCore[c] >= 2) power += kSmtExtraPower * u1;
+  }
+  power += kUncorePerSocket * ((socketActive[0] ? 1 : 0) +
+                               (socketActive[1] ? 1 : 0));
+  power += kDramPowerFull * achievedBandwidth / spec_.memBandwidthGBs;
+  power += kQpiPowerFull * remoteFraction / kRemoteTrafficFraction *
+           (remoteFraction > 0.0 ? 1.0 : 0.0);
+  const double groupPressure =
+      1.0 + kTlbGroupFactor *
+                (static_cast<double>(cfg.threadgroups) - 1.0) /
+                (static_cast<double>(spec_.coresPerSocket) - 1.0);
+  const double tlbPower = kTlbPowerBase * (gflops / 700.0) * groupPressure;
+  power += tlbPower;
+
+  out.time = Seconds{timeSec};
+  out.gflops = gflops;
+  out.dynamicPower = Watts{power};
+  out.memBandwidthGBs = achievedBandwidth;
+  out.tlbWalksPerSec = gflops * 1e9 * kTlbWalksPerFlop * groupPressure;
+  return out;
+}
+
+CpuRunModel CpuModel::modelFft2d(int n) const {
+  EP_REQUIRE(n >= 2, "FFT size must be >= 2");
+  const double dn = static_cast<double>(n);
+  const double work = 5.0 * dn * dn * std::log2(dn);  // paper: W
+
+  // Radix decomposition of MKL-FFT-like plans.
+  double radixPenalty = 1.0;
+  {
+    int m = n;
+    for (int p : {2, 3, 5, 7, 11, 13}) {
+      bool used = false;
+      while (m % p == 0) {
+        m /= p;
+        used = true;
+      }
+      if (p > 2 && used) radixPenalty += 0.05;
+    }
+    if (m > 1) radixPenalty += 1.5;  // Bluestein fallback
+  }
+
+  // Cache/TLB regimes of the row-column algorithm: the column pass
+  // strides by 16 N bytes, so once the matrix exceeds L3 the pass pays
+  // DRAM latency, and once a column's pages exceed dTLB reach every
+  // element access needs a page walk.
+  const double matrixBytes = 16.0 * dn * dn;
+  const double l3Bytes = static_cast<double>(spec_.l3KB) * 1024.0 *
+                         spec_.sockets;
+  const double computeRate =
+      spec_.peakGflops * 0.12 / radixPenalty;  // FFTs: shuffle-heavy
+  double effectiveRate = computeRate;
+  double tlbFactor = 1.0;
+  if (matrixBytes > l3Bytes) {
+    // Memory-bound regime: the row+column passes move ~8 x 16 bytes per
+    // matrix point while the work metric assigns 5 log2(N) flops to it,
+    // so the bandwidth-limited "work rate" is BW / bytesPerUnitWork.
+    const double bytesPerUnitWork = 8.0 * 16.0 / (5.0 * std::log2(dn));
+    const double bwRate =
+        spec_.memBandwidthGBs * kStreamEfficiency / bytesPerUnitWork;
+    effectiveRate = std::min(computeRate, bwRate);
+  }
+  // dTLB reach on Haswell: 64 entries x 4 KiB per core for 4K pages.
+  const double dtlbReachBytes = 64.0 * 4096.0;
+  if (16.0 * dn > dtlbReachBytes / 16.0) {
+    // Column working set (one row of pages per element) exceeds reach.
+    tlbFactor = 1.0 + 0.35 * std::min(
+                          1.0, std::log2(16.0 * dn * 16.0 /
+                                         dtlbReachBytes) /
+                                   4.0);
+  }
+  effectiveRate /= tlbFactor;
+
+  const double timeSec = work / (effectiveRate * 1e9);
+
+  CpuRunModel out;
+  out.time = Seconds{timeSec};
+  out.gflops = work / timeSec / 1e9;
+  out.coreUtilization.assign(spec_.logicalCores(), 0.0);
+  for (int c = 0; c < spec_.physicalCores(); ++c) {
+    out.coreUtilization[c] = 0.98;
+  }
+  out.avgUtilization = 0.98 * spec_.physicalCores() /
+                       static_cast<double>(spec_.logicalCores());
+
+  const double bwFraction =
+      matrixBytes > l3Bytes
+          ? std::min(1.0, (effectiveRate / computeRate) + 0.4)
+          : 0.15;
+  double power = kCorePowerFull * 0.9 * spec_.physicalCores();
+  power += kUncorePerSocket * spec_.sockets;
+  power += kDramPowerFull * bwFraction;
+  power += kTlbPowerBase * 4.0 * (tlbFactor - 1.0) / 0.35;
+  out.dynamicPower = Watts{power};
+  out.memBandwidthGBs = spec_.memBandwidthGBs * kStreamEfficiency *
+                        bwFraction;
+  out.tlbWalksPerSec = (tlbFactor - 1.0) * 1e8;
+  return out;
+}
+
+}  // namespace ep::hw

@@ -1,0 +1,78 @@
+// Analytic performance + power model of the dual-socket Haswell node
+// executing the paper's load-balanced parallel applications.
+//
+// The model's purpose is Section III: it produces, for every application
+// configuration (partitioning scheme, number of threadgroups, threads
+// per group), the per-logical-core utilization vector, execution time,
+// and dynamic power.  Power is built from per-core simple-EP terms plus
+// the shared-resource terms that break weak EP on real multicores:
+// SMT port sharing, per-socket uncore power, DRAM power proportional to
+// achieved bandwidth, cross-socket (QPI) traffic for configurations that
+// share the B matrix across sockets, and the disproportionately
+// expensive dTLB page-walk activity identified by Khokhriakov et al. [8].
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::hw {
+
+enum class BlasVariant {
+  IntelMklLike,   // tighter blocking: lower bytes/flop, higher peak fraction
+  OpenBlasLike,
+};
+
+enum class PartitionScheme {
+  Horizontal,  // Fig 3: A and C split in row panels, B shared
+  Square,      // 2-D block decomposition: B also partitioned
+};
+
+struct CpuDgemmConfig {
+  int n = 0;
+  BlasVariant variant = BlasVariant::IntelMklLike;
+  PartitionScheme partition = PartitionScheme::Horizontal;
+  int threadgroups = 1;     // p
+  int threadsPerGroup = 1;  // t
+  [[nodiscard]] int totalThreads() const {
+    return threadgroups * threadsPerGroup;
+  }
+};
+
+struct CpuRunModel {
+  Seconds time{0.0};
+  Watts dynamicPower{0.0};
+  double gflops = 0.0;
+  // Utilization of each of the 48 logical cores in [0,1] as /proc/stat
+  // would report it (busy fraction of wall time).
+  std::vector<double> coreUtilization;
+  double avgUtilization = 0.0;  // mean over ALL logical cores
+  // Model internals exposed for analysis benches.
+  double memBandwidthGBs = 0.0;
+  double tlbWalksPerSec = 0.0;
+  [[nodiscard]] Joules dynamicEnergy() const { return dynamicPower * time; }
+};
+
+class CpuModel {
+ public:
+  explicit CpuModel(CpuSpec spec);
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+
+  // True iff the configuration fits the machine (p*t <= logical cores)
+  // and the three matrices fit in memory.
+  [[nodiscard]] bool isRunnable(const CpuDgemmConfig& cfg) const;
+
+  // Model the Fig 3 parallel DGEMM application under `cfg`.
+  [[nodiscard]] CpuRunModel modelDgemm(const CpuDgemmConfig& cfg) const;
+
+  // Model the Fig 1 multithreaded 2D-FFT application (MKL-FFT-like),
+  // one thread per physical core.
+  [[nodiscard]] CpuRunModel modelFft2d(int n) const;
+
+ private:
+  CpuSpec spec_;
+};
+
+}  // namespace ep::hw

@@ -1,0 +1,142 @@
+// Analytic performance + power model of a CUDA GPU executing the paper's
+// blocked matrix-multiplication kernel (Fig 5).
+//
+// The model implements the first-order mechanisms through which the
+// paper's decision variables (BS, G, R) act on real silicon:
+//
+//   * occupancy:     blocks/SM limited by thread slots, shared memory and
+//                    block slots; BS^2 threads and 2*8*BS^2 bytes of
+//                    shared memory per block,
+//   * warp quantization: BS^2 threads fill ceil(BS^2/32) warps,
+//   * tile quantization: ceil(N/BS) tiles pad the computed volume,
+//   * roofline:      compute time vs global-memory time, where global
+//                    traffic is 16*N^3/BS bytes (each A/B element is
+//                    loaded N/BS times thanks to shared-memory blocking),
+//   * coalescing:    sub-32-byte row segments waste DRAM sectors for
+//                    small BS,
+//   * icache pressure: G textual repetitions of the device function grow
+//                    the instruction footprint (G >= 4 starts missing),
+//   * autoboost (P100): high-activity kernels raise the core clock; power
+//                    rises superlinearly with the boost ratio, which is
+//                    what breaks weak EP at the top of the configuration
+//                    space on the P100,
+//   * uncore component: a constant 58 W consumer active during kernels
+//                    with N <= additivityThresholdN and for a short tail
+//                    after them (the Fig 6 non-additivity).
+//
+// Energy decomposes into work-proportional terms (flops, bytes) plus
+// residency terms (occupancy x time) plus constant-power terms — the
+// combination violates weak EP exactly the way Section V observes.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::hw {
+
+// Decision variables of the Fig 5 application for one workload.
+struct MatMulConfig {
+  int n = 0;   // matrix dimension
+  int bs = 0;  // per-block shared-memory dimension, 1..32
+  int g = 1;   // group size: device matmul codes textually repeated
+  int r = 1;   // number of runs of a group
+  [[nodiscard]] int totalProducts() const { return g * r; }
+};
+
+struct Occupancy {
+  int blocksPerSm = 0;
+  int threadsPerSm = 0;
+  double fraction = 0.0;  // threadsPerSm / maxThreadsPerSM
+  // Which limit bound the occupancy ("threads", "shared", "blocks").
+  const char* limitedBy = "";
+};
+
+// Everything the experiment layer needs to know about one kernel launch.
+struct KernelModel {
+  Seconds time{0.0};          // kernel execution time (all G*R products)
+  Watts corePower{0.0};       // SM + memory-system dynamic power (above idle)
+  double boostRatio = 1.0;    // applied clock boost (1.0 on fixed clocks)
+  bool uncoreActive = false;  // 58 W component engaged
+  Watts uncorePower{0.0};
+  Seconds uncoreTail{0.0};    // post-kernel tail of the uncore component
+  Occupancy occupancy;
+  double achievedGflops = 0.0;
+  double achievedBandwidthGBs = 0.0;
+  // Ground-truth event counts for the CUPTI simulation (per launch).
+  std::uint64_t flopCount = 0;
+  std::uint64_t dramBytes = 0;
+  std::uint64_t sharedLoadStore = 0;
+  std::uint64_t globalLoadTransactions = 0;
+
+  // Average dynamic power over the kernel window (core + uncore).
+  [[nodiscard]] Watts dynamicPower() const {
+    return corePower + (uncoreActive ? uncorePower : Watts{0.0});
+  }
+  // Dynamic energy a perfect (noise-free) wall meter would attribute to
+  // the launch, including the uncore tail.
+  [[nodiscard]] Joules dynamicEnergy() const;
+};
+
+// Tunable architecture-response constants.  Defaults are produced per
+// GPU by GpuModel; exposed so ablation benches can switch mechanisms off.
+struct GpuTuning {
+  double kernelPeakFraction = 0.72;  // best-case fraction of FP64 peak
+  double occScaleCompute = 0.22;     // latency-hiding saturation (compute)
+  double occScaleMemory = 0.08;      // latency-hiding saturation (memory)
+  double icachePenaltyPerLevel = 0.02;  // issue-eff loss per log2(G) >= 2
+  double gLinearPenalty = 0.004;     // small issue-eff loss per extra repeat
+  double runWarmupFraction = 0.008;  // cold-cache warm-up per run (of one
+                                     // product's time)
+  double smEnergyPerGflop = 0.0;     // J per Gflop of SM work (set per GPU)
+  double memEnergyPerGB = 0.0;       // J per GB of DRAM traffic
+  double residencyPower = 0.0;       // W at full occupancy (scheduler/RF)
+  double fetchPowerPerLevel = 0.0;   // W per log2(G) >= 2 (icache refills)
+  double constantActivePower = 0.0;  // W whenever any kernel is resident
+  // Autoboost response (only used when spec.hasAutoBoost): the governor
+  // maps the residency pattern to a clock bin; few large blocks sustain
+  // the utilization signal (top bin), medium counts settle mid-bin,
+  // many small blocks stay at base clock.
+  double midBinBoostFraction = 0.40;  // mid bin = 1 + fraction*(full-1)
+  double boostPowerExponent = 4.0;   // P ~ beta^exponent (f*V^2 with V~f^1.5)
+  // Fraction of datasheet DRAM bandwidth this access pattern sustains.
+  double bandwidthEfficiency = 0.80;
+  // Post-kernel decay of the uncore component (seconds); negative means
+  // "use the spec's value".  The wall-meter measurement window includes
+  // this tail (HCLWattsUp waits for power to settle).
+  double uncoreTailSec = -1.0;
+};
+
+class GpuModel {
+ public:
+  explicit GpuModel(GpuSpec spec);
+  GpuModel(GpuSpec spec, GpuTuning tuning);
+
+  [[nodiscard]] const GpuSpec& spec() const { return spec_; }
+  [[nodiscard]] const GpuTuning& tuning() const { return tuning_; }
+
+  // Occupancy for a block of bs x bs threads with 2*8*bs^2 bytes of
+  // shared memory.  Throws ResourceError for invalid block shapes.
+  [[nodiscard]] Occupancy occupancyFor(int bs) const;
+
+  // True iff the configuration can launch at all (block limits + device
+  // memory for the three N x N matrices).
+  [[nodiscard]] bool isLaunchable(const MatMulConfig& cfg) const;
+
+  // Model one kernel launch computing cfg.g * cfg.r matrix products.
+  // Throws ResourceError if !isLaunchable(cfg).
+  [[nodiscard]] KernelModel modelMatMul(const MatMulConfig& cfg) const;
+
+  // Model of the 2D-FFT application of Fig 1 (CUFFT-like): returns the
+  // kernel model for one forward 2D FFT of an N x N complex signal.
+  [[nodiscard]] KernelModel modelFft2d(int n) const;
+
+ private:
+  [[nodiscard]] static GpuTuning defaultTuning(const GpuSpec& spec);
+
+  GpuSpec spec_;
+  GpuTuning tuning_;
+};
+
+}  // namespace ep::hw

@@ -1,0 +1,75 @@
+#include "hw/spec.hpp"
+
+namespace ep::hw {
+
+CpuSpec haswellE52670v3() {
+  CpuSpec s;
+  s.name = "Intel Haswell E5-2670 v3";
+  s.coresPerSocket = 12;      // paper: Table I
+  s.sockets = 2;              // paper: Table I
+  s.smtWaysPerCore = 2;       // paper: hyperthreading enabled (Section III)
+  s.clockMHz = 2300.0;        // nominal; Table I lists the governor's 1200.402
+  s.l1dKB = 32;               // paper: Table I
+  s.l1iKB = 32;               // paper: Table I
+  s.l2KB = 256;               // paper: Table I
+  s.l3KB = 30720;             // paper: Table I
+  s.memoryGB = 64;            // paper: Table I
+  s.memBandwidthGBs = 136.0;  // 4-ch DDR4-2133 x 2 sockets (datasheet)
+  s.tdpPerSocket = Watts{120.0};
+  s.nodeIdlePower = Watts{90.0};
+  // 12 cores x 2 sockets x 16 DP flops/cycle (AVX2 FMA) x 2.3 GHz.
+  s.peakGflops = 883.0;
+  return s;
+}
+
+GpuSpec nvidiaK40c() {
+  GpuSpec s;
+  s.name = "Nvidia K40c";
+  s.cudaCores = 2880;         // paper: Table I
+  s.baseClockMHz = 745.0;     // paper: Table I
+  s.boostClockMHz = 745.0;    // default application clocks: no autoboost
+  s.smCount = 15;             // GK110B: 15 SMX x 192 cores
+  s.memoryGB = 12;            // paper: Table I
+  s.l2KB = 1536;              // paper: Table I
+  s.tdp = Watts{235.0};       // paper: Table I
+  s.boardIdlePower = Watts{25.0};
+  s.memBandwidthGBs = 288.0;  // GDDR5 datasheet
+  s.peakGflopsDouble = 1430.0;  // 960 FP64 units x 745 MHz x 2
+  s.maxThreadsPerBlock = 1024;
+  s.maxThreadsPerSM = 2048;
+  s.maxBlocksPerSM = 16;
+  s.sharedMemPerBlockKB = 48;
+  s.sharedMemPerSMKB = 48;
+  s.uncorePower = Watts{58.0};       // paper: Section V-A (Fig 6)
+  s.uncoreTail = Seconds{0.9};
+  s.additivityThresholdN = 10240;    // paper: Section V-A
+  s.hasAutoBoost = false;
+  return s;
+}
+
+GpuSpec nvidiaP100Pcie() {
+  GpuSpec s;
+  s.name = "Nvidia P100 PCIe";
+  s.cudaCores = 3584;          // paper: Table I
+  s.baseClockMHz = 1126.0;     // GP100 PCIe base clock (datasheet)
+  s.boostClockMHz = 1328.0;    // paper: Table I lists the boost clock
+  s.smCount = 56;              // GP100: 56 SMs x 64 cores
+  s.memoryGB = 12;             // paper: Table I (12 GB CoWoS HBM2)
+  s.l2KB = 4096;               // paper: Table I
+  s.tdp = Watts{250.0};        // paper: Table I
+  s.boardIdlePower = Watts{30.0};
+  s.memBandwidthGBs = 549.0;   // 12 GB PCIe variant datasheet
+  s.peakGflopsDouble = 4036.0;  // 1792 FP64 units x 1126 MHz x 2
+  s.maxThreadsPerBlock = 1024;
+  s.maxThreadsPerSM = 2048;
+  s.maxBlocksPerSM = 32;
+  s.sharedMemPerBlockKB = 48;
+  s.sharedMemPerSMKB = 64;
+  s.uncorePower = Watts{58.0};       // paper: Section V-A (Fig 6)
+  s.uncoreTail = Seconds{0.9};
+  s.additivityThresholdN = 15360;    // paper: Section V-A
+  s.hasAutoBoost = true;
+  return s;
+}
+
+}  // namespace ep::hw

@@ -1,0 +1,79 @@
+// Processor specifications (the paper's Table I) plus the additional
+// architectural constants the performance/power models need.  Constants
+// marked "paper:" are taken from the paper's text; the rest are public
+// vendor datasheet values for the same silicon.
+#pragma once
+
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ep::hw {
+
+struct CpuSpec {
+  std::string name;
+  int coresPerSocket = 0;
+  int sockets = 0;
+  int smtWaysPerCore = 1;  // hyperthreading
+  double clockMHz = 0.0;
+  int l1dKB = 0;
+  int l1iKB = 0;
+  int l2KB = 0;
+  int l3KB = 0;          // per socket
+  int memoryGB = 0;
+  double memBandwidthGBs = 0.0;  // node peak
+  Watts tdpPerSocket{0.0};
+  Watts nodeIdlePower{0.0};
+  // Peak double-precision GFLOP/s of the whole node (all cores, AVX FMA).
+  double peakGflops = 0.0;
+
+  [[nodiscard]] int physicalCores() const { return coresPerSocket * sockets; }
+  [[nodiscard]] int logicalCores() const {
+    return physicalCores() * smtWaysPerCore;
+  }
+};
+
+struct GpuSpec {
+  std::string name;
+  int cudaCores = 0;
+  double baseClockMHz = 0.0;
+  double boostClockMHz = 0.0;  // == base for GPUs without autoboost
+  int smCount = 0;
+  int memoryGB = 0;
+  int l2KB = 0;
+  Watts tdp{0.0};
+  Watts boardIdlePower{0.0};
+  double memBandwidthGBs = 0.0;
+  double peakGflopsDouble = 0.0;  // FP64 peak at base clock
+  // CUDA execution limits.
+  int maxThreadsPerBlock = 0;
+  int maxThreadsPerSM = 0;
+  int maxBlocksPerSM = 0;
+  int sharedMemPerBlockKB = 0;
+  int sharedMemPerSMKB = 0;
+  int warpSize = 32;
+  // Energy-nonproportionality behaviour observed in the paper (Fig 6):
+  // an uncore component draws `uncorePower` during a kernel launch and
+  // for `uncoreTail` afterwards whenever N <= additivityThresholdN.
+  Watts uncorePower{0.0};        // paper: 58 W
+  Seconds uncoreTail{0.0};
+  int additivityThresholdN = 0;  // paper: 15360 (P100), 10240 (K40c)
+  // Whether the part runs autoboost (P100) or fixed application clocks
+  // (K40c default) — drives the weak-EP difference between the two GPUs.
+  bool hasAutoBoost = false;
+
+  [[nodiscard]] double clockRatioBoost() const {
+    return boostClockMHz / baseClockMHz;
+  }
+};
+
+// Table I: Intel Haswell E5-2670 v3, dual socket.
+[[nodiscard]] CpuSpec haswellE52670v3();
+
+// Table I: Nvidia K40c.
+[[nodiscard]] GpuSpec nvidiaK40c();
+
+// Table I: Nvidia P100 PCIe.
+[[nodiscard]] GpuSpec nvidiaP100Pcie();
+
+}  // namespace ep::hw

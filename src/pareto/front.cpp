@@ -1,0 +1,162 @@
+#include "pareto/front.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace ep::pareto {
+
+namespace {
+
+// Sort by time ascending; ties broken by energy ascending, then configId
+// for determinism.
+void sortByTime(std::vector<BiPoint>& pts) {
+  std::sort(pts.begin(), pts.end(), [](const BiPoint& a, const BiPoint& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.energy != b.energy) return a.energy < b.energy;
+    return a.configId < b.configId;
+  });
+}
+
+}  // namespace
+
+std::vector<BiPoint> paretoFront(const std::vector<BiPoint>& points) {
+  std::vector<BiPoint> sorted = points;
+  sortByTime(sorted);
+  std::vector<BiPoint> front;
+  double bestEnergy = 0.0;
+  bool haveBest = false;
+  for (const auto& p : sorted) {
+    if (!haveBest || p.energy.value() < bestEnergy) {
+      front.push_back(p);
+      bestEnergy = p.energy.value();
+      haveBest = true;
+    } else if (p.energy.value() == bestEnergy) {
+      // Equal energy: non-dominated only if time also ties the last
+      // front member (sorted order guarantees time >= last).
+      if (p.time == front.back().time) front.push_back(p);
+    }
+  }
+  return front;
+}
+
+std::vector<std::vector<BiPoint>> nonDominatedSort(std::vector<BiPoint> points) {
+  std::vector<std::vector<BiPoint>> fronts;
+  while (!points.empty()) {
+    std::vector<BiPoint> front = paretoFront(points);
+    // Remove the front members from the pool by configId + objectives.
+    auto inFront = [&front](const BiPoint& p) {
+      return std::any_of(front.begin(), front.end(), [&p](const BiPoint& f) {
+        return f.configId == p.configId && f.time == p.time &&
+               f.energy == p.energy;
+      });
+    };
+    points.erase(std::remove_if(points.begin(), points.end(), inFront),
+                 points.end());
+    fronts.push_back(std::move(front));
+  }
+  return fronts;
+}
+
+std::vector<BiPoint> localFront(const std::vector<BiPoint>& points,
+                                std::size_t k) {
+  EP_REQUIRE(k >= 1, "front levels are 1-based");
+  const auto fronts = nonDominatedSort(points);
+  if (k > fronts.size()) return {};
+  return fronts[k - 1];
+}
+
+bool isValidFront(const std::vector<BiPoint>& front,
+                  const std::vector<BiPoint>& points) {
+  for (const auto& a : front) {
+    for (const auto& b : front) {
+      if (dominates(a, b)) return false;
+    }
+  }
+  for (const auto& p : points) {
+    for (const auto& f : front) {
+      if (dominates(p, f)) return false;
+    }
+  }
+  return true;
+}
+
+double hypervolume(const std::vector<BiPoint>& front,
+                   const BiPoint& reference) {
+  if (front.empty()) return 0.0;
+  std::vector<BiPoint> sorted = front;
+  sortByTime(sorted);
+  for (const auto& p : sorted) {
+    EP_REQUIRE(p.time <= reference.time && p.energy <= reference.energy,
+               "reference point must be weakly dominated by the front");
+  }
+  double area = 0.0;
+  double prevEnergy = reference.energy.value();
+  for (const auto& p : sorted) {
+    // Only strictly improving energies contribute (the front may contain
+    // duplicate-objective points).
+    if (p.energy.value() < prevEnergy) {
+      area += (reference.time.value() - p.time.value()) *
+              (prevEnergy - p.energy.value());
+      prevEnergy = p.energy.value();
+    }
+  }
+  return area;
+}
+
+std::vector<double> crowdingDistance(const std::vector<BiPoint>& front) {
+  const std::size_t n = front.size();
+  std::vector<double> d(n, 0.0);
+  if (n <= 2) {
+    std::fill(d.begin(), d.end(),
+              std::numeric_limits<double>::infinity());
+    return d;
+  }
+  // Front is expected time-sorted (paretoFront output); on a 2-D front
+  // sorting by one objective orders the other inversely, so a single
+  // pass covers both objectives.
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return front[a].time < front[b].time;
+  });
+  const double tSpan = std::max(front[order.back()].time.value() -
+                                    front[order.front()].time.value(),
+                                1e-300);
+  const double eSpan = std::max(front[order.front()].energy.value() -
+                                    front[order.back()].energy.value(),
+                                1e-300);
+  d[order.front()] = std::numeric_limits<double>::infinity();
+  d[order.back()] = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    const auto& prev = front[order[i - 1]];
+    const auto& next = front[order[i + 1]];
+    d[order[i]] = (next.time.value() - prev.time.value()) / tSpan +
+                  (prev.energy.value() - next.energy.value()) / eSpan;
+  }
+  return d;
+}
+
+std::vector<BiPoint> epsilonFront(const std::vector<BiPoint>& points,
+                                  double epsilon) {
+  EP_REQUIRE(epsilon >= 0.0, "epsilon must be non-negative");
+  const std::vector<BiPoint> front = paretoFront(points);
+  std::vector<BiPoint> thin;
+  for (const auto& p : front) {
+    const bool nearKept = std::any_of(
+        thin.begin(), thin.end(), [&](const BiPoint& k) {
+          const auto close = [epsilon](double a, double b) {
+            const double scale = std::max(std::abs(a), std::abs(b));
+            return scale == 0.0 || std::abs(a - b) <= epsilon * scale;
+          };
+          return close(k.time.value(), p.time.value()) &&
+                 close(k.energy.value(), p.energy.value());
+        });
+    if (!nearKept) thin.push_back(p);
+  }
+  return thin;
+}
+
+}  // namespace ep::pareto

@@ -1,0 +1,53 @@
+// Pareto front computation: the global front and the level-k ("local")
+// fronts the paper uses for the K40c, where the global front degenerates
+// to a single point but inner fronts still expose energy/performance
+// trade-offs (Section V-B).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace ep::pareto {
+
+// The non-dominated subset of `points`, sorted by ascending time.
+// Duplicate-objective points are all kept (they are mutually
+// non-dominating), so fronts are set-stable.
+[[nodiscard]] std::vector<BiPoint> paretoFront(
+    const std::vector<BiPoint>& points);
+
+// Non-dominated sorting: fronts[0] is the global front, fronts[1] the
+// front of what remains after removing fronts[0], and so on.  Every input
+// point appears in exactly one front.
+[[nodiscard]] std::vector<std::vector<BiPoint>> nonDominatedSort(
+    std::vector<BiPoint> points);
+
+// Level-k local front (k >= 1): nonDominatedSort(points)[k-1]; empty
+// vector if fewer than k fronts exist.
+[[nodiscard]] std::vector<BiPoint> localFront(
+    const std::vector<BiPoint>& points, std::size_t k);
+
+// True iff `front` is mutually non-dominating and no point of `points`
+// dominates any member.  Used by property tests.
+[[nodiscard]] bool isValidFront(const std::vector<BiPoint>& front,
+                                const std::vector<BiPoint>& points);
+
+// 2-D hypervolume (area dominated between the front and a reference
+// point that must be weakly dominated by every front member).
+[[nodiscard]] double hypervolume(const std::vector<BiPoint>& front,
+                                 const BiPoint& reference);
+
+// NSGA-II-style crowding distance per front member (aligned with the
+// time-sorted front order); boundary points get +infinity.  Used to
+// pick well-spread representative configurations from large fronts.
+[[nodiscard]] std::vector<double> crowdingDistance(
+    const std::vector<BiPoint>& front);
+
+// Epsilon-front: a thinned Pareto front where a point is kept only if
+// no already-kept point is within a relative `epsilon` in BOTH
+// objectives — collapses measurement-noise-level near-duplicates.
+[[nodiscard]] std::vector<BiPoint> epsilonFront(
+    const std::vector<BiPoint>& points, double epsilon);
+
+}  // namespace ep::pareto

@@ -1,0 +1,32 @@
+// Bi-objective points for the (execution time, dynamic energy) plane.
+//
+// Every experiment in the paper reduces application configurations to
+// points in this plane and asks which ones are Pareto-optimal when both
+// objectives are minimized.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/units.hpp"
+
+namespace ep::pareto {
+
+struct BiPoint {
+  Seconds time{0.0};
+  Joules energy{0.0};
+  // Opaque configuration identifier (index into the experiment's config
+  // list) and a human-readable label like "BS=24 G=2 R=4".
+  std::uint64_t configId = 0;
+  std::string label;
+};
+
+// Strict Pareto dominance for minimization in both objectives:
+// a dominates b iff a is <= in both and < in at least one.
+[[nodiscard]] inline bool dominates(const BiPoint& a, const BiPoint& b) {
+  const bool leq = a.time <= b.time && a.energy <= b.energy;
+  const bool lt = a.time < b.time || a.energy < b.energy;
+  return leq && lt;
+}
+
+}  // namespace ep::pareto

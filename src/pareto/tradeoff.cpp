@@ -1,0 +1,94 @@
+#include "pareto/tradeoff.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::pareto {
+
+namespace {
+
+const BiPoint& minTimePoint(const std::vector<BiPoint>& points) {
+  return *std::min_element(
+      points.begin(), points.end(), [](const BiPoint& a, const BiPoint& b) {
+        if (a.time != b.time) return a.time < b.time;
+        return a.energy < b.energy;
+      });
+}
+
+const BiPoint& minEnergyPoint(const std::vector<BiPoint>& points) {
+  return *std::min_element(
+      points.begin(), points.end(), [](const BiPoint& a, const BiPoint& b) {
+        if (a.energy != b.energy) return a.energy < b.energy;
+        return a.time < b.time;
+      });
+}
+
+}  // namespace
+
+Tradeoff analyzeTradeoff(const std::vector<BiPoint>& points) {
+  EP_REQUIRE(!points.empty(), "trade-off analysis needs points");
+  Tradeoff t;
+  t.performanceOptimal = minTimePoint(points);
+  t.energyOptimal = minEnergyPoint(points);
+  const double e0 = t.performanceOptimal.energy.value();
+  const double t0 = t.performanceOptimal.time.value();
+  EP_REQUIRE(e0 > 0.0 && t0 > 0.0, "objectives must be positive");
+  t.maxEnergySavings = (e0 - t.energyOptimal.energy.value()) / e0;
+  t.performanceDegradation = (t.energyOptimal.time.value() - t0) / t0;
+  return t;
+}
+
+std::optional<Tradeoff> savingsUnderBudget(const std::vector<BiPoint>& points,
+                                           double maxDegradation) {
+  EP_REQUIRE(!points.empty(), "trade-off analysis needs points");
+  EP_REQUIRE(maxDegradation >= 0.0, "degradation budget must be >= 0");
+  const BiPoint perfOpt = minTimePoint(points);
+  const double tLimit = perfOpt.time.value() * (1.0 + maxDegradation);
+  std::vector<BiPoint> admissible;
+  for (const auto& p : points) {
+    if (p.time.value() <= tLimit) admissible.push_back(p);
+  }
+  const BiPoint best = minEnergyPoint(admissible);
+  if (best.energy >= perfOpt.energy) return std::nullopt;
+  Tradeoff t;
+  t.performanceOptimal = perfOpt;
+  t.energyOptimal = best;
+  t.maxEnergySavings =
+      (perfOpt.energy.value() - best.energy.value()) / perfOpt.energy.value();
+  t.performanceDegradation =
+      (best.time.value() - perfOpt.time.value()) / perfOpt.time.value();
+  return t;
+}
+
+BiPoint kneePoint(const std::vector<BiPoint>& front) {
+  EP_REQUIRE(!front.empty(), "knee of empty front");
+  if (front.size() == 1) return front.front();
+  double tMin = front.front().time.value(), tMax = tMin;
+  double eMin = front.front().energy.value(), eMax = eMin;
+  for (const auto& p : front) {
+    tMin = std::min(tMin, p.time.value());
+    tMax = std::max(tMax, p.time.value());
+    eMin = std::min(eMin, p.energy.value());
+    eMax = std::max(eMax, p.energy.value());
+  }
+  const double tSpan = std::max(tMax - tMin, 1e-300);
+  const double eSpan = std::max(eMax - eMin, 1e-300);
+  const BiPoint* best = &front.front();
+  double bestScore = -1.0;
+  for (const auto& p : front) {
+    // Normalized distance from the worst corner in each objective.
+    const double gt = (tMax - p.time.value()) / tSpan;
+    const double ge = (eMax - p.energy.value()) / eSpan;
+    const double score = gt * ge;
+    if (score > bestScore ||
+        (score == bestScore && p.time < best->time)) {
+      bestScore = score;
+      best = &p;
+    }
+  }
+  return *best;
+}
+
+}  // namespace ep::pareto

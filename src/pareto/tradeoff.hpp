@@ -1,0 +1,41 @@
+// Trade-off analysis over a set of bi-objective points.
+//
+// The paper's headline numbers — "18 % dynamic energy savings while
+// tolerating a performance degradation of 7 % (K40c)" and "(50 %, 11 %)
+// (P100)" — are exactly the quantities computed here: energy savings are
+// relative to the energy of the performance-optimal configuration, and
+// performance degradation is relative to its execution time.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace ep::pareto {
+
+struct Tradeoff {
+  BiPoint performanceOptimal;
+  BiPoint energyOptimal;
+  // Fraction of dynamic energy saved by moving from the performance-
+  // optimal point to the energy-optimal point (0 when they coincide).
+  double maxEnergySavings = 0.0;
+  // Execution-time increase of the energy-optimal point relative to the
+  // performance-optimal point.
+  double performanceDegradation = 0.0;
+};
+
+// Analyze a non-empty point set.  Works on raw point clouds or fronts.
+[[nodiscard]] Tradeoff analyzeTradeoff(const std::vector<BiPoint>& points);
+
+// Best energy savings achievable while keeping execution time within
+// (1 + maxDegradation) of the performance optimum; nullopt if no point
+// beats the performance optimum's energy under that budget.
+[[nodiscard]] std::optional<Tradeoff> savingsUnderBudget(
+    const std::vector<BiPoint>& points, double maxDegradation);
+
+// Knee point: front member maximizing the product of normalized gains
+// (a balanced compromise); ties resolved toward lower time.
+[[nodiscard]] BiPoint kneePoint(const std::vector<BiPoint>& front);
+
+}  // namespace ep::pareto

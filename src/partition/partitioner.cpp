@@ -1,0 +1,155 @@
+#include "partition/partitioner.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::partition {
+
+namespace {
+
+struct Candidate {
+  Seconds time{0.0};
+  Joules energy{0.0};
+  std::vector<std::size_t> parts;
+};
+
+// Keep only Pareto-optimal candidates (minimize time and energy).
+// Candidates with identical objectives collapse to one representative,
+// keeping state sizes bounded.
+std::vector<Candidate> prune(std::vector<Candidate> cands) {
+  std::sort(cands.begin(), cands.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.time != b.time) return a.time < b.time;
+              return a.energy < b.energy;
+            });
+  std::vector<Candidate> front;
+  for (auto& c : cands) {
+    if (!front.empty() && front.back().time == c.time &&
+        front.back().energy == c.energy) {
+      continue;  // exact duplicate objectives
+    }
+    if (front.empty() || c.energy < front.back().energy) {
+      front.push_back(std::move(c));
+    }
+  }
+  return front;
+}
+
+}  // namespace
+
+std::string Distribution::describe(
+    const std::vector<DiscreteProfile>& profiles) const {
+  EP_REQUIRE(parts.size() == profiles.size(), "parts/profiles mismatch");
+  std::string s;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i) s += " + ";
+    s += profiles[i].name() + ":" + std::to_string(parts[i]);
+  }
+  return s;
+}
+
+WorkloadPartitioner::WorkloadPartitioner(
+    std::vector<DiscreteProfile> profiles)
+    : profiles_(std::move(profiles)) {
+  EP_REQUIRE(!profiles_.empty(), "need at least one processor profile");
+}
+
+std::vector<Distribution> WorkloadPartitioner::paretoDistributions(
+    std::size_t totalUnits) const {
+  std::size_t capacity = 0;
+  for (const auto& p : profiles_) capacity += p.maxUnits();
+  EP_REQUIRE(totalUnits >= 1, "workload must be positive");
+  EP_REQUIRE(totalUnits <= capacity,
+             "workload exceeds the combined profile capacity");
+
+  // DP over processors: state[u] = Pareto set of ways to place u units
+  // on the processors handled so far.
+  std::vector<std::vector<Candidate>> state(totalUnits + 1);
+  state[0].push_back(Candidate{});
+
+  for (std::size_t p = 0; p < profiles_.size(); ++p) {
+    const auto& prof = profiles_[p];
+    std::vector<std::vector<Candidate>> next(totalUnits + 1);
+    for (std::size_t placed = 0; placed <= totalUnits; ++placed) {
+      if (state[placed].empty()) continue;
+      const std::size_t maxHere =
+          std::min(prof.maxUnits(), totalUnits - placed);
+      for (std::size_t x = 0; x <= maxHere; ++x) {
+        const Seconds tx = prof.timeFor(x);
+        const Joules ex = prof.energyFor(x);
+        for (const auto& c : state[placed]) {
+          Candidate n;
+          n.time = std::max(c.time, tx);
+          n.energy = c.energy + ex;
+          n.parts = c.parts;
+          n.parts.push_back(x);
+          next[placed + x].push_back(std::move(n));
+        }
+      }
+    }
+    for (auto& cell : next) cell = prune(std::move(cell));
+    state = std::move(next);
+  }
+
+  std::vector<Distribution> out;
+  out.reserve(state[totalUnits].size());
+  for (auto& c : state[totalUnits]) {
+    Distribution d;
+    d.parts = std::move(c.parts);
+    d.time = c.time;
+    d.energy = c.energy;
+    out.push_back(std::move(d));
+  }
+  // prune() already sorted by ascending time with descending energy.
+  return out;
+}
+
+Distribution WorkloadPartitioner::fastest(std::size_t totalUnits) const {
+  const auto front = paretoDistributions(totalUnits);
+  EP_REQUIRE(!front.empty(), "no feasible distribution");
+  return front.front();
+}
+
+Distribution WorkloadPartitioner::mostEfficient(
+    std::size_t totalUnits) const {
+  const auto front = paretoDistributions(totalUnits);
+  EP_REQUIRE(!front.empty(), "no feasible distribution");
+  return front.back();
+}
+
+Distribution WorkloadPartitioner::balanced(std::size_t totalUnits) const {
+  std::size_t capacity = 0;
+  for (const auto& p : profiles_) capacity += p.maxUnits();
+  EP_REQUIRE(totalUnits >= 1 && totalUnits <= capacity,
+             "workload out of range");
+  // Even split with remainders to the leading processors, clamped to
+  // each profile's range; leftover spills to whoever still has room.
+  const std::size_t p = profiles_.size();
+  std::vector<std::size_t> parts(p, 0);
+  std::size_t remaining = totalUnits;
+  const std::size_t base = totalUnits / p;
+  const std::size_t rem = totalUnits % p;
+  for (std::size_t i = 0; i < p; ++i) {
+    parts[i] = std::min(profiles_[i].maxUnits(),
+                        base + (i < rem ? 1 : 0));
+    remaining -= parts[i];
+  }
+  for (std::size_t i = 0; i < p && remaining > 0; ++i) {
+    const std::size_t room = profiles_[i].maxUnits() - parts[i];
+    const std::size_t take = std::min(room, remaining);
+    parts[i] += take;
+    remaining -= take;
+  }
+  EP_REQUIRE(remaining == 0, "could not place the full workload");
+
+  Distribution d;
+  d.parts = parts;
+  for (std::size_t i = 0; i < p; ++i) {
+    d.time = std::max(d.time, profiles_[i].timeFor(parts[i]));
+    d.energy += profiles_[i].energyFor(parts[i]);
+  }
+  return d;
+}
+
+}  // namespace ep::partition

@@ -1,0 +1,62 @@
+// Bi-objective workload partitioning across (possibly heterogeneous)
+// processors: the exact dynamic-programming solution method in the
+// style of Reddy et al. [25], [26] / Khaleghzadeh et al. [12].
+//
+// Given p discrete profiles and a total workload of W units, enumerate
+// the Pareto-optimal distributions (x_1, ..., x_p), sum x_i = W, under
+// the parallel objectives
+//
+//   time(x)   = max_i time_i(x_i)     (processors run concurrently)
+//   energy(x) = sum_i energy_i(x_i)   (dynamic energies add)
+//
+// The solver runs a processor-by-processor DP whose state is the number
+// of units already distributed; each state carries the Pareto front of
+// (time, energy, parts) tuples, pruned after every step, which keeps
+// the computation exact while avoiding the exponential enumeration.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "partition/profile.hpp"
+
+namespace ep::partition {
+
+struct Distribution {
+  std::vector<std::size_t> parts;  // units per processor
+  Seconds time{0.0};               // max over processors
+  Joules energy{0.0};              // sum over processors
+  [[nodiscard]] std::string describe(
+      const std::vector<DiscreteProfile>& profiles) const;
+};
+
+class WorkloadPartitioner {
+ public:
+  explicit WorkloadPartitioner(std::vector<DiscreteProfile> profiles);
+
+  [[nodiscard]] const std::vector<DiscreteProfile>& profiles() const {
+    return profiles_;
+  }
+
+  // The Pareto-optimal distributions of `totalUnits`, sorted by
+  // ascending time.  Throws if the workload cannot be distributed
+  // (exceeds the sum of profile ranges).
+  [[nodiscard]] std::vector<Distribution> paretoDistributions(
+      std::size_t totalUnits) const;
+
+  // Convenience extremes of the front.
+  [[nodiscard]] Distribution fastest(std::size_t totalUnits) const;
+  [[nodiscard]] Distribution mostEfficient(std::size_t totalUnits) const;
+
+  // Baseline for comparison: the load-balanced distribution that simply
+  // splits the work as evenly as profile ranges allow (what a
+  // performance-only runtime would do on homogeneous processors).
+  [[nodiscard]] Distribution balanced(std::size_t totalUnits) const;
+
+ private:
+  std::vector<DiscreteProfile> profiles_;
+};
+
+}  // namespace ep::partition

@@ -1,0 +1,53 @@
+#include "partition/profile.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::partition {
+
+DiscreteProfile::DiscreteProfile(std::string name,
+                                 std::vector<Seconds> times,
+                                 std::vector<Joules> energies)
+    : name_(std::move(name)),
+      times_(std::move(times)),
+      energies_(std::move(energies)) {
+  EP_REQUIRE(times_.size() == energies_.size(),
+             "time/energy tables must align");
+  EP_REQUIRE(times_.size() >= 2, "profile needs at least one work unit");
+  EP_REQUIRE(times_[0].value() == 0.0 && energies_[0].value() == 0.0,
+             "zero work must cost zero time and energy");
+  for (std::size_t k = 1; k < times_.size(); ++k) {
+    EP_REQUIRE(times_[k].value() > 0.0, "positive work needs positive time");
+    EP_REQUIRE(energies_[k].value() >= 0.0, "energy must be non-negative");
+  }
+}
+
+DiscreteProfile DiscreteProfile::sample(
+    std::string name, std::size_t maxUnits,
+    const std::function<Seconds(std::size_t)>& timeOf,
+    const std::function<Joules(std::size_t)>& energyOf) {
+  EP_REQUIRE(maxUnits >= 1, "profile needs at least one work unit");
+  std::vector<Seconds> times;
+  std::vector<Joules> energies;
+  times.reserve(maxUnits + 1);
+  energies.reserve(maxUnits + 1);
+  times.push_back(Seconds{0.0});
+  energies.push_back(Joules{0.0});
+  for (std::size_t k = 1; k <= maxUnits; ++k) {
+    times.push_back(timeOf(k));
+    energies.push_back(energyOf(k));
+  }
+  return DiscreteProfile(std::move(name), std::move(times),
+                         std::move(energies));
+}
+
+Seconds DiscreteProfile::timeFor(std::size_t units) const {
+  EP_REQUIRE(units < times_.size(), "workload exceeds profile range");
+  return times_[units];
+}
+
+Joules DiscreteProfile::energyFor(std::size_t units) const {
+  EP_REQUIRE(units < energies_.size(), "workload exceeds profile range");
+  return energies_[units];
+}
+
+}  // namespace ep::partition

@@ -1,0 +1,49 @@
+// Discrete time/energy profiles of a processor as functions of workload
+// size — the input representation of the application-level bi-objective
+// workload-distribution methods of Reddy et al. [25], [26] and
+// Khaleghzadeh et al. [12] that the paper builds on.
+//
+// A profile tabulates, for k = 0..K work units of granularity `delta`,
+// the execution time and dynamic energy the processor needs for k units.
+// Profiles are deliberately NOT assumed convex or monotone: the whole
+// point of the paper is that real time/energy functions of workload size
+// are complex and non-smooth.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ep::partition {
+
+class DiscreteProfile {
+ public:
+  // times[k], energies[k] describe k work units; entry 0 must be zero
+  // time and zero energy (a processor given no work costs nothing in
+  // dynamic terms).
+  DiscreteProfile(std::string name, std::vector<Seconds> times,
+                  std::vector<Joules> energies);
+
+  // Build a profile by sampling model callables at k = 0..maxUnits.
+  static DiscreteProfile sample(
+      std::string name, std::size_t maxUnits,
+      const std::function<Seconds(std::size_t)>& timeOf,
+      const std::function<Joules(std::size_t)>& energyOf);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  // Largest workload (in units) the profile covers.
+  [[nodiscard]] std::size_t maxUnits() const { return times_.size() - 1; }
+
+  [[nodiscard]] Seconds timeFor(std::size_t units) const;
+  [[nodiscard]] Joules energyFor(std::size_t units) const;
+
+ private:
+  std::string name_;
+  std::vector<Seconds> times_;
+  std::vector<Joules> energies_;
+};
+
+}  // namespace ep::partition

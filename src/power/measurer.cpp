@@ -1,0 +1,72 @@
+#include "power/measurer.hpp"
+
+#include "common/error.hpp"
+
+namespace ep::power {
+
+EnergyMeasurer::EnergyMeasurer(WattsUpMeter meter, Watts calibratedBasePower)
+    : meter_(std::move(meter)), basePower_(calibratedBasePower) {
+  EP_REQUIRE(basePower_.value() >= 0.0, "base power must be non-negative");
+}
+
+Watts EnergyMeasurer::calibrateBasePower(const WattsUpMeter& meter,
+                                         const PowerSource& idle,
+                                         Seconds duration, Rng& rng) {
+  const PowerTrace trace = meter.record(idle, duration, rng);
+  return trace.meanPower();
+}
+
+EnergyReading EnergyMeasurer::measureOnce(const ProfilePowerSource& profile,
+                                          Seconds executionTime, Rng& rng,
+                                          Seconds tailWindow) const {
+  EP_REQUIRE(executionTime.value() > 0.0, "execution time must be positive");
+  EP_REQUIRE(tailWindow.value() >= 0.0, "tail window must be >= 0");
+  // The measurement window covers the execution plus any power tail; the
+  // meter keeps recording until node power has returned to base, exactly
+  // as HCLWattsUp does when it waits for the meter to settle.
+  const Seconds window = executionTime + tailWindow;
+  const PowerTrace trace = meter_.record(profile, window, rng);
+  EnergyReading r;
+  // Execution time is timed on-device (cudaEvent-style), not by the
+  // meter; model its sub-millisecond jitter.
+  const double tJitter = 1.0 + rng.normal(0.0, 5e-4);
+  r.executionTime = Seconds{executionTime.value() * tJitter};
+  r.totalEnergy = trace.energyBetween(Seconds{0.0}, window);
+  r.staticEnergy = basePower_ * window;
+  r.dynamicEnergy = r.totalEnergy - r.staticEnergy;
+  if (r.dynamicEnergy.value() < 0.0) r.dynamicEnergy = Joules{0.0};
+  return r;
+}
+
+MeasuredEnergy EnergyMeasurer::measure(
+    const ProfilePowerSource& profile, Seconds executionTime, Rng& rng,
+    Seconds tailWindow, const stats::MeasurementOptions& options) const {
+  const stats::MeasurementProtocol protocol(options);
+  std::vector<EnergyReading> readings;
+  auto observeEnergy = [&]() {
+    readings.push_back(measureOnce(profile, executionTime, rng, tailWindow));
+    return readings.back().dynamicEnergy.value();
+  };
+  MeasuredEnergy out;
+  out.dynamicEnergyStats = protocol.runBestEffort(observeEnergy);
+  // Reuse the recorded readings for the time statistics so both series
+  // come from the same repetitions, as in the physical methodology.
+  std::size_t idx = 0;
+  auto observeTime = [&]() {
+    return readings[idx++].executionTime.value();
+  };
+  stats::MeasurementOptions timeOpts = options;
+  timeOpts.minRepetitions = std::min(options.minRepetitions, readings.size());
+  timeOpts.maxRepetitions = readings.size();
+  const stats::MeasurementProtocol timeProtocol(timeOpts);
+  out.executionTimeStats = timeProtocol.runBestEffort(observeTime);
+
+  out.mean.dynamicEnergy = Joules{out.dynamicEnergyStats.mean};
+  out.mean.executionTime = Seconds{out.executionTimeStats.mean};
+  const Seconds window = executionTime + tailWindow;
+  out.mean.staticEnergy = basePower_ * window;
+  out.mean.totalEnergy = out.mean.dynamicEnergy + out.mean.staticEnergy;
+  return out;
+}
+
+}  // namespace ep::power

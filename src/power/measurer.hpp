@@ -1,0 +1,69 @@
+// HCLWattsUp-style energy measurement.
+//
+// Reproduces the methodology of the paper's tooling [34]: the node's
+// base (idle) power is calibrated from an idle trace, an execution is
+// recorded through the wall meter, and
+//
+//   total energy   = integral of sampled power over the execution window
+//   static energy  = base power x execution time
+//   dynamic energy = total energy - static energy
+//
+// measureOnce() gives a single (noisy) observation; measure() wraps it in
+// the paper's Student's-t measurement protocol (epstats) and returns the
+// accepted means.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "power/meter.hpp"
+#include "power/profile.hpp"
+#include "stats/ttest.hpp"
+
+namespace ep::power {
+
+struct EnergyReading {
+  Seconds executionTime{0.0};
+  Joules totalEnergy{0.0};
+  Joules staticEnergy{0.0};
+  Joules dynamicEnergy{0.0};
+};
+
+struct MeasuredEnergy {
+  EnergyReading mean;
+  stats::MeasurementResult dynamicEnergyStats;
+  stats::MeasurementResult executionTimeStats;
+};
+
+class EnergyMeasurer {
+ public:
+  EnergyMeasurer(WattsUpMeter meter, Watts calibratedBasePower);
+
+  // Calibrate base power by recording an idle source for `duration`.
+  [[nodiscard]] static Watts calibrateBasePower(const WattsUpMeter& meter,
+                                                const PowerSource& idle,
+                                                Seconds duration, Rng& rng);
+
+  // One noisy observation of an execution described by `profile` whose
+  // activity spans [0, executionTime].  The recording window extends past
+  // the execution end by `tailWindow` so post-execution power tails
+  // (clock-boost hysteresis) are captured, as a wall meter would.
+  [[nodiscard]] EnergyReading measureOnce(const ProfilePowerSource& profile,
+                                          Seconds executionTime, Rng& rng,
+                                          Seconds tailWindow = Seconds{
+                                              0.0}) const;
+
+  // Full paper protocol: repeat measureOnce until the dynamic-energy mean
+  // satisfies the 95 % CI / 2.5 % precision criterion.
+  [[nodiscard]] MeasuredEnergy measure(
+      const ProfilePowerSource& profile, Seconds executionTime, Rng& rng,
+      Seconds tailWindow = Seconds{0.0},
+      const stats::MeasurementOptions& options = {}) const;
+
+  [[nodiscard]] Watts basePower() const { return basePower_; }
+
+ private:
+  WattsUpMeter meter_;
+  Watts basePower_;
+};
+
+}  // namespace ep::power

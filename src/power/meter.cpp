@@ -1,0 +1,46 @@
+#include "power/meter.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace ep::power {
+
+WattsUpMeter::WattsUpMeter(MeterOptions options) : options_(options) {
+  EP_REQUIRE(options_.sampleInterval.value() > 0.0,
+             "sample interval must be positive");
+  EP_REQUIRE(options_.quantization.value() >= 0.0,
+             "quantization must be non-negative");
+}
+
+PowerTrace WattsUpMeter::record(const PowerSource& source, Seconds duration,
+                                Rng& rng) const {
+  EP_REQUIRE(duration.value() > 0.0, "record duration must be positive");
+  const double dt = options_.sampleInterval.value();
+  double t = options_.randomPhase ? rng.uniform(0.0, dt) : 0.0;
+  PowerTrace trace;
+  // Always bracket the window with a sample at t=0 and t=duration so
+  // integration windows inside [0, duration] are well defined.
+  auto sampleAt = [&](double time) {
+    // The instrument internally averages over its sampling window; we
+    // approximate with the midpoint of the trailing interval.
+    const double mid = std::max(0.0, time - 0.5 * dt);
+    double p = source.powerAt(Seconds{mid}).value();
+    p *= 1.0 + rng.normal(0.0, options_.gainNoiseSigma);
+    p += rng.normal(0.0, options_.additiveNoiseSigma.value());
+    if (options_.quantization.value() > 0.0) {
+      const double q = options_.quantization.value();
+      p = std::round(p / q) * q;
+    }
+    trace.append({Seconds{time}, Watts{std::max(0.0, p)}});
+  };
+  if (t > 0.0) sampleAt(0.0);
+  while (t < duration.value()) {
+    sampleAt(t);
+    t += dt;
+  }
+  if (trace.empty() || trace.endTime() < duration) sampleAt(duration.value());
+  return trace;
+}
+
+}  // namespace ep::power

@@ -1,0 +1,42 @@
+// Simulated WattsUp Pro wall-power meter.
+//
+// The physical instrument sits between the wall outlet and the node's
+// PSU and reports node power about once per second with ~1.5 % accuracy
+// and 0.1 W display resolution.  The simulation reproduces those
+// instrument characteristics: a fixed sampling interval with bounded
+// start-phase jitter, multiplicative gain noise, additive noise, and
+// quantization.  All randomness comes from an explicit ep::Rng so a
+// measurement campaign is reproducible.
+#pragma once
+
+#include "common/rng.hpp"
+#include "power/profile.hpp"
+#include "power/trace.hpp"
+
+namespace ep::power {
+
+struct MeterOptions {
+  Seconds sampleInterval{1.0};   // WattsUp Pro: ~1 Hz
+  double gainNoiseSigma = 0.005;  // per-sample multiplicative noise
+  Watts additiveNoiseSigma{0.3};  // sensor floor noise
+  Watts quantization{0.1};        // display resolution
+  // The meter's internal sampling is not phase-locked to the application:
+  // the first sample lands uniformly inside the first interval.
+  bool randomPhase = true;
+};
+
+class WattsUpMeter {
+ public:
+  explicit WattsUpMeter(MeterOptions options = {});
+
+  // Record `source` from t=0 until `duration`, drawing noise from `rng`.
+  [[nodiscard]] PowerTrace record(const PowerSource& source,
+                                  Seconds duration, Rng& rng) const;
+
+  [[nodiscard]] const MeterOptions& options() const { return options_; }
+
+ private:
+  MeterOptions options_;
+};
+
+}  // namespace ep::power

@@ -1,0 +1,61 @@
+#include "power/profile.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace ep::power {
+
+Joules PowerSource::exactEnergy(Seconds t0, Seconds t1) const {
+  EP_REQUIRE(t0 <= t1, "inverted window");
+  // Generic fallback: fine-grained midpoint rule.
+  constexpr int kSteps = 10000;
+  const double dt = (t1 - t0).value() / kSteps;
+  double e = 0.0;
+  for (int i = 0; i < kSteps; ++i) {
+    const Seconds t{t0.value() + (i + 0.5) * dt};
+    e += powerAt(t).value() * dt;
+  }
+  return Joules{e};
+}
+
+ProfilePowerSource::ProfilePowerSource(Watts idlePower) : idle_(idlePower) {
+  EP_REQUIRE(idlePower.value() >= 0.0, "idle power must be non-negative");
+}
+
+void ProfilePowerSource::addSegment(PowerSegment seg) {
+  EP_REQUIRE(seg.start.value() >= 0.0, "segment start must be >= 0");
+  EP_REQUIRE(seg.duration.value() >= 0.0, "segment duration must be >= 0");
+  EP_REQUIRE(seg.power.value() >= 0.0, "segment power must be >= 0");
+  segments_.push_back(seg);
+}
+
+Seconds ProfilePowerSource::activityEnd() const {
+  Seconds end{0.0};
+  for (const auto& s : segments_) {
+    end = std::max(end, s.start + s.duration);
+  }
+  return end;
+}
+
+Watts ProfilePowerSource::powerAt(Seconds t) const {
+  double p = idle_.value();
+  for (const auto& s : segments_) {
+    if (t >= s.start && t < s.start + s.duration) p += s.power.value();
+  }
+  return Watts{p};
+}
+
+Joules ProfilePowerSource::exactEnergy(Seconds t0, Seconds t1) const {
+  EP_REQUIRE(t0 <= t1, "inverted window");
+  double e = idle_.value() * (t1 - t0).value();
+  for (const auto& s : segments_) {
+    const double lo = std::max(t0.value(), s.start.value());
+    const double hi =
+        std::min(t1.value(), (s.start + s.duration).value());
+    if (hi > lo) e += s.power.value() * (hi - lo);
+  }
+  return Joules{e};
+}
+
+}  // namespace ep::power

@@ -1,0 +1,53 @@
+// Sampled wall-power traces.
+//
+// A PowerTrace is what a physical WattsUp Pro meter delivers: a sequence
+// of (timestamp, watts) samples.  Energy is recovered by trapezoidal
+// integration, exactly as wall-meter tooling (HCLWattsUp) does.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ep::power {
+
+struct PowerSample {
+  Seconds time{0.0};
+  Watts power{0.0};
+};
+
+class PowerTrace {
+ public:
+  PowerTrace() = default;
+  explicit PowerTrace(std::vector<PowerSample> samples);
+
+  void append(PowerSample s);
+
+  [[nodiscard]] const std::vector<PowerSample>& samples() const {
+    return samples_;
+  }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+
+  [[nodiscard]] Seconds startTime() const;
+  [[nodiscard]] Seconds endTime() const;
+  [[nodiscard]] Seconds duration() const;
+
+  // Trapezoidal integral of power over the full trace.
+  [[nodiscard]] Joules totalEnergy() const;
+
+  // Trapezoidal integral restricted to [t0, t1]; samples are linearly
+  // interpolated at the window edges.  Window must lie inside the trace.
+  [[nodiscard]] Joules energyBetween(Seconds t0, Seconds t1) const;
+
+  // Mean power over the full trace (total energy / duration).
+  [[nodiscard]] Watts meanPower() const;
+
+  // Interpolated power at time t (t inside the trace).
+  [[nodiscard]] Watts powerAt(Seconds t) const;
+
+ private:
+  std::vector<PowerSample> samples_;  // strictly increasing timestamps
+};
+
+}  // namespace ep::power

@@ -1,0 +1,86 @@
+#include "stats/chisq.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+
+namespace ep::stats {
+
+ChiSquaredResult pearsonGoodnessOfFit(std::span<const double> observed,
+                                      std::span<const double> expected,
+                                      std::size_t dofReduction, double alpha) {
+  EP_REQUIRE(observed.size() == expected.size(),
+             "observed/expected size mismatch");
+  EP_REQUIRE(observed.size() > dofReduction,
+             "not enough cells for requested dof reduction");
+  double stat = 0.0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    EP_REQUIRE(expected[i] > 0.0, "expected counts must be positive");
+    const double d = observed[i] - expected[i];
+    stat += d * d / expected[i];
+  }
+  ChiSquaredResult r;
+  r.statistic = stat;
+  r.bins = observed.size();
+  r.dof = static_cast<double>(observed.size() - dofReduction);
+  r.pValue = 1.0 - chiSquaredCdf(stat, r.dof);
+  r.rejected = r.pValue < alpha;
+  return r;
+}
+
+ChiSquaredResult pearsonNormalityTest(std::span<const double> xs,
+                                      double alpha) {
+  ChiSquaredResult r;
+  if (xs.size() < 8) {
+    // Too small for a meaningful goodness-of-fit partition.
+    r.bins = 0;
+    r.dof = 0.0;
+    r.pValue = 1.0;
+    r.rejected = false;
+    return r;
+  }
+  const double m = mean(xs);
+  const double sd = sampleStddev(xs);
+  if (sd == 0.0) {
+    // Degenerate (noise-free) sample: nothing to reject.
+    r.pValue = 1.0;
+    r.rejected = false;
+    return r;
+  }
+  // Equiprobable binning: k ~ max(4, floor(n/5)) cells capped at 12 keeps
+  // expected counts >= ~5 for the sample sizes the protocol produces.
+  const std::size_t k = std::clamp<std::size_t>(xs.size() / 5, 4, 12);
+  std::vector<double> boundaries(k - 1);
+  for (std::size_t i = 1; i < k; ++i) {
+    // Inverse-normal via bisection on normalCdf.
+    const double p = static_cast<double>(i) / static_cast<double>(k);
+    double lo = -12.0, hi = 12.0;
+    for (int it = 0; it < 100; ++it) {
+      const double mid = 0.5 * (lo + hi);
+      if (normalCdf(mid) < p) {
+        lo = mid;
+      } else {
+        hi = mid;
+      }
+    }
+    boundaries[i - 1] = m + sd * 0.5 * (lo + hi);
+  }
+  std::vector<double> observed(k, 0.0);
+  for (double x : xs) {
+    const auto it =
+        std::upper_bound(boundaries.begin(), boundaries.end(), x);
+    observed[static_cast<std::size_t>(it - boundaries.begin())] += 1.0;
+  }
+  const double expectedPerBin =
+      static_cast<double>(xs.size()) / static_cast<double>(k);
+  std::vector<double> expected(k, expectedPerBin);
+  // dofReduction = 3: two estimated parameters (mean, sd) plus one for the
+  // count constraint.
+  return pearsonGoodnessOfFit(observed, expected, 3, alpha);
+}
+
+}  // namespace ep::stats

@@ -1,0 +1,32 @@
+// Pearson's chi-squared goodness-of-fit test against a normal population,
+// used by the measurement protocol to validate the t-test assumptions
+// (as the paper does).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace ep::stats {
+
+struct ChiSquaredResult {
+  double statistic = 0.0;
+  double dof = 0.0;
+  double pValue = 1.0;
+  bool rejected = false;  // true if normality rejected at alpha
+  std::size_t bins = 0;
+};
+
+// Bins the sample into equiprobable cells under N(mean, sd) fitted from
+// the data and compares observed vs expected counts.  Needs n >= 8;
+// smaller samples return a non-rejecting result with dof == 0 (the test
+// has no power there, matching standard practice).
+[[nodiscard]] ChiSquaredResult pearsonNormalityTest(std::span<const double> xs,
+                                                    double alpha = 0.05);
+
+// Generic Pearson goodness-of-fit: observed counts vs expected counts.
+// dofReduction = number of parameters estimated from the data + 1.
+[[nodiscard]] ChiSquaredResult pearsonGoodnessOfFit(
+    std::span<const double> observed, std::span<const double> expected,
+    std::size_t dofReduction, double alpha = 0.05);
+
+}  // namespace ep::stats

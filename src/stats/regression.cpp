@@ -1,0 +1,158 @@
+#include "stats/regression.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "stats/descriptive.hpp"
+
+namespace ep::stats {
+
+namespace {
+
+double rSquared(std::span<const double> y,
+                const std::vector<double>& predictions) {
+  const double yMean = mean(y);
+  double ssRes = 0.0, ssTot = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    ssRes += (y[i] - predictions[i]) * (y[i] - predictions[i]);
+    ssTot += (y[i] - yMean) * (y[i] - yMean);
+  }
+  if (ssTot == 0.0) return ssRes == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ssRes / ssTot;
+}
+
+// Solve A x = b in-place, A is n x n row-major, partial pivoting.
+std::vector<double> solveLinearSystem(std::vector<std::vector<double>> a,
+                                      std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    }
+    EP_REQUIRE(std::fabs(a[pivot][col]) > 1e-12,
+               "singular system in regression (collinear regressors?)");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    for (std::size_t c = i + 1; c < n; ++c) s -= a[i][c] * x[c];
+    x[i] = s / a[i][i];
+  }
+  return x;
+}
+
+}  // namespace
+
+LinearFit fitLinear(std::span<const double> x, std::span<const double> y) {
+  EP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  EP_REQUIRE(x.size() >= 2, "linear fit needs n >= 2");
+  const double xm = mean(x);
+  const double ym = mean(y);
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - xm) * (x[i] - xm);
+    sxy += (x[i] - xm) * (y[i] - ym);
+  }
+  EP_REQUIRE(sxx > 0.0, "x must not be constant");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = ym - f.slope * xm;
+  std::vector<double> pred(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) pred[i] = f.predict(x[i]);
+  f.r2 = rSquared(y, pred);
+  return f;
+}
+
+LinearFit fitProportional(std::span<const double> x,
+                          std::span<const double> y) {
+  EP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  EP_REQUIRE(!x.empty(), "proportional fit needs n >= 1");
+  double sxx = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  EP_REQUIRE(sxx > 0.0, "x must not be all zero");
+  LinearFit f;
+  f.slope = sxy / sxx;
+  f.intercept = 0.0;
+  std::vector<double> pred(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) pred[i] = f.predict(x[i]);
+  f.r2 = rSquared(y, pred);
+  return f;
+}
+
+double MultiLinearFit::predict(std::span<const double> x) const {
+  EP_REQUIRE(x.size() == coefficients.size(),
+             "predict: regressor count mismatch");
+  double s = intercept;
+  for (std::size_t i = 0; i < x.size(); ++i) s += coefficients[i] * x[i];
+  return s;
+}
+
+MultiLinearFit fitMultiLinear(const std::vector<std::vector<double>>& rows,
+                              std::span<const double> y, bool withIntercept) {
+  EP_REQUIRE(rows.size() == y.size(), "rows/y size mismatch");
+  EP_REQUIRE(!rows.empty(), "regression needs observations");
+  const std::size_t k = rows.front().size();
+  EP_REQUIRE(k >= 1, "regression needs at least one regressor");
+  for (const auto& r : rows) {
+    EP_REQUIRE(r.size() == k, "ragged design matrix");
+  }
+  const std::size_t p = k + (withIntercept ? 1 : 0);
+  EP_REQUIRE(rows.size() >= p, "not enough observations for parameters");
+
+  // Build X'X and X'y where columns are [regressors..., 1?].
+  std::vector<std::vector<double>> xtx(p, std::vector<double>(p, 0.0));
+  std::vector<double> xty(p, 0.0);
+  auto colValue = [&](const std::vector<double>& row, std::size_t c) {
+    return c < k ? row[c] : 1.0;
+  };
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t a = 0; a < p; ++a) {
+      const double va = colValue(rows[i], a);
+      xty[a] += va * y[i];
+      for (std::size_t b = 0; b < p; ++b) {
+        xtx[a][b] += va * colValue(rows[i], b);
+      }
+    }
+  }
+  const std::vector<double> beta = solveLinearSystem(std::move(xtx),
+                                                     std::move(xty));
+  MultiLinearFit f;
+  f.coefficients.assign(beta.begin(), beta.begin() + static_cast<long>(k));
+  f.intercept = withIntercept ? beta[k] : 0.0;
+  std::vector<double> pred(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    pred[i] = f.predict(rows[i]);
+  }
+  f.r2 = rSquared(y, pred);
+  return f;
+}
+
+double pearsonCorrelation(std::span<const double> x,
+                          std::span<const double> y) {
+  EP_REQUIRE(x.size() == y.size(), "x/y size mismatch");
+  EP_REQUIRE(x.size() >= 2, "correlation needs n >= 2");
+  const double xm = mean(x);
+  const double ym = mean(y);
+  double sxx = 0.0, syy = 0.0, sxy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - xm) * (x[i] - xm);
+    syy += (y[i] - ym) * (y[i] - ym);
+    sxy += (x[i] - xm) * (y[i] - ym);
+  }
+  EP_REQUIRE(sxx > 0.0 && syy > 0.0,
+             "correlation undefined for constant series");
+  return sxy / std::sqrt(sxx * syy);
+}
+
+}  // namespace ep::stats

@@ -1,0 +1,50 @@
+// Least-squares regression and correlation.
+//
+// Used for: (a) the strong-EP linearity test of Fig 1 (how well does
+// E_d = c.W fit?), (b) trend lines in Fig 4, and (c) the linear energy
+// predictive models built on CUPTI-sim counters (epmodel).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ep::stats {
+
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r2 = 0.0;  // coefficient of determination
+  [[nodiscard]] double predict(double x) const {
+    return intercept + slope * x;
+  }
+};
+
+// Ordinary least squares y = a + b x.  Needs n >= 2 and non-constant x.
+[[nodiscard]] LinearFit fitLinear(std::span<const double> x,
+                                  std::span<const double> y);
+
+// OLS through the origin, y = b x (the strong-EP hypothesis E_d = c.W).
+[[nodiscard]] LinearFit fitProportional(std::span<const double> x,
+                                        std::span<const double> y);
+
+struct MultiLinearFit {
+  std::vector<double> coefficients;  // beta[0..k-1], one per regressor
+  double intercept = 0.0;
+  double r2 = 0.0;
+  [[nodiscard]] double predict(std::span<const double> x) const;
+};
+
+// Multiple linear regression via normal equations (Gaussian elimination
+// with partial pivoting).  rows = observations; each row has k regressors.
+// If withIntercept is false the model is forced through the origin —
+// required for physically meaningful energy models (zero work => zero
+// dynamic energy; see the theory of energy predictive models [33]).
+[[nodiscard]] MultiLinearFit fitMultiLinear(
+    const std::vector<std::vector<double>>& rows, std::span<const double> y,
+    bool withIntercept = true);
+
+// Pearson correlation coefficient.
+[[nodiscard]] double pearsonCorrelation(std::span<const double> x,
+                                        std::span<const double> y);
+
+}  // namespace ep::stats

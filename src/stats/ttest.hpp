@@ -1,0 +1,92 @@
+// The paper's measurement methodology:
+//
+//   "the application is run repeatedly until the sample mean lies in the
+//    95% confidence interval and a precision of 0.025 (2.5%) is achieved.
+//    For this purpose, Student's t-test is used [...]  The validity of
+//    these assumptions is verified using Pearson's chi-squared test."
+//
+// MeasurementProtocol drives any callable producing one observation per
+// repetition through exactly this loop and reports the accepted mean,
+// the achieved precision, and the normality-check outcome.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "stats/chisq.hpp"
+
+namespace ep::stats {
+
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double halfWidth = 0.0;  // t* . s / sqrt(n)
+  [[nodiscard]] double lower() const { return mean - halfWidth; }
+  [[nodiscard]] double upper() const { return mean + halfWidth; }
+  // Relative precision: halfWidth / |mean| (inf when mean == 0).
+  [[nodiscard]] double precision() const;
+};
+
+// Two-sided CI for the mean of `xs` at `confidence` using Student's t.
+[[nodiscard]] ConfidenceInterval meanConfidenceInterval(
+    std::span<const double> xs, double confidence);
+
+struct MeasurementOptions {
+  double confidence = 0.95;
+  double precision = 0.025;     // paper: 2.5 %
+  std::size_t minRepetitions = 5;
+  std::size_t maxRepetitions = 1000;
+  bool runNormalityCheck = true;
+  double normalityAlpha = 0.05;
+};
+
+struct MeasurementResult {
+  double mean = 0.0;
+  ConfidenceInterval interval;
+  std::size_t repetitions = 0;
+  bool converged = false;
+  std::vector<double> samples;
+  // Present when options.runNormalityCheck and enough samples were drawn.
+  bool normalityChecked = false;
+  ChiSquaredResult normality;
+};
+
+// Welch's two-sample t-test (unequal variances): is the mean of `a`
+// different from the mean of `b`?  Used by the tuner layer to decide
+// whether one configuration is *significantly* faster/cheaper than
+// another given measurement noise.
+struct WelchResult {
+  double statistic = 0.0;
+  double dof = 0.0;       // Welch-Satterthwaite
+  double pValue = 1.0;    // two-sided
+  bool significant = false;
+  double meanDifference = 0.0;  // mean(a) - mean(b)
+};
+
+[[nodiscard]] WelchResult welchTTest(std::span<const double> a,
+                                     std::span<const double> b,
+                                     double alpha = 0.05);
+
+class MeasurementProtocol {
+ public:
+  explicit MeasurementProtocol(MeasurementOptions options = {});
+
+  // Repeatedly invokes `observe` until the CI criterion is met.
+  // Throws ConvergenceError if maxRepetitions is hit first.
+  [[nodiscard]] MeasurementResult run(
+      const std::function<double()>& observe) const;
+
+  // Like run(), but returns a non-converged result instead of throwing.
+  [[nodiscard]] MeasurementResult runBestEffort(
+      const std::function<double()>& observe) const;
+
+  [[nodiscard]] const MeasurementOptions& options() const { return options_; }
+
+ private:
+  [[nodiscard]] MeasurementResult loop(const std::function<double()>& observe,
+                                       bool throwOnFailure) const;
+
+  MeasurementOptions options_;
+};
+
+}  // namespace ep::stats

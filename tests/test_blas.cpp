@@ -1,0 +1,213 @@
+// Unit and property tests for epblas: naive, blocked and threadgroup
+// DGEMM (the Fig 3 decomposition).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blas/dgemm.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ep::blas {
+namespace {
+
+std::vector<double> randomMatrix(std::size_t n, Rng& rng) {
+  std::vector<double> m(n * n);
+  for (auto& x : m) x = rng.uniform(-1.0, 1.0);
+  return m;
+}
+
+void expectNear(const std::vector<double>& a, const std::vector<double>& b,
+                double tol = 1e-9) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i], b[i], tol) << "at index " << i;
+  }
+}
+
+TEST(DgemmNaive, IdentityTimesMatrixIsMatrix) {
+  const std::size_t n = 8;
+  Rng rng(1);
+  const auto b = randomMatrix(n, rng);
+  std::vector<double> identity(n * n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) identity[i * n + i] = 1.0;
+  std::vector<double> c(n * n, 0.0);
+  dgemmNaive(n, 1.0, identity, b, 0.0, c);
+  expectNear(c, b);
+}
+
+TEST(DgemmNaive, KnownTwoByTwo) {
+  // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50].
+  const std::vector<double> a{1, 2, 3, 4};
+  const std::vector<double> b{5, 6, 7, 8};
+  std::vector<double> c(4, 0.0);
+  dgemmNaive(2, 1.0, a, b, 0.0, c);
+  expectNear(c, {19, 22, 43, 50});
+}
+
+TEST(DgemmNaive, AlphaBetaSemantics) {
+  const std::vector<double> a{1, 0, 0, 1};
+  const std::vector<double> b{1, 2, 3, 4};
+  std::vector<double> c{10, 10, 10, 10};
+  // C = 2 * A * B + 3 * C.
+  dgemmNaive(2, 2.0, a, b, 3.0, c);
+  expectNear(c, {32, 34, 36, 38});
+}
+
+TEST(DgemmNaive, RejectsWrongShapes) {
+  std::vector<double> a(4), b(4), c(9);
+  EXPECT_THROW(dgemmNaive(2, 1.0, a, b, 0.0, c), PreconditionError);
+}
+
+TEST(DgemmBlocked, MatchesNaiveAcrossBlockSizes) {
+  const std::size_t n = 17;  // prime: exercises remainder tiles
+  Rng rng(2);
+  const auto a = randomMatrix(n, rng);
+  const auto b = randomMatrix(n, rng);
+  std::vector<double> expected(n * n, 0.0);
+  dgemmNaive(n, 1.0, a, b, 0.0, expected);
+  for (std::size_t bs : {1u, 2u, 3u, 5u, 8u, 16u, 17u, 64u}) {
+    std::vector<double> c(n * n, 0.0);
+    dgemmBlocked(n, 1.0, a, b, 0.0, c, bs);
+    expectNear(c, expected);
+  }
+}
+
+TEST(DgemmBlocked, BetaScalingWithBlockedPath) {
+  const std::size_t n = 6;
+  Rng rng(3);
+  const auto a = randomMatrix(n, rng);
+  const auto b = randomMatrix(n, rng);
+  auto c1 = randomMatrix(n, rng);
+  auto c2 = c1;
+  dgemmNaive(n, 1.5, a, b, 0.5, c1);
+  dgemmBlocked(n, 1.5, a, b, 0.5, c2, 4);
+  expectNear(c1, c2);
+}
+
+TEST(ThreadgroupDgemm, RowDistributionIsBalancedAndComplete) {
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = 3;
+  cfg.threadsPerGroup = 4;
+  const ThreadgroupDgemm dgemm(cfg);
+  const std::size_t n = 29;  // not divisible by 12
+  std::vector<bool> covered(n, false);
+  std::size_t minRows = n, maxRows = 0;
+  for (std::size_t t = 0; t < 12; ++t) {
+    const auto [lo, hi] = dgemm.rowsForThread(n, t);
+    for (std::size_t r = lo; r < hi; ++r) {
+      EXPECT_FALSE(covered[r]) << "row " << r << " assigned twice";
+      covered[r] = true;
+    }
+    minRows = std::min(minRows, hi - lo);
+    maxRows = std::max(maxRows, hi - lo);
+  }
+  for (std::size_t r = 0; r < n; ++r) EXPECT_TRUE(covered[r]);
+  // Load balance: the paper's weak-EP application requirement.
+  EXPECT_LE(maxRows - minRows, 1u);
+}
+
+TEST(ThreadgroupDgemm, MatchesNaiveForVariousShapes) {
+  const std::size_t n = 24;
+  Rng rng(4);
+  const auto a = randomMatrix(n, rng);
+  const auto b = randomMatrix(n, rng);
+  std::vector<double> expected(n * n, 0.0);
+  dgemmNaive(n, 1.0, a, b, 0.0, expected);
+  for (const auto& [p, t] : std::vector<std::pair<std::size_t, std::size_t>>{
+           {1, 1}, {1, 4}, {2, 2}, {4, 3}, {6, 4}, {24, 1}}) {
+    ThreadgroupConfig cfg;
+    cfg.threadgroups = p;
+    cfg.threadsPerGroup = t;
+    cfg.blockSize = 8;
+    std::vector<double> c(n * n, 0.0);
+    ThreadgroupDgemm(cfg).run(n, 1.0, a, b, 0.0, c);
+    expectNear(c, expected);
+  }
+}
+
+TEST(ThreadgroupDgemm, MoreThreadsThanRows) {
+  const std::size_t n = 3;
+  Rng rng(5);
+  const auto a = randomMatrix(n, rng);
+  const auto b = randomMatrix(n, rng);
+  std::vector<double> expected(n * n, 0.0);
+  dgemmNaive(n, 1.0, a, b, 0.0, expected);
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = 4;
+  cfg.threadsPerGroup = 2;  // 8 threads, 3 rows
+  std::vector<double> c(n * n, 0.0);
+  ThreadgroupDgemm(cfg).run(n, 1.0, a, b, 0.0, c);
+  expectNear(c, expected);
+}
+
+TEST(ThreadgroupDgemm, AlphaBetaAcrossThreads) {
+  const std::size_t n = 16;
+  Rng rng(6);
+  const auto a = randomMatrix(n, rng);
+  const auto b = randomMatrix(n, rng);
+  auto c1 = randomMatrix(n, rng);
+  auto c2 = c1;
+  dgemmNaive(n, -0.5, a, b, 2.0, c1);
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = 2;
+  cfg.threadsPerGroup = 3;
+  ThreadgroupDgemm(cfg).run(n, -0.5, a, b, 2.0, c2);
+  expectNear(c1, c2);
+}
+
+TEST(ThreadgroupDgemm, RejectsInvalidConfigs) {
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = 0;
+  EXPECT_THROW(ThreadgroupDgemm{cfg}, PreconditionError);
+  cfg.threadgroups = 1;
+  cfg.threadsPerGroup = 0;
+  EXPECT_THROW(ThreadgroupDgemm{cfg}, PreconditionError);
+  cfg.threadsPerGroup = 1;
+  cfg.blockSize = 0;
+  EXPECT_THROW(ThreadgroupDgemm{cfg}, PreconditionError);
+}
+
+TEST(ThreadgroupDgemm, ThreadIndexOutOfRangeThrows) {
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = 2;
+  cfg.threadsPerGroup = 2;
+  const ThreadgroupDgemm dgemm(cfg);
+  EXPECT_THROW((void)dgemm.rowsForThread(10, 4), PreconditionError);
+}
+
+// Property sweep: decomposition correctness over (p, t, n) combinations.
+struct TgParam {
+  std::size_t p, t, n;
+};
+
+class ThreadgroupSweep : public ::testing::TestWithParam<TgParam> {};
+
+TEST_P(ThreadgroupSweep, MatchesNaive) {
+  const auto [p, t, n] = GetParam();
+  Rng rng(7 + n);
+  std::vector<double> a(n * n), b(n * n);
+  for (auto& x : a) x = rng.uniform(-1.0, 1.0);
+  for (auto& x : b) x = rng.uniform(-1.0, 1.0);
+  std::vector<double> expected(n * n, 0.0);
+  dgemmNaive(n, 1.0, a, b, 0.0, expected);
+  ThreadgroupConfig cfg;
+  cfg.threadgroups = p;
+  cfg.threadsPerGroup = t;
+  cfg.blockSize = 5;
+  std::vector<double> c(n * n, 0.0);
+  ThreadgroupDgemm(cfg).run(n, 1.0, a, b, 0.0, c);
+  for (std::size_t i = 0; i < c.size(); ++i) {
+    ASSERT_NEAR(c[i], expected[i], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Decomposition, ThreadgroupSweep,
+    ::testing::Values(TgParam{1, 2, 15}, TgParam{2, 1, 16},
+                      TgParam{3, 2, 19}, TgParam{2, 4, 32},
+                      TgParam{5, 1, 11}, TgParam{4, 4, 40},
+                      TgParam{7, 3, 23}, TgParam{12, 2, 30}));
+
+}  // namespace
+}  // namespace ep::blas

@@ -1,0 +1,362 @@
+// Unit tests for the epcommon library: units, error handling, RNG,
+// tables, thread pool, math helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "common/error.hpp"
+#include "common/mathutil.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+#include "common/units.hpp"
+
+namespace ep {
+namespace {
+
+using namespace ep::literals;
+
+// --- units ---
+
+TEST(Units, AdditionAndSubtraction) {
+  const Joules e = 3.0_J + 4.5_J;
+  EXPECT_DOUBLE_EQ(e.value(), 7.5);
+  EXPECT_DOUBLE_EQ((e - 2.5_J).value(), 5.0);
+}
+
+TEST(Units, ScalarScaling) {
+  EXPECT_DOUBLE_EQ((2.0 * 3.0_W).value(), 6.0);
+  EXPECT_DOUBLE_EQ((3.0_W * 2.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((6.0_W / 2.0).value(), 3.0);
+}
+
+TEST(Units, PowerTimesTimeIsEnergy) {
+  const Joules e = 10.0_W * 3.0_s;
+  EXPECT_DOUBLE_EQ(e.value(), 30.0);
+  EXPECT_DOUBLE_EQ((3.0_s * 10.0_W).value(), 30.0);
+}
+
+TEST(Units, EnergyDividedByTimeIsPower) {
+  const Watts p = 30.0_J / 3.0_s;
+  EXPECT_DOUBLE_EQ(p.value(), 10.0);
+}
+
+TEST(Units, EnergyDividedByPowerIsTime) {
+  const Seconds t = 30.0_J / 10.0_W;
+  EXPECT_DOUBLE_EQ(t.value(), 3.0);
+}
+
+TEST(Units, RatioOfLikeUnitsIsDimensionless) {
+  const double r = 30.0_J / 10.0_J;
+  EXPECT_DOUBLE_EQ(r, 3.0);
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(1.0_s, 2.0_s);
+  EXPECT_GT(2.0_W, 1.0_W);
+  EXPECT_EQ(1.0_J, 1.0_J);
+  EXPECT_LE(1.0_J, 1.0_J);
+}
+
+TEST(Units, CompoundAssignment) {
+  Joules e = 1.0_J;
+  e += 2.0_J;
+  e -= 0.5_J;
+  EXPECT_DOUBLE_EQ(e.value(), 2.5);
+}
+
+TEST(Units, Negation) { EXPECT_DOUBLE_EQ((-(2.0_J)).value(), -2.0); }
+
+TEST(Units, StreamOutput) {
+  std::ostringstream ss;
+  ss << 2.5_W;
+  EXPECT_EQ(ss.str(), "2.5 W");
+}
+
+TEST(Units, MillisecondLiteral) {
+  EXPECT_DOUBLE_EQ((250.0_ms).value(), 0.25);
+}
+
+// --- error ---
+
+TEST(Error, RequireThrowsPreconditionError) {
+  EXPECT_THROW(EP_REQUIRE(false, "boom"), PreconditionError);
+}
+
+TEST(Error, RequirePassesOnTrue) {
+  EXPECT_NO_THROW(EP_REQUIRE(true, "fine"));
+}
+
+TEST(Error, MessageContainsExpressionAndDetail) {
+  try {
+    EP_REQUIRE(1 == 2, "details here");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("details here"), std::string::npos);
+  }
+}
+
+TEST(Error, HierarchyCatchableAsEpError) {
+  EXPECT_THROW(throw ConvergenceError("x"), EpError);
+  EXPECT_THROW(throw ResourceError("x"), EpError);
+  EXPECT_THROW(throw PreconditionError("x"), EpError);
+}
+
+// --- rng ---
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(7), b(8);
+  bool anyDifferent = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(2.0, 5.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(3);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = rng.uniformInt(1, 6);
+    EXPECT_GE(x, 1u);
+    EXPECT_LE(x, 6u);
+    seen.insert(x);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all die faces appear in 1000 rolls
+}
+
+TEST(Rng, NormalHasRoughlyCorrectMoments) {
+  Rng rng(11);
+  double sum = 0.0, sumSq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(5.0, 2.0);
+    sum += x;
+    sumSq += x * x;
+  }
+  const double mean = sum / kN;
+  const double var = sumSq / kN - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, ForkedStreamsAreDecorrelated) {
+  Rng parent(42);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(2);
+  // Identical salt gives identical stream; different salts differ.
+  Rng a2 = parent.fork(1);
+  EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), a2.uniform(0.0, 1.0));
+  bool anyDifferent = false;
+  for (int i = 0; i < 20; ++i) {
+    if (a.uniform(0.0, 1.0) != b.uniform(0.0, 1.0)) anyDifferent = true;
+  }
+  EXPECT_TRUE(anyDifferent);
+}
+
+TEST(Rng, Splitmix64ProducesDistinctOutputs) {
+  std::set<std::uint64_t> outputs;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    outputs.insert(splitmix64(i));
+  }
+  EXPECT_EQ(outputs.size(), 1000u);
+}
+
+// --- table ---
+
+TEST(Table, AlignsColumnsAndCountsRows) {
+  Table t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"beta", "2"});
+  EXPECT_EQ(t.rowCount(), 2u);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("beta"), std::string::npos);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.addRow({std::string("only-one")}), PreconditionError);
+}
+
+TEST(Table, NumericRowsUsePrecision) {
+  Table t({"x"});
+  t.setPrecision(2);
+  t.addRow({3.14159});
+  EXPECT_NE(t.str().find("3.14"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSeparators) {
+  Table t({"a"});
+  t.addRow({std::string("x,y")});
+  std::ostringstream ss;
+  t.writeCsv(ss);
+  EXPECT_NE(ss.str().find("\"x,y\""), std::string::npos);
+}
+
+TEST(Table, TitleAppearsInOutput) {
+  Table t({"a"});
+  t.setTitle("My Table");
+  t.addRow({1.0});
+  EXPECT_NE(t.str().find("My Table"), std::string::npos);
+}
+
+TEST(FormatDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(formatDouble(1.5, 4), "1.5");
+  EXPECT_EQ(formatDouble(2.0, 4), "2.0");
+}
+
+TEST(FormatDouble, UsesScientificForExtremes) {
+  const std::string big = formatDouble(1.23e12, 3);
+  EXPECT_NE(big.find('e'), std::string::npos);
+  const std::string small = formatDouble(1.23e-7, 3);
+  EXPECT_NE(small.find('e'), std::string::npos);
+}
+
+// --- thread pool ---
+
+TEST(ThreadPool, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForCoversRangeExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.parallelFor(0, 257, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  EXPECT_NO_THROW(pool.parallelFor(5, 5, [](std::size_t) { FAIL(); }));
+}
+
+TEST(ThreadPool, ParallelForPropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 50) throw std::runtime_error("x");
+                                }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SizeDefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, MoreChunksThanThreadsStillCovers) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> sum{0};
+  pool.parallelFor(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+// --- mathutil ---
+
+TEST(MathUtil, IsPowerOfTwo) {
+  EXPECT_TRUE(isPowerOfTwo(1));
+  EXPECT_TRUE(isPowerOfTwo(2));
+  EXPECT_TRUE(isPowerOfTwo(1024));
+  EXPECT_FALSE(isPowerOfTwo(0));
+  EXPECT_FALSE(isPowerOfTwo(3));
+  EXPECT_FALSE(isPowerOfTwo(1023));
+}
+
+TEST(MathUtil, NextPowerOfTwo) {
+  EXPECT_EQ(nextPowerOfTwo(1), 1u);
+  EXPECT_EQ(nextPowerOfTwo(2), 2u);
+  EXPECT_EQ(nextPowerOfTwo(3), 4u);
+  EXPECT_EQ(nextPowerOfTwo(1025), 2048u);
+}
+
+TEST(MathUtil, Ilog2) {
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(1024), 10u);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 5), 2u);
+  EXPECT_EQ(ceilDiv(11, 5), 3u);
+  EXPECT_EQ(ceilDiv(1, 32), 1u);
+}
+
+TEST(MathUtil, Linspace) {
+  const auto xs = linspace(0.0, 1.0, 5);
+  ASSERT_EQ(xs.size(), 5u);
+  EXPECT_DOUBLE_EQ(xs.front(), 0.0);
+  EXPECT_DOUBLE_EQ(xs.back(), 1.0);
+  EXPECT_DOUBLE_EQ(xs[2], 0.5);
+}
+
+TEST(MathUtil, LinspaceSinglePoint) {
+  const auto xs = linspace(3.0, 9.0, 1);
+  ASSERT_EQ(xs.size(), 1u);
+  EXPECT_DOUBLE_EQ(xs[0], 3.0);
+}
+
+TEST(MathUtil, DivisorsOf) {
+  EXPECT_EQ(divisorsOf(12), (std::vector<std::uint64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisorsOf(1), (std::vector<std::uint64_t>{1}));
+  EXPECT_EQ(divisorsOf(16), (std::vector<std::uint64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(divisorsOf(7), (std::vector<std::uint64_t>{1, 7}));
+}
+
+TEST(MathUtil, ClampFinite) {
+  EXPECT_DOUBLE_EQ(clampFinite(0.5, 0.0, 1.0), 0.5);
+  EXPECT_DOUBLE_EQ(clampFinite(-1.0, 0.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(clampFinite(2.0, 0.0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(clampFinite(std::nan(""), 0.25, 1.0), 0.25);
+}
+
+TEST(MathUtil, RelativeDifference) {
+  EXPECT_DOUBLE_EQ(relativeDifference(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relativeDifference(1.0, 2.0), 0.5);
+  EXPECT_DOUBLE_EQ(relativeDifference(2.0, 1.0), 0.5);
+}
+
+TEST(MathUtil, KahanSumBeatsNaiveOnSmallAddends) {
+  std::vector<double> xs(1000000, 1e-10);
+  xs.push_back(1e10);
+  const double sum = kahanSum(xs);
+  EXPECT_NEAR(sum, 1e10 + 1e-4, 1e-6);
+}
+
+}  // namespace
+}  // namespace ep

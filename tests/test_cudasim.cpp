@@ -1,0 +1,289 @@
+// Unit tests for cusim: device memory accounting, events, the
+// functional block executor, and CUPTI-like counters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "cudasim/cupti.hpp"
+#include "cudasim/device.hpp"
+#include "cudasim/executor.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::cusim {
+namespace {
+
+Device makeDevice() { return Device(hw::nvidiaK40c()); }
+
+// --- device & memory ---
+
+TEST(Device, MemoryCapacityMatchesSpec) {
+  Device d = makeDevice();
+  EXPECT_EQ(d.memoryCapacityBytes(), 12ULL * 1024 * 1024 * 1024);
+  EXPECT_EQ(d.memoryUsedBytes(), 0u);
+}
+
+TEST(Device, BufferTracksUsage) {
+  Device d = makeDevice();
+  {
+    DeviceBuffer<double> buf(d, 1000);
+    EXPECT_EQ(d.memoryUsedBytes(), 8000u);
+    EXPECT_EQ(buf.size(), 1000u);
+    EXPECT_EQ(buf.bytes(), 8000u);
+  }
+  EXPECT_EQ(d.memoryUsedBytes(), 0u);  // RAII release
+}
+
+TEST(Device, AllocationBeyondCapacityThrows) {
+  Device d = makeDevice();
+  const std::size_t tooMany = d.memoryCapacityBytes() / sizeof(double) + 1;
+  EXPECT_THROW(DeviceBuffer<double>(d, tooMany), ResourceError);
+}
+
+TEST(Device, ExhaustionAcrossMultipleBuffers) {
+  Device d = makeDevice();
+  const std::size_t half = d.memoryCapacityBytes() / sizeof(double) / 2;
+  DeviceBuffer<double> a(d, half);
+  DeviceBuffer<double> b(d, half);
+  EXPECT_THROW(DeviceBuffer<double>(d, 1024), ResourceError);
+}
+
+TEST(Device, MoveTransfersOwnership) {
+  Device d = makeDevice();
+  DeviceBuffer<double> a(d, 100);
+  DeviceBuffer<double> b(std::move(a));
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(d.memoryUsedBytes(), 800u);
+}
+
+TEST(Device, BufferElementsReadWrite) {
+  Device d = makeDevice();
+  DeviceBuffer<int> buf(d, 10);
+  for (std::size_t i = 0; i < 10; ++i) buf[i] = static_cast<int>(i * i);
+  EXPECT_EQ(buf[3], 9);
+  EXPECT_EQ(buf[9], 81);
+}
+
+// --- events & clock ---
+
+TEST(Events, ElapsedMeasuresClockAdvance) {
+  Device d = makeDevice();
+  Event start, stop;
+  d.record(start);
+  d.advanceClock(Seconds{2.5});
+  d.record(stop);
+  EXPECT_DOUBLE_EQ(Device::elapsed(start, stop).value(), 2.5);
+}
+
+TEST(Events, UnrecordedEventThrows) {
+  Event e;
+  EXPECT_FALSE(e.recorded());
+  EXPECT_THROW((void)e.timestamp(), PreconditionError);
+}
+
+TEST(Events, ReversedEventsThrow) {
+  Device d = makeDevice();
+  Event start, stop;
+  d.record(stop);
+  d.advanceClock(Seconds{1.0});
+  d.record(start);
+  EXPECT_THROW((void)Device::elapsed(start, stop), PreconditionError);
+}
+
+TEST(Events, ClockCannotRunBackwards) {
+  Device d = makeDevice();
+  EXPECT_THROW(d.advanceClock(Seconds{-1.0}), PreconditionError);
+}
+
+// --- executor ---
+
+TEST(Executor, VisitsEveryBlockAndThreadOnce) {
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {3, 2, 1};
+  cfg.block = {4, 4, 1};
+  std::atomic<int> threads{0};
+  exec.launch(d, cfg, [&](BlockContext& ctx) {
+    ctx.forEachThread([&](Dim3) { threads.fetch_add(1); });
+  });
+  EXPECT_EQ(threads.load(), 3 * 2 * 4 * 4);
+}
+
+TEST(Executor, BlockIndicesCoverGrid) {
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {4, 3, 1};
+  cfg.block = {1, 1, 1};
+  std::vector<std::atomic<int>> seen(12);
+  exec.launch(d, cfg, [&](BlockContext& ctx) {
+    seen[ctx.blockIdx().y * 4 + ctx.blockIdx().x].fetch_add(1);
+  });
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(Executor, PhasesActAsBarriers) {
+  // Phase 1 writes shared memory; phase 2 reads values written by OTHER
+  // threads — only correct if phase 1 completed for all threads.
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {16, 1, 1};
+  cfg.sharedBytes = 16 * sizeof(int);
+  bool ok = true;
+  exec.launch(d, cfg, [&](BlockContext& ctx) {
+    auto shared = ctx.shared<int>(16);
+    ctx.forEachThread(
+        [&](Dim3 t) { shared[t.x] = static_cast<int>(t.x) * 10; });
+    ctx.forEachThread([&](Dim3 t) {
+      const unsigned other = (t.x + 5) % 16;
+      if (shared[other] != static_cast<int>(other) * 10) ok = false;
+    });
+  });
+  EXPECT_TRUE(ok);
+}
+
+TEST(Executor, SharedArenaExhaustionThrows) {
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  cfg.sharedBytes = 16;
+  EXPECT_THROW(
+      exec.launch(d, cfg,
+                  [&](BlockContext& ctx) { (void)ctx.shared<double>(100); }),
+      ResourceError);
+}
+
+TEST(Executor, RejectsOversizedBlocks) {
+  Device d = makeDevice();  // max 1024 threads/block
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {33, 32, 1};  // 1056 threads
+  EXPECT_THROW(exec.launch(d, cfg, [](BlockContext&) {}), ResourceError);
+}
+
+TEST(Executor, RejectsOversizedSharedMemory) {
+  Device d = makeDevice();  // 48 KB per block
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {1, 1, 1};
+  cfg.sharedBytes = 49 * 1024;
+  EXPECT_THROW(exec.launch(d, cfg, [](BlockContext&) {}), ResourceError);
+}
+
+TEST(Executor, RejectsEmptyLaunch) {
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {0, 1, 1};
+  cfg.block = {1, 1, 1};
+  EXPECT_THROW(exec.launch(d, cfg, [](BlockContext&) {}),
+               PreconditionError);
+}
+
+TEST(Executor, ParallelPoolMatchesSequential) {
+  Device d = makeDevice();
+  LaunchConfig cfg;
+  cfg.grid = {8, 8, 1};
+  cfg.block = {8, 8, 1};
+  auto run = [&](Executor& exec) {
+    std::atomic<long> sum{0};
+    exec.launch(d, cfg, [&](BlockContext& ctx) {
+      ctx.forEachThread([&](Dim3 t) {
+        sum.fetch_add(static_cast<long>(ctx.blockIdx().x + t.y));
+      });
+    });
+    return sum.load();
+  };
+  Executor seq;
+  ThreadPool pool(4);
+  Executor par(&pool);
+  EXPECT_EQ(run(seq), run(par));
+}
+
+TEST(Executor, FlatThreadIndexIsRowMajor) {
+  Device d = makeDevice();
+  const Executor exec;
+  LaunchConfig cfg;
+  cfg.grid = {1, 1, 1};
+  cfg.block = {4, 3, 1};
+  std::vector<int> order;
+  exec.launch(d, cfg, [&](BlockContext& ctx) {
+    ctx.forEachThread([&](Dim3 t) {
+      order.push_back(static_cast<int>(ctx.flatThread(t)));
+    });
+  });
+  std::vector<int> expected(12);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+// --- CUPTI counters ---
+
+TEST(Cupti, AccumulatesAndResets) {
+  CuptiCounters c;
+  c.add(CuptiEvent::kFlopCountDp, 100);
+  c.add(CuptiEvent::kFlopCountDp, 23);
+  EXPECT_EQ(c.trueValue(CuptiEvent::kFlopCountDp), 123u);
+  c.reset();
+  EXPECT_EQ(c.trueValue(CuptiEvent::kFlopCountDp), 0u);
+}
+
+TEST(Cupti, SmallCountsReadExactly) {
+  CuptiCounters c;
+  c.add(CuptiEvent::kFlopCountDp, 1000);
+  EXPECT_EQ(c.read(CuptiEvent::kFlopCountDp), 1000u);
+  EXPECT_FALSE(c.overflowed(CuptiEvent::kFlopCountDp));
+}
+
+TEST(Cupti, HardwareCountersWrapAt32Bits) {
+  // The paper: "many key events and metrics overflow for large matrix
+  // sizes (N > 2048)".  2 N^3 flops at N=2048 is 1.7e10 > 2^32.
+  CuptiCounters c;
+  const std::uint64_t flops = 2ULL * 2048 * 2048 * 2048;
+  c.add(CuptiEvent::kFlopCountDp, flops);
+  EXPECT_TRUE(c.overflowed(CuptiEvent::kFlopCountDp));
+  EXPECT_EQ(c.read(CuptiEvent::kFlopCountDp), flops & 0xFFFFFFFFULL);
+  EXPECT_EQ(c.trueValue(CuptiEvent::kFlopCountDp), flops);
+}
+
+TEST(Cupti, DriverAccumulatedEventsDoNotWrap) {
+  CuptiCounters c;
+  const std::uint64_t big = 1ULL << 40;
+  c.add(CuptiEvent::kDramBytes, big);
+  c.add(CuptiEvent::kElapsedCycles, big);
+  EXPECT_FALSE(c.overflowed(CuptiEvent::kDramBytes));
+  EXPECT_FALSE(c.overflowed(CuptiEvent::kElapsedCycles));
+  EXPECT_EQ(c.read(CuptiEvent::kDramBytes), big);
+}
+
+TEST(Cupti, EventNamesAreStable) {
+  EXPECT_EQ(cuptiEventName(CuptiEvent::kFlopCountDp), "flop_count_dp");
+  EXPECT_EQ(cuptiEventName(CuptiEvent::kDramBytes), "dram_bytes");
+  EXPECT_EQ(cuptiEventName(CuptiEvent::kSharedLoadStore),
+            "shared_load_store");
+  EXPECT_EQ(cuptiEventName(CuptiEvent::kGldTransactions),
+            "gld_transactions");
+  EXPECT_EQ(cuptiEventName(CuptiEvent::kElapsedCycles), "elapsed_cycles");
+}
+
+TEST(Cupti, PlusEqualsMergesAllEvents) {
+  CuptiCounters a, b;
+  a.add(CuptiEvent::kFlopCountDp, 10);
+  b.add(CuptiEvent::kFlopCountDp, 32);
+  b.add(CuptiEvent::kDramBytes, 7);
+  a += b;
+  EXPECT_EQ(a.trueValue(CuptiEvent::kFlopCountDp), 42u);
+  EXPECT_EQ(a.trueValue(CuptiEvent::kDramBytes), 7u);
+}
+
+}  // namespace
+}  // namespace ep::cusim

@@ -1,0 +1,240 @@
+// Unit and property tests for epfft: radix-2, Bluestein, dispatch, 2D
+// transforms, and the paper's work metric.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "fft/fft.hpp"
+
+namespace ep::fft {
+namespace {
+
+// O(n^2) reference DFT (forward, no scaling).
+std::vector<Complex> naiveDft(const std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  const double sign = inverse ? 2.0 : -2.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0.0, 0.0);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = sign * std::numbers::pi *
+                           static_cast<double>(k * j) /
+                           static_cast<double>(n);
+      sum += x[j] * Complex(std::cos(angle), std::sin(angle));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> randomSignal(std::size_t n, Rng& rng) {
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.uniform(-1.0, 1.0), rng.uniform(-1.0, 1.0));
+  return x;
+}
+
+void expectNear(const std::vector<Complex>& a, const std::vector<Complex>& b,
+                double tol) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_NEAR(a[i].real(), b[i].real(), tol) << "re at " << i;
+    ASSERT_NEAR(a[i].imag(), b[i].imag(), tol) << "im at " << i;
+  }
+}
+
+TEST(FftRadix2, MatchesNaiveDft) {
+  Rng rng(1);
+  for (std::size_t n : {2u, 4u, 8u, 64u, 256u}) {
+    auto x = randomSignal(n, rng);
+    const auto expected = naiveDft(x, false);
+    fftRadix2(x, false);
+    expectNear(x, expected, 1e-8);
+  }
+}
+
+TEST(FftRadix2, SizeOneIsIdentity) {
+  std::vector<Complex> x{Complex(3.0, -2.0)};
+  fftRadix2(x, false);
+  EXPECT_DOUBLE_EQ(x[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(x[0].imag(), -2.0);
+}
+
+TEST(FftRadix2, RejectsNonPowerOfTwo) {
+  std::vector<Complex> x(6);
+  EXPECT_THROW(fftRadix2(x, false), PreconditionError);
+}
+
+TEST(FftRadix2, ImpulseGivesFlatSpectrum) {
+  std::vector<Complex> x(16, Complex(0.0, 0.0));
+  x[0] = Complex(1.0, 0.0);
+  fftRadix2(x, false);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(FftRadix2, ConstantGivesImpulse) {
+  std::vector<Complex> x(8, Complex(1.0, 0.0));
+  fftRadix2(x, false);
+  EXPECT_NEAR(x[0].real(), 8.0, 1e-12);
+  for (std::size_t i = 1; i < 8; ++i) {
+    EXPECT_NEAR(std::abs(x[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(FftBluestein, MatchesNaiveDftArbitrarySizes) {
+  Rng rng(2);
+  for (std::size_t n : {3u, 5u, 6u, 7u, 12u, 17u, 100u, 125u}) {
+    auto x = randomSignal(n, rng);
+    const auto expected = naiveDft(x, false);
+    fftBluestein(x, false);
+    expectNear(x, expected, 1e-7);
+  }
+}
+
+TEST(FftBluestein, InverseMatchesNaive) {
+  Rng rng(3);
+  auto x = randomSignal(21, rng);
+  const auto expected = naiveDft(x, true);
+  fftBluestein(x, true);
+  expectNear(x, expected, 1e-7);
+}
+
+TEST(FftBluestein, PowerOfTwoDelegatesToRadix2) {
+  Rng rng(4);
+  auto x = randomSignal(32, rng);
+  auto y = x;
+  fftBluestein(x, false);
+  fftRadix2(y, false);
+  expectNear(x, y, 1e-10);
+}
+
+TEST(Fft, RoundTripRecoversSignal) {
+  Rng rng(5);
+  for (std::size_t n : {8u, 15u, 125u}) {
+    auto x = randomSignal(n, rng);
+    const auto original = x;
+    fft(x, false);
+    ifftNormalized(x);
+    expectNear(x, original, 1e-8);
+  }
+}
+
+TEST(Fft, ParsevalEnergyConservation) {
+  Rng rng(6);
+  const std::size_t n = 64;
+  auto x = randomSignal(n, rng);
+  double timeEnergy = 0.0;
+  for (const auto& v : x) timeEnergy += std::norm(v);
+  fft(x, false);
+  double freqEnergy = 0.0;
+  for (const auto& v : x) freqEnergy += std::norm(v);
+  EXPECT_NEAR(freqEnergy, timeEnergy * n, 1e-6 * timeEnergy * n);
+}
+
+TEST(Fft, LinearityProperty) {
+  Rng rng(7);
+  const std::size_t n = 40;
+  const auto a = randomSignal(n, rng);
+  const auto b = randomSignal(n, rng);
+  std::vector<Complex> sum(n);
+  for (std::size_t i = 0; i < n; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  auto fa = a, fb = b, fsum = sum;
+  fft(fa, false);
+  fft(fb, false);
+  fft(fsum, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    const Complex expected = 2.0 * fa[i] + 3.0 * fb[i];
+    ASSERT_NEAR(std::abs(fsum[i] - expected), 0.0, 1e-7);
+  }
+}
+
+TEST(Fft2d, MatchesSeparableNaiveDft) {
+  Rng rng(8);
+  const std::size_t n = 6;
+  auto data = randomSignal(n * n, rng);
+  // Reference: DFT of rows then columns.
+  std::vector<Complex> expected = data;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::vector<Complex> row(expected.begin() + r * n,
+                             expected.begin() + (r + 1) * n);
+    row = naiveDft(row, false);
+    std::copy(row.begin(), row.end(), expected.begin() + r * n);
+  }
+  for (std::size_t c = 0; c < n; ++c) {
+    std::vector<Complex> col(n);
+    for (std::size_t r = 0; r < n; ++r) col[r] = expected[r * n + c];
+    col = naiveDft(col, false);
+    for (std::size_t r = 0; r < n; ++r) expected[r * n + c] = col[r];
+  }
+  fft2d(n, data);
+  expectNear(data, expected, 1e-7);
+}
+
+TEST(Fft2d, ParallelMatchesSequential) {
+  Rng rng(9);
+  const std::size_t n = 32;
+  auto seq = randomSignal(n * n, rng);
+  auto par = seq;
+  fft2d(n, seq, nullptr);
+  ThreadPool pool(4);
+  fft2d(n, par, &pool);
+  expectNear(par, seq, 1e-10);
+}
+
+TEST(Fft2d, RoundTrip) {
+  Rng rng(10);
+  const std::size_t n = 12;  // non power of two
+  auto data = randomSignal(n * n, rng);
+  const auto original = data;
+  fft2d(n, data, nullptr, false);
+  fft2d(n, data, nullptr, true);
+  const double scale = 1.0 / static_cast<double>(n * n);
+  for (auto& v : data) v *= scale;
+  expectNear(data, original, 1e-8);
+}
+
+TEST(Fft2d, RejectsWrongSize) {
+  std::vector<Complex> data(10);
+  EXPECT_THROW(fft2d(4, data), PreconditionError);
+}
+
+TEST(FftWork, MatchesPaperFormula) {
+  // W = 5 N^2 log2 N.
+  EXPECT_DOUBLE_EQ(fftWork(2), 5.0 * 4.0 * 1.0);
+  EXPECT_DOUBLE_EQ(fftWork(1024), 5.0 * 1024.0 * 1024.0 * 10.0);
+  EXPECT_NEAR(fftWork(1000), 5.0 * 1e6 * std::log2(1000.0), 1e-3);
+}
+
+TEST(FftWork, RejectsTinySizes) {
+  EXPECT_THROW((void)fftWork(1), PreconditionError);
+}
+
+// Parameterized round-trip across a size sweep including paper-like
+// sizes (non powers of two).
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, ForwardInverseIsIdentity) {
+  Rng rng(11 + GetParam());
+  auto x = randomSignal(GetParam(), rng);
+  const auto original = x;
+  fft(x, false);
+  ifftNormalized(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    ASSERT_NEAR(std::abs(x[i] - original[i]), 0.0, 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 3, 5, 8, 13, 27, 64, 125, 128,
+                                           250, 256, 500, 1000));
+
+}  // namespace
+}  // namespace ep::fft

@@ -1,0 +1,254 @@
+// Unit tests for ephw's CPU model: Table I spec, the Fig 4 mechanisms
+// (utilization accounting, bandwidth roofline, SMT, dTLB term) and the
+// Fig 1 CPU FFT response.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::hw {
+namespace {
+
+CpuDgemmConfig cfg(int n, int p, int t,
+                   PartitionScheme s = PartitionScheme::Horizontal,
+                   BlasVariant v = BlasVariant::IntelMklLike) {
+  CpuDgemmConfig c;
+  c.n = n;
+  c.threadgroups = p;
+  c.threadsPerGroup = t;
+  c.partition = s;
+  c.variant = v;
+  return c;
+}
+
+TEST(CpuSpec, MatchesTableI) {
+  const CpuSpec s = haswellE52670v3();
+  EXPECT_EQ(s.coresPerSocket, 12);
+  EXPECT_EQ(s.sockets, 2);
+  EXPECT_EQ(s.physicalCores(), 24);
+  EXPECT_EQ(s.logicalCores(), 48);
+  EXPECT_EQ(s.l1dKB, 32);
+  EXPECT_EQ(s.l2KB, 256);
+  EXPECT_EQ(s.l3KB, 30720);
+  EXPECT_EQ(s.memoryGB, 64);
+}
+
+TEST(CpuModel, RunnableGating) {
+  const CpuModel m(haswellE52670v3());
+  EXPECT_TRUE(m.isRunnable(cfg(17408, 1, 24)));
+  EXPECT_FALSE(m.isRunnable(cfg(17408, 7, 7)));  // 49 > 48 threads
+  EXPECT_FALSE(m.isRunnable(cfg(60000, 1, 24)));  // 86 GB > 64 GB
+  EXPECT_THROW((void)m.modelDgemm(cfg(17408, 7, 7)), PreconditionError);
+}
+
+TEST(CpuModel, UtilizationVectorHas48Entries) {
+  const CpuModel m(haswellE52670v3());
+  const auto r = m.modelDgemm(cfg(8192, 2, 6));
+  EXPECT_EQ(r.coreUtilization.size(), 48u);
+  // 12 threads on scattered physical cores: 12 busy entries.
+  const auto busy = std::count_if(r.coreUtilization.begin(),
+                                  r.coreUtilization.end(),
+                                  [](double u) { return u > 0.0; });
+  EXPECT_EQ(busy, 12);
+}
+
+TEST(CpuModel, AverageUtilizationScalesWithThreadCount) {
+  const CpuModel m(haswellE52670v3());
+  const double u6 = m.modelDgemm(cfg(8192, 1, 6)).avgUtilization;
+  const double u24 = m.modelDgemm(cfg(8192, 1, 24)).avgUtilization;
+  const double u48 = m.modelDgemm(cfg(8192, 2, 24)).avgUtilization;
+  EXPECT_LT(u6, u24);
+  EXPECT_LT(u24, u48);
+  EXPECT_NEAR(u24, 0.5, 0.05);  // 24 of 48 logical cores busy
+}
+
+TEST(CpuModel, PerformanceRisesWithThreadsUntilBandwidthPlateau) {
+  const CpuModel m(haswellE52670v3());
+  const double g1 = m.modelDgemm(cfg(17408, 1, 1)).gflops;
+  const double g12 = m.modelDgemm(cfg(17408, 1, 12)).gflops;
+  const double g24 = m.modelDgemm(cfg(17408, 1, 24)).gflops;
+  const double g48 = m.modelDgemm(cfg(17408, 2, 24)).gflops;
+  EXPECT_LT(g1, g12);
+  EXPECT_LT(g12, g24);
+  // Plateau: going from 24 to 48 threads buys little.
+  EXPECT_LT(g48 / g24, 1.15);
+  // "The flattening of the performance ... peak memory bandwidth":
+  // the plateau sits near the paper's ~700 GFLOPs.
+  EXPECT_NEAR(g24, 700.0, 120.0);
+}
+
+TEST(CpuModel, TimeMatchesWorkOverThroughput) {
+  const CpuModel m(haswellE52670v3());
+  const auto r = m.modelDgemm(cfg(8192, 2, 12));
+  const double flops = 2.0 * std::pow(8192.0, 3.0);
+  EXPECT_NEAR(r.time.value(), flops / (r.gflops * 1e9), 1e-9);
+}
+
+TEST(CpuModel, MklLikeOutperformsOpenBlasLike) {
+  const CpuModel m(haswellE52670v3());
+  const double mkl =
+      m.modelDgemm(cfg(17408, 1, 12, PartitionScheme::Horizontal,
+                       BlasVariant::IntelMklLike))
+          .gflops;
+  const double ob =
+      m.modelDgemm(cfg(17408, 1, 12, PartitionScheme::Horizontal,
+                       BlasVariant::OpenBlasLike))
+          .gflops;
+  EXPECT_GT(mkl, ob);
+}
+
+TEST(CpuModel, SmtThreadsAddLessThanPhysicalCores) {
+  const CpuModel m(haswellE52670v3());
+  // Small N to stay out of the bandwidth plateau.
+  const double g24 = m.modelDgemm(cfg(4096, 1, 24)).gflops;
+  const double g48 = m.modelDgemm(cfg(4096, 2, 24)).gflops;
+  const double g12 = m.modelDgemm(cfg(4096, 1, 12)).gflops;
+  const double physicalGain = g24 - g12;  // adding 12 physical cores
+  const double smtGain = g48 - g24;       // adding 24 SMT siblings
+  EXPECT_LT(smtGain, physicalGain);
+}
+
+TEST(CpuModel, SameAvgUtilizationDifferentPower) {
+  // The heart of Fig 4: configurations with (nearly) the same average
+  // CPU utilization draw materially different dynamic power.
+  const CpuModel m(haswellE52670v3());
+  const auto a = m.modelDgemm(cfg(17408, 1, 24));   // 1 group of 24
+  const auto b = m.modelDgemm(cfg(17408, 12, 2));   // 12 groups of 2
+  EXPECT_NEAR(a.avgUtilization, b.avgUtilization, 0.02);
+  const double relPowerGap =
+      std::fabs(a.dynamicPower.value() - b.dynamicPower.value()) /
+      a.dynamicPower.value();
+  EXPECT_GT(relPowerGap, 0.03);
+}
+
+TEST(CpuModel, MoreThreadgroupsMoreTlbActivity) {
+  // The [8] mechanism: each group separately streams the shared B.
+  const CpuModel m(haswellE52670v3());
+  const auto p1 = m.modelDgemm(cfg(17408, 1, 24));
+  const auto p12 = m.modelDgemm(cfg(17408, 12, 2));
+  EXPECT_GT(p12.tlbWalksPerSec, p1.tlbWalksPerSec * 1.5);
+}
+
+TEST(CpuModel, SquarePartitioningAvoidsRemoteTraffic) {
+  // Horizontal shares B across sockets; Square partitions it.  With both
+  // sockets active, Horizontal pays QPI power.
+  const CpuModel m(haswellE52670v3());
+  const auto hor =
+      m.modelDgemm(cfg(17408, 2, 12, PartitionScheme::Horizontal));
+  const auto sq = m.modelDgemm(cfg(17408, 2, 12, PartitionScheme::Square));
+  EXPECT_GT(hor.dynamicPower.value(), sq.dynamicPower.value());
+}
+
+TEST(CpuModel, SingleSocketConfigsUseHalfBandwidth) {
+  const CpuModel m(haswellE52670v3());
+  // 12 threads fit one socket... threads are scattered across both
+  // sockets round-robin by core index, so with >1 thread both sockets
+  // engage; a single thread stays on one socket.
+  const auto one = m.modelDgemm(cfg(17408, 1, 1));
+  EXPECT_GT(one.gflops, 0.0);
+  EXPECT_LT(one.memBandwidthGBs,
+            haswellE52670v3().memBandwidthGBs * 0.5);
+}
+
+TEST(CpuModel, DynamicPowerPositiveAndBounded) {
+  const CpuModel m(haswellE52670v3());
+  for (int p : {1, 2, 4, 12}) {
+    for (int t : {1, 2, 4}) {
+      const auto r = m.modelDgemm(cfg(8192, p, t));
+      EXPECT_GT(r.dynamicPower.value(), 0.0);
+      EXPECT_LT(r.dynamicPower.value(), 2.0 * 120.0);  // < 2x TDP total
+    }
+  }
+}
+
+// --- FFT response (Fig 1 CPU curve) ---
+
+TEST(CpuFft, EnergyPerWorkRisesAcrossCacheRegimes) {
+  const CpuModel m(haswellE52670v3());
+  auto energyPerWork = [&](int n) {
+    const auto r = m.modelFft2d(n);
+    const double w = 5.0 * static_cast<double>(n) * n *
+                     std::log2(static_cast<double>(n));
+    return r.dynamicEnergy().value() / w;
+  };
+  // In-L3 (N=1024, 16 MB), out-of-L3 (N=4096), deep TLB regime (N=32768).
+  const double inCache = energyPerWork(1024);
+  const double dram = energyPerWork(4096);
+  const double tlb = energyPerWork(32768);
+  EXPECT_GT(dram, inCache);
+  EXPECT_GT(tlb, dram * 0.9);
+}
+
+TEST(CpuFft, StrongEpViolatedAcrossSizeSweep) {
+  // E_d vs W is visibly non-proportional (Fig 1).
+  const CpuModel m(haswellE52670v3());
+  double minRatio = 1e300, maxRatio = 0.0;
+  for (int n : {256, 512, 1024, 2048, 4096, 8192, 16384, 32768}) {
+    const auto r = m.modelFft2d(n);
+    const double w = 5.0 * static_cast<double>(n) * n *
+                     std::log2(static_cast<double>(n));
+    const double ratio = r.dynamicEnergy().value() / w;
+    minRatio = std::min(minRatio, ratio);
+    maxRatio = std::max(maxRatio, ratio);
+  }
+  EXPECT_GT(maxRatio / minRatio, 1.5);  // far from E = c W
+}
+
+TEST(CpuFft, NonPowerOfTwoSlower) {
+  const CpuModel m(haswellE52670v3());
+  const auto pow2 = m.modelFft2d(4096);
+  const auto prime = m.modelFft2d(4099);
+  EXPECT_GT(prime.time.value(), pow2.time.value());
+}
+
+TEST(CpuFft, UsesAllPhysicalCores) {
+  const CpuModel m(haswellE52670v3());
+  const auto r = m.modelFft2d(2048);
+  const auto busy =
+      std::count_if(r.coreUtilization.begin(), r.coreUtilization.end(),
+                    [](double u) { return u > 0.0; });
+  EXPECT_EQ(busy, 24);
+}
+
+// Parameterized sweep: the model is well-formed across the whole
+// configuration space.
+struct CfgParam {
+  int p, t;
+};
+
+class CpuCfgSweep : public ::testing::TestWithParam<CfgParam> {};
+
+TEST_P(CpuCfgSweep, WellFormedOutputs) {
+  const CpuModel m(haswellE52670v3());
+  for (const auto scheme :
+       {PartitionScheme::Horizontal, PartitionScheme::Square}) {
+    for (const auto variant :
+         {BlasVariant::IntelMklLike, BlasVariant::OpenBlasLike}) {
+      const auto r = m.modelDgemm(
+          cfg(8192, GetParam().p, GetParam().t, scheme, variant));
+      EXPECT_GT(r.gflops, 0.0);
+      EXPECT_GT(r.time.value(), 0.0);
+      EXPECT_GT(r.dynamicPower.value(), 0.0);
+      EXPECT_GE(r.avgUtilization, 0.0);
+      EXPECT_LE(r.avgUtilization, 1.0);
+      for (double u : r.coreUtilization) {
+        EXPECT_GE(u, 0.0);
+        EXPECT_LE(u, 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CpuCfgSweep,
+    ::testing::Values(CfgParam{1, 1}, CfgParam{1, 12}, CfgParam{1, 24},
+                      CfgParam{2, 12}, CfgParam{2, 24}, CfgParam{3, 8},
+                      CfgParam{4, 6}, CfgParam{6, 4}, CfgParam{8, 3},
+                      CfgParam{12, 1}, CfgParam{12, 4}, CfgParam{24, 2}));
+
+}  // namespace
+}  // namespace ep::hw

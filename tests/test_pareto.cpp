@@ -1,0 +1,331 @@
+// Unit and property tests for eppareto: dominance, fronts,
+// non-dominated sorting, hypervolume, and trade-off analysis.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pareto/front.hpp"
+#include "pareto/point.hpp"
+#include "pareto/tradeoff.hpp"
+
+namespace ep::pareto {
+namespace {
+
+BiPoint mk(double t, double e, std::uint64_t id = 0) {
+  BiPoint p;
+  p.time = Seconds{t};
+  p.energy = Joules{e};
+  p.configId = id;
+  return p;
+}
+
+// --- dominance ---
+
+TEST(Dominance, StrictlyBetterInBothDominates) {
+  EXPECT_TRUE(dominates(mk(1.0, 1.0), mk(2.0, 2.0)));
+}
+
+TEST(Dominance, BetterInOneEqualInOtherDominates) {
+  EXPECT_TRUE(dominates(mk(1.0, 2.0), mk(2.0, 2.0)));
+  EXPECT_TRUE(dominates(mk(2.0, 1.0), mk(2.0, 2.0)));
+}
+
+TEST(Dominance, EqualPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(mk(1.0, 1.0), mk(1.0, 1.0)));
+}
+
+TEST(Dominance, TradeoffPointsDoNotDominate) {
+  EXPECT_FALSE(dominates(mk(1.0, 3.0), mk(3.0, 1.0)));
+  EXPECT_FALSE(dominates(mk(3.0, 1.0), mk(1.0, 3.0)));
+}
+
+TEST(Dominance, IsAsymmetric) {
+  const BiPoint a = mk(1.0, 1.0);
+  const BiPoint b = mk(2.0, 2.0);
+  EXPECT_TRUE(dominates(a, b));
+  EXPECT_FALSE(dominates(b, a));
+}
+
+// --- paretoFront ---
+
+TEST(Front, SinglePoint) {
+  const auto f = paretoFront({mk(1.0, 1.0)});
+  ASSERT_EQ(f.size(), 1u);
+}
+
+TEST(Front, ChainOfDominatedPointsCollapses) {
+  const auto f = paretoFront({mk(1, 1), mk(2, 2), mk(3, 3), mk(4, 4)});
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0].time.value(), 1.0);
+}
+
+TEST(Front, AntiChainAllSurvive) {
+  const auto f = paretoFront({mk(1, 4), mk(2, 3), mk(3, 2), mk(4, 1)});
+  EXPECT_EQ(f.size(), 4u);
+}
+
+TEST(Front, SortedByAscendingTime) {
+  const auto f = paretoFront({mk(4, 1), mk(1, 4), mk(3, 2), mk(2, 3)});
+  ASSERT_EQ(f.size(), 4u);
+  for (std::size_t i = 1; i < f.size(); ++i) {
+    EXPECT_LT(f[i - 1].time, f[i].time);
+  }
+}
+
+TEST(Front, MixedCase) {
+  // (2,2) dominates (3,3); front is {(1,4), (2,2), (5,1)}.
+  const auto f = paretoFront({mk(1, 4), mk(3, 3), mk(2, 2), mk(5, 1)});
+  ASSERT_EQ(f.size(), 3u);
+  EXPECT_EQ(f[0].energy.value(), 4.0);
+  EXPECT_EQ(f[1].energy.value(), 2.0);
+  EXPECT_EQ(f[2].energy.value(), 1.0);
+}
+
+TEST(Front, DuplicateObjectivePointsAllKept) {
+  const auto f = paretoFront({mk(1, 1, 0), mk(1, 1, 1), mk(2, 2, 2)});
+  EXPECT_EQ(f.size(), 2u);  // both copies of (1,1); (2,2) dominated
+}
+
+TEST(Front, EmptyInputGivesEmptyFront) {
+  const auto f = paretoFront({});
+  EXPECT_TRUE(f.empty());
+}
+
+// Property: front validity on random clouds.
+TEST(FrontProperty, RandomCloudsProduceValidFronts) {
+  Rng rng(77);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<BiPoint> pts;
+    const int n = 2 + static_cast<int>(rng.uniformInt(0, 60));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                       static_cast<std::uint64_t>(i)));
+    }
+    const auto f = paretoFront(pts);
+    EXPECT_FALSE(f.empty());
+    EXPECT_TRUE(isValidFront(f, pts));
+  }
+}
+
+// --- non-dominated sorting ---
+
+TEST(NonDominatedSort, PartitionsAllPoints) {
+  Rng rng(78);
+  std::vector<BiPoint> pts;
+  for (int i = 0; i < 40; ++i) {
+    pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                     static_cast<std::uint64_t>(i)));
+  }
+  const auto fronts = nonDominatedSort(pts);
+  std::size_t total = 0;
+  for (const auto& f : fronts) total += f.size();
+  EXPECT_EQ(total, pts.size());
+}
+
+TEST(NonDominatedSort, LaterFrontsDominatedByEarlier) {
+  const auto fronts =
+      nonDominatedSort({mk(1, 1, 0), mk(2, 2, 1), mk(3, 3, 2)});
+  ASSERT_EQ(fronts.size(), 3u);
+  EXPECT_EQ(fronts[0][0].configId, 0u);
+  EXPECT_EQ(fronts[1][0].configId, 1u);
+  EXPECT_EQ(fronts[2][0].configId, 2u);
+}
+
+TEST(NonDominatedSort, AntiChainIsSingleFront) {
+  const auto fronts = nonDominatedSort({mk(1, 3), mk(2, 2), mk(3, 1)});
+  EXPECT_EQ(fronts.size(), 1u);
+}
+
+TEST(LocalFront, LevelOneEqualsGlobalFront) {
+  const std::vector<BiPoint> pts{mk(1, 1, 0), mk(2, 2, 1), mk(3, 1.5, 2)};
+  EXPECT_EQ(localFront(pts, 1).size(), paretoFront(pts).size());
+}
+
+TEST(LocalFront, MissingLevelIsEmpty) {
+  const std::vector<BiPoint> pts{mk(1, 3), mk(2, 2), mk(3, 1)};
+  EXPECT_TRUE(localFront(pts, 2).empty());
+}
+
+TEST(LocalFront, LevelZeroThrows) {
+  const std::vector<BiPoint> pts{mk(1, 1)};
+  EXPECT_THROW((void)localFront(pts, 0), PreconditionError);
+}
+
+// --- hypervolume ---
+
+TEST(Hypervolume, SinglePointRectangle) {
+  const double hv = hypervolume({mk(1, 1)}, mk(3, 3));
+  EXPECT_DOUBLE_EQ(hv, 4.0);
+}
+
+TEST(Hypervolume, TwoPointUnion) {
+  // (1,2) and (2,1) vs ref (3,3): union = 2*1 + 1*... = computed: 3.
+  const double hv = hypervolume({mk(1, 2), mk(2, 1)}, mk(3, 3));
+  EXPECT_DOUBLE_EQ(hv, 3.0);
+}
+
+TEST(Hypervolume, EmptyFrontIsZero) {
+  EXPECT_DOUBLE_EQ(hypervolume({}, mk(1, 1)), 0.0);
+}
+
+TEST(Hypervolume, RejectsBadReference) {
+  EXPECT_THROW((void)hypervolume({mk(2, 2)}, mk(1, 1)), PreconditionError);
+}
+
+TEST(Hypervolume, MorePointsNeverDecreaseVolume) {
+  const BiPoint ref = mk(10, 10);
+  const double hv1 = hypervolume({mk(2, 5)}, ref);
+  const double hv2 = hypervolume({mk(2, 5), mk(5, 2)}, ref);
+  EXPECT_GE(hv2, hv1);
+}
+
+// --- trade-off ---
+
+TEST(Tradeoff, PerfAndEnergyOptimaIdentified) {
+  const std::vector<BiPoint> pts{mk(1.0, 10.0, 0), mk(2.0, 4.0, 1),
+                                 mk(3.0, 6.0, 2)};
+  const auto tr = analyzeTradeoff(pts);
+  EXPECT_EQ(tr.performanceOptimal.configId, 0u);
+  EXPECT_EQ(tr.energyOptimal.configId, 1u);
+  EXPECT_DOUBLE_EQ(tr.maxEnergySavings, 0.6);           // (10-4)/10
+  EXPECT_DOUBLE_EQ(tr.performanceDegradation, 1.0);     // (2-1)/1
+}
+
+TEST(Tradeoff, SinglePointHasZeroSavings) {
+  const auto tr = analyzeTradeoff({mk(1.0, 1.0)});
+  EXPECT_DOUBLE_EQ(tr.maxEnergySavings, 0.0);
+  EXPECT_DOUBLE_EQ(tr.performanceDegradation, 0.0);
+}
+
+TEST(Tradeoff, SavingsUnderBudgetRespectsBudget) {
+  const std::vector<BiPoint> pts{mk(1.0, 10.0, 0), mk(1.05, 8.0, 1),
+                                 mk(2.0, 2.0, 2)};
+  // 10 % budget admits only the first two points.
+  const auto tr = savingsUnderBudget(pts, 0.10);
+  ASSERT_TRUE(tr.has_value());
+  EXPECT_EQ(tr->energyOptimal.configId, 1u);
+  EXPECT_DOUBLE_EQ(tr->maxEnergySavings, 0.2);
+  // 200 % budget admits the cheap slow point.
+  const auto tr2 = savingsUnderBudget(pts, 2.0);
+  ASSERT_TRUE(tr2.has_value());
+  EXPECT_EQ(tr2->energyOptimal.configId, 2u);
+}
+
+TEST(Tradeoff, SavingsUnderBudgetNulloptWhenNoImprovement) {
+  const std::vector<BiPoint> pts{mk(1.0, 1.0, 0), mk(1.05, 2.0, 1)};
+  EXPECT_FALSE(savingsUnderBudget(pts, 0.10).has_value());
+}
+
+TEST(Tradeoff, ZeroBudgetOnlyAdmitsPerfOptimum) {
+  const std::vector<BiPoint> pts{mk(1.0, 5.0, 0), mk(1.5, 1.0, 1)};
+  EXPECT_FALSE(savingsUnderBudget(pts, 0.0).has_value());
+}
+
+TEST(Knee, MiddleOfSymmetricFrontWins) {
+  const std::vector<BiPoint> front{mk(1, 5, 0), mk(2.5, 2.5, 1),
+                                   mk(5, 1, 2)};
+  EXPECT_EQ(kneePoint(front).configId, 1u);
+}
+
+TEST(Knee, SinglePointFront) {
+  EXPECT_EQ(kneePoint({mk(1, 1, 7)}).configId, 7u);
+}
+
+TEST(Knee, EmptyFrontThrows) {
+  EXPECT_THROW((void)kneePoint({}), PreconditionError);
+}
+
+// Property: for random clouds, the budgeted recommendation never
+// violates the budget and never exceeds the unconstrained max savings.
+TEST(TradeoffProperty, BudgetedSavingsBounded) {
+  Rng rng(99);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<BiPoint> pts;
+    for (int i = 0; i < 30; ++i) {
+      pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                       static_cast<std::uint64_t>(i)));
+    }
+    const double budget = rng.uniform(0.0, 1.0);
+    const auto unconstrained = analyzeTradeoff(pts);
+    const auto budgeted = savingsUnderBudget(pts, budget);
+    if (budgeted) {
+      EXPECT_LE(budgeted->performanceDegradation, budget + 1e-12);
+      EXPECT_LE(budgeted->maxEnergySavings,
+                unconstrained.maxEnergySavings + 1e-12);
+      EXPECT_GT(budgeted->maxEnergySavings, 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ep::pareto
+
+// --- crowding distance & epsilon fronts (appended extensions) ---
+
+namespace ep::pareto {
+namespace {
+
+BiPoint mk2(double t, double e, std::uint64_t id = 0) {
+  BiPoint p;
+  p.time = Seconds{t};
+  p.energy = Joules{e};
+  p.configId = id;
+  return p;
+}
+
+TEST(Crowding, BoundariesAreInfinite) {
+  const std::vector<BiPoint> front{mk2(1, 5), mk2(2, 3), mk2(3, 1)};
+  const auto d = crowdingDistance(front);
+  ASSERT_EQ(d.size(), 3u);
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[2]));
+  EXPECT_FALSE(std::isinf(d[1]));
+  EXPECT_GT(d[1], 0.0);
+}
+
+TEST(Crowding, DenseMiddlePointHasSmallerDistance) {
+  // t = 2.05 has near neighbours on BOTH sides: it is the crowded one.
+  const std::vector<BiPoint> front{mk2(1, 10), mk2(2, 6), mk2(2.05, 5.9),
+                                   mk2(2.1, 5.8), mk2(5, 1)};
+  const auto d = crowdingDistance(front);
+  EXPECT_LT(d[2], d[1]);
+  EXPECT_LT(d[2], d[3]);
+}
+
+TEST(Crowding, TinyFrontsAllInfinite) {
+  const auto d = crowdingDistance({mk2(1, 2), mk2(2, 1)});
+  EXPECT_TRUE(std::isinf(d[0]));
+  EXPECT_TRUE(std::isinf(d[1]));
+}
+
+TEST(EpsilonFront, CollapsesNearDuplicates) {
+  const std::vector<BiPoint> pts{mk2(1.0, 5.0, 0), mk2(1.001, 4.999, 1),
+                                 mk2(2.0, 1.0, 2)};
+  const auto thin = epsilonFront(pts, 0.01);
+  EXPECT_EQ(thin.size(), 2u);
+  const auto full = epsilonFront(pts, 0.0);
+  EXPECT_EQ(full.size(), 3u);
+}
+
+TEST(EpsilonFront, SubsetOfTrueFront) {
+  Rng rng(123);
+  std::vector<BiPoint> pts;
+  for (int i = 0; i < 60; ++i) {
+    pts.push_back(mk2(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                      static_cast<std::uint64_t>(i)));
+  }
+  const auto full = paretoFront(pts);
+  const auto thin = epsilonFront(pts, 0.05);
+  EXPECT_LE(thin.size(), full.size());
+  EXPECT_TRUE(isValidFront(thin, {}));
+}
+
+TEST(EpsilonFront, RejectsNegativeEpsilon) {
+  EXPECT_THROW((void)epsilonFront({mk2(1, 1)}, -0.1), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ep::pareto

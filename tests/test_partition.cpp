@@ -1,0 +1,230 @@
+// Tests for eppartition: discrete profiles and the exact bi-objective
+// workload-distribution DP solver ([25]/[12]-style baseline).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "pareto/front.hpp"
+#include "partition/partitioner.hpp"
+#include "partition/profile.hpp"
+
+namespace ep::partition {
+namespace {
+
+// A linear processor: time = a*k, energy = b*k.
+DiscreteProfile linearProfile(const std::string& name, std::size_t maxUnits,
+                              double a, double b) {
+  return DiscreteProfile::sample(
+      name, maxUnits,
+      [a](std::size_t k) { return Seconds{a * static_cast<double>(k)}; },
+      [b](std::size_t k) { return Joules{b * static_cast<double>(k)}; });
+}
+
+// --- profile ---
+
+TEST(Profile, SampleAndLookup) {
+  const auto p = linearProfile("cpu", 10, 2.0, 3.0);
+  EXPECT_EQ(p.maxUnits(), 10u);
+  EXPECT_DOUBLE_EQ(p.timeFor(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.energyFor(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(p.timeFor(4).value(), 8.0);
+  EXPECT_DOUBLE_EQ(p.energyFor(4).value(), 12.0);
+}
+
+TEST(Profile, RejectsOutOfRange) {
+  const auto p = linearProfile("cpu", 5, 1.0, 1.0);
+  EXPECT_THROW((void)p.timeFor(6), PreconditionError);
+  EXPECT_THROW((void)p.energyFor(6), PreconditionError);
+}
+
+TEST(Profile, RejectsMalformedTables) {
+  // Non-zero cost at zero work.
+  EXPECT_THROW(DiscreteProfile("x", {Seconds{1.0}, Seconds{2.0}},
+                               {Joules{0.0}, Joules{1.0}}),
+               PreconditionError);
+  // Misaligned tables.
+  EXPECT_THROW(DiscreteProfile("x", {Seconds{0.0}, Seconds{1.0}},
+                               {Joules{0.0}}),
+               PreconditionError);
+  // Zero time for positive work.
+  EXPECT_THROW(DiscreteProfile("x", {Seconds{0.0}, Seconds{0.0}},
+                               {Joules{0.0}, Joules{1.0}}),
+               PreconditionError);
+}
+
+// --- partitioner on analytically solvable cases ---
+
+TEST(Partitioner, SingleProcessorIsTrivial) {
+  const WorkloadPartitioner part({linearProfile("p", 10, 1.0, 2.0)});
+  const auto front = part.paretoDistributions(7);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_EQ(front[0].parts, (std::vector<std::size_t>{7}));
+  EXPECT_DOUBLE_EQ(front[0].time.value(), 7.0);
+  EXPECT_DOUBLE_EQ(front[0].energy.value(), 14.0);
+}
+
+TEST(Partitioner, IdenticalLinearProcessorsBalance) {
+  // Two identical linear processors: the even split minimizes time; its
+  // energy equals every other split's (energies are linear), so the
+  // front collapses to the minimum-time point.
+  const WorkloadPartitioner part({linearProfile("a", 10, 1.0, 1.0),
+                                  linearProfile("b", 10, 1.0, 1.0)});
+  const auto front = part.paretoDistributions(10);
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].time.value(), 5.0);
+  EXPECT_DOUBLE_EQ(front[0].energy.value(), 10.0);
+}
+
+TEST(Partitioner, FastExpensiveVsSlowCheapGivesRealFront) {
+  // Processor A: fast but power hungry; B: slow but cheap.  Shifting
+  // work from A to B trades time for energy -> a multi-point front.
+  const WorkloadPartitioner part({linearProfile("fast", 20, 1.0, 10.0),
+                                  linearProfile("cheap", 20, 4.0, 1.0)});
+  const auto front = part.paretoDistributions(12);
+  EXPECT_GT(front.size(), 2u);
+  // Extremes: fastest uses both (balanced by speed), cheapest pushes
+  // everything to the cheap processor.
+  const auto fastest = part.fastest(12);
+  const auto efficient = part.mostEfficient(12);
+  EXPECT_LT(fastest.time, efficient.time);
+  EXPECT_GT(fastest.energy, efficient.energy);
+  EXPECT_EQ(efficient.parts, (std::vector<std::size_t>{0, 12}));
+}
+
+TEST(Partitioner, FrontIsSortedAndMutuallyNonDominating) {
+  const WorkloadPartitioner part({linearProfile("a", 15, 1.0, 7.0),
+                                  linearProfile("b", 15, 2.0, 3.0),
+                                  linearProfile("c", 15, 3.0, 1.0)});
+  const auto front = part.paretoDistributions(20);
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].time.value(), front[i - 1].time.value());
+    EXPECT_LT(front[i].energy.value(), front[i - 1].energy.value());
+  }
+}
+
+TEST(Partitioner, PartsAlwaysSumToWorkload) {
+  Rng rng(4);
+  std::vector<DiscreteProfile> profiles;
+  for (int p = 0; p < 3; ++p) {
+    profiles.push_back(DiscreteProfile::sample(
+        "p" + std::to_string(p), 12,
+        [&rng](std::size_t k) {
+          return Seconds{static_cast<double>(k) * 1.0 +
+                         rng.uniform(0.0, 0.5)};
+        },
+        [&rng](std::size_t k) {
+          return Joules{static_cast<double>(k) * 2.0 +
+                        rng.uniform(0.0, 1.0)};
+        }));
+  }
+  const WorkloadPartitioner part(profiles);
+  for (std::size_t w : {1u, 5u, 17u, 36u}) {
+    for (const auto& d : part.paretoDistributions(w)) {
+      std::size_t sum = 0;
+      for (auto x : d.parts) sum += x;
+      EXPECT_EQ(sum, w);
+    }
+  }
+}
+
+TEST(Partitioner, ObjectivesMatchRecomputationFromParts) {
+  const std::vector<DiscreteProfile> profiles{
+      linearProfile("a", 10, 1.3, 4.0), linearProfile("b", 10, 2.1, 2.0)};
+  const WorkloadPartitioner part(profiles);
+  for (const auto& d : part.paretoDistributions(9)) {
+    Seconds t{0.0};
+    Joules e{0.0};
+    for (std::size_t i = 0; i < d.parts.size(); ++i) {
+      t = std::max(t, profiles[i].timeFor(d.parts[i]));
+      e += profiles[i].energyFor(d.parts[i]);
+    }
+    EXPECT_DOUBLE_EQ(d.time.value(), t.value());
+    EXPECT_DOUBLE_EQ(d.energy.value(), e.value());
+  }
+}
+
+// Property: the DP front matches brute-force enumeration for small
+// instances.
+TEST(PartitionerProperty, MatchesBruteForceOnSmallInstances) {
+  Rng rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<DiscreteProfile> profiles;
+    for (int p = 0; p < 2; ++p) {
+      std::vector<Seconds> times{Seconds{0.0}};
+      std::vector<Joules> energies{Joules{0.0}};
+      for (int k = 1; k <= 8; ++k) {
+        times.push_back(Seconds{rng.uniform(0.5, 10.0)});
+        energies.push_back(Joules{rng.uniform(0.5, 10.0)});
+      }
+      profiles.emplace_back("p" + std::to_string(p), times, energies);
+    }
+    const WorkloadPartitioner part(profiles);
+    const std::size_t w = 8;
+    const auto front = part.paretoDistributions(w);
+
+    // Brute force all (x, w-x).
+    std::vector<pareto::BiPoint> all;
+    for (std::size_t x = 0; x <= w; ++x) {
+      pareto::BiPoint pt;
+      pt.time = std::max(profiles[0].timeFor(x), profiles[1].timeFor(w - x));
+      pt.energy = profiles[0].energyFor(x) + profiles[1].energyFor(w - x);
+      pt.configId = x;
+      all.push_back(pt);
+    }
+    const auto expected = pareto::paretoFront(all);
+    // Same objective sets (duplicates collapse in the DP).
+    ASSERT_LE(front.size(), expected.size());
+    for (const auto& d : front) {
+      const bool found = std::any_of(
+          expected.begin(), expected.end(), [&](const pareto::BiPoint& p) {
+            return std::fabs(p.time.value() - d.time.value()) < 1e-12 &&
+                   std::fabs(p.energy.value() - d.energy.value()) < 1e-12;
+          });
+      EXPECT_TRUE(found);
+    }
+    // And no expected objective pair is missing from the DP front.
+    for (const auto& p : expected) {
+      const bool found = std::any_of(
+          front.begin(), front.end(), [&](const Distribution& d) {
+            return std::fabs(p.time.value() - d.time.value()) < 1e-12 &&
+                   std::fabs(p.energy.value() - d.energy.value()) < 1e-12;
+          });
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(Partitioner, BalancedBaselineIsFeasibleButUsuallyDominated) {
+  const WorkloadPartitioner part({linearProfile("fast", 20, 1.0, 10.0),
+                                  linearProfile("cheap", 20, 4.0, 1.0)});
+  const auto bal = part.balanced(12);
+  std::size_t sum = 0;
+  for (auto x : bal.parts) sum += x;
+  EXPECT_EQ(sum, 12u);
+  // The even split ignores heterogeneity: the bi-objective fastest
+  // distribution beats it on time.
+  EXPECT_LT(part.fastest(12).time.value(), bal.time.value() + 1e-12);
+}
+
+TEST(Partitioner, RejectsInfeasibleWorkloads) {
+  const WorkloadPartitioner part({linearProfile("a", 4, 1.0, 1.0)});
+  EXPECT_THROW((void)part.paretoDistributions(5), PreconditionError);
+  EXPECT_THROW((void)part.paretoDistributions(0), PreconditionError);
+  EXPECT_THROW(WorkloadPartitioner({}), PreconditionError);
+}
+
+TEST(Partitioner, DescribeNamesProcessors) {
+  const std::vector<DiscreteProfile> profiles{
+      linearProfile("cpu", 5, 1.0, 1.0), linearProfile("gpu", 5, 1.0, 1.0)};
+  const WorkloadPartitioner part(profiles);
+  const auto d = part.fastest(4);
+  const std::string s = d.describe(profiles);
+  EXPECT_NE(s.find("cpu:"), std::string::npos);
+  EXPECT_NE(s.find("gpu:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ep::partition

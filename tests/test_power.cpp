@@ -1,0 +1,312 @@
+// Unit tests for eppower: traces, profiles, the simulated WattsUp meter,
+// and the HCLWattsUp-style energy measurer.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "power/measurer.hpp"
+#include "power/meter.hpp"
+#include "power/profile.hpp"
+#include "power/trace.hpp"
+
+namespace ep::power {
+namespace {
+
+using ep::literals::operator""_s;
+using ep::literals::operator""_W;
+using ep::literals::operator""_J;
+
+// --- trace ---
+
+TEST(Trace, ConstantPowerIntegratesExactly) {
+  PowerTrace t;
+  for (int i = 0; i <= 10; ++i) {
+    t.append({Seconds{static_cast<double>(i)}, 100.0_W});
+  }
+  EXPECT_DOUBLE_EQ(t.totalEnergy().value(), 1000.0);
+  EXPECT_DOUBLE_EQ(t.meanPower().value(), 100.0);
+  EXPECT_DOUBLE_EQ(t.duration().value(), 10.0);
+}
+
+TEST(Trace, LinearRampIntegratesExactly) {
+  // P(t) = 10 t over [0, 10]: energy = 500.
+  PowerTrace t;
+  for (int i = 0; i <= 10; ++i) {
+    t.append({Seconds{static_cast<double>(i)},
+              Watts{10.0 * static_cast<double>(i)}});
+  }
+  EXPECT_DOUBLE_EQ(t.totalEnergy().value(), 500.0);
+}
+
+TEST(Trace, WindowedEnergyInterpolatesEdges) {
+  PowerTrace t;
+  t.append({0.0_s, 100.0_W});
+  t.append({10.0_s, 100.0_W});
+  EXPECT_DOUBLE_EQ(t.energyBetween(2.5_s, 7.5_s).value(), 500.0);
+}
+
+TEST(Trace, ZeroWidthWindowIsZero) {
+  PowerTrace t;
+  t.append({0.0_s, 100.0_W});
+  t.append({10.0_s, 100.0_W});
+  EXPECT_DOUBLE_EQ(t.energyBetween(5.0_s, 5.0_s).value(), 0.0);
+}
+
+TEST(Trace, PowerAtInterpolates) {
+  PowerTrace t;
+  t.append({0.0_s, 0.0_W});
+  t.append({10.0_s, 100.0_W});
+  EXPECT_DOUBLE_EQ(t.powerAt(5.0_s).value(), 50.0);
+  EXPECT_DOUBLE_EQ(t.powerAt(0.0_s).value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.powerAt(10.0_s).value(), 100.0);
+}
+
+TEST(Trace, RejectsNonMonotonicTimestamps) {
+  PowerTrace t;
+  t.append({1.0_s, 1.0_W});
+  EXPECT_THROW(t.append({1.0_s, 2.0_W}), PreconditionError);
+  EXPECT_THROW(t.append({0.5_s, 2.0_W}), PreconditionError);
+}
+
+TEST(Trace, RejectsWindowOutsideTrace) {
+  PowerTrace t;
+  t.append({0.0_s, 1.0_W});
+  t.append({1.0_s, 1.0_W});
+  EXPECT_THROW((void)t.energyBetween(0.0_s, 2.0_s), PreconditionError);
+  EXPECT_THROW((void)t.energyBetween(0.5_s, 0.25_s), PreconditionError);
+}
+
+TEST(Trace, EmptyTraceThrows) {
+  const PowerTrace t;
+  EXPECT_THROW((void)t.totalEnergy(), PreconditionError);
+  EXPECT_THROW((void)t.startTime(), PreconditionError);
+}
+
+// --- profile ---
+
+TEST(Profile, IdleOnlyPower) {
+  const ProfilePowerSource p(90.0_W);
+  EXPECT_DOUBLE_EQ(p.powerAt(3.0_s).value(), 90.0);
+  EXPECT_DOUBLE_EQ(p.exactEnergy(0.0_s, 10.0_s).value(), 900.0);
+}
+
+TEST(Profile, SegmentsAddOnTopOfIdle) {
+  ProfilePowerSource p(100.0_W);
+  p.addSegment({0.0_s, 5.0_s, 50.0_W});
+  p.addSegment({2.0_s, 2.0_s, 25.0_W});  // overlaps the first
+  EXPECT_DOUBLE_EQ(p.powerAt(1.0_s).value(), 150.0);
+  EXPECT_DOUBLE_EQ(p.powerAt(3.0_s).value(), 175.0);
+  EXPECT_DOUBLE_EQ(p.powerAt(6.0_s).value(), 100.0);
+}
+
+TEST(Profile, ExactEnergyMatchesHandComputation) {
+  ProfilePowerSource p(100.0_W);
+  p.addSegment({0.0_s, 5.0_s, 50.0_W});
+  // 10 s idle (1000 J) + 5 s x 50 W (250 J).
+  EXPECT_DOUBLE_EQ(p.exactEnergy(0.0_s, 10.0_s).value(), 1250.0);
+}
+
+TEST(Profile, SegmentBoundariesAreHalfOpen) {
+  ProfilePowerSource p(0.0_W);
+  p.addSegment({1.0_s, 1.0_s, 10.0_W});
+  EXPECT_DOUBLE_EQ(p.powerAt(1.0_s).value(), 10.0);
+  EXPECT_DOUBLE_EQ(p.powerAt(2.0_s).value(), 0.0);  // end exclusive
+}
+
+TEST(Profile, ActivityEndTracksLatestSegment) {
+  ProfilePowerSource p(0.0_W);
+  EXPECT_DOUBLE_EQ(p.activityEnd().value(), 0.0);
+  p.addSegment({0.0_s, 5.0_s, 10.0_W});
+  p.addSegment({3.0_s, 4.0_s, 10.0_W});
+  EXPECT_DOUBLE_EQ(p.activityEnd().value(), 7.0);
+}
+
+TEST(Profile, RejectsNegativeInputs) {
+  EXPECT_THROW(ProfilePowerSource{Watts{-1.0}}, PreconditionError);
+  ProfilePowerSource p(1.0_W);
+  EXPECT_THROW(p.addSegment({Seconds{-1.0}, 1.0_s, 1.0_W}),
+               PreconditionError);
+  EXPECT_THROW(p.addSegment({0.0_s, 1.0_s, Watts{-5.0}}),
+               PreconditionError);
+}
+
+TEST(Profile, GenericExactEnergyFallbackAgreesWithClosedForm) {
+  // Exercise the base-class midpoint integration against the closed form.
+  class Wrapper final : public PowerSource {
+   public:
+    explicit Wrapper(const ProfilePowerSource& p) : p_(p) {}
+    [[nodiscard]] Watts powerAt(Seconds t) const override {
+      return p_.powerAt(t);
+    }
+    const ProfilePowerSource& p_;
+  };
+  ProfilePowerSource p(50.0_W);
+  p.addSegment({1.0_s, 3.0_s, 30.0_W});
+  const Wrapper w(p);
+  EXPECT_NEAR(w.PowerSource::exactEnergy(0.0_s, 5.0_s).value(),
+              p.exactEnergy(0.0_s, 5.0_s).value(), 1.0);
+}
+
+// --- meter ---
+
+TEST(Meter, NoiseFreeMeterReproducesProfileEnergy) {
+  MeterOptions opts;
+  opts.gainNoiseSigma = 0.0;
+  opts.additiveNoiseSigma = 0.0_W;
+  opts.quantization = 0.0_W;
+  opts.randomPhase = false;
+  opts.sampleInterval = Seconds{0.01};
+  const WattsUpMeter meter(opts);
+  ProfilePowerSource p(100.0_W);
+  Rng rng(1);
+  const PowerTrace trace = meter.record(p, 10.0_s, rng);
+  EXPECT_NEAR(trace.totalEnergy().value(), 1000.0, 1.0);
+}
+
+TEST(Meter, TraceBracketsTheWindow) {
+  const WattsUpMeter meter;
+  ProfilePowerSource p(100.0_W);
+  Rng rng(2);
+  const PowerTrace trace = meter.record(p, 10.0_s, rng);
+  EXPECT_DOUBLE_EQ(trace.startTime().value(), 0.0);
+  EXPECT_GE(trace.endTime().value(), 10.0);
+}
+
+TEST(Meter, SamplesRoughlyAtConfiguredRate) {
+  const WattsUpMeter meter;  // 1 Hz
+  ProfilePowerSource p(100.0_W);
+  Rng rng(3);
+  const PowerTrace trace = meter.record(p, 60.0_s, rng);
+  EXPECT_NEAR(static_cast<double>(trace.size()), 61.0, 3.0);
+}
+
+TEST(Meter, QuantizationRoundsToResolution) {
+  MeterOptions opts;
+  opts.gainNoiseSigma = 0.0;
+  opts.additiveNoiseSigma = 0.0_W;
+  opts.quantization = 0.1_W;
+  opts.randomPhase = false;
+  const WattsUpMeter meter(opts);
+  ProfilePowerSource p(Watts{100.037});
+  Rng rng(4);
+  const PowerTrace trace = meter.record(p, 5.0_s, rng);
+  for (const auto& s : trace.samples()) {
+    const double scaled = s.power.value() * 10.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+  }
+}
+
+TEST(Meter, NoisyMeterUnbiasedOnAverage) {
+  const WattsUpMeter meter;
+  ProfilePowerSource p(150.0_W);
+  Rng rng(5);
+  double sum = 0.0;
+  constexpr int kTrials = 50;
+  for (int i = 0; i < kTrials; ++i) {
+    sum += meter.record(p, 30.0_s, rng).meanPower().value();
+  }
+  EXPECT_NEAR(sum / kTrials, 150.0, 1.0);
+}
+
+TEST(Meter, RejectsBadOptions) {
+  MeterOptions opts;
+  opts.sampleInterval = Seconds{0.0};
+  EXPECT_THROW(WattsUpMeter{opts}, PreconditionError);
+}
+
+// --- measurer ---
+
+TEST(Measurer, CalibrationRecoversIdlePower) {
+  const WattsUpMeter meter;
+  ProfilePowerSource idle(90.0_W);
+  Rng rng(6);
+  const Watts base =
+      EnergyMeasurer::calibrateBasePower(meter, idle, 120.0_s, rng);
+  EXPECT_NEAR(base.value(), 90.0, 0.5);
+}
+
+TEST(Measurer, DynamicEnergySeparatesIdle) {
+  MeterOptions opts;
+  opts.gainNoiseSigma = 0.0;
+  opts.additiveNoiseSigma = 0.0_W;
+  opts.quantization = 0.0_W;
+  opts.randomPhase = false;
+  opts.sampleInterval = Seconds{0.05};
+  const WattsUpMeter meter(opts);
+  const EnergyMeasurer measurer(meter, 90.0_W);
+
+  ProfilePowerSource profile(90.0_W);
+  profile.addSegment({0.0_s, 10.0_s, 60.0_W});  // 600 J dynamic
+  Rng rng(7);
+  const EnergyReading r = measurer.measureOnce(profile, 10.0_s, rng);
+  EXPECT_NEAR(r.dynamicEnergy.value(), 600.0, 10.0);
+  EXPECT_NEAR(r.totalEnergy.value(), 1500.0, 10.0);
+  EXPECT_NEAR(r.staticEnergy.value(), 900.0, 1e-9);
+}
+
+TEST(Measurer, TailWindowCapturesPostKernelPower) {
+  MeterOptions opts;
+  opts.gainNoiseSigma = 0.0;
+  opts.additiveNoiseSigma = 0.0_W;
+  opts.quantization = 0.0_W;
+  opts.randomPhase = false;
+  opts.sampleInterval = Seconds{0.05};
+  const WattsUpMeter meter(opts);
+  const EnergyMeasurer measurer(meter, 100.0_W);
+
+  ProfilePowerSource profile(100.0_W);
+  profile.addSegment({0.0_s, 5.0_s, 50.0_W});   // kernel
+  profile.addSegment({0.0_s, 7.0_s, 58.0_W});   // uncore + 2 s tail
+  Rng rng(8);
+  const EnergyReading withTail =
+      measurer.measureOnce(profile, 5.0_s, rng, 2.0_s);
+  const EnergyReading withoutTail =
+      measurer.measureOnce(profile, 5.0_s, rng, 0.0_s);
+  // Tail window adds the 2 s x 58 W uncore decay to dynamic energy.
+  EXPECT_NEAR(withTail.dynamicEnergy.value() -
+                  withoutTail.dynamicEnergy.value(),
+              116.0, 10.0);
+}
+
+TEST(Measurer, FullProtocolConvergesAndMatchesGroundTruth) {
+  const WattsUpMeter meter;  // realistic noise
+  const EnergyMeasurer measurer(meter, 90.0_W);
+  ProfilePowerSource profile(90.0_W);
+  profile.addSegment({0.0_s, 20.0_s, 80.0_W});  // 1600 J dynamic
+  Rng rng(9);
+  const MeasuredEnergy m = measurer.measure(profile, 20.0_s, rng);
+  EXPECT_TRUE(m.dynamicEnergyStats.converged);
+  EXPECT_NEAR(m.mean.dynamicEnergy.value(), 1600.0, 80.0);
+  EXPECT_NEAR(m.mean.executionTime.value(), 20.0, 0.1);
+  // The paper's criterion: achieved precision within 2.5 %.
+  EXPECT_LE(m.dynamicEnergyStats.interval.precision(), 0.025);
+}
+
+TEST(Measurer, NegativeDynamicEnergyClampedToZero) {
+  MeterOptions opts;
+  opts.gainNoiseSigma = 0.0;
+  opts.additiveNoiseSigma = 0.0_W;
+  opts.quantization = 0.0_W;
+  const WattsUpMeter meter(opts);
+  // Mis-calibrated base ABOVE actual power: dynamic would be negative.
+  const EnergyMeasurer measurer(meter, 200.0_W);
+  ProfilePowerSource profile(90.0_W);
+  Rng rng(10);
+  const EnergyReading r = measurer.measureOnce(profile, 5.0_s, rng);
+  EXPECT_GE(r.dynamicEnergy.value(), 0.0);
+}
+
+TEST(Measurer, RejectsInvalidWindows) {
+  const WattsUpMeter meter;
+  const EnergyMeasurer measurer(meter, 90.0_W);
+  ProfilePowerSource profile(90.0_W);
+  Rng rng(11);
+  EXPECT_THROW((void)measurer.measureOnce(profile, 0.0_s, rng),
+               PreconditionError);
+  EXPECT_THROW(
+      (void)measurer.measureOnce(profile, 1.0_s, rng, Seconds{-1.0}),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace ep::power

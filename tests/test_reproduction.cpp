@@ -1,0 +1,293 @@
+// End-to-end reproduction tests: every headline observation of the
+// paper's evaluation, asserted as a band on the simulated platform.
+// These are the "shape" guarantees of DESIGN.md Section 6; the exact
+// measured values are recorded in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/cpu_dgemm_app.hpp"
+#include "apps/fft2d_app.hpp"
+#include "apps/gpu_matmul_app.hpp"
+#include "core/definitions.hpp"
+#include "core/metrics.hpp"
+#include "core/study.hpp"
+#include "energymodel/additivity.hpp"
+#include "hw/cpu_model.hpp"
+#include "hw/gpu_model.hpp"
+
+namespace ep {
+namespace {
+
+// Noise-free app/study helpers (tests of the meter path live in
+// test_apps.cpp; here we assert the architecture response itself).
+apps::GpuMatMulApp gpuApp(const hw::GpuSpec& spec) {
+  apps::GpuMatMulOptions opts;
+  opts.useMeter = false;
+  return apps::GpuMatMulApp(hw::GpuModel(spec), opts);
+}
+
+int bsOf(const core::WorkloadResult& r, const pareto::BiPoint& p) {
+  return r.data[p.configId].config.bs;
+}
+
+// --- Fig 1: strong EP is violated on all three processors ---
+
+TEST(Fig1, StrongEpViolatedOnAllThreeProcessors) {
+  const std::vector<int> sizes{256,  384,  512,  768,  1024, 1536, 2048,
+                               3072, 4096, 6144, 8192, 12288, 16384};
+  apps::Fft2dOptions opts;
+  opts.useMeter = false;
+  Rng rng(1);
+
+  const std::vector<apps::Fft2dApp> apps_ = {
+      apps::Fft2dApp(hw::CpuModel(hw::haswellE52670v3()), opts),
+      apps::Fft2dApp(hw::GpuModel(hw::nvidiaK40c()), opts),
+      apps::Fft2dApp(hw::GpuModel(hw::nvidiaP100Pcie()), opts)};
+  for (const auto& app : apps_) {
+    std::vector<double> work, energy;
+    for (const auto& p : app.runSweep(sizes, rng)) {
+      work.push_back(p.work);
+      energy.push_back(p.dynamicEnergy.value());
+    }
+    const auto r = core::analyzeStrongEp(work, energy, 0.05);
+    EXPECT_FALSE(r.holds) << app.processorName();
+    EXPECT_GT(r.maxRelativeDeviation, 0.15) << app.processorName();
+  }
+}
+
+// --- Fig 2: P100 weak EP at N=18432 ---
+
+TEST(Fig2, P100RegionsAndFrontAtN18432) {
+  const auto app = gpuApp(hw::nvidiaP100Pcie());
+  const core::GpuEpStudy study(app);
+  Rng rng(2);
+  const auto r = study.runWorkload(18432, rng);
+
+  // Weak EP is violated: large energy spread across configurations.
+  const auto weak = core::analyzeWeakEp(r.points, 0.05);
+  EXPECT_FALSE(weak.holds);
+  EXPECT_GT(weak.spread, 0.5);
+
+  // The global front is small (paper: 2 points) and led by BS=32.
+  EXPECT_GE(r.globalFront.size(), 2u);
+  EXPECT_LE(r.globalFront.size(), 3u);
+  EXPECT_EQ(bsOf(r, r.globalTradeoff.performanceOptimal), 32);
+
+  // Bi-objective opportunity: ~12.5 % savings for ~2.5 % degradation
+  // (band: 7..18 % savings at <= 6 % degradation).
+  EXPECT_GT(r.globalTradeoff.maxEnergySavings, 0.07);
+  EXPECT_LT(r.globalTradeoff.maxEnergySavings, 0.18);
+  EXPECT_LT(r.globalTradeoff.performanceDegradation, 0.06);
+}
+
+TEST(Fig2, P100MonotoneRegionForSmallBs) {
+  // "The top right plot shows a region ... where dynamic energy
+  // increases monotonically with the execution time" (BS in [1, 20]):
+  // in that region optimizing performance optimizes energy, i.e. the
+  // fastest config is also the cheapest.
+  const auto app = gpuApp(hw::nvidiaP100Pcie());
+  Rng rng(3);
+  const auto data = app.runWorkload(18432, rng);
+  std::vector<pareto::BiPoint> region;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (data[i].config.bs <= 20) region.push_back(data[i].toPoint(i));
+  }
+  const auto tr = pareto::analyzeTradeoff(region);
+  // Performance optimum of the small-BS region is (nearly) the energy
+  // optimum: savings below a few percent.
+  EXPECT_LT(tr.maxEnergySavings, 0.05);
+}
+
+// --- Fig 4: CPU dynamic power vs utilization is non-functional ---
+
+TEST(Fig4, PerformanceLinearThenPlateaus) {
+  hw::CpuModel model(hw::haswellE52670v3());
+  apps::CpuDgemmOptions opts;
+  opts.useMeter = false;
+  const apps::CpuDgemmApp app(model, opts);
+  Rng rng(4);
+  const auto points =
+      app.runWorkload(17408, hw::BlasVariant::IntelMklLike, rng);
+  double peak = 0.0;
+  for (const auto& p : points) peak = std::max(peak, p.gflops);
+  // Paper: plateau around 700 GFLOPs.
+  EXPECT_NEAR(peak, 700.0, 150.0);
+}
+
+TEST(Fig4, DynamicPowerIsNotAFunctionOfUtilization) {
+  hw::CpuModel model(hw::haswellE52670v3());
+  apps::CpuDgemmOptions opts;
+  opts.useMeter = false;
+  const apps::CpuDgemmApp app(model, opts);
+  Rng rng(5);
+  for (const auto variant :
+       {hw::BlasVariant::IntelMklLike, hw::BlasVariant::OpenBlasLike}) {
+    const auto points = app.runWorkload(17408, variant, rng);
+    std::vector<core::PowerSampleU> samples;
+    for (const auto& p : points) {
+      samples.push_back(
+          {p.avgUtilizationPct / 100.0, p.dynamicPower.value()});
+    }
+    const auto scatter = core::analyzeScatter(samples, 10);
+    // Same utilization bin, materially different powers.
+    EXPECT_GT(scatter.maxResidual, 0.08);
+  }
+}
+
+// --- Fig 6: dynamic-energy non-additivity and the 58 W component ---
+
+class Fig6Additivity
+    : public ::testing::TestWithParam<std::pair<const char*, int>> {};
+
+TEST_P(Fig6Additivity, NonAdditiveBelowThresholdAdditiveAbove) {
+  const auto [name, threshold] = GetParam();
+  const hw::GpuSpec spec = std::string(name) == "k40c"
+                               ? hw::nvidiaK40c()
+                               : hw::nvidiaP100Pcie();
+  const hw::GpuModel model(spec);
+  auto err = [&](int n, int g) {
+    const auto e1 = model.modelMatMul({n, 32, 1, 1}).dynamicEnergy();
+    const auto eg = model.modelMatMul({n, 32, g, 1}).dynamicEnergy();
+    return model::analyzeEnergyAdditivity(e1.value(), eg.value(), g).error;
+  };
+  // Highly non-additive at N=5120, decreasing with N, ~zero above the
+  // processor-specific threshold — exactly the Fig 6 narrative.
+  EXPECT_GT(err(5120, 4), 0.10);
+  EXPECT_GT(err(5120, 4), err(8192, 4));
+  EXPECT_GT(err(8192, 4), err(threshold, 4));
+  EXPECT_LT(err(threshold + 2048, 2), 0.02);
+  EXPECT_LT(err(threshold + 2048, 4), 0.06);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothGpus, Fig6Additivity,
+                         ::testing::Values(std::pair{"k40c", 10240},
+                                           std::pair{"p100", 15360}));
+
+TEST(Fig6, ReclassifyingUncoreAsStaticRestoresAdditivity) {
+  // "If we include this dynamic power in the static power, then the
+  // resulting dynamic energy consumption becomes additive."
+  const hw::GpuModel model(hw::nvidiaP100Pcie());
+  auto coreOnly = [&](int g) {
+    const auto k = model.modelMatMul({5120, 32, g, 1});
+    // Subtract the 58 W x window contribution, i.e. treat it as static.
+    return k.dynamicEnergy().value() -
+           k.uncorePower.value() *
+               (k.time.value() + k.uncoreTail.value());
+  };
+  const double e1 = coreOnly(1);
+  const double e4 = coreOnly(4);
+  // Residual non-additivity after the reclassification comes only from
+  // the small icache/warm-up time overheads of G > 1.
+  EXPECT_NEAR(e4 / (4.0 * e1), 1.0, 0.05);
+}
+
+TEST(Fig6, ExecutionTimesAreAdditive) {
+  // Paper: "The execution times are observed to be additive."
+  for (const auto& spec : {hw::nvidiaK40c(), hw::nvidiaP100Pcie()}) {
+    const hw::GpuModel model(spec);
+    const double t1 = model.modelMatMul({5120, 32, 1, 1}).time.value();
+    const double t4 = model.modelMatMul({5120, 32, 4, 1}).time.value();
+    EXPECT_NEAR(t4 / (4.0 * t1), 1.0, 0.05) << spec.name;
+  }
+}
+
+// --- Fig 7 / Section V-B: K40c fronts ---
+
+TEST(Fig7, K40cGlobalFrontIsSinglePointAtBs32) {
+  const auto app = gpuApp(hw::nvidiaK40c());
+  const core::GpuEpStudy study(app);
+  Rng rng(6);
+  for (int n : {8704, 10240, 12288, 14336}) {
+    const auto r = study.runWorkload(n, rng);
+    EXPECT_EQ(r.globalFront.size(), 1u) << "N=" << n;
+    EXPECT_EQ(bsOf(r, r.globalTradeoff.performanceOptimal), 32)
+        << "N=" << n;
+    // Performance-optimal == energy-optimal (paper, Section V-B).
+    EXPECT_DOUBLE_EQ(r.globalTradeoff.maxEnergySavings, 0.0);
+  }
+}
+
+TEST(Fig7, K40cLocalFrontsExposeTradeoffs) {
+  const auto app = gpuApp(hw::nvidiaK40c());
+  const core::GpuEpStudy study(app);
+  Rng rng(7);
+  const auto results = study.runSweep(
+      {8704, 9728, 10240, 11264, 12288, 13312, 14336}, rng);
+  const auto stats = core::GpuEpStudy::summarize(results);
+  // Paper: average 4 and maximum 5 points in local fronts.
+  EXPECT_GE(stats.avgLocalFrontSize, 2.5);
+  EXPECT_LE(stats.avgLocalFrontSize, 5.5);
+  EXPECT_GE(stats.maxLocalFrontSize, 4u);
+  EXPECT_LE(stats.maxLocalFrontSize, 6u);
+  // Paper: up to 18 % savings at 7 % degradation.
+  EXPECT_NEAR(stats.maxLocalSavings, 0.18, 0.05);
+  EXPECT_NEAR(stats.degradationAtMaxLocalSavings, 0.07, 0.04);
+}
+
+// --- Fig 8 / Section V-B: P100 fronts ---
+
+TEST(Fig8, P100GlobalFrontAtN10240) {
+  const auto app = gpuApp(hw::nvidiaP100Pcie());
+  const core::GpuEpStudy study(app);
+  Rng rng(8);
+  const auto r = study.runWorkload(10240, rng);
+  // Paper: three points; 11 % degradation buys 50 % savings.
+  EXPECT_EQ(r.globalFront.size(), 3u);
+  EXPECT_NEAR(r.globalTradeoff.maxEnergySavings, 0.50, 0.06);
+  EXPECT_NEAR(r.globalTradeoff.performanceDegradation, 0.11, 0.03);
+  EXPECT_EQ(bsOf(r, r.globalTradeoff.performanceOptimal), 32);
+}
+
+TEST(Fig8, P100FrontStatisticsAcrossWorkloads) {
+  const auto app = gpuApp(hw::nvidiaP100Pcie());
+  const core::GpuEpStudy study(app);
+  Rng rng(9);
+  const auto results = study.runSweep(
+      {10240, 11264, 12288, 13312, 14336, 15360, 16384, 17408, 18432},
+      rng);
+  const auto stats = core::GpuEpStudy::summarize(results);
+  // Paper: average 2 and maximum 3 points in global fronts.
+  EXPECT_GE(stats.avgGlobalFrontSize, 1.8);
+  EXPECT_LE(stats.avgGlobalFrontSize, 3.2);
+  EXPECT_LE(stats.maxGlobalFrontSize, 3u);
+  // Paper: maximum savings up to 50 % at up to 11 % degradation.
+  EXPECT_NEAR(stats.maxGlobalSavings, 0.50, 0.06);
+  EXPECT_NEAR(stats.degradationAtMaxGlobalSavings, 0.11, 0.04);
+}
+
+TEST(Fig8, MeteredPipelineReproducesTheN10240Front) {
+  // The full stack (meter noise + CI protocol) preserves the headline
+  // trade-off, not just the noise-free model.
+  apps::GpuMatMulOptions opts;
+  opts.useMeter = true;
+  const apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaP100Pcie()), opts);
+  const core::GpuEpStudy study(app);
+  Rng rng(10);
+  const auto r = study.runWorkload(10240, rng);
+  EXPECT_NEAR(r.globalTradeoff.maxEnergySavings, 0.50, 0.08);
+  EXPECT_NEAR(r.globalTradeoff.performanceDegradation, 0.11, 0.04);
+}
+
+// --- Section III: theory consistent with the simulated CPU ---
+
+TEST(SectionIII, ImbalancedUtilizationCostsEnergyOnSimulatedCpu) {
+  // The two-core theorem's qualitative prediction holds on the 48-core
+  // model: at (nearly) equal average utilization, configurations whose
+  // power the model attributes to more shared-resource contention (more
+  // threadgroups) consume more dynamic energy for the same workload.
+  hw::CpuModel model(hw::haswellE52670v3());
+  hw::CpuDgemmConfig balanced;
+  balanced.n = 17408;
+  balanced.threadgroups = 1;
+  balanced.threadsPerGroup = 24;
+  hw::CpuDgemmConfig fragmented = balanced;
+  fragmented.threadgroups = 12;
+  fragmented.threadsPerGroup = 2;
+  const auto a = model.modelDgemm(balanced);
+  const auto b = model.modelDgemm(fragmented);
+  EXPECT_GT(b.dynamicEnergy().value(), a.dynamicEnergy().value());
+}
+
+}  // namespace
+}  // namespace ep

@@ -1,0 +1,413 @@
+// Unit tests for epstats: descriptive statistics, distributions, the
+// paper's measurement protocol, the chi-squared normality test, and
+// regression.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/chisq.hpp"
+#include "stats/descriptive.hpp"
+#include "stats/distributions.hpp"
+#include "stats/regression.hpp"
+#include "stats/ttest.hpp"
+
+namespace ep::stats {
+namespace {
+
+// --- descriptive ---
+
+TEST(RunningStats, MatchesBatchFormulas) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.mean(), mean(xs));
+  EXPECT_NEAR(rs.variance(), sampleVariance(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats rs;
+  rs.add(3.0);
+  EXPECT_DOUBLE_EQ(rs.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(rs.stddev(), 0.0);
+}
+
+TEST(Descriptive, MeanOfEmptyThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW((void)mean(empty), PreconditionError);
+}
+
+TEST(Descriptive, MedianOddAndEven) {
+  const std::vector<double> odd{3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(odd), 2.0);
+  const std::vector<double> even{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(even), 2.5);
+}
+
+TEST(Descriptive, QuantileBounds) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 3.0);
+}
+
+// --- distributions ---
+
+TEST(Distributions, NormalCdfKnownValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.959963985), 0.975, 1e-6);
+  EXPECT_NEAR(normalCdf(-1.959963985), 0.025, 1e-6);
+}
+
+TEST(Distributions, StudentTCdfSymmetry) {
+  for (double dof : {1.0, 5.0, 30.0}) {
+    for (double t : {0.5, 1.0, 2.5}) {
+      EXPECT_NEAR(studentTCdf(t, dof) + studentTCdf(-t, dof), 1.0, 1e-10);
+    }
+  }
+}
+
+TEST(Distributions, StudentTCriticalKnownValues) {
+  // Classic t-table values.
+  EXPECT_NEAR(studentTCritical(0.95, 4), 2.776, 1e-3);
+  EXPECT_NEAR(studentTCritical(0.95, 9), 2.262, 1e-3);
+  EXPECT_NEAR(studentTCritical(0.95, 29), 2.045, 1e-3);
+  EXPECT_NEAR(studentTCritical(0.99, 9), 3.250, 1e-3);
+}
+
+TEST(Distributions, StudentTApproachesNormalForLargeDof) {
+  EXPECT_NEAR(studentTCritical(0.95, 10000), 1.960, 2e-3);
+}
+
+TEST(Distributions, ChiSquaredCdfKnownValues) {
+  // chi2 with k dof has mean k; CDF at 0 is 0.
+  EXPECT_DOUBLE_EQ(chiSquaredCdf(0.0, 5.0), 0.0);
+  EXPECT_NEAR(chiSquaredCdf(3.841, 1.0), 0.95, 1e-3);
+  EXPECT_NEAR(chiSquaredCdf(11.070, 5.0), 0.95, 1e-3);
+}
+
+TEST(Distributions, ChiSquaredCriticalInvertsCdf) {
+  for (double dof : {1.0, 4.0, 9.0}) {
+    const double c = chiSquaredCritical(0.05, dof);
+    EXPECT_NEAR(chiSquaredCdf(c, dof), 0.95, 1e-9);
+  }
+}
+
+TEST(Distributions, IncompleteBetaEdges) {
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+  // I_x(1,1) = x (uniform distribution).
+  EXPECT_NEAR(regularizedIncompleteBeta(1.0, 1.0, 0.37), 0.37, 1e-10);
+}
+
+TEST(Distributions, IncompleteGammaEdges) {
+  EXPECT_DOUBLE_EQ(regularizedLowerGamma(2.0, 0.0), 0.0);
+  // P(1, x) = 1 - exp(-x).
+  EXPECT_NEAR(regularizedLowerGamma(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-10);
+}
+
+TEST(Distributions, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)studentTCritical(1.5, 5.0), PreconditionError);
+  EXPECT_THROW((void)studentTCritical(0.95, 0.0), PreconditionError);
+  EXPECT_THROW((void)regularizedIncompleteBeta(-1.0, 1.0, 0.5),
+               PreconditionError);
+  EXPECT_THROW((void)chiSquaredCdf(1.0, -2.0), PreconditionError);
+}
+
+// --- confidence intervals & protocol ---
+
+TEST(ConfidenceInterval, KnownHandComputedCase) {
+  // n=5, mean 10, sd 1 => half width = 2.776 * 1 / sqrt(5).
+  const std::vector<double> xs{9.0, 9.5, 10.0, 10.5, 11.0};
+  const auto ci = meanConfidenceInterval(xs, 0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 10.0);
+  const double sd = sampleStddev(xs);
+  EXPECT_NEAR(ci.halfWidth, 2.776 * sd / std::sqrt(5.0), 1e-3);
+  EXPECT_LT(ci.lower(), ci.mean);
+  EXPECT_GT(ci.upper(), ci.mean);
+}
+
+TEST(MeasurementProtocol, ConvergesOnLowNoiseObservable) {
+  Rng rng(5);
+  MeasurementOptions opts;
+  const MeasurementProtocol protocol(opts);
+  const auto res = protocol.run([&] { return rng.normal(100.0, 0.5); });
+  EXPECT_TRUE(res.converged);
+  EXPECT_GE(res.repetitions, opts.minRepetitions);
+  EXPECT_NEAR(res.mean, 100.0, 1.0);
+  EXPECT_LE(res.interval.precision(), opts.precision);
+}
+
+TEST(MeasurementProtocol, PaperParametersAreDefault) {
+  const MeasurementProtocol protocol;
+  EXPECT_DOUBLE_EQ(protocol.options().confidence, 0.95);   // paper: 95 % CI
+  EXPECT_DOUBLE_EQ(protocol.options().precision, 0.025);   // paper: 2.5 %
+}
+
+TEST(MeasurementProtocol, ThrowsWhenNoiseTooLargeForBudget) {
+  Rng rng(5);
+  MeasurementOptions opts;
+  opts.maxRepetitions = 6;
+  const MeasurementProtocol protocol(opts);
+  EXPECT_THROW(
+      (void)protocol.run([&] { return rng.normal(10.0, 50.0); }),
+      ConvergenceError);
+}
+
+TEST(MeasurementProtocol, BestEffortReturnsNonConverged) {
+  Rng rng(5);
+  MeasurementOptions opts;
+  opts.maxRepetitions = 6;
+  const MeasurementProtocol protocol(opts);
+  const auto res =
+      protocol.runBestEffort([&] { return rng.normal(10.0, 50.0); });
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.repetitions, opts.maxRepetitions);
+}
+
+TEST(MeasurementProtocol, NoiseFreeObservableConvergesAtMinReps) {
+  const MeasurementProtocol protocol;
+  const auto res = protocol.run([] { return 42.0; });
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.repetitions, protocol.options().minRepetitions);
+  EXPECT_DOUBLE_EQ(res.mean, 42.0);
+}
+
+TEST(MeasurementProtocol, RunsNormalityCheckWhenEnoughSamples) {
+  Rng rng(17);
+  MeasurementOptions opts;
+  opts.precision = 0.001;  // force many repetitions
+  opts.maxRepetitions = 200;
+  const MeasurementProtocol protocol(opts);
+  const auto res =
+      protocol.runBestEffort([&] { return rng.normal(50.0, 2.0); });
+  EXPECT_GE(res.samples.size(), 8u);
+  EXPECT_TRUE(res.normalityChecked);
+  // Gaussian data should (almost always, with this seed) not be rejected.
+  EXPECT_FALSE(res.normality.rejected);
+}
+
+TEST(MeasurementProtocol, RejectsBadOptions) {
+  MeasurementOptions opts;
+  opts.minRepetitions = 1;
+  EXPECT_THROW(MeasurementProtocol{opts}, PreconditionError);
+  opts.minRepetitions = 10;
+  opts.maxRepetitions = 5;
+  EXPECT_THROW(MeasurementProtocol{opts}, PreconditionError);
+}
+
+// --- chi-squared normality ---
+
+TEST(ChiSquared, AcceptsGaussianSample) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 1.0));
+  const auto r = pearsonNormalityTest(xs, 0.05);
+  EXPECT_FALSE(r.rejected);
+  EXPECT_GT(r.pValue, 0.05);
+}
+
+TEST(ChiSquared, RejectsStronglyBimodalSample) {
+  Rng rng(23);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) {
+    xs.push_back((i % 2 == 0 ? -5.0 : 5.0) + rng.normal(0.0, 0.1));
+  }
+  const auto r = pearsonNormalityTest(xs, 0.05);
+  EXPECT_TRUE(r.rejected);
+}
+
+TEST(ChiSquared, SmallSampleIsInconclusiveNotRejected) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const auto r = pearsonNormalityTest(xs, 0.05);
+  EXPECT_FALSE(r.rejected);
+  EXPECT_EQ(r.dof, 0.0);
+}
+
+TEST(ChiSquared, DegenerateSampleNotRejected) {
+  const std::vector<double> xs(20, 7.0);
+  const auto r = pearsonNormalityTest(xs, 0.05);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(ChiSquared, GoodnessOfFitExactMatchHasZeroStatistic) {
+  const std::vector<double> obs{10.0, 10.0, 10.0, 10.0};
+  const std::vector<double> exp{10.0, 10.0, 10.0, 10.0};
+  const auto r = pearsonGoodnessOfFit(obs, exp, 1, 0.05);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_FALSE(r.rejected);
+}
+
+TEST(ChiSquared, GoodnessOfFitValidatesInput) {
+  const std::vector<double> obs{10.0, 10.0};
+  const std::vector<double> expShort{10.0};
+  EXPECT_THROW((void)pearsonGoodnessOfFit(obs, expShort, 1, 0.05),
+               PreconditionError);
+  const std::vector<double> expZero{10.0, 0.0};
+  EXPECT_THROW((void)pearsonGoodnessOfFit(obs, expZero, 1, 0.05),
+               PreconditionError);
+}
+
+// --- regression ---
+
+TEST(Regression, ExactLineRecovered) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> y;
+  for (double xi : x) y.push_back(3.0 + 2.0 * xi);
+  const auto f = fitLinear(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_NEAR(f.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, ProportionalFitThroughOrigin) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> y{2.0, 4.0, 6.0};
+  const auto f = fitProportional(x, y);
+  EXPECT_NEAR(f.slope, 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, ProportionalFitPenalizedByIntercept) {
+  // Strongly affine data: proportional fit must have visibly worse r2.
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> y{101.0, 102.0, 103.0, 104.0};
+  const auto prop = fitProportional(x, y);
+  const auto affine = fitLinear(x, y);
+  EXPECT_GT(affine.r2, prop.r2);
+  EXPECT_NEAR(affine.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, MultiLinearRecoversPlane) {
+  // y = 2 a + 3 b + 1.
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    const double a = rng.uniform(0.0, 10.0);
+    const double b = rng.uniform(0.0, 10.0);
+    rows.push_back({a, b});
+    y.push_back(2.0 * a + 3.0 * b + 1.0);
+  }
+  const auto f = fitMultiLinear(rows, y, true);
+  EXPECT_NEAR(f.coefficients[0], 2.0, 1e-9);
+  EXPECT_NEAR(f.coefficients[1], 3.0, 1e-9);
+  EXPECT_NEAR(f.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(f.r2, 1.0, 1e-12);
+}
+
+TEST(Regression, MultiLinearThroughOrigin) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  Rng rng(10);
+  for (int i = 0; i < 30; ++i) {
+    const double a = rng.uniform(1.0, 10.0);
+    rows.push_back({a});
+    y.push_back(5.0 * a);
+  }
+  const auto f = fitMultiLinear(rows, y, false);
+  EXPECT_NEAR(f.coefficients[0], 5.0, 1e-9);
+  EXPECT_DOUBLE_EQ(f.intercept, 0.0);
+}
+
+TEST(Regression, MultiLinearRejectsCollinear) {
+  std::vector<std::vector<double>> rows;
+  std::vector<double> y;
+  for (int i = 1; i <= 10; ++i) {
+    rows.push_back({static_cast<double>(i), static_cast<double>(2 * i)});
+    y.push_back(i);
+  }
+  EXPECT_THROW((void)fitMultiLinear(rows, y, true), PreconditionError);
+}
+
+TEST(Regression, PredictValidatesWidth) {
+  MultiLinearFit f;
+  f.coefficients = {1.0, 2.0};
+  const std::vector<double> tooShort{1.0};
+  EXPECT_THROW((void)f.predict(tooShort), PreconditionError);
+}
+
+TEST(Regression, PearsonCorrelationExtremes) {
+  const std::vector<double> x{1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> up{2.0, 4.0, 6.0, 8.0};
+  std::vector<double> down{8.0, 6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearsonCorrelation(x, up), 1.0, 1e-12);
+  EXPECT_NEAR(pearsonCorrelation(x, down), -1.0, 1e-12);
+}
+
+TEST(Regression, ConstantSeriesCorrelationThrows) {
+  const std::vector<double> x{1.0, 2.0, 3.0};
+  const std::vector<double> c{5.0, 5.0, 5.0};
+  EXPECT_THROW((void)pearsonCorrelation(x, c), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ep::stats
+
+// --- Welch two-sample t-test (appended with the tuner-support API) ---
+
+namespace ep::stats {
+namespace {
+
+TEST(Welch, DetectsClearlySeparatedMeans) {
+  Rng rng(31);
+  std::vector<double> a, b;
+  for (int i = 0; i < 30; ++i) {
+    a.push_back(rng.normal(10.0, 0.5));
+    b.push_back(rng.normal(12.0, 0.8));
+  }
+  const auto r = welchTTest(a, b);
+  EXPECT_TRUE(r.significant);
+  EXPECT_LT(r.pValue, 0.001);
+  EXPECT_LT(r.meanDifference, 0.0);
+}
+
+TEST(Welch, RarelyRejectsIdenticalDistributions) {
+  // alpha = 0.05 means ~5 % false positives; over 40 seeded trials the
+  // rejection count must stay near that rate, not explode.
+  Rng rng(32);
+  int rejections = 0;
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 30; ++i) {
+      a.push_back(rng.normal(10.0, 1.0));
+      b.push_back(rng.normal(10.0, 1.0));
+    }
+    if (welchTTest(a, b).significant) ++rejections;
+  }
+  EXPECT_LE(rejections, 6);
+}
+
+TEST(Welch, HandlesUnequalVariancesAndSizes) {
+  Rng rng(33);
+  std::vector<double> a, b;
+  for (int i = 0; i < 8; ++i) a.push_back(rng.normal(5.0, 0.1));
+  for (int i = 0; i < 50; ++i) b.push_back(rng.normal(5.5, 3.0));
+  const auto r = welchTTest(a, b);
+  // Welch-Satterthwaite dof must be positive and below the pooled dof.
+  EXPECT_GT(r.dof, 1.0);
+  EXPECT_LT(r.dof, 56.0);
+}
+
+TEST(Welch, NoiseFreeSamples) {
+  const std::vector<double> a{5.0, 5.0, 5.0};
+  const std::vector<double> same{5.0, 5.0};
+  const std::vector<double> other{6.0, 6.0};
+  EXPECT_FALSE(welchTTest(a, same).significant);
+  EXPECT_TRUE(welchTTest(a, other).significant);
+}
+
+TEST(Welch, RejectsTinySamples) {
+  const std::vector<double> one{1.0};
+  const std::vector<double> two{1.0, 2.0};
+  EXPECT_THROW((void)welchTTest(one, two), PreconditionError);
+}
+
+}  // namespace
+}  // namespace ep::stats

@@ -1,0 +1,100 @@
+// Model-calibration inspector.
+//
+// Dumps, for the paper's headline workloads, the noise-free model
+// outputs: per-configuration (time, energy), the global and local Pareto
+// fronts, trade-off numbers, and Fig 6 additivity errors — next to the
+// paper's target values.  Used while tuning ephw response constants;
+// kept in-tree so future model changes can be re-checked quickly.
+#include <cstdio>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "core/study.hpp"
+#include "energymodel/additivity.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+
+using namespace ep;
+
+namespace {
+
+void dumpWorkload(const char* tag, const core::GpuEpStudy& study, int n,
+                  bool listAll) {
+  Rng rng(42);
+  const core::WorkloadResult r = study.runWorkload(n, rng);
+  std::printf("\n=== %s N=%d: %zu configs ===\n", tag, n, r.points.size());
+  if (listAll) {
+    for (const auto& d : r.data) {
+      std::printf("  %-18s t=%9.3f s  E=%10.1f J  occ=%.2f boost=%.3f%s\n",
+                  d.label().c_str(), d.time.value(),
+                  d.dynamicEnergy.value(), d.model.occupancy.fraction,
+                  d.model.boostRatio, d.model.uncoreActive ? " UNCORE" : "");
+    }
+  }
+  std::printf("global front (%zu):\n", r.globalFront.size());
+  for (const auto& p : r.globalFront) {
+    std::printf("  %-18s t=%9.3f s  E=%10.1f J\n", p.label.c_str(),
+                p.time.value(), p.energy.value());
+  }
+  std::printf("local front (%zu):\n", r.localFront.size());
+  for (const auto& p : r.localFront) {
+    std::printf("  %-18s t=%9.3f s  E=%10.1f J\n", p.label.c_str(),
+                p.time.value(), p.energy.value());
+  }
+  std::printf("global tradeoff: savings=%.1f%% degradation=%.1f%%\n",
+              100.0 * r.globalTradeoff.maxEnergySavings,
+              100.0 * r.globalTradeoff.performanceDegradation);
+  if (r.localTradeoff) {
+    std::printf("local tradeoff:  savings=%.1f%% degradation=%.1f%%\n",
+                100.0 * r.localTradeoff->maxEnergySavings,
+                100.0 * r.localTradeoff->performanceDegradation);
+  }
+}
+
+void dumpAdditivity(const char* tag, const apps::GpuMatMulApp& app, int bs) {
+  std::printf("\n=== %s Fig6 additivity (BS=%d) ===\n", tag, bs);
+  for (int n : {5120, 8192, 10240, 12288, 14336, 15360, 16384, 18432}) {
+    hw::MatMulConfig base{n, bs, 1, 1};
+    if (!app.model().isLaunchable(base)) continue;
+    const auto m1 = app.model().modelMatMul(base);
+    std::printf("  N=%6d:", n);
+    for (int g : {2, 4}) {
+      hw::MatMulConfig cfg{n, bs, g, 1};
+      const auto mg = app.model().modelMatMul(cfg);
+      const auto rec = model::analyzeEnergyAdditivity(
+          m1.dynamicEnergy().value(), mg.dynamicEnergy().value(), g);
+      std::printf("  G=%d err=%5.1f%%", g, 100.0 * rec.error);
+    }
+    std::printf("   (t1=%.2f s, uncore=%d)\n", m1.time.value(),
+                m1.uncoreActive ? 1 : 0);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool listAll = argc > 1 && std::string_view(argv[1]) == "--all";
+
+  apps::GpuMatMulOptions fast;
+  fast.useMeter = false;  // noise-free model output for calibration
+
+  apps::GpuMatMulApp p100(hw::GpuModel(hw::nvidiaP100Pcie()), fast);
+  apps::GpuMatMulApp k40c(hw::GpuModel(hw::nvidiaK40c()), fast);
+  core::GpuEpStudy p100Study(p100);
+  core::GpuEpStudy k40cStudy(k40c);
+
+  std::printf("paper targets:\n");
+  std::printf("  P100 N=10240: global front 3 pts, (50%%, 11%%)\n");
+  std::printf("  P100 N=18432: front 2 pts, (12.5%%, 2.5%%); BS<=30: (24%%, 8%%)\n");
+  std::printf("  P100 sweep:   global fronts avg 2 / max 3\n");
+  std::printf("  K40c:         global front 1 pt (BS=32); local avg 4 / max 5; (18%%, 7%%)\n");
+
+  dumpWorkload("P100", p100Study, 10240, listAll);
+  dumpWorkload("P100", p100Study, 14336, listAll);
+  dumpWorkload("P100", p100Study, 18432, listAll);
+  dumpWorkload("K40c", k40cStudy, 8704, listAll);
+  dumpWorkload("K40c", k40cStudy, 10240, listAll);
+
+  dumpAdditivity("P100", p100, 32);
+  dumpAdditivity("K40c", k40c, 32);
+  return 0;
+}

@@ -1,0 +1,259 @@
+// Randomized calibration search for the GPU architecture-response
+// constants (GpuTuning) against the paper's reported shape targets.
+//
+// Run as:  tune p100 <iterations>   or   tune k40c <iterations>
+// Prints the best-scoring constant set; winners are baked into
+// GpuModel::defaultTuning.
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/study.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+#include "pareto/tradeoff.hpp"
+
+using namespace ep;
+
+namespace {
+
+// Squared relative miss of value vs target, scaled by weight.
+double miss(double value, double target, double weight) {
+  const double rel = (value - target) / target;
+  return weight * rel * rel;
+}
+
+core::WorkloadResult runN(const hw::GpuSpec& spec, const hw::GpuTuning& t,
+                          int n) {
+  apps::GpuMatMulOptions fast;
+  fast.useMeter = false;
+  apps::GpuMatMulApp app(hw::GpuModel(spec, t), fast);
+  core::GpuEpStudy study(app);
+  Rng rng(1);
+  return study.runWorkload(n, rng);
+}
+
+int perfOptimalBs(const core::WorkloadResult& r) {
+  const auto& p = r.globalTradeoff.performanceOptimal;
+  return r.data[p.configId].config.bs;
+}
+
+double scoreP100(const hw::GpuTuning& t) {
+  const hw::GpuSpec spec = hw::nvidiaP100Pcie();
+  double s = 0.0;
+
+  // N=10240: 3-point global front, (50 %, 11 %).
+  const auto r10240 = runN(spec, t, 10240);
+  s += miss(static_cast<double>(r10240.globalFront.size()), 3.0, 3.0);
+  s += miss(r10240.globalTradeoff.maxEnergySavings, 0.50, 6.0);
+  s += miss(r10240.globalTradeoff.performanceDegradation, 0.11, 6.0);
+  if (perfOptimalBs(r10240) != 32) s += 10.0;
+
+  // N=18432 (Fig 2): 2-point front, (12.5 %, 2.5 %); BS<=30: (24 %, 8 %).
+  const auto r18432 = runN(spec, t, 18432);
+  s += miss(static_cast<double>(r18432.globalFront.size()), 2.0, 2.0);
+  s += miss(r18432.globalTradeoff.maxEnergySavings, 0.125, 4.0);
+  s += miss(r18432.globalTradeoff.performanceDegradation, 0.025, 2.0);
+  if (perfOptimalBs(r18432) != 32) s += 10.0;
+  {
+    std::vector<pareto::BiPoint> le30;
+    for (const auto& d : r18432.data) {
+      if (d.config.bs <= 30) le30.push_back(d.toPoint(le30.size()));
+    }
+    const auto tr = pareto::analyzeTradeoff(le30);
+    s += miss(tr.maxEnergySavings, 0.24, 3.0);
+    s += miss(tr.performanceDegradation, 0.08, 2.0);
+  }
+
+  // Sweep statistics: global fronts average 2, max 3.
+  double sumFront = 0.0;
+  std::size_t maxFront = 0;
+  const std::vector<int> sweep{10240, 11264, 12288, 13312, 14336, 15360,
+                               16384, 17408, 18432};
+  for (int n : sweep) {
+    const auto r = runN(spec, t, n);
+    sumFront += static_cast<double>(r.globalFront.size());
+    maxFront = std::max(maxFront, r.globalFront.size());
+    if (perfOptimalBs(r) != 32) s += 2.0;
+  }
+  s += miss(sumFront / sweep.size(), 2.0, 2.0);
+  if (maxFront > 3) s += 2.0 * static_cast<double>(maxFront - 3);
+  return s;
+}
+
+double scoreK40c(const hw::GpuTuning& t) {
+  const hw::GpuSpec spec = hw::nvidiaK40c();
+  double s = 0.0;
+  double sumLocal = 0.0;
+  std::size_t maxLocal = 0;
+  double bestLocalSavings = 0.0;
+  double degAtBest = 0.0;
+  const std::vector<int> sweep{8704, 9728, 10240, 11264, 12288, 13312,
+                               14336};
+  for (int n : sweep) {
+    const auto r = runN(spec, t, n);
+    // Global front must collapse to a single point at BS=32.
+    if (r.globalFront.size() != 1) {
+      s += 3.0 * std::fabs(static_cast<double>(r.globalFront.size()) - 1.0);
+    }
+    if (perfOptimalBs(r) != 32) s += 10.0;
+    sumLocal += static_cast<double>(r.localFront.size());
+    maxLocal = std::max(maxLocal, r.localFront.size());
+    if (r.localTradeoff &&
+        r.localTradeoff->maxEnergySavings > bestLocalSavings) {
+      bestLocalSavings = r.localTradeoff->maxEnergySavings;
+      degAtBest = r.localTradeoff->performanceDegradation;
+    }
+  }
+  s += miss(sumLocal / sweep.size(), 4.0, 3.0);
+  s += miss(static_cast<double>(maxLocal), 5.0, 1.0);
+  s += miss(bestLocalSavings, 0.18, 6.0);
+  s += miss(degAtBest, 0.07, 4.0);
+  return s;
+}
+
+hw::GpuTuning sampleP100(Rng& rng, const hw::GpuTuning& base) {
+  hw::GpuTuning t = base;
+  t.smEnergyPerGflop = rng.uniform(0.02, 0.14);
+  t.memEnergyPerGB = rng.uniform(0.08, 0.45);
+  t.residencyPower = rng.uniform(5.0, 45.0);
+  t.boostPowerExponent = rng.uniform(3.0, 7.5);
+  t.midBinBoostFraction = rng.uniform(0.15, 0.75);
+  t.occScaleCompute = rng.uniform(0.15, 0.55);
+  t.fetchPowerPerLevel = rng.uniform(1.0, 8.0);
+  t.gLinearPenalty = rng.uniform(0.001, 0.01);
+  t.runWarmupFraction = rng.uniform(0.002, 0.02);
+  t.constantActivePower = rng.uniform(3.0, 15.0);
+  t.bandwidthEfficiency = rng.uniform(0.45, 0.95);
+  t.uncoreTailSec = rng.uniform(0.5, 8.0);
+  return t;
+}
+
+hw::GpuTuning sampleK40c(Rng& rng, const hw::GpuTuning& base) {
+  hw::GpuTuning t = base;
+  t.smEnergyPerGflop = rng.uniform(0.05, 0.35);
+  t.memEnergyPerGB = rng.uniform(0.1, 0.7);
+  t.residencyPower = rng.uniform(5.0, 45.0);
+  t.occScaleCompute = rng.uniform(0.15, 0.55);
+  t.fetchPowerPerLevel = rng.uniform(1.0, 10.0);
+  t.gLinearPenalty = rng.uniform(0.001, 0.012);
+  t.runWarmupFraction = rng.uniform(0.002, 0.025);
+  t.constantActivePower = rng.uniform(3.0, 15.0);
+  t.bandwidthEfficiency = rng.uniform(0.5, 1.0);
+  t.uncoreTailSec = rng.uniform(0.5, 4.0);
+  return t;
+}
+
+void print(const hw::GpuTuning& t, double score) {
+  std::printf(
+      "score=%.4f\n"
+      "  t.smEnergyPerGflop = %.4f;\n"
+      "  t.memEnergyPerGB = %.4f;\n"
+      "  t.residencyPower = %.2f;\n"
+      "  t.fetchPowerPerLevel = %.2f;\n"
+      "  t.constantActivePower = %.2f;\n"
+      "  t.occScaleCompute = %.3f;\n"
+      "  t.boostPowerExponent = %.3f;\n"
+      "  t.midBinBoostFraction = %.3f;\n"
+      "  t.gLinearPenalty = %.4f;\n"
+      "  t.runWarmupFraction = %.4f;\n"
+      "  t.bandwidthEfficiency = %.3f;\n"
+      "  t.uncoreTailSec = %.3f;\n",
+      score, t.smEnergyPerGflop, t.memEnergyPerGB, t.residencyPower,
+      t.fetchPowerPerLevel, t.constantActivePower, t.occScaleCompute,
+      t.boostPowerExponent, t.midBinBoostFraction, t.gLinearPenalty,
+      t.runWarmupFraction, t.bandwidthEfficiency, t.uncoreTailSec);
+}
+
+}  // namespace
+
+// Stochastic hill climb around a starting point: perturb one random
+// field at a time by a shrinking relative step, keep improvements.
+hw::GpuTuning localRefine(const hw::GpuTuning& start, bool isP100,
+                          int iterations, Rng& rng, double& bestScore) {
+  auto fields = [](hw::GpuTuning& t) {
+    return std::vector<double*>{
+        &t.smEnergyPerGflop,  &t.memEnergyPerGB,     &t.residencyPower,
+        &t.fetchPowerPerLevel, &t.constantActivePower, &t.occScaleCompute,
+        &t.boostPowerExponent, &t.midBinBoostFraction, &t.gLinearPenalty,
+        &t.runWarmupFraction,  &t.bandwidthEfficiency, &t.uncoreTailSec};
+  };
+  // Physical bounds per field (same order as fields()).
+  const std::vector<std::pair<double, double>> bounds{
+      {0.0005, 0.30}, {0.01, 0.70}, {2.0, 60.0},  {0.5, 10.0},
+      {1.0, 20.0},    {0.12, 0.50}, {2.5, 6.0},   {0.20, 0.80},
+      {5e-4, 0.02},   {1e-3, 0.08}, {0.50, 1.00}, {0.3, 6.0}};
+  hw::GpuTuning best = start;
+  bestScore = isP100 ? scoreP100(best) : scoreK40c(best);
+  for (int i = 0; i < iterations; ++i) {
+    const double step = 0.30 * std::exp(-2.0 * i / iterations);
+    hw::GpuTuning cand = best;
+    auto ptrs = fields(cand);
+    const std::size_t k = rng.uniformInt(0, ptrs.size() - 1);
+    *ptrs[k] *= 1.0 + rng.uniform(-step, step);
+    *ptrs[k] = std::clamp(*ptrs[k], bounds[k].first, bounds[k].second);
+    double score;
+    try {
+      score = isP100 ? scoreP100(cand) : scoreK40c(cand);
+    } catch (const ep::EpError&) {
+      continue;
+    }
+    if (score < bestScore) {
+      bestScore = score;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: tune {p100|k40c} [iterations] [--local]\n"
+                 "  --local: hill-climb from the built-in defaults instead\n"
+                 "           of random search\n");
+    return 1;
+  }
+  const std::string which = argv[1];
+  const int iterations = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const bool isP100 = which == "p100";
+  const bool local = argc > 3 && std::string_view(argv[3]) == "--local";
+
+  Rng rng(2024);
+  hw::GpuTuning best;
+  double bestScore = 1e300;
+  if (local) {
+    const hw::GpuModel model(isP100 ? hw::nvidiaP100Pcie()
+                                    : hw::nvidiaK40c());
+    best = localRefine(model.tuning(), isP100, iterations, rng, bestScore);
+  } else {
+    const hw::GpuTuning base;
+    for (int i = 0; i < iterations; ++i) {
+      const hw::GpuTuning cand =
+          isP100 ? sampleP100(rng, base) : sampleK40c(rng, base);
+      double score;
+      try {
+        score = isP100 ? scoreP100(cand) : scoreK40c(cand);
+      } catch (const ep::EpError&) {
+        continue;
+      }
+      if (score < bestScore) {
+        bestScore = score;
+        best = cand;
+        std::printf("[iter %d] ", i);
+        print(best, bestScore);
+        std::fflush(stdout);
+      }
+    }
+  }
+  std::printf("\nBEST for %s:\n", which.c_str());
+  print(best, bestScore);
+  return 0;
+}
