@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_dvfs"
+  "../bench/bench_baseline_dvfs.pdb"
+  "CMakeFiles/bench_baseline_dvfs.dir/bench_baseline_dvfs.cpp.o"
+  "CMakeFiles/bench_baseline_dvfs.dir/bench_baseline_dvfs.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_baseline_partition"
+  "../bench/bench_baseline_partition.pdb"
+  "CMakeFiles/bench_baseline_partition.dir/bench_baseline_partition.cpp.o"
+  "CMakeFiles/bench_baseline_partition.dir/bench_baseline_partition.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_partition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

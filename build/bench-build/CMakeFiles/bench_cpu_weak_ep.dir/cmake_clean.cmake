@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_cpu_weak_ep"
+  "../bench/bench_cpu_weak_ep.pdb"
+  "CMakeFiles/bench_cpu_weak_ep.dir/bench_cpu_weak_ep.cpp.o"
+  "CMakeFiles/bench_cpu_weak_ep.dir/bench_cpu_weak_ep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cpu_weak_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

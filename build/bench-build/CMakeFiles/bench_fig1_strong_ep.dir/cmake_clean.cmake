@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_strong_ep"
+  "../bench/bench_fig1_strong_ep.pdb"
+  "CMakeFiles/bench_fig1_strong_ep.dir/bench_fig1_strong_ep.cpp.o"
+  "CMakeFiles/bench_fig1_strong_ep.dir/bench_fig1_strong_ep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_strong_ep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

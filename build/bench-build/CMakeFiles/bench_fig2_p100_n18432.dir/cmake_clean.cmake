@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_p100_n18432"
+  "../bench/bench_fig2_p100_n18432.pdb"
+  "CMakeFiles/bench_fig2_p100_n18432.dir/bench_fig2_p100_n18432.cpp.o"
+  "CMakeFiles/bench_fig2_p100_n18432.dir/bench_fig2_p100_n18432.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_p100_n18432.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_additivity"
+  "../bench/bench_fig6_additivity.pdb"
+  "CMakeFiles/bench_fig6_additivity.dir/bench_fig6_additivity.cpp.o"
+  "CMakeFiles/bench_fig6_additivity.dir/bench_fig6_additivity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_additivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_front_statistics"
+  "../bench/bench_front_statistics.pdb"
+  "CMakeFiles/bench_front_statistics.dir/bench_front_statistics.cpp.o"
+  "CMakeFiles/bench_front_statistics.dir/bench_front_statistics.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_front_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

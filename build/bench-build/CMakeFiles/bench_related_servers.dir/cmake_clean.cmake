@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_related_servers"
+  "../bench/bench_related_servers.pdb"
+  "CMakeFiles/bench_related_servers.dir/bench_related_servers.cpp.o"
+  "CMakeFiles/bench_related_servers.dir/bench_related_servers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_related_servers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_theory_twocore"
+  "../bench/bench_theory_twocore.pdb"
+  "CMakeFiles/bench_theory_twocore.dir/bench_theory_twocore.cpp.o"
+  "CMakeFiles/bench_theory_twocore.dir/bench_theory_twocore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theory_twocore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

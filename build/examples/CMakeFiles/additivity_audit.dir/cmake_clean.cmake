@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/additivity_audit.dir/additivity_audit.cpp.o"
+  "CMakeFiles/additivity_audit.dir/additivity_audit.cpp.o.d"
+  "additivity_audit"
+  "additivity_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/additivity_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

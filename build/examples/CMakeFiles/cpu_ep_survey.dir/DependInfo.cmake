@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/cpu_ep_survey.cpp" "examples/CMakeFiles/cpu_ep_survey.dir/cpu_ep_survey.cpp.o" "gcc" "examples/CMakeFiles/cpu_ep_survey.dir/cpu_ep_survey.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/eppareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ephw.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/epblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/epfft.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/epapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/partition/CMakeFiles/eppartition.dir/DependInfo.cmake"
+  "/root/repo/build/src/dvfs/CMakeFiles/epdvfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/energymodel/CMakeFiles/epmodel.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/epcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_ep_survey.dir/cpu_ep_survey.cpp.o"
+  "CMakeFiles/cpu_ep_survey.dir/cpu_ep_survey.cpp.o.d"
+  "cpu_ep_survey"
+  "cpu_ep_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_ep_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

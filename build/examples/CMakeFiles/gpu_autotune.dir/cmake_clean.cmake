@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_autotune.dir/gpu_autotune.cpp.o"
+  "CMakeFiles/gpu_autotune.dir/gpu_autotune.cpp.o.d"
+  "gpu_autotune"
+  "gpu_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

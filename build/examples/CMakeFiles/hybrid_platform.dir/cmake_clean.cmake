@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_platform.dir/hybrid_platform.cpp.o"
+  "CMakeFiles/hybrid_platform.dir/hybrid_platform.cpp.o.d"
+  "hybrid_platform"
+  "hybrid_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("stats")
+subdirs("pareto")
+subdirs("power")
+subdirs("hw")
+subdirs("cudasim")
+subdirs("blas")
+subdirs("fft")
+subdirs("partition")
+subdirs("dvfs")
+subdirs("apps")
+subdirs("energymodel")
+subdirs("core")

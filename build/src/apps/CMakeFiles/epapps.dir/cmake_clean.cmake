@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epapps.dir/cpu_dgemm_app.cpp.o"
+  "CMakeFiles/epapps.dir/cpu_dgemm_app.cpp.o.d"
+  "CMakeFiles/epapps.dir/fft2d_app.cpp.o"
+  "CMakeFiles/epapps.dir/fft2d_app.cpp.o.d"
+  "CMakeFiles/epapps.dir/gpu_matmul_app.cpp.o"
+  "CMakeFiles/epapps.dir/gpu_matmul_app.cpp.o.d"
+  "CMakeFiles/epapps.dir/matmul_kernel.cpp.o"
+  "CMakeFiles/epapps.dir/matmul_kernel.cpp.o.d"
+  "libepapps.a"
+  "libepapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epapps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epblas.dir/dgemm.cpp.o"
+  "CMakeFiles/epblas.dir/dgemm.cpp.o.d"
+  "libepblas.a"
+  "libepblas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

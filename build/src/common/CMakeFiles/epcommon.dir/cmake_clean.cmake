@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epcommon.dir/mathutil.cpp.o"
+  "CMakeFiles/epcommon.dir/mathutil.cpp.o.d"
+  "CMakeFiles/epcommon.dir/rng.cpp.o"
+  "CMakeFiles/epcommon.dir/rng.cpp.o.d"
+  "CMakeFiles/epcommon.dir/table.cpp.o"
+  "CMakeFiles/epcommon.dir/table.cpp.o.d"
+  "CMakeFiles/epcommon.dir/thread_pool.cpp.o"
+  "CMakeFiles/epcommon.dir/thread_pool.cpp.o.d"
+  "libepcommon.a"
+  "libepcommon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epcommon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for epcommon.
+# This may be replaced when dependencies are built.

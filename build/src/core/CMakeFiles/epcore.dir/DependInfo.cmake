@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cpu_study.cpp" "src/core/CMakeFiles/epcore.dir/cpu_study.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/cpu_study.cpp.o.d"
+  "/root/repo/src/core/definitions.cpp" "src/core/CMakeFiles/epcore.dir/definitions.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/definitions.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/epcore.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/ncore.cpp" "src/core/CMakeFiles/epcore.dir/ncore.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/ncore.cpp.o.d"
+  "/root/repo/src/core/serverpark.cpp" "src/core/CMakeFiles/epcore.dir/serverpark.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/serverpark.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/epcore.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/study.cpp.o.d"
+  "/root/repo/src/core/tuner.cpp" "src/core/CMakeFiles/epcore.dir/tuner.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/tuner.cpp.o.d"
+  "/root/repo/src/core/twocore.cpp" "src/core/CMakeFiles/epcore.dir/twocore.cpp.o" "gcc" "src/core/CMakeFiles/epcore.dir/twocore.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/eppareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/epapps.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ephw.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  "/root/repo/build/src/blas/CMakeFiles/epblas.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/epfft.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epcore.dir/cpu_study.cpp.o"
+  "CMakeFiles/epcore.dir/cpu_study.cpp.o.d"
+  "CMakeFiles/epcore.dir/definitions.cpp.o"
+  "CMakeFiles/epcore.dir/definitions.cpp.o.d"
+  "CMakeFiles/epcore.dir/metrics.cpp.o"
+  "CMakeFiles/epcore.dir/metrics.cpp.o.d"
+  "CMakeFiles/epcore.dir/ncore.cpp.o"
+  "CMakeFiles/epcore.dir/ncore.cpp.o.d"
+  "CMakeFiles/epcore.dir/serverpark.cpp.o"
+  "CMakeFiles/epcore.dir/serverpark.cpp.o.d"
+  "CMakeFiles/epcore.dir/study.cpp.o"
+  "CMakeFiles/epcore.dir/study.cpp.o.d"
+  "CMakeFiles/epcore.dir/tuner.cpp.o"
+  "CMakeFiles/epcore.dir/tuner.cpp.o.d"
+  "CMakeFiles/epcore.dir/twocore.cpp.o"
+  "CMakeFiles/epcore.dir/twocore.cpp.o.d"
+  "libepcore.a"
+  "libepcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cudasim/cupti.cpp" "src/cudasim/CMakeFiles/cusim.dir/cupti.cpp.o" "gcc" "src/cudasim/CMakeFiles/cusim.dir/cupti.cpp.o.d"
+  "/root/repo/src/cudasim/device.cpp" "src/cudasim/CMakeFiles/cusim.dir/device.cpp.o" "gcc" "src/cudasim/CMakeFiles/cusim.dir/device.cpp.o.d"
+  "/root/repo/src/cudasim/executor.cpp" "src/cudasim/CMakeFiles/cusim.dir/executor.cpp.o" "gcc" "src/cudasim/CMakeFiles/cusim.dir/executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ephw.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

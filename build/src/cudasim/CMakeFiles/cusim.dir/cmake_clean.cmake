@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cusim.dir/cupti.cpp.o"
+  "CMakeFiles/cusim.dir/cupti.cpp.o.d"
+  "CMakeFiles/cusim.dir/device.cpp.o"
+  "CMakeFiles/cusim.dir/device.cpp.o.d"
+  "CMakeFiles/cusim.dir/executor.cpp.o"
+  "CMakeFiles/cusim.dir/executor.cpp.o.d"
+  "libcusim.a"
+  "libcusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

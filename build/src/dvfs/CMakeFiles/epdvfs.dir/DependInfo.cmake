@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dvfs/governor.cpp" "src/dvfs/CMakeFiles/epdvfs.dir/governor.cpp.o" "gcc" "src/dvfs/CMakeFiles/epdvfs.dir/governor.cpp.o.d"
+  "/root/repo/src/dvfs/optimize.cpp" "src/dvfs/CMakeFiles/epdvfs.dir/optimize.cpp.o" "gcc" "src/dvfs/CMakeFiles/epdvfs.dir/optimize.cpp.o.d"
+  "/root/repo/src/dvfs/processor.cpp" "src/dvfs/CMakeFiles/epdvfs.dir/processor.cpp.o" "gcc" "src/dvfs/CMakeFiles/epdvfs.dir/processor.cpp.o.d"
+  "/root/repo/src/dvfs/pstate.cpp" "src/dvfs/CMakeFiles/epdvfs.dir/pstate.cpp.o" "gcc" "src/dvfs/CMakeFiles/epdvfs.dir/pstate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/eppareto.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ephw.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epdvfs.dir/governor.cpp.o"
+  "CMakeFiles/epdvfs.dir/governor.cpp.o.d"
+  "CMakeFiles/epdvfs.dir/optimize.cpp.o"
+  "CMakeFiles/epdvfs.dir/optimize.cpp.o.d"
+  "CMakeFiles/epdvfs.dir/processor.cpp.o"
+  "CMakeFiles/epdvfs.dir/processor.cpp.o.d"
+  "CMakeFiles/epdvfs.dir/pstate.cpp.o"
+  "CMakeFiles/epdvfs.dir/pstate.cpp.o.d"
+  "libepdvfs.a"
+  "libepdvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epdvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energymodel/additivity.cpp" "src/energymodel/CMakeFiles/epmodel.dir/additivity.cpp.o" "gcc" "src/energymodel/CMakeFiles/epmodel.dir/additivity.cpp.o.d"
+  "/root/repo/src/energymodel/linear_model.cpp" "src/energymodel/CMakeFiles/epmodel.dir/linear_model.cpp.o" "gcc" "src/energymodel/CMakeFiles/epmodel.dir/linear_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cudasim/CMakeFiles/cusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/ephw.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

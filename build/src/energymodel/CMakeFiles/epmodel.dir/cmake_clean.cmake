@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epmodel.dir/additivity.cpp.o"
+  "CMakeFiles/epmodel.dir/additivity.cpp.o.d"
+  "CMakeFiles/epmodel.dir/linear_model.cpp.o"
+  "CMakeFiles/epmodel.dir/linear_model.cpp.o.d"
+  "libepmodel.a"
+  "libepmodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epmodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for epmodel.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epfft.dir/fft.cpp.o"
+  "CMakeFiles/epfft.dir/fft.cpp.o.d"
+  "libepfft.a"
+  "libepfft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epfft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

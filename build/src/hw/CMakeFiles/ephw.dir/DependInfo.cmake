@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cpu_model.cpp" "src/hw/CMakeFiles/ephw.dir/cpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/ephw.dir/cpu_model.cpp.o.d"
+  "/root/repo/src/hw/gpu_model.cpp" "src/hw/CMakeFiles/ephw.dir/gpu_model.cpp.o" "gcc" "src/hw/CMakeFiles/ephw.dir/gpu_model.cpp.o.d"
+  "/root/repo/src/hw/spec.cpp" "src/hw/CMakeFiles/ephw.dir/spec.cpp.o" "gcc" "src/hw/CMakeFiles/ephw.dir/spec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/eppower.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

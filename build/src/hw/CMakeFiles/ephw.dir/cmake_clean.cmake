@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ephw.dir/cpu_model.cpp.o"
+  "CMakeFiles/ephw.dir/cpu_model.cpp.o.d"
+  "CMakeFiles/ephw.dir/gpu_model.cpp.o"
+  "CMakeFiles/ephw.dir/gpu_model.cpp.o.d"
+  "CMakeFiles/ephw.dir/spec.cpp.o"
+  "CMakeFiles/ephw.dir/spec.cpp.o.d"
+  "libephw.a"
+  "libephw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ephw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ephw.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppareto.dir/front.cpp.o"
+  "CMakeFiles/eppareto.dir/front.cpp.o.d"
+  "CMakeFiles/eppareto.dir/tradeoff.cpp.o"
+  "CMakeFiles/eppareto.dir/tradeoff.cpp.o.d"
+  "libeppareto.a"
+  "libeppareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

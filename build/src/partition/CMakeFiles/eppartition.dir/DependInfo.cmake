@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/partition/partitioner.cpp" "src/partition/CMakeFiles/eppartition.dir/partitioner.cpp.o" "gcc" "src/partition/CMakeFiles/eppartition.dir/partitioner.cpp.o.d"
+  "/root/repo/src/partition/profile.cpp" "src/partition/CMakeFiles/eppartition.dir/profile.cpp.o" "gcc" "src/partition/CMakeFiles/eppartition.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/pareto/CMakeFiles/eppareto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

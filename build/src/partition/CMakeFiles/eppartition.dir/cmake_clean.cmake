@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppartition.dir/partitioner.cpp.o"
+  "CMakeFiles/eppartition.dir/partitioner.cpp.o.d"
+  "CMakeFiles/eppartition.dir/profile.cpp.o"
+  "CMakeFiles/eppartition.dir/profile.cpp.o.d"
+  "libeppartition.a"
+  "libeppartition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppartition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

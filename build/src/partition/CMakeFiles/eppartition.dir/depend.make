@@ -1,0 +1,2 @@
+# Empty dependencies file for eppartition.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/measurer.cpp" "src/power/CMakeFiles/eppower.dir/measurer.cpp.o" "gcc" "src/power/CMakeFiles/eppower.dir/measurer.cpp.o.d"
+  "/root/repo/src/power/meter.cpp" "src/power/CMakeFiles/eppower.dir/meter.cpp.o" "gcc" "src/power/CMakeFiles/eppower.dir/meter.cpp.o.d"
+  "/root/repo/src/power/profile.cpp" "src/power/CMakeFiles/eppower.dir/profile.cpp.o" "gcc" "src/power/CMakeFiles/eppower.dir/profile.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "src/power/CMakeFiles/eppower.dir/trace.cpp.o" "gcc" "src/power/CMakeFiles/eppower.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/epstats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eppower.dir/measurer.cpp.o"
+  "CMakeFiles/eppower.dir/measurer.cpp.o.d"
+  "CMakeFiles/eppower.dir/meter.cpp.o"
+  "CMakeFiles/eppower.dir/meter.cpp.o.d"
+  "CMakeFiles/eppower.dir/profile.cpp.o"
+  "CMakeFiles/eppower.dir/profile.cpp.o.d"
+  "CMakeFiles/eppower.dir/trace.cpp.o"
+  "CMakeFiles/eppower.dir/trace.cpp.o.d"
+  "libeppower.a"
+  "libeppower.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eppower.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

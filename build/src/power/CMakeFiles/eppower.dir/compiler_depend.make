@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for eppower.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/chisq.cpp" "src/stats/CMakeFiles/epstats.dir/chisq.cpp.o" "gcc" "src/stats/CMakeFiles/epstats.dir/chisq.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/epstats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/epstats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/epstats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/epstats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/regression.cpp" "src/stats/CMakeFiles/epstats.dir/regression.cpp.o" "gcc" "src/stats/CMakeFiles/epstats.dir/regression.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "src/stats/CMakeFiles/epstats.dir/ttest.cpp.o" "gcc" "src/stats/CMakeFiles/epstats.dir/ttest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/epcommon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

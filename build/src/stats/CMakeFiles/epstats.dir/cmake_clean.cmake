@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epstats.dir/chisq.cpp.o"
+  "CMakeFiles/epstats.dir/chisq.cpp.o.d"
+  "CMakeFiles/epstats.dir/descriptive.cpp.o"
+  "CMakeFiles/epstats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/epstats.dir/distributions.cpp.o"
+  "CMakeFiles/epstats.dir/distributions.cpp.o.d"
+  "CMakeFiles/epstats.dir/regression.cpp.o"
+  "CMakeFiles/epstats.dir/regression.cpp.o.d"
+  "CMakeFiles/epstats.dir/ttest.cpp.o"
+  "CMakeFiles/epstats.dir/ttest.cpp.o.d"
+  "libepstats.a"
+  "libepstats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epstats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

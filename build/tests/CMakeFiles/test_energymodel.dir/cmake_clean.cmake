@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_energymodel.dir/test_energymodel.cpp.o"
+  "CMakeFiles/test_energymodel.dir/test_energymodel.cpp.o.d"
+  "test_energymodel"
+  "test_energymodel.pdb"
+  "test_energymodel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_energymodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epsim_report.dir/epsim_report.cpp.o"
+  "CMakeFiles/epsim_report.dir/epsim_report.cpp.o.d"
+  "epsim_report"
+  "epsim_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epsim_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
