@@ -1,0 +1,122 @@
+// Serving-path benchmark: requests/sec through the epserve broker and
+// the cache-hit vs cold-study latency split, across thread counts.
+//
+// The interesting ratio is cold vs hit: a cold TuneRequest pays the
+// full configuration-space study (every launchable (BS, G, R) through
+// the GPU model), while a hit replays the cached front through the
+// budget-specific tuner.  The acceptance bar is hit latency at least
+// 10x better than cold.
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "serve/broker.hpp"
+#include "serve/engine.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using ep::serve::Broker;
+using ep::serve::BrokerOptions;
+using ep::serve::Device;
+using ep::serve::TuneRequest;
+
+double msSince(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0)
+      .count();
+}
+
+TuneRequest req(Device d, int n) {
+  TuneRequest r;
+  r.device = d;
+  r.n = n;
+  r.maxDegradation = 0.11;
+  return r;
+}
+
+struct LatencySplit {
+  double coldMs = 0.0;  // mean over cold keys
+  double hitMs = 0.0;   // mean over cache-hit repeats
+};
+
+LatencySplit measureLatencies(const std::vector<int>& sizes,
+                              std::size_t threads) {
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+  BrokerOptions opts;
+  opts.threads = threads;
+  opts.queueCapacity = 1024;
+  Broker broker(engine, opts);
+
+  LatencySplit out;
+  for (int n : sizes) {
+    const auto t0 = Clock::now();
+    const auto resp = broker.tune(req(Device::P100, n));
+    if (resp.status != ep::serve::Status::Ok) {
+      std::fprintf(stderr, "cold tune failed: %s\n", resp.error.c_str());
+      continue;
+    }
+    out.coldMs += msSince(t0);
+  }
+  out.coldMs /= static_cast<double>(sizes.size());
+
+  constexpr int kHitRepeats = 200;
+  const auto t0 = Clock::now();
+  for (int i = 0; i < kHitRepeats; ++i) {
+    (void)broker.tune(req(Device::P100, sizes[static_cast<std::size_t>(i) %
+                                              sizes.size()]));
+  }
+  out.hitMs = msSince(t0) / kHitRepeats;
+  return out;
+}
+
+double measureThroughput(const std::vector<int>& sizes, std::size_t threads,
+                         int requests) {
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+  BrokerOptions opts;
+  opts.threads = threads;
+  opts.queueCapacity = static_cast<std::size_t>(requests) + 16;
+  Broker broker(engine, opts);
+
+  // Warm the cache so the measured mix is the steady serving state
+  // (hits + coalescing), not a cold-start artifact.
+  for (int n : sizes) (void)broker.tune(req(Device::P100, n));
+
+  std::vector<std::future<ep::serve::TuneResponse>> futures;
+  futures.reserve(static_cast<std::size_t>(requests));
+  const auto t0 = Clock::now();
+  for (int i = 0; i < requests; ++i) {
+    futures.push_back(broker.submitTune(
+        req(Device::P100, sizes[static_cast<std::size_t>(i) % sizes.size()])));
+  }
+  for (auto& f : futures) (void)f.get();
+  const double s = msSince(t0) / 1e3;
+  return static_cast<double>(requests) / s;
+}
+
+}  // namespace
+
+int main() {
+  const std::vector<int> sizes = {4096, 5120, 6144, 7168, 8192, 9216,
+                                  10240, 12288};
+  constexpr int kRequests = 20000;
+
+  std::printf("== epserve broker throughput ==\n");
+  std::printf("workloads: %zu P100 sizes, budget 11%%, cache warm\n\n",
+              sizes.size());
+
+  const LatencySplit split = measureLatencies(sizes, 4);
+  std::printf("latency (4 worker threads):\n");
+  std::printf("  cold study : %10.3f ms/request\n", split.coldMs);
+  std::printf("  cache hit  : %10.3f ms/request\n", split.hitMs);
+  const double ratio = split.hitMs > 0.0 ? split.coldMs / split.hitMs : 0.0;
+  std::printf("  cold/hit   : %10.1fx  %s\n\n", ratio,
+              ratio >= 10.0 ? "(PASS >= 10x)" : "(FAIL < 10x)");
+
+  std::printf("throughput (%d requests, warm cache):\n", kRequests);
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    const double rps = measureThroughput(sizes, threads, kRequests);
+    std::printf("  threads=%zu : %12.0f req/s\n", threads, rps);
+  }
+  return 0;
+}

@@ -13,6 +13,18 @@ TunerRecommendation BiObjectiveTuner::recommend(
     const std::vector<pareto::BiPoint>& points) const {
   EP_REQUIRE(!points.empty(), "tuner needs measured points");
   TunerRecommendation rec;
+  if (points.size() == 1) {
+    // A single measured configuration is trivially every optimum; this
+    // also sidesteps the positivity requirements of the trade-off
+    // analysis, which a lone (possibly zero-valued) point cannot meet.
+    const pareto::BiPoint& only = points.front();
+    rec.globalFront = {only};
+    rec.performanceOptimal = only;
+    rec.energyOptimal = only;
+    rec.knee = only;
+    rec.recommended = only;
+    return rec;
+  }
   rec.globalFront = pareto::paretoFront(points);
   const pareto::Tradeoff overall = pareto::analyzeTradeoff(points);
   rec.performanceOptimal = overall.performanceOptimal;

@@ -33,8 +33,14 @@ struct TunerRecommendation {
 class BiObjectiveTuner {
  public:
   // maxDegradation: allowed slowdown fraction, e.g. 0.07 for 7 %.
+  // A budget of exactly 0 is valid: only the performance optimum (or a
+  // time-tied cheaper point) can be recommended.
   explicit BiObjectiveTuner(double maxDegradation);
 
+  // Degenerate inputs are well-defined: an empty point set throws
+  // PreconditionError; a single point (even with zero-valued
+  // objectives) is returned as every optimum with zero savings and
+  // degradation; duplicate points never trip the dominance logic.
   [[nodiscard]] TunerRecommendation recommend(
       const std::vector<pareto::BiPoint>& points) const;
 

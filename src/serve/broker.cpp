@@ -1,0 +1,392 @@
+#include "serve/broker.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace ep::serve {
+
+namespace {
+
+Seconds elapsedSince(Clock::time_point start) {
+  return Seconds{
+      std::chrono::duration<double>(Clock::now() - start).count()};
+}
+
+double elapsedMsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string describe(const std::exception_ptr& err) {
+  try {
+    std::rethrow_exception(err);
+  } catch (const std::exception& e) {
+    return e.what();
+  } catch (...) {
+    return "unknown engine failure";
+  }
+}
+
+}  // namespace
+
+Broker::Broker(std::shared_ptr<const TuningEngine> engine,
+               BrokerOptions options)
+    : engine_(std::move(engine)),
+      options_(options),
+      cache_(options.cacheCapacity),
+      pool_(std::make_unique<ThreadPool>(options.threads)) {
+  EP_REQUIRE(engine_ != nullptr, "broker needs an engine");
+  EP_REQUIRE(options_.queueCapacity >= 1, "queue capacity must be >= 1");
+}
+
+Broker::~Broker() { shutdown(); }
+
+StudyKey Broker::keyFor(Device device, int n) const {
+  return StudyKey{device, n, engine_->tuningHash(device)};
+}
+
+Clock::time_point Broker::deadlineFor(double deadlineMs,
+                                      Clock::time_point now) const {
+  double ms = deadlineMs;
+  if (ms <= 0.0) ms = options_.defaultDeadlineMs;
+  if (ms <= 0.0) return Clock::time_point::max();
+  return now + std::chrono::duration_cast<Clock::duration>(
+                   std::chrono::duration<double, std::milli>(ms));
+}
+
+std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
+  auto job = std::make_shared<TuneJob>();
+  job->req = req;
+  job->submitted = Clock::now();
+  job->deadline = deadlineFor(req.deadlineMs, job->submitted);
+  auto future = job->promise.get_future();
+
+  if (req.n <= 0 || req.maxDegradation < 0.0) {
+    {
+      std::lock_guard lk(mu_);
+      ++m_.accepted;
+      ++m_.failed;
+    }
+    TuneResponse resp;
+    resp.status = Status::Error;
+    resp.error = "invalid tune request (need n > 0, maxDegradation >= 0)";
+    resp.latency = elapsedSince(job->submitted);
+    job->promise.set_value(std::move(resp));
+    return future;
+  }
+
+  std::unique_lock lk(mu_);
+  if (!accepting_) {
+    ++m_.rejectedShutdown;
+    lk.unlock();
+    rejectTune(job, Status::ShuttingDown, "");
+    return future;
+  }
+  const StudyKey key = keyFor(req.device, req.n);
+  if (auto hit = cache_.get(key)) {
+    ++m_.accepted;
+    ResultPtr result = *hit;
+    lk.unlock();
+    completeTune(job, result, /*cacheHit=*/true, /*coalesced=*/false);
+    return future;
+  }
+  if (auto it = inFlight_.find(key); it != inFlight_.end()) {
+    // The futures map: join the in-flight computation instead of
+    // queueing a duplicate study.
+    ++m_.accepted;
+    ++m_.coalesced;
+    it->second->waiters.push_back(job);
+    return future;
+  }
+  if (queueDepth_ >= options_.queueCapacity) {
+    ++m_.rejectedQueueFull;
+    lk.unlock();
+    rejectTune(job, Status::QueueFull, "");
+    return future;
+  }
+  ++m_.accepted;
+  ++queueDepth_;
+  lk.unlock();
+  pool_->submit([this, job] { runTuneJob(job); });
+  return future;
+}
+
+std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
+  auto promise = std::make_shared<std::promise<StudyResponse>>();
+  auto future = promise->get_future();
+  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point deadline = deadlineFor(req.deadlineMs, submitted);
+
+  auto respondNow = [&](Status status, const std::string& error) {
+    StudyResponse resp;
+    resp.status = status;
+    resp.error = error;
+    resp.latency = elapsedSince(submitted);
+    promise->set_value(std::move(resp));
+  };
+
+  if (req.sizes().empty()) {
+    {
+      std::lock_guard lk(mu_);
+      ++m_.accepted;
+      ++m_.failed;
+    }
+    respondNow(Status::Error,
+               "invalid study request (need 0 < nBegin <= nEnd, nStep > 0)");
+    return future;
+  }
+
+  std::unique_lock lk(mu_);
+  if (!accepting_) {
+    ++m_.rejectedShutdown;
+    lk.unlock();
+    respondNow(Status::ShuttingDown, "");
+    return future;
+  }
+  if (queueDepth_ >= options_.queueCapacity) {
+    ++m_.rejectedQueueFull;
+    lk.unlock();
+    respondNow(Status::QueueFull, "");
+    return future;
+  }
+  ++m_.accepted;
+  ++queueDepth_;
+  lk.unlock();
+  auto reqCopy = std::make_shared<StudyRequest>(req);
+  pool_->submit([this, reqCopy, submitted, deadline, promise] {
+    runStudyJob(reqCopy, submitted, deadline, promise);
+  });
+  return future;
+}
+
+void Broker::runTuneJob(const TuneJobPtr& job) {
+  std::unique_lock lk(mu_);
+  --queueDepth_;
+  ++activeJobs_;
+
+  if (Clock::now() > job->deadline) {
+    lk.unlock();
+    rejectTune(job, Status::DeadlineExceeded, "");
+    lk.lock();
+    finishJobLocked();
+    return;
+  }
+  const StudyKey key = keyFor(job->req.device, job->req.n);
+  if (auto hit = cache_.get(key)) {
+    // Filled while this job sat in the queue.
+    ResultPtr result = *hit;
+    lk.unlock();
+    completeTune(job, result, /*cacheHit=*/true, /*coalesced=*/false);
+    lk.lock();
+    finishJobLocked();
+    return;
+  }
+  if (auto it = inFlight_.find(key); it != inFlight_.end()) {
+    // A sibling queued before either of us started now owns the study;
+    // hand our promise to it rather than blocking this worker.
+    ++m_.coalesced;
+    it->second->waiters.push_back(job);
+    finishJobLocked();
+    return;
+  }
+  lk.unlock();
+
+  bool cacheHit = false;
+  bool coalesced = false;
+  try {
+    const ResultPtr result =
+        obtainStudy(job->req.device, job->req.n, &cacheHit, &coalesced);
+    completeTune(job, result, cacheHit, coalesced);
+  } catch (...) {
+    rejectTune(job, Status::Error, describe(std::current_exception()));
+  }
+  lk.lock();
+  finishJobLocked();
+}
+
+void Broker::runStudyJob(
+    const std::shared_ptr<StudyRequest>& req, Clock::time_point submitted,
+    Clock::time_point deadline,
+    const std::shared_ptr<std::promise<StudyResponse>>& promise) {
+  {
+    std::lock_guard lk(mu_);
+    --queueDepth_;
+    ++activeJobs_;
+  }
+
+  StudyResponse resp;
+  std::vector<core::WorkloadResult> results;
+  const std::vector<int> sizes = req->sizes();
+  results.reserve(sizes.size());
+  for (int n : sizes) {
+    if (Clock::now() > deadline) {
+      resp.status = Status::DeadlineExceeded;
+      break;
+    }
+    bool cacheHit = false;
+    bool coalesced = false;
+    try {
+      const ResultPtr r = obtainStudy(req->device, n, &cacheHit, &coalesced);
+      results.push_back(*r);
+    } catch (...) {
+      resp.status = Status::Error;
+      resp.error = describe(std::current_exception());
+      break;
+    }
+    if (cacheHit) ++resp.workloadCacheHits;
+  }
+  if (resp.status == Status::Ok && results.size() == sizes.size()) {
+    resp.statistics = core::GpuEpStudy::summarize(results);
+  } else if (resp.status == Status::Ok) {
+    resp.status = Status::Error;
+    resp.error = "study incomplete";
+  }
+  resp.latency = elapsedSince(submitted);
+
+  {
+    std::lock_guard lk(mu_);
+    switch (resp.status) {
+      case Status::Ok:
+        ++m_.completed;
+        m_.latency.record(elapsedMsSince(submitted));
+        break;
+      case Status::DeadlineExceeded:
+        ++m_.rejectedDeadline;
+        break;
+      default:
+        ++m_.failed;
+        break;
+    }
+    finishJobLocked();
+  }
+  promise->set_value(std::move(resp));
+}
+
+Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
+                                      bool* coalesced) {
+  const StudyKey key = keyFor(device, n);
+  std::unique_lock lk(mu_);
+  if (auto hit = cache_.get(key)) {
+    *cacheHit = true;
+    return *hit;
+  }
+  if (auto it = inFlight_.find(key); it != inFlight_.end()) {
+    // Blocking join: safe because in-flight entries only exist while
+    // their owner is actively computing on another worker.
+    ++m_.coalesced;
+    *coalesced = true;
+    auto future = it->second->future;
+    lk.unlock();
+    return future.get();  // rethrows the owner's engine failure
+  }
+
+  // Claim the computation.
+  auto entry = std::make_shared<InFlightStudy>();
+  entry->future = entry->promise.get_future().share();
+  inFlight_[key] = entry;
+  ++m_.studiesExecuted;
+  lk.unlock();
+
+  ResultPtr result;
+  std::exception_ptr err;
+  try {
+    result = std::make_shared<const core::WorkloadResult>(
+        engine_->evaluate(device, n));
+  } catch (...) {
+    err = std::current_exception();
+  }
+
+  lk.lock();
+  inFlight_.erase(key);
+  if (result) cache_.put(key, result);
+  std::vector<TuneJobPtr> waiters = std::move(entry->waiters);
+  lk.unlock();
+
+  if (err) {
+    entry->promise.set_exception(err);
+    const std::string msg = describe(err);
+    for (const auto& w : waiters) rejectTune(w, Status::Error, msg);
+    std::rethrow_exception(err);
+  }
+  entry->promise.set_value(result);
+  for (const auto& w : waiters) {
+    completeTune(w, result, /*cacheHit=*/false, /*coalesced=*/true);
+  }
+  return result;
+}
+
+void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
+                          bool cacheHit, bool coalesced) {
+  if (Clock::now() > job->deadline) {
+    rejectTune(job, Status::DeadlineExceeded, "");
+    return;
+  }
+  TuneResponse resp;
+  resp.status = Status::Ok;
+  resp.cacheHit = cacheHit;
+  resp.coalesced = coalesced;
+  // The study (expensive) is shared/cached; the budget-specific tuner
+  // step (cheap) runs per request.  Recommending over the cached global
+  // front is equivalent to recommending over all points: the optima and
+  // every budget-admissible energy minimum are Pareto-optimal.
+  const core::BiObjectiveTuner tuner(job->req.maxDegradation);
+  resp.recommendation = tuner.recommend(result->globalFront);
+  resp.latency = elapsedSince(job->submitted);
+  {
+    std::lock_guard lk(mu_);
+    ++m_.completed;
+    m_.latency.record(elapsedMsSince(job->submitted));
+  }
+  job->promise.set_value(std::move(resp));
+}
+
+void Broker::rejectTune(const TuneJobPtr& job, Status status,
+                        const std::string& error) {
+  {
+    std::lock_guard lk(mu_);
+    switch (status) {
+      case Status::DeadlineExceeded:
+        ++m_.rejectedDeadline;
+        break;
+      case Status::Error:
+        ++m_.failed;
+        break;
+      default:
+        break;  // QueueFull / ShuttingDown counted at admission
+    }
+  }
+  TuneResponse resp;
+  resp.status = status;
+  resp.error = error;
+  resp.latency = elapsedSince(job->submitted);
+  job->promise.set_value(std::move(resp));
+}
+
+void Broker::finishJobLocked() {
+  --activeJobs_;
+  if (queueDepth_ == 0 && activeJobs_ == 0) drained_.notify_all();
+}
+
+ServeMetrics Broker::metrics() const {
+  std::lock_guard lk(mu_);
+  ServeMetrics out = m_;
+  const LruCacheStats cs = cache_.stats();
+  out.cacheHits = cs.hits;
+  out.cacheMisses = cs.misses;
+  out.cacheEvictions = cs.evictions;
+  out.cacheSize = cs.size;
+  out.cacheCapacity = cs.capacity;
+  out.queueDepth = queueDepth_;
+  out.inFlightStudies = inFlight_.size();
+  return out;
+}
+
+void Broker::shutdown() {
+  std::unique_lock lk(mu_);
+  accepting_ = false;
+  drained_.wait(lk, [this] { return queueDepth_ == 0 && activeJobs_ == 0; });
+}
+
+}  // namespace ep::serve

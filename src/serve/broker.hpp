@@ -1,0 +1,137 @@
+// The epserve request broker: a transport-agnostic, concurrent front
+// door to the bi-objective tuning stack.
+//
+// Execution model
+//   * Requests are validated and admitted under a single mutex, then
+//     executed on an ep::ThreadPool.  Admission is O(1); all expensive
+//     work happens on workers.
+//   * Result cache: completed studies are kept in an LRU keyed by
+//     (device, N, tuning-constants hash).  A cache hit is served
+//     synchronously at submission — no queue round trip.
+//   * Request coalescing: while a study for key K is being computed,
+//     further requests for K do not queue; they register as waiters on
+//     the in-flight entry and are all fulfilled by the one computing
+//     worker (each with its own degradation budget — the tuner step is
+//     cheap, only the study is shared).
+//   * Backpressure: at most `queueCapacity` admitted-but-not-started
+//     jobs; beyond that submissions are rejected with QueueFull.
+//   * Deadlines: a request may carry a relative deadline; expired
+//     requests are rejected (DeadlineExceeded) instead of served late.
+//   * Shutdown: stops admission immediately, then drains every queued
+//     and in-flight job before returning — no future is ever abandoned.
+//
+// Invariant that keeps the blocking paths deadlock-free: an in-flight
+// map entry exists only while its owning worker is actively inside
+// TuningEngine::evaluate().  Anyone who blocks on an in-flight future
+// therefore waits on a *running* computation, never on queued work.
+#pragma once
+
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "serve/engine.hpp"
+#include "serve/lru_cache.hpp"
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace ep::serve {
+
+struct BrokerOptions {
+  std::size_t threads = 0;        // 0 = hardware concurrency
+  std::size_t queueCapacity = 64; // admitted-but-not-started jobs
+  std::size_t cacheCapacity = 128;
+  // Applied to requests that carry no deadline; <= 0 keeps them
+  // deadline-free.
+  double defaultDeadlineMs = 0.0;
+};
+
+class Broker {
+ public:
+  Broker(std::shared_ptr<const TuningEngine> engine, BrokerOptions options = {});
+  ~Broker();  // shutdown()
+
+  Broker(const Broker&) = delete;
+  Broker& operator=(const Broker&) = delete;
+
+  [[nodiscard]] std::future<TuneResponse> submitTune(const TuneRequest& req);
+  [[nodiscard]] std::future<StudyResponse> submitStudy(const StudyRequest& req);
+
+  // Blocking conveniences.
+  [[nodiscard]] TuneResponse tune(const TuneRequest& req) {
+    return submitTune(req).get();
+  }
+  [[nodiscard]] StudyResponse study(const StudyRequest& req) {
+    return submitStudy(req).get();
+  }
+
+  [[nodiscard]] ServeMetrics metrics() const;
+
+  // Stop admitting, drain all queued and in-flight work, return when
+  // every outstanding future is fulfilled.  Idempotent.
+  void shutdown();
+
+ private:
+  using ResultPtr = std::shared_ptr<const core::WorkloadResult>;
+
+  struct TuneJob {
+    TuneRequest req;
+    Clock::time_point submitted;
+    Clock::time_point deadline;  // time_point::max() = none
+    std::promise<TuneResponse> promise;
+  };
+  using TuneJobPtr = std::shared_ptr<TuneJob>;
+
+  struct InFlightStudy {
+    std::promise<ResultPtr> promise;
+    std::shared_future<ResultPtr> future;
+    std::vector<TuneJobPtr> waiters;
+  };
+
+  [[nodiscard]] StudyKey keyFor(Device device, int n) const;
+  [[nodiscard]] Clock::time_point deadlineFor(double deadlineMs,
+                                              Clock::time_point now) const;
+
+  // Worker bodies.
+  void runTuneJob(const TuneJobPtr& job);
+  void runStudyJob(const std::shared_ptr<StudyRequest>& req,
+                   Clock::time_point submitted, Clock::time_point deadline,
+                   const std::shared_ptr<std::promise<StudyResponse>>& promise);
+
+  // Compute (or join) the study for one key.  Called from worker
+  // threads only.  May block on another worker's in-flight computation.
+  // Counts hits/coalescing into the metrics; throws on engine failure.
+  [[nodiscard]] ResultPtr obtainStudy(Device device, int n, bool* cacheHit,
+                                      bool* coalesced);
+
+  // Fulfill a tune job from a completed study (cheap tuner step).
+  void completeTune(const TuneJobPtr& job, const ResultPtr& result,
+                    bool cacheHit, bool coalesced);
+  void rejectTune(const TuneJobPtr& job, Status status,
+                  const std::string& error);
+
+  void finishJobLocked();  // activeJobs_ bookkeeping + drain signal
+
+  std::shared_ptr<const TuningEngine> engine_;
+  BrokerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_;
+  bool accepting_ = true;
+  std::size_t queueDepth_ = 0;   // admitted, not yet started
+  std::size_t activeJobs_ = 0;   // started, not yet finished
+  LruCache<StudyKey, ResultPtr, StudyKeyHash> cache_;
+  std::unordered_map<StudyKey, std::shared_ptr<InFlightStudy>, StudyKeyHash>
+      inFlight_;
+  ServeMetrics m_;  // counters only; state fields filled in metrics()
+
+  // Last member: destroyed first, joining workers while the rest of the
+  // broker state is still alive.
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace ep::serve

@@ -1,0 +1,85 @@
+#include "serve/engine.hpp"
+
+#include <bit>
+#include <initializer_list>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "common/rng.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+
+namespace ep::serve {
+
+namespace {
+
+std::uint64_t mix(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ v);
+}
+
+std::uint64_t mixDouble(std::uint64_t h, double v) {
+  return mix(h, std::bit_cast<std::uint64_t>(v));
+}
+
+// Hash every constant that shapes a study outcome.  GpuTuning fields are
+// enumerated explicitly: adding a field without extending this list is
+// caught by the struct-size guard below.
+std::uint64_t hashStudyConstants(const hw::GpuModel& model,
+                                 const EpStudyEngineOptions& opts) {
+  const hw::GpuTuning& t = model.tuning();
+  static_assert(sizeof(hw::GpuTuning) == 15 * sizeof(double),
+                "GpuTuning changed: update hashStudyConstants");
+  std::uint64_t h = splitmix64(0x5E4EULL);
+  for (double v : {t.kernelPeakFraction, t.occScaleCompute, t.occScaleMemory,
+                   t.icachePenaltyPerLevel, t.gLinearPenalty,
+                   t.runWarmupFraction, t.smEnergyPerGflop, t.memEnergyPerGB,
+                   t.residencyPower, t.fetchPowerPerLevel,
+                   t.constantActivePower, t.midBinBoostFraction,
+                   t.boostPowerExponent, t.bandwidthEfficiency,
+                   t.uncoreTailSec}) {
+    h = mixDouble(h, v);
+  }
+  h = mixDouble(h, model.spec().peakGflopsDouble);
+  h = mixDouble(h, model.spec().memBandwidthGBs);
+  h = mix(h, static_cast<std::uint64_t>(model.spec().smCount));
+  h = mix(h, opts.seed);
+  h = mix(h, static_cast<std::uint64_t>(opts.totalProducts));
+  h = mix(h, opts.useMeter ? 1 : 2);
+  return h;
+}
+
+core::GpuEpStudy makeStudy(const hw::GpuSpec& spec,
+                           const EpStudyEngineOptions& opts) {
+  apps::GpuMatMulOptions appOpts;
+  appOpts.totalProducts = opts.totalProducts;
+  appOpts.useMeter = opts.useMeter;
+  return core::GpuEpStudy(apps::GpuMatMulApp(hw::GpuModel(spec), appOpts));
+}
+
+}  // namespace
+
+EpStudyEngine::EpStudyEngine(EpStudyEngineOptions options)
+    : options_(options),
+      p100_(std::make_unique<core::GpuEpStudy>(
+          makeStudy(hw::nvidiaP100Pcie(), options))),
+      k40c_(std::make_unique<core::GpuEpStudy>(
+          makeStudy(hw::nvidiaK40c(), options))) {
+  p100Hash_ = hashStudyConstants(p100_->app().model(), options_);
+  k40cHash_ = hashStudyConstants(k40c_->app().model(), options_);
+}
+
+std::uint64_t EpStudyEngine::tuningHash(Device device) const {
+  return device == Device::P100 ? p100Hash_ : k40cHash_;
+}
+
+core::WorkloadResult EpStudyEngine::evaluate(Device device, int n) const {
+  const core::GpuEpStudy& study =
+      device == Device::P100 ? *p100_ : *k40c_;
+  // Per-(device, n) stream: results are independent of request order,
+  // which is what makes them cacheable and coalescable.
+  Rng rng = Rng(options_.seed)
+                .fork(mix(static_cast<std::uint64_t>(device) + 1,
+                          static_cast<std::uint64_t>(n)));
+  return study.runWorkload(n, rng);
+}
+
+}  // namespace ep::serve

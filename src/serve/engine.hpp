@@ -1,0 +1,69 @@
+// The compute side of the service: everything expensive the broker can
+// be asked to do is "evaluate one workload study on one device".
+//
+// TuningEngine is the seam that keeps the broker testable — the unit
+// tests inject a gated counting engine to prove coalescing ("N
+// concurrent identical requests, exactly one evaluate() call") without
+// touching the real model stack.  EpStudyEngine is the production
+// implementation: epcore::GpuEpStudy over the Table I GPU models.
+//
+// Engines must be usable from several broker workers at once:
+// evaluate() is const and every call derives its own Rng stream, so a
+// given (device, n) study is deterministic regardless of request
+// interleaving — which is what makes its result cacheable.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "core/study.hpp"
+#include "serve/request.hpp"
+
+namespace ep::serve {
+
+class TuningEngine {
+ public:
+  virtual ~TuningEngine() = default;
+
+  // Hash of every constant that determines a study's outcome on this
+  // device (model tuning constants, measurement options, seed).  Part
+  // of the cache key: retuned models must not serve stale results.
+  [[nodiscard]] virtual std::uint64_t tuningHash(Device device) const = 0;
+
+  // Run the full configuration-space study for one workload.  Expensive
+  // (the service hot path); must be thread-safe and deterministic per
+  // (device, n).  Throws ep::EpError on unlaunchable workloads.
+  [[nodiscard]] virtual core::WorkloadResult evaluate(Device device,
+                                                      int n) const = 0;
+};
+
+struct EpStudyEngineOptions {
+  std::uint64_t seed = 0xEB5EEDULL;
+  // Run the full wall-meter + CI measurement protocol (slower, the
+  // paper's methodology) instead of noise-free model energies.
+  bool useMeter = false;
+  // The fixed G x R workload multiplier of the weak-EP study.
+  int totalProducts = 8;
+};
+
+class EpStudyEngine : public TuningEngine {
+ public:
+  explicit EpStudyEngine(EpStudyEngineOptions options = {});
+
+  [[nodiscard]] std::uint64_t tuningHash(Device device) const override;
+  [[nodiscard]] core::WorkloadResult evaluate(Device device,
+                                              int n) const override;
+
+  [[nodiscard]] const EpStudyEngineOptions& options() const {
+    return options_;
+  }
+
+ private:
+  EpStudyEngineOptions options_;
+  std::unique_ptr<core::GpuEpStudy> p100_;
+  std::unique_ptr<core::GpuEpStudy> k40c_;
+  std::uint64_t p100Hash_ = 0;
+  std::uint64_t k40cHash_ = 0;
+};
+
+}  // namespace ep::serve

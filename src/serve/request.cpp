@@ -1,0 +1,53 @@
+#include "serve/request.hpp"
+
+#include "common/rng.hpp"
+
+namespace ep::serve {
+
+const char* deviceName(Device d) {
+  switch (d) {
+    case Device::P100:
+      return "p100";
+    case Device::K40c:
+      return "k40c";
+  }
+  return "unknown";
+}
+
+std::optional<Device> parseDevice(std::string_view name) {
+  if (name == "p100" || name == "P100") return Device::P100;
+  if (name == "k40c" || name == "K40c" || name == "K40C") return Device::K40c;
+  return std::nullopt;
+}
+
+std::vector<int> StudyRequest::sizes() const {
+  std::vector<int> out;
+  if (nBegin <= 0 || nEnd < nBegin || nStep <= 0) return out;
+  for (int n = nBegin; n <= nEnd; n += nStep) out.push_back(n);
+  return out;
+}
+
+const char* statusName(Status s) {
+  switch (s) {
+    case Status::Ok:
+      return "ok";
+    case Status::QueueFull:
+      return "queue_full";
+    case Status::DeadlineExceeded:
+      return "deadline_exceeded";
+    case Status::ShuttingDown:
+      return "shutting_down";
+    case Status::Error:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::size_t StudyKeyHash::operator()(const StudyKey& k) const noexcept {
+  std::uint64_t h = splitmix64(static_cast<std::uint64_t>(k.device) + 1);
+  h = splitmix64(h ^ static_cast<std::uint64_t>(k.n));
+  h = splitmix64(h ^ k.tuningHash);
+  return static_cast<std::size_t>(h);
+}
+
+}  // namespace ep::serve

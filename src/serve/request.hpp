@@ -1,0 +1,100 @@
+// Request/response vocabulary of the epserve tuning service.
+//
+// The broker accepts two job kinds, both phrased in terms of the
+// existing analysis stack:
+//
+//   * TuneRequest  — "which (BS, G, R) should device D run for workload
+//     N under a performance-degradation budget?"  Answered with the
+//     epcore::BiObjectiveTuner recommendation over the workload's
+//     measured configuration space.
+//   * StudyRequest — "survey a workload range on device D" (the
+//     Section V front-statistics sweep), answered with
+//     epcore::FrontStatistics.
+//
+// Responses carry a Status instead of throwing across the service
+// boundary: a loaded service degrades by *rejecting* (full queue,
+// missed deadline, shutdown) rather than failing.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.hpp"
+#include "core/study.hpp"
+#include "core/tuner.hpp"
+
+namespace ep::serve {
+
+// The simulated GPUs the service can study (Table I parts).
+enum class Device { P100, K40c };
+
+[[nodiscard]] const char* deviceName(Device d);
+[[nodiscard]] std::optional<Device> parseDevice(std::string_view name);
+
+using Clock = std::chrono::steady_clock;
+
+struct TuneRequest {
+  Device device = Device::P100;
+  int n = 0;                    // workload (matrix dimension)
+  double maxDegradation = 0.0;  // allowed slowdown fraction (0.07 = 7 %)
+  // Relative deadline from submission; <= 0 means "no deadline".
+  double deadlineMs = 0.0;
+};
+
+struct StudyRequest {
+  Device device = Device::P100;
+  int nBegin = 0;
+  int nEnd = 0;   // inclusive
+  int nStep = 1;
+  double deadlineMs = 0.0;
+
+  // The expanded workload list; empty when the range is malformed.
+  [[nodiscard]] std::vector<int> sizes() const;
+};
+
+enum class Status {
+  Ok,
+  QueueFull,         // backpressure: pending queue at capacity
+  DeadlineExceeded,  // request expired before a worker could serve it
+  ShuttingDown,      // broker no longer accepts work
+  Error,             // engine failure (e.g. unlaunchable workload)
+};
+
+[[nodiscard]] const char* statusName(Status s);
+
+struct TuneResponse {
+  Status status = Status::Ok;
+  std::string error;  // set when status == Error
+  core::TunerRecommendation recommendation;
+  bool cacheHit = false;   // served from the result cache
+  bool coalesced = false;  // shared another request's in-flight study
+  Seconds latency{0.0};    // submit -> response
+};
+
+struct StudyResponse {
+  Status status = Status::Ok;
+  std::string error;
+  core::FrontStatistics statistics;
+  std::size_t workloadCacheHits = 0;  // per-workload cache hits inside the sweep
+  Seconds latency{0.0};
+};
+
+// Result-cache / coalescing key: identical studies are identical
+// computations only if the device, the workload *and* the model's
+// tuning constants match (retuning the model must invalidate results).
+struct StudyKey {
+  Device device = Device::P100;
+  int n = 0;
+  std::uint64_t tuningHash = 0;
+
+  friend bool operator==(const StudyKey&, const StudyKey&) = default;
+};
+
+struct StudyKeyHash {
+  [[nodiscard]] std::size_t operator()(const StudyKey& k) const noexcept;
+};
+
+}  // namespace ep::serve

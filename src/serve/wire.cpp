@@ -1,0 +1,392 @@
+#include "serve/wire.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ep::serve::wire {
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void appendNumber(std::string& out, double v) {
+  char buf[32];
+  // %.17g round-trips doubles; trim to a compact form.
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  out += buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& s) : s_(s) {}
+
+  std::optional<Object> parse(std::string* error) {
+    skipWs();
+    if (!consume('{')) return fail(error, "expected '{'");
+    Object obj;
+    skipWs();
+    if (consume('}')) return obj;
+    for (;;) {
+      skipWs();
+      std::string key;
+      if (!parseString(&key)) return fail(error, "expected string key");
+      skipWs();
+      if (!consume(':')) return fail(error, "expected ':'");
+      skipWs();
+      Value v;
+      if (!parseValue(&v)) return fail(error, "bad value");
+      obj[key] = std::move(v);
+      skipWs();
+      if (consume(',')) continue;
+      if (consume('}')) break;
+      return fail(error, "expected ',' or '}'");
+    }
+    skipWs();
+    if (pos_ != s_.size()) return fail(error, "trailing characters");
+    return obj;
+  }
+
+ private:
+  std::optional<Object> fail(std::string* error, const char* msg) {
+    if (error) *error = msg;
+    return std::nullopt;
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseString(std::string* out) {
+    if (!consume('"')) return false;
+    out->clear();
+    while (pos_ < s_.size()) {
+      char c = s_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= s_.size()) return false;
+        char e = s_[pos_++];
+        switch (e) {
+          case '"':
+            *out += '"';
+            break;
+          case '\\':
+            *out += '\\';
+            break;
+          case '/':
+            *out += '/';
+            break;
+          case 'n':
+            *out += '\n';
+            break;
+          case 'r':
+            *out += '\r';
+            break;
+          case 't':
+            *out += '\t';
+            break;
+          case 'b':
+            *out += '\b';
+            break;
+          case 'f':
+            *out += '\f';
+            break;
+          case 'u': {
+            // Only BMP escapes of ASCII are reproduced; others are
+            // replaced with '?' (the protocol never emits them).
+            if (pos_ + 4 > s_.size()) return false;
+            const std::string hex = s_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return false;
+            *out += (code >= 0x20 && code < 0x7F)
+                        ? static_cast<char>(code)
+                        : '?';
+            break;
+          }
+          default:
+            return false;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool parseValue(Value* v) {
+    if (pos_ >= s_.size()) return false;
+    const char c = s_[pos_];
+    if (c == '"') {
+      v->kind = Value::Kind::String;
+      return parseString(&v->string);
+    }
+    if (c == '{' || c == '[') return false;  // flat objects only
+    if (s_.compare(pos_, 4, "true") == 0) {
+      pos_ += 4;
+      v->kind = Value::Kind::Bool;
+      v->boolean = true;
+      return true;
+    }
+    if (s_.compare(pos_, 5, "false") == 0) {
+      pos_ += 5;
+      v->kind = Value::Kind::Bool;
+      v->boolean = false;
+      return true;
+    }
+    if (s_.compare(pos_, 4, "null") == 0) {
+      pos_ += 4;
+      v->kind = Value::Kind::Null;
+      return true;
+    }
+    char* end = nullptr;
+    const double num = std::strtod(s_.c_str() + pos_, &end);
+    if (end == s_.c_str() + pos_) return false;
+    pos_ = static_cast<std::size_t>(end - s_.c_str());
+    v->kind = Value::Kind::Number;
+    v->number = num;
+    return true;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<double> getNumber(const Object& obj, const std::string& key) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != Value::Kind::Number) {
+    return std::nullopt;
+  }
+  return it->second.number;
+}
+
+std::optional<std::string> getString(const Object& obj,
+                                     const std::string& key) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != Value::Kind::String) {
+    return std::nullopt;
+  }
+  return it->second.string;
+}
+
+}  // namespace
+
+std::optional<Object> parseObject(const std::string& line,
+                                  std::string* error) {
+  return Parser(line).parse(error);
+}
+
+void ObjectWriter::comma() {
+  if (!first_) out_ += ',';
+  first_ = false;
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key,
+                                const std::string& value) {
+  comma();
+  appendEscaped(out_, key);
+  out_ += ':';
+  appendEscaped(out_, value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key, const char* value) {
+  return add(key, std::string(value));
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key, double value) {
+  comma();
+  appendEscaped(out_, key);
+  out_ += ':';
+  appendNumber(out_, value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key, std::uint64_t value) {
+  comma();
+  appendEscaped(out_, key);
+  out_ += ':';
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key, int value) {
+  comma();
+  appendEscaped(out_, key);
+  out_ += ':';
+  out_ += std::to_string(value);
+  return *this;
+}
+
+ObjectWriter& ObjectWriter::add(const std::string& key, bool value) {
+  comma();
+  appendEscaped(out_, key);
+  out_ += ':';
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string ObjectWriter::str() const { return out_ + "}"; }
+
+std::optional<WireRequest> decodeRequest(const std::string& line,
+                                         std::string* error) {
+  auto fail = [&](const char* msg) -> std::optional<WireRequest> {
+    if (error) *error = msg;
+    return std::nullopt;
+  };
+  const auto obj = parseObject(line, error);
+  if (!obj) return std::nullopt;
+  const auto op = getString(*obj, "op");
+  if (!op) return fail("missing \"op\"");
+
+  WireRequest req;
+  if (*op == "metrics") {
+    req.op = WireRequest::Op::Metrics;
+    return req;
+  }
+
+  const auto deviceStr = getString(*obj, "device").value_or("p100");
+  const auto device = parseDevice(deviceStr);
+  if (!device) return fail("unknown device");
+
+  if (*op == "tune") {
+    req.op = WireRequest::Op::Tune;
+    req.tune.device = *device;
+    req.tune.n = static_cast<int>(getNumber(*obj, "n").value_or(0.0));
+    req.tune.maxDegradation =
+        getNumber(*obj, "maxDegradation").value_or(0.0);
+    req.tune.deadlineMs = getNumber(*obj, "deadlineMs").value_or(0.0);
+    return req;
+  }
+  if (*op == "study") {
+    req.op = WireRequest::Op::Study;
+    req.study.device = *device;
+    req.study.nBegin =
+        static_cast<int>(getNumber(*obj, "nBegin").value_or(0.0));
+    req.study.nEnd = static_cast<int>(getNumber(*obj, "nEnd").value_or(0.0));
+    req.study.nStep =
+        static_cast<int>(getNumber(*obj, "nStep").value_or(1.0));
+    req.study.deadlineMs = getNumber(*obj, "deadlineMs").value_or(0.0);
+    return req;
+  }
+  return fail("unknown \"op\"");
+}
+
+std::string encodeTuneResponse(const TuneResponse& resp) {
+  ObjectWriter w;
+  w.add("status", statusName(resp.status));
+  if (!resp.error.empty()) w.add("error", resp.error);
+  if (resp.status == Status::Ok) {
+    const auto& rec = resp.recommendation;
+    w.add("recommended", rec.recommended.label)
+        .add("recommendedTimeS", rec.recommended.time.value())
+        .add("recommendedEnergyJ", rec.recommended.energy.value())
+        .add("energySavings", rec.energySavings)
+        .add("performanceDegradation", rec.performanceDegradation)
+        .add("performanceOptimal", rec.performanceOptimal.label)
+        .add("energyOptimal", rec.energyOptimal.label)
+        .add("knee", rec.knee.label)
+        .add("frontSize", static_cast<std::uint64_t>(rec.globalFront.size()));
+  }
+  w.add("cacheHit", resp.cacheHit)
+      .add("coalesced", resp.coalesced)
+      .add("latencyMs", resp.latency.value() * 1e3);
+  return w.str();
+}
+
+std::string encodeStudyResponse(const StudyResponse& resp) {
+  ObjectWriter w;
+  w.add("status", statusName(resp.status));
+  if (!resp.error.empty()) w.add("error", resp.error);
+  if (resp.status == Status::Ok) {
+    const auto& s = resp.statistics;
+    w.add("workloads", static_cast<std::uint64_t>(s.workloads))
+        .add("avgGlobalFrontSize", s.avgGlobalFrontSize)
+        .add("maxGlobalFrontSize",
+             static_cast<std::uint64_t>(s.maxGlobalFrontSize))
+        .add("avgLocalFrontSize", s.avgLocalFrontSize)
+        .add("maxLocalFrontSize",
+             static_cast<std::uint64_t>(s.maxLocalFrontSize))
+        .add("maxGlobalSavings", s.maxGlobalSavings)
+        .add("degradationAtMaxGlobalSavings",
+             s.degradationAtMaxGlobalSavings)
+        .add("maxLocalSavings", s.maxLocalSavings)
+        .add("degradationAtMaxLocalSavings", s.degradationAtMaxLocalSavings);
+  }
+  w.add("workloadCacheHits",
+        static_cast<std::uint64_t>(resp.workloadCacheHits))
+      .add("latencyMs", resp.latency.value() * 1e3);
+  return w.str();
+}
+
+std::string encodeMetrics(const ServeMetrics& m) {
+  ObjectWriter w;
+  w.add("status", "ok")
+      .add("accepted", m.accepted)
+      .add("completed", m.completed)
+      .add("failed", m.failed)
+      .add("rejectedQueueFull", m.rejectedQueueFull)
+      .add("rejectedDeadline", m.rejectedDeadline)
+      .add("rejectedShutdown", m.rejectedShutdown)
+      .add("coalesced", m.coalesced)
+      .add("studiesExecuted", m.studiesExecuted)
+      .add("cacheHits", m.cacheHits)
+      .add("cacheMisses", m.cacheMisses)
+      .add("cacheEvictions", m.cacheEvictions)
+      .add("cacheSize", static_cast<std::uint64_t>(m.cacheSize))
+      .add("cacheCapacity", static_cast<std::uint64_t>(m.cacheCapacity))
+      .add("queueDepth", static_cast<std::uint64_t>(m.queueDepth))
+      .add("inFlightStudies", static_cast<std::uint64_t>(m.inFlightStudies))
+      .add("latencyCount", m.latency.total())
+      .add("latencyP50UpperMs", m.latency.quantileUpperBoundMs(0.50))
+      .add("latencyP99UpperMs", m.latency.quantileUpperBoundMs(0.99));
+  return w.str();
+}
+
+std::string encodeError(const std::string& message) {
+  return ObjectWriter().add("status", "bad_request").add("error", message).str();
+}
+
+}  // namespace ep::serve::wire

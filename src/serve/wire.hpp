@@ -1,0 +1,72 @@
+// Line-delimited JSON wire format for the epserve TCP frontend.
+//
+// One request per line, one response line per request.  The vocabulary
+// is deliberately flat (string/number/bool fields only) so a dependency
+// -free parser suffices; nested JSON is rejected.
+//
+//   {"op":"tune","device":"p100","n":10240,"maxDegradation":0.11}
+//   {"op":"study","device":"k40c","nBegin":8192,"nEnd":10240,"nStep":1024}
+//   {"op":"metrics"}
+//
+// Responses always carry "status"; tune responses add the recommended
+// configuration and trade-off, study responses the front statistics.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "serve/metrics.hpp"
+#include "serve/request.hpp"
+
+namespace ep::serve::wire {
+
+struct Value {
+  enum class Kind { Null, Bool, Number, String };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+};
+
+using Object = std::map<std::string, Value>;
+
+// Parse one flat JSON object; returns nullopt and sets *error on
+// malformed input (including nested arrays/objects).
+[[nodiscard]] std::optional<Object> parseObject(const std::string& line,
+                                                std::string* error);
+
+// Incremental writer for one flat JSON object (escapes strings).
+class ObjectWriter {
+ public:
+  ObjectWriter& add(const std::string& key, const std::string& value);
+  ObjectWriter& add(const std::string& key, const char* value);
+  ObjectWriter& add(const std::string& key, double value);
+  ObjectWriter& add(const std::string& key, std::uint64_t value);
+  ObjectWriter& add(const std::string& key, int value);
+  ObjectWriter& add(const std::string& key, bool value);
+  [[nodiscard]] std::string str() const;
+
+ private:
+  void comma();
+  std::string out_ = "{";
+  bool first_ = true;
+};
+
+struct WireRequest {
+  enum class Op { Tune, Study, Metrics };
+  Op op = Op::Tune;
+  TuneRequest tune;
+  StudyRequest study;
+};
+
+// Decode a request line; returns nullopt and sets *error on bad input.
+[[nodiscard]] std::optional<WireRequest> decodeRequest(
+    const std::string& line, std::string* error);
+
+[[nodiscard]] std::string encodeTuneResponse(const TuneResponse& resp);
+[[nodiscard]] std::string encodeStudyResponse(const StudyResponse& resp);
+[[nodiscard]] std::string encodeMetrics(const ServeMetrics& m);
+[[nodiscard]] std::string encodeError(const std::string& message);
+
+}  // namespace ep::serve::wire

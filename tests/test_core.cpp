@@ -294,6 +294,60 @@ TEST(Tuner, RejectsNegativeBudgetAndEmptyInput) {
   EXPECT_THROW((void)tuner.recommend({}), PreconditionError);
 }
 
+// --- degenerate inputs (the recommend contract must stay total) ---
+
+TEST(Tuner, SinglePointIsEveryOptimum) {
+  const BiObjectiveTuner tuner(0.1);
+  const auto rec = tuner.recommend({mk(3.0, 7.0, 42)});
+  EXPECT_EQ(rec.performanceOptimal.configId, 42u);
+  EXPECT_EQ(rec.energyOptimal.configId, 42u);
+  EXPECT_EQ(rec.knee.configId, 42u);
+  EXPECT_EQ(rec.recommended.configId, 42u);
+  ASSERT_EQ(rec.globalFront.size(), 1u);
+  EXPECT_DOUBLE_EQ(rec.energySavings, 0.0);
+  EXPECT_DOUBLE_EQ(rec.performanceDegradation, 0.0);
+}
+
+TEST(Tuner, SinglePointWithZeroObjectivesDoesNotThrow) {
+  // A lone point cannot satisfy the trade-off analysis's positivity
+  // requirement; recommend must still be total over it.
+  const BiObjectiveTuner tuner(0.5);
+  const auto rec = tuner.recommend({mk(0.0, 0.0, 7)});
+  EXPECT_EQ(rec.recommended.configId, 7u);
+  EXPECT_DOUBLE_EQ(rec.energySavings, 0.0);
+}
+
+TEST(Tuner, ZeroBudgetRecommendsPerformanceOptimal) {
+  const std::vector<pareto::BiPoint> pts{
+      mk(10.0, 100.0, 0), mk(10.5, 70.0, 1), mk(12.0, 40.0, 2)};
+  const BiObjectiveTuner tuner(0.0);
+  const auto rec = tuner.recommend(pts);
+  EXPECT_EQ(rec.recommended.configId, 0u);
+  EXPECT_DOUBLE_EQ(rec.energySavings, 0.0);
+  EXPECT_DOUBLE_EQ(rec.performanceDegradation, 0.0);
+}
+
+TEST(Tuner, ZeroBudgetStillTakesTimeTiedCheaperPoint) {
+  // Two configurations with identical time: the performance optimum
+  // tie-breaks toward lower energy, so zero budget loses nothing.
+  const std::vector<pareto::BiPoint> pts{
+      mk(10.0, 100.0, 0), mk(10.0, 60.0, 1), mk(11.0, 50.0, 2)};
+  const BiObjectiveTuner tuner(0.0);
+  const auto rec = tuner.recommend(pts);
+  EXPECT_EQ(rec.performanceOptimal.configId, 1u);
+  EXPECT_EQ(rec.recommended.configId, 1u);
+}
+
+TEST(Tuner, AllIdenticalPointsAreWellDefined) {
+  const std::vector<pareto::BiPoint> pts{mk(2.0, 4.0, 0), mk(2.0, 4.0, 1),
+                                         mk(2.0, 4.0, 2)};
+  const BiObjectiveTuner tuner(0.25);
+  const auto rec = tuner.recommend(pts);
+  EXPECT_DOUBLE_EQ(rec.energySavings, 0.0);
+  EXPECT_DOUBLE_EQ(rec.performanceDegradation, 0.0);
+  EXPECT_EQ(rec.recommended.time.value(), 2.0);
+}
+
 }  // namespace
 }  // namespace ep::core
 

@@ -1,0 +1,495 @@
+// epserve broker tests: LRU cache behaviour, request coalescing,
+// deadlines and backpressure, shutdown draining, and metrics-snapshot
+// consistency under concurrency.  Everything runs in-process against a
+// controllable fake engine (no sockets); the last tests exercise the
+// real EpStudyEngine end to end.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pareto/front.hpp"
+#include "pareto/tradeoff.hpp"
+#include "serve/broker.hpp"
+#include "serve/engine.hpp"
+#include "serve/lru_cache.hpp"
+
+namespace ep::serve {
+namespace {
+
+pareto::BiPoint mk(double t, double e, std::uint64_t id) {
+  pareto::BiPoint p;
+  p.time = Seconds{t};
+  p.energy = Joules{e};
+  p.configId = id;
+  p.label = "cfg" + std::to_string(id);
+  return p;
+}
+
+// A deterministic engine whose evaluate() can be gated (to hold a study
+// "in flight" while the test arranges concurrent requests) and counted
+// (to prove coalescing executes exactly one study).
+class FakeEngine : public TuningEngine {
+ public:
+  explicit FakeEngine(bool gated = false) : gated_(gated) {}
+
+  std::uint64_t tuningHash(Device d) const override {
+    return 0xFA4Eu + static_cast<std::uint64_t>(d);
+  }
+
+  core::WorkloadResult evaluate(Device d, int n) const override {
+    {
+      std::unique_lock lk(mu_);
+      ++entered_;
+      cv_.notify_all();
+      if (gated_) cv_.wait(lk, [this] { return released_; });
+    }
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    if (n == failN_) throw ResourceError("synthetic engine failure");
+    core::WorkloadResult r;
+    r.n = n;
+    const double s = 1.0 + static_cast<double>(n) * 1e-4 +
+                     (d == Device::K40c ? 0.01 : 0.0);
+    r.points = {mk(1.0 * s, 10.0, 0), mk(1.1 * s, 7.0, 1),
+                mk(1.5 * s, 4.0, 2), mk(2.0 * s, 3.5, 3)};
+    r.globalFront = pareto::paretoFront(r.points);
+    r.localFront = pareto::localFront(r.points, 2);
+    r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+    if (!r.localFront.empty()) {
+      r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+    }
+    return r;
+  }
+
+  void failOn(int n) { failN_ = n; }
+
+  // Block until a worker is inside evaluate().
+  void waitEntered(int count = 1) const {
+    std::unique_lock lk(mu_);
+    cv_.wait(lk, [this, count] { return entered_ >= count; });
+  }
+
+  void release() {
+    std::lock_guard lk(mu_);
+    released_ = true;
+    cv_.notify_all();
+  }
+
+  int calls() const { return calls_.load(std::memory_order_relaxed); }
+
+ private:
+  bool gated_;
+  int failN_ = -1;
+  mutable std::mutex mu_;
+  mutable std::condition_variable cv_;
+  mutable int entered_ = 0;
+  bool released_ = false;
+  mutable std::atomic<int> calls_{0};
+};
+
+TuneRequest tuneReq(int n, double budget = 0.5, double deadlineMs = 0.0,
+                    Device d = Device::P100) {
+  TuneRequest r;
+  r.device = d;
+  r.n = n;
+  r.maxDegradation = budget;
+  r.deadlineMs = deadlineMs;
+  return r;
+}
+
+// --- LRU cache ---
+
+TEST(LruCache, EvictsLeastRecentlyUsedInOrder) {
+  LruCache<int, int> cache(3);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(3, 30);
+  EXPECT_EQ(cache.keysMostRecentFirst(), (std::vector<int>{3, 2, 1}));
+
+  ASSERT_TRUE(cache.get(1).has_value());  // promote 1
+  EXPECT_EQ(cache.keysMostRecentFirst(), (std::vector<int>{1, 3, 2}));
+
+  cache.put(4, 40);  // evicts 2, the LRU
+  EXPECT_EQ(cache.keysMostRecentFirst(), (std::vector<int>{4, 1, 3}));
+  EXPECT_FALSE(cache.contains(2));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+
+  cache.put(5, 50);  // evicts 3
+  cache.put(6, 60);  // evicts 1
+  EXPECT_EQ(cache.keysMostRecentFirst(), (std::vector<int>{6, 5, 4}));
+  EXPECT_EQ(cache.stats().evictions, 3u);
+}
+
+TEST(LruCache, CountsHitsAndMisses) {
+  LruCache<int, int> cache(2);
+  EXPECT_FALSE(cache.get(1).has_value());
+  cache.put(1, 11);
+  EXPECT_EQ(cache.get(1).value(), 11);
+  auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.size, 1u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(LruCache, OverwritePromotesAndKeepsSize) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // overwrite promotes, no eviction
+  EXPECT_EQ(cache.keysMostRecentFirst(), (std::vector<int>{1, 2}));
+  EXPECT_EQ(cache.get(1).value(), 11);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), PreconditionError);
+}
+
+// --- cache + coalescing ---
+
+TEST(Broker, SecondIdenticalRequestIsACacheHit) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+
+  const TuneResponse first = broker.tune(tuneReq(100));
+  ASSERT_EQ(first.status, Status::Ok);
+  EXPECT_FALSE(first.cacheHit);
+
+  const TuneResponse second = broker.tune(tuneReq(100));
+  ASSERT_EQ(second.status, Status::Ok);
+  EXPECT_TRUE(second.cacheHit);
+  EXPECT_EQ(second.recommendation.recommended.configId,
+            first.recommendation.recommended.configId);
+
+  EXPECT_EQ(engine->calls(), 1);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.studiesExecuted, 1u);
+  EXPECT_EQ(m.completed, 2u);
+  EXPECT_EQ(m.accepted, 2u);
+}
+
+TEST(Broker, DevicesDoNotShareCacheEntries) {
+  auto engine = std::make_shared<FakeEngine>();
+  Broker broker(engine, BrokerOptions{});
+  ASSERT_EQ(broker.tune(tuneReq(64, 0.5, 0.0, Device::P100)).status,
+            Status::Ok);
+  ASSERT_EQ(broker.tune(tuneReq(64, 0.5, 0.0, Device::K40c)).status,
+            Status::Ok);
+  EXPECT_EQ(engine->calls(), 2);
+}
+
+TEST(Broker, ConcurrentIdenticalRequestsCoalesceIntoOneStudy) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 4;
+  opts.queueCapacity = 32;
+  Broker broker(engine, opts);
+
+  auto first = broker.submitTune(tuneReq(100, /*budget=*/0.5));
+  engine->waitEntered();  // the study for N=100 is now in flight
+
+  std::vector<std::future<TuneResponse>> rest;
+  for (int i = 0; i < 7; ++i) {
+    rest.push_back(broker.submitTune(tuneReq(100, /*budget=*/0.0)));
+  }
+  // Registration is synchronous: all 7 joined the in-flight study.
+  EXPECT_EQ(broker.metrics().coalesced, 7u);
+
+  engine->release();
+  const TuneResponse r0 = first.get();
+  ASSERT_EQ(r0.status, Status::Ok);
+  EXPECT_FALSE(r0.coalesced);
+  // Budget 0.5 admits the cheaper cfg2; the coalesced zero-budget
+  // requests still get their own budget applied to the shared study.
+  EXPECT_EQ(r0.recommendation.recommended.configId, 2u);
+  for (auto& f : rest) {
+    const TuneResponse r = f.get();
+    ASSERT_EQ(r.status, Status::Ok);
+    EXPECT_TRUE(r.coalesced);
+    EXPECT_EQ(r.recommendation.recommended.configId, 0u);
+  }
+
+  EXPECT_EQ(engine->calls(), 1) << "coalescing must run exactly one study";
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.studiesExecuted, 1u);
+  EXPECT_EQ(m.coalesced, 7u);
+  EXPECT_EQ(m.completed, 8u);
+}
+
+TEST(Broker, CoalescedWaitersSeeEngineFailure) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  engine->failOn(666);
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+
+  auto first = broker.submitTune(tuneReq(666));
+  engine->waitEntered();
+  auto second = broker.submitTune(tuneReq(666));
+  engine->release();
+
+  EXPECT_EQ(first.get().status, Status::Error);
+  const TuneResponse r2 = second.get();
+  EXPECT_EQ(r2.status, Status::Error);
+  EXPECT_NE(r2.error.find("synthetic"), std::string::npos);
+  EXPECT_EQ(broker.metrics().failed, 2u);
+}
+
+// --- deadlines, backpressure, shutdown ---
+
+TEST(Broker, ExpiredQueuedRequestIsRejected) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 8;
+  Broker broker(engine, opts);
+
+  auto blocker = broker.submitTune(tuneReq(1));
+  engine->waitEntered();  // the lone worker is now stuck in the study
+  auto doomed = broker.submitTune(tuneReq(2, 0.5, /*deadlineMs=*/5.0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine->release();
+
+  EXPECT_EQ(blocker.get().status, Status::Ok);
+  EXPECT_EQ(doomed.get().status, Status::DeadlineExceeded);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.rejectedDeadline, 1u);
+  EXPECT_EQ(m.completed, 1u);
+}
+
+TEST(Broker, FullQueueRejectsWithBackpressure) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 1;
+  Broker broker(engine, opts);
+
+  auto running = broker.submitTune(tuneReq(1));
+  engine->waitEntered();  // worker busy, queue empty again
+  auto queued = broker.submitTune(tuneReq(2));
+  auto overflow = broker.submitTune(tuneReq(3));
+
+  EXPECT_EQ(overflow.get().status, Status::QueueFull);
+  engine->release();
+  EXPECT_EQ(running.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.rejectedQueueFull, 1u);
+  EXPECT_EQ(m.accepted, 2u);
+}
+
+TEST(Broker, ShutdownDrainsInFlightAndQueuedWork) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 8;
+  Broker broker(engine, opts);
+
+  auto inflight = broker.submitTune(tuneReq(1));
+  engine->waitEntered();
+  auto queued = broker.submitTune(tuneReq(2));
+
+  std::thread closer([&] { broker.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  engine->release();
+  closer.join();
+
+  // Drained: both futures are ready and Ok.
+  EXPECT_EQ(inflight.get().status, Status::Ok);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+
+  // Post-shutdown submissions are rejected.
+  EXPECT_EQ(broker.tune(tuneReq(3)).status, Status::ShuttingDown);
+  EXPECT_EQ(broker.metrics().rejectedShutdown, 1u);
+}
+
+TEST(Broker, InvalidRequestsFailFast) {
+  auto engine = std::make_shared<FakeEngine>();
+  Broker broker(engine, BrokerOptions{});
+  EXPECT_EQ(broker.tune(tuneReq(0)).status, Status::Error);
+  EXPECT_EQ(broker.tune(tuneReq(10, -0.5)).status, Status::Error);
+  StudyRequest bad;
+  bad.nBegin = 10;
+  bad.nEnd = 5;
+  EXPECT_EQ(broker.study(bad).status, Status::Error);
+  EXPECT_EQ(broker.metrics().failed, 3u);
+  EXPECT_EQ(engine->calls(), 0);
+}
+
+// --- study requests ---
+
+TEST(Broker, StudySweepAggregatesAndCaches) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+
+  StudyRequest req;
+  req.device = Device::P100;
+  req.nBegin = 100;
+  req.nEnd = 300;
+  req.nStep = 100;
+
+  const StudyResponse cold = broker.study(req);
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.statistics.workloads, 3u);
+  EXPECT_EQ(cold.workloadCacheHits, 0u);
+  EXPECT_EQ(engine->calls(), 3);
+
+  const StudyResponse warm = broker.study(req);
+  ASSERT_EQ(warm.status, Status::Ok);
+  EXPECT_EQ(warm.workloadCacheHits, 3u);
+  EXPECT_EQ(engine->calls(), 3);  // fully served from cache
+  EXPECT_DOUBLE_EQ(warm.statistics.avgGlobalFrontSize,
+                   cold.statistics.avgGlobalFrontSize);
+}
+
+TEST(Broker, StudyAndTuneShareTheCache) {
+  auto engine = std::make_shared<FakeEngine>();
+  Broker broker(engine, BrokerOptions{});
+  ASSERT_EQ(broker.tune(tuneReq(100)).status, Status::Ok);
+  StudyRequest req;
+  req.nBegin = 100;
+  req.nEnd = 100;
+  const StudyResponse resp = broker.study(req);
+  ASSERT_EQ(resp.status, Status::Ok);
+  EXPECT_EQ(resp.workloadCacheHits, 1u);
+  EXPECT_EQ(engine->calls(), 1);
+}
+
+// --- metrics consistency under concurrency ---
+
+TEST(Broker, MetricsSnapshotStaysConsistentUnderLoad) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 4;
+  opts.queueCapacity = 256;
+  opts.cacheCapacity = 4;  // force evictions across 10 distinct keys
+  Broker broker(engine, opts);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<bool> stopPolling{false};
+  std::thread poller([&] {
+    // Concurrent snapshots must never tear (verified by TSan) and never
+    // violate the admission identity.
+    while (!stopPolling.load()) {
+      const ServeMetrics m = broker.metrics();
+      EXPECT_LE(m.completed + m.failed + m.rejectedDeadline, m.accepted);
+      EXPECT_LE(m.cacheSize, m.cacheCapacity);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  std::mutex futuresMu;
+  std::vector<std::future<TuneResponse>> futures;
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto f = broker.submitTune(tuneReq((t * kPerThread + i) % 10 + 1));
+        std::lock_guard lk(futuresMu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  for (auto& th : submitters) th.join();
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::Ok);
+  stopPolling.store(true);
+  poller.join();
+
+  const ServeMetrics m = broker.metrics();
+  const auto total =
+      static_cast<std::uint64_t>(kSubmitters) * kPerThread;
+  EXPECT_EQ(m.accepted, total);
+  EXPECT_EQ(m.completed + m.failed + m.rejectedDeadline, total);
+  EXPECT_EQ(m.failed, 0u);
+  EXPECT_EQ(m.latency.total(), m.completed);
+  EXPECT_EQ(m.queueDepth, 0u);
+  EXPECT_EQ(m.inFlightStudies, 0u);
+  EXPECT_GE(m.studiesExecuted, 10u);  // 10 keys, capacity 4: recomputes
+  EXPECT_GT(m.cacheEvictions, 0u);
+  EXPECT_LE(m.cacheSize, 4u);
+}
+
+// --- the real engine ---
+
+TEST(EpStudyEngine, EndToEndTuneIsDeterministic) {
+  auto engine = std::make_shared<EpStudyEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+
+  const TuneResponse r1 = broker.tune(tuneReq(1024, 0.11));
+  ASSERT_EQ(r1.status, Status::Ok) << r1.error;
+  EXPECT_FALSE(r1.recommendation.recommended.label.empty());
+  EXPECT_FALSE(r1.recommendation.globalFront.empty());
+  EXPECT_GE(r1.recommendation.energySavings, 0.0);
+  EXPECT_LE(r1.recommendation.performanceDegradation, 0.11 + 1e-12);
+
+  const TuneResponse r2 = broker.tune(tuneReq(1024, 0.11));
+  ASSERT_EQ(r2.status, Status::Ok);
+  EXPECT_TRUE(r2.cacheHit);
+  EXPECT_EQ(r2.recommendation.recommended.label,
+            r1.recommendation.recommended.label);
+
+  // A fresh broker + engine with the same seed reproduces the answer.
+  auto engineB = std::make_shared<EpStudyEngine>();
+  Broker brokerB(engineB, opts);
+  const TuneResponse r3 = brokerB.tune(tuneReq(1024, 0.11));
+  ASSERT_EQ(r3.status, Status::Ok);
+  EXPECT_EQ(r3.recommendation.recommended.label,
+            r1.recommendation.recommended.label);
+}
+
+TEST(EpStudyEngine, FrontRecommendationMatchesFullPointSet) {
+  // The broker recommends over the cached global front; that must be
+  // equivalent to recommending over the full measured point set.
+  const EpStudyEngine engine;
+  const core::WorkloadResult r = engine.evaluate(Device::K40c, 1024);
+  for (double budget : {0.0, 0.05, 0.11, 0.5}) {
+    const core::BiObjectiveTuner tuner(budget);
+    const auto fromPoints = tuner.recommend(r.points);
+    const auto fromFront = tuner.recommend(r.globalFront);
+    EXPECT_EQ(fromPoints.recommended.configId,
+              fromFront.recommended.configId)
+        << "budget " << budget;
+    EXPECT_DOUBLE_EQ(fromPoints.energySavings, fromFront.energySavings);
+  }
+}
+
+TEST(EpStudyEngine, TuningHashSeparatesDevicesAndOptions) {
+  const EpStudyEngine a;
+  EXPECT_NE(a.tuningHash(Device::P100), a.tuningHash(Device::K40c));
+  EpStudyEngineOptions o;
+  o.seed = 123;
+  const EpStudyEngine b(o);
+  EXPECT_NE(a.tuningHash(Device::P100), b.tuningHash(Device::P100));
+}
+
+TEST(StudyRequestSizes, ExpandsAndValidates) {
+  StudyRequest r;
+  r.nBegin = 100;
+  r.nEnd = 500;
+  r.nStep = 200;
+  EXPECT_EQ(r.sizes(), (std::vector<int>{100, 300, 500}));
+  r.nStep = 0;
+  EXPECT_TRUE(r.sizes().empty());
+  r.nStep = 1;
+  r.nEnd = 99;
+  EXPECT_TRUE(r.sizes().empty());
+  r.nBegin = -1;
+  EXPECT_TRUE(r.sizes().empty());
+}
+
+}  // namespace
+}  // namespace ep::serve

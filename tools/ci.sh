@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify plus a ThreadSanitizer race check of the
+# concurrent components (epserve broker, epcommon thread pool).
+#
+#   tools/ci.sh          # full: tier-1 build + ctest, then TSan config
+#   tools/ci.sh --fast   # skip the TSan configuration
+#
+# The primary build already compiles everything with -Wall -Wextra via
+# the epsim_warnings interface target; the TSan configuration adds
+# -Werror on top so new warnings fail CI without polluting the cached
+# options of the default build directory.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 2)"
+FAST=0
+[[ "${1:-}" == "--fast" ]] && FAST=1
+
+echo "== tier-1: configure + build (-Wall -Wextra) + ctest =="
+cmake -B build -S .
+cmake --build build -j "${JOBS}"
+(cd build && ctest --output-on-failure -j "${JOBS}")
+
+if [[ "${FAST}" == "1" ]]; then
+  echo "== skipping TSan configuration (--fast) =="
+  exit 0
+fi
+
+echo "== ThreadSanitizer: broker + thread pool race check =="
+cmake -B build-tsan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DEPSIM_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+cmake --build build-tsan -j "${JOBS}" --target test_serve test_common
+# halt_on_error: any reported race fails the run, not just the exit
+# status of the last test.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
+
+echo "== ci.sh: all green =="

@@ -1,0 +1,275 @@
+// epserve_client — load generator and CLI client for epserved.
+//
+// Usage:
+//   epserve_client [--host H] [--port P] [--requests R] [--connections C]
+//                  [--device p100|k40c] [--n N[,N...]] [--budget B]
+//                  [--deadline-ms D] [--study BEGIN:END:STEP] [--metrics]
+//
+// Default mode sends `--requests` tune requests per connection, cycling
+// through the `--n` workload list, and reports client-side latency
+// percentiles and requests/sec.  `--metrics` additionally fetches the
+// server's own ServeMetrics snapshot at the end.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <numeric>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  int requests = 100;
+  int connections = 1;
+  std::string device = "p100";
+  std::vector<int> ns = {1024};
+  double budget = 0.11;
+  double deadlineMs = 0.0;
+  bool study = false;
+  int studyBegin = 0, studyEnd = 0, studyStep = 1;
+  bool metrics = false;
+};
+
+std::vector<int> parseIntList(const std::string& s) {
+  std::vector<int> out;
+  std::stringstream ss(s);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::stoi(item));
+  }
+  return out;
+}
+
+bool parseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      a->host = v;
+    } else if (arg == "--port" && (v = next())) {
+      a->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (arg == "--requests" && (v = next())) {
+      a->requests = std::stoi(v);
+    } else if (arg == "--connections" && (v = next())) {
+      a->connections = std::stoi(v);
+    } else if (arg == "--device" && (v = next())) {
+      a->device = v;
+    } else if (arg == "--n" && (v = next())) {
+      a->ns = parseIntList(v);
+    } else if (arg == "--budget" && (v = next())) {
+      a->budget = std::stod(v);
+    } else if (arg == "--deadline-ms" && (v = next())) {
+      a->deadlineMs = std::stod(v);
+    } else if (arg == "--study" && (v = next())) {
+      a->study = true;
+      if (std::sscanf(v, "%d:%d:%d", &a->studyBegin, &a->studyEnd,
+                      &a->studyStep) < 2) {
+        return false;
+      }
+    } else if (arg == "--metrics") {
+      a->metrics = true;
+    } else {
+      return false;
+    }
+  }
+  return !a->ns.empty() && a->requests > 0 && a->connections > 0;
+}
+
+class Connection {
+ public:
+  bool open(const std::string& host, std::uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  // One request line out, one response line back.
+  bool roundTrip(const std::string& request, std::string* response) {
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = send(fd_, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    *response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct WorkerResult {
+  std::vector<double> latenciesMs;
+  int ok = 0;
+  int rejected = 0;
+  int errors = 0;
+};
+
+std::string tuneLine(const Args& a, int n) {
+  ep::serve::wire::ObjectWriter w;
+  w.add("op", "tune").add("device", a.device).add("n", n).add(
+      "maxDegradation", a.budget);
+  if (a.deadlineMs > 0.0) w.add("deadlineMs", a.deadlineMs);
+  return w.str();
+}
+
+void runWorker(const Args& a, WorkerResult* out) {
+  Connection conn;
+  if (!conn.open(a.host, a.port)) {
+    std::cerr << "connect failed\n";
+    out->errors = a.requests;
+    return;
+  }
+  out->latenciesMs.reserve(static_cast<std::size_t>(a.requests));
+  for (int i = 0; i < a.requests; ++i) {
+    const int n = a.ns[static_cast<std::size_t>(i) % a.ns.size()];
+    const auto start = Clock::now();
+    std::string response;
+    if (!conn.roundTrip(tuneLine(a, n), &response)) {
+      ++out->errors;
+      break;
+    }
+    const double ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - start)
+            .count();
+    std::string err;
+    const auto obj = ep::serve::wire::parseObject(response, &err);
+    if (!obj) {
+      ++out->errors;
+      continue;
+    }
+    const auto st = obj->find("status");
+    if (st != obj->end() && st->second.string == "ok") {
+      ++out->ok;
+      out->latenciesMs.push_back(ms);
+    } else {
+      ++out->rejected;
+    }
+  }
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr
+        << "usage: epserve_client [--host H] [--port P] [--requests R]\n"
+           "         [--connections C] [--device p100|k40c] [--n N[,N...]]\n"
+           "         [--budget B] [--deadline-ms D] [--study B:E:S]"
+           " [--metrics]\n";
+    return 2;
+  }
+
+  if (args.study) {
+    Connection conn;
+    if (!conn.open(args.host, args.port)) {
+      std::cerr << "connect failed\n";
+      return 1;
+    }
+    ep::serve::wire::ObjectWriter w;
+    w.add("op", "study")
+        .add("device", args.device)
+        .add("nBegin", args.studyBegin)
+        .add("nEnd", args.studyEnd)
+        .add("nStep", args.studyStep);
+    std::string response;
+    if (!conn.roundTrip(w.str(), &response)) {
+      std::cerr << "study request failed\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    return 0;
+  }
+
+  std::vector<WorkerResult> results(
+      static_cast<std::size_t>(args.connections));
+  std::vector<std::thread> workers;
+  const auto start = Clock::now();
+  for (int c = 0; c < args.connections; ++c) {
+    workers.emplace_back(runWorker, std::cref(args),
+                         &results[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : workers) t.join();
+  const double wallS =
+      std::chrono::duration<double>(Clock::now() - start).count();
+
+  WorkerResult total;
+  for (auto& r : results) {
+    total.ok += r.ok;
+    total.rejected += r.rejected;
+    total.errors += r.errors;
+    total.latenciesMs.insert(total.latenciesMs.end(), r.latenciesMs.begin(),
+                             r.latenciesMs.end());
+  }
+  const int sentTotal = total.ok + total.rejected + total.errors;
+  std::cout << "sent " << sentTotal << " requests over " << args.connections
+            << " connection(s) in " << wallS << " s\n"
+            << "ok=" << total.ok << " rejected=" << total.rejected
+            << " errors=" << total.errors << "\n";
+  if (wallS > 0.0) {
+    std::cout << "throughput: "
+              << static_cast<double>(sentTotal) / wallS << " req/s\n";
+  }
+  if (!total.latenciesMs.empty()) {
+    std::cout << "latency ms: p50=" << percentile(total.latenciesMs, 0.50)
+              << " p90=" << percentile(total.latenciesMs, 0.90)
+              << " p99=" << percentile(total.latenciesMs, 0.99)
+              << " max=" << total.latenciesMs.back() << "\n";
+  }
+
+  if (args.metrics) {
+    Connection conn;
+    if (conn.open(args.host, args.port)) {
+      std::string response;
+      if (conn.roundTrip("{\"op\":\"metrics\"}", &response)) {
+        std::cout << "server metrics: " << response << "\n";
+      }
+    }
+  }
+  return total.errors == 0 ? 0 : 1;
+}

@@ -1,0 +1,236 @@
+// epserved — the epserve TCP frontend.
+//
+// A thin line-delimited-JSON transport over the in-process Broker: one
+// request per line, one response line per request (see serve/wire.hpp
+// for the vocabulary).  All tuning logic lives in the broker; this file
+// only does sockets, line framing and signal-driven shutdown.
+//
+// Usage:
+//   epserved [--port P] [--threads N] [--queue Q] [--cache C]
+//            [--deadline-ms D] [--meter] [--seed S]
+//
+// --port 0 picks an ephemeral port; the chosen one is printed either
+// way so scripts (and epserve_client) can parse it.  SIGINT/SIGTERM
+// drain in-flight work before exiting and print the final metrics.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/broker.hpp"
+#include "serve/engine.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+std::atomic<int> gListenFd{-1};
+
+void handleStopSignal(int) {
+  // Closing the listener unblocks accept(); the main loop does the
+  // orderly drain.  (Async-signal-safe: close only.)
+  const int fd = gListenFd.exchange(-1);
+  if (fd >= 0) close(fd);
+}
+
+// Open connection sockets, so shutdown can unblock threads parked in
+// recv() on idle connections.
+class FdRegistry {
+ public:
+  void add(int fd) {
+    std::lock_guard lk(mu_);
+    fds_.push_back(fd);
+  }
+  void remove(int fd) {
+    std::lock_guard lk(mu_);
+    std::erase(fds_, fd);
+  }
+  void shutdownAll() {
+    std::lock_guard lk(mu_);
+    for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> fds_;
+};
+
+struct Args {
+  std::uint16_t port = 7070;
+  std::size_t threads = 0;
+  std::size_t queue = 64;
+  std::size_t cache = 128;
+  double deadlineMs = 0.0;
+  bool meter = false;
+  std::uint64_t seed = 0xEB5EEDULL;
+};
+
+bool parseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      out->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->threads = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--queue") {
+      const char* v = next();
+      if (!v) return false;
+      out->queue = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      out->cache = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->deadlineMs = std::stod(v);
+    } else if (a == "--meter") {
+      out->meter = true;
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      out->seed = std::stoull(v);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Serve one connection: read lines, answer each.  Returns when the
+// peer closes or the server is shutting down.
+void serveConnection(int fd, ep::serve::Broker& broker) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      std::string response;
+      std::string error;
+      const auto req = ep::serve::wire::decodeRequest(line, &error);
+      if (!req) {
+        response = ep::serve::wire::encodeError(error);
+      } else {
+        switch (req->op) {
+          case ep::serve::wire::WireRequest::Op::Tune:
+            response =
+                ep::serve::wire::encodeTuneResponse(broker.tune(req->tune));
+            break;
+          case ep::serve::wire::WireRequest::Op::Study:
+            response =
+                ep::serve::wire::encodeStudyResponse(broker.study(req->study));
+            break;
+          case ep::serve::wire::WireRequest::Op::Metrics:
+            response = ep::serve::wire::encodeMetrics(broker.metrics());
+            break;
+        }
+      }
+      response += '\n';
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n =
+            send(fd, response.data() + sent, response.size() - sent, 0);
+        if (n <= 0) return;
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr << "usage: epserved [--port P] [--threads N] [--queue Q]"
+                 " [--cache C] [--deadline-ms D] [--meter] [--seed S]\n";
+    return 2;
+  }
+
+  ep::serve::EpStudyEngineOptions engineOpts;
+  engineOpts.useMeter = args.meter;
+  engineOpts.seed = args.seed;
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>(engineOpts);
+
+  ep::serve::BrokerOptions brokerOpts;
+  brokerOpts.threads = args.threads;
+  brokerOpts.queueCapacity = args.queue;
+  brokerOpts.cacheCapacity = args.cache;
+  brokerOpts.defaultDeadlineMs = args.deadlineMs;
+  ep::serve::Broker broker(engine, brokerOpts);
+
+  const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(args.port);
+  if (bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(listenFd, 64) < 0) {
+    std::perror("bind/listen");
+    close(listenFd);
+    return 1;
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::cout << "epserved listening on 127.0.0.1:" << ntohs(addr.sin_port)
+            << " (threads=" << (brokerOpts.threads == 0
+                                    ? std::thread::hardware_concurrency()
+                                    : brokerOpts.threads)
+            << " queue=" << brokerOpts.queueCapacity
+            << " cache=" << brokerOpts.cacheCapacity
+            << " meter=" << (args.meter ? "on" : "off") << ")" << std::endl;
+
+  gListenFd.store(listenFd);
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+
+  FdRegistry registry;
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = accept(listenFd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by the signal handler
+    registry.add(fd);
+    connections.emplace_back([fd, &broker, &registry] {
+      serveConnection(fd, broker);
+      registry.remove(fd);
+      close(fd);
+    });
+  }
+
+  std::cout << "epserved: draining..." << std::endl;
+  broker.shutdown();
+  registry.shutdownAll();
+  for (auto& t : connections) t.join();
+  std::cout << ep::serve::formatMetrics(broker.metrics());
+  return 0;
+}
