@@ -1,0 +1,93 @@
+// Microbenchmarks for the epobs hot paths.
+//
+// The acceptance bar (EXPERIMENTS.md): a disabled Span and a Counter
+// increment must each cost < 20 ns, so instrumentation can stay
+// compiled into the study pipeline and thread pool unconditionally.
+#include <benchmark/benchmark.h>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using ep::obs::Counter;
+using ep::obs::Gauge;
+using ep::obs::Histogram;
+using ep::obs::Registry;
+using ep::obs::Span;
+using ep::obs::Tracer;
+
+// The compiled-in-but-disabled fast path: one relaxed atomic load.
+void BM_SpanDisabled(benchmark::State& state) {
+  Tracer& t = Tracer::global();
+  t.setEnabled(false);
+  for (auto _ : state) {
+    Span span("bench/disabled");
+    benchmark::DoNotOptimize(&span);
+  }
+}
+BENCHMARK(BM_SpanDisabled);
+
+// Enabled span: two clock reads plus a ring-buffer push.
+void BM_SpanEnabled(benchmark::State& state) {
+  Tracer& t = Tracer::global();
+  t.setEnabled(true);
+  t.clear();
+  for (auto _ : state) {
+    Span span("bench/enabled");
+    benchmark::DoNotOptimize(&span);
+  }
+  t.setEnabled(false);
+  t.clear();
+}
+BENCHMARK(BM_SpanEnabled);
+
+void BM_CounterInc(benchmark::State& state) {
+  Registry registry;
+  Counter& c = registry.counter("bench_counter_total", "bench");
+  for (auto _ : state) {
+    c.inc();
+  }
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterInc);
+
+void BM_GaugeSet(benchmark::State& state) {
+  Registry registry;
+  Gauge& g = registry.gauge("bench_gauge", "bench");
+  std::int64_t v = 0;
+  for (auto _ : state) {
+    g.set(++v);
+  }
+  benchmark::DoNotOptimize(g.value());
+}
+BENCHMARK(BM_GaugeSet);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  Registry registry;
+  Histogram& h = registry.histogram("bench_latency_ms", "bench",
+                                    {0.1, 1.0, 10.0, 100.0, 1000.0});
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 0.7;
+    if (v > 2000.0) v = 0.0;
+    h.observe(v);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserve);
+
+// The cold path we avoid at instrumentation sites (they hold a
+// function-local static reference instead): name lookup under the
+// registry mutex.
+void BM_RegistryLookup(benchmark::State& state) {
+  Registry registry;
+  registry.counter("bench_lookup_total", "bench");
+  for (auto _ : state) {
+    Counter& c = registry.counter("bench_lookup_total", "bench");
+    benchmark::DoNotOptimize(&c);
+  }
+}
+BENCHMARK(BM_RegistryLookup);
+
+}  // namespace

@@ -3,6 +3,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::apps {
 
@@ -76,6 +77,7 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
   }
 
   // Build the node's ground-truth power profile for one execution.
+  obs::Span span("power/measure_window");
   power::ProfilePowerSource profile(nodeIdlePower());
   profile.addSegment({Seconds{0.0}, out.model.time, out.model.corePower});
   Seconds tail{0.0};

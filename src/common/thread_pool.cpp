@@ -2,14 +2,50 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ep {
+
+namespace {
+
+// Process-wide pool instrumentation (epobs global registry).  Gauges
+// are moved by deltas so several pools aggregate correctly; the
+// references are resolved once and shared by every pool.
+struct PoolMetrics {
+  obs::Counter& tasks;
+  obs::Counter& busyNs;
+  obs::Gauge& queueDepth;
+  obs::Gauge& inFlight;
+
+  static PoolMetrics& get() {
+    static PoolMetrics m{
+        obs::Registry::global().counter(
+            "ep_threadpool_tasks_total",
+            "Tasks executed by ep::ThreadPool workers (all pools)"),
+        obs::Registry::global().counter(
+            "ep_threadpool_busy_ns_total",
+            "Cumulative nanoseconds workers spent running tasks"),
+        obs::Registry::global().gauge(
+            "ep_threadpool_queue_depth",
+            "Tasks enqueued and not yet picked up by a worker"),
+        obs::Registry::global().gauge(
+            "ep_threadpool_in_flight",
+            "Tasks submitted and not yet finished (queued + running)")};
+    return m;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
+  PoolMetrics::get();  // resolve registry entries before workers start
   workers_.reserve(threads);
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { workerLoop(); });
@@ -25,12 +61,24 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+std::size_t ThreadPool::queueDepth() const {
+  std::unique_lock lock(mutex_);
+  return tasks_.size();
+}
+
+std::size_t ThreadPool::inFlight() const {
+  std::unique_lock lock(mutex_);
+  return inFlight_;
+}
+
 void ThreadPool::submit(std::function<void()> task) {
   {
     std::unique_lock lock(mutex_);
     tasks_.push(std::move(task));
     ++inFlight_;
   }
+  PoolMetrics::get().queueDepth.add(1);
+  PoolMetrics::get().inFlight.add(1);
   cvTask_.notify_one();
 }
 
@@ -40,6 +88,7 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::workerLoop() {
+  PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> task;
     {
@@ -49,12 +98,23 @@ void ThreadPool::workerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    metrics.queueDepth.sub(1);
+    const auto t0 = std::chrono::steady_clock::now();
+    {
+      obs::Span span("pool/task");
+      task();
+    }
+    metrics.busyNs.inc(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    metrics.tasks.inc();
     {
       std::unique_lock lock(mutex_);
       --inFlight_;
       if (inFlight_ == 0) cvDone_.notify_all();
     }
+    metrics.inFlight.sub(1);
   }
 }
 

@@ -27,6 +27,12 @@ class ThreadPool {
 
   [[nodiscard]] std::size_t size() const { return workers_.size(); }
 
+  // Introspection for gauges and tests: tasks enqueued but not yet
+  // picked up by a worker, and tasks submitted but not yet finished
+  // (queued + running).  Both are instantaneous snapshots.
+  [[nodiscard]] std::size_t queueDepth() const;
+  [[nodiscard]] std::size_t inFlight() const;
+
   // Enqueue a task; tasks may not themselves block on the pool.
   void submit(std::function<void()> task);
 
@@ -43,7 +49,7 @@ class ThreadPool {
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cvTask_;
   std::condition_variable cvDone_;
   std::size_t inFlight_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::core {
 
@@ -10,11 +11,16 @@ CpuEpStudy::CpuEpStudy(apps::CpuDgemmApp app) : app_(std::move(app)) {}
 
 CpuWorkloadResult CpuEpStudy::runWorkload(int n, hw::BlasVariant variant,
                                           Rng& rng) const {
+  obs::Span span("study/cpu_workload");
   CpuWorkloadResult r;
   r.n = n;
   r.variant = variant;
-  r.data = app_.runWorkload(n, variant, rng);
+  {
+    obs::Span appSpan("study/app_eval");
+    r.data = app_.runWorkload(n, variant, rng);
+  }
   EP_REQUIRE(!r.data.empty(), "no runnable configurations for workload");
+  obs::Span frontSpan("study/front_construction");
   r.points = apps::CpuDgemmApp::toPoints(r.data);
   r.globalFront = pareto::paretoFront(r.points);
   r.tradeoff = pareto::analyzeTradeoff(r.points);

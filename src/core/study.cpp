@@ -3,22 +3,36 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::core {
 
 GpuEpStudy::GpuEpStudy(apps::GpuMatMulApp app) : app_(std::move(app)) {}
 
 WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng) const {
+  static obs::Counter& workloads = obs::Registry::global().counter(
+      "ep_study_workloads_total", "Workload studies executed by GpuEpStudy");
+  obs::Span span("study/workload");
+  workloads.inc();
   WorkloadResult r;
   r.n = n;
-  r.data = app_.runWorkload(n, rng);
+  {
+    // The expensive phase: every launchable configuration through the
+    // model (and, with the meter on, the measurement protocol).
+    obs::Span appSpan("study/app_eval");
+    r.data = app_.runWorkload(n, rng);
+  }
   EP_REQUIRE(!r.data.empty(), "no launchable configurations for workload");
-  r.points = apps::GpuMatMulApp::toPoints(r.data);
-  r.globalFront = pareto::paretoFront(r.points);
-  r.localFront = pareto::localFront(r.points, 2);
-  r.globalTradeoff = pareto::analyzeTradeoff(r.points);
-  if (!r.localFront.empty()) {
-    r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+  {
+    obs::Span frontSpan("study/front_construction");
+    r.points = apps::GpuMatMulApp::toPoints(r.data);
+    r.globalFront = pareto::paretoFront(r.points);
+    r.localFront = pareto::localFront(r.points, 2);
+    r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+    if (!r.localFront.empty()) {
+      r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+    }
   }
   return r;
 }

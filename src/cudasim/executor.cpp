@@ -2,6 +2,9 @@
 
 #include <cstdint>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace ep::cusim {
 
 BlockContext::BlockContext(Dim3 blockIdx, const LaunchConfig& cfg)
@@ -31,6 +34,12 @@ void BlockContext::forEachThread(const std::function<void(Dim3)>& fn) {
 
 void Executor::launch(Device& device, const LaunchConfig& cfg,
                       const Kernel& kernel) const {
+  static obs::Counter& launches = obs::Registry::global().counter(
+      "ep_cusim_kernel_launches_total",
+      "Kernel grids launched through the cusim executor");
+  static obs::Counter& blocks = obs::Registry::global().counter(
+      "ep_cusim_blocks_total", "Thread blocks executed by cusim kernels");
+  obs::Span span("cusim/launch");
   const auto& spec = device.spec();
   const std::size_t threads = cfg.block.count();
   if (threads == 0 || cfg.grid.count() == 0) {
@@ -45,7 +54,9 @@ void Executor::launch(Device& device, const LaunchConfig& cfg,
                         spec.name);
   }
 
-  const std::size_t blocks = cfg.grid.count();
+  const std::size_t blockCount = cfg.grid.count();
+  launches.inc();
+  blocks.inc(blockCount);
   auto runBlock = [&](std::size_t flat) {
     Dim3 b;
     b.x = static_cast<unsigned>(flat % cfg.grid.x);
@@ -56,9 +67,9 @@ void Executor::launch(Device& device, const LaunchConfig& cfg,
     kernel(ctx);
   };
   if (pool_ != nullptr) {
-    pool_->parallelFor(0, blocks, runBlock);
+    pool_->parallelFor(0, blockCount, runBlock);
   } else {
-    for (std::size_t i = 0; i < blocks; ++i) runBlock(i);
+    for (std::size_t i = 0; i < blockCount; ++i) runBlock(i);
   }
 }
 

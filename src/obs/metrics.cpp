@@ -1,0 +1,162 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace ep::obs {
+
+namespace {
+
+bool validMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  auto headOk = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!headOk(name[0])) return false;
+  for (char c : name) {
+    if (!headOk(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+void appendDouble(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> upperBounds)
+    : bounds_(std::move(upperBounds)),
+      counts_(new std::atomic<std::uint64_t>[bounds_.size() + 1]) {
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (!(bounds_[i - 1] < bounds_[i])) {
+      throw std::invalid_argument(
+          "histogram bounds must be strictly increasing");
+    }
+  }
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) counts_[i].store(0);
+}
+
+void Histogram::observe(double v) {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::uint64_t Histogram::bucketValue(std::size_t i) const {
+  if (i > bounds_.size()) {
+    throw std::invalid_argument("histogram bucket index out of range");
+  }
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    total += counts_[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+Registry::Entry& Registry::find(const std::string& name, Kind kind,
+                                const std::string& help) {
+  if (!validMetricName(name)) {
+    throw std::invalid_argument("invalid metric name: \"" + name + "\"");
+  }
+  if (auto it = byName_.find(name); it != byName_.end()) {
+    if (it->second->kind != kind) {
+      throw std::invalid_argument("metric \"" + name +
+                                  "\" already registered with another kind");
+    }
+    return *it->second;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->kind = kind;
+  entry->name = name;
+  entry->help = help;
+  Entry& ref = *entry;
+  byName_[name] = entry.get();
+  entries_.push_back(std::move(entry));
+  return ref;
+}
+
+Counter& Registry::counter(const std::string& name, const std::string& help) {
+  std::lock_guard lk(mu_);
+  Entry& e = find(name, Kind::Counter, help);
+  if (!e.counter) e.counter = std::make_unique<Counter>();
+  return *e.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+  std::lock_guard lk(mu_);
+  Entry& e = find(name, Kind::Gauge, help);
+  if (!e.gauge) e.gauge = std::make_unique<Gauge>();
+  return *e.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& help,
+                               std::vector<double> upperBounds) {
+  std::lock_guard lk(mu_);
+  Entry& e = find(name, Kind::Histogram, help);
+  if (!e.histogram) {
+    e.histogram = std::make_unique<Histogram>(std::move(upperBounds));
+  } else if (e.histogram->upperBounds() != upperBounds) {
+    throw std::invalid_argument("histogram \"" + name +
+                                "\" already registered with other bounds");
+  }
+  return *e.histogram;
+}
+
+std::string Registry::renderPrometheus() const {
+  std::lock_guard lk(mu_);
+  std::string out;
+  for (const auto& e : entries_) {
+    out += "# HELP " + e->name + " " + e->help + "\n";
+    out += "# TYPE " + e->name + " ";
+    switch (e->kind) {
+      case Kind::Counter:
+        out += "counter\n";
+        out += e->name + " " + std::to_string(e->counter->value()) + "\n";
+        break;
+      case Kind::Gauge:
+        out += "gauge\n";
+        out += e->name + " " + std::to_string(e->gauge->value()) + "\n";
+        break;
+      case Kind::Histogram: {
+        out += "histogram\n";
+        const Histogram& h = *e->histogram;
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.upperBounds().size(); ++i) {
+          cum += h.bucketValue(i);
+          out += e->name + "_bucket{le=\"";
+          appendDouble(out, h.upperBounds()[i]);
+          out += "\"} " + std::to_string(cum) + "\n";
+        }
+        cum += h.bucketValue(h.upperBounds().size());
+        out += e->name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
+        out += e->name + "_sum ";
+        appendDouble(out, h.sum());
+        out += "\n";
+        out += e->name + "_count " + std::to_string(cum) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry* r = new Registry();  // never destroyed: metric
+                                        // references outlive main()
+  return *r;
+}
+
+}  // namespace ep::obs

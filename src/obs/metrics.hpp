@@ -1,0 +1,130 @@
+// epobs metrics: a thread-safe registry of named counters, gauges and
+// fixed-bucket histograms with Prometheus text exposition.
+//
+// Design constraints, in order:
+//   1. The increment path must be cheap enough for hot loops (broker
+//      admission, thread-pool dispatch, per-config measurement): every
+//      mutation is a single relaxed atomic RMW — no locks, no map
+//      lookups.  Call sites obtain a Metric& once (registration takes
+//      the registry mutex) and keep the reference; references stay
+//      valid for the registry's lifetime.
+//   2. Snapshots may be taken from any thread at any time.  Individual
+//      values are exact; cross-metric consistency is NOT guaranteed
+//      (standard Prometheus semantics) — readers that need an
+//      invariant between two counters must order their reads.
+//   3. This library sits below epcommon (the thread pool itself is
+//      instrumented), so it depends on nothing but the standard
+//      library and reports misuse with std::invalid_argument instead
+//      of EP_REQUIRE.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ep::obs {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+// Instantaneous signed level (queue depths, in-flight work).  add/sub
+// deltas compose correctly when several owners share one gauge.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  void sub(std::int64_t d) { v_.fetch_sub(d, std::memory_order_relaxed); }
+  [[nodiscard]] std::int64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> v_{0};
+};
+
+// Fixed-bucket histogram: `upperBounds.size() + 1` buckets, the last
+// one catching everything above the final bound (the +Inf bucket).
+// Bounds must be strictly increasing.  observe() is lock-free: one
+// relaxed RMW on the bucket plus a CAS loop on the sum.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upperBounds);
+
+  void observe(double v);
+
+  [[nodiscard]] const std::vector<double>& upperBounds() const {
+    return bounds_;
+  }
+  [[nodiscard]] std::size_t bucketCount() const { return bounds_.size() + 1; }
+  // Non-cumulative count of bucket i (i == bounds().size() is +Inf).
+  [[nodiscard]] std::uint64_t bucketValue(std::size_t i) const;
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::atomic<double> sum_{0.0};
+};
+
+// Named metric directory.  Registration is idempotent: asking for an
+// existing name with a matching kind (and, for histograms, matching
+// bounds) returns the same object; a kind/bounds conflict throws.
+// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus
+// grammar).  Returned references live as long as the registry.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help);
+  Gauge& gauge(const std::string& name, const std::string& help);
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       std::vector<double> upperBounds);
+
+  // Prometheus text exposition (version 0.0.4): # HELP / # TYPE
+  // comments followed by samples, histograms expanded into cumulative
+  // _bucket{le="..."} series plus _sum and _count.
+  [[nodiscard]] std::string renderPrometheus() const;
+
+  // The process-wide registry used by library-internal instrumentation
+  // (thread pool, cusim executor, study runner).  Components that need
+  // isolated counters (the serve broker, unit tests) own their own
+  // Registry instead.
+  static Registry& global();
+
+ private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& find(const std::string& name, Kind kind, const std::string& help);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
+  std::unordered_map<std::string, Entry*> byName_;
+};
+
+}  // namespace ep::obs

@@ -1,0 +1,124 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <unordered_map>
+
+namespace ep::obs {
+
+namespace {
+
+std::uint64_t nextTracerId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+void appendEscapedName(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t ringCapacity)
+    : id_(nextTracerId()),
+      epoch_(std::chrono::steady_clock::now()),
+      ringCapacity_(ringCapacity == 0 ? 1 : ringCapacity) {}
+
+Tracer& Tracer::global() {
+  static Tracer* t = new Tracer();  // never destroyed: spans may still
+                                    // finish during static teardown
+  return *t;
+}
+
+std::uint64_t Tracer::nowNs() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+detail::ThreadBuffer& Tracer::threadBuffer() {
+  // Keyed by tracer id, not pointer: a test tracer destroyed and
+  // reallocated at the same address must not inherit stale buffers.
+  thread_local std::unordered_map<std::uint64_t,
+                                  std::shared_ptr<detail::ThreadBuffer>>
+      tlBuffers;
+  auto& slot = tlBuffers[id_];
+  if (!slot) {
+    std::lock_guard lk(mu_);
+    slot = std::make_shared<detail::ThreadBuffer>(nextTid_++, ringCapacity_);
+    buffers_.push_back(slot);
+  }
+  return *slot;
+}
+
+void Tracer::clear() {
+  std::lock_guard lk(mu_);
+  for (auto& b : buffers_) {
+    std::lock_guard blk(b->mu);
+    b->ring.clear();
+    b->next = 0;
+    b->total = 0;
+  }
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard lk(mu_);
+  std::vector<TraceEvent> out;
+  for (const auto& b : buffers_) {
+    std::lock_guard blk(b->mu);
+    out.insert(out.end(), b->ring.begin(), b->ring.end());
+  }
+  return out;
+}
+
+std::uint64_t Tracer::recordedCount() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard blk(b->mu);
+    n += b->ring.size();
+  }
+  return n;
+}
+
+std::uint64_t Tracer::droppedCount() const {
+  std::lock_guard lk(mu_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) {
+    std::lock_guard blk(b->mu);
+    if (b->total > b->ring.size()) n += b->total - b->ring.size();
+  }
+  return n;
+}
+
+std::string Tracer::exportChromeTrace() const {
+  const std::vector<TraceEvent> events = snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"name\":\"";
+    appendEscapedName(out, e.name);
+    out += "\",\"cat\":\"ep\",\"ph\":\"X\",\"ts\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.startNs) / 1e3);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof buf, "%.3f",
+                  static_cast<double>(e.durNs) / 1e3);
+    out += buf;
+    out += ",\"pid\":1,\"tid\":";
+    out += std::to_string(e.tid);
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace ep::obs

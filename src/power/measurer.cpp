@@ -1,6 +1,7 @@
 #include "power/measurer.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::power {
 
@@ -48,7 +49,12 @@ MeasuredEnergy EnergyMeasurer::measure(
     return readings.back().dynamicEnergy.value();
   };
   MeasuredEnergy out;
-  out.dynamicEnergyStats = protocol.runBestEffort(observeEnergy);
+  {
+    // The Student's-t repetition loop: repeats measureOnce until the
+    // 95 % CI criterion is met — the dominant cost of a metered study.
+    obs::Span ciSpan("stats/ci_loop");
+    out.dynamicEnergyStats = protocol.runBestEffort(observeEnergy);
+  }
   // Reuse the recorded readings for the time statistics so both series
   // come from the same repetitions, as in the physical methodology.
   std::size_t idx = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::serve {
 
@@ -35,6 +36,45 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
                BrokerOptions options)
     : engine_(std::move(engine)),
       options_(options),
+      cAccepted_(registry_.counter("ep_serve_accepted_total",
+                                   "Requests admitted into the service")),
+      cCompleted_(registry_.counter("ep_serve_completed_total",
+                                    "Requests answered with Status::Ok")),
+      cFailed_(registry_.counter("ep_serve_failed_total",
+                                 "Requests that failed (engine or input)")),
+      cRejectedQueueFull_(
+          registry_.counter("ep_serve_rejected_queue_full_total",
+                            "Submissions rejected by backpressure")),
+      cRejectedDeadline_(
+          registry_.counter("ep_serve_rejected_deadline_total",
+                            "Requests expired before completion")),
+      cRejectedShutdown_(
+          registry_.counter("ep_serve_rejected_shutdown_total",
+                            "Submissions rejected during shutdown")),
+      cCoalesced_(registry_.counter(
+          "ep_serve_coalesced_total",
+          "Requests that joined an in-flight identical study")),
+      cStudiesExecuted_(registry_.counter("ep_serve_studies_executed_total",
+                                          "Cold engine evaluations")),
+      cCacheHits_(registry_.counter("ep_serve_cache_hits_total",
+                                    "Result-cache lookups that hit")),
+      cCacheMisses_(registry_.counter("ep_serve_cache_misses_total",
+                                      "Result-cache lookups that missed")),
+      cCacheEvictions_(registry_.counter("ep_serve_cache_evictions_total",
+                                         "Result-cache LRU evictions")),
+      gQueueDepth_(registry_.gauge("ep_serve_queue_depth",
+                                   "Admitted, not yet started jobs")),
+      gInFlightStudies_(registry_.gauge("ep_serve_in_flight_studies",
+                                        "Engine evaluations running now")),
+      gCacheSize_(registry_.gauge("ep_serve_cache_size",
+                                  "Result-cache entries resident")),
+      gCacheCapacity_(registry_.gauge("ep_serve_cache_capacity",
+                                      "Result-cache capacity")),
+      hLatencyMs_(registry_.histogram(
+          "ep_serve_request_latency_ms",
+          "Completed-request latency, submit to response (ms)",
+          std::vector<double>(LatencyHistogram::kUpperBoundsMs.begin(),
+                              LatencyHistogram::kUpperBoundsMs.end()))),
       cache_(options.cacheCapacity),
       pool_(std::make_unique<ThreadPool>(options.threads)) {
   EP_REQUIRE(engine_ != nullptr, "broker needs an engine");
@@ -64,11 +104,8 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
   auto future = job->promise.get_future();
 
   if (req.n <= 0 || req.maxDegradation < 0.0) {
-    {
-      std::lock_guard lk(mu_);
-      ++m_.accepted;
-      ++m_.failed;
-    }
+    cAccepted_.inc();
+    cFailed_.inc();
     TuneResponse resp;
     resp.status = Status::Error;
     resp.error = "invalid tune request (need n > 0, maxDegradation >= 0)";
@@ -79,14 +116,14 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
 
   std::unique_lock lk(mu_);
   if (!accepting_) {
-    ++m_.rejectedShutdown;
+    cRejectedShutdown_.inc();
     lk.unlock();
     rejectTune(job, Status::ShuttingDown, "");
     return future;
   }
   const StudyKey key = keyFor(req.device, req.n);
   if (auto hit = cache_.get(key)) {
-    ++m_.accepted;
+    cAccepted_.inc();
     ResultPtr result = *hit;
     lk.unlock();
     completeTune(job, result, /*cacheHit=*/true, /*coalesced=*/false);
@@ -95,18 +132,18 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
   if (auto it = inFlight_.find(key); it != inFlight_.end()) {
     // The futures map: join the in-flight computation instead of
     // queueing a duplicate study.
-    ++m_.accepted;
-    ++m_.coalesced;
+    cAccepted_.inc();
+    cCoalesced_.inc();
     it->second->waiters.push_back(job);
     return future;
   }
   if (queueDepth_ >= options_.queueCapacity) {
-    ++m_.rejectedQueueFull;
+    cRejectedQueueFull_.inc();
     lk.unlock();
     rejectTune(job, Status::QueueFull, "");
     return future;
   }
-  ++m_.accepted;
+  cAccepted_.inc();
   ++queueDepth_;
   lk.unlock();
   pool_->submit([this, job] { runTuneJob(job); });
@@ -128,11 +165,8 @@ std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
   };
 
   if (req.sizes().empty()) {
-    {
-      std::lock_guard lk(mu_);
-      ++m_.accepted;
-      ++m_.failed;
-    }
+    cAccepted_.inc();
+    cFailed_.inc();
     respondNow(Status::Error,
                "invalid study request (need 0 < nBegin <= nEnd, nStep > 0)");
     return future;
@@ -140,18 +174,18 @@ std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
 
   std::unique_lock lk(mu_);
   if (!accepting_) {
-    ++m_.rejectedShutdown;
+    cRejectedShutdown_.inc();
     lk.unlock();
     respondNow(Status::ShuttingDown, "");
     return future;
   }
   if (queueDepth_ >= options_.queueCapacity) {
-    ++m_.rejectedQueueFull;
+    cRejectedQueueFull_.inc();
     lk.unlock();
     respondNow(Status::QueueFull, "");
     return future;
   }
-  ++m_.accepted;
+  cAccepted_.inc();
   ++queueDepth_;
   lk.unlock();
   auto reqCopy = std::make_shared<StudyRequest>(req);
@@ -162,6 +196,7 @@ std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
 }
 
 void Broker::runTuneJob(const TuneJobPtr& job) {
+  obs::Span span("serve/tune_job");
   std::unique_lock lk(mu_);
   --queueDepth_;
   ++activeJobs_;
@@ -186,7 +221,7 @@ void Broker::runTuneJob(const TuneJobPtr& job) {
   if (auto it = inFlight_.find(key); it != inFlight_.end()) {
     // A sibling queued before either of us started now owns the study;
     // hand our promise to it rather than blocking this worker.
-    ++m_.coalesced;
+    cCoalesced_.inc();
     it->second->waiters.push_back(job);
     finishJobLocked();
     return;
@@ -210,6 +245,7 @@ void Broker::runStudyJob(
     const std::shared_ptr<StudyRequest>& req, Clock::time_point submitted,
     Clock::time_point deadline,
     const std::shared_ptr<std::promise<StudyResponse>>& promise) {
+  obs::Span span("serve/study_job");
   {
     std::lock_guard lk(mu_);
     --queueDepth_;
@@ -245,20 +281,20 @@ void Broker::runStudyJob(
   }
   resp.latency = elapsedSince(submitted);
 
+  switch (resp.status) {
+    case Status::Ok:
+      hLatencyMs_.observe(elapsedMsSince(submitted));
+      cCompleted_.inc();
+      break;
+    case Status::DeadlineExceeded:
+      cRejectedDeadline_.inc();
+      break;
+    default:
+      cFailed_.inc();
+      break;
+  }
   {
     std::lock_guard lk(mu_);
-    switch (resp.status) {
-      case Status::Ok:
-        ++m_.completed;
-        m_.latency.record(elapsedMsSince(submitted));
-        break;
-      case Status::DeadlineExceeded:
-        ++m_.rejectedDeadline;
-        break;
-      default:
-        ++m_.failed;
-        break;
-    }
     finishJobLocked();
   }
   promise->set_value(std::move(resp));
@@ -275,7 +311,7 @@ Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
   if (auto it = inFlight_.find(key); it != inFlight_.end()) {
     // Blocking join: safe because in-flight entries only exist while
     // their owner is actively computing on another worker.
-    ++m_.coalesced;
+    cCoalesced_.inc();
     *coalesced = true;
     auto future = it->second->future;
     lk.unlock();
@@ -286,12 +322,13 @@ Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
   auto entry = std::make_shared<InFlightStudy>();
   entry->future = entry->promise.get_future().share();
   inFlight_[key] = entry;
-  ++m_.studiesExecuted;
+  cStudiesExecuted_.inc();
   lk.unlock();
 
   ResultPtr result;
   std::exception_ptr err;
   try {
+    obs::Span span("serve/engine_evaluate");
     result = std::make_shared<const core::WorkloadResult>(
         engine_->evaluate(device, n));
   } catch (...) {
@@ -334,28 +371,22 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   const core::BiObjectiveTuner tuner(job->req.maxDegradation);
   resp.recommendation = tuner.recommend(result->globalFront);
   resp.latency = elapsedSince(job->submitted);
-  {
-    std::lock_guard lk(mu_);
-    ++m_.completed;
-    m_.latency.record(elapsedMsSince(job->submitted));
-  }
+  hLatencyMs_.observe(elapsedMsSince(job->submitted));
+  cCompleted_.inc();
   job->promise.set_value(std::move(resp));
 }
 
 void Broker::rejectTune(const TuneJobPtr& job, Status status,
                         const std::string& error) {
-  {
-    std::lock_guard lk(mu_);
-    switch (status) {
-      case Status::DeadlineExceeded:
-        ++m_.rejectedDeadline;
-        break;
-      case Status::Error:
-        ++m_.failed;
-        break;
-      default:
-        break;  // QueueFull / ShuttingDown counted at admission
-    }
+  switch (status) {
+    case Status::DeadlineExceeded:
+      cRejectedDeadline_.inc();
+      break;
+    case Status::Error:
+      cFailed_.inc();
+      break;
+    default:
+      break;  // QueueFull / ShuttingDown counted at admission
   }
   TuneResponse resp;
   resp.status = status;
@@ -370,8 +401,23 @@ void Broker::finishJobLocked() {
 }
 
 ServeMetrics Broker::metrics() const {
+  ServeMetrics out;
+  // Outcome counters are read before `accepted`: a request's accepted
+  // increment happens before its outcome increment, so this order
+  // keeps completed + failed + rejectedDeadline <= accepted even for
+  // snapshots taken mid-flight.
+  out.completed = cCompleted_.value();
+  out.failed = cFailed_.value();
+  out.rejectedDeadline = cRejectedDeadline_.value();
+  out.rejectedQueueFull = cRejectedQueueFull_.value();
+  out.rejectedShutdown = cRejectedShutdown_.value();
+  out.coalesced = cCoalesced_.value();
+  out.studiesExecuted = cStudiesExecuted_.value();
+  out.accepted = cAccepted_.value();
+  for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
+    out.latency.counts[i] = hLatencyMs_.bucketValue(i);
+  }
   std::lock_guard lk(mu_);
-  ServeMetrics out = m_;
   const LruCacheStats cs = cache_.stats();
   out.cacheHits = cs.hits;
   out.cacheMisses = cs.misses;
@@ -381,6 +427,24 @@ ServeMetrics Broker::metrics() const {
   out.queueDepth = queueDepth_;
   out.inFlightStudies = inFlight_.size();
   return out;
+}
+
+std::string Broker::renderPrometheus() const {
+  {
+    // Fold the cache's internal stats into the registry as counter
+    // deltas, and mirror the instantaneous state into gauges.
+    std::lock_guard lk(mu_);
+    const LruCacheStats cs = cache_.stats();
+    cCacheHits_.inc(cs.hits - syncedCache_.hits);
+    cCacheMisses_.inc(cs.misses - syncedCache_.misses);
+    cCacheEvictions_.inc(cs.evictions - syncedCache_.evictions);
+    syncedCache_ = cs;
+    gCacheSize_.set(static_cast<std::int64_t>(cs.size));
+    gCacheCapacity_.set(static_cast<std::int64_t>(cs.capacity));
+    gQueueDepth_.set(static_cast<std::int64_t>(queueDepth_));
+    gInFlightStudies_.set(static_cast<std::int64_t>(inFlight_.size()));
+  }
+  return registry_.renderPrometheus();
 }
 
 void Broker::shutdown() {

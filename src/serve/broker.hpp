@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
@@ -69,7 +70,15 @@ class Broker {
     return submitStudy(req).get();
   }
 
+  // Consistent-enough snapshot of the broker's epobs registry plus the
+  // instantaneous cache/queue state.  Counter reads are ordered so the
+  // admission identity (completed + failed + rejectedDeadline <=
+  // accepted) holds even while requests are in flight.
   [[nodiscard]] ServeMetrics metrics() const;
+
+  // Prometheus text exposition of the same registry (plus gauges for
+  // the instantaneous state, synced at render time).
+  [[nodiscard]] std::string renderPrometheus() const;
 
   // Stop admitting, drain all queued and in-flight work, return when
   // every outstanding future is fulfilled.  Idempotent.
@@ -119,6 +128,28 @@ class Broker {
   std::shared_ptr<const TuningEngine> engine_;
   BrokerOptions options_;
 
+  // Request accounting lives in a per-broker epobs registry: counter
+  // increments are lock-free relaxed atomics (no mu_ on the hot path),
+  // and the same registry renders the Prometheus exposition.  The
+  // registry must be declared before the references into it.
+  obs::Registry registry_;
+  obs::Counter& cAccepted_;
+  obs::Counter& cCompleted_;
+  obs::Counter& cFailed_;
+  obs::Counter& cRejectedQueueFull_;
+  obs::Counter& cRejectedDeadline_;
+  obs::Counter& cRejectedShutdown_;
+  obs::Counter& cCoalesced_;
+  obs::Counter& cStudiesExecuted_;
+  obs::Counter& cCacheHits_;
+  obs::Counter& cCacheMisses_;
+  obs::Counter& cCacheEvictions_;
+  obs::Gauge& gQueueDepth_;
+  obs::Gauge& gInFlightStudies_;
+  obs::Gauge& gCacheSize_;
+  obs::Gauge& gCacheCapacity_;
+  obs::Histogram& hLatencyMs_;
+
   mutable std::mutex mu_;
   std::condition_variable drained_;
   bool accepting_ = true;
@@ -127,7 +158,9 @@ class Broker {
   LruCache<StudyKey, ResultPtr, StudyKeyHash> cache_;
   std::unordered_map<StudyKey, std::shared_ptr<InFlightStudy>, StudyKeyHash>
       inFlight_;
-  ServeMetrics m_;  // counters only; state fields filled in metrics()
+  // Cache stats already mirrored into the registry counters (guarded
+  // by mu_; renderPrometheus syncs the delta).
+  mutable LruCacheStats syncedCache_;
 
   // Last member: destroyed first, joining workers while the rest of the
   // broker state is still alive.

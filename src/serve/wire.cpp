@@ -284,6 +284,17 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
   WireRequest req;
   if (*op == "metrics") {
     req.op = WireRequest::Op::Metrics;
+    const auto format = getString(*obj, "format");
+    if (format) {
+      if (*format != "prometheus" && *format != "json") {
+        return fail("unknown metrics \"format\"");
+      }
+      req.prometheus = (*format == "prometheus");
+    }
+    return req;
+  }
+  if (*op == "trace") {
+    req.op = WireRequest::Op::Trace;
     return req;
   }
 
@@ -383,6 +394,10 @@ std::string encodeMetrics(const ServeMetrics& m) {
       .add("latencyP50UpperMs", m.latency.quantileUpperBoundMs(0.50))
       .add("latencyP99UpperMs", m.latency.quantileUpperBoundMs(0.99));
   return w.str();
+}
+
+std::string encodeTextBody(const std::string& body) {
+  return ObjectWriter().add("status", "ok").add("body", body).str();
 }
 
 std::string encodeError(const std::string& message) {

@@ -7,6 +7,12 @@
 //   {"op":"tune","device":"p100","n":10240,"maxDegradation":0.11}
 //   {"op":"study","device":"k40c","nBegin":8192,"nEnd":10240,"nStep":1024}
 //   {"op":"metrics"}
+//   {"op":"metrics","format":"prometheus"}
+//   {"op":"trace"}
+//
+// The last two answer with {"status":"ok","body":"..."} where body is
+// the full Prometheus text exposition / Chrome trace-event JSON as one
+// escaped string (multi-line payloads stay one response line).
 //
 // Responses always carry "status"; tune responses add the recommended
 // configuration and trade-off, study responses the front statistics.
@@ -54,8 +60,11 @@ class ObjectWriter {
 };
 
 struct WireRequest {
-  enum class Op { Tune, Study, Metrics };
+  enum class Op { Tune, Study, Metrics, Trace };
   Op op = Op::Tune;
+  // For Op::Metrics: answer with the Prometheus text exposition
+  // instead of the flat JSON snapshot.
+  bool prometheus = false;
   TuneRequest tune;
   StudyRequest study;
 };
@@ -67,6 +76,9 @@ struct WireRequest {
 [[nodiscard]] std::string encodeTuneResponse(const TuneResponse& resp);
 [[nodiscard]] std::string encodeStudyResponse(const StudyResponse& resp);
 [[nodiscard]] std::string encodeMetrics(const ServeMetrics& m);
+// Wrap a multi-line text payload (Prometheus exposition, Chrome trace
+// JSON) as {"status":"ok","body":"..."} — one response line.
+[[nodiscard]] std::string encodeTextBody(const std::string& body);
 [[nodiscard]] std::string encodeError(const std::string& message);
 
 }  // namespace ep::serve::wire

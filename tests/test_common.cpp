@@ -4,11 +4,13 @@
 
 #include <atomic>
 #include <cmath>
+#include <future>
 #include <set>
 #include <sstream>
 #include <thread>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "common/mathutil.hpp"
 #include "common/rng.hpp"
 #include "common/table.hpp"
@@ -284,6 +286,37 @@ TEST(ThreadPool, MoreChunksThanThreadsStillCovers) {
   std::atomic<std::size_t> sum{0};
   pool.parallelFor(10, 20, [&](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), 145u);  // 10 + 11 + ... + 19
+}
+
+TEST(ThreadPool, QueueDepthAndInFlightObservable) {
+  obs::Counter& tasks = obs::Registry::global().counter(
+      "ep_threadpool_tasks_total", "Tasks executed by all thread pools");
+  const std::uint64_t tasksBefore = tasks.value();
+
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  EXPECT_EQ(pool.inFlight(), 0u);
+
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  std::promise<void> started;
+  pool.submit([&started, gate] {
+    started.set_value();
+    gate.wait();
+  });
+  started.get_future().wait();  // blocker is now running
+  for (int i = 0; i < 3; ++i) {
+    pool.submit([gate] { gate.wait(); });
+  }
+  // inFlight counts queued + running: the blocker plus three queued.
+  EXPECT_EQ(pool.queueDepth(), 3u);
+  EXPECT_EQ(pool.inFlight(), 4u);
+
+  release.set_value();
+  pool.wait();
+  EXPECT_EQ(pool.queueDepth(), 0u);
+  EXPECT_EQ(pool.inFlight(), 0u);
+  EXPECT_EQ(tasks.value(), tasksBefore + 4);
 }
 
 // --- mathutil ---

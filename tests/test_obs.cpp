@@ -1,0 +1,398 @@
+// epobs: metrics registry semantics, Prometheus exposition, span
+// tracing and Chrome trace-event export.
+//
+// The trace-export schema test deliberately reuses the serve wire
+// parser: epobs emits flat event objects precisely so the in-tree
+// dependency-free JSON parser can validate them.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "core/study.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using ep::obs::Counter;
+using ep::obs::Gauge;
+using ep::obs::Histogram;
+using ep::obs::Registry;
+using ep::obs::Span;
+using ep::obs::TraceEvent;
+using ep::obs::Tracer;
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(Metrics, CounterStartsAtZeroAndAccumulates) {
+  Registry r;
+  Counter& c = r.counter("test_total", "help");
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Metrics, GaugeSetAddSub) {
+  Registry r;
+  Gauge& g = r.gauge("test_gauge", "help");
+  g.set(10);
+  g.add(5);
+  g.sub(20);
+  EXPECT_EQ(g.value(), -5);
+}
+
+TEST(Metrics, RegistrationIsIdempotent) {
+  Registry r;
+  Counter& a = r.counter("same_total", "help");
+  Counter& b = r.counter("same_total", "help");
+  EXPECT_EQ(&a, &b);
+  a.inc();
+  EXPECT_EQ(b.value(), 1u);
+
+  Histogram& h1 = r.histogram("same_hist", "help", {1.0, 2.0});
+  Histogram& h2 = r.histogram("same_hist", "help", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+}
+
+TEST(Metrics, KindConflictThrows) {
+  Registry r;
+  r.counter("name_total", "help");
+  EXPECT_THROW(r.gauge("name_total", "help"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("name_total", "help", {1.0}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, HistogramBoundsConflictThrows) {
+  Registry r;
+  r.histogram("h", "help", {1.0, 2.0});
+  EXPECT_THROW(r.histogram("h", "help", {1.0, 3.0}), std::invalid_argument);
+}
+
+TEST(Metrics, InvalidNamesThrow) {
+  Registry r;
+  EXPECT_THROW(r.counter("", "help"), std::invalid_argument);
+  EXPECT_THROW(r.counter("9starts_with_digit", "help"),
+               std::invalid_argument);
+  EXPECT_THROW(r.counter("has space", "help"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has-dash", "help"), std::invalid_argument);
+  // The full Prometheus grammar, including colons, is accepted.
+  EXPECT_NO_THROW(r.counter("ns:sub_system_total", "help"));
+}
+
+TEST(Metrics, HistogramBucketsAndSum) {
+  Registry r;
+  Histogram& h = r.histogram("lat_ms", "help", {1.0, 10.0});
+  EXPECT_THROW(r.histogram("bad", "help", {2.0, 2.0}),
+               std::invalid_argument);
+
+  h.observe(0.5);   // bucket 0 (le 1.0)
+  h.observe(1.0);   // bucket 0: le is inclusive
+  h.observe(5.0);   // bucket 1 (le 10.0)
+  h.observe(100.0); // +Inf bucket
+  EXPECT_EQ(h.bucketValue(0), 2u);
+  EXPECT_EQ(h.bucketValue(1), 1u);
+  EXPECT_EQ(h.bucketValue(2), 1u);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 106.5, 1e-9);
+  EXPECT_THROW((void)h.bucketValue(3), std::invalid_argument);
+}
+
+TEST(Metrics, ConcurrentIncrementsAreExact) {
+  Registry r;
+  Counter& c = r.counter("conc_total", "help");
+  Histogram& h = r.histogram("conc_hist", "help", {10.0});
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_NEAR(h.sum(), static_cast<double>(kThreads) * kIters, 1e-6);
+}
+
+// Line-level validation of the Prometheus text exposition: every line
+// is a comment or `name[{le="bound"}] value`, histograms cumulative.
+TEST(Metrics, RenderPrometheusIsWellFormed) {
+  Registry r;
+  Counter& c = r.counter("req_total", "Requests seen");
+  Gauge& g = r.gauge("depth", "Queue depth");
+  Histogram& h = r.histogram("lat_ms", "Latency", {1.0, 10.0});
+  c.inc(3);
+  g.set(-2);
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(100.0);
+
+  const std::string text = r.renderPrometheus();
+  EXPECT_NE(text.find("# HELP req_total Requests seen\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE req_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("req_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("depth -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lat_ms histogram\n"), std::string::npos);
+  // Buckets are cumulative and end at +Inf == _count.
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_sum 105.5\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_ms_count 3\n"), std::string::npos);
+
+  // Structural pass over every line.
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "exposition must end with newline";
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string value = line.substr(space + 1);
+    ASSERT_FALSE(value.empty()) << line;
+    // Value parses as a number.
+    std::size_t parsed = 0;
+    EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
+    EXPECT_EQ(parsed, value.size()) << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+// Restores the global tracer to its quiet default on scope exit so
+// span tests cannot leak state into each other.
+struct GlobalTracerGuard {
+  GlobalTracerGuard() {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+  ~GlobalTracerGuard() {
+    Tracer::global().setEnabled(false);
+    Tracer::global().clear();
+  }
+};
+
+TEST(Trace, DisabledSpansRecordNothing) {
+  GlobalTracerGuard guard;
+  {
+    Span a("test/a");
+    Span b("test/b");
+  }
+  EXPECT_EQ(Tracer::global().recordedCount(), 0u);
+  EXPECT_EQ(Tracer::global().droppedCount(), 0u);
+}
+
+TEST(Trace, NestedSpansCarryDepthAndContainment) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  {
+    Span outer("test/outer");
+    { Span inner("test/inner"); }
+  }
+  Tracer::global().setEnabled(false);
+
+  const std::vector<TraceEvent> events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner closes first, so it is recorded first.
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_STREQ(inner.name, "test/inner");
+  EXPECT_STREQ(outer.name, "test/outer");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(outer.tid, inner.tid);
+  // The inner interval nests inside the outer one.
+  EXPECT_GE(inner.startNs, outer.startNs);
+  EXPECT_LE(inner.startNs + inner.durNs, outer.startNs + outer.durNs);
+}
+
+TEST(Trace, ThreadsGetDistinctTids) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  std::thread t1([] { Span s("test/t1"); });
+  std::thread t2([] { Span s("test/t2"); });
+  t1.join();
+  t2.join();
+  Tracer::global().setEnabled(false);
+
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(Trace, RingOverflowKeepsNewestAndCountsDropped) {
+  Tracer t(4);
+  auto& buf = t.threadBuffer();
+  for (std::uint64_t i = 1; i <= 6; ++i) {
+    buf.push(TraceEvent{"test/ring", i * 100, 10, buf.tid, 0});
+  }
+  EXPECT_EQ(t.recordedCount(), 4u);
+  EXPECT_EQ(t.droppedCount(), 2u);
+  std::set<std::uint64_t> starts;
+  for (const auto& e : t.snapshot()) starts.insert(e.startNs);
+  EXPECT_EQ(starts, (std::set<std::uint64_t>{300, 400, 500, 600}));
+
+  t.clear();
+  EXPECT_EQ(t.recordedCount(), 0u);
+  EXPECT_EQ(t.droppedCount(), 0u);
+}
+
+// Validate the exported JSON against the Chrome trace-event schema
+// using the in-tree flat-JSON wire parser (events are emitted flat for
+// exactly this reason — no external JSON dependency needed).
+TEST(Trace, ChromeExportMatchesTraceEventSchema) {
+  Tracer t(16);
+  auto& buf = t.threadBuffer();
+  buf.push(TraceEvent{"phase/alpha", 1000, 500, buf.tid, 0});
+  buf.push(TraceEvent{"with\"quote\\slash", 2000, 250, buf.tid, 1});
+
+  const std::string json = t.exportChromeTrace();
+  ASSERT_EQ(json.rfind("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[", 0),
+            0u);
+
+  // Split into lines; every line after the header that starts with '{'
+  // is one flat event object (strip the trailing comma).
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    const std::size_t nl = json.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(json.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  ASSERT_GE(lines.size(), 3u);
+  EXPECT_EQ(lines.back(), "]}");
+
+  std::size_t parsed = 0;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    std::string error;
+    const auto obj = ep::serve::wire::parseObject(line, &error);
+    ASSERT_TRUE(obj) << "line " << i << ": " << error << " in " << line;
+    ++parsed;
+
+    using Kind = ep::serve::wire::Value::Kind;
+    ASSERT_TRUE(obj->count("name"));
+    EXPECT_EQ(obj->at("name").kind, Kind::String);
+    ASSERT_TRUE(obj->count("ph"));
+    EXPECT_EQ(obj->at("ph").string, "X");
+    ASSERT_TRUE(obj->count("cat"));
+    ASSERT_TRUE(obj->count("ts"));
+    EXPECT_EQ(obj->at("ts").kind, Kind::Number);
+    EXPECT_GE(obj->at("ts").number, 0.0);
+    ASSERT_TRUE(obj->count("dur"));
+    EXPECT_EQ(obj->at("dur").kind, Kind::Number);
+    EXPECT_GE(obj->at("dur").number, 0.0);
+    ASSERT_TRUE(obj->count("pid"));
+    EXPECT_EQ(obj->at("pid").number, 1.0);
+    ASSERT_TRUE(obj->count("tid"));
+    EXPECT_GE(obj->at("tid").number, 1.0);
+  }
+  EXPECT_EQ(parsed, 2u);
+
+  // ts/dur are microseconds.
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":0.500"), std::string::npos);
+}
+
+TEST(Trace, ConcurrentRecordingAndExportIsSafe) {
+  GlobalTracerGuard guard;
+  Tracer& t = Tracer::global();
+  t.setEnabled(true);
+  constexpr int kRecorders = 4;
+  constexpr int kSpansEach = 2000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> recorders;
+  for (int i = 0; i < kRecorders; ++i) {
+    recorders.emplace_back([&] {
+      for (int n = 0; n < kSpansEach; ++n) {
+        Span outer("test/conc_outer");
+        Span inner("test/conc_inner");
+      }
+      done.fetch_add(1);
+    });
+  }
+  // Export concurrently with the recording threads until they finish.
+  while (done.load() < kRecorders) {
+    const std::string json = t.exportChromeTrace();
+    EXPECT_FALSE(json.empty());
+    (void)t.recordedCount();
+    (void)t.droppedCount();
+  }
+  for (auto& r : recorders) r.join();
+  t.setEnabled(false);
+  EXPECT_EQ(t.recordedCount() + t.droppedCount(),
+            2ull * kRecorders * kSpansEach);
+}
+
+// ---------------------------------------------------------------------------
+// Study-pipeline integration: a traced (meter-free) workload produces
+// the expected phase spans and bumps the global workload counter.
+
+TEST(Instrumentation, StudyRunEmitsPhaseSpansAndCounters) {
+  GlobalTracerGuard guard;
+  Counter& workloads = ep::obs::Registry::global().counter(
+      "ep_study_workloads_total", "GPU study workloads evaluated");
+  const std::uint64_t before = workloads.value();
+
+  Tracer::global().setEnabled(true);
+  ep::apps::GpuMatMulOptions fast;
+  fast.useMeter = false;
+  ep::apps::GpuMatMulApp app(ep::hw::GpuModel(ep::hw::nvidiaP100Pcie()),
+                             fast);
+  ep::core::GpuEpStudy study(app);
+  ep::Rng rng(7);
+  const auto result = study.runWorkload(10240, rng);
+  Tracer::global().setEnabled(false);
+  EXPECT_FALSE(result.points.empty());
+  EXPECT_EQ(workloads.value(), before + 1);
+
+  std::set<std::string> names;
+  std::uint64_t workloadStart = 0;
+  std::uint64_t workloadEnd = 0;
+  std::uint64_t insideNs = 0;
+  for (const auto& e : Tracer::global().snapshot()) {
+    names.insert(e.name);
+    if (std::string(e.name) == "study/workload") {
+      workloadStart = e.startNs;
+      workloadEnd = e.startNs + e.durNs;
+    }
+    if (std::string(e.name) == "study/app_eval" ||
+        std::string(e.name) == "study/front_construction") {
+      insideNs += e.durNs;
+    }
+  }
+  EXPECT_TRUE(names.count("study/workload"));
+  EXPECT_TRUE(names.count("study/app_eval"));
+  EXPECT_TRUE(names.count("study/front_construction"));
+  // The phase spans live inside the workload span and cover most of it:
+  // phase attribution, not just a top-level total.
+  ASSERT_GT(workloadEnd, workloadStart);
+  EXPECT_LE(insideNs, workloadEnd - workloadStart);
+  EXPECT_GE(static_cast<double>(insideNs),
+            0.5 * static_cast<double>(workloadEnd - workloadStart));
+}
+
+}  // namespace

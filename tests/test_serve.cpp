@@ -152,6 +152,56 @@ TEST(LruCache, RejectsZeroCapacity) {
   EXPECT_THROW((LruCache<int, int>(0)), PreconditionError);
 }
 
+// --- latency histogram quantiles ---
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, InvalidQuantileThrows) {
+  LatencyHistogram h;
+  h.record(1.0);
+  EXPECT_THROW((void)h.quantileUpperBoundMs(0.0), PreconditionError);
+  EXPECT_THROW((void)h.quantileUpperBoundMs(-0.1), PreconditionError);
+  EXPECT_THROW((void)h.quantileUpperBoundMs(1.5), PreconditionError);
+}
+
+TEST(LatencyHistogram, QuantileFindsBoundaryBuckets) {
+  LatencyHistogram h;
+  // One sample in the first bucket, one in the last finite bucket.
+  h.record(0.01);    // <= 0.05
+  h.record(1500.0);  // <= 2000
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(0.5),
+                   LatencyHistogram::kUpperBoundsMs.front());
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(1.0),
+                   LatencyHistogram::kUpperBoundsMs.back());
+}
+
+TEST(LatencyHistogram, BucketUpperBoundsAreInclusive) {
+  LatencyHistogram h;
+  h.record(0.05);  // exactly the first bound stays in bucket 0
+  EXPECT_EQ(h.counts[0], 1u);
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(1.0), 0.05);
+}
+
+TEST(LatencyHistogram, OverflowBucketUsesSentinelBound) {
+  LatencyHistogram h;
+  h.record(10'000.0);  // beyond the last finite bound
+  EXPECT_EQ(h.counts[LatencyHistogram::kBuckets - 1], 1u);
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(1.0),
+                   LatencyHistogram::kUpperBoundsMs.back() * 10.0);
+}
+
+TEST(LatencyHistogram, MedianLandsInMiddleBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 10; ++i) h.record(0.3);  // bucket le=0.5
+  for (int i = 0; i < 10; ++i) h.record(40.0); // bucket le=100
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(0.5), 0.5);
+  EXPECT_DOUBLE_EQ(h.quantileUpperBoundMs(0.99), 100.0);
+}
+
 // --- cache + coalescing ---
 
 TEST(Broker, SecondIdenticalRequestIsACacheHit) {
@@ -419,6 +469,50 @@ TEST(Broker, MetricsSnapshotStaysConsistentUnderLoad) {
   EXPECT_GE(m.studiesExecuted, 10u);  // 10 keys, capacity 4: recomputes
   EXPECT_GT(m.cacheEvictions, 0u);
   EXPECT_LE(m.cacheSize, 4u);
+}
+
+TEST(Broker, RenderPrometheusExposesRegistryAndCacheState) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+
+  EXPECT_EQ(broker.tune(tuneReq(1000)).status, Status::Ok);
+  EXPECT_EQ(broker.tune(tuneReq(1000)).status, Status::Ok);  // cache hit
+
+  const std::string text = broker.renderPrometheus();
+  EXPECT_NE(text.find("# TYPE ep_serve_accepted_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ep_serve_accepted_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ep_serve_completed_total 2\n"), std::string::npos);
+  EXPECT_NE(text.find("ep_serve_studies_executed_total 1\n"),
+            std::string::npos);
+  // Cache stats are delta-synced into the registry at render time.  A
+  // cold tune probes the cache at admission, at dequeue and in
+  // obtainStudy, so one miss on the wire means three lookups.
+  EXPECT_NE(text.find("ep_serve_cache_hits_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("ep_serve_cache_misses_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("ep_serve_cache_size 1\n"), std::string::npos);
+  EXPECT_NE(text.find("ep_serve_queue_depth 0\n"), std::string::npos);
+  // Histogram is exposed in full Prometheus shape.
+  EXPECT_NE(text.find("# TYPE ep_serve_request_latency_ms histogram\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("ep_serve_request_latency_ms_bucket{le=\"+Inf\"} 2\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("ep_serve_request_latency_ms_count 2\n"),
+            std::string::npos);
+
+  // Rendering twice must not double-count the synced cache deltas, and
+  // the wire snapshot must agree with the exposition.
+  const std::string again = broker.renderPrometheus();
+  EXPECT_NE(again.find("ep_serve_cache_hits_total 1\n"), std::string::npos);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.cacheHits, 1u);
+  EXPECT_EQ(m.cacheMisses, 3u);
+  EXPECT_EQ(m.accepted, 2u);
+  EXPECT_EQ(m.latency.total(), 2u);
 }
 
 // --- the real engine ---

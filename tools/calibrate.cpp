@@ -7,11 +7,15 @@
 // kept in-tree so future model changes can be re-checked quickly.
 #include <cstdio>
 
+#include <fstream>
+#include <string_view>
+
 #include "apps/gpu_matmul_app.hpp"
 #include "core/study.hpp"
 #include "energymodel/additivity.hpp"
 #include "hw/gpu_model.hpp"
 #include "hw/spec.hpp"
+#include "obs/trace.hpp"
 
 using namespace ep;
 
@@ -72,29 +76,59 @@ void dumpAdditivity(const char* tag, const apps::GpuMatMulApp& app, int bs) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const bool listAll = argc > 1 && std::string_view(argv[1]) == "--all";
+  bool listAll = false;
+  const char* tracePath = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--all") {
+      listAll = true;
+    } else if (a == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: calibrate [--all] [--trace out.json]\n");
+      return 2;
+    }
+  }
+  if (tracePath) obs::Tracer::global().setEnabled(true);
 
-  apps::GpuMatMulOptions fast;
-  fast.useMeter = false;  // noise-free model output for calibration
+  {
+    // Top-level span so the exported trace attributes the whole run;
+    // it must close before export, so the scope ends before the dump.
+    obs::Span run("calibrate/run");
 
-  apps::GpuMatMulApp p100(hw::GpuModel(hw::nvidiaP100Pcie()), fast);
-  apps::GpuMatMulApp k40c(hw::GpuModel(hw::nvidiaK40c()), fast);
-  core::GpuEpStudy p100Study(p100);
-  core::GpuEpStudy k40cStudy(k40c);
+    apps::GpuMatMulOptions fast;
+    fast.useMeter = false;  // noise-free model output for calibration
 
-  std::printf("paper targets:\n");
-  std::printf("  P100 N=10240: global front 3 pts, (50%%, 11%%)\n");
-  std::printf("  P100 N=18432: front 2 pts, (12.5%%, 2.5%%); BS<=30: (24%%, 8%%)\n");
-  std::printf("  P100 sweep:   global fronts avg 2 / max 3\n");
-  std::printf("  K40c:         global front 1 pt (BS=32); local avg 4 / max 5; (18%%, 7%%)\n");
+    apps::GpuMatMulApp p100(hw::GpuModel(hw::nvidiaP100Pcie()), fast);
+    apps::GpuMatMulApp k40c(hw::GpuModel(hw::nvidiaK40c()), fast);
+    core::GpuEpStudy p100Study(p100);
+    core::GpuEpStudy k40cStudy(k40c);
 
-  dumpWorkload("P100", p100Study, 10240, listAll);
-  dumpWorkload("P100", p100Study, 14336, listAll);
-  dumpWorkload("P100", p100Study, 18432, listAll);
-  dumpWorkload("K40c", k40cStudy, 8704, listAll);
-  dumpWorkload("K40c", k40cStudy, 10240, listAll);
+    std::printf("paper targets:\n");
+    std::printf("  P100 N=10240: global front 3 pts, (50%%, 11%%)\n");
+    std::printf("  P100 N=18432: front 2 pts, (12.5%%, 2.5%%); BS<=30: (24%%, 8%%)\n");
+    std::printf("  P100 sweep:   global fronts avg 2 / max 3\n");
+    std::printf("  K40c:         global front 1 pt (BS=32); local avg 4 / max 5; (18%%, 7%%)\n");
 
-  dumpAdditivity("P100", p100, 32);
-  dumpAdditivity("K40c", k40c, 32);
+    dumpWorkload("P100", p100Study, 10240, listAll);
+    dumpWorkload("P100", p100Study, 14336, listAll);
+    dumpWorkload("P100", p100Study, 18432, listAll);
+    dumpWorkload("K40c", k40cStudy, 8704, listAll);
+    dumpWorkload("K40c", k40cStudy, 10240, listAll);
+
+    dumpAdditivity("P100", p100, 32);
+    dumpAdditivity("K40c", k40c, 32);
+  }
+
+  if (tracePath) {
+    std::ofstream out(tracePath);
+    out << obs::Tracer::global().exportChromeTrace();
+    if (!out) {
+      std::fprintf(stderr, "calibrate: cannot write trace to %s\n", tracePath);
+      return 1;
+    }
+    std::fprintf(stderr, "calibrate: wrote %zu trace events to %s\n",
+                 obs::Tracer::global().recordedCount(), tracePath);
+  }
   return 0;
 }

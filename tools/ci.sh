@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # CI entry point: tier-1 verify plus a ThreadSanitizer race check of the
-# concurrent components (epserve broker, epcommon thread pool).
+# concurrent components (epserve broker, epcommon thread pool, epobs
+# metrics/tracing).
 #
 #   tools/ci.sh          # full: tier-1 build + ctest, then TSan config
 #   tools/ci.sh --fast   # skip the TSan configuration
@@ -26,16 +27,17 @@ if [[ "${FAST}" == "1" ]]; then
   exit 0
 fi
 
-echo "== ThreadSanitizer: broker + thread pool race check =="
+echo "== ThreadSanitizer: broker + thread pool + obs race check =="
 cmake -B build-tsan -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DEPSIM_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target test_serve test_common
+cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs
 # halt_on_error: any reported race fails the run, not just the exit
 # status of the last test.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 
 echo "== ci.sh: all green =="

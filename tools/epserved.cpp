@@ -7,11 +7,16 @@
 //
 // Usage:
 //   epserved [--port P] [--threads N] [--queue Q] [--cache C]
-//            [--deadline-ms D] [--meter] [--seed S]
+//            [--deadline-ms D] [--meter] [--seed S] [--tracing]
 //
 // --port 0 picks an ephemeral port; the chosen one is printed either
 // way so scripts (and epserve_client) can parse it.  SIGINT/SIGTERM
 // drain in-flight work before exiting and print the final metrics.
+//
+// Observability: {"op":"metrics","format":"prometheus"} answers with
+// the combined broker + process registry exposition; with --tracing
+// enabled, {"op":"trace"} answers with the Chrome trace-event JSON
+// recorded so far (load it in Perfetto).
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -27,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 #include "serve/wire.hpp"
@@ -71,6 +78,7 @@ struct Args {
   std::size_t cache = 128;
   double deadlineMs = 0.0;
   bool meter = false;
+  bool tracing = false;
   std::uint64_t seed = 0xEB5EEDULL;
 };
 
@@ -102,6 +110,8 @@ bool parseArgs(int argc, char** argv, Args* out) {
       out->deadlineMs = std::stod(v);
     } else if (a == "--meter") {
       out->meter = true;
+    } else if (a == "--tracing") {
+      out->tracing = true;
     } else if (a == "--seed") {
       const char* v = next();
       if (!v) return false;
@@ -145,7 +155,19 @@ void serveConnection(int fd, ep::serve::Broker& broker) {
                 ep::serve::wire::encodeStudyResponse(broker.study(req->study));
             break;
           case ep::serve::wire::WireRequest::Op::Metrics:
-            response = ep::serve::wire::encodeMetrics(broker.metrics());
+            if (req->prometheus) {
+              // Broker registry first, then the process-wide registry
+              // (thread pool, cusim, study phases) — disjoint names.
+              response = ep::serve::wire::encodeTextBody(
+                  broker.renderPrometheus() +
+                  ep::obs::Registry::global().renderPrometheus());
+            } else {
+              response = ep::serve::wire::encodeMetrics(broker.metrics());
+            }
+            break;
+          case ep::serve::wire::WireRequest::Op::Trace:
+            response = ep::serve::wire::encodeTextBody(
+                ep::obs::Tracer::global().exportChromeTrace());
             break;
         }
       }
@@ -167,9 +189,11 @@ int main(int argc, char** argv) {
   Args args;
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: epserved [--port P] [--threads N] [--queue Q]"
-                 " [--cache C] [--deadline-ms D] [--meter] [--seed S]\n";
+                 " [--cache C] [--deadline-ms D] [--meter] [--seed S]"
+                 " [--tracing]\n";
     return 2;
   }
+  if (args.tracing) ep::obs::Tracer::global().setEnabled(true);
 
   ep::serve::EpStudyEngineOptions engineOpts;
   engineOpts.useMeter = args.meter;

@@ -16,8 +16,11 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "core/study.hpp"
+#include <fstream>
+
 #include "hw/gpu_model.hpp"
 #include "hw/spec.hpp"
+#include "obs/trace.hpp"
 #include "pareto/tradeoff.hpp"
 
 using namespace ep;
@@ -214,46 +217,74 @@ hw::GpuTuning localRefine(const hw::GpuTuning& start, bool isP100,
 }
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Extract --trace <path> wherever it appears; the rest stays
+  // positional.
+  const char* tracePath = nullptr;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--trace" && i + 1 < argc) {
+      tracePath = argv[++i];
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
     std::fprintf(stderr,
-                 "usage: tune {p100|k40c} [iterations] [--local]\n"
+                 "usage: tune {p100|k40c} [iterations] [--local]"
+                 " [--trace out.json]\n"
                  "  --local: hill-climb from the built-in defaults instead\n"
                  "           of random search\n");
     return 1;
   }
-  const std::string which = argv[1];
-  const int iterations = argc > 2 ? std::atoi(argv[2]) : 2000;
+  const std::string which = args[0];
+  const int iterations = args.size() > 1 ? std::atoi(args[1].c_str()) : 2000;
   const bool isP100 = which == "p100";
-  const bool local = argc > 3 && std::string_view(argv[3]) == "--local";
+  const bool local = args.size() > 2 && args[2] == "--local";
+  if (tracePath) obs::Tracer::global().setEnabled(true);
 
   Rng rng(2024);
   hw::GpuTuning best;
   double bestScore = 1e300;
-  if (local) {
-    const hw::GpuModel model(isP100 ? hw::nvidiaP100Pcie()
-                                    : hw::nvidiaK40c());
-    best = localRefine(model.tuning(), isP100, iterations, rng, bestScore);
-  } else {
-    const hw::GpuTuning base;
-    for (int i = 0; i < iterations; ++i) {
-      const hw::GpuTuning cand =
-          isP100 ? sampleP100(rng, base) : sampleK40c(rng, base);
-      double score;
-      try {
-        score = isP100 ? scoreP100(cand) : scoreK40c(cand);
-      } catch (const ep::EpError&) {
-        continue;
-      }
-      if (score < bestScore) {
-        bestScore = score;
-        best = cand;
-        std::printf("[iter %d] ", i);
-        print(best, bestScore);
-        std::fflush(stdout);
+  {
+    // Top-level span covering the search; closed before export.
+    obs::Span run("tune/search");
+    if (local) {
+      const hw::GpuModel model(isP100 ? hw::nvidiaP100Pcie()
+                                      : hw::nvidiaK40c());
+      best = localRefine(model.tuning(), isP100, iterations, rng, bestScore);
+    } else {
+      const hw::GpuTuning base;
+      for (int i = 0; i < iterations; ++i) {
+        const hw::GpuTuning cand =
+            isP100 ? sampleP100(rng, base) : sampleK40c(rng, base);
+        double score;
+        try {
+          score = isP100 ? scoreP100(cand) : scoreK40c(cand);
+        } catch (const ep::EpError&) {
+          continue;
+        }
+        if (score < bestScore) {
+          bestScore = score;
+          best = cand;
+          std::printf("[iter %d] ", i);
+          print(best, bestScore);
+          std::fflush(stdout);
+        }
       }
     }
   }
   std::printf("\nBEST for %s:\n", which.c_str());
   print(best, bestScore);
+
+  if (tracePath) {
+    std::ofstream out(tracePath);
+    out << obs::Tracer::global().exportChromeTrace();
+    if (!out) {
+      std::fprintf(stderr, "tune: cannot write trace to %s\n", tracePath);
+      return 1;
+    }
+    std::fprintf(stderr, "tune: wrote %zu trace events to %s\n",
+                 obs::Tracer::global().recordedCount(), tracePath);
+  }
   return 0;
 }
