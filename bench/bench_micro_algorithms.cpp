@@ -50,7 +50,17 @@ void BM_NonDominatedSort(benchmark::State& state) {
     benchmark::DoNotOptimize(pareto::nonDominatedSort(pts));
   }
 }
-BENCHMARK(BM_NonDominatedSort)->Arg(128)->Arg(1024);
+BENCHMARK(BM_NonDominatedSort)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_LocalFront(benchmark::State& state) {
+  Rng rng(2);
+  const auto pts = randomPoints(static_cast<std::size_t>(state.range(0)),
+                                rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto::localFront(pts, 2));
+  }
+}
+BENCHMARK(BM_LocalFront)->Arg(128)->Arg(1024)->Arg(8192);
 
 void BM_FftRadix2(benchmark::State& state) {
   Rng rng(3);

@@ -30,6 +30,39 @@ inline void printFront(const std::string& title,
   t.print(std::cout);
 }
 
+// One measured operating point of a scaling bench, in machine-readable
+// form so the perf trajectory can be tracked across PRs.
+struct BenchRecord {
+  std::string name;         // e.g. "runWorkload/metered"
+  int threads = 1;          // pool threads (1 = serial baseline)
+  double nsPerOp = 0.0;     // wall nanoseconds per item (config)
+  double itemsPerSecond = 0.0;  // configs/s
+};
+
+// Write records as `{"bench": ..., "records": [...]}` JSON.  Returns
+// false (with a note on stderr) if the file cannot be written.
+inline bool writeBenchJson(const std::string& path, const std::string& bench,
+                           const std::vector<BenchRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"records\": [\n",
+               bench.c_str());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"threads\": %d, "
+                 "\"ns_per_op\": %.17g, \"configs_per_s\": %.17g}%s\n",
+                 r.name.c_str(), r.threads, r.nsPerOp, r.itemsPerSecond,
+                 i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 inline void printTradeoff(const std::string& title,
                           const pareto::Tradeoff& tr) {
   std::printf(

@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "blas/dgemm.hpp"
 #include "common/mathutil.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::apps {
 
@@ -91,17 +92,31 @@ CpuDataPoint CpuDgemmApp::runConfig(const hw::CpuDgemmConfig& cfg,
   return out;
 }
 
+std::uint64_t CpuDgemmApp::forkSalt(const hw::CpuDgemmConfig& cfg) {
+  std::uint64_t h = mix64(0, static_cast<std::uint64_t>(cfg.n));
+  h = mix64(h, cfg.variant == hw::BlasVariant::IntelMklLike ? 1ULL : 2ULL);
+  h = mix64(h, cfg.partition == hw::PartitionScheme::Horizontal ? 1ULL : 2ULL);
+  h = mix64(h, static_cast<std::uint64_t>(cfg.threadgroups));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.threadsPerGroup));
+  return h;
+}
+
 std::vector<CpuDataPoint> CpuDgemmApp::runWorkload(int n,
                                                    hw::BlasVariant variant,
-                                                   Rng& rng) const {
-  std::vector<CpuDataPoint> out;
-  for (const auto& cfg : enumerateConfigs(n, variant)) {
-    Rng configRng = rng.fork(
-        (static_cast<std::uint64_t>(cfg.threadgroups) << 32) ^
-        (static_cast<std::uint64_t>(cfg.threadsPerGroup) << 16) ^
-        (cfg.partition == hw::PartitionScheme::Horizontal ? 1ULL : 2ULL));
-    out.push_back(runConfig(cfg, configRng));
+                                                   Rng& rng,
+                                                   ThreadPool* pool) const {
+  const std::vector<hw::CpuDgemmConfig> configs = enumerateConfigs(n, variant);
+  std::vector<CpuDataPoint> out(configs.size());
+  const auto evalOne = [&](std::size_t i) {
+    Rng configRng = rng.fork(forkSalt(configs[i]));
+    out[i] = runConfig(configs[i], configRng);
+  };
+  if (pool == nullptr || configs.size() < 2) {
+    for (std::size_t i = 0; i < configs.size(); ++i) evalOne(i);
+    return out;
   }
+  obs::Span span("study/parallel_eval");
+  pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "hw/cpu_model.hpp"
 #include "pareto/point.hpp"
 #include "power/measurer.hpp"
@@ -53,8 +54,17 @@ class CpuDgemmApp {
   [[nodiscard]] CpuDataPoint runConfig(const hw::CpuDgemmConfig& cfg,
                                        Rng& rng) const;
 
+  // mix64-chained fork salt over every distinguishing field (n,
+  // variant, partition, threadgroups, threadsPerGroup) — see
+  // GpuMatMulApp::forkSalt for why shifted XOR is not good enough.
+  [[nodiscard]] static std::uint64_t forkSalt(const hw::CpuDgemmConfig& cfg);
+
+  // With a pool, configurations are measured in parallel and the result
+  // is bitwise-identical to the serial path (per-config forked streams,
+  // per-index output slots).  Safe to call from inside a task on pool.
   [[nodiscard]] std::vector<CpuDataPoint> runWorkload(
-      int n, hw::BlasVariant variant, Rng& rng) const;
+      int n, hw::BlasVariant variant, Rng& rng,
+      ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] static std::vector<pareto::BiPoint> toPoints(
       const std::vector<CpuDataPoint>& data);

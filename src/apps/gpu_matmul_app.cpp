@@ -96,16 +96,33 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
   return out;
 }
 
-std::vector<GpuDataPoint> GpuMatMulApp::runWorkload(int n, Rng& rng) const {
-  std::vector<GpuDataPoint> out;
-  for (const auto& cfg : enumerateConfigs(n)) {
-    Rng configRng = rng.fork(
-        (static_cast<std::uint64_t>(cfg.bs) << 32) ^
-        (static_cast<std::uint64_t>(cfg.g) << 16) ^
-        static_cast<std::uint64_t>(cfg.r) ^
-        (static_cast<std::uint64_t>(cfg.n) << 40));
-    out.push_back(runConfig(cfg, configRng));
+std::uint64_t GpuMatMulApp::forkSalt(const hw::MatMulConfig& cfg) {
+  std::uint64_t h = mix64(0, static_cast<std::uint64_t>(cfg.n));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.bs));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.g));
+  h = mix64(h, static_cast<std::uint64_t>(cfg.r));
+  return h;
+}
+
+std::vector<GpuDataPoint> GpuMatMulApp::runWorkload(int n, Rng& rng,
+                                                    ThreadPool* pool) const {
+  const std::vector<hw::MatMulConfig> configs = enumerateConfigs(n);
+  std::vector<GpuDataPoint> out(configs.size());
+  // Each slot is owned by exactly one index and each config draws only
+  // from its own forked stream (fork() is const and reads just the
+  // seed), so execution order cannot affect the result.
+  const auto evalOne = [&](std::size_t i) {
+    Rng configRng = rng.fork(forkSalt(configs[i]));
+    out[i] = runConfig(configs[i], configRng);
+  };
+  if (pool == nullptr || configs.size() < 2) {
+    for (std::size_t i = 0; i < configs.size(); ++i) evalOne(i);
+    return out;
   }
+  // Grain 1: one CI-looped measurement per config dwarfs scheduling
+  // overhead, and fine grains load-balance the uneven repetition counts.
+  obs::Span span("study/parallel_eval");
+  pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
   return out;
 }
 

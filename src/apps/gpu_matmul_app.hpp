@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "hw/gpu_model.hpp"
 #include "pareto/point.hpp"
 #include "power/measurer.hpp"
@@ -66,9 +67,18 @@ class GpuMatMulApp {
   [[nodiscard]] GpuDataPoint runConfig(const hw::MatMulConfig& cfg,
                                        Rng& rng) const;
 
+  // Fork salt for a configuration's private RNG stream: every field is
+  // chained through mix64, so distinct (n, bs, g, r) tuples get
+  // distinct streams (the old shifted-XOR key collided for large R).
+  [[nodiscard]] static std::uint64_t forkSalt(const hw::MatMulConfig& cfg);
+
   // Run every configuration of a workload; returns points in
-  // enumeration order.
-  [[nodiscard]] std::vector<GpuDataPoint> runWorkload(int n, Rng& rng) const;
+  // enumeration order.  With a pool, configurations are evaluated in
+  // parallel; each draws from its own forked stream and writes only its
+  // own slot, so the result is bitwise-identical to the serial path
+  // for any pool size.  Safe to call from inside a task on `pool`.
+  [[nodiscard]] std::vector<GpuDataPoint> runWorkload(
+      int n, Rng& rng, ThreadPool* pool = nullptr) const;
 
   // Convert data points to bi-objective points (ids = indices).
   [[nodiscard]] static std::vector<pareto::BiPoint> toPoints(

@@ -39,4 +39,14 @@ class Rng {
 // splitmix64 mixing function; exposed for deterministic hashing needs.
 [[nodiscard]] std::uint64_t splitmix64(std::uint64_t x);
 
+// Chain a field into a fork-salt/hash accumulator.  Unlike shifting
+// fields into disjoint bit ranges and XORing (which collides as soon as
+// one field outgrows its range — e.g. large R in a (BS,G,R) key), each
+// field passes through the full-avalanche mixer, so any change to any
+// field changes the whole word.  Build multi-field salts as
+//   h = mix64(mix64(mix64(0, a), b), c)
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t h, std::uint64_t v) {
+  return splitmix64(h ^ splitmix64(v));
+}
+
 }  // namespace ep

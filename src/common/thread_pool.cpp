@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <exception>
+#include <memory>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -20,6 +21,9 @@ struct PoolMetrics {
   obs::Counter& busyNs;
   obs::Gauge& queueDepth;
   obs::Gauge& inFlight;
+  obs::Counter& parallelFors;
+  obs::Counter& parallelChunks;
+  obs::Gauge& parallelActive;
 
   static PoolMetrics& get() {
     static PoolMetrics m{
@@ -34,12 +38,75 @@ struct PoolMetrics {
             "Tasks enqueued and not yet picked up by a worker"),
         obs::Registry::global().gauge(
             "ep_threadpool_in_flight",
-            "Tasks submitted and not yet finished (queued + running)")};
+            "Tasks submitted and not yet finished (queued + running)"),
+        obs::Registry::global().counter(
+            "ep_threadpool_parallel_for_total",
+            "parallelFor/parallelMap invocations (all pools)"),
+        obs::Registry::global().counter(
+            "ep_threadpool_parallel_chunks_total",
+            "Chunks executed across all parallelFor invocations"),
+        obs::Registry::global().gauge(
+            "ep_threadpool_parallel_active",
+            "parallelFor calls currently executing (incl. nested)")};
     return m;
   }
 };
 
 }  // namespace
+
+// Per-call completion latch.  Held in a shared_ptr: a helper task that
+// wakes up after the caller already returned (every chunk claimed by
+// faster participants) must only touch memory it co-owns.
+struct ThreadPool::ParallelForState {
+  std::size_t begin = 0;
+  std::size_t grain = 1;
+  std::size_t n = 0;
+  std::size_t chunks = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+
+  std::atomic<std::size_t> next{0};  // next chunk index to claim
+  std::atomic<std::size_t> done{0};  // chunks finished (run or skipped)
+  std::atomic<bool> failed{false};
+
+  std::mutex mutex;
+  std::condition_variable cvDone;
+  std::exception_ptr firstError;
+};
+
+void ThreadPool::runChunks(ParallelForState& st) {
+  PoolMetrics& metrics = PoolMetrics::get();
+  for (;;) {
+    const std::size_t c = st.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= st.chunks) return;
+    // A claimed chunk always counts toward `done`, even when skipped
+    // after a failure — completion means "no chunk will run anymore",
+    // not "every index ran".
+    if (!st.failed.load(std::memory_order_relaxed)) {
+      const std::size_t lo = st.begin + c * st.grain;
+      const std::size_t hi = std::min(lo + st.grain, st.begin + st.n);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) {
+          if (st.failed.load(std::memory_order_relaxed)) break;
+          (*st.fn)(i);
+        }
+        metrics.parallelChunks.inc();
+      } catch (...) {
+        std::scoped_lock lock(st.mutex);
+        if (!st.failed.exchange(true, std::memory_order_relaxed)) {
+          st.firstError = std::current_exception();
+        }
+      }
+    }
+    // release pairs with the caller's acquire load of `done`, making
+    // fn's writes (and firstError) visible before the caller returns.
+    if (st.done.fetch_add(1, std::memory_order_acq_rel) + 1 == st.chunks) {
+      // Lock so the notify cannot slip between the waiter's predicate
+      // check and its wait — a lost wakeup would hang the caller.
+      std::scoped_lock lock(st.mutex);
+      st.cvDone.notify_all();
+    }
+  }
+}
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -119,36 +186,61 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::parallelFor(std::size_t begin, std::size_t end,
-                             const std::function<void(std::size_t)>& fn) {
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t grain) {
   if (begin >= end) return;
   const std::size_t n = end - begin;
-  const std::size_t chunks = std::min(n, size());
-  std::atomic<bool> failed{false};
-  std::exception_ptr firstError;
-  std::mutex errMutex;
+  if (grain == 0) {
+    // ~4 chunks per worker: enough slack for dynamic load balancing
+    // without drowning small ranges in scheduling overhead.
+    grain = std::max<std::size_t>(1, n / (4 * size()));
+  }
+  const std::size_t chunks = (n + grain - 1) / grain;
 
-  const std::size_t base = n / chunks;
-  const std::size_t rem = n % chunks;
-  std::size_t start = begin;
-  for (std::size_t c = 0; c < chunks; ++c) {
-    const std::size_t len = base + (c < rem ? 1 : 0);
-    const std::size_t lo = start;
-    const std::size_t hi = start + len;
-    start = hi;
-    submit([&, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) {
-          if (failed.load(std::memory_order_relaxed)) return;
-          fn(i);
-        }
-      } catch (...) {
-        std::scoped_lock lock(errMutex);
-        if (!failed.exchange(true)) firstError = std::current_exception();
-      }
+  PoolMetrics& metrics = PoolMetrics::get();
+  metrics.parallelFors.inc();
+
+  if (chunks == 1) {
+    // Serial fall-back: run inline.  Same contract as the parallel
+    // path — a throw at index i skips all remaining indices and the
+    // (first and only) error propagates to the caller.
+    metrics.parallelActive.add(1);
+    try {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+      metrics.parallelChunks.inc();
+    } catch (...) {
+      metrics.parallelActive.sub(1);
+      throw;
+    }
+    metrics.parallelActive.sub(1);
+    return;
+  }
+
+  auto st = std::make_shared<ParallelForState>();
+  st->begin = begin;
+  st->grain = grain;
+  st->n = n;
+  st->chunks = chunks;
+  st->fn = &fn;
+
+  metrics.parallelActive.add(1);
+  // The caller claims chunks too, so at most chunks-1 helpers can ever
+  // find work; capping at size() keeps the queue shallow.  If no worker
+  // is free (all parked in nested calls of their own) the caller simply
+  // drains the whole range itself — that is what makes nesting safe.
+  const std::size_t helpers = std::min(chunks - 1, size());
+  for (std::size_t h = 0; h < helpers; ++h) {
+    submit([st] { runChunks(*st); });
+  }
+  runChunks(*st);
+  {
+    std::unique_lock lock(st->mutex);
+    st->cvDone.wait(lock, [&] {
+      return st->done.load(std::memory_order_acquire) == st->chunks;
     });
   }
-  wait();
-  if (failed && firstError) std::rethrow_exception(firstError);
+  metrics.parallelActive.sub(1);
+  if (st->firstError) std::rethrow_exception(st->firstError);
 }
 
 }  // namespace ep

@@ -1,9 +1,17 @@
-// A small fixed-size thread pool with a parallel-for helper.
+// A small fixed-size thread pool with nested-safe parallel-for helpers.
 //
-// Used by the real compute substrates (epfft, epblas) and by the functional
-// CUDA-block executor.  Work items are plain std::function tasks; parallelFor
-// chunks an index range statically (the substrates are load-balanced by
-// construction, matching the paper's application design constraints).
+// Used by the real compute substrates (epfft, epblas), the functional
+// CUDA-block executor, and the parallel study engine (epapps/epcore via
+// the epserve broker).  Work items are plain std::function tasks.
+//
+// parallelFor is built on a per-call completion latch plus caller
+// work-participation: the calling thread claims and runs chunks itself
+// while pool workers help.  Because the caller never waits on *other*
+// callers' tasks (the old global-wait() hazard) and always makes
+// progress on its own chunks, parallelFor is safe to invoke from inside
+// a pool task — including on a pool whose every worker is itself inside
+// a parallelFor — and two concurrent parallelFor calls never observe
+// each other.
 #pragma once
 
 #include <condition_variable>
@@ -12,6 +20,7 @@
 #include <mutex>
 #include <queue>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace ep {
@@ -33,19 +42,49 @@ class ThreadPool {
   [[nodiscard]] std::size_t queueDepth() const;
   [[nodiscard]] std::size_t inFlight() const;
 
-  // Enqueue a task; tasks may not themselves block on the pool.
+  // Enqueue a task; tasks may not themselves block on the pool's
+  // wait(), but they MAY call parallelFor/parallelMap (nested-safe).
   void submit(std::function<void()> task);
 
-  // Block until all submitted tasks have completed.
+  // Block until all submitted tasks have completed.  Global: waits on
+  // every caller's tasks, so never call it from inside a pool task.
   void wait();
 
-  // Run fn(i) for i in [begin, end), statically chunked over the pool,
-  // and wait for completion.  Exceptions from fn propagate (first one wins).
+  // Run fn(i) for i in [begin, end) and wait for completion.  The range
+  // is split into chunks of `grain` consecutive indices (grain == 0
+  // picks a default that yields ~4 chunks per worker); chunks are
+  // claimed dynamically by pool workers AND by the calling thread.
+  //
+  // Error contract (identical on the parallel and the serial fall-back
+  // path, where "serial" means a single chunk run inline):
+  //   * the FIRST error recorded wins and is rethrown to the caller;
+  //   * once any chunk has failed, remaining chunks are short-circuited:
+  //     unclaimed chunks are skipped entirely and in-progress chunks
+  //     stop before their next index.
+  // Results must not depend on chunk execution order: fn(i) may only
+  // write state owned exclusively by index i (this is what makes
+  // parallel study evaluation bitwise-identical to serial).
   void parallelFor(std::size_t begin, std::size_t end,
-                   const std::function<void(std::size_t)>& fn);
+                   const std::function<void(std::size_t)>& fn,
+                   std::size_t grain = 0);
+
+  // parallelFor producing a value per index, in index order.  T must be
+  // default-constructible; fn(i) runs under the parallelFor contract.
+  template <typename T, typename Fn>
+  [[nodiscard]] std::vector<T> parallelMap(std::size_t n, Fn&& fn,
+                                           std::size_t grain = 0) {
+    std::vector<T> out(n);
+    parallelFor(
+        0, n, [&](std::size_t i) { out[i] = fn(i); }, grain);
+    return out;
+  }
 
  private:
+  struct ParallelForState;
+
   void workerLoop();
+  // Claim-and-run loop shared by the caller and the helper tasks.
+  static void runChunks(ParallelForState& st);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;

@@ -10,14 +10,14 @@ namespace ep::core {
 CpuEpStudy::CpuEpStudy(apps::CpuDgemmApp app) : app_(std::move(app)) {}
 
 CpuWorkloadResult CpuEpStudy::runWorkload(int n, hw::BlasVariant variant,
-                                          Rng& rng) const {
+                                          Rng& rng, ThreadPool* pool) const {
   obs::Span span("study/cpu_workload");
   CpuWorkloadResult r;
   r.n = n;
   r.variant = variant;
   {
     obs::Span appSpan("study/app_eval");
-    r.data = app_.runWorkload(n, variant, rng);
+    r.data = app_.runWorkload(n, variant, rng, pool);
   }
   EP_REQUIRE(!r.data.empty(), "no runnable configurations for workload");
   obs::Span frontSpan("study/front_construction");

@@ -34,9 +34,12 @@ class CpuEpStudy {
 
   [[nodiscard]] const apps::CpuDgemmApp& app() const { return app_; }
 
+  // With a pool, the configuration space is measured in parallel with
+  // bitwise-identical results (see CpuDgemmApp::runWorkload).
   [[nodiscard]] CpuWorkloadResult runWorkload(int n,
                                               hw::BlasVariant variant,
-                                              Rng& rng) const;
+                                              Rng& rng,
+                                              ThreadPool* pool = nullptr) const;
 
  private:
   apps::CpuDgemmApp app_;

@@ -10,7 +10,8 @@ namespace ep::core {
 
 GpuEpStudy::GpuEpStudy(apps::GpuMatMulApp app) : app_(std::move(app)) {}
 
-WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng) const {
+WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng,
+                                       ThreadPool* pool) const {
   static obs::Counter& workloads = obs::Registry::global().counter(
       "ep_study_workloads_total", "Workload studies executed by GpuEpStudy");
   obs::Span span("study/workload");
@@ -21,7 +22,7 @@ WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng) const {
     // The expensive phase: every launchable configuration through the
     // model (and, with the meter on, the measurement protocol).
     obs::Span appSpan("study/app_eval");
-    r.data = app_.runWorkload(n, rng);
+    r.data = app_.runWorkload(n, rng, pool);
   }
   EP_REQUIRE(!r.data.empty(), "no launchable configurations for workload");
   {
@@ -38,13 +39,21 @@ WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng) const {
 }
 
 std::vector<WorkloadResult> GpuEpStudy::runSweep(const std::vector<int>& sizes,
-                                                 Rng& rng) const {
-  std::vector<WorkloadResult> out;
-  out.reserve(sizes.size());
-  for (int n : sizes) {
-    Rng nRng = rng.fork(static_cast<std::uint64_t>(n) * 0x9E37ULL);
-    out.push_back(runWorkload(n, nRng));
+                                                 Rng& rng,
+                                                 ThreadPool* pool) const {
+  std::vector<WorkloadResult> out(sizes.size());
+  const auto evalOne = [&](std::size_t i) {
+    Rng nRng = rng.fork(static_cast<std::uint64_t>(sizes[i]) * 0x9E37ULL);
+    out[i] = runWorkload(sizes[i], nRng, pool);
+  };
+  if (pool == nullptr || sizes.size() < 2) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) evalOne(i);
+    return out;
   }
+  // Each workload nests its own parallelFor over configurations on the
+  // same pool; caller work-participation keeps that deadlock-free.
+  obs::Span span("study/parallel_eval");
+  pool->parallelFor(0, sizes.size(), evalOne, /*grain=*/1);
   return out;
 }
 

@@ -42,30 +42,69 @@ std::vector<BiPoint> paretoFront(const std::vector<BiPoint>& points) {
   return front;
 }
 
-std::vector<std::vector<BiPoint>> nonDominatedSort(std::vector<BiPoint> points) {
+namespace {
+
+// Sort-based front peeling (Jensen's 2-D sweep), O(n log n) total and
+// O(n log k) when capped at maxLevels fronts.
+//
+// After sortByTime, every already-placed point precedes the current
+// point p in (time, energy, configId) order, so whether a front
+// dominates p is decided by that front's TAIL (its last appended
+// member, which has the front's max time and min energy):
+//   tail dominates p  <=>  tail.energy < p.energy
+//                          || (tail.energy == p.energy
+//                              && tail.time < p.time)
+// (equal time and equal energy are mutually non-dominating, which is
+// how duplicate-objective points all land on the same front).  The
+// predicate is monotone over front levels — if front f's tail does not
+// dominate p, no deeper front's tail does — so the target front is
+// found by binary search, and p is appended to the first front whose
+// tail does not dominate it.
+//
+// Capping at maxLevels is exact for the kept fronts: a point deeper
+// than maxLevels can never become the tail of a tracked front, so
+// discarding it cannot change how later points are placed.
+std::vector<std::vector<BiPoint>> peelFronts(std::vector<BiPoint> points,
+                                             std::size_t maxLevels) {
+  sortByTime(points);
   std::vector<std::vector<BiPoint>> fronts;
-  while (!points.empty()) {
-    std::vector<BiPoint> front = paretoFront(points);
-    // Remove the front members from the pool by configId + objectives.
-    auto inFront = [&front](const BiPoint& p) {
-      return std::any_of(front.begin(), front.end(), [&p](const BiPoint& f) {
-        return f.configId == p.configId && f.time == p.time &&
-               f.energy == p.energy;
-      });
-    };
-    points.erase(std::remove_if(points.begin(), points.end(), inFront),
-                 points.end());
-    fronts.push_back(std::move(front));
+  for (auto& p : points) {
+    std::size_t lo = 0;
+    std::size_t hi = fronts.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      const BiPoint& tail = fronts[mid].back();
+      const bool tailDominates =
+          tail.energy < p.energy ||
+          (tail.energy == p.energy && tail.time < p.time);
+      if (tailDominates) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    if (lo == fronts.size()) {
+      if (fronts.size() == maxLevels) continue;  // deeper than we track
+      fronts.emplace_back();
+    }
+    fronts[lo].push_back(std::move(p));
   }
   return fronts;
+}
+
+}  // namespace
+
+std::vector<std::vector<BiPoint>> nonDominatedSort(std::vector<BiPoint> points) {
+  return peelFronts(std::move(points),
+                    std::numeric_limits<std::size_t>::max());
 }
 
 std::vector<BiPoint> localFront(const std::vector<BiPoint>& points,
                                 std::size_t k) {
   EP_REQUIRE(k >= 1, "front levels are 1-based");
-  const auto fronts = nonDominatedSort(points);
+  auto fronts = peelFronts(points, k);
   if (k > fronts.size()) return {};
-  return fronts[k - 1];
+  return std::move(fronts[k - 1]);
 }
 
 bool isValidFront(const std::vector<BiPoint>& front,

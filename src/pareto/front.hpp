@@ -19,12 +19,14 @@ namespace ep::pareto {
 
 // Non-dominated sorting: fronts[0] is the global front, fronts[1] the
 // front of what remains after removing fronts[0], and so on.  Every input
-// point appears in exactly one front.
+// point appears in exactly one front, each front sorted by ascending
+// time (energy, configId tie-breaks).  O(n log n) sort-based sweep.
 [[nodiscard]] std::vector<std::vector<BiPoint>> nonDominatedSort(
     std::vector<BiPoint> points);
 
 // Level-k local front (k >= 1): nonDominatedSort(points)[k-1]; empty
-// vector if fewer than k fronts exist.
+// vector if fewer than k fronts exist.  Peels only the first k levels
+// (O(n log k)) instead of sorting the whole cloud.
 [[nodiscard]] std::vector<BiPoint> localFront(
     const std::vector<BiPoint>& points, std::size_t k);
 

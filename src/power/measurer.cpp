@@ -1,5 +1,7 @@
 #include "power/measurer.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "obs/trace.hpp"
 
@@ -20,13 +22,21 @@ Watts EnergyMeasurer::calibrateBasePower(const WattsUpMeter& meter,
 EnergyReading EnergyMeasurer::measureOnce(const ProfilePowerSource& profile,
                                           Seconds executionTime, Rng& rng,
                                           Seconds tailWindow) const {
+  PowerTrace scratch;
+  return measureOnceInto(profile, executionTime, rng, tailWindow, scratch);
+}
+
+EnergyReading EnergyMeasurer::measureOnceInto(const ProfilePowerSource& profile,
+                                              Seconds executionTime, Rng& rng,
+                                              Seconds tailWindow,
+                                              PowerTrace& trace) const {
   EP_REQUIRE(executionTime.value() > 0.0, "execution time must be positive");
   EP_REQUIRE(tailWindow.value() >= 0.0, "tail window must be >= 0");
   // The measurement window covers the execution plus any power tail; the
   // meter keeps recording until node power has returned to base, exactly
   // as HCLWattsUp does when it waits for the meter to settle.
   const Seconds window = executionTime + tailWindow;
-  const PowerTrace trace = meter_.record(profile, window, rng);
+  meter_.recordInto(profile, window, rng, trace);
   EnergyReading r;
   // Execution time is timed on-device (cudaEvent-style), not by the
   // meter; model its sub-millisecond jitter.
@@ -44,8 +54,15 @@ MeasuredEnergy EnergyMeasurer::measure(
     Seconds tailWindow, const stats::MeasurementOptions& options) const {
   const stats::MeasurementProtocol protocol(options);
   std::vector<EnergyReading> readings;
+  // Typical metered configs converge well before 4x the minimum; the
+  // reserve avoids the first few reallocations, and the scratch trace
+  // makes the per-repetition recording allocation-free after warm-up.
+  readings.reserve(std::min(options.maxRepetitions,
+                            options.minRepetitions * 4));
+  PowerTrace scratch;
   auto observeEnergy = [&]() {
-    readings.push_back(measureOnce(profile, executionTime, rng, tailWindow));
+    readings.push_back(
+        measureOnceInto(profile, executionTime, rng, tailWindow, scratch));
     return readings.back().dynamicEnergy.value();
   };
   MeasuredEnergy out;

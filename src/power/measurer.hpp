@@ -62,6 +62,12 @@ class EnergyMeasurer {
   [[nodiscard]] Watts basePower() const { return basePower_; }
 
  private:
+  // measureOnce with a caller-owned scratch trace so the CI repetition
+  // loop reuses one sample buffer instead of allocating per repetition.
+  [[nodiscard]] EnergyReading measureOnceInto(
+      const ProfilePowerSource& profile, Seconds executionTime, Rng& rng,
+      Seconds tailWindow, PowerTrace& scratch) const;
+
   WattsUpMeter meter_;
   Watts basePower_;
 };

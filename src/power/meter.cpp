@@ -15,10 +15,18 @@ WattsUpMeter::WattsUpMeter(MeterOptions options) : options_(options) {
 
 PowerTrace WattsUpMeter::record(const PowerSource& source, Seconds duration,
                                 Rng& rng) const {
+  PowerTrace trace;
+  recordInto(source, duration, rng, trace);
+  return trace;
+}
+
+void WattsUpMeter::recordInto(const PowerSource& source, Seconds duration,
+                              Rng& rng, PowerTrace& trace) const {
   EP_REQUIRE(duration.value() > 0.0, "record duration must be positive");
   const double dt = options_.sampleInterval.value();
   double t = options_.randomPhase ? rng.uniform(0.0, dt) : 0.0;
-  PowerTrace trace;
+  trace.clear();
+  trace.reserve(static_cast<std::size_t>(duration.value() / dt) + 2);
   // Always bracket the window with a sample at t=0 and t=duration so
   // integration windows inside [0, duration] are well defined.
   auto sampleAt = [&](double time) {
@@ -40,7 +48,6 @@ PowerTrace WattsUpMeter::record(const PowerSource& source, Seconds duration,
     t += dt;
   }
   if (trace.empty() || trace.endTime() < duration) sampleAt(duration.value());
-  return trace;
 }
 
 }  // namespace ep::power

@@ -33,6 +33,13 @@ class WattsUpMeter {
   [[nodiscard]] PowerTrace record(const PowerSource& source,
                                   Seconds duration, Rng& rng) const;
 
+  // Same recording, but into a caller-owned trace (cleared first, its
+  // sample buffer reused).  Allocation-free once the buffer has grown
+  // to the window size — the CI repetition loop calls this hundreds of
+  // times per configuration.
+  void recordInto(const PowerSource& source, Seconds duration, Rng& rng,
+                  PowerTrace& out) const;
+
   [[nodiscard]] const MeterOptions& options() const { return options_; }
 
  private:

@@ -23,6 +23,12 @@ class PowerTrace {
 
   void append(PowerSample s);
 
+  // Drop all samples but keep the capacity: lets the measurement loop
+  // reuse one trace buffer across CI repetitions instead of allocating
+  // a fresh vector per measureOnce.
+  void clear() { samples_.clear(); }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+
   [[nodiscard]] const std::vector<PowerSample>& samples() const {
     return samples_;
   }

@@ -329,8 +329,11 @@ Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
   std::exception_ptr err;
   try {
     obs::Span span("serve/engine_evaluate");
+    // This thread is itself a pool worker; handing the pool to the
+    // engine lets idle workers help with the study's configuration
+    // loop (nested parallelFor — safe since the caller participates).
     result = std::make_shared<const core::WorkloadResult>(
-        engine_->evaluate(device, n));
+        engine_->evaluate(device, n, pool_.get()));
   } catch (...) {
     err = std::current_exception();
   }

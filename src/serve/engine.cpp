@@ -71,15 +71,18 @@ std::uint64_t EpStudyEngine::tuningHash(Device device) const {
   return device == Device::P100 ? p100Hash_ : k40cHash_;
 }
 
-core::WorkloadResult EpStudyEngine::evaluate(Device device, int n) const {
+core::WorkloadResult EpStudyEngine::evaluate(Device device, int n,
+                                             ThreadPool* pool) const {
   const core::GpuEpStudy& study =
       device == Device::P100 ? *p100_ : *k40c_;
   // Per-(device, n) stream: results are independent of request order,
-  // which is what makes them cacheable and coalescable.
+  // which is what makes them cacheable and coalescable.  The parallel
+  // path is bitwise-identical to serial, so the pool (or its size)
+  // never leaks into the cached result.
   Rng rng = Rng(options_.seed)
                 .fork(mix(static_cast<std::uint64_t>(device) + 1,
                           static_cast<std::uint64_t>(n)));
-  return study.runWorkload(n, rng);
+  return study.runWorkload(n, rng, pool);
 }
 
 }  // namespace ep::serve

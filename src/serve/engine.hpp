@@ -32,9 +32,13 @@ class TuningEngine {
 
   // Run the full configuration-space study for one workload.  Expensive
   // (the service hot path); must be thread-safe and deterministic per
-  // (device, n).  Throws ep::EpError on unlaunchable workloads.
-  [[nodiscard]] virtual core::WorkloadResult evaluate(Device device,
-                                                      int n) const = 0;
+  // (device, n) — including pool == nullptr vs any pool size, so the
+  // cache cannot observe how a result was computed.  The broker passes
+  // its own pool: evaluate() runs inside a pool task, which is exactly
+  // the nested shape ThreadPool::parallelFor is built to survive.
+  // Throws ep::EpError on unlaunchable workloads.
+  [[nodiscard]] virtual core::WorkloadResult evaluate(
+      Device device, int n, ThreadPool* pool = nullptr) const = 0;
 };
 
 struct EpStudyEngineOptions {
@@ -51,8 +55,8 @@ class EpStudyEngine : public TuningEngine {
   explicit EpStudyEngine(EpStudyEngineOptions options = {});
 
   [[nodiscard]] std::uint64_t tuningHash(Device device) const override;
-  [[nodiscard]] core::WorkloadResult evaluate(Device device,
-                                              int n) const override;
+  [[nodiscard]] core::WorkloadResult evaluate(
+      Device device, int n, ThreadPool* pool = nullptr) const override;
 
   [[nodiscard]] const EpStudyEngineOptions& options() const {
     return options_;

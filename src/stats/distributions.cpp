@@ -9,6 +9,20 @@ namespace ep::stats {
 
 namespace {
 
+// glibc's lgamma() writes the global `signgam`, so concurrent calls are
+// a data race once config evaluations run on the thread pool.  Every
+// call site here passes a strictly positive argument, so the sign is
+// always +1 and the reentrant variant (which produces bit-identical
+// values and writes the sign to a local) is a drop-in replacement.
+double logGamma(double x) {
+#if defined(__GLIBC__)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
+
 // Continued-fraction evaluation for the incomplete beta function
 // (Lentz's method, as in Numerical Recipes' betacf).
 double betaContinuedFraction(double a, double b, double x) {
@@ -58,7 +72,7 @@ double gammaSeries(double a, double x) {
     del *= x / ap;
     sum += del;
     if (std::fabs(del) < std::fabs(sum) * kEps) {
-      return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return sum * std::exp(-x + a * std::log(x) - logGamma(a));
     }
   }
   throw ep::ConvergenceError("incomplete gamma series diverged");
@@ -84,7 +98,7 @@ double gammaContinuedFraction(double a, double x) {
     const double del = d * c;
     h *= del;
     if (std::fabs(del - 1.0) < kEps) {
-      return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+      return h * std::exp(-x + a * std::log(x) - logGamma(a));
     }
   }
   throw ep::ConvergenceError("incomplete gamma continued fraction diverged");
@@ -97,9 +111,8 @@ double regularizedIncompleteBeta(double a, double b, double x) {
   EP_REQUIRE(x >= 0.0 && x <= 1.0, "beta argument must be in [0,1]");
   if (x == 0.0) return 0.0;
   if (x == 1.0) return 1.0;
-  const double lnFront = std::lgamma(a + b) - std::lgamma(a) -
-                         std::lgamma(b) + a * std::log(x) +
-                         b * std::log1p(-x);
+  const double lnFront = logGamma(a + b) - logGamma(a) - logGamma(b) +
+                         a * std::log(x) + b * std::log1p(-x);
   const double front = std::exp(lnFront);
   if (x < (a + 1.0) / (a + b + 2.0)) {
     return front * betaContinuedFraction(a, b, x) / a;

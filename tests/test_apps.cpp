@@ -3,6 +3,8 @@
 // application, including the full measurement pipeline.
 #include <gtest/gtest.h>
 
+#include <set>
+#include <string>
 #include <vector>
 
 #include "apps/cpu_dgemm_app.hpp"
@@ -11,6 +13,8 @@
 #include "apps/matmul_kernel.hpp"
 #include "blas/dgemm.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/study.hpp"
 #include "cudasim/executor.hpp"
 #include "pareto/tradeoff.hpp"
 
@@ -360,6 +364,129 @@ TEST_P(SeedSweep, P100HeadlineRobustToMeterNoise) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
                          ::testing::Values(11u, 222u, 3333u, 44444u));
+
+// --- fork-salt regressions ---
+
+// The old fork key shifted bs/g/r/n into (overlapping) bit ranges and
+// XORed them: for totalProducts = 2^19 the configs (G=2, R=2^18) and
+// (G=4, R=2^17) produced the SAME key, so two different configurations
+// drew identical meter noise.  The mix64 chain must separate them.
+TEST(GpuApp, ForkSaltsDistinctWhereOldXorKeyCollided) {
+  const auto oldKey = [](const hw::MatMulConfig& cfg) {
+    return (static_cast<std::uint64_t>(cfg.bs) << 32) ^
+           (static_cast<std::uint64_t>(cfg.g) << 16) ^
+           static_cast<std::uint64_t>(cfg.r) ^
+           (static_cast<std::uint64_t>(cfg.n) << 40);
+  };
+  const hw::MatMulConfig a{10240, 32, 2, 1 << 18};
+  const hw::MatMulConfig b{10240, 32, 4, 1 << 17};
+  ASSERT_EQ(oldKey(a), oldKey(b)) << "collision premise no longer holds";
+  EXPECT_NE(GpuMatMulApp::forkSalt(a), GpuMatMulApp::forkSalt(b));
+}
+
+TEST(GpuApp, ForkSaltsPairwiseDistinctAcrossConfigSpace) {
+  const GpuMatMulApp app = makeApp();
+  std::set<std::uint64_t> salts;
+  std::size_t configs = 0;
+  for (int n : {8192, 10240, 18432}) {
+    for (const auto& cfg : app.enumerateConfigs(n)) {
+      salts.insert(GpuMatMulApp::forkSalt(cfg));
+      ++configs;
+    }
+  }
+  EXPECT_EQ(salts.size(), configs);
+}
+
+TEST(CpuApp, ForkSaltsPairwiseDistinctAcrossConfigSpace) {
+  CpuDgemmOptions opts;
+  opts.useMeter = false;
+  const CpuDgemmApp app(hw::CpuModel(hw::haswellE52670v3()), opts);
+  std::set<std::uint64_t> salts;
+  std::size_t configs = 0;
+  for (const auto variant :
+       {hw::BlasVariant::IntelMklLike, hw::BlasVariant::OpenBlasLike}) {
+    for (const auto& cfg : app.enumerateConfigs(512, variant)) {
+      salts.insert(CpuDgemmApp::forkSalt(cfg));
+      ++configs;
+    }
+  }
+  EXPECT_EQ(salts.size(), configs);
+}
+
+// --- parallel == serial determinism ---
+
+void expectSameGpuData(const std::vector<GpuDataPoint>& a,
+                       const std::vector<GpuDataPoint>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time.value(), b[i].time.value()) << "i=" << i;
+    EXPECT_DOUBLE_EQ(a[i].dynamicEnergy.value(), b[i].dynamicEnergy.value())
+        << "i=" << i;
+    EXPECT_EQ(a[i].repetitions, b[i].repetitions) << "i=" << i;
+  }
+}
+
+TEST(GpuStudyIntegration, ParallelWorkloadBitwiseEqualsSerial) {
+  GpuMatMulOptions opts;
+  opts.useMeter = true;
+  const GpuMatMulApp app(hw::GpuModel(hw::nvidiaP100Pcie()), opts);
+  Rng rng(7);
+  const auto serial = app.runWorkload(8192, rng);
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    Rng prng(7);
+    const auto parallel = app.runWorkload(8192, prng, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    expectSameGpuData(parallel, serial);
+  }
+}
+
+TEST(GpuStudyIntegration, ParallelSweepBitwiseEqualsSerial) {
+  GpuMatMulOptions opts;
+  opts.useMeter = true;
+  core::GpuEpStudy study(GpuMatMulApp(hw::GpuModel(hw::nvidiaK40c()), opts));
+  const std::vector<int> sizes{8704, 10240};
+  Rng rng(7);
+  const auto serial = study.runSweep(sizes, rng);
+  for (std::size_t threads : {1u, 4u, 8u}) {
+    // The sweep nests: parallel over sizes AND parallel over configs,
+    // all on one pool.
+    ThreadPool pool(threads);
+    Rng prng(7);
+    const auto parallel = study.runSweep(sizes, prng, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_EQ(parallel[i].n, serial[i].n);
+      expectSameGpuData(parallel[i].data, serial[i].data);
+      ASSERT_EQ(parallel[i].globalFront.size(), serial[i].globalFront.size());
+      ASSERT_EQ(parallel[i].localFront.size(), serial[i].localFront.size());
+    }
+  }
+}
+
+TEST(CpuApp, ParallelWorkloadBitwiseEqualsSerial) {
+  CpuDgemmOptions opts;
+  opts.useMeter = true;
+  const CpuDgemmApp app(hw::CpuModel(hw::haswellE52670v3()), opts);
+  Rng rng(9);
+  const auto serial = app.runWorkload(512, hw::BlasVariant::IntelMklLike, rng);
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Rng prng(9);
+    const auto parallel =
+        app.runWorkload(512, hw::BlasVariant::IntelMklLike, prng, &pool);
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < parallel.size(); ++i) {
+      EXPECT_DOUBLE_EQ(parallel[i].time.value(), serial[i].time.value());
+      EXPECT_DOUBLE_EQ(parallel[i].dynamicEnergy.value(),
+                       serial[i].dynamicEnergy.value());
+      EXPECT_DOUBLE_EQ(parallel[i].avgUtilizationPct,
+                       serial[i].avgUtilizationPct);
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ep::apps

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <future>
+#include <stdexcept>
 #include <set>
 #include <sstream>
 #include <thread>
@@ -317,6 +319,122 @@ TEST(ThreadPool, QueueDepthAndInFlightObservable) {
   EXPECT_EQ(pool.queueDepth(), 0u);
   EXPECT_EQ(pool.inFlight(), 0u);
   EXPECT_EQ(tasks.value(), tasksBefore + 4);
+}
+
+TEST(ThreadPool, NestedParallelForFromPoolTaskCompletes) {
+  // The old parallelFor waited on the pool's *global* task count, so a
+  // parallelFor issued from inside a pool task waited on itself: with
+  // one worker this deadlocked deterministically.  The per-call latch
+  // plus caller participation must finish the inner loop regardless.
+  ThreadPool pool(1);
+  std::atomic<std::size_t> inner{0};
+  std::promise<void> outerDone;
+  pool.submit([&] {
+    pool.parallelFor(0, 64, [&](std::size_t) { inner.fetch_add(1); });
+    outerDone.set_value();
+  });
+  auto fut = outerDone.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(inner.load(), 64u);
+}
+
+TEST(ThreadPool, DeeplyNestedParallelForCompletes) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> leaves{0};
+  pool.parallelFor(0, 4, [&](std::size_t) {
+    pool.parallelFor(0, 4, [&](std::size_t) {
+      pool.parallelFor(0, 4, [&](std::size_t) { leaves.fetch_add(1); });
+    });
+  });
+  EXPECT_EQ(leaves.load(), 64u);
+}
+
+TEST(ThreadPool, ConcurrentParallelForCallsDoNotInterfere) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> a{0};
+  std::atomic<std::size_t> b{0};
+  std::thread other(
+      [&] { pool.parallelFor(0, 500, [&](std::size_t) { a.fetch_add(1); }); });
+  pool.parallelFor(0, 500, [&](std::size_t) { b.fetch_add(1); });
+  other.join();
+  EXPECT_EQ(a.load(), 500u);
+  EXPECT_EQ(b.load(), 500u);
+}
+
+TEST(ThreadPool, SerialPathShortCircuitsAfterFirstError) {
+  // grain >= n forces the single-chunk inline path: the throw at i == 0
+  // must skip every later index, not just propagate at the end.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.parallelFor(
+                   0, 100,
+                   [&](std::size_t i) {
+                     if (i == 0) throw std::invalid_argument("first");
+                     executed.fetch_add(1);
+                   },
+                   /*grain=*/100),
+               std::invalid_argument);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, ParallelPathShortCircuitsAndKeepsFirstError) {
+  // Occupy the only worker so the caller claims every chunk in order;
+  // the failure at chunk 0 must skip all later chunks and the error
+  // that propagates is the first one recorded.
+  ThreadPool pool(1);
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  pool.submit([gate] { gate.wait(); });
+
+  std::atomic<int> executed{0};
+  try {
+    pool.parallelFor(
+        0, 64,
+        [&](std::size_t i) {
+          if (i == 0) throw std::out_of_range("chunk0");
+          executed.fetch_add(1);
+        },
+        /*grain=*/8);
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "chunk0");
+  }
+  EXPECT_EQ(executed.load(), 0);
+  release.set_value();
+  pool.wait();
+}
+
+TEST(ThreadPool, ExplicitGrainCoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  for (std::size_t grain : {1u, 3u, 7u, 50u, 1000u}) {
+    std::vector<std::atomic<int>> hits(101);
+    pool.parallelFor(
+        3, 104, [&](std::size_t i) { hits[i - 3].fetch_add(1); }, grain);
+    for (const auto& h : hits) ASSERT_EQ(h.load(), 1) << "grain=" << grain;
+  }
+}
+
+TEST(ThreadPool, ParallelMapPreservesIndexOrder) {
+  ThreadPool pool(4);
+  const std::vector<std::size_t> out =
+      pool.parallelMap<std::size_t>(257, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, ParallelMapFromPoolTask) {
+  ThreadPool pool(2);
+  std::promise<std::size_t> sum;
+  pool.submit([&] {
+    const auto v =
+        pool.parallelMap<std::size_t>(100, [](std::size_t i) { return i; });
+    std::size_t s = 0;
+    for (std::size_t x : v) s += x;
+    sum.set_value(s);
+  });
+  auto fut = sum.get_future();
+  ASSERT_EQ(fut.wait_for(std::chrono::seconds(30)), std::future_status::ready);
+  EXPECT_EQ(fut.get(), 4950u);
 }
 
 // --- mathutil ---

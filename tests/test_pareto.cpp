@@ -2,6 +2,7 @@
 // non-dominated sorting, hypervolume, and trade-off analysis.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -152,6 +153,111 @@ TEST(LocalFront, MissingLevelIsEmpty) {
 TEST(LocalFront, LevelZeroThrows) {
   const std::vector<BiPoint> pts{mk(1, 1)};
   EXPECT_THROW((void)localFront(pts, 0), PreconditionError);
+}
+
+// The pre-optimization quadratic peel (repeated paretoFront + erase),
+// kept here as the reference oracle for the O(n log n) sweep.
+std::vector<std::vector<BiPoint>> referenceNonDominatedSort(
+    std::vector<BiPoint> points) {
+  std::vector<std::vector<BiPoint>> fronts;
+  while (!points.empty()) {
+    std::vector<BiPoint> front = paretoFront(points);
+    auto inFront = [&front](const BiPoint& p) {
+      return std::any_of(front.begin(), front.end(), [&p](const BiPoint& f) {
+        return f.configId == p.configId && f.time == p.time &&
+               f.energy == p.energy;
+      });
+    };
+    points.erase(std::remove_if(points.begin(), points.end(), inFront),
+                 points.end());
+    fronts.push_back(std::move(front));
+  }
+  return fronts;
+}
+
+void expectSameFronts(const std::vector<std::vector<BiPoint>>& got,
+                      const std::vector<std::vector<BiPoint>>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t f = 0; f < got.size(); ++f) {
+    ASSERT_EQ(got[f].size(), want[f].size()) << "front " << f;
+    for (std::size_t i = 0; i < got[f].size(); ++i) {
+      EXPECT_EQ(got[f][i].configId, want[f][i].configId)
+          << "front " << f << " index " << i;
+      EXPECT_EQ(got[f][i].time, want[f][i].time);
+      EXPECT_EQ(got[f][i].energy, want[f][i].energy);
+    }
+  }
+}
+
+TEST(NonDominatedSort, MatchesReferenceOnRandomClouds) {
+  Rng rng(20260807);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<BiPoint> pts;
+    const int n = 1 + static_cast<int>(rng.uniformInt(0, 120));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                       static_cast<std::uint64_t>(i)));
+    }
+    const auto fronts = nonDominatedSort(pts);
+    expectSameFronts(fronts, referenceNonDominatedSort(pts));
+    for (std::size_t f = 0; f < fronts.size(); ++f) {
+      // Validity per level: mutually non-dominating, and nothing in
+      // this or any deeper front dominates a member.
+      std::vector<BiPoint> remaining;
+      for (std::size_t g = f; g < fronts.size(); ++g) {
+        remaining.insert(remaining.end(), fronts[g].begin(), fronts[g].end());
+      }
+      EXPECT_TRUE(isValidFront(fronts[f], remaining)) << "front " << f;
+    }
+  }
+}
+
+TEST(NonDominatedSort, MatchesReferenceWithDuplicateObjectives) {
+  // Coarse grids force ties in one or both objectives, including exact
+  // duplicate-objective points (mutually non-dominating — must land on
+  // the SAME front, in configId order).
+  Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<BiPoint> pts;
+    const int n = 1 + static_cast<int>(rng.uniformInt(0, 80));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(mk(static_cast<double>(rng.uniformInt(1, 4)),
+                       static_cast<double>(rng.uniformInt(1, 4)),
+                       static_cast<std::uint64_t>(i)));
+    }
+    const auto fronts = nonDominatedSort(pts);
+    expectSameFronts(fronts, referenceNonDominatedSort(pts));
+  }
+}
+
+TEST(NonDominatedSort, ExactDuplicatesShareAFront) {
+  const auto fronts = nonDominatedSort(
+      {mk(1, 1, 0), mk(1, 1, 1), mk(2, 2, 2), mk(2, 2, 3)});
+  ASSERT_EQ(fronts.size(), 2u);
+  EXPECT_EQ(fronts[0].size(), 2u);
+  EXPECT_EQ(fronts[1].size(), 2u);
+}
+
+TEST(LocalFront, EveryLevelMatchesFullSort) {
+  Rng rng(4242);
+  std::vector<BiPoint> pts;
+  for (int i = 0; i < 90; ++i) {
+    pts.push_back(mk(static_cast<double>(rng.uniformInt(1, 9)),
+                     static_cast<double>(rng.uniformInt(1, 9)),
+                     static_cast<std::uint64_t>(i)));
+  }
+  const auto fronts = nonDominatedSort(pts);
+  for (std::size_t k = 1; k <= fronts.size() + 2; ++k) {
+    const auto lf = localFront(pts, k);
+    if (k > fronts.size()) {
+      EXPECT_TRUE(lf.empty()) << "level " << k;
+      continue;
+    }
+    ASSERT_EQ(lf.size(), fronts[k - 1].size()) << "level " << k;
+    for (std::size_t i = 0; i < lf.size(); ++i) {
+      EXPECT_EQ(lf[i].configId, fronts[k - 1][i].configId);
+    }
+  }
 }
 
 // --- hypervolume ---

@@ -42,7 +42,9 @@ class FakeEngine : public TuningEngine {
     return 0xFA4Eu + static_cast<std::uint64_t>(d);
   }
 
-  core::WorkloadResult evaluate(Device d, int n) const override {
+  core::WorkloadResult evaluate(Device d, int n,
+                                ThreadPool* pool) const override {
+    lastPool_ = pool;
     {
       std::unique_lock lk(mu_);
       ++entered_;
@@ -81,6 +83,7 @@ class FakeEngine : public TuningEngine {
   }
 
   int calls() const { return calls_.load(std::memory_order_relaxed); }
+  ThreadPool* lastPool() const { return lastPool_; }
 
  private:
   bool gated_;
@@ -90,6 +93,7 @@ class FakeEngine : public TuningEngine {
   mutable int entered_ = 0;
   bool released_ = false;
   mutable std::atomic<int> calls_{0};
+  mutable std::atomic<ThreadPool*> lastPool_{nullptr};
 };
 
 TuneRequest tuneReq(int n, double budget = 0.5, double deadlineMs = 0.0,
@@ -225,6 +229,79 @@ TEST(Broker, SecondIdenticalRequestIsACacheHit) {
   EXPECT_EQ(m.studiesExecuted, 1u);
   EXPECT_EQ(m.completed, 2u);
   EXPECT_EQ(m.accepted, 2u);
+}
+
+TEST(Broker, PassesItsPoolToTheEngine) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+  ASSERT_EQ(broker.tune(tuneReq(42)).status, Status::Ok);
+  ASSERT_NE(engine->lastPool(), nullptr);
+  EXPECT_EQ(engine->lastPool()->size(), 2u);
+}
+
+// A study job that fans out on the broker's own pool — with the old
+// global-wait() parallelFor this was a guaranteed deadlock on a
+// single-worker broker (the worker waited on its own task).  The
+// per-call latch plus caller participation must complete it.
+class NestedParallelEngine : public TuningEngine {
+ public:
+  std::uint64_t tuningHash(Device d) const override {
+    return 0x4E57EDu + static_cast<std::uint64_t>(d);
+  }
+
+  core::WorkloadResult evaluate(Device d, int n,
+                                ThreadPool* pool) const override {
+    std::vector<double> times(64);
+    const auto fill = [&](std::size_t i) {
+      times[i] = 1.0 + 0.01 * static_cast<double>(i) +
+                 (d == Device::K40c ? 0.5 : 0.0);
+    };
+    if (pool != nullptr) {
+      pool->parallelFor(0, times.size(), fill);
+    } else {
+      for (std::size_t i = 0; i < times.size(); ++i) fill(i);
+    }
+    core::WorkloadResult r;
+    r.n = n;
+    for (std::size_t i = 0; i < times.size(); ++i) {
+      r.points.push_back(
+          mk(times[i], 10.0 - 0.1 * static_cast<double>(i), i));
+    }
+    r.globalFront = pareto::paretoFront(r.points);
+    r.localFront = pareto::localFront(r.points, 2);
+    r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+    if (!r.localFront.empty()) {
+      r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+    }
+    return r;
+  }
+};
+
+TEST(Broker, StudyJobUsingBrokerPoolCompletes) {
+  auto engine = std::make_shared<NestedParallelEngine>();
+  BrokerOptions opts;
+  opts.threads = 1;  // the deterministic-deadlock shape under the old impl
+  Broker broker(engine, opts);
+  const TuneResponse resp = broker.tune(tuneReq(512));
+  ASSERT_EQ(resp.status, Status::Ok);
+  EXPECT_FALSE(resp.recommendation.globalFront.empty());
+}
+
+TEST(Broker, ConcurrentStudyJobsUsingBrokerPoolComplete) {
+  auto engine = std::make_shared<NestedParallelEngine>();
+  BrokerOptions opts;
+  opts.threads = 4;
+  opts.queueCapacity = 64;
+  Broker broker(engine, opts);
+  std::vector<std::future<TuneResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    futures.push_back(broker.submitTune(
+        tuneReq(100 + i, 0.5, 0.0,
+                i % 2 == 0 ? Device::P100 : Device::K40c)));
+  }
+  for (auto& f : futures) EXPECT_EQ(f.get().status, Status::Ok);
 }
 
 TEST(Broker, DevicesDoNotShareCacheEntries) {

@@ -33,11 +33,15 @@ cmake -B build-tsan -S . \
   -DEPSIM_WERROR=ON \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs
+cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs \
+  test_apps
 # halt_on_error: any reported race fails the run, not just the exit
-# status of the last test.
+# status of the last test.  test_apps covers the parallel study engine
+# (pool-backed runWorkload/runSweep, nested parallelFor); test_serve
+# covers study jobs that re-enter the broker's own pool.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_apps
 
 echo "== ci.sh: all green =="

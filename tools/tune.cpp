@@ -15,8 +15,10 @@
 #include "apps/gpu_matmul_app.hpp"
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/study.hpp"
 #include <fstream>
+#include <memory>
 
 #include "hw/gpu_model.hpp"
 #include "hw/spec.hpp"
@@ -33,6 +35,10 @@ double miss(double value, double target, double weight) {
   return weight * rel * rel;
 }
 
+// Shared evaluation pool (--threads N); scores are identical with or
+// without it because the parallel study path is bitwise-deterministic.
+std::unique_ptr<ThreadPool> gPool;
+
 core::WorkloadResult runN(const hw::GpuSpec& spec, const hw::GpuTuning& t,
                           int n) {
   apps::GpuMatMulOptions fast;
@@ -40,7 +46,7 @@ core::WorkloadResult runN(const hw::GpuSpec& spec, const hw::GpuTuning& t,
   apps::GpuMatMulApp app(hw::GpuModel(spec, t), fast);
   core::GpuEpStudy study(app);
   Rng rng(1);
-  return study.runWorkload(n, rng);
+  return study.runWorkload(n, rng, gPool.get());
 }
 
 int perfOptimalBs(const core::WorkloadResult& r) {
@@ -220,10 +226,13 @@ int main(int argc, char** argv) {
   // Extract --trace <path> wherever it appears; the rest stays
   // positional.
   const char* tracePath = nullptr;
+  std::size_t threads = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     if (std::string_view(argv[i]) == "--trace" && i + 1 < argc) {
       tracePath = argv[++i];
+    } else if (std::string_view(argv[i]) == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
     } else {
       args.emplace_back(argv[i]);
     }
@@ -231,11 +240,15 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: tune {p100|k40c} [iterations] [--local]"
-                 " [--trace out.json]\n"
+                 " [--trace out.json] [--threads N]\n"
                  "  --local: hill-climb from the built-in defaults instead\n"
-                 "           of random search\n");
+                 "           of random search\n"
+                 "  --threads: evaluate each candidate's configuration\n"
+                 "           space on N pool threads (identical scores;\n"
+                 "           use the physical core count)\n");
     return 1;
   }
+  if (threads > 0) gPool = std::make_unique<ThreadPool>(threads);
   const std::string which = args[0];
   const int iterations = args.size() > 1 ? std::atoi(args[1].c_str()) : 2000;
   const bool isP100 = which == "p100";
