@@ -1,0 +1,138 @@
+// Microbenchmarks for the epfault robustness tiers.
+//
+// The acceptance bar (EXPERIMENTS.md): with every robustness knob off
+// the measurement path must be bit-identical to — and cost the same as
+// — the pre-robustness measurer, and the full robust stack (sanitize +
+// validate + MAD) on *clean* traces must stay within a few percent of
+// the baseline, so campaigns can leave hardening on unconditionally.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulty_meter.hpp"
+#include "power/measurer.hpp"
+#include "power/meter.hpp"
+#include "power/profile.hpp"
+
+namespace {
+
+using ep::Rng;
+using ep::Seconds;
+using ep::Watts;
+using ep::literals::operator""_s;
+using ep::literals::operator""_W;
+
+ep::power::MeterOptions meterOptions() {
+  ep::power::MeterOptions m;
+  m.sampleInterval = Seconds{0.25};
+  m.randomPhase = false;
+  return m;
+}
+
+ep::power::ProfilePowerSource benchProfile() {
+  ep::power::ProfilePowerSource p(90.0_W);
+  p.addSegment({0.0_s, 5.0_s, 80.0_W});  // 400 J dynamic
+  return p;
+}
+
+ep::power::RobustnessOptions fullRobustness() {
+  ep::power::RobustnessOptions r;
+  r.validation.enabled = true;
+  r.sanitizeSamples = true;
+  r.maxPlausibleWatts = 600.0;
+  r.rejectOutliers = true;
+  return r;
+}
+
+// Baseline: the full CI measurement protocol with robustness off.
+void BM_MeasureRobustnessOff(benchmark::State& state) {
+  const ep::power::EnergyMeasurer measurer(
+      ep::power::WattsUpMeter(meterOptions()), 90.0_W);
+  const auto profile = benchProfile();
+  Rng rng(0xBE7C4);
+  for (auto _ : state) {
+    const auto m = measurer.measure(profile, 5.0_s, rng, 1.0_s);
+    benchmark::DoNotOptimize(m.mean.dynamicEnergy.value());
+  }
+}
+BENCHMARK(BM_MeasureRobustnessOff);
+
+// Every recovery tier armed, fed clean traces: the price of leaving
+// hardening on when nothing is wrong.
+void BM_MeasureRobustnessOnCleanMeter(benchmark::State& state) {
+  const ep::power::EnergyMeasurer measurer(
+      ep::power::WattsUpMeter(meterOptions()), 90.0_W);
+  const auto profile = benchProfile();
+  const auto robustness = fullRobustness();
+  Rng rng(0xBE7C4);
+  for (auto _ : state) {
+    const auto m = measurer.measure(profile, 5.0_s, rng, 1.0_s, {},
+                                    robustness);
+    benchmark::DoNotOptimize(m.faults.recoveries());
+  }
+}
+BENCHMARK(BM_MeasureRobustnessOnCleanMeter);
+
+// Recording one window through the raw instrument...
+void BM_RecordRawMeter(benchmark::State& state) {
+  const ep::power::WattsUpMeter meter(meterOptions());
+  const auto profile = benchProfile();
+  Rng rng(0xBE7C4);
+  ep::power::PowerTrace trace;
+  for (auto _ : state) {
+    meter.recordInto(profile, 6.0_s, rng, trace);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_RecordRawMeter);
+
+// ...versus through a disabled FaultyMeter: the decorator must be a
+// pass-through (one branch) when no campaign is configured.
+void BM_RecordFaultyMeterDisabled(benchmark::State& state) {
+  const ep::fault::FaultyMeter meter(ep::power::WattsUpMeter(meterOptions()),
+                                     ep::fault::FaultInjectionOptions{});
+  const auto profile = benchProfile();
+  Rng rng(0xBE7C4);
+  ep::power::PowerTrace trace;
+  for (auto _ : state) {
+    meter.recordInto(profile, 6.0_s, rng, trace);
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_RecordFaultyMeterDisabled);
+
+// ...and with a live campaign, for context (forks a fault stream and
+// walks every sample; timed-out windows are part of the cost).
+void BM_RecordFaultyMeterCampaign(benchmark::State& state) {
+  const ep::fault::FaultyMeter meter(
+      ep::power::WattsUpMeter(meterOptions()),
+      ep::fault::FaultInjectionOptions::campaign(0.05));
+  const auto profile = benchProfile();
+  Rng rng(0xBE7C4);
+  ep::power::PowerTrace trace;
+  for (auto _ : state) {
+    try {
+      meter.recordInto(profile, 6.0_s, rng, trace);
+    } catch (const ep::power::MeterTimeoutError&) {
+      // ~1.25 % of windows: the campaign's whole-window timeout.
+    }
+    benchmark::DoNotOptimize(trace.size());
+  }
+}
+BENCHMARK(BM_RecordFaultyMeterCampaign);
+
+// The per-sample tier's fast path: scanning a clean trace must be one
+// pass with no copy (the early return).
+void BM_SanitizeCleanTrace(benchmark::State& state) {
+  const ep::power::WattsUpMeter meter(meterOptions());
+  const auto profile = benchProfile();
+  Rng rng(0xBE7C4);
+  ep::power::PowerTrace trace;
+  meter.recordInto(profile, 6.0_s, rng, trace);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ep::power::sanitizeTrace(trace, 600.0));
+  }
+}
+BENCHMARK(BM_SanitizeCleanTrace);
+
+}  // namespace

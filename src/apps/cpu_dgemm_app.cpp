@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <string>
+#include <utility>
 
+#include "apps/detail.hpp"
 #include "common/error.hpp"
 #include "blas/dgemm.hpp"
 #include "common/mathutil.hpp"
@@ -82,10 +84,12 @@ CpuDataPoint CpuDgemmApp::runConfig(const hw::CpuDgemmConfig& cfg,
 
   power::ProfilePowerSource profile(model_.spec().nodeIdlePower);
   profile.addSegment({Seconds{0.0}, out.model.time, out.model.dynamicPower});
-  const power::WattsUpMeter meter(options_.meter);
-  const power::EnergyMeasurer measurer(meter, model_.spec().nodeIdlePower);
-  const power::MeasuredEnergy measured = measurer.measure(
-      profile, out.model.time, rng, Seconds{0.0}, options_.measurement);
+  const power::EnergyMeasurer measurer(
+      detail::makeMeter(options_.meter, options_.faults),
+      model_.spec().nodeIdlePower);
+  const power::MeasuredEnergy measured =
+      measurer.measure(profile, out.model.time, rng, Seconds{0.0},
+                       options_.measurement, options_.robustness);
   out.time = measured.mean.executionTime;
   out.dynamicEnergy = measured.mean.dynamicEnergy;
   out.dynamicPower = out.dynamicEnergy / out.time;
@@ -101,22 +105,51 @@ std::uint64_t CpuDgemmApp::forkSalt(const hw::CpuDgemmConfig& cfg) {
   return h;
 }
 
-std::vector<CpuDataPoint> CpuDgemmApp::runWorkload(int n,
-                                                   hw::BlasVariant variant,
-                                                   Rng& rng,
-                                                   ThreadPool* pool) const {
+std::vector<CpuDataPoint> CpuDgemmApp::runWorkload(
+    int n, hw::BlasVariant variant, Rng& rng, ThreadPool* pool,
+    std::vector<CpuConfigFailure>* failures) const {
   const std::vector<hw::CpuDgemmConfig> configs = enumerateConfigs(n, variant);
   std::vector<CpuDataPoint> out(configs.size());
+  const bool skip = options_.failPolicy == fault::FailPolicy::SkipAndRecord;
+  std::vector<std::string> errs(configs.size());
+  std::vector<char> failed(configs.size(), 0);
+  // Error handling mirrors GpuMatMulApp::runWorkload: capture per slot,
+  // compact in enumeration order, so a failing campaign stays bitwise
+  // identical between the serial and the parallel path.
   const auto evalOne = [&](std::size_t i) {
     Rng configRng = rng.fork(forkSalt(configs[i]));
-    out[i] = runConfig(configs[i], configRng);
+    if (!skip) {
+      out[i] = runConfig(configs[i], configRng);
+      return;
+    }
+    try {
+      out[i] = runConfig(configs[i], configRng);
+    } catch (const EpError& e) {
+      failed[i] = 1;
+      errs[i] = e.what();
+    }
   };
   if (pool == nullptr || configs.size() < 2) {
     for (std::size_t i = 0; i < configs.size(); ++i) evalOne(i);
-    return out;
+  } else {
+    obs::Span span("study/parallel_eval");
+    pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
   }
-  obs::Span span("study/parallel_eval");
-  pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
+  if (skip) {
+    std::vector<CpuDataPoint> kept;
+    kept.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (failed[i] != 0) {
+        detail::configFailureCounter().inc();
+        if (failures != nullptr) {
+          failures->push_back({configs[i], std::move(errs[i])});
+        }
+      } else {
+        kept.push_back(std::move(out[i]));
+      }
+    }
+    out = std::move(kept);
+  }
   return out;
 }
 

@@ -10,6 +10,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "hw/cpu_model.hpp"
 #include "pareto/point.hpp"
 #include "power/measurer.hpp"
@@ -37,6 +38,16 @@ struct CpuDgemmOptions {
   double utilizationJitter = 0.006;
   stats::MeasurementOptions measurement{};
   power::MeterOptions meter{};
+  // Fault campaign + hardening; all off by default (see GpuMatMulOptions).
+  fault::FaultInjectionOptions faults{};
+  power::RobustnessOptions robustness{};
+  fault::FailPolicy failPolicy = fault::FailPolicy::FailFast;
+};
+
+// A configuration whose measurement failed under FailPolicy::SkipAndRecord.
+struct CpuConfigFailure {
+  hw::CpuDgemmConfig config;
+  std::string error;
 };
 
 class CpuDgemmApp {
@@ -62,9 +73,11 @@ class CpuDgemmApp {
   // With a pool, configurations are measured in parallel and the result
   // is bitwise-identical to the serial path (per-config forked streams,
   // per-index output slots).  Safe to call from inside a task on pool.
+  // Failure handling follows GpuMatMulApp::runWorkload: SkipAndRecord
+  // drops failing configs into `failures`, FailFast propagates.
   [[nodiscard]] std::vector<CpuDataPoint> runWorkload(
-      int n, hw::BlasVariant variant, Rng& rng,
-      ThreadPool* pool = nullptr) const;
+      int n, hw::BlasVariant variant, Rng& rng, ThreadPool* pool = nullptr,
+      std::vector<CpuConfigFailure>* failures = nullptr) const;
 
   [[nodiscard]] static std::vector<pareto::BiPoint> toPoints(
       const std::vector<CpuDataPoint>& data);

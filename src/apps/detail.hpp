@@ -1,0 +1,24 @@
+// Internals shared by the measurement apps (not part of the public
+// epapps surface).
+#pragma once
+
+#include <memory>
+
+#include "fault/fault.hpp"
+#include "obs/metrics.hpp"
+#include "power/meter.hpp"
+
+namespace ep::apps::detail {
+
+// The instrument a configuration measures through: the plain WattsUp
+// simulation, or the epfault FaultyMeter decorator when a campaign is
+// running.  One instance per configuration — FaultyMeter is stateful
+// per measurement stream.
+[[nodiscard]] std::shared_ptr<const power::Meter> makeMeter(
+    const power::MeterOptions& meter,
+    const fault::FaultInjectionOptions& faults);
+
+// Process-wide count of configurations skipped under SkipAndRecord.
+[[nodiscard]] obs::Counter& configFailureCounter();
+
+}  // namespace ep::apps::detail

@@ -1,9 +1,36 @@
 #include "apps/gpu_matmul_app.hpp"
 
+#include <memory>
 #include <string>
+#include <utility>
 
+#include "apps/detail.hpp"
 #include "common/error.hpp"
+#include "fault/faulty_meter.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+
+namespace ep::apps {
+namespace detail {
+
+std::shared_ptr<const power::Meter> makeMeter(
+    const power::MeterOptions& meter, const fault::FaultInjectionOptions& faults) {
+  if (faults.enabled) {
+    return std::make_shared<const fault::FaultyMeter>(
+        power::WattsUpMeter(meter), faults);
+  }
+  return std::make_shared<const power::WattsUpMeter>(meter);
+}
+
+obs::Counter& configFailureCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "ep_study_config_failures_total",
+      "Configurations skipped by SkipAndRecord after a measurement failure");
+  return c;
+}
+
+}  // namespace detail
+}  // namespace ep::apps
 
 namespace ep::apps {
 
@@ -86,10 +113,11 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
     profile.addSegment(
         {Seconds{0.0}, out.model.time + tail, out.model.uncorePower});
   }
-  const power::WattsUpMeter meter(options_.meter);
-  const power::EnergyMeasurer measurer(meter, nodeIdlePower());
-  const power::MeasuredEnergy measured = measurer.measure(
-      profile, out.model.time, rng, tail, options_.measurement);
+  const power::EnergyMeasurer measurer(
+      detail::makeMeter(options_.meter, options_.faults), nodeIdlePower());
+  const power::MeasuredEnergy measured =
+      measurer.measure(profile, out.model.time, rng, tail,
+                       options_.measurement, options_.robustness);
   out.time = measured.mean.executionTime;
   out.dynamicEnergy = measured.mean.dynamicEnergy;
   out.repetitions = measured.dynamicEnergyStats.repetitions;
@@ -104,25 +132,57 @@ std::uint64_t GpuMatMulApp::forkSalt(const hw::MatMulConfig& cfg) {
   return h;
 }
 
-std::vector<GpuDataPoint> GpuMatMulApp::runWorkload(int n, Rng& rng,
-                                                    ThreadPool* pool) const {
+std::vector<GpuDataPoint> GpuMatMulApp::runWorkload(
+    int n, Rng& rng, ThreadPool* pool,
+    std::vector<GpuConfigFailure>* failures) const {
   const std::vector<hw::MatMulConfig> configs = enumerateConfigs(n);
   std::vector<GpuDataPoint> out(configs.size());
+  const bool skip = options_.failPolicy == fault::FailPolicy::SkipAndRecord;
+  std::vector<std::string> errs(configs.size());
+  std::vector<char> failed(configs.size(), 0);
   // Each slot is owned by exactly one index and each config draws only
   // from its own forked stream (fork() is const and reads just the
-  // seed), so execution order cannot affect the result.
+  // seed), so execution order cannot affect the result.  Under
+  // SkipAndRecord errors are captured per slot (parallelFor never sees
+  // an exception) and compacted below in enumeration order, which keeps
+  // serial == parallel identity even for a failing campaign.
   const auto evalOne = [&](std::size_t i) {
     Rng configRng = rng.fork(forkSalt(configs[i]));
-    out[i] = runConfig(configs[i], configRng);
+    if (!skip) {
+      out[i] = runConfig(configs[i], configRng);
+      return;
+    }
+    try {
+      out[i] = runConfig(configs[i], configRng);
+    } catch (const EpError& e) {
+      failed[i] = 1;
+      errs[i] = e.what();
+    }
   };
   if (pool == nullptr || configs.size() < 2) {
     for (std::size_t i = 0; i < configs.size(); ++i) evalOne(i);
-    return out;
+  } else {
+    // Grain 1: one CI-looped measurement per config dwarfs scheduling
+    // overhead, and fine grains load-balance the uneven repetition
+    // counts.
+    obs::Span span("study/parallel_eval");
+    pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
   }
-  // Grain 1: one CI-looped measurement per config dwarfs scheduling
-  // overhead, and fine grains load-balance the uneven repetition counts.
-  obs::Span span("study/parallel_eval");
-  pool->parallelFor(0, configs.size(), evalOne, /*grain=*/1);
+  if (skip) {
+    std::vector<GpuDataPoint> kept;
+    kept.reserve(configs.size());
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+      if (failed[i] != 0) {
+        detail::configFailureCounter().inc();
+        if (failures != nullptr) {
+          failures->push_back({configs[i], std::move(errs[i])});
+        }
+      } else {
+        kept.push_back(std::move(out[i]));
+      }
+    }
+    out = std::move(kept);
+  }
   return out;
 }
 

@@ -15,6 +15,7 @@
 
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "fault/fault.hpp"
 #include "hw/gpu_model.hpp"
 #include "pareto/point.hpp"
 #include "power/measurer.hpp"
@@ -45,6 +46,20 @@ struct GpuMatMulOptions {
   bool useMeter = true;
   stats::MeasurementOptions measurement{};
   power::MeterOptions meter{};
+  // Fault campaign + hardening, all off by default (the clean path is
+  // bit-identical to the pre-fault pipeline): the meter is wrapped in
+  // an epfault FaultyMeter when faults.enabled, the measurement loop
+  // applies `robustness`, and failPolicy decides whether a config whose
+  // measurement failed aborts the workload or is skipped and recorded.
+  fault::FaultInjectionOptions faults{};
+  power::RobustnessOptions robustness{};
+  fault::FailPolicy failPolicy = fault::FailPolicy::FailFast;
+};
+
+// A configuration whose measurement failed under FailPolicy::SkipAndRecord.
+struct GpuConfigFailure {
+  hw::MatMulConfig config;
+  std::string error;
 };
 
 class GpuMatMulApp {
@@ -77,8 +92,14 @@ class GpuMatMulApp {
   // parallel; each draws from its own forked stream and writes only its
   // own slot, so the result is bitwise-identical to the serial path
   // for any pool size.  Safe to call from inside a task on `pool`.
+  //
+  // Under FailPolicy::SkipAndRecord a configuration whose measurement
+  // throws (budget exhausted, unlaunchable, ...) is dropped from the
+  // returned points and appended to `failures` (when non-null) in
+  // enumeration order; under FailFast the first error propagates.
   [[nodiscard]] std::vector<GpuDataPoint> runWorkload(
-      int n, Rng& rng, ThreadPool* pool = nullptr) const;
+      int n, Rng& rng, ThreadPool* pool = nullptr,
+      std::vector<GpuConfigFailure>* failures = nullptr) const;
 
   // Convert data points to bi-objective points (ids = indices).
   [[nodiscard]] static std::vector<pareto::BiPoint> toPoints(

@@ -17,9 +17,14 @@ CpuWorkloadResult CpuEpStudy::runWorkload(int n, hw::BlasVariant variant,
   r.variant = variant;
   {
     obs::Span appSpan("study/app_eval");
-    r.data = app_.runWorkload(n, variant, rng, pool);
+    r.data = app_.runWorkload(n, variant, rng, pool, &r.failures);
   }
-  EP_REQUIRE(!r.data.empty(), "no runnable configurations for workload");
+  EP_REQUIRE(!r.data.empty(),
+             r.failures.empty()
+                 ? std::string("no runnable configurations for workload")
+                 : "every configuration failed measurement (" +
+                       std::to_string(r.failures.size()) + " failures), e.g. " +
+                       r.failures.front().error);
   obs::Span frontSpan("study/front_construction");
   r.points = apps::CpuDgemmApp::toPoints(r.data);
   r.globalFront = pareto::paretoFront(r.points);

@@ -26,6 +26,9 @@ struct CpuWorkloadResult {
   double peakGflops = 0.0;
   ScatterAnalysis powerScatter;
   double ryckboschMetric = 0.0;
+  // Configurations skipped under FailPolicy::SkipAndRecord; every
+  // analysis above is built from the surviving points only.
+  std::vector<apps::CpuConfigFailure> failures;
 };
 
 class CpuEpStudy {

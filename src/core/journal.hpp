@@ -1,0 +1,75 @@
+// Crash-safe checkpointing for GPU workload studies.
+//
+// A StudyJournal is an append-only text file of *completed* workload
+// studies: each completed workload is one atomic append (header line,
+// the measured data points, the skipped configurations, a terminating
+// end marker) flushed before the sweep moves on.  A sweep interrupted
+// at any instant therefore leaves either a fully journaled workload or
+// a torn tail — and load() restores exactly the complete ones, ignoring
+// the tail, so `resume == never interrupted` holds bit for bit.
+//
+// Only the measured quantities are stored (time / dynamic energy as hex
+// double bit patterns, repetition counts); the noise-free kernel models
+// and the Pareto fronts are recomputed deterministically on load.  The
+// header carries a hash of the study identity (seed + app options), so
+// a checkpoint cannot silently be merged into a differently-configured
+// study.
+//
+// Format (line-oriented, space-separated):
+//   epsimjournal 1 <hash:16 hex>
+//   W <n> <nData> <nFailures>
+//   C <bs> <g> <r> <timeBits:16 hex> <energyBits:16 hex> <reps>
+//   F <bs> <g> <r> <error text to end of line>
+//   E <n>
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/study.hpp"
+
+namespace ep::core {
+
+// Bit-exact double <-> integer round-trip used by the journal (and by
+// the checkpoint hash): text formatting must not lose a single ulp or
+// resumed sweeps stop being bitwise-identical.
+[[nodiscard]] inline std::uint64_t doubleBits(double d) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &d, sizeof b);
+  return b;
+}
+[[nodiscard]] inline double bitsToDouble(std::uint64_t b) {
+  double d = 0.0;
+  std::memcpy(&d, &b, sizeof d);
+  return d;
+}
+
+class StudyJournal {
+ public:
+  // Parse the journal at `path` (a missing file yields an empty map).
+  // Restores every workload with a terminating E record; a torn tail
+  // from a crash mid-append is ignored.  Throws PreconditionError when
+  // the header is malformed or its hash differs from `hash`.  Models
+  // and fronts are recomputed through `app`.
+  [[nodiscard]] static std::map<int, WorkloadResult> load(
+      const std::string& path, std::uint64_t hash,
+      const apps::GpuMatMulApp& app);
+
+  // Open `path` for appending, writing the header first if the file is
+  // new or empty.
+  StudyJournal(std::string path, std::uint64_t hash);
+
+  // Append one completed workload atomically (thread-safe, flushed).
+  void append(const WorkloadResult& r);
+
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::mutex mu_;
+};
+
+}  // namespace ep::core

@@ -1,14 +1,30 @@
 #include "core/study.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/journal.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
 namespace ep::core {
 
 GpuEpStudy::GpuEpStudy(apps::GpuMatMulApp app) : app_(std::move(app)) {}
+
+void finalizeWorkload(WorkloadResult& r) {
+  obs::Span frontSpan("study/front_construction");
+  r.points = apps::GpuMatMulApp::toPoints(r.data);
+  r.globalFront = pareto::paretoFront(r.points);
+  r.localFront = pareto::localFront(r.points, 2);
+  r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+  if (!r.localFront.empty()) {
+    r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+  } else {
+    r.localTradeoff.reset();
+  }
+}
 
 WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng,
                                        ThreadPool* pool) const {
@@ -22,19 +38,15 @@ WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng,
     // The expensive phase: every launchable configuration through the
     // model (and, with the meter on, the measurement protocol).
     obs::Span appSpan("study/app_eval");
-    r.data = app_.runWorkload(n, rng, pool);
+    r.data = app_.runWorkload(n, rng, pool, &r.failures);
   }
-  EP_REQUIRE(!r.data.empty(), "no launchable configurations for workload");
-  {
-    obs::Span frontSpan("study/front_construction");
-    r.points = apps::GpuMatMulApp::toPoints(r.data);
-    r.globalFront = pareto::paretoFront(r.points);
-    r.localFront = pareto::localFront(r.points, 2);
-    r.globalTradeoff = pareto::analyzeTradeoff(r.points);
-    if (!r.localFront.empty()) {
-      r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
-    }
-  }
+  EP_REQUIRE(!r.data.empty(),
+             r.failures.empty()
+                 ? std::string("no launchable configurations for workload")
+                 : "every configuration failed measurement (" +
+                       std::to_string(r.failures.size()) + " failures), e.g. " +
+                       r.failures.front().error);
+  finalizeWorkload(r);
   return r;
 }
 
@@ -54,6 +66,101 @@ std::vector<WorkloadResult> GpuEpStudy::runSweep(const std::vector<int>& sizes,
   // same pool; caller work-participation keeps that deadlock-free.
   obs::Span span("study/parallel_eval");
   pool->parallelFor(0, sizes.size(), evalOne, /*grain=*/1);
+  return out;
+}
+
+std::uint64_t GpuEpStudy::checkpointHash(std::uint64_t seed) const {
+  const auto& o = app_.options();
+  std::uint64_t h = mix64(0, seed);
+  // The device identity matters as much as the options: a P100 journal
+  // must not satisfy a K40c resume even with identical tuning knobs.
+  for (const char c : app_.model().spec().name) {
+    h = mix64(h, static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  }
+  h = mix64(h, static_cast<std::uint64_t>(o.totalProducts));
+  h = mix64(h, static_cast<std::uint64_t>(o.bsMin));
+  h = mix64(h, static_cast<std::uint64_t>(o.bsMax));
+  h = mix64(h, static_cast<std::uint64_t>(o.gMax));
+  h = mix64(h, o.useMeter ? 1ULL : 0ULL);
+  h = mix64(h, doubleBits(o.hostIdlePower.value()));
+  h = mix64(h, o.faults.enabled ? 1ULL : 0ULL);
+  h = mix64(h, doubleBits(o.faults.sampleFaultRate));
+  h = mix64(h, doubleBits(o.faults.timeoutRate));
+  h = mix64(h, doubleBits(o.faults.gainDriftRate));
+  h = mix64(h, o.faults.streamSalt);
+  // Robustness knobs alter the accepted readings (and the draw
+  // sequence), so they are part of the journal identity too.
+  h = mix64(h, o.robustness.validation.enabled ? 1ULL : 0ULL);
+  h = mix64(h, doubleBits(o.robustness.validation.maxGapFactor));
+  h = mix64(h, static_cast<std::uint64_t>(o.robustness.validation.stuckRunLength));
+  h = mix64(h, o.robustness.sanitizeSamples ? 1ULL : 0ULL);
+  h = mix64(h, doubleBits(o.robustness.maxPlausibleWatts));
+  h = mix64(h, o.robustness.rejectOutliers ? 1ULL : 0ULL);
+  h = mix64(h, doubleBits(o.robustness.madThreshold));
+  h = mix64(h, static_cast<std::uint64_t>(o.robustness.minSamplesForMad));
+  h = mix64(h, static_cast<std::uint64_t>(o.robustness.remeasureBudget));
+  h = mix64(h, static_cast<std::uint64_t>(o.robustness.timeoutRetries));
+  h = mix64(h, doubleBits(o.robustness.backoffBaseS));
+  h = mix64(h, o.failPolicy == fault::FailPolicy::SkipAndRecord ? 1ULL : 0ULL);
+  return h;
+}
+
+SweepResult GpuEpStudy::runSweepChecked(const std::vector<int>& sizes,
+                                        Rng& rng, const SweepOptions& options,
+                                        ThreadPool* pool) const {
+  SweepResult out;
+  std::map<int, WorkloadResult> resumed;
+  std::unique_ptr<StudyJournal> journal;
+  if (!options.checkpointPath.empty()) {
+    const std::uint64_t hash = checkpointHash(rng.seed());
+    resumed = StudyJournal::load(options.checkpointPath, hash, app_);
+    journal = std::make_unique<StudyJournal>(options.checkpointPath, hash);
+  }
+  const bool skip = options.workloadPolicy == fault::FailPolicy::SkipAndRecord;
+  std::vector<WorkloadResult> slots(sizes.size());
+  std::vector<char> done(sizes.size(), 0);
+  std::vector<char> wasResumed(sizes.size(), 0);
+  std::vector<std::string> errs(sizes.size());
+  // The sweep's parallel/deterministic contract is runSweep's; resumed
+  // workloads skip evaluation entirely (their forked stream is never
+  // drawn from, which is why resume == uninterrupted bit for bit), and
+  // journal appends serialize inside StudyJournal.
+  const auto evalOne = [&](std::size_t i) {
+    const int n = sizes[i];
+    if (auto it = resumed.find(n); it != resumed.end()) {
+      slots[i] = it->second;
+      done[i] = 1;
+      wasResumed[i] = 1;
+      return;
+    }
+    Rng nRng = rng.fork(static_cast<std::uint64_t>(n) * 0x9E37ULL);
+    if (!skip) {
+      slots[i] = runWorkload(n, nRng, pool);
+      done[i] = 1;
+    } else {
+      try {
+        slots[i] = runWorkload(n, nRng, pool);
+        done[i] = 1;
+      } catch (const EpError& e) {
+        errs[i] = e.what();
+      }
+    }
+    if (done[i] != 0 && journal != nullptr) journal->append(slots[i]);
+  };
+  if (pool == nullptr || sizes.size() < 2) {
+    for (std::size_t i = 0; i < sizes.size(); ++i) evalOne(i);
+  } else {
+    obs::Span span("study/parallel_eval");
+    pool->parallelFor(0, sizes.size(), evalOne, /*grain=*/1);
+  }
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (done[i] != 0) {
+      out.resumedWorkloads += static_cast<std::size_t>(wasResumed[i]);
+      out.results.push_back(std::move(slots[i]));
+    } else {
+      out.failures.push_back({sizes[i], std::move(errs[i])});
+    }
+  }
   return out;
 }
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "apps/gpu_matmul_app.hpp"
@@ -26,6 +27,39 @@ struct WorkloadResult {
   // the global front collapses to one point); absent if the local front
   // is empty.
   std::optional<pareto::Tradeoff> localTradeoff;
+  // Configurations skipped under FailPolicy::SkipAndRecord; the fronts
+  // above are built from the surviving points only.
+  std::vector<apps::GpuConfigFailure> failures;
+};
+
+// Rebuild points/fronts/trade-offs of `r` from r.data (deterministic,
+// measurement-free).  Used by runWorkload and by journal resume.
+void finalizeWorkload(WorkloadResult& r);
+
+// A whole workload that failed under SweepOptions with SkipAndRecord
+// (e.g. every configuration's measurement budget was exhausted).
+struct SweepFailure {
+  int n = 0;
+  std::string error;
+};
+
+struct SweepOptions {
+  // How runSweepChecked treats a workload whose study threw: FailFast
+  // propagates (the historical behaviour), SkipAndRecord drops the
+  // workload into SweepResult::failures and carries on.
+  fault::FailPolicy workloadPolicy = fault::FailPolicy::FailFast;
+  // Non-empty: crash-safe append-only journal.  Workloads already
+  // completed in the journal are restored instead of re-measured, and
+  // every newly completed workload is appended, so an interrupted sweep
+  // resumes where it stopped and ends bitwise-identical to an
+  // uninterrupted run.
+  std::string checkpointPath;
+};
+
+struct SweepResult {
+  std::vector<WorkloadResult> results;  // completed workloads, sweep order
+  std::vector<SweepFailure> failures;   // skipped workloads (SkipAndRecord)
+  std::size_t resumedWorkloads = 0;     // restored from the journal
 };
 
 struct FrontStatistics {
@@ -60,6 +94,20 @@ class GpuEpStudy {
   [[nodiscard]] std::vector<WorkloadResult> runSweep(
       const std::vector<int>& sizes, Rng& rng,
       ThreadPool* pool = nullptr) const;
+
+  // runSweep with failure tolerance and optional checkpoint/resume.
+  // Parallelism and determinism match runSweep: for a fixed seed the
+  // surviving results are bitwise-identical at any pool size, whether
+  // or not the sweep was interrupted and resumed.
+  [[nodiscard]] SweepResult runSweepChecked(const std::vector<int>& sizes,
+                                            Rng& rng,
+                                            const SweepOptions& options = {},
+                                            ThreadPool* pool = nullptr) const;
+
+  // The journal identity of this study under seed `seed`: resuming a
+  // checkpoint recorded with different app options (or a different
+  // seed) is an error, not a silently wrong merge.
+  [[nodiscard]] std::uint64_t checkpointHash(std::uint64_t seed) const;
 
   [[nodiscard]] static FrontStatistics summarize(
       const std::vector<WorkloadResult>& results);

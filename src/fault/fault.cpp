@@ -1,0 +1,59 @@
+#include "fault/fault.hpp"
+
+namespace ep::fault {
+
+const char* faultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::DroppedSample:
+      return "dropped_sample";
+    case FaultKind::StuckReading:
+      return "stuck_reading";
+    case FaultKind::Spike:
+      return "spike";
+    case FaultKind::NanReading:
+      return "nan_reading";
+    case FaultKind::ZeroReading:
+      return "zero_reading";
+    case FaultKind::GainDrift:
+      return "gain_drift";
+    case FaultKind::MeterTimeout:
+      return "meter_timeout";
+  }
+  return "unknown";
+}
+
+FaultInjectionOptions FaultInjectionOptions::campaign(double rate) {
+  EP_REQUIRE(rate >= 0.0 && rate <= 1.0, "fault rate must be in [0, 1]");
+  FaultInjectionOptions o;
+  o.enabled = rate > 0.0;
+  o.sampleFaultRate = rate;
+  // Window-level faults scale down: one window holds many samples, so
+  // equal per-window rates would drown the campaign in timeouts.
+  o.timeoutRate = rate / 4.0;
+  o.gainDriftRate = rate / 2.0;
+  return o;
+}
+
+FaultCounts& FaultCounts::operator+=(const FaultCounts& o) {
+  dropped += o.dropped;
+  stuck += o.stuck;
+  spikes += o.spikes;
+  nans += o.nans;
+  zeros += o.zeros;
+  gainDrifts += o.gainDrifts;
+  timeouts += o.timeouts;
+  return *this;
+}
+
+std::string FaultCounts::summary() const {
+  return "dropped=" + std::to_string(dropped) +
+         " stuck=" + std::to_string(stuck) +
+         " spikes=" + std::to_string(spikes) +
+         " nans=" + std::to_string(nans) +
+         " zeros=" + std::to_string(zeros) +
+         " gain_drifts=" + std::to_string(gainDrifts) +
+         " timeouts=" + std::to_string(timeouts) +
+         " total=" + std::to_string(total());
+}
+
+}  // namespace ep::fault

@@ -1,0 +1,139 @@
+#include "fault/faulty_meter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace ep::fault {
+
+namespace {
+
+obs::Counter& injectedCounter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "ep_fault_injected_total", "Faults injected into meter recordings");
+  return c;
+}
+
+}  // namespace
+
+FaultyMeter::FaultyMeter(power::WattsUpMeter inner,
+                         FaultInjectionOptions faults)
+    : inner_(std::move(inner)), faults_(faults) {
+  EP_REQUIRE(faults_.sampleFaultRate >= 0.0 && faults_.sampleFaultRate <= 1.0,
+             "sample fault rate must be in [0, 1]");
+  EP_REQUIRE(faults_.timeoutRate >= 0.0 && faults_.timeoutRate <= 1.0,
+             "timeout rate must be in [0, 1]");
+  EP_REQUIRE(faults_.gainDriftRate >= 0.0 && faults_.gainDriftRate <= 1.0,
+             "gain drift rate must be in [0, 1]");
+  EP_REQUIRE(faults_.gainDriftMax >= 0.0 && std::isfinite(faults_.gainDriftMax),
+             "gain drift magnitude must be finite and >= 0");
+  EP_REQUIRE(faults_.stuckRunLength >= 1, "stuck run length must be >= 1");
+  EP_REQUIRE(std::isfinite(faults_.spikeFactor),
+             "spike factor must be finite");
+  EP_REQUIRE(faults_.dropWeight >= 0.0 && faults_.stuckWeight >= 0.0 &&
+                 faults_.spikeWeight >= 0.0 && faults_.nanWeight >= 0.0 &&
+                 faults_.zeroWeight >= 0.0,
+             "fault kind weights must be non-negative");
+  sampleWeightSum_ = faults_.dropWeight + faults_.stuckWeight +
+                     faults_.spikeWeight + faults_.nanWeight +
+                     faults_.zeroWeight;
+  EP_REQUIRE(!faults_.enabled || faults_.sampleFaultRate == 0.0 ||
+                 sampleWeightSum_ > 0.0,
+             "sample faults enabled but every kind weight is zero");
+}
+
+void FaultyMeter::recordInto(const power::PowerSource& source,
+                             Seconds duration, Rng& rng,
+                             power::PowerTrace& out) const {
+  if (!faults_.enabled) {
+    inner_.recordInto(source, duration, rng, out);
+    return;
+  }
+  // The fault stream forks off the measurement stream with a per-window
+  // salt: decisions are deterministic, do not perturb the inner meter's
+  // noise draws, and differ between a timed-out window and its retry.
+  const std::uint64_t window = ++window_;
+  Rng f = rng.fork(mix64(mix64(0, faults_.streamSalt), window));
+
+  // Whole-window timeout is decided before any recording: a stalled
+  // serial link delivers nothing, and the inner meter must not consume
+  // measurement draws for a window that never happened.
+  if (faults_.timeoutRate > 0.0 &&
+      f.uniform(0.0, 1.0) < faults_.timeoutRate) {
+    ++counts_.timeouts;
+    injectedCounter().inc();
+    throw power::MeterTimeoutError("injected meter timeout (window " +
+                                   std::to_string(window) + ")");
+  }
+
+  inner_.recordInto(source, duration, rng, scratch_);
+  const auto& samples = scratch_.samples();
+
+  double drift = 0.0;
+  if (faults_.gainDriftRate > 0.0 &&
+      f.uniform(0.0, 1.0) < faults_.gainDriftRate) {
+    drift = f.uniform(-faults_.gainDriftMax, faults_.gainDriftMax);
+    ++counts_.gainDrifts;
+    injectedCounter().inc();
+  }
+  const double t0 = samples.empty() ? 0.0 : samples.front().time.value();
+  const double span =
+      samples.empty()
+          ? 1.0
+          : std::max(samples.back().time.value() - t0, 1e-12);
+
+  out.clear();
+  out.reserve(samples.size());
+  int stuckRemaining = 0;
+  double stuckValue = 0.0;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    // The bracketing samples at the window edges are never dropped:
+    // energy integration needs the window endpoints (they may still be
+    // value-corrupted, which trace validation catches).
+    const bool endpoint = i == 0 || i + 1 == samples.size();
+    double p = samples[i].power.value();
+    // Gain drift grows linearly over the window, reaching `drift` at
+    // the last sample — a slow instrument calibration walk.
+    p *= 1.0 + drift * ((samples[i].time.value() - t0) / span);
+    const double u = f.uniform(0.0, 1.0);
+    if (stuckRemaining > 0) {
+      p = stuckValue;
+      --stuckRemaining;
+    } else if (faults_.sampleFaultRate > 0.0 &&
+               u < faults_.sampleFaultRate) {
+      // u < rate implies u/rate is itself uniform in [0, 1): one draw
+      // decides both whether a sample faults and which kind it gets.
+      double pick = (u / faults_.sampleFaultRate) * sampleWeightSum_;
+      if ((pick -= faults_.dropWeight) < 0.0) {
+        if (!endpoint) {
+          ++counts_.dropped;
+          injectedCounter().inc();
+          continue;
+        }
+      } else if ((pick -= faults_.stuckWeight) < 0.0) {
+        ++counts_.stuck;
+        injectedCounter().inc();
+        stuckValue = p;
+        stuckRemaining = faults_.stuckRunLength - 1;
+      } else if ((pick -= faults_.spikeWeight) < 0.0) {
+        ++counts_.spikes;
+        injectedCounter().inc();
+        p *= faults_.spikeFactor;
+      } else if ((pick -= faults_.nanWeight) < 0.0) {
+        ++counts_.nans;
+        injectedCounter().inc();
+        p = std::numeric_limits<double>::quiet_NaN();
+      } else {
+        ++counts_.zeros;
+        injectedCounter().inc();
+        p = 0.0;
+      }
+    }
+    out.append({samples[i].time, Watts{p}});
+  }
+}
+
+}  // namespace ep::fault

@@ -198,4 +198,30 @@ std::vector<BiPoint> epsilonFront(const std::vector<BiPoint>& points,
   return thin;
 }
 
+std::vector<BiPoint> precisionFront(const std::vector<BiPoint>& points,
+                                    double epsilon) {
+  EP_REQUIRE(epsilon >= 0.0, "epsilon must be non-negative");
+  const std::vector<BiPoint> front = paretoFront(points);
+  // a matches b's objective to within the measurement uncertainty.
+  const auto within = [epsilon](double a, double b) {
+    return a <= (1.0 + epsilon) * b;
+  };
+  // a beats b's objective by more than the measurement uncertainty.
+  const auto beats = [epsilon](double a, double b) {
+    return a < (1.0 - epsilon) * b;
+  };
+  std::vector<BiPoint> kept;
+  for (const auto& b : front) {
+    const bool redundant = std::any_of(
+        front.begin(), front.end(), [&](const BiPoint& a) {
+          return within(a.time.value(), b.time.value()) &&
+                 within(a.energy.value(), b.energy.value()) &&
+                 (beats(a.time.value(), b.time.value()) ||
+                  beats(a.energy.value(), b.energy.value()));
+        });
+    if (!redundant) kept.push_back(b);
+  }
+  return kept;
+}
+
 }  // namespace ep::pareto

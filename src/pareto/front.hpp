@@ -52,4 +52,18 @@ namespace ep::pareto {
 [[nodiscard]] std::vector<BiPoint> epsilonFront(
     const std::vector<BiPoint>& points, double epsilon);
 
+// Precision-aware front: the members of the exact Pareto front that
+// remain meaningful when both objectives carry a relative measurement
+// uncertainty of `epsilon` (e.g. the CI half-width the measurement
+// protocol targets).  A front member b is dropped when some other
+// member a matches both of b's objectives to within (1 + epsilon)
+// *and* improves at least one of them by more than epsilon — b's
+// advantage over a is then below the resolution of the instrument that
+// produced it.  Mutual meaningful epsilon-domination is impossible on
+// a 2-D front (the strict improvement in one direction contradicts the
+// within-epsilon closeness in the other), so the result is
+// order-independent.  With epsilon = 0 this is exactly paretoFront.
+[[nodiscard]] std::vector<BiPoint> precisionFront(
+    const std::vector<BiPoint>& points, double epsilon);
+
 }  // namespace ep::pareto

@@ -13,16 +13,10 @@ WattsUpMeter::WattsUpMeter(MeterOptions options) : options_(options) {
              "quantization must be non-negative");
 }
 
-PowerTrace WattsUpMeter::record(const PowerSource& source, Seconds duration,
-                                Rng& rng) const {
-  PowerTrace trace;
-  recordInto(source, duration, rng, trace);
-  return trace;
-}
-
 void WattsUpMeter::recordInto(const PowerSource& source, Seconds duration,
                               Rng& rng, PowerTrace& trace) const {
   EP_REQUIRE(duration.value() > 0.0, "record duration must be positive");
+  EP_REQUIRE(std::isfinite(duration.value()), "record duration must be finite");
   const double dt = options_.sampleInterval.value();
   double t = options_.randomPhase ? rng.uniform(0.0, dt) : 0.0;
   trace.clear();

@@ -7,13 +7,52 @@
 // start-phase jitter, multiplicative gain noise, additive noise, and
 // quantization.  All randomness comes from an explicit ep::Rng so a
 // measurement campaign is reproducible.
+//
+// Meter is the instrument seam: everything above the meter (the
+// measurer, the apps, the studies) records through the abstract
+// interface, so a decorated instrument — epfault's FaultyMeter, or a
+// future real-hardware backend — drops in without touching the
+// measurement methodology.
 #pragma once
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "power/profile.hpp"
 #include "power/trace.hpp"
 
 namespace ep::power {
+
+// The meter failed to deliver a recording window (the physical
+// instrument's serial link stalls, drops its connection, or returns no
+// data for a whole window).  Distinct from PreconditionError because it
+// is transient: the measurement layer retries with backoff before
+// giving up.
+class MeterTimeoutError : public EpError {
+ public:
+  using EpError::EpError;
+};
+
+// Abstract instrument: record a power source into a trace.
+class Meter {
+ public:
+  virtual ~Meter() = default;
+
+  // Record `source` from t=0 until `duration` into a caller-owned trace
+  // (cleared first, its sample buffer reused).  Allocation-free once
+  // the buffer has grown to the window size — the CI repetition loop
+  // calls this hundreds of times per configuration.  May throw
+  // MeterTimeoutError when the instrument loses a whole window.
+  virtual void recordInto(const PowerSource& source, Seconds duration,
+                          Rng& rng, PowerTrace& out) const = 0;
+
+  // Convenience: record into a fresh trace.
+  [[nodiscard]] PowerTrace record(const PowerSource& source, Seconds duration,
+                                  Rng& rng) const {
+    PowerTrace trace;
+    recordInto(source, duration, rng, trace);
+    return trace;
+  }
+};
 
 struct MeterOptions {
   Seconds sampleInterval{1.0};   // WattsUp Pro: ~1 Hz
@@ -25,20 +64,12 @@ struct MeterOptions {
   bool randomPhase = true;
 };
 
-class WattsUpMeter {
+class WattsUpMeter final : public Meter {
  public:
   explicit WattsUpMeter(MeterOptions options = {});
 
-  // Record `source` from t=0 until `duration`, drawing noise from `rng`.
-  [[nodiscard]] PowerTrace record(const PowerSource& source,
-                                  Seconds duration, Rng& rng) const;
-
-  // Same recording, but into a caller-owned trace (cleared first, its
-  // sample buffer reused).  Allocation-free once the buffer has grown
-  // to the window size — the CI repetition loop calls this hundreds of
-  // times per configuration.
   void recordInto(const PowerSource& source, Seconds duration, Rng& rng,
-                  PowerTrace& out) const;
+                  PowerTrace& out) const override;
 
   [[nodiscard]] const MeterOptions& options() const { return options_; }
 

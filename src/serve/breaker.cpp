@@ -1,0 +1,93 @@
+#include "serve/breaker.hpp"
+
+#include <chrono>
+
+namespace ep::serve {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {
+  EP_REQUIRE(options_.openMs >= 0.0, "openMs must be >= 0");
+  EP_REQUIRE(options_.failureThreshold == 0 || options_.halfOpenProbes >= 1,
+             "an enabled breaker needs at least one half-open probe");
+}
+
+bool CircuitBreaker::openElapsed(Clock::time_point now) const {
+  return std::chrono::duration<double, std::milli>(now - openedAt_).count() >=
+         options_.openMs;
+}
+
+bool CircuitBreaker::allow(Clock::time_point now) {
+  if (!enabled()) return true;
+  std::lock_guard lock(mu_);
+  if (!open_) return true;
+  if (!openElapsed(now)) return false;
+  if (probes_ >= options_.halfOpenProbes) return false;
+  ++probes_;
+  return true;
+}
+
+bool CircuitBreaker::wouldReject(Clock::time_point now) const {
+  if (!enabled()) return false;
+  std::lock_guard lock(mu_);
+  if (!open_) return false;
+  if (!openElapsed(now)) return true;
+  return probes_ >= options_.halfOpenProbes;
+}
+
+void CircuitBreaker::onSuccess() {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  consecutiveFailures_ = 0;
+  if (open_) {
+    // A half-open probe came back healthy (or a request admitted before
+    // the trip finished late and well) — resume normal operation.
+    open_ = false;
+    probes_ = 0;
+  }
+}
+
+void CircuitBreaker::onFailure(Clock::time_point now) {
+  if (!enabled()) return;
+  std::lock_guard lock(mu_);
+  if (open_) {
+    // A half-open probe failed: re-open for another full window.
+    openedAt_ = now;
+    probes_ = 0;
+    ++opens_;
+    return;
+  }
+  if (++consecutiveFailures_ >= options_.failureThreshold) {
+    open_ = true;
+    openedAt_ = now;
+    probes_ = 0;
+    consecutiveFailures_ = 0;
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(Clock::time_point now) const {
+  if (!enabled()) return State::Closed;
+  std::lock_guard lock(mu_);
+  if (!open_) return State::Closed;
+  return openElapsed(now) ? State::HalfOpen : State::Open;
+}
+
+std::uint64_t CircuitBreaker::opens() const {
+  if (!enabled()) return 0;
+  std::lock_guard lock(mu_);
+  return opens_;
+}
+
+const char* breakerStateName(CircuitBreaker::State s) {
+  switch (s) {
+    case CircuitBreaker::State::Closed:
+      return "closed";
+    case CircuitBreaker::State::Open:
+      return "open";
+    case CircuitBreaker::State::HalfOpen:
+      return "half_open";
+  }
+  return "unknown";
+}
+
+}  // namespace ep::serve

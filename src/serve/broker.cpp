@@ -1,5 +1,6 @@
 #include "serve/broker.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <utility>
 
@@ -62,6 +63,14 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
                                       "Result-cache lookups that missed")),
       cCacheEvictions_(registry_.counter("ep_serve_cache_evictions_total",
                                          "Result-cache LRU evictions")),
+      cRejectedCircuitOpen_(registry_.counter(
+          "ep_serve_rejected_circuit_open_total",
+          "Requests rejected by an open circuit breaker")),
+      cBreakerOpens_(registry_.counter("ep_serve_breaker_opens_total",
+                                       "Circuit-breaker open transitions")),
+      cStaleServed_(registry_.counter(
+          "ep_serve_stale_served_total",
+          "Responses served from the stale-while-error store")),
       gQueueDepth_(registry_.gauge("ep_serve_queue_depth",
                                    "Admitted, not yet started jobs")),
       gInFlightStudies_(registry_.gauge("ep_serve_in_flight_studies",
@@ -70,12 +79,21 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
                                   "Result-cache entries resident")),
       gCacheCapacity_(registry_.gauge("ep_serve_cache_capacity",
                                       "Result-cache capacity")),
+      gBreakerStateP100_(registry_.gauge(
+          "ep_serve_breaker_state_p100",
+          "P100 breaker state (0 closed, 1 half-open, 2 open)")),
+      gBreakerStateK40c_(registry_.gauge(
+          "ep_serve_breaker_state_k40c",
+          "K40c breaker state (0 closed, 1 half-open, 2 open)")),
       hLatencyMs_(registry_.histogram(
           "ep_serve_request_latency_ms",
           "Completed-request latency, submit to response (ms)",
           std::vector<double>(LatencyHistogram::kUpperBoundsMs.begin(),
                               LatencyHistogram::kUpperBoundsMs.end()))),
       cache_(options.cacheCapacity),
+      staleStore_(std::max<std::size_t>(1, options.staleCapacity)),
+      breakerP100_(options.breaker),
+      breakerK40c_(options.breaker),
       pool_(std::make_unique<ThreadPool>(options.threads)) {
   EP_REQUIRE(engine_ != nullptr, "broker needs an engine");
   EP_REQUIRE(options_.queueCapacity >= 1, "queue capacity must be >= 1");
@@ -85,6 +103,14 @@ Broker::~Broker() { shutdown(); }
 
 StudyKey Broker::keyFor(Device device, int n) const {
   return StudyKey{device, n, engine_->tuningHash(device)};
+}
+
+CircuitBreaker& Broker::breakerFor(Device device) {
+  return device == Device::K40c ? breakerK40c_ : breakerP100_;
+}
+
+const CircuitBreaker& Broker::breakerFor(Device device) const {
+  return device == Device::K40c ? breakerK40c_ : breakerP100_;
 }
 
 Clock::time_point Broker::deadlineFor(double deadlineMs,
@@ -135,6 +161,27 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
     cAccepted_.inc();
     cCoalesced_.inc();
     it->second->waiters.push_back(job);
+    return future;
+  }
+  if (breakerFor(req.device).wouldReject(Clock::now())) {
+    // Fail fast while the breaker is open: serve a stale result
+    // synchronously when one exists, reject otherwise — either way no
+    // queue slot or worker time is spent on a broken engine.
+    // (wouldReject never claims a half-open probe; probes are admitted
+    // here and claimed by the worker's allow().)
+    if (options_.staleCapacity > 0) {
+      if (auto st = staleStore_.get(key)) {
+        cAccepted_.inc();
+        cStaleServed_.inc();
+        ResultPtr result = *st;
+        lk.unlock();
+        completeTune(job, result, /*cacheHit=*/false, /*coalesced=*/false,
+                     /*stale=*/true);
+        return future;
+      }
+    }
+    lk.unlock();
+    rejectTune(job, Status::CircuitOpen, "circuit breaker open");
     return future;
   }
   if (queueDepth_ >= options_.queueCapacity) {
@@ -231,9 +278,11 @@ void Broker::runTuneJob(const TuneJobPtr& job) {
   bool cacheHit = false;
   bool coalesced = false;
   try {
-    const ResultPtr result =
+    const StudyOutcome outcome =
         obtainStudy(job->req.device, job->req.n, &cacheHit, &coalesced);
-    completeTune(job, result, cacheHit, coalesced);
+    completeTune(job, outcome.result, cacheHit, coalesced, outcome.stale);
+  } catch (const BreakerOpenError& e) {
+    rejectTune(job, Status::CircuitOpen, e.what());
   } catch (...) {
     rejectTune(job, Status::Error, describe(std::current_exception()));
   }
@@ -264,8 +313,13 @@ void Broker::runStudyJob(
     bool cacheHit = false;
     bool coalesced = false;
     try {
-      const ResultPtr r = obtainStudy(req->device, n, &cacheHit, &coalesced);
-      results.push_back(*r);
+      const StudyOutcome o = obtainStudy(req->device, n, &cacheHit, &coalesced);
+      results.push_back(*o.result);
+      if (o.stale) ++resp.staleWorkloads;
+    } catch (const BreakerOpenError& e) {
+      resp.status = Status::CircuitOpen;
+      resp.error = e.what();
+      break;
     } catch (...) {
       resp.status = Status::Error;
       resp.error = describe(std::current_exception());
@@ -289,6 +343,9 @@ void Broker::runStudyJob(
     case Status::DeadlineExceeded:
       cRejectedDeadline_.inc();
       break;
+    case Status::CircuitOpen:
+      cRejectedCircuitOpen_.inc();
+      break;
     default:
       cFailed_.inc();
       break;
@@ -300,13 +357,13 @@ void Broker::runStudyJob(
   promise->set_value(std::move(resp));
 }
 
-Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
-                                      bool* coalesced) {
+Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
+                                         bool* coalesced) {
   const StudyKey key = keyFor(device, n);
   std::unique_lock lk(mu_);
   if (auto hit = cache_.get(key)) {
     *cacheHit = true;
-    return *hit;
+    return {*hit, false};
   }
   if (auto it = inFlight_.find(key); it != inFlight_.end()) {
     // Blocking join: safe because in-flight entries only exist while
@@ -316,6 +373,23 @@ Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
     auto future = it->second->future;
     lk.unlock();
     return future.get();  // rethrows the owner's engine failure
+  }
+
+  // Breaker admission sits right before claiming the computation, so
+  // every allow() == true is balanced by exactly one onSuccess()/
+  // onFailure() below (cache hits and coalesced joins never consume
+  // half-open probes).
+  CircuitBreaker& breaker = breakerFor(device);
+  if (!breaker.allow(Clock::now())) {
+    if (options_.staleCapacity > 0) {
+      if (auto st = staleStore_.get(key)) {
+        cStaleServed_.inc();
+        return {*st, true};
+      }
+    }
+    lk.unlock();
+    throw BreakerOpenError("circuit breaker open for device " +
+                           std::string(deviceName(device)));
   }
 
   // Claim the computation.
@@ -338,27 +412,48 @@ Broker::ResultPtr Broker::obtainStudy(Device device, int n, bool* cacheHit,
     err = std::current_exception();
   }
 
+  ResultPtr stale;
   lk.lock();
   inFlight_.erase(key);
-  if (result) cache_.put(key, result);
+  if (result) {
+    cache_.put(key, result);
+    if (options_.staleCapacity > 0) staleStore_.put(key, result);
+  } else if (options_.staleCapacity > 0) {
+    if (auto st = staleStore_.get(key)) stale = *st;
+  }
   std::vector<TuneJobPtr> waiters = std::move(entry->waiters);
   lk.unlock();
 
   if (err) {
+    const auto opensBefore = breaker.opens();
+    breaker.onFailure(Clock::now());
+    if (breaker.opens() != opensBefore) cBreakerOpens_.inc();
+    if (stale) {
+      // Stale-while-error: the engine failed but a previously-good
+      // result can still answer — flagged, so callers know.
+      cStaleServed_.inc();
+      entry->promise.set_value({stale, true});
+      for (const auto& w : waiters) {
+        completeTune(w, stale, /*cacheHit=*/false, /*coalesced=*/true,
+                     /*stale=*/true);
+      }
+      return {stale, true};
+    }
     entry->promise.set_exception(err);
     const std::string msg = describe(err);
     for (const auto& w : waiters) rejectTune(w, Status::Error, msg);
     std::rethrow_exception(err);
   }
-  entry->promise.set_value(result);
+  breaker.onSuccess();
+  entry->promise.set_value({result, false});
   for (const auto& w : waiters) {
     completeTune(w, result, /*cacheHit=*/false, /*coalesced=*/true);
   }
-  return result;
+  return {result, false};
 }
 
 void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
-                          bool cacheHit, bool coalesced) {
+                          bool cacheHit, bool coalesced, bool stale) {
   if (Clock::now() > job->deadline) {
     rejectTune(job, Status::DeadlineExceeded, "");
     return;
@@ -367,6 +462,7 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   resp.status = Status::Ok;
   resp.cacheHit = cacheHit;
   resp.coalesced = coalesced;
+  resp.stale = stale;
   // The study (expensive) is shared/cached; the budget-specific tuner
   // step (cheap) runs per request.  Recommending over the cached global
   // front is equivalent to recommending over all points: the optima and
@@ -387,6 +483,9 @@ void Broker::rejectTune(const TuneJobPtr& job, Status status,
       break;
     case Status::Error:
       cFailed_.inc();
+      break;
+    case Status::CircuitOpen:
+      cRejectedCircuitOpen_.inc();
       break;
     default:
       break;  // QueueFull / ShuttingDown counted at admission
@@ -414,9 +513,15 @@ ServeMetrics Broker::metrics() const {
   out.rejectedDeadline = cRejectedDeadline_.value();
   out.rejectedQueueFull = cRejectedQueueFull_.value();
   out.rejectedShutdown = cRejectedShutdown_.value();
+  out.rejectedCircuitOpen = cRejectedCircuitOpen_.value();
   out.coalesced = cCoalesced_.value();
   out.studiesExecuted = cStudiesExecuted_.value();
+  out.staleServed = cStaleServed_.value();
   out.accepted = cAccepted_.value();
+  out.breakerOpens = breakerP100_.opens() + breakerK40c_.opens();
+  const Clock::time_point now = Clock::now();
+  out.breakerStateP100 = breakerStateName(breakerP100_.state(now));
+  out.breakerStateK40c = breakerStateName(breakerK40c_.state(now));
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
     out.latency.counts[i] = hLatencyMs_.bucketValue(i);
   }
@@ -446,6 +551,20 @@ std::string Broker::renderPrometheus() const {
     gCacheCapacity_.set(static_cast<std::int64_t>(cs.capacity));
     gQueueDepth_.set(static_cast<std::int64_t>(queueDepth_));
     gInFlightStudies_.set(static_cast<std::int64_t>(inFlight_.size()));
+    const Clock::time_point now = Clock::now();
+    const auto stateValue = [&](const CircuitBreaker& b) -> std::int64_t {
+      switch (b.state(now)) {
+        case CircuitBreaker::State::Closed:
+          return 0;
+        case CircuitBreaker::State::HalfOpen:
+          return 1;
+        case CircuitBreaker::State::Open:
+          return 2;
+      }
+      return 0;
+    };
+    gBreakerStateP100_.set(stateValue(breakerP100_));
+    gBreakerStateK40c_.set(stateValue(breakerK40c_));
   }
   return registry_.renderPrometheus();
 }

@@ -35,6 +35,7 @@
 
 #include "common/thread_pool.hpp"
 #include "obs/metrics.hpp"
+#include "serve/breaker.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/metrics.hpp"
@@ -49,6 +50,13 @@ struct BrokerOptions {
   // Applied to requests that carry no deadline; <= 0 keeps them
   // deadline-free.
   double defaultDeadlineMs = 0.0;
+  // Per-device circuit breaker over engine evaluations; disabled by
+  // default (failureThreshold == 0).
+  CircuitBreakerOptions breaker{};
+  // Stale-while-error store: every successful study is also remembered
+  // here (independently of the LRU result cache), and served — flagged
+  // stale — when the engine fails or the breaker is open.  0 disables.
+  std::size_t staleCapacity = 128;
 };
 
 class Broker {
@@ -95,15 +103,25 @@ class Broker {
   };
   using TuneJobPtr = std::shared_ptr<TuneJob>;
 
+  // How a study was resolved: the result plus whether it came from the
+  // stale-while-error store (the owner's engine failed but an old good
+  // result could answer).  Coalesced waiters see the same outcome.
+  struct StudyOutcome {
+    ResultPtr result;
+    bool stale = false;
+  };
+
   struct InFlightStudy {
-    std::promise<ResultPtr> promise;
-    std::shared_future<ResultPtr> future;
+    std::promise<StudyOutcome> promise;
+    std::shared_future<StudyOutcome> future;
     std::vector<TuneJobPtr> waiters;
   };
 
   [[nodiscard]] StudyKey keyFor(Device device, int n) const;
   [[nodiscard]] Clock::time_point deadlineFor(double deadlineMs,
                                               Clock::time_point now) const;
+  [[nodiscard]] CircuitBreaker& breakerFor(Device device);
+  [[nodiscard]] const CircuitBreaker& breakerFor(Device device) const;
 
   // Worker bodies.
   void runTuneJob(const TuneJobPtr& job);
@@ -113,13 +131,15 @@ class Broker {
 
   // Compute (or join) the study for one key.  Called from worker
   // threads only.  May block on another worker's in-flight computation.
-  // Counts hits/coalescing into the metrics; throws on engine failure.
-  [[nodiscard]] ResultPtr obtainStudy(Device device, int n, bool* cacheHit,
-                                      bool* coalesced);
+  // Counts hits/coalescing into the metrics; throws on engine failure
+  // with no stale fallback, BreakerOpenError when the breaker rejects
+  // and nothing stale is available.
+  [[nodiscard]] StudyOutcome obtainStudy(Device device, int n, bool* cacheHit,
+                                         bool* coalesced);
 
   // Fulfill a tune job from a completed study (cheap tuner step).
   void completeTune(const TuneJobPtr& job, const ResultPtr& result,
-                    bool cacheHit, bool coalesced);
+                    bool cacheHit, bool coalesced, bool stale = false);
   void rejectTune(const TuneJobPtr& job, Status status,
                   const std::string& error);
 
@@ -144,10 +164,15 @@ class Broker {
   obs::Counter& cCacheHits_;
   obs::Counter& cCacheMisses_;
   obs::Counter& cCacheEvictions_;
+  obs::Counter& cRejectedCircuitOpen_;
+  obs::Counter& cBreakerOpens_;
+  obs::Counter& cStaleServed_;
   obs::Gauge& gQueueDepth_;
   obs::Gauge& gInFlightStudies_;
   obs::Gauge& gCacheSize_;
   obs::Gauge& gCacheCapacity_;
+  obs::Gauge& gBreakerStateP100_;
+  obs::Gauge& gBreakerStateK40c_;
   obs::Histogram& hLatencyMs_;
 
   mutable std::mutex mu_;
@@ -156,8 +181,15 @@ class Broker {
   std::size_t queueDepth_ = 0;   // admitted, not yet started
   std::size_t activeJobs_ = 0;   // started, not yet finished
   LruCache<StudyKey, ResultPtr, StudyKeyHash> cache_;
+  // Last-known-good results, kept past cache_ eviction so an engine
+  // failure (or an open breaker) can still answer — flagged stale.
+  LruCache<StudyKey, ResultPtr, StudyKeyHash> staleStore_;
   std::unordered_map<StudyKey, std::shared_ptr<InFlightStudy>, StudyKeyHash>
       inFlight_;
+  // One breaker per device: a broken K40c engine must not open the
+  // circuit for P100 traffic.  Own leaf mutex; safe to call under mu_.
+  CircuitBreaker breakerP100_;
+  CircuitBreaker breakerK40c_;
   // Cache stats already mirrored into the registry counters (guarded
   // by mu_; renderPrometheus syncs the delta).
   mutable LruCacheStats syncedCache_;

@@ -28,9 +28,14 @@ std::string formatMetrics(const ServeMetrics& m) {
      << " completed=" << m.completed << " failed=" << m.failed << "\n"
      << "rejected: queue_full=" << m.rejectedQueueFull
      << " deadline=" << m.rejectedDeadline
-     << " shutdown=" << m.rejectedShutdown << "\n"
+     << " shutdown=" << m.rejectedShutdown
+     << " circuit_open=" << m.rejectedCircuitOpen << "\n"
      << "sharing:  coalesced=" << m.coalesced
      << " studies_executed=" << m.studiesExecuted << "\n"
+     << "breaker:  opens=" << m.breakerOpens
+     << " stale_served=" << m.staleServed
+     << " p100=" << m.breakerStateP100
+     << " k40c=" << m.breakerStateK40c << "\n"
      << "cache:    hits=" << m.cacheHits << " misses=" << m.cacheMisses
      << " evictions=" << m.cacheEvictions << " size=" << m.cacheSize << "/"
      << m.cacheCapacity << "\n"

@@ -60,10 +60,17 @@ struct ServeMetrics {
   std::uint64_t completed = 0;
   std::uint64_t failed = 0;            // engine error
   std::uint64_t rejectedDeadline = 0;  // expired before completion
+  std::uint64_t rejectedCircuitOpen = 0;  // breaker open, nothing stale
 
   // Sharing.
   std::uint64_t coalesced = 0;         // requests that joined an in-flight study
   std::uint64_t studiesExecuted = 0;   // cold engine evaluations
+
+  // Resilience.
+  std::uint64_t breakerOpens = 0;      // breaker open transitions (all devices)
+  std::uint64_t staleServed = 0;       // responses from the stale store
+  const char* breakerStateP100 = "closed";
+  const char* breakerStateK40c = "closed";
   std::uint64_t cacheHits = 0;         // cache lookups that hit
   std::uint64_t cacheMisses = 0;       // cache lookups that missed
   std::uint64_t cacheEvictions = 0;

@@ -39,6 +39,8 @@ const char* statusName(Status s) {
       return "shutting_down";
     case Status::Error:
       return "error";
+    case Status::CircuitOpen:
+      return "circuit_open";
   }
   return "unknown";
 }

@@ -61,6 +61,7 @@ enum class Status {
   DeadlineExceeded,  // request expired before a worker could serve it
   ShuttingDown,      // broker no longer accepts work
   Error,             // engine failure (e.g. unlaunchable workload)
+  CircuitOpen,       // breaker tripped and no stale result to serve
 };
 
 [[nodiscard]] const char* statusName(Status s);
@@ -71,6 +72,9 @@ struct TuneResponse {
   core::TunerRecommendation recommendation;
   bool cacheHit = false;   // served from the result cache
   bool coalesced = false;  // shared another request's in-flight study
+  // Served from the stale-while-error store: the engine failed (or the
+  // breaker is open) and a previously-good result answered instead.
+  bool stale = false;
   Seconds latency{0.0};    // submit -> response
 };
 
@@ -79,6 +83,7 @@ struct StudyResponse {
   std::string error;
   core::FrontStatistics statistics;
   std::size_t workloadCacheHits = 0;  // per-workload cache hits inside the sweep
+  std::size_t staleWorkloads = 0;     // workloads served stale-while-error
   Seconds latency{0.0};
 };
 

@@ -52,6 +52,7 @@ class Parser {
   explicit Parser(const std::string& s) : s_(s) {}
 
   std::optional<Object> parse(std::string* error) {
+    if (s_.size() > kMaxFrameBytes) return fail(error, "frame too large");
     skipWs();
     if (!consume('{')) return fail(error, "expected '{'");
     Object obj;
@@ -60,13 +61,22 @@ class Parser {
     for (;;) {
       skipWs();
       std::string key;
-      if (!parseString(&key)) return fail(error, "expected string key");
+      if (!parseString(&key)) {
+        return fail(error, strError_ ? strError_ : "expected string key");
+      }
       skipWs();
       if (!consume(':')) return fail(error, "expected ':'");
       skipWs();
       Value v;
-      if (!parseValue(&v)) return fail(error, "bad value");
-      obj[key] = std::move(v);
+      if (!parseValue(&v)) {
+        return fail(error, strError_ ? strError_ : "bad value");
+      }
+      // A key that appears twice is always a client bug (or an attempt
+      // to smuggle conflicting parameters past a logging layer that
+      // records only one of them) — reject rather than pick a winner.
+      if (!obj.emplace(std::move(key), std::move(v)).second) {
+        return fail(error, "duplicate key");
+      }
       skipWs();
       if (consume(',')) continue;
       if (consume('}')) break;
@@ -105,7 +115,7 @@ class Parser {
       char c = s_[pos_++];
       if (c == '"') return true;
       if (c == '\\') {
-        if (pos_ >= s_.size()) return false;
+        if (pos_ >= s_.size()) return failString("unterminated string");
         char e = s_[pos_++];
         switch (e) {
           case '"':
@@ -135,25 +145,25 @@ class Parser {
           case 'u': {
             // Only BMP escapes of ASCII are reproduced; others are
             // replaced with '?' (the protocol never emits them).
-            if (pos_ + 4 > s_.size()) return false;
+            if (pos_ + 4 > s_.size()) return failString("bad string escape");
             const std::string hex = s_.substr(pos_, 4);
             pos_ += 4;
             char* end = nullptr;
             const long code = std::strtol(hex.c_str(), &end, 16);
-            if (end != hex.c_str() + 4) return false;
+            if (end != hex.c_str() + 4) return failString("bad string escape");
             *out += (code >= 0x20 && code < 0x7F)
                         ? static_cast<char>(code)
                         : '?';
             break;
           }
           default:
-            return false;
+            return failString("bad string escape");
         }
       } else {
         *out += c;
       }
     }
-    return false;  // unterminated
+    return failString("unterminated string");
   }
 
   bool parseValue(Value* v) {
@@ -190,8 +200,16 @@ class Parser {
     return true;
   }
 
+  bool failString(const char* msg) {
+    strError_ = msg;
+    return false;
+  }
+
   const std::string& s_;
   std::size_t pos_ = 0;
+  // Set by parseString on a malformed string so parse() can report the
+  // specific defect instead of a generic "bad value".
+  const char* strError_ = nullptr;
 };
 
 std::optional<double> getNumber(const Object& obj, const std::string& key) {
@@ -343,6 +361,7 @@ std::string encodeTuneResponse(const TuneResponse& resp) {
   }
   w.add("cacheHit", resp.cacheHit)
       .add("coalesced", resp.coalesced)
+      .add("stale", resp.stale)
       .add("latencyMs", resp.latency.value() * 1e3);
   return w.str();
 }
@@ -368,6 +387,7 @@ std::string encodeStudyResponse(const StudyResponse& resp) {
   }
   w.add("workloadCacheHits",
         static_cast<std::uint64_t>(resp.workloadCacheHits))
+      .add("staleWorkloads", static_cast<std::uint64_t>(resp.staleWorkloads))
       .add("latencyMs", resp.latency.value() * 1e3);
   return w.str();
 }
@@ -381,8 +401,13 @@ std::string encodeMetrics(const ServeMetrics& m) {
       .add("rejectedQueueFull", m.rejectedQueueFull)
       .add("rejectedDeadline", m.rejectedDeadline)
       .add("rejectedShutdown", m.rejectedShutdown)
+      .add("rejectedCircuitOpen", m.rejectedCircuitOpen)
       .add("coalesced", m.coalesced)
       .add("studiesExecuted", m.studiesExecuted)
+      .add("breakerOpens", m.breakerOpens)
+      .add("staleServed", m.staleServed)
+      .add("breakerStateP100", m.breakerStateP100)
+      .add("breakerStateK40c", m.breakerStateK40c)
       .add("cacheHits", m.cacheHits)
       .add("cacheMisses", m.cacheMisses)
       .add("cacheEvictions", m.cacheEvictions)

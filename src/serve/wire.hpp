@@ -18,6 +18,7 @@
 // configuration and trade-off, study responses the front statistics.
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <optional>
 #include <string>
@@ -26,6 +27,12 @@
 #include "serve/request.hpp"
 
 namespace ep::serve::wire {
+
+// Hard ceiling on one request frame (a single line).  Every legitimate
+// request fits in a few hundred bytes; anything larger is a confused —
+// or hostile — client, and the server must neither buffer it without
+// bound nor hand it to the parser.
+inline constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 20;
 
 struct Value {
   enum class Kind { Null, Bool, Number, String };

@@ -1,0 +1,507 @@
+// epfault tests: deterministic fault injection (FaultyMeter), the
+// robust measurement loop's recovery tiers, skip-and-record studies,
+// and crash-safe checkpoint/resume — including the bitwise guarantees
+// (serial == parallel, resume == uninterrupted) that make a fault
+// campaign reproducible.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/journal.hpp"
+#include "core/study.hpp"
+#include "fault/fault.hpp"
+#include "fault/faulty_meter.hpp"
+#include "hw/gpu_model.hpp"
+#include "hw/spec.hpp"
+#include "power/measurer.hpp"
+#include "power/meter.hpp"
+#include "power/profile.hpp"
+
+namespace ep::fault {
+namespace {
+
+using ep::literals::operator""_s;
+using ep::literals::operator""_W;
+
+power::MeterOptions fastMeter() {
+  power::MeterOptions m;
+  m.sampleInterval = Seconds{0.25};
+  m.randomPhase = false;
+  return m;
+}
+
+power::ProfilePowerSource benchProfile() {
+  power::ProfilePowerSource p(90.0_W);
+  p.addSegment({0.0_s, 20.0_s, 80.0_W});  // 1600 J dynamic
+  return p;
+}
+
+bool sameTrace(const power::PowerTrace& a, const power::PowerTrace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (core::doubleBits(a.samples()[i].time.value()) !=
+            core::doubleBits(b.samples()[i].time.value()) ||
+        core::doubleBits(a.samples()[i].power.value()) !=
+            core::doubleBits(b.samples()[i].power.value())) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- options / plumbing ---
+
+TEST(FaultOptions, CampaignScalesWindowRatesDown) {
+  const auto o = FaultInjectionOptions::campaign(0.08);
+  EXPECT_TRUE(o.enabled);
+  EXPECT_DOUBLE_EQ(o.sampleFaultRate, 0.08);
+  EXPECT_DOUBLE_EQ(o.timeoutRate, 0.02);
+  EXPECT_DOUBLE_EQ(o.gainDriftRate, 0.04);
+  EXPECT_FALSE(FaultInjectionOptions::campaign(0.0).enabled);
+  EXPECT_THROW((void)FaultInjectionOptions::campaign(1.5), PreconditionError);
+}
+
+TEST(FaultOptions, MeterRejectsInvalidRates) {
+  FaultInjectionOptions o;
+  o.enabled = true;
+  o.sampleFaultRate = 1.5;
+  EXPECT_THROW(FaultyMeter(power::WattsUpMeter(fastMeter()), o),
+               PreconditionError);
+  o.sampleFaultRate = 0.1;
+  o.dropWeight = o.stuckWeight = o.spikeWeight = o.nanWeight = o.zeroWeight =
+      0.0;
+  EXPECT_THROW(FaultyMeter(power::WattsUpMeter(fastMeter()), o),
+               PreconditionError);
+}
+
+TEST(FaultCounts, AggregateAndSummarize) {
+  FaultCounts a;
+  a.dropped = 2;
+  a.spikes = 1;
+  FaultCounts b;
+  b.nans = 3;
+  b.timeouts = 1;
+  a += b;
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_NE(a.summary().find("dropped=2"), std::string::npos);
+  EXPECT_STREQ(faultKindName(FaultKind::Spike), "spike");
+  EXPECT_STREQ(faultKindName(FaultKind::MeterTimeout), "meter_timeout");
+}
+
+// --- FaultyMeter ---
+
+TEST(FaultyMeter, DisabledIsBitwiseIdentity) {
+  const power::WattsUpMeter clean(fastMeter());
+  const FaultyMeter faulty(power::WattsUpMeter(fastMeter()),
+                           FaultInjectionOptions{});  // enabled == false
+  const auto profile = benchProfile();
+  Rng a(42), b(42);
+  const power::PowerTrace ta = clean.record(profile, 20.0_s, a);
+  const power::PowerTrace tb = faulty.record(profile, 20.0_s, b);
+  EXPECT_TRUE(sameTrace(ta, tb));
+  EXPECT_EQ(faulty.counts().total(), 0u);
+}
+
+TEST(FaultyMeter, InjectionIsDeterministic) {
+  const auto opts = FaultInjectionOptions::campaign(0.10);
+  const FaultyMeter m1(power::WattsUpMeter(fastMeter()), opts);
+  const FaultyMeter m2(power::WattsUpMeter(fastMeter()), opts);
+  const auto profile = benchProfile();
+  Rng a(7), b(7);
+  const power::PowerTrace ta = m1.record(profile, 20.0_s, a);
+  const power::PowerTrace tb = m2.record(profile, 20.0_s, b);
+  EXPECT_TRUE(sameTrace(ta, tb));
+  EXPECT_EQ(m1.counts().total(), m2.counts().total());
+  EXPECT_GT(m1.counts().total(), 0u);
+}
+
+TEST(FaultyMeter, WindowsGetDistinctFaultStreams) {
+  const auto opts = FaultInjectionOptions::campaign(0.15);
+  const FaultyMeter m(power::WattsUpMeter(fastMeter()), opts);
+  const auto profile = benchProfile();
+  Rng rng(7);
+  power::PowerTrace t1, t2;
+  m.recordInto(profile, 20.0_s, rng, t1);
+  Rng replay(7);  // same *measurement* draws as window 1...
+  m.recordInto(profile, 20.0_s, replay, t2);
+  EXPECT_EQ(m.windows(), 2u);
+  // ...but the per-window fault stream differs, so the corruption does.
+  EXPECT_FALSE(sameTrace(t1, t2));
+}
+
+TEST(FaultyMeter, EndpointsSurviveTotalDropCampaign) {
+  FaultInjectionOptions opts;
+  opts.enabled = true;
+  opts.sampleFaultRate = 1.0;  // every sample faults...
+  opts.dropWeight = 1.0;       // ...and every fault is a drop
+  opts.stuckWeight = opts.spikeWeight = opts.nanWeight = opts.zeroWeight = 0.0;
+  const power::WattsUpMeter clean(fastMeter());
+  const FaultyMeter faulty(power::WattsUpMeter(fastMeter()), opts);
+  const auto profile = benchProfile();
+  Rng a(11), b(11);
+  const power::PowerTrace reference = clean.record(profile, 20.0_s, a);
+  const power::PowerTrace dropped = faulty.record(profile, 20.0_s, b);
+  // Everything interior is gone, but the bracketing samples survive so
+  // the energy window stays covered.
+  ASSERT_EQ(dropped.size(), 2u);
+  EXPECT_DOUBLE_EQ(dropped.startTime().value(),
+                   reference.startTime().value());
+  EXPECT_DOUBLE_EQ(dropped.endTime().value(), reference.endTime().value());
+  EXPECT_EQ(faulty.counts().dropped, reference.size() - 2);
+}
+
+TEST(FaultyMeter, SpikesMultiplyTheCleanReading) {
+  FaultInjectionOptions opts;
+  opts.enabled = true;
+  opts.sampleFaultRate = 1.0;
+  opts.spikeWeight = 1.0;
+  opts.dropWeight = opts.stuckWeight = opts.nanWeight = opts.zeroWeight = 0.0;
+  opts.spikeFactor = 4.0;
+  const power::WattsUpMeter clean(fastMeter());
+  const FaultyMeter faulty(power::WattsUpMeter(fastMeter()), opts);
+  const auto profile = benchProfile();
+  Rng a(13), b(13);
+  const power::PowerTrace reference = clean.record(profile, 20.0_s, a);
+  const power::PowerTrace spiked = faulty.record(profile, 20.0_s, b);
+  ASSERT_EQ(spiked.size(), reference.size());
+  for (std::size_t i = 0; i < spiked.size(); ++i) {
+    EXPECT_DOUBLE_EQ(spiked.samples()[i].power.value(),
+                     4.0 * reference.samples()[i].power.value());
+  }
+}
+
+TEST(FaultyMeter, TimeoutThrowsBeforeAnyRecording) {
+  FaultInjectionOptions opts;
+  opts.enabled = true;
+  opts.timeoutRate = 1.0;
+  const FaultyMeter m(power::WattsUpMeter(fastMeter()), opts);
+  const auto profile = benchProfile();
+  Rng rng(3);
+  power::PowerTrace out;
+  EXPECT_THROW(m.recordInto(profile, 20.0_s, rng, out),
+               power::MeterTimeoutError);
+  EXPECT_EQ(m.counts().timeouts, 1u);
+  EXPECT_EQ(m.windows(), 1u);
+}
+
+// --- robust measurement loop ---
+
+TEST(RobustMeasure, PersistentTimeoutExhaustsRetriesWithBackoff) {
+  FaultInjectionOptions opts;
+  opts.enabled = true;
+  opts.timeoutRate = 1.0;
+  auto meter = std::make_shared<const FaultyMeter>(
+      power::WattsUpMeter(fastMeter()), opts);
+  const power::EnergyMeasurer measurer(meter, 90.0_W);
+  power::RobustnessOptions robustness;
+  robustness.timeoutRetries = 3;
+  robustness.backoffBaseS = 0.5;
+  const auto profile = benchProfile();
+  Rng rng(5);
+  try {
+    (void)measurer.measure(profile, 20.0_s, rng, 0.0_s, {}, robustness);
+    FAIL() << "expected MeasurementError";
+  } catch (const power::MeasurementError& e) {
+    EXPECT_EQ(e.report().timeouts, 4u);  // initial try + 3 retries
+    EXPECT_EQ(e.report().retries, 3u);
+    // Exponential virtual backoff: 0.5 + 1 + 2 seconds.
+    EXPECT_DOUBLE_EQ(e.report().virtualBackoffS, 3.5);
+    EXPECT_NE(std::string(e.what()).find("timeout"), std::string::npos);
+  }
+}
+
+TEST(RobustMeasure, ValidationRejectionExhaustsTheBudget) {
+  // A clean meter, but validation thresholds nothing can satisfy: every
+  // trace is rejected and the re-measure budget runs out.
+  const power::EnergyMeasurer measurer(power::WattsUpMeter(fastMeter()),
+                                       90.0_W);
+  power::RobustnessOptions robustness;
+  robustness.validation.enabled = true;
+  robustness.validation.maxGapFactor = 0.5;  // median gap always exceeds this
+  robustness.remeasureBudget = 4;
+  const auto profile = benchProfile();
+  Rng rng(6);
+  try {
+    (void)measurer.measure(profile, 20.0_s, rng, 0.0_s, {}, robustness);
+    FAIL() << "expected MeasurementError";
+  } catch (const power::MeasurementError& e) {
+    EXPECT_EQ(e.report().invalidTraces, 5u);  // budget + the final straw
+    EXPECT_EQ(e.report().timeouts, 0u);
+  }
+}
+
+TEST(RobustMeasure, NanObservationsAreScreenedOut) {
+  // NaN-only sample faults with no sanitization: the corrupted windows
+  // integrate to NaN dynamic energy, and outlier screening must reject
+  // exactly those observations while the measurement still converges.
+  FaultInjectionOptions opts;
+  opts.enabled = true;
+  opts.sampleFaultRate = 0.02;
+  opts.nanWeight = 1.0;
+  opts.dropWeight = opts.stuckWeight = opts.spikeWeight = opts.zeroWeight =
+      0.0;
+  auto meter = std::make_shared<const FaultyMeter>(
+      power::WattsUpMeter(fastMeter()), opts);
+  const power::EnergyMeasurer measurer(meter, 90.0_W);
+  power::RobustnessOptions robustness;
+  robustness.rejectOutliers = true;
+  robustness.remeasureBudget = 128;
+  const auto profile = benchProfile();
+  Rng rng(8);
+  const power::MeasuredEnergy m =
+      measurer.measure(profile, 20.0_s, rng, 0.0_s, {}, robustness);
+  EXPECT_TRUE(std::isfinite(m.mean.dynamicEnergy.value()));
+  EXPECT_NEAR(m.mean.dynamicEnergy.value(), 1600.0, 120.0);
+  EXPECT_GT(m.faults.outliersRejected, 0u);
+}
+
+TEST(RobustMeasure, CleanPathIsBitwiseUnaffectedByRobustness) {
+  // All recovery tiers enabled over a fault-free instrument: no knob
+  // may perturb a single draw or reading — the hardened pipeline must
+  // be a superset, not a variant, of the clean one.
+  const auto profile = benchProfile();
+  power::RobustnessOptions all;
+  all.sanitizeSamples = true;
+  all.maxPlausibleWatts = 600.0;
+  all.validation.enabled = true;
+  all.rejectOutliers = true;
+  const power::EnergyMeasurer measurer(power::WattsUpMeter(fastMeter()),
+                                       90.0_W);
+  Rng a(21), b(21);
+  const auto off = measurer.measure(profile, 20.0_s, a);
+  const auto on = measurer.measure(profile, 20.0_s, b, 0.0_s, {}, all);
+  EXPECT_EQ(core::doubleBits(off.mean.dynamicEnergy.value()),
+            core::doubleBits(on.mean.dynamicEnergy.value()));
+  EXPECT_EQ(core::doubleBits(off.mean.executionTime.value()),
+            core::doubleBits(on.mean.executionTime.value()));
+  EXPECT_EQ(on.faults.recoveries(), 0u);
+  EXPECT_EQ(on.faults.samplesSanitized, 0u);
+}
+
+// --- study-level failure policies ---
+
+apps::GpuMatMulOptions smallStudyOptions() {
+  apps::GpuMatMulOptions o;
+  o.totalProducts = 4;
+  o.bsMax = 8;
+  o.useMeter = true;
+  o.meter.sampleInterval = Seconds{0.02};
+  o.meter.randomPhase = false;
+  o.measurement.minRepetitions = 3;
+  o.measurement.maxRepetitions = 12;
+  return o;
+}
+
+TEST(StudyFaults, SkipAndRecordCompactsInEnumerationOrder) {
+  apps::GpuMatMulOptions o = smallStudyOptions();
+  o.faults.enabled = true;
+  o.faults.timeoutRate = 0.25;  // some configs die, some survive
+  o.robustness.timeoutRetries = 0;
+  o.failPolicy = FailPolicy::SkipAndRecord;
+  const apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaK40c()), o);
+  const int n = 2048;
+  Rng rng(99);
+  std::vector<apps::GpuConfigFailure> failures;
+  const auto data = app.runWorkload(n, rng, nullptr, &failures);
+  EXPECT_EQ(data.size() + failures.size(), app.enumerateConfigs(n).size());
+  EXPECT_FALSE(data.empty());
+  EXPECT_FALSE(failures.empty());
+  for (const auto& f : failures) {
+    EXPECT_NE(f.error.find("timeout"), std::string::npos) << f.error;
+  }
+  // Survivors stay in enumeration order (ascending forkSalt order is
+  // not observable here, but (g, r, bs) enumeration is).
+  const auto all = app.enumerateConfigs(n);
+  std::size_t cursor = 0;
+  for (const auto& d : data) {
+    while (cursor < all.size() &&
+           (all[cursor].bs != d.config.bs || all[cursor].g != d.config.g ||
+            all[cursor].r != d.config.r)) {
+      ++cursor;
+    }
+    EXPECT_LT(cursor, all.size()) << "result out of enumeration order";
+  }
+}
+
+TEST(StudyFaults, FailFastPropagatesTheFirstError) {
+  apps::GpuMatMulOptions o = smallStudyOptions();
+  o.faults.enabled = true;
+  o.faults.timeoutRate = 1.0;
+  o.robustness.timeoutRetries = 0;
+  o.failPolicy = FailPolicy::FailFast;
+  const apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaK40c()), o);
+  Rng rng(100);
+  EXPECT_THROW((void)app.runWorkload(2048, rng), power::MeasurementError);
+}
+
+TEST(StudyFaults, AllConfigsFailingFailsTheWorkload) {
+  apps::GpuMatMulOptions o = smallStudyOptions();
+  o.faults.enabled = true;
+  o.faults.timeoutRate = 1.0;
+  o.robustness.timeoutRetries = 0;
+  o.failPolicy = FailPolicy::SkipAndRecord;
+  const core::GpuEpStudy study(
+      apps::GpuMatMulApp(hw::GpuModel(hw::nvidiaK40c()), o));
+  Rng rng(101);
+  // Every config skipped leaves nothing to build a front from.
+  EXPECT_THROW((void)study.runWorkload(2048, rng), EpError);
+}
+
+TEST(StudyFaults, PoolSizeDoesNotChangeFaultedResults) {
+  apps::GpuMatMulOptions o = smallStudyOptions();
+  o.faults = FaultInjectionOptions::campaign(0.05);
+  o.robustness.sanitizeSamples = true;
+  o.robustness.rejectOutliers = true;
+  o.failPolicy = FailPolicy::SkipAndRecord;
+  const apps::GpuMatMulApp app(hw::GpuModel(hw::nvidiaK40c()), o);
+  const int n = 2048;
+  Rng serialRng(7);
+  std::vector<apps::GpuConfigFailure> serialFailures;
+  const auto serial = app.runWorkload(n, serialRng, nullptr, &serialFailures);
+  for (std::size_t threads : {1u, 4u}) {
+    ThreadPool pool(threads);
+    Rng rng(7);
+    std::vector<apps::GpuConfigFailure> failures;
+    const auto parallel = app.runWorkload(n, rng, &pool, &failures);
+    ASSERT_EQ(parallel.size(), serial.size());
+    ASSERT_EQ(failures.size(), serialFailures.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(core::doubleBits(parallel[i].time.value()),
+                core::doubleBits(serial[i].time.value()));
+      EXPECT_EQ(core::doubleBits(parallel[i].dynamicEnergy.value()),
+                core::doubleBits(serial[i].dynamicEnergy.value()));
+      EXPECT_EQ(parallel[i].repetitions, serial[i].repetitions);
+    }
+  }
+}
+
+// --- checkpoint / resume ---
+
+class JournalTest : public ::testing::Test {
+ protected:
+  JournalTest()
+      : app_(hw::GpuModel(hw::nvidiaK40c()), journalOptions()),
+        study_(app_),
+        path_(::testing::TempDir() + "epfault_journal_test.journal") {
+    std::remove(path_.c_str());
+  }
+  ~JournalTest() override { std::remove(path_.c_str()); }
+
+  static apps::GpuMatMulOptions journalOptions() {
+    apps::GpuMatMulOptions o = smallStudyOptions();
+    o.faults = FaultInjectionOptions::campaign(0.05);
+    o.robustness.sanitizeSamples = true;
+    o.robustness.rejectOutliers = true;
+    o.failPolicy = FailPolicy::SkipAndRecord;
+    return o;
+  }
+
+  static bool sameSweep(const std::vector<core::WorkloadResult>& a,
+                        const std::vector<core::WorkloadResult>& b) {
+    if (a.size() != b.size()) return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      if (a[i].n != b[i].n || a[i].data.size() != b[i].data.size() ||
+          a[i].failures.size() != b[i].failures.size()) {
+        return false;
+      }
+      for (std::size_t j = 0; j < a[i].data.size(); ++j) {
+        if (core::doubleBits(a[i].data[j].time.value()) !=
+                core::doubleBits(b[i].data[j].time.value()) ||
+            core::doubleBits(a[i].data[j].dynamicEnergy.value()) !=
+                core::doubleBits(b[i].data[j].dynamicEnergy.value())) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  apps::GpuMatMulApp app_;
+  core::GpuEpStudy study_;
+  std::string path_;
+  const std::vector<int> sweep_{1536, 2048, 2560};
+};
+
+TEST_F(JournalTest, ResumeIsBitwiseIdenticalToUninterrupted) {
+  core::SweepOptions plain;
+  plain.workloadPolicy = FailPolicy::SkipAndRecord;
+  Rng rngA(1234);
+  const auto uninterrupted = study_.runSweepChecked(sweep_, rngA, plain);
+
+  core::SweepOptions ckpt = plain;
+  ckpt.checkpointPath = path_;
+  {
+    // "Crash" after the first workload only.
+    const std::vector<int> half(sweep_.begin(), sweep_.begin() + 1);
+    Rng rng(1234);
+    const auto partial = study_.runSweepChecked(half, rng, ckpt);
+    EXPECT_EQ(partial.resumedWorkloads, 0u);
+  }
+  Rng rngB(1234);
+  const auto resumed = study_.runSweepChecked(sweep_, rngB, ckpt);
+  EXPECT_EQ(resumed.resumedWorkloads, 1u);
+  EXPECT_TRUE(sameSweep(uninterrupted.results, resumed.results));
+
+  Rng rngC(1234);
+  const auto replayed = study_.runSweepChecked(sweep_, rngC, ckpt);
+  EXPECT_EQ(replayed.resumedWorkloads, sweep_.size());
+  EXPECT_TRUE(sameSweep(uninterrupted.results, replayed.results));
+}
+
+TEST_F(JournalTest, TornTailIsIgnoredOnLoad) {
+  core::SweepOptions ckpt;
+  ckpt.workloadPolicy = FailPolicy::SkipAndRecord;
+  ckpt.checkpointPath = path_;
+  Rng rngA(55);
+  const auto first = study_.runSweepChecked({sweep_[0]}, rngA, ckpt);
+  ASSERT_EQ(first.results.size(), 1u);
+  {
+    // Simulate a crash mid-append: a workload header and one config
+    // line with no terminating E record.
+    std::ofstream tail(path_, std::ios::app);
+    tail << "W 2048 5 0\nC 4 2 2 40340c0000";
+  }
+  Rng rngB(55);
+  const auto resumed = study_.runSweepChecked(sweep_, rngB, ckpt);
+  // Only the complete workload was restored; the torn one re-measures.
+  EXPECT_EQ(resumed.resumedWorkloads, 1u);
+  EXPECT_EQ(resumed.results.size(), sweep_.size());
+}
+
+TEST_F(JournalTest, HashMismatchRefusesTheJournal) {
+  core::SweepOptions ckpt;
+  ckpt.workloadPolicy = FailPolicy::SkipAndRecord;
+  ckpt.checkpointPath = path_;
+  Rng rngA(77);
+  (void)study_.runSweepChecked({sweep_[0]}, rngA, ckpt);
+
+  // Same options, different device: the checkpoint identity differs and
+  // the journal must refuse to resume rather than silently merge.
+  const core::GpuEpStudy p100(
+      apps::GpuMatMulApp(hw::GpuModel(hw::nvidiaP100Pcie()),
+                         journalOptions()));
+  Rng rngB(77);
+  EXPECT_THROW((void)p100.runSweepChecked({sweep_[0]}, rngB, ckpt),
+               PreconditionError);
+  // A different seed on the same device is refused too.
+  Rng rngC(78);
+  EXPECT_THROW((void)study_.runSweepChecked({sweep_[0]}, rngC, ckpt),
+               PreconditionError);
+}
+
+TEST_F(JournalTest, MissingFileLoadsEmpty) {
+  const auto loaded = core::StudyJournal::load(
+      path_, study_.checkpointHash(123), app_);
+  EXPECT_TRUE(loaded.empty());
+}
+
+}  // namespace
+}  // namespace ep::fault

@@ -433,5 +433,66 @@ TEST(EpsilonFront, RejectsNegativeEpsilon) {
   EXPECT_THROW((void)epsilonFront({mk2(1, 1)}, -0.1), PreconditionError);
 }
 
+// --- precision-aware front ---
+
+TEST(PrecisionFront, ZeroEpsilonIsTheExactFront) {
+  const std::vector<BiPoint> pts{mk(1, 4, 0), mk(3, 3, 1), mk(2, 2, 2),
+                                 mk(5, 1, 3)};
+  const auto exact = paretoFront(pts);
+  const auto precise = precisionFront(pts, 0.0);
+  ASSERT_EQ(precise.size(), exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    EXPECT_EQ(precise[i].configId, exact[i].configId);
+  }
+}
+
+TEST(PrecisionFront, DropsAdvantagesBelowMeasurementPrecision) {
+  // The K40c near-tie shape: the second point is 8 % slower for a 0.4 %
+  // energy win — real to exact dominance, meaningless to an instrument
+  // with a 2.5 % CI.  The front collapses to the fast point.
+  const std::vector<BiPoint> pts{mk(87.57, 5524.2, 0), mk(94.61, 5500.4, 1),
+                                 mk(95.0, 6000.0, 2)};
+  const auto exact = paretoFront(pts);
+  ASSERT_EQ(exact.size(), 2u);
+  const auto precise = precisionFront(pts, 0.025);
+  ASSERT_EQ(precise.size(), 1u);
+  EXPECT_EQ(precise[0].configId, 0u);
+}
+
+TEST(PrecisionFront, KeepsTradeoffsBeyondPrecision) {
+  // 10 % slower for 30 % less energy: both objectives move beyond
+  // epsilon in opposite directions, so both points are meaningful.
+  const std::vector<BiPoint> pts{mk(1.0, 10.0, 0), mk(1.1, 7.0, 1)};
+  EXPECT_EQ(precisionFront(pts, 0.025).size(), 2u);
+  // A large-enough epsilon erases the time advantage and keeps only the
+  // energy-better point.
+  const auto coarse = precisionFront(pts, 0.15);
+  ASSERT_EQ(coarse.size(), 1u);
+  EXPECT_EQ(coarse[0].configId, 1u);
+}
+
+TEST(PrecisionFront, IsASubsetOfTheExactFront) {
+  Rng rng(2027);
+  std::vector<BiPoint> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                     static_cast<std::uint64_t>(i)));
+  }
+  const auto exact = paretoFront(pts);
+  for (double eps : {0.0, 0.01, 0.05, 0.25}) {
+    const auto precise = precisionFront(pts, eps);
+    EXPECT_LE(precise.size(), exact.size());
+    for (const auto& p : precise) {
+      EXPECT_TRUE(std::any_of(exact.begin(), exact.end(), [&](const BiPoint& q) {
+        return q.configId == p.configId;
+      }));
+    }
+  }
+}
+
+TEST(PrecisionFront, RejectsNegativeEpsilon) {
+  EXPECT_THROW((void)precisionFront({mk(1, 1)}, -0.01), PreconditionError);
+}
+
 }  // namespace
 }  // namespace ep::pareto

@@ -2,6 +2,8 @@
 // and the HCLWattsUp-style energy measurer.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "power/measurer.hpp"
@@ -306,6 +308,123 @@ TEST(Measurer, RejectsInvalidWindows) {
   EXPECT_THROW(
       (void)measurer.measureOnce(profile, 1.0_s, rng, Seconds{-1.0}),
       PreconditionError);
+  EXPECT_THROW((void)measurer.measureOnce(profile, Seconds{-2.0}, rng),
+               PreconditionError);
+  EXPECT_THROW((void)measurer.measure(profile, 0.0_s, rng),
+               PreconditionError);
+}
+
+// --- trace validation ---
+
+PowerTrace regularTrace(int n, double power = 100.0) {
+  PowerTrace t;
+  for (int i = 0; i < n; ++i) {
+    t.append({Seconds{static_cast<double>(i)},
+              Watts{power + 0.1 * static_cast<double>(i % 7)}});
+  }
+  return t;
+}
+
+TEST(Validation, AcceptsARegularTrace) {
+  const PowerTrace t = regularTrace(20);
+  const char* reason = nullptr;
+  EXPECT_TRUE(validateTrace(t, TraceValidation{}, &reason));
+  EXPECT_STREQ(reason, "ok");
+}
+
+TEST(Validation, FlagsEmptyAndNonFiniteTraces) {
+  const char* reason = nullptr;
+  EXPECT_FALSE(validateTrace(PowerTrace{}, TraceValidation{}, &reason));
+  EXPECT_STREQ(reason, "empty trace");
+  PowerTrace t = regularTrace(5);
+  t.append({Seconds{100.0}, Watts{std::nan("")}});
+  EXPECT_FALSE(validateTrace(t, TraceValidation{}, &reason));
+  EXPECT_STREQ(reason, "non-finite reading");
+}
+
+TEST(Validation, FlagsSamplingGapsAgainstTheMedianInterval) {
+  PowerTrace t = regularTrace(10);              // 1 s cadence
+  t.append({Seconds{14.0}, 100.0_W});           // 5 s gap
+  TraceValidation v;
+  v.maxGapFactor = 2.6;
+  const char* reason = nullptr;
+  EXPECT_FALSE(validateTrace(t, v, &reason));
+  EXPECT_STREQ(reason, "sampling gap");
+  v.maxGapFactor = 6.0;  // tolerant enough for the same gap
+  EXPECT_TRUE(validateTrace(t, v, &reason));
+}
+
+TEST(Validation, FlagsStuckRuns) {
+  PowerTrace t;
+  for (int i = 0; i < 10; ++i) {
+    // Identical readings from sample 3 on.
+    t.append({Seconds{static_cast<double>(i)},
+              Watts{i < 3 ? 100.0 + i : 97.5}});
+  }
+  TraceValidation v;
+  v.stuckRunLength = 5;
+  const char* reason = nullptr;
+  EXPECT_FALSE(validateTrace(t, v, &reason));
+  EXPECT_STREQ(reason, "stuck reading");
+  v.stuckRunLength = 8;
+  EXPECT_TRUE(validateTrace(t, v, &reason));
+}
+
+// --- per-sample sanitization ---
+
+TEST(Sanitize, CleanTraceIsUntouched) {
+  PowerTrace t = regularTrace(10);
+  EXPECT_EQ(sanitizeTrace(t), 0u);
+  EXPECT_EQ(t.size(), 10u);
+}
+
+TEST(Sanitize, DropsInteriorImpossibleReadings) {
+  PowerTrace t;
+  t.append({0.0_s, 100.0_W});
+  t.append({1.0_s, Watts{std::nan("")}});
+  t.append({2.0_s, 0.0_W});
+  t.append({3.0_s, Watts{-5.0}});
+  t.append({4.0_s, 100.0_W});
+  EXPECT_EQ(sanitizeTrace(t), 3u);
+  ASSERT_EQ(t.size(), 2u);
+  // The trapezoid bridges the gap at the clean readings' level.
+  EXPECT_DOUBLE_EQ(t.energyBetween(0.0_s, 4.0_s).value(), 400.0);
+}
+
+TEST(Sanitize, RepairsCorruptedBracketingSamples) {
+  PowerTrace t;
+  t.append({0.0_s, Watts{std::nan("")}});
+  t.append({1.0_s, 100.0_W});
+  t.append({2.0_s, 100.0_W});
+  t.append({3.0_s, 0.0_W});
+  EXPECT_EQ(sanitizeTrace(t), 2u);
+  // The window endpoints survive at the nearest good reading, so
+  // energyBetween over the full window keeps working.
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t.startTime().value(), 0.0);
+  EXPECT_DOUBLE_EQ(t.endTime().value(), 3.0);
+  EXPECT_DOUBLE_EQ(t.energyBetween(0.0_s, 3.0_s).value(), 300.0);
+}
+
+TEST(Sanitize, AllBadLeavesAnEmptyTrace) {
+  PowerTrace t;
+  t.append({0.0_s, Watts{std::nan("")}});
+  t.append({1.0_s, 0.0_W});
+  EXPECT_EQ(sanitizeTrace(t), 2u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(Sanitize, PlausibilityCeilingDropsSpikes) {
+  PowerTrace t;
+  t.append({0.0_s, 100.0_W});
+  t.append({1.0_s, 400.0_W});  // 4x spike above the node's PSU rating
+  t.append({2.0_s, 100.0_W});
+  // Without a ceiling the spike is a legitimate (finite, positive)
+  // reading; with one it is dropped like any impossible sample.
+  PowerTrace copy = t;
+  EXPECT_EQ(sanitizeTrace(copy), 0u);
+  EXPECT_EQ(sanitizeTrace(t, /*maxPlausibleWatts=*/350.0), 1u);
+  EXPECT_DOUBLE_EQ(t.energyBetween(0.0_s, 2.0_s).value(), 200.0);
 }
 
 }  // namespace

@@ -15,9 +15,11 @@
 #include "common/error.hpp"
 #include "pareto/front.hpp"
 #include "pareto/tradeoff.hpp"
+#include "serve/breaker.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
+#include "serve/wire.hpp"
 
 namespace ep::serve {
 namespace {
@@ -52,7 +54,9 @@ class FakeEngine : public TuningEngine {
       if (gated_) cv_.wait(lk, [this] { return released_; });
     }
     calls_.fetch_add(1, std::memory_order_relaxed);
-    if (n == failN_) throw ResourceError("synthetic engine failure");
+    if (failAll_.load(std::memory_order_relaxed) || n == failN_) {
+      throw ResourceError("synthetic engine failure");
+    }
     core::WorkloadResult r;
     r.n = n;
     const double s = 1.0 + static_cast<double>(n) * 1e-4 +
@@ -69,6 +73,9 @@ class FakeEngine : public TuningEngine {
   }
 
   void failOn(int n) { failN_ = n; }
+  void failAlways(bool on = true) {
+    failAll_.store(on, std::memory_order_relaxed);
+  }
 
   // Block until a worker is inside evaluate().
   void waitEntered(int count = 1) const {
@@ -88,6 +95,7 @@ class FakeEngine : public TuningEngine {
  private:
   bool gated_;
   int failN_ = -1;
+  std::atomic<bool> failAll_{false};
   mutable std::mutex mu_;
   mutable std::condition_variable cv_;
   mutable int entered_ = 0;
@@ -660,6 +668,300 @@ TEST(StudyRequestSizes, ExpandsAndValidates) {
   EXPECT_TRUE(r.sizes().empty());
   r.nBegin = -1;
   EXPECT_TRUE(r.sizes().empty());
+}
+
+// --- wire parser hardening ---
+
+TEST(Wire, ParserRejectsOversizedFrames) {
+  // A frame one byte over the ceiling must be refused before any
+  // parsing work is attempted.
+  const std::string line =
+      "{\"a\":\"" + std::string(wire::kMaxFrameBytes, 'x') + "\"}";
+  std::string error;
+  EXPECT_FALSE(wire::parseObject(line, &error).has_value());
+  EXPECT_EQ(error, "frame too large");
+}
+
+TEST(Wire, ParserRejectsDuplicateKeys) {
+  std::string error;
+  EXPECT_FALSE(
+      wire::parseObject(R"({"n":1,"n":2})", &error).has_value());
+  EXPECT_EQ(error, "duplicate key");
+}
+
+TEST(Wire, ParserRejectsUnterminatedStrings) {
+  std::string error;
+  EXPECT_FALSE(wire::parseObject(R"({"op":"tun)", &error).has_value());
+  EXPECT_EQ(error, "unterminated string");
+  // Trailing backslash: the escape itself runs off the end.
+  EXPECT_FALSE(wire::parseObject("{\"op\":\"a\\", &error).has_value());
+  EXPECT_EQ(error, "unterminated string");
+}
+
+TEST(Wire, ParserRejectsBadEscapesAndNesting) {
+  std::string error;
+  EXPECT_FALSE(wire::parseObject(R"({"op":"\x"})", &error).has_value());
+  EXPECT_EQ(error, "bad string escape");
+  EXPECT_FALSE(wire::parseObject(R"({"op":"\u12"})", &error).has_value());
+  EXPECT_EQ(error, "bad string escape");
+  // The protocol is flat: nested containers are rejected, not parsed.
+  EXPECT_FALSE(wire::parseObject(R"({"a":{"b":1}})", &error).has_value());
+  EXPECT_FALSE(wire::parseObject(R"({"a":[1,2]})", &error).has_value());
+}
+
+TEST(Wire, ResponsesCarryStalenessOnTheWire) {
+  TuneResponse tr;
+  tr.status = Status::Ok;
+  tr.stale = true;
+  EXPECT_NE(wire::encodeTuneResponse(tr).find("\"stale\":true"),
+            std::string::npos);
+  StudyResponse sr;
+  sr.status = Status::Ok;
+  sr.staleWorkloads = 2;
+  EXPECT_NE(wire::encodeStudyResponse(sr).find("\"staleWorkloads\":2"),
+            std::string::npos);
+}
+
+// --- circuit breaker state machine (synthetic time, no sleeping) ---
+
+TEST(CircuitBreaker, DisabledBreakerNeverTrips) {
+  CircuitBreaker b;  // failureThreshold = 0: opt-in off
+  const Clock::time_point t0{};
+  for (int i = 0; i < 10; ++i) b.onFailure(t0);
+  EXPECT_EQ(b.state(t0), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(t0));
+  EXPECT_FALSE(b.wouldReject(t0));
+  EXPECT_EQ(b.opens(), 0u);
+}
+
+TEST(CircuitBreaker, TripsAfterConsecutiveFailures) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = 3;
+  o.openMs = 1000.0;
+  CircuitBreaker b(o);
+  const Clock::time_point t0{};
+  b.onFailure(t0);
+  b.onFailure(t0);
+  EXPECT_EQ(b.state(t0), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(t0));
+  b.onFailure(t0);
+  EXPECT_EQ(b.state(t0), CircuitBreaker::State::Open);
+  EXPECT_EQ(b.opens(), 1u);
+  EXPECT_FALSE(b.allow(t0));
+  EXPECT_TRUE(b.wouldReject(t0 + std::chrono::milliseconds(999)));
+}
+
+TEST(CircuitBreaker, SuccessResetsTheConsecutiveCount) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = 2;
+  CircuitBreaker b(o);
+  const Clock::time_point t0{};
+  b.onFailure(t0);
+  b.onSuccess();  // an intervening success: failures are not consecutive
+  b.onFailure(t0);
+  EXPECT_EQ(b.state(t0), CircuitBreaker::State::Closed);
+  b.onFailure(t0);
+  EXPECT_EQ(b.state(t0), CircuitBreaker::State::Open);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeSuccessCloses) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = 1;
+  o.openMs = 1000.0;
+  o.halfOpenProbes = 1;
+  CircuitBreaker b(o);
+  const Clock::time_point t0{};
+  b.onFailure(t0);
+  const auto t1 = t0 + std::chrono::milliseconds(1001);
+  EXPECT_EQ(b.state(t1), CircuitBreaker::State::HalfOpen);
+  EXPECT_TRUE(b.allow(t1));   // claims the single probe slot
+  EXPECT_FALSE(b.allow(t1));  // probe budget exhausted until it reports
+  b.onSuccess();
+  EXPECT_EQ(b.state(t1), CircuitBreaker::State::Closed);
+  EXPECT_TRUE(b.allow(t1));
+  EXPECT_EQ(b.opens(), 1u);
+}
+
+TEST(CircuitBreaker, HalfOpenProbeFailureReopens) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = 1;
+  o.openMs = 1000.0;
+  CircuitBreaker b(o);
+  const Clock::time_point t0{};
+  b.onFailure(t0);
+  const auto t1 = t0 + std::chrono::milliseconds(1001);
+  ASSERT_TRUE(b.allow(t1));
+  b.onFailure(t1);  // the probe failed: a fresh open window starts at t1
+  EXPECT_EQ(b.opens(), 2u);
+  EXPECT_EQ(b.state(t1 + std::chrono::milliseconds(999)),
+            CircuitBreaker::State::Open);
+  EXPECT_EQ(b.state(t1 + std::chrono::milliseconds(1001)),
+            CircuitBreaker::State::HalfOpen);
+}
+
+TEST(CircuitBreaker, WouldRejectNeverClaimsProbeSlots) {
+  CircuitBreakerOptions o;
+  o.failureThreshold = 1;
+  o.openMs = 1000.0;
+  o.halfOpenProbes = 1;
+  CircuitBreaker b(o);
+  const Clock::time_point t0{};
+  b.onFailure(t0);
+  const auto t1 = t0 + std::chrono::milliseconds(1001);
+  for (int i = 0; i < 5; ++i) EXPECT_FALSE(b.wouldReject(t1));
+  EXPECT_TRUE(b.allow(t1));  // the probe is still available
+}
+
+// --- breaker + stale-while-error through the broker ---
+
+TEST(Broker, BreakerOpensAfterRepeatedEngineFailures) {
+  auto engine = std::make_shared<FakeEngine>();
+  engine->failAlways();
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.breaker.failureThreshold = 2;
+  opts.breaker.openMs = 60'000.0;  // stays open for the whole test
+  opts.staleCapacity = 0;          // no fallback: rejection is visible
+  Broker broker(engine, opts);
+
+  EXPECT_EQ(broker.tune(tuneReq(1)).status, Status::Error);
+  EXPECT_EQ(broker.tune(tuneReq(2)).status, Status::Error);
+  // The breaker is now open: fail fast without touching the engine.
+  const int callsBefore = engine->calls();
+  EXPECT_EQ(broker.tune(tuneReq(3)).status, Status::CircuitOpen);
+  EXPECT_EQ(engine->calls(), callsBefore);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.failed, 2u);
+  EXPECT_EQ(m.breakerOpens, 1u);
+  EXPECT_EQ(m.rejectedCircuitOpen, 1u);
+}
+
+TEST(Broker, BreakersAreIndependentPerDevice) {
+  auto engine = std::make_shared<FakeEngine>();
+  engine->failAlways();
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.breaker.failureThreshold = 1;
+  opts.breaker.openMs = 60'000.0;
+  opts.staleCapacity = 0;
+  Broker broker(engine, opts);
+
+  ASSERT_EQ(broker.tune(tuneReq(1, 0.5, 0.0, Device::K40c)).status,
+            Status::Error);
+  EXPECT_EQ(broker.tune(tuneReq(2, 0.5, 0.0, Device::K40c)).status,
+            Status::CircuitOpen);
+  // P100 traffic still reaches the engine.
+  engine->failAlways(false);
+  EXPECT_EQ(broker.tune(tuneReq(3, 0.5, 0.0, Device::P100)).status,
+            Status::Ok);
+}
+
+TEST(Broker, StaleResultServedWhenTheEngineFails) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.cacheCapacity = 1;  // force eviction: the stale path is only
+                           // reachable past the result cache
+  opts.staleCapacity = 8;
+  Broker broker(engine, opts);
+
+  const TuneResponse good = broker.tune(tuneReq(1));
+  ASSERT_EQ(good.status, Status::Ok);
+  ASSERT_EQ(broker.tune(tuneReq(2)).status, Status::Ok);  // evicts N=1
+
+  engine->failAlways();
+  const TuneResponse stale = broker.tune(tuneReq(1));
+  ASSERT_EQ(stale.status, Status::Ok);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_FALSE(stale.cacheHit);
+  EXPECT_EQ(stale.recommendation.recommended.configId,
+            good.recommendation.recommended.configId);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.staleServed, 1u);
+  EXPECT_EQ(m.failed, 0u);  // stale-while-error is a success to the caller
+}
+
+TEST(Broker, OpenBreakerServesStaleAndRejectsUnknownKeys) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.cacheCapacity = 1;
+  opts.staleCapacity = 8;
+  opts.breaker.failureThreshold = 1;
+  opts.breaker.openMs = 60'000.0;
+  Broker broker(engine, opts);
+
+  ASSERT_EQ(broker.tune(tuneReq(1)).status, Status::Ok);
+  ASSERT_EQ(broker.tune(tuneReq(2)).status, Status::Ok);  // evicts N=1
+  engine->failAlways();
+  ASSERT_EQ(broker.tune(tuneReq(3)).status, Status::Error);  // trips it
+
+  const int callsBefore = engine->calls();
+  const TuneResponse stale = broker.tune(tuneReq(1));
+  EXPECT_EQ(stale.status, Status::Ok);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_EQ(broker.tune(tuneReq(4)).status, Status::CircuitOpen);
+  EXPECT_EQ(engine->calls(), callsBefore);  // both answered at admission
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.staleServed, 1u);
+  EXPECT_EQ(m.rejectedCircuitOpen, 1u);
+  EXPECT_EQ(m.breakerOpens, 1u);
+}
+
+TEST(Broker, ShutdownDrainsWithAFailureInFlight) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  engine->failOn(1);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 8;
+  Broker broker(engine, opts);
+
+  auto failing = broker.submitTune(tuneReq(1));
+  engine->waitEntered();
+  auto queued = broker.submitTune(tuneReq(2));
+
+  std::thread closer([&] { broker.shutdown(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  engine->release();
+  closer.join();
+
+  // Drained: the failure is reported, the queued job still ran.
+  EXPECT_EQ(failing.get().status, Status::Error);
+  EXPECT_EQ(queued.get().status, Status::Ok);
+  EXPECT_EQ(broker.tune(tuneReq(3)).status, Status::ShuttingDown);
+}
+
+TEST(Broker, DeadlineAndBreakerRacesResolveEveryRequest) {
+  // A short open window keeps the breaker flapping between Open and
+  // HalfOpen while deadlines expire in the queue — every future must
+  // still resolve with a definite status and the admission identity
+  // must hold (the snapshot ordering is TSan-verified in CI).
+  auto engine = std::make_shared<FakeEngine>();
+  engine->failAlways();
+  BrokerOptions opts;
+  opts.threads = 4;
+  opts.queueCapacity = 128;
+  opts.breaker.failureThreshold = 3;
+  opts.breaker.openMs = 1.0;
+  opts.staleCapacity = 0;
+  Broker broker(engine, opts);
+
+  std::vector<std::future<TuneResponse>> futures;
+  for (int i = 0; i < 60; ++i) {
+    const double deadlineMs = (i % 3 == 0) ? 0.01 : 0.0;
+    futures.push_back(broker.submitTune(tuneReq(i % 8 + 1, 0.5, deadlineMs)));
+  }
+  for (auto& f : futures) {
+    const Status s = f.get().status;
+    EXPECT_TRUE(s == Status::Error || s == Status::CircuitOpen ||
+                s == Status::DeadlineExceeded)
+        << "status " << static_cast<int>(s);
+  }
+  const ServeMetrics m = broker.metrics();
+  EXPECT_LE(m.completed + m.failed + m.rejectedDeadline, m.accepted);
+  EXPECT_EQ(m.completed, 0u);  // a failing engine never produces Ok
+  EXPECT_EQ(m.queueDepth, 0u);
+  EXPECT_EQ(m.inFlightStudies, 0u);
 }
 
 }  // namespace

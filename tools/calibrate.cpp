@@ -21,11 +21,8 @@ using namespace ep;
 
 namespace {
 
-void dumpWorkload(const char* tag, const core::GpuEpStudy& study, int n,
-                  bool listAll) {
-  Rng rng(42);
-  const core::WorkloadResult r = study.runWorkload(n, rng);
-  std::printf("\n=== %s N=%d: %zu configs ===\n", tag, n, r.points.size());
+void dumpResult(const char* tag, const core::WorkloadResult& r, bool listAll) {
+  std::printf("\n=== %s N=%d: %zu configs ===\n", tag, r.n, r.points.size());
   if (listAll) {
     for (const auto& d : r.data) {
       std::printf("  %-18s t=%9.3f s  E=%10.1f J  occ=%.2f boost=%.3f%s\n",
@@ -54,6 +51,28 @@ void dumpWorkload(const char* tag, const core::GpuEpStudy& study, int n,
   }
 }
 
+// Evaluate `sizes` for one device, optionally through the crash-safe
+// sweep journal (--checkpoint): workloads already recorded are restored
+// instead of recomputed, and each completed workload is appended, so an
+// interrupted calibration run resumes where it stopped.
+void dumpWorkloads(const char* tag, const core::GpuEpStudy& study,
+                   const std::vector<int>& sizes, bool listAll,
+                   const char* checkpointDir) {
+  Rng rng(42);
+  core::SweepOptions opts;
+  if (checkpointDir) {
+    opts.checkpointPath =
+        std::string(checkpointDir) + "/calibrate-" + tag + ".journal";
+  }
+  const auto sweep = study.runSweepChecked(sizes, rng, opts);
+  if (checkpointDir) {
+    std::printf("\n%s: resumed %zu of %zu workloads from %s\n", tag,
+                sweep.resumedWorkloads, sizes.size(),
+                opts.checkpointPath.c_str());
+  }
+  for (const auto& r : sweep.results) dumpResult(tag, r, listAll);
+}
+
 void dumpAdditivity(const char* tag, const apps::GpuMatMulApp& app, int bs) {
   std::printf("\n=== %s Fig6 additivity (BS=%d) ===\n", tag, bs);
   for (int n : {5120, 8192, 10240, 12288, 14336, 15360, 16384, 18432}) {
@@ -78,14 +97,19 @@ void dumpAdditivity(const char* tag, const apps::GpuMatMulApp& app, int bs) {
 int main(int argc, char** argv) {
   bool listAll = false;
   const char* tracePath = nullptr;
+  const char* checkpointDir = nullptr;
   for (int i = 1; i < argc; ++i) {
     const std::string_view a = argv[i];
     if (a == "--all") {
       listAll = true;
     } else if (a == "--trace" && i + 1 < argc) {
       tracePath = argv[++i];
+    } else if (a == "--checkpoint" && i + 1 < argc) {
+      checkpointDir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: calibrate [--all] [--trace out.json]\n");
+      std::fprintf(stderr,
+                   "usage: calibrate [--all] [--trace out.json]"
+                   " [--checkpoint dir]\n");
       return 2;
     }
   }
@@ -110,11 +134,9 @@ int main(int argc, char** argv) {
     std::printf("  P100 sweep:   global fronts avg 2 / max 3\n");
     std::printf("  K40c:         global front 1 pt (BS=32); local avg 4 / max 5; (18%%, 7%%)\n");
 
-    dumpWorkload("P100", p100Study, 10240, listAll);
-    dumpWorkload("P100", p100Study, 14336, listAll);
-    dumpWorkload("P100", p100Study, 18432, listAll);
-    dumpWorkload("K40c", k40cStudy, 8704, listAll);
-    dumpWorkload("K40c", k40cStudy, 10240, listAll);
+    dumpWorkloads("P100", p100Study, {10240, 14336, 18432}, listAll,
+                  checkpointDir);
+    dumpWorkloads("K40c", k40cStudy, {8704, 10240}, listAll, checkpointDir);
 
     dumpAdditivity("P100", p100, 32);
     dumpAdditivity("K40c", k40c, 32);

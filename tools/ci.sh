@@ -1,13 +1,16 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify plus a ThreadSanitizer race check of the
-# concurrent components (epserve broker, epcommon thread pool, epobs
-# metrics/tracing).
+# CI entry point: tier-1 verify plus sanitizer checks of the concurrent
+# and fault-handling components — a ThreadSanitizer race pass (epserve
+# broker, epcommon thread pool, epobs metrics/tracing) and an
+# AddressSanitizer+UBSan pass over the fault-injection and serve paths
+# (the code that deliberately corrupts traces and parses hostile
+# frames).
 #
-#   tools/ci.sh          # full: tier-1 build + ctest, then TSan config
-#   tools/ci.sh --fast   # skip the TSan configuration
+#   tools/ci.sh          # full: tier-1 build + ctest, TSan, ASan+UBSan
+#   tools/ci.sh --fast   # skip the sanitizer configurations
 #
 # The primary build already compiles everything with -Wall -Wextra via
-# the epsim_warnings interface target; the TSan configuration adds
+# the epsim_warnings interface target; the sanitizer configurations add
 # -Werror on top so new warnings fail CI without polluting the cached
 # options of the default build directory.
 set -euo pipefail
@@ -23,7 +26,7 @@ cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
 if [[ "${FAST}" == "1" ]]; then
-  echo "== skipping TSan configuration (--fast) =="
+  echo "== skipping sanitizer configurations (--fast) =="
   exit 0
 fi
 
@@ -43,5 +46,21 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_apps
+
+echo "== ASan+UBSan: fault injection + robust measurement + wire parser =="
+cmake -B build-asan -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DEPSIM_WERROR=ON \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
+  test_serve test_core
+# detect_leaks flushes out meter/journal ownership bugs; the fault tests
+# exercise every injected-corruption branch, the serve tests the
+# malformed-frame corpus, test_core the checkpoint journal I/O.
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fault
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_power
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_serve
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_core
 
 echo "== ci.sh: all green =="

@@ -124,7 +124,9 @@ bool parseArgs(int argc, char** argv, Args* out) {
 }
 
 // Serve one connection: read lines, answer each.  Returns when the
-// peer closes or the server is shutting down.
+// peer closes, the server is shutting down, or the peer streams a
+// "line" past the frame ceiling (buffering is bounded: a client that
+// never sends a newline cannot grow our memory without limit).
 void serveConnection(int fd, ep::serve::Broker& broker) {
   std::string buffer;
   char chunk[4096];
@@ -132,6 +134,13 @@ void serveConnection(int fd, ep::serve::Broker& broker) {
     const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
     if (got <= 0) break;
     buffer.append(chunk, static_cast<std::size_t>(got));
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > ep::serve::wire::kMaxFrameBytes) {
+      const std::string reply =
+          ep::serve::wire::encodeError("frame too large") + "\n";
+      (void)send(fd, reply.data(), reply.size(), 0);
+      break;
+    }
     std::size_t nl;
     while ((nl = buffer.find('\n')) != std::string::npos) {
       std::string line = buffer.substr(0, nl);

@@ -1,0 +1,298 @@
+// Scripted fault campaign for the hardened measurement -> study ->
+// serve pipeline (the epfault acceptance run, kept in-tree like
+// calibrate/epsim_report so it can be re-run after any model or
+// robustness change).
+//
+//   faultcheck [--rate R] [--threads N] [--journal PATH]
+//
+// With a deterministic fault campaign injected into the simulated
+// wall meter (dropped/stuck/spiked/NaN/zero samples, gain drift and
+// whole-window timeouts at --rate, default 5 %), the robust
+// measurement loop and skip-and-record study must still:
+//
+//   1. reproduce the paper's K40c Section V shape: every workload's
+//      global front collapses to one point at BS=32 — asserted at the
+//      measurement protocol's own precision (a 2.5 % CI target cannot
+//      certify exact dominance between sub-percent near-ties, so the
+//      shape check uses pareto::precisionFront at that epsilon);
+//   2. reproduce the Fig 6 additivity thresholds on *measured*
+//      energies: strongly non-additive at N=5120, additive at N=16384;
+//   3. stay bitwise-deterministic across pool sizes 1/2/8;
+//   4. checkpoint-resume to results bitwise-identical to an
+//      uninterrupted sweep;
+//   5. account for every injected fault in the epobs registry
+//      (ep_fault_injected_total and friends in the Prometheus dump).
+//
+// Exit code 0 iff every check passes.
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "apps/gpu_matmul_app.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "core/journal.hpp"
+#include "core/study.hpp"
+#include "energymodel/additivity.hpp"
+#include "hw/gpu_model.hpp"
+#include "pareto/front.hpp"
+#include "hw/spec.hpp"
+#include "obs/metrics.hpp"
+#include "stats/ttest.hpp"
+
+using namespace ep;
+
+namespace {
+
+int gFailures = 0;
+
+void check(bool ok, const char* what) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "FAIL", what);
+  if (!ok) ++gFailures;
+}
+
+apps::GpuMatMulOptions campaignOptions(double rate) {
+  apps::GpuMatMulOptions opts;
+  opts.useMeter = true;
+  opts.faults = fault::FaultInjectionOptions::campaign(rate);
+  // Tiered recovery matched to the campaign's fault rates: per-sample
+  // sanitization absorbs the point corruptions (NaN/zero readings and
+  // spikes above the node's PSU ceiling) that make *every* long trace
+  // dirty, structural validation with tolerant thresholds catches what
+  // sanitization cannot repair (4+ consecutive missing samples, long
+  // stuck runs), and MAD screening rejects the whole-window energy
+  // shifts (gain drift, residual spike pile-ups).
+  opts.robustness.sanitizeSamples = true;
+  // Simulated nodes peak well under 400 W (idle host + one GPU's TDP);
+  // the campaign's 4x spikes land far above any real PSU rating.
+  opts.robustness.maxPlausibleWatts = 600.0;
+  opts.robustness.validation.enabled = true;
+  opts.robustness.validation.maxGapFactor = 5.0;
+  opts.robustness.validation.stuckRunLength = 8;
+  opts.robustness.rejectOutliers = true;
+  // Tight enough to reject the +/-5 % gain-drift windows the PSU
+  // ceiling cannot catch; the clean rep-to-rep scatter sits well below
+  // this modified z-score.
+  opts.robustness.madThreshold = 3.5;
+  opts.robustness.remeasureBudget = 64;
+  opts.failPolicy = fault::FailPolicy::SkipAndRecord;
+  return opts;
+}
+
+bool sameResults(const core::WorkloadResult& a, const core::WorkloadResult& b) {
+  if (a.n != b.n || a.data.size() != b.data.size() ||
+      a.failures.size() != b.failures.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.data.size(); ++i) {
+    const auto& x = a.data[i];
+    const auto& y = b.data[i];
+    if (x.config.bs != y.config.bs || x.config.g != y.config.g ||
+        x.config.r != y.config.r || x.repetitions != y.repetitions ||
+        core::doubleBits(x.time.value()) != core::doubleBits(y.time.value()) ||
+        core::doubleBits(x.dynamicEnergy.value()) !=
+            core::doubleBits(y.dynamicEnergy.value())) {
+      return false;
+    }
+  }
+  for (std::size_t i = 0; i < a.failures.size(); ++i) {
+    if (a.failures[i].error != b.failures[i].error) return false;
+  }
+  return true;
+}
+
+bool sameSweeps(const std::vector<core::WorkloadResult>& a,
+                const std::vector<core::WorkloadResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!sameResults(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+int perfOptimalBs(const core::WorkloadResult& r) {
+  return r.data[r.globalTradeoff.performanceOptimal.configId].config.bs;
+}
+
+// Value of a counter in a Prometheus text exposition; -1 if absent.
+double promValue(const std::string& text, const std::string& name) {
+  std::size_t pos = 0;
+  const std::string needle = name + " ";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n') {
+      return std::atof(text.c_str() + pos + needle.size());
+    }
+    pos += needle.size();
+  }
+  return -1.0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double rate = 0.05;
+  std::size_t threads = 8;
+  std::string journalPath = "faultcheck.journal";
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view a = argv[i];
+    if (a == "--rate" && i + 1 < argc) {
+      rate = std::atof(argv[++i]);
+    } else if (a == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (a == "--journal" && i + 1 < argc) {
+      journalPath = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: faultcheck [--rate R] [--threads N]"
+                   " [--journal PATH]\n");
+      return 2;
+    }
+  }
+  std::remove(journalPath.c_str());
+  ThreadPool pool(threads);
+  const std::uint64_t kSeed = 0xFA17C4EC;
+  const std::vector<int> sweep{8704, 10240, 12288, 14336};
+
+  std::printf("fault campaign: rate=%.3f (timeouts %.3f, drift %.3f)\n", rate,
+              rate / 4.0, rate / 2.0);
+
+  // --- 1. K40c Section V shape survives the campaign. -----------------
+  std::printf("\n== K40c paper shape under faults ==\n");
+  const apps::GpuMatMulOptions opts = campaignOptions(rate);
+  const core::GpuEpStudy k40c(
+      apps::GpuMatMulApp(hw::GpuModel(hw::nvidiaK40c()), opts));
+  core::SweepOptions sweepOpts;
+  sweepOpts.workloadPolicy = fault::FailPolicy::SkipAndRecord;
+  Rng rngA(kSeed);
+  const auto runA = k40c.runSweepChecked(sweep, rngA, sweepOpts, &pool);
+  check(runA.failures.empty(), "no workload lost to the campaign");
+  check(runA.results.size() == sweep.size(), "every workload produced");
+  std::size_t skipped = 0;
+  bool frontsOk = !runA.results.empty();
+  bool bsOk = frontsOk;
+  // Energies are measured to a 2.5 % CI target, so the shape assertion
+  // holds the front to that same resolution: a front member whose only
+  // advantage is below the instrument's precision is not a real
+  // trade-off point.
+  const double kPrecision = stats::MeasurementOptions{}.precision;
+  for (const auto& r : runA.results) {
+    skipped += r.failures.size();
+    const auto meaningful = pareto::precisionFront(r.points, kPrecision);
+    std::printf(
+        "  N=%d: %zu configs (%zu skipped), global front %zu"
+        " (%zu at 2.5%% precision)\n",
+        r.n, r.data.size(), r.failures.size(), r.globalFront.size(),
+        meaningful.size());
+    for (const auto& p : r.globalFront) {
+      const auto& d = r.data[p.configId];
+      std::printf("    front: BS=%d G=%d R=%d  t=%.6f s  E=%.3f J\n",
+                  d.config.bs, d.config.g, d.config.r, p.time.value(),
+                  p.energy.value());
+    }
+    if (meaningful.size() != 1) frontsOk = false;
+    if (perfOptimalBs(r) != 32) bsOk = false;
+  }
+  check(frontsOk,
+        "global front = 1 point per workload at measurement precision");
+  check(bsOk, "performance-optimal configuration is BS=32");
+
+  // --- 2. Fig 6 additivity thresholds on measured energies. -----------
+  std::printf("\n== Fig 6 additivity under faults (P100, BS=32) ==\n");
+  const apps::GpuMatMulApp p100(hw::GpuModel(hw::nvidiaP100Pcie()),
+                                campaignOptions(rate));
+  Rng addRng(kSeed + 1);
+  auto measuredError = [&](int n) {
+    double e1 = 0.0, e4 = 0.0;
+    for (const auto& cfg : p100.additivityConfigs(n, 32, 4)) {
+      Rng cfgRng = addRng.fork(apps::GpuMatMulApp::forkSalt(cfg));
+      try {
+        const auto d = p100.runConfig(cfg, cfgRng);
+        if (cfg.g == 1) e1 = d.dynamicEnergy.value();
+        if (cfg.g == 4) e4 = d.dynamicEnergy.value();
+      } catch (const EpError& e) {
+        std::printf("  N=%d G=%d failed: %s\n", n, cfg.g, e.what());
+        return -1.0;  // fails both threshold checks
+      }
+    }
+    const auto rec = model::analyzeEnergyAdditivity(e1, e4, 4);
+    std::printf("  N=%d: E(1)=%.1f J, E(4)=%.1f J, error=%.1f%%\n", n, e1, e4,
+                100.0 * rec.error);
+    return rec.error;
+  };
+  check(measuredError(5120) > 0.10, "N=5120 strongly non-additive (>10%)");
+  const double e16 = measuredError(16384);
+  check(e16 >= 0.0 && e16 < 0.08, "N=16384 additive (<8%)");
+
+  // --- 3. Bitwise determinism across pool sizes. ----------------------
+  std::printf("\n== pool-size determinism under faults ==\n");
+  auto runOne = [&](ThreadPool* p) {
+    Rng rng(kSeed);
+    core::WorkloadResult r = k40c.runWorkload(10240, rng, p);
+    return r;
+  };
+  const auto serial = runOne(nullptr);
+  bool poolsOk = true;
+  for (std::size_t t : {1u, 2u, 8u}) {
+    ThreadPool small(t);
+    if (!sameResults(serial, runOne(&small))) poolsOk = false;
+  }
+  check(poolsOk, "pool sizes 1/2/8 bitwise-identical to serial");
+
+  // --- 4. Checkpoint + resume == uninterrupted. -----------------------
+  std::printf("\n== checkpoint / resume ==\n");
+  core::SweepOptions ckpt = sweepOpts;
+  ckpt.checkpointPath = journalPath;
+  {
+    // "Interrupted" run: only the first half of the sweep completes.
+    const std::vector<int> half(sweep.begin(), sweep.begin() + 2);
+    Rng rng(kSeed);
+    const auto partial = k40c.runSweepChecked(half, rng, ckpt, &pool);
+    check(partial.resumedWorkloads == 0, "cold journal resumes nothing");
+  }
+  Rng rngB(kSeed);
+  const auto resumed = k40c.runSweepChecked(sweep, rngB, ckpt, &pool);
+  std::printf("  resumed %zu of %zu workloads from %s\n",
+              resumed.resumedWorkloads, sweep.size(), journalPath.c_str());
+  check(resumed.resumedWorkloads == 2, "second run resumes the half sweep");
+  check(sameSweeps(runA.results, resumed.results),
+        "resumed sweep bitwise-identical to uninterrupted run");
+  Rng rngC(kSeed);
+  const auto replayed = k40c.runSweepChecked(sweep, rngC, ckpt, &pool);
+  check(replayed.resumedWorkloads == sweep.size(),
+        "third run replays entirely from the journal");
+  check(sameSweeps(runA.results, replayed.results),
+        "replayed sweep bitwise-identical to uninterrupted run");
+  std::remove(journalPath.c_str());
+
+  // --- 5. Every fault is accounted for. -------------------------------
+  std::printf("\n== observability ==\n");
+  const std::string prom = obs::Registry::global().renderPrometheus();
+  const double injected = promValue(prom, "ep_fault_injected_total");
+  std::printf("  ep_fault_injected_total          %.0f\n", injected);
+  for (const char* name :
+       {"ep_measure_timeouts_total", "ep_measure_retries_total",
+        "ep_measure_invalid_traces_total", "ep_measure_outliers_rejected_total",
+        "ep_measure_budget_exhausted_total",
+        "ep_study_config_failures_total"}) {
+    std::printf("  %-32s %.0f\n", name, promValue(prom, name));
+  }
+  check(injected > 0.0, "injected faults visible in Prometheus exposition");
+  check(promValue(prom, "ep_measure_retries_total") >= 0.0 &&
+            promValue(prom, "ep_measure_timeouts_total") > 0.0,
+        "measurement retry counters exported");
+  // The registry accumulates over every run above (shape sweep, pool
+  // replicas, resume), so the process-wide counter is a superset of the
+  // shape sweep's own skip count.
+  check(skipped == 0 ||
+            promValue(prom, "ep_study_config_failures_total") >=
+                static_cast<double>(skipped),
+        "skipped configs covered by ep_study_config_failures_total");
+
+  std::printf("\nfaultcheck: %s (%d failing check%s)\n",
+              gFailures == 0 ? "ALL CHECKS PASSED" : "FAILED", gFailures,
+              gFailures == 1 ? "" : "s");
+  return gFailures == 0 ? 0 : 1;
+}

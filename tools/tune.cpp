@@ -16,9 +16,13 @@
 #include "common/error.hpp"
 #include "common/rng.hpp"
 #include "common/thread_pool.hpp"
+#include "core/journal.hpp"
 #include "core/study.hpp"
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
 
 #include "hw/gpu_model.hpp"
 #include "hw/spec.hpp"
@@ -38,6 +42,72 @@ double miss(double value, double target, double weight) {
 // Shared evaluation pool (--threads N); scores are identical with or
 // without it because the parallel study path is bitwise-deterministic.
 std::unique_ptr<ThreadPool> gPool;
+
+// Iteration-score checkpoint for --checkpoint: a "epsimtune 1 <hash16>"
+// header, then one "I <iter> <scorebits16>" line per scored candidate
+// (NaN bits record a candidate whose evaluation threw).  On resume the
+// search still *samples* every candidate — the RNG stream advances
+// exactly as in the original run — and only the expensive scoring is
+// skipped, so an interrupted search continues bit-identically.
+class ScoreJournal {
+ public:
+  ScoreJournal(std::string path, std::uint64_t hash) : path_(std::move(path)) {
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(hash));
+    std::ifstream in(path_);
+    std::string tag;
+    if (!(in >> tag)) {
+      std::ofstream out(path_, std::ios::trunc);
+      out << "epsimtune 1 " << hex << "\n";
+      return;
+    }
+    int version = 0;
+    std::string stored;
+    if (tag != "epsimtune" || !(in >> version >> stored) || version != 1 ||
+        stored != hex) {
+      std::fprintf(stderr,
+                   "tune: checkpoint %s was recorded by a different search"
+                   " (target, mode or iteration count changed); refusing"
+                   " to resume\n",
+                   path_.c_str());
+      std::exit(2);
+    }
+    int iter = 0;
+    std::string bits;
+    // Any anomaly (a torn tail from a crash mid-append) ends the replay;
+    // everything before it is still usable.
+    while (in >> tag >> iter >> bits) {
+      if (tag != "I" || bits.size() != 16) break;
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(bits.c_str(), &end, 16);
+      if (end != bits.c_str() + 16) break;
+      scores_[iter] = core::bitsToDouble(static_cast<std::uint64_t>(v));
+    }
+    std::fprintf(stderr, "tune: resumed %zu scored iterations from %s\n",
+                 scores_.size(), path_.c_str());
+  }
+
+  [[nodiscard]] std::optional<double> get(int iter) const {
+    const auto it = scores_.find(iter);
+    if (it == scores_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void put(int iter, double score) {
+    char bits[17];
+    std::snprintf(bits, sizeof bits, "%016llx",
+                  static_cast<unsigned long long>(core::doubleBits(score)));
+    std::ofstream out(path_, std::ios::app);
+    out << "I " << iter << " " << bits << "\n" << std::flush;
+  }
+
+ private:
+  std::string path_;
+  std::map<int, double> scores_;
+};
+
+std::unique_ptr<ScoreJournal> gJournal;
 
 core::WorkloadResult runN(const hw::GpuSpec& spec, const hw::GpuTuning& t,
                           int n) {
@@ -128,6 +198,27 @@ double scoreK40c(const hw::GpuTuning& t) {
   return s;
 }
 
+// Score a candidate through the checkpoint: cached iterations skip the
+// sweep entirely; fresh ones are scored and appended.  NaN = "threw".
+std::optional<double> scoreCheckpointed(int iter, bool isP100,
+                                        const hw::GpuTuning& t) {
+  if (gJournal) {
+    if (const auto cached = gJournal->get(iter)) {
+      if (std::isnan(*cached)) return std::nullopt;
+      return *cached;
+    }
+  }
+  double score;
+  try {
+    score = isP100 ? scoreP100(t) : scoreK40c(t);
+  } catch (const ep::EpError&) {
+    if (gJournal) gJournal->put(iter, std::nan(""));
+    return std::nullopt;
+  }
+  if (gJournal) gJournal->put(iter, score);
+  return score;
+}
+
 hw::GpuTuning sampleP100(Rng& rng, const hw::GpuTuning& base) {
   hw::GpuTuning t = base;
   t.smEnergyPerGflop = rng.uniform(0.02, 0.14);
@@ -200,7 +291,8 @@ hw::GpuTuning localRefine(const hw::GpuTuning& start, bool isP100,
       {1.0, 20.0},    {0.12, 0.50}, {2.5, 6.0},   {0.20, 0.80},
       {5e-4, 0.02},   {1e-3, 0.08}, {0.50, 1.00}, {0.3, 6.0}};
   hw::GpuTuning best = start;
-  bestScore = isP100 ? scoreP100(best) : scoreK40c(best);
+  // Iteration -1 = the starting point's score (also checkpointed).
+  bestScore = scoreCheckpointed(-1, isP100, best).value();
   for (int i = 0; i < iterations; ++i) {
     const double step = 0.30 * std::exp(-2.0 * i / iterations);
     hw::GpuTuning cand = best;
@@ -208,14 +300,10 @@ hw::GpuTuning localRefine(const hw::GpuTuning& start, bool isP100,
     const std::size_t k = rng.uniformInt(0, ptrs.size() - 1);
     *ptrs[k] *= 1.0 + rng.uniform(-step, step);
     *ptrs[k] = std::clamp(*ptrs[k], bounds[k].first, bounds[k].second);
-    double score;
-    try {
-      score = isP100 ? scoreP100(cand) : scoreK40c(cand);
-    } catch (const ep::EpError&) {
-      continue;
-    }
-    if (score < bestScore) {
-      bestScore = score;
+    const auto score = scoreCheckpointed(i, isP100, cand);
+    if (!score) continue;
+    if (*score < bestScore) {
+      bestScore = *score;
       best = cand;
     }
   }
@@ -226,6 +314,7 @@ int main(int argc, char** argv) {
   // Extract --trace <path> wherever it appears; the rest stays
   // positional.
   const char* tracePath = nullptr;
+  const char* checkpointPath = nullptr;
   std::size_t threads = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
@@ -233,6 +322,8 @@ int main(int argc, char** argv) {
       tracePath = argv[++i];
     } else if (std::string_view(argv[i]) == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoi(argv[++i]));
+    } else if (std::string_view(argv[i]) == "--checkpoint" && i + 1 < argc) {
+      checkpointPath = argv[++i];
     } else {
       args.emplace_back(argv[i]);
     }
@@ -240,12 +331,14 @@ int main(int argc, char** argv) {
   if (args.empty()) {
     std::fprintf(stderr,
                  "usage: tune {p100|k40c} [iterations] [--local]"
-                 " [--trace out.json] [--threads N]\n"
+                 " [--trace out.json] [--threads N] [--checkpoint f]\n"
                  "  --local: hill-climb from the built-in defaults instead\n"
                  "           of random search\n"
                  "  --threads: evaluate each candidate's configuration\n"
                  "           space on N pool threads (identical scores;\n"
-                 "           use the physical core count)\n");
+                 "           use the physical core count)\n"
+                 "  --checkpoint: append per-iteration scores to f and\n"
+                 "           resume an interrupted search bit-identically\n");
     return 1;
   }
   if (threads > 0) gPool = std::make_unique<ThreadPool>(threads);
@@ -254,6 +347,16 @@ int main(int argc, char** argv) {
   const bool isP100 = which == "p100";
   const bool local = args.size() > 2 && args[2] == "--local";
   if (tracePath) obs::Tracer::global().setEnabled(true);
+  if (checkpointPath) {
+    // The journal identity covers everything that changes which score
+    // belongs to which iteration: target device, search mode, iteration
+    // count (the --local step schedule depends on it) and the seed.
+    std::uint64_t h = mix64(0, isP100 ? 1 : 2);
+    h = mix64(h, local ? 1 : 0);
+    h = mix64(h, static_cast<std::uint64_t>(iterations));
+    h = mix64(h, 2024);
+    gJournal = std::make_unique<ScoreJournal>(checkpointPath, h);
+  }
 
   Rng rng(2024);
   hw::GpuTuning best;
@@ -268,16 +371,14 @@ int main(int argc, char** argv) {
     } else {
       const hw::GpuTuning base;
       for (int i = 0; i < iterations; ++i) {
+        // Sampling always draws — the stream must advance identically
+        // whether or not this iteration's score comes from the journal.
         const hw::GpuTuning cand =
             isP100 ? sampleP100(rng, base) : sampleK40c(rng, base);
-        double score;
-        try {
-          score = isP100 ? scoreP100(cand) : scoreK40c(cand);
-        } catch (const ep::EpError&) {
-          continue;
-        }
-        if (score < bestScore) {
-          bestScore = score;
+        const auto score = scoreCheckpointed(i, isP100, cand);
+        if (!score) continue;
+        if (*score < bestScore) {
+          bestScore = *score;
           best = cand;
           std::printf("[iter %d] ", i);
           print(best, bestScore);
