@@ -9,6 +9,7 @@
 #include "fault/faulty_meter.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "power/observer.hpp"
 
 namespace ep::apps {
 namespace detail {
@@ -105,6 +106,9 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
 
   // Build the node's ground-truth power profile for one execution.
   obs::Span span("power/measure_window");
+  // Attribution scope for the anomaly watchdog: windows measured here
+  // belong to this device model.
+  power::MeasureScopeLabel scopeLabel(model_.spec().name.c_str());
   power::ProfilePowerSource profile(nodeIdlePower());
   profile.addSegment({Seconds{0.0}, out.model.time, out.model.corePower});
   Seconds tail{0.0};
@@ -121,6 +125,7 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
   out.time = measured.mean.executionTime;
   out.dynamicEnergy = measured.mean.dynamicEnergy;
   out.repetitions = measured.dynamicEnergyStats.repetitions;
+  out.remeasures = measured.faults.recoveries();
   return out;
 }
 

@@ -29,6 +29,9 @@ struct GpuDataPoint {
   Joules dynamicEnergy{0.0};
   hw::KernelModel model;  // noise-free ground truth
   std::size_t repetitions = 0;
+  // Fault recoveries spent measuring this config (re-recorded windows
+  // after validation/outlier rejection); feeds request attribution.
+  std::uint64_t remeasures = 0;
 
   [[nodiscard]] pareto::BiPoint toPoint(std::uint64_t id) const;
   [[nodiscard]] std::string label() const;

@@ -139,6 +139,17 @@ std::size_t ThreadPool::inFlight() const {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  // Carry the submitter's request context across the pool boundary so
+  // spans opened inside the task link into the same trace tree.  Only
+  // when tracing is live: the disabled path stays allocation-identical.
+  if (obs::Tracer::global().enabled()) {
+    if (const obs::TraceContext ctx = obs::currentContext(); ctx.spanId != 0) {
+      task = [ctx, inner = std::move(task)] {
+        obs::ScopedTraceContext scope(ctx);
+        inner();
+      };
+    }
+  }
   {
     std::unique_lock lock(mutex_);
     tasks_.push(std::move(task));

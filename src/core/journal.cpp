@@ -12,7 +12,7 @@ namespace ep::core {
 namespace {
 
 constexpr const char* kMagic = "epsimjournal";
-constexpr int kVersion = 1;
+constexpr int kVersion = 2;  // v2: C records carry the remeasure count
 
 std::string hex16(std::uint64_t v) {
   char buf[17];
@@ -99,7 +99,7 @@ std::map<int, WorkloadResult> StudyJournal::load(
       std::uint64_t timeBits = 0, energyBits = 0;
       if (!open ||
           !(ls >> d.config.bs >> d.config.g >> d.config.r >> timeText >>
-            energyText >> d.repetitions) ||
+            energyText >> d.repetitions >> d.remeasures) ||
           !parseHex16(timeText, timeBits) ||
           !parseHex16(energyText, energyBits)) {
         break;
@@ -163,7 +163,7 @@ void StudyJournal::append(const WorkloadResult& r) {
     rec << "C " << d.config.bs << ' ' << d.config.g << ' ' << d.config.r
         << ' ' << hex16(doubleBits(d.time.value())) << ' '
         << hex16(doubleBits(d.dynamicEnergy.value())) << ' '
-        << d.repetitions << '\n';
+        << d.repetitions << ' ' << d.remeasures << '\n';
   }
   for (const auto& f : r.failures) {
     rec << "F " << f.config.bs << ' ' << f.config.g << ' ' << f.config.r

@@ -26,6 +26,17 @@ void finalizeWorkload(WorkloadResult& r) {
   }
 }
 
+EnergyAttribution attributeEnergy(const WorkloadResult& r) {
+  EnergyAttribution a;
+  for (const auto& d : r.data) {
+    a.joules += d.dynamicEnergy.value();
+    a.windows += d.repetitions;
+    a.remeasures += d.remeasures;
+  }
+  a.skippedConfigs = r.failures.size();
+  return a;
+}
+
 WorkloadResult GpuEpStudy::runWorkload(int n, Rng& rng,
                                        ThreadPool* pool) const {
   static obs::Counter& workloads = obs::Registry::global().counter(

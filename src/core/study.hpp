@@ -36,6 +36,19 @@ struct WorkloadResult {
 // measurement-free).  Used by runWorkload and by journal resume.
 void finalizeWorkload(WorkloadResult& r);
 
+// What one completed study cost to measure, summed over its surviving
+// configurations.  This is the ledger entry the serve layer attributes
+// to the request that actually executed the study (cache hits and
+// coalesced joins attribute zero new joules).
+struct EnergyAttribution {
+  double joules = 0.0;             // sum of measured dynamic energy
+  std::uint64_t windows = 0;       // accepted measurement windows
+  std::uint64_t remeasures = 0;    // fault recoveries along the way
+  std::uint64_t skippedConfigs = 0;
+};
+
+[[nodiscard]] EnergyAttribution attributeEnergy(const WorkloadResult& r);
+
 // A whole workload that failed under SweepOptions with SkipAndRecord
 // (e.g. every configuration's measurement budget was exhausted).
 struct SweepFailure {

@@ -18,6 +18,8 @@ const char* faultKindName(FaultKind k) {
       return "gain_drift";
     case FaultKind::MeterTimeout:
       return "meter_timeout";
+    case FaultKind::ConstantOffset:
+      return "constant_offset";
   }
   return "unknown";
 }
@@ -42,6 +44,7 @@ FaultCounts& FaultCounts::operator+=(const FaultCounts& o) {
   zeros += o.zeros;
   gainDrifts += o.gainDrifts;
   timeouts += o.timeouts;
+  offsets += o.offsets;
   return *this;
 }
 
@@ -53,6 +56,7 @@ std::string FaultCounts::summary() const {
          " zeros=" + std::to_string(zeros) +
          " gain_drifts=" + std::to_string(gainDrifts) +
          " timeouts=" + std::to_string(timeouts) +
+         " offsets=" + std::to_string(offsets) +
          " total=" + std::to_string(total());
 }
 

@@ -26,6 +26,7 @@ enum class FaultKind {
   ZeroReading,
   GainDrift,
   MeterTimeout,
+  ConstantOffset,
 };
 
 [[nodiscard]] const char* faultKindName(FaultKind k);
@@ -53,6 +54,13 @@ struct FaultInjectionOptions {
   double timeoutRate = 0.0;    // whole-window meter timeout probability
   double gainDriftRate = 0.0;  // probability of a linear gain drift
   double gainDriftMax = 0.05;  // drift reaches +/- this at window end
+  // Constant additive component: every sample of an affected window
+  // reads offsetWatts high, modelling an energy-expensive component
+  // switching on (the paper's Fig 6 ~58 W offset).  Unlike a spike it
+  // survives sanitization and MAD screening — only a decomposition of
+  // the trace against expected power (the anomaly watchdog) sees it.
+  double offsetRate = 0.0;
+  double offsetWatts = 0.0;
 
   int stuckRunLength = 4;    // samples held at the stuck value
   double spikeFactor = 4.0;  // multiplicative reading spike
@@ -78,9 +86,11 @@ struct FaultCounts {
   std::uint64_t zeros = 0;
   std::uint64_t gainDrifts = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t offsets = 0;
 
   [[nodiscard]] std::uint64_t total() const {
-    return dropped + stuck + spikes + nans + zeros + gainDrifts + timeouts;
+    return dropped + stuck + spikes + nans + zeros + gainDrifts + timeouts +
+           offsets;
   }
   FaultCounts& operator+=(const FaultCounts& o);
   [[nodiscard]] std::string summary() const;

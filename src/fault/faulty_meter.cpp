@@ -30,6 +30,10 @@ FaultyMeter::FaultyMeter(power::WattsUpMeter inner,
              "gain drift rate must be in [0, 1]");
   EP_REQUIRE(faults_.gainDriftMax >= 0.0 && std::isfinite(faults_.gainDriftMax),
              "gain drift magnitude must be finite and >= 0");
+  EP_REQUIRE(faults_.offsetRate >= 0.0 && faults_.offsetRate <= 1.0,
+             "offset rate must be in [0, 1]");
+  EP_REQUIRE(std::isfinite(faults_.offsetWatts),
+             "offset watts must be finite");
   EP_REQUIRE(faults_.stuckRunLength >= 1, "stuck run length must be >= 1");
   EP_REQUIRE(std::isfinite(faults_.spikeFactor),
              "spike factor must be finite");
@@ -77,6 +81,15 @@ void FaultyMeter::recordInto(const power::PowerSource& source,
       f.uniform(0.0, 1.0) < faults_.gainDriftRate) {
     drift = f.uniform(-faults_.gainDriftMax, faults_.gainDriftMax);
     ++counts_.gainDrifts;
+    injectedCounter().inc();
+  }
+  // Constant additive component over the whole window.  Drawn only when
+  // configured so existing campaigns keep their draw sequences.
+  double offset = 0.0;
+  if (faults_.offsetRate > 0.0 &&
+      f.uniform(0.0, 1.0) < faults_.offsetRate) {
+    offset = faults_.offsetWatts;
+    ++counts_.offsets;
     injectedCounter().inc();
   }
   const double t0 = samples.empty() ? 0.0 : samples.front().time.value();
@@ -132,7 +145,7 @@ void FaultyMeter::recordInto(const power::PowerSource& source,
         p = 0.0;
       }
     }
-    out.append({samples[i].time, Watts{p}});
+    out.append({samples[i].time, Watts{p + offset}});
   }
 }
 

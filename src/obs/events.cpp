@@ -1,0 +1,113 @@
+#include "obs/events.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace ep::obs {
+
+namespace {
+
+std::size_t roundUpPow2(std::size_t v) {
+  std::size_t p = 8;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+void appendJsonString(std::string& out, const char* s) {
+  out += '"';
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : mask_(roundUpPow2(capacity) - 1),
+      slots_(new Slot[mask_ + 1]) {
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    slots_[i].bytes.reset(new std::atomic<unsigned char>[sizeof(FlightEvent)]);
+    for (std::size_t b = 0; b < sizeof(FlightEvent); ++b) {
+      slots_[i].bytes[b].store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void FlightRecorder::record(FlightEvent e) {
+  const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = slots_[(seq - 1) & mask_];
+  // Claim the slot: the previous tenant (one lap behind, or 0 on the
+  // first lap) must have fully published.  A failed claim means a
+  // writer has been stalled for a whole lap — drop rather than tear.
+  std::uint64_t expected = seq > mask_ + 1 ? seq - (mask_ + 1) : 0;
+  if (!slot.claim.compare_exchange_strong(expected, seq,
+                                          std::memory_order_acq_rel)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  e.seq = seq;
+  unsigned char raw[sizeof(FlightEvent)];
+  std::memcpy(raw, &e, sizeof raw);
+  for (std::size_t b = 0; b < sizeof raw; ++b) {
+    slot.bytes[b].store(raw[b], std::memory_order_relaxed);
+  }
+  slot.publish.store(seq, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot(
+    std::uint64_t sinceSeq) const {
+  std::vector<FlightEvent> out;
+  for (std::size_t i = 0; i <= mask_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t published = slot.publish.load(std::memory_order_acquire);
+    if (published == 0 || published <= sinceSeq) continue;
+    unsigned char raw[sizeof(FlightEvent)];
+    for (std::size_t b = 0; b < sizeof raw; ++b) {
+      raw[b] = slot.bytes[b].load(std::memory_order_relaxed);
+    }
+    // Reject torn reads: a writer that claimed the slot mid-copy has
+    // bumped claim past publish; one that finished has bumped publish.
+    if (slot.claim.load(std::memory_order_acquire) != published ||
+        slot.publish.load(std::memory_order_acquire) != published) {
+      continue;
+    }
+    FlightEvent e;
+    std::memcpy(&e, raw, sizeof e);
+    if (e.seq != published) continue;  // interleaved lapped write
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+std::string encodeFlightEventLine(const FlightEvent& e) {
+  char buf[48];
+  std::string out = "{\"seq\":" + std::to_string(e.seq);
+  out += ",\"timeNs\":" + std::to_string(e.timeNs);
+  out += ",\"kind\":";
+  appendJsonString(out, e.kind);
+  out += ",\"scope\":";
+  appendJsonString(out, e.scope);
+  out += ",\"value\":";
+  std::snprintf(buf, sizeof buf, "%.10g", e.value);
+  out += buf;
+  out += ",\"threshold\":";
+  std::snprintf(buf, sizeof buf, "%.10g", e.threshold);
+  out += buf;
+  out += ",\"trace\":";
+  std::snprintf(buf, sizeof buf, "\"%llx\"",
+                static_cast<unsigned long long>(e.traceId));
+  out += buf;
+  out += ",\"message\":";
+  appendJsonString(out, e.message);
+  out += "}";
+  return out;
+}
+
+}  // namespace ep::obs

@@ -1,0 +1,100 @@
+// epobs flight recorder: a fixed-capacity, lock-free ring of
+// structured anomaly events, built for the power-anomaly watchdog.
+//
+// Requirements that shaped the design:
+//   * record() may be called from measurement worker threads while a
+//     serve thread drains the ring for the {"op":"events"} wire op —
+//     no locks on the record path, and a drain must never block a
+//     recorder.
+//   * TSan-clean by construction: the payload bytes are relaxed
+//     atomics, and every read is validated against the slot's claim /
+//     publish sequence numbers, so a torn (lapped) read is *rejected*,
+//     never returned.
+//   * Events are rare (anomalies, not samples), so a writer lapping
+//     the ring twice around a stalled writer is effectively
+//     impossible; if it ever happens the CAS claim fails and the event
+//     is counted in dropped() instead of corrupting a slot.
+//
+// FlightEvent is a trivially-copyable POD with fixed char arrays so a
+// byte-wise copy through atomics is well-defined.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ep::obs {
+
+struct FlightEvent {
+  std::uint64_t seq = 0;     // global 1-based record order
+  std::uint64_t timeNs = 0;  // tracer-epoch timestamp
+  std::uint64_t traceId = 0; // request in scope when raised (0 = none)
+  double value = 0.0;        // observed magnitude (watts, fraction, ...)
+  double threshold = 0.0;    // configured limit it crossed
+  char kind[24] = {};        // e.g. "constant_component"
+  char scope[32] = {};       // device / platform label
+  char message[96] = {};     // human-readable detail
+};
+static_assert(std::is_trivially_copyable_v<FlightEvent>,
+              "FlightEvent must byte-copy through the atomic ring");
+
+// Truncating, always-terminated copy into a FlightEvent char array.
+template <std::size_t N>
+void setFlightField(char (&dst)[N], const char* src) {
+  std::size_t i = 0;
+  for (; src != nullptr && src[i] != '\0' && i + 1 < N; ++i) dst[i] = src[i];
+  dst[i] = '\0';
+}
+
+class FlightRecorder {
+ public:
+  // Capacity is rounded up to a power of two (minimum 8).
+  explicit FlightRecorder(std::size_t capacity = 256);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Record `e` (its seq field is assigned here).  Lock-free; on the
+  // astronomically unlikely double-lap race the event is dropped and
+  // counted instead of tearing a slot.
+  void record(FlightEvent e);
+
+  // Consistent copies of every event still in the ring with
+  // seq > sinceSeq, in seq order.  Torn slots (a writer mid-copy) are
+  // skipped; they reappear in a later snapshot once published.
+  [[nodiscard]] std::vector<FlightEvent> snapshot(
+      std::uint64_t sinceSeq = 0) const;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  // Events ever recorded (monotonic; the ring holds the newest).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> claim{0};    // seq a writer owns
+    std::atomic<std::uint64_t> publish{0};  // seq fully written
+    std::unique_ptr<std::atomic<unsigned char>[]> bytes;
+  };
+
+  std::size_t mask_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::uint64_t> next_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+// One line-delimited flat-JSON object per event (the body format of
+// the {"op":"events"} wire response; parseable with the in-tree wire
+// parser).
+[[nodiscard]] std::string encodeFlightEventLine(const FlightEvent& e);
+
+}  // namespace ep::obs

@@ -20,10 +20,85 @@ bool validMetricName(const std::string& name) {
   return true;
 }
 
+// Label names: like metric names but without ':' (Prometheus reserves
+// "__"-prefixed names for internal use).
+bool validLabelName(const std::string& name) {
+  if (name.empty()) return false;
+  auto headOk = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!headOk(name[0])) return false;
+  for (char c : name) {
+    if (!headOk(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return name.size() < 2 || name[0] != '_' || name[1] != '_';
+}
+
 void appendDouble(std::string& out, double v) {
   char buf[40];
   std::snprintf(buf, sizeof buf, "%.10g", v);
   out += buf;
+}
+
+// 0.0.4 exposition: inside a label value, backslash, double-quote and
+// line-feed must be escaped.
+void appendEscapedLabelValue(std::string& out, const std::string& v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+// HELP text escapes backslash and line-feed only.
+void appendEscapedHelp(std::string& out, const std::string& help) {
+  for (char c : help) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+}
+
+// `{k1="v1",k2="v2"}` with escaped values, plus an optional trailing
+// le="..." for histogram buckets; empty for an unlabelled series with
+// no extra label.
+void appendLabelBlock(std::string& out, const Labels& labels,
+                      const char* leBound = nullptr) {
+  if (labels.empty() && leBound == nullptr) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    appendEscapedLabelValue(out, v);
+    out += '"';
+  }
+  if (leBound != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += leBound;
+    out += '"';
+  }
+  out += '}';
+}
+
+// Canonical key of a child series within its family.
+std::string labelsKey(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
 }
 
 }  // namespace
@@ -66,46 +141,75 @@ std::uint64_t Histogram::count() const {
 }
 
 Registry::Entry& Registry::find(const std::string& name, Kind kind,
-                                const std::string& help) {
+                                const std::string& help,
+                                const Labels& labels) {
   if (!validMetricName(name)) {
     throw std::invalid_argument("invalid metric name: \"" + name + "\"");
   }
+  for (const auto& [k, v] : labels) {
+    (void)v;
+    if (!validLabelName(k)) {
+      throw std::invalid_argument("invalid label name: \"" + k + "\"");
+    }
+  }
+  Family* family = nullptr;
   if (auto it = byName_.find(name); it != byName_.end()) {
-    if (it->second->kind != kind) {
+    family = it->second;
+    if (family->kind != kind) {
       throw std::invalid_argument("metric \"" + name +
                                   "\" already registered with another kind");
     }
-    return *it->second;
+  } else {
+    auto fam = std::make_unique<Family>();
+    fam->kind = kind;
+    fam->name = name;
+    fam->help = help;
+    family = fam.get();
+    byName_[name] = family;
+    families_.push_back(std::move(fam));
+  }
+  const std::string key = labelsKey(labels);
+  for (const auto& e : family->entries) {
+    if (labelsKey(e->labels) == key) return *e;
   }
   auto entry = std::make_unique<Entry>();
-  entry->kind = kind;
-  entry->name = name;
-  entry->help = help;
+  entry->labels = labels;
   Entry& ref = *entry;
-  byName_[name] = entry.get();
-  entries_.push_back(std::move(entry));
+  family->entries.push_back(std::move(entry));
   return ref;
 }
 
-Counter& Registry::counter(const std::string& name, const std::string& help) {
+Counter& Registry::counter(const std::string& name, const std::string& help,
+                           const Labels& labels) {
   std::lock_guard lk(mu_);
-  Entry& e = find(name, Kind::Counter, help);
+  Entry& e = find(name, Kind::Counter, help, labels);
   if (!e.counter) e.counter = std::make_unique<Counter>();
   return *e.counter;
 }
 
-Gauge& Registry::gauge(const std::string& name, const std::string& help) {
+DoubleCounter& Registry::doubleCounter(const std::string& name,
+                                       const std::string& help,
+                                       const Labels& labels) {
   std::lock_guard lk(mu_);
-  Entry& e = find(name, Kind::Gauge, help);
+  Entry& e = find(name, Kind::DoubleCounter, help, labels);
+  if (!e.doubleCounter) e.doubleCounter = std::make_unique<DoubleCounter>();
+  return *e.doubleCounter;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& help,
+                       const Labels& labels) {
+  std::lock_guard lk(mu_);
+  Entry& e = find(name, Kind::Gauge, help, labels);
   if (!e.gauge) e.gauge = std::make_unique<Gauge>();
   return *e.gauge;
 }
 
 Histogram& Registry::histogram(const std::string& name,
                                const std::string& help,
-                               std::vector<double> upperBounds) {
+                               std::vector<double> upperBounds,
+                               const Labels& labels) {
   std::lock_guard lk(mu_);
-  Entry& e = find(name, Kind::Histogram, help);
+  Entry& e = find(name, Kind::Histogram, help, labels);
   if (!e.histogram) {
     e.histogram = std::make_unique<Histogram>(std::move(upperBounds));
   } else if (e.histogram->upperBounds() != upperBounds) {
@@ -118,35 +222,60 @@ Histogram& Registry::histogram(const std::string& name,
 std::string Registry::renderPrometheus() const {
   std::lock_guard lk(mu_);
   std::string out;
-  for (const auto& e : entries_) {
-    out += "# HELP " + e->name + " " + e->help + "\n";
-    out += "# TYPE " + e->name + " ";
-    switch (e->kind) {
+  for (const auto& f : families_) {
+    out += "# HELP " + f->name + " ";
+    appendEscapedHelp(out, f->help);
+    out += "\n# TYPE " + f->name + " ";
+    switch (f->kind) {
       case Kind::Counter:
-        out += "counter\n";
-        out += e->name + " " + std::to_string(e->counter->value()) + "\n";
-        break;
-      case Kind::Gauge:
-        out += "gauge\n";
-        out += e->name + " " + std::to_string(e->gauge->value()) + "\n";
-        break;
-      case Kind::Histogram: {
-        out += "histogram\n";
-        const Histogram& h = *e->histogram;
-        std::uint64_t cum = 0;
-        for (std::size_t i = 0; i < h.upperBounds().size(); ++i) {
-          cum += h.bucketValue(i);
-          out += e->name + "_bucket{le=\"";
-          appendDouble(out, h.upperBounds()[i]);
-          out += "\"} " + std::to_string(cum) + "\n";
+      case Kind::DoubleCounter: out += "counter\n"; break;
+      case Kind::Gauge: out += "gauge\n"; break;
+      case Kind::Histogram: out += "histogram\n"; break;
+    }
+    for (const auto& e : f->entries) {
+      switch (f->kind) {
+        case Kind::Counter:
+          out += f->name;
+          appendLabelBlock(out, e->labels);
+          out += " " + std::to_string(e->counter->value()) + "\n";
+          break;
+        case Kind::DoubleCounter:
+          out += f->name;
+          appendLabelBlock(out, e->labels);
+          out += " ";
+          appendDouble(out, e->doubleCounter->value());
+          out += "\n";
+          break;
+        case Kind::Gauge:
+          out += f->name;
+          appendLabelBlock(out, e->labels);
+          out += " " + std::to_string(e->gauge->value()) + "\n";
+          break;
+        case Kind::Histogram: {
+          const Histogram& h = *e->histogram;
+          std::uint64_t cum = 0;
+          char bound[40];
+          for (std::size_t i = 0; i < h.upperBounds().size(); ++i) {
+            cum += h.bucketValue(i);
+            std::snprintf(bound, sizeof bound, "%.10g", h.upperBounds()[i]);
+            out += f->name + "_bucket";
+            appendLabelBlock(out, e->labels, bound);
+            out += " " + std::to_string(cum) + "\n";
+          }
+          cum += h.bucketValue(h.upperBounds().size());
+          out += f->name + "_bucket";
+          appendLabelBlock(out, e->labels, "+Inf");
+          out += " " + std::to_string(cum) + "\n";
+          out += f->name + "_sum";
+          appendLabelBlock(out, e->labels);
+          out += " ";
+          appendDouble(out, h.sum());
+          out += "\n";
+          out += f->name + "_count";
+          appendLabelBlock(out, e->labels);
+          out += " " + std::to_string(cum) + "\n";
+          break;
         }
-        cum += h.bucketValue(h.upperBounds().size());
-        out += e->name + "_bucket{le=\"+Inf\"} " + std::to_string(cum) + "\n";
-        out += e->name + "_sum ";
-        appendDouble(out, h.sum());
-        out += "\n";
-        out += e->name + "_count " + std::to_string(cum) + "\n";
-        break;
       }
     }
   }

@@ -16,6 +16,13 @@
 //      instrumented), so it depends on nothing but the standard
 //      library and reports misuse with std::invalid_argument instead
 //      of EP_REQUIRE.
+//
+// Labels: a metric family (one name, one HELP/TYPE) may carry several
+// child series distinguished by label sets, e.g.
+// ep_request_energy_joules{device="p100"}.  Label names follow the
+// Prometheus grammar; label values are escaped (\\, \", \n) in the
+// 0.0.4 text exposition.  All children of a family must share one
+// metric kind.
 #pragma once
 
 #include <atomic>
@@ -24,9 +31,14 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 namespace ep::obs {
+
+// Ordered label set of one child series (insertion order is rendered
+// verbatim; keep it stable per family).
+using Labels = std::vector<std::pair<std::string, std::string>>;
 
 // Monotonically increasing event count.
 class Counter {
@@ -38,6 +50,24 @@ class Counter {
 
  private:
   std::atomic<std::uint64_t> v_{0};
+};
+
+// Monotonically increasing real-valued total (joules, seconds).  add()
+// is a CAS loop on a double, like Histogram's sum.
+class DoubleCounter {
+ public:
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> v_{0.0};
 };
 
 // Instantaneous signed level (queue depths, in-flight work).  add/sub
@@ -83,23 +113,32 @@ class Histogram {
 };
 
 // Named metric directory.  Registration is idempotent: asking for an
-// existing name with a matching kind (and, for histograms, matching
-// bounds) returns the same object; a kind/bounds conflict throws.
-// Metric names must match [a-zA-Z_:][a-zA-Z0-9_:]* (the Prometheus
-// grammar).  Returned references live as long as the registry.
+// existing name+labels with a matching kind (and, for histograms,
+// matching bounds) returns the same object; a kind/bounds conflict —
+// including between labelled children of one family — throws.  Metric
+// names must match [a-zA-Z_:][a-zA-Z0-9_:]* and label names
+// [a-zA-Z_][a-zA-Z0-9_]* (the Prometheus grammar).  Returned
+// references live as long as the registry.
 class Registry {
  public:
   Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  Counter& counter(const std::string& name, const std::string& help);
-  Gauge& gauge(const std::string& name, const std::string& help);
+  Counter& counter(const std::string& name, const std::string& help,
+                   const Labels& labels = {});
+  DoubleCounter& doubleCounter(const std::string& name,
+                               const std::string& help,
+                               const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const Labels& labels = {});
   Histogram& histogram(const std::string& name, const std::string& help,
-                       std::vector<double> upperBounds);
+                       std::vector<double> upperBounds,
+                       const Labels& labels = {});
 
   // Prometheus text exposition (version 0.0.4): # HELP / # TYPE
-  // comments followed by samples, histograms expanded into cumulative
+  // comments once per family followed by every child series with its
+  // escaped label block; histograms expand into cumulative
   // _bucket{le="..."} series plus _sum and _count.
   [[nodiscard]] std::string renderPrometheus() const;
 
@@ -110,21 +149,27 @@ class Registry {
   static Registry& global();
 
  private:
-  enum class Kind { Counter, Gauge, Histogram };
+  enum class Kind { Counter, DoubleCounter, Gauge, Histogram };
   struct Entry {
-    Kind kind;
-    std::string name;
-    std::string help;
+    Labels labels;
     std::unique_ptr<Counter> counter;
+    std::unique_ptr<DoubleCounter> doubleCounter;
     std::unique_ptr<Gauge> gauge;
     std::unique_ptr<Histogram> histogram;
   };
+  struct Family {
+    Kind kind;
+    std::string name;
+    std::string help;
+    std::vector<std::unique_ptr<Entry>> entries;  // insertion order
+  };
 
-  Entry& find(const std::string& name, Kind kind, const std::string& help);
+  Entry& find(const std::string& name, Kind kind, const std::string& help,
+              const Labels& labels);
 
   mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Entry>> entries_;  // insertion order
-  std::unordered_map<std::string, Entry*> byName_;
+  std::vector<std::unique_ptr<Family>> families_;  // insertion order
+  std::unordered_map<std::string, Family*> byName_;
 };
 
 }  // namespace ep::obs

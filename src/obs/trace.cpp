@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <unordered_map>
+#include <unordered_set>
 
 namespace ep::obs {
 
@@ -20,7 +21,51 @@ void appendEscapedName(std::string& out, const char* s) {
   }
 }
 
+void appendMicros(std::string& out, std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(ns) / 1e3);
+  out += buf;
+}
+
 }  // namespace
+
+std::uint64_t traceIdFromString(const std::string& s) {
+  if (s.empty()) return 0;
+  // Verbatim hex when it fits in 64 bits.
+  if (s.size() <= 16) {
+    std::uint64_t v = 0;
+    bool hex = true;
+    for (char c : s) {
+      int digit;
+      if (c >= '0' && c <= '9') {
+        digit = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        digit = 10 + (c - 'a');
+      } else if (c >= 'A' && c <= 'F') {
+        digit = 10 + (c - 'A');
+      } else {
+        hex = false;
+        break;
+      }
+      v = (v << 4) | static_cast<std::uint64_t>(digit);
+    }
+    if (hex && v != 0) return v;
+  }
+  // FNV-1a over the raw bytes for everything else.
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h == 0 ? 1 : h;
+}
+
+std::string formatTraceId(std::uint64_t id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llx",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
 
 Tracer::Tracer(std::size_t ringCapacity)
     : id_(nextTracerId()),
@@ -97,25 +142,57 @@ std::uint64_t Tracer::droppedCount() const {
 
 std::string Tracer::exportChromeTrace() const {
   const std::vector<TraceEvent> events = snapshot();
+  // Span id -> owning tid, for cross-thread flow edges.  A parent that
+  // is still open (or already overwritten in its ring) is simply
+  // absent: the complete event still carries "parent" for offline
+  // analysis, only the Perfetto flow arrow is skipped.
+  std::unordered_map<std::uint64_t, std::uint32_t> tidOfSpan;
+  tidOfSpan.reserve(events.size());
+  for (const auto& e : events) tidOfSpan[e.spanId] = e.tid;
+
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  char buf[64];
   bool first = true;
-  for (const auto& e : events) {
+  auto sep = [&] {
     if (!first) out += ',';
     first = false;
-    out += "\n{\"name\":\"";
+    out += '\n';
+  };
+  for (const auto& e : events) {
+    sep();
+    out += "{\"name\":\"";
     appendEscapedName(out, e.name);
     out += "\",\"cat\":\"ep\",\"ph\":\"X\",\"ts\":";
-    std::snprintf(buf, sizeof buf, "%.3f",
-                  static_cast<double>(e.startNs) / 1e3);
-    out += buf;
+    appendMicros(out, e.startNs);
     out += ",\"dur\":";
-    std::snprintf(buf, sizeof buf, "%.3f",
-                  static_cast<double>(e.durNs) / 1e3);
-    out += buf;
+    appendMicros(out, e.durNs);
     out += ",\"pid\":1,\"tid\":";
     out += std::to_string(e.tid);
+    out += ",\"trace\":\"";
+    out += formatTraceId(e.traceId);
+    out += "\",\"span\":";
+    out += std::to_string(e.spanId);
+    out += ",\"parent\":";
+    out += std::to_string(e.parentSpanId);
     out += '}';
+    // Cross-thread parent: render the edge as a flow pair (start on
+    // the parent's track, finish on ours, both at our open time).
+    if (e.parentSpanId != 0) {
+      const auto it = tidOfSpan.find(e.parentSpanId);
+      if (it != tidOfSpan.end() && it->second != e.tid) {
+        const std::string id = std::to_string(e.spanId);
+        sep();
+        out += "{\"name\":\"ctx\",\"cat\":\"ep\",\"ph\":\"s\",\"ts\":";
+        appendMicros(out, e.startNs);
+        out += ",\"pid\":1,\"tid\":" + std::to_string(it->second) +
+               ",\"id\":" + id + '}';
+        sep();
+        out += "{\"name\":\"ctx\",\"cat\":\"ep\",\"ph\":\"f\",\"bp\":\"e\","
+               "\"ts\":";
+        appendMicros(out, e.startNs);
+        out += ",\"pid\":1,\"tid\":" + std::to_string(e.tid) +
+               ",\"id\":" + id + '}';
+      }
+    }
   }
   out += "\n]}\n";
   return out;

@@ -18,6 +18,13 @@
 // thread track.  Ring buffers overwrite their oldest events when full,
 // so a long run keeps the most recent window instead of growing
 // without bound; the dropped count is reported.
+//
+// Request-scoped context: every thread carries a TraceContext (trace
+// id + current span id).  Spans opened while a context is installed
+// record the trace id and their parent's span id, so the export links
+// spans into per-request trees even when the request hops across
+// ThreadPool workers (the pool captures the submitter's context into
+// each task).  The disabled path never touches the context.
 #pragma once
 
 #include <atomic>
@@ -31,12 +38,69 @@
 
 namespace ep::obs {
 
+// Request-scoped identity carried across threads.  traceId groups all
+// spans of one request (0 = no request in scope: process-level spans
+// still link to each other through span ids).  spanId is the innermost
+// open span — the parent of the next span opened on this thread.
+struct TraceContext {
+  std::uint64_t traceId = 0;
+  std::uint64_t spanId = 0;
+
+  [[nodiscard]] bool active() const { return traceId != 0; }
+};
+
+namespace detail {
+
+// The calling thread's live context.  Spans save/update/restore it;
+// ScopedTraceContext installs one wholesale (pool boundary, wire
+// frontend).
+inline TraceContext& tlsContext() noexcept {
+  thread_local TraceContext ctx;
+  return ctx;
+}
+
+}  // namespace detail
+
+// The context that spans opened on this thread right now would inherit.
+[[nodiscard]] inline TraceContext currentContext() noexcept {
+  return detail::tlsContext();
+}
+
+// Install `ctx` as this thread's context for the current scope.  Used
+// where a request crosses an execution boundary: the epserved frontend
+// installs the wire trace id, the thread pool re-installs the
+// submitter's context inside each task.
+class ScopedTraceContext {
+ public:
+  explicit ScopedTraceContext(TraceContext ctx)
+      : saved_(detail::tlsContext()) {
+    detail::tlsContext() = ctx;
+  }
+  ~ScopedTraceContext() { detail::tlsContext() = saved_; }
+
+  ScopedTraceContext(const ScopedTraceContext&) = delete;
+  ScopedTraceContext& operator=(const ScopedTraceContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// Map a wire-supplied trace id to a nonzero 64-bit id: up to 16 hex
+// digits parse verbatim; anything else is FNV-1a hashed.  Empty -> 0
+// (no context).
+[[nodiscard]] std::uint64_t traceIdFromString(const std::string& s);
+// Lower-case hex rendering (the wire/export form of a trace id).
+[[nodiscard]] std::string formatTraceId(std::uint64_t id);
+
 struct TraceEvent {
   const char* name = nullptr;
   std::uint64_t startNs = 0;  // since the tracer's epoch
   std::uint64_t durNs = 0;
   std::uint32_t tid = 0;    // tracer-assigned, dense from 1
   std::uint32_t depth = 0;  // nesting depth at span open
+  std::uint64_t traceId = 0;       // request trace id (0 = none)
+  std::uint64_t spanId = 0;        // this span (unique per process)
+  std::uint64_t parentSpanId = 0;  // enclosing span at open (0 = root)
 };
 
 namespace detail {
@@ -90,6 +154,11 @@ class Tracer {
 
   [[nodiscard]] std::uint64_t nowNs() const;
 
+  // Process-unique span id, dense from 1.
+  [[nodiscard]] std::uint64_t nextSpanId() {
+    return spanIds_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   // Copy of everything currently recorded, all threads interleaved.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
   [[nodiscard]] std::uint64_t recordedCount() const;
@@ -98,8 +167,12 @@ class Tracer {
 
   // Chrome trace-event JSON: {"displayTimeUnit":"ms","traceEvents":
   // [...]} where every event is a flat "ph":"X" complete event with
-  // ts/dur in microseconds.  Loadable in Perfetto and parseable object
-  // -by-object with the in-tree flat-JSON wire parser.
+  // ts/dur in microseconds plus "span"/"parent" ids and the request
+  // "trace" id in hex.  When a parent span lives on another thread and
+  // both sides are still in the rings, a "ph":"s"/"ph":"f" flow-event
+  // pair renders the cross-thread edge in Perfetto.  Loadable in
+  // Perfetto and parseable object-by-object with the in-tree flat-JSON
+  // wire parser.
   [[nodiscard]] std::string exportChromeTrace() const;
 
   // The calling thread's buffer (registered on first use).
@@ -108,6 +181,7 @@ class Tracer {
  private:
   const std::uint64_t id_;  // distinguishes tracer instances in TLS
   std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> spanIds_{1};
   std::chrono::steady_clock::time_point epoch_;
   std::size_t ringCapacity_;
   mutable std::mutex mu_;
@@ -125,25 +199,35 @@ class Span {
     buf_ = &t.threadBuffer();
     name_ = name;
     depth_ = buf_->depth++;
+    TraceContext& cur = detail::tlsContext();
+    saved_ = cur;
+    spanId_ = t.nextSpanId();
+    cur.spanId = spanId_;  // children opened in scope parent here
     startNs_ = t.nowNs();
   }
 
   ~Span() {
     if (buf_ == nullptr) return;
     --buf_->depth;
+    detail::tlsContext() = saved_;
     buf_->push(TraceEvent{name_, startNs_,
                           Tracer::global().nowNs() - startNs_, buf_->tid,
-                          depth_});
+                          depth_, saved_.traceId, spanId_, saved_.spanId});
   }
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
+
+  // The id this span records under (0 when tracing is disabled).
+  [[nodiscard]] std::uint64_t spanId() const { return spanId_; }
 
  private:
   detail::ThreadBuffer* buf_ = nullptr;
   const char* name_ = nullptr;
   std::uint64_t startNs_ = 0;
   std::uint32_t depth_ = 0;
+  std::uint64_t spanId_ = 0;
+  TraceContext saved_{};
 };
 
 }  // namespace ep::obs

@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "power/observer.hpp"
 
 namespace ep::power {
 
@@ -243,6 +244,12 @@ MeasuredEnergy EnergyMeasurer::measure(
                             options.minRepetitions * 4));
   PowerTrace scratch;
   MeasuredEnergy out;
+  // Ground truth for the anomaly watchdog's online decomposition: what
+  // the profile says one window should cost (the meter adds noise and,
+  // under epfault, injected pathologies on top of this).
+  const double windowS = (executionTime + tailWindow).value();
+  const double expectedWindowJ =
+      profile.exactEnergy(Seconds{0.0}, Seconds{windowS}).value();
   MeasurementFaultReport& report = out.faults;
   std::vector<double> acceptedEnergies;
   std::size_t budgetSpent = 0;
@@ -317,6 +324,16 @@ MeasuredEnergy EnergyMeasurer::measure(
         acceptedEnergies.push_back(e);
       }
       readings.push_back(reading);
+      if (MeasureObserver* watcher = measureObserver()) {
+        MeasureWindowObservation window;
+        window.scope = MeasureScopeLabel::current();
+        window.observedJ = reading.totalEnergy.value();
+        window.expectedJ = expectedWindowJ;
+        window.staticJ = reading.staticEnergy.value();
+        window.windowS = windowS;
+        window.traceId = obs::currentContext().traceId;
+        watcher->onMeasureWindow(window);
+      }
       return e;
     }
   };
@@ -325,6 +342,11 @@ MeasuredEnergy EnergyMeasurer::measure(
     // 95 % CI criterion is met — the dominant cost of a metered study.
     obs::Span ciSpan("stats/ci_loop");
     out.dynamicEnergyStats = protocol.runBestEffort(observeEnergy);
+  }
+  if (MeasureObserver* watcher = measureObserver()) {
+    watcher->onMeasurementResult(MeasureScopeLabel::current(),
+                                 out.dynamicEnergyStats.converged,
+                                 out.dynamicEnergyStats.interval.precision());
   }
   // Reuse the recorded readings for the time statistics so both series
   // come from the same repetitions, as in the physical methodology.

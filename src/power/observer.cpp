@@ -1,0 +1,36 @@
+#include "power/observer.hpp"
+
+namespace ep::power {
+
+namespace {
+
+std::atomic<MeasureObserver*>& observerSlot() {
+  static std::atomic<MeasureObserver*> slot{nullptr};
+  return slot;
+}
+
+const char*& scopeSlot() {
+  thread_local const char* scope = "";
+  return scope;
+}
+
+}  // namespace
+
+void setMeasureObserver(MeasureObserver* observer) {
+  observerSlot().store(observer, std::memory_order_release);
+}
+
+MeasureObserver* measureObserver() {
+  return observerSlot().load(std::memory_order_acquire);
+}
+
+MeasureScopeLabel::MeasureScopeLabel(const char* label)
+    : prev_(scopeSlot()) {
+  scopeSlot() = label == nullptr ? "" : label;
+}
+
+MeasureScopeLabel::~MeasureScopeLabel() { scopeSlot() = prev_; }
+
+const char* MeasureScopeLabel::current() { return scopeSlot(); }
+
+}  // namespace ep::power

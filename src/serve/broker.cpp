@@ -90,6 +90,22 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
           "Completed-request latency, submit to response (ms)",
           std::vector<double>(LatencyHistogram::kUpperBoundsMs.begin(),
                               LatencyHistogram::kUpperBoundsMs.end()))),
+      cEnergyJoulesP100_(registry_.doubleCounter(
+          "ep_request_energy_joules",
+          "Dynamic energy attributed to the requests that measured it",
+          {{"device", "P100"}})),
+      cEnergyJoulesK40c_(registry_.doubleCounter(
+          "ep_request_energy_joules",
+          "Dynamic energy attributed to the requests that measured it",
+          {{"device", "K40c"}})),
+      cWindowsP100_(registry_.counter(
+          "ep_request_windows_total",
+          "Accepted measurement windows attributed to requests",
+          {{"device", "P100"}})),
+      cWindowsK40c_(registry_.counter(
+          "ep_request_windows_total",
+          "Accepted measurement windows attributed to requests",
+          {{"device", "K40c"}})),
       cache_(options.cacheCapacity),
       staleStore_(std::max<std::size_t>(1, options.staleCapacity)),
       breakerP100_(options.breaker),
@@ -280,7 +296,8 @@ void Broker::runTuneJob(const TuneJobPtr& job) {
   try {
     const StudyOutcome outcome =
         obtainStudy(job->req.device, job->req.n, &cacheHit, &coalesced);
-    completeTune(job, outcome.result, cacheHit, coalesced, outcome.stale);
+    completeTune(job, outcome.result, cacheHit, coalesced, outcome.stale,
+                 outcome.attr, outcome.executed);
   } catch (const BreakerOpenError& e) {
     rejectTune(job, Status::CircuitOpen, e.what());
   } catch (...) {
@@ -315,7 +332,17 @@ void Broker::runStudyJob(
     try {
       const StudyOutcome o = obtainStudy(req->device, n, &cacheHit, &coalesced);
       results.push_back(*o.result);
-      if (o.stale) ++resp.staleWorkloads;
+      if (o.stale) {
+        ++resp.staleWorkloads;
+        ++resp.report.staleServed;
+      }
+      if (o.executed) {
+        ++resp.report.studiesExecuted;
+        resp.report.attributedJoules += o.attr.joules;
+        resp.report.measurementWindows += o.attr.windows;
+        resp.report.remeasures += o.attr.remeasures;
+        resp.report.skippedConfigs += o.attr.skippedConfigs;
+      }
     } catch (const BreakerOpenError& e) {
       resp.status = Status::CircuitOpen;
       resp.error = e.what();
@@ -325,7 +352,11 @@ void Broker::runStudyJob(
       resp.error = describe(std::current_exception());
       break;
     }
-    if (cacheHit) ++resp.workloadCacheHits;
+    if (cacheHit) {
+      ++resp.workloadCacheHits;
+      ++resp.report.cacheHits;
+    }
+    if (coalesced) ++resp.report.coalesced;
   }
   if (resp.status == Status::Ok && results.size() == sizes.size()) {
     resp.statistics = core::GpuEpStudy::summarize(results);
@@ -350,6 +381,10 @@ void Broker::runStudyJob(
       cFailed_.inc();
       break;
   }
+  feedWatchdog(req->device,
+               resp.status == Status::Error ||
+                   resp.status == Status::CircuitOpen,
+               resp.staleWorkloads > 0);
   {
     std::lock_guard lk(mu_);
     finishJobLocked();
@@ -372,7 +407,12 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
     *coalesced = true;
     auto future = it->second->future;
     lk.unlock();
-    return future.get();  // rethrows the owner's engine failure
+    // The shared outcome carries the *owner's* attribution; zero it on
+    // this copy so a coalesced join never double-counts the energy.
+    StudyOutcome joined = future.get();  // rethrows the owner's failure
+    joined.executed = false;
+    joined.attr = {};
+    return joined;
   }
 
   // Breaker admission sits right before claiming the computation, so
@@ -445,15 +485,22 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
     std::rethrow_exception(err);
   }
   breaker.onSuccess();
-  entry->promise.set_value({result, false});
+  // The executing caller owns the study's full energy ledger entry;
+  // waiters and future joiners get the result with zero attribution.
+  StudyOutcome owned{result, false, /*executed=*/true,
+                     core::attributeEnergy(*result)};
+  accountStudyEnergy(device, owned.attr);
+  entry->promise.set_value(owned);
   for (const auto& w : waiters) {
     completeTune(w, result, /*cacheHit=*/false, /*coalesced=*/true);
   }
-  return {result, false};
+  return owned;
 }
 
 void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
-                          bool cacheHit, bool coalesced, bool stale) {
+                          bool cacheHit, bool coalesced, bool stale,
+                          const core::EnergyAttribution& attribution,
+                          bool executed) {
   if (Clock::now() > job->deadline) {
     rejectTune(job, Status::DeadlineExceeded, "");
     return;
@@ -463,6 +510,14 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   resp.cacheHit = cacheHit;
   resp.coalesced = coalesced;
   resp.stale = stale;
+  resp.report.attributedJoules = attribution.joules;
+  resp.report.measurementWindows = attribution.windows;
+  resp.report.remeasures = attribution.remeasures;
+  resp.report.skippedConfigs = attribution.skippedConfigs;
+  resp.report.studiesExecuted = executed ? 1 : 0;
+  resp.report.cacheHits = cacheHit ? 1 : 0;
+  resp.report.coalesced = coalesced ? 1 : 0;
+  resp.report.staleServed = stale ? 1 : 0;
   // The study (expensive) is shared/cached; the budget-specific tuner
   // step (cheap) runs per request.  Recommending over the cached global
   // front is equivalent to recommending over all points: the optima and
@@ -472,6 +527,7 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   resp.latency = elapsedSince(job->submitted);
   hLatencyMs_.observe(elapsedMsSince(job->submitted));
   cCompleted_.inc();
+  feedWatchdog(job->req.device, /*error=*/false, stale);
   job->promise.set_value(std::move(resp));
 }
 
@@ -490,11 +546,30 @@ void Broker::rejectTune(const TuneJobPtr& job, Status status,
     default:
       break;  // QueueFull / ShuttingDown counted at admission
   }
+  if (status == Status::Error || status == Status::CircuitOpen) {
+    feedWatchdog(job->req.device, /*error=*/true, /*stale=*/false);
+  }
   TuneResponse resp;
   resp.status = status;
   resp.error = error;
   resp.latency = elapsedSince(job->submitted);
   job->promise.set_value(std::move(resp));
+}
+
+void Broker::accountStudyEnergy(Device device,
+                                const core::EnergyAttribution& a) {
+  if (device == Device::K40c) {
+    cEnergyJoulesK40c_.add(a.joules);
+    cWindowsK40c_.inc(a.windows);
+  } else {
+    cEnergyJoulesP100_.add(a.joules);
+    cWindowsP100_.inc(a.windows);
+  }
+}
+
+void Broker::feedWatchdog(Device device, bool error, bool stale) {
+  if (options_.watchdog == nullptr) return;
+  options_.watchdog->observeRequestOutcome(deviceName(device), error, stale);
 }
 
 void Broker::finishJobLocked() {

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "serve/breaker.hpp"
 #include "serve/engine.hpp"
@@ -57,6 +58,10 @@ struct BrokerOptions {
   // here (independently of the LRU result cache), and served — flagged
   // stale — when the engine fails or the breaker is open.  0 disables.
   std::size_t staleCapacity = 128;
+  // Optional anomaly watchdog fed one outcome per finished request
+  // (error / stale / healthy), for the ErrorBudget detector.  Must
+  // outlive the broker.
+  core::PowerAnomalyWatchdog* watchdog = nullptr;
 };
 
 class Broker {
@@ -105,10 +110,13 @@ class Broker {
 
   // How a study was resolved: the result plus whether it came from the
   // stale-while-error store (the owner's engine failed but an old good
-  // result could answer).  Coalesced waiters see the same outcome.
+  // result could answer).  Coalesced waiters see the same outcome —
+  // minus the attribution, which belongs to the executing owner only.
   struct StudyOutcome {
     ResultPtr result;
     bool stale = false;
+    bool executed = false;  // this caller ran the study cold
+    core::EnergyAttribution attr{};
   };
 
   struct InFlightStudy {
@@ -138,10 +146,18 @@ class Broker {
                                          bool* coalesced);
 
   // Fulfill a tune job from a completed study (cheap tuner step).
+  // `attribution`/`executed` carry the owner's energy ledger entry;
+  // cache hits and coalesced joins pass the default (zero) attribution.
   void completeTune(const TuneJobPtr& job, const ResultPtr& result,
-                    bool cacheHit, bool coalesced, bool stale = false);
+                    bool cacheHit, bool coalesced, bool stale = false,
+                    const core::EnergyAttribution& attribution = {},
+                    bool executed = false);
   void rejectTune(const TuneJobPtr& job, Status status,
                   const std::string& error);
+
+  // Per-device attribution counters + watchdog outcome feed.
+  void accountStudyEnergy(Device device, const core::EnergyAttribution& a);
+  void feedWatchdog(Device device, bool error, bool stale);
 
   void finishJobLocked();  // activeJobs_ bookkeeping + drain signal
 
@@ -174,6 +190,11 @@ class Broker {
   obs::Gauge& gBreakerStateP100_;
   obs::Gauge& gBreakerStateK40c_;
   obs::Histogram& hLatencyMs_;
+  // Request-attributed energy ledger, one child series per device.
+  obs::DoubleCounter& cEnergyJoulesP100_;
+  obs::DoubleCounter& cEnergyJoulesK40c_;
+  obs::Counter& cWindowsP100_;
+  obs::Counter& cWindowsK40c_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_;

@@ -44,6 +44,18 @@ std::uint64_t hashStudyConstants(const hw::GpuModel& model,
   h = mix(h, opts.seed);
   h = mix(h, static_cast<std::uint64_t>(opts.totalProducts));
   h = mix(h, opts.useMeter ? 1 : 2);
+  // The fault campaign shapes every measured value: hash all of it so a
+  // faulty engine never shares cache entries with a clean one.
+  const fault::FaultInjectionOptions& f = opts.faults;
+  h = mix(h, f.enabled ? 1 : 2);
+  for (double v : {f.sampleFaultRate, f.dropWeight, f.stuckWeight,
+                   f.spikeWeight, f.nanWeight, f.zeroWeight, f.timeoutRate,
+                   f.gainDriftRate, f.gainDriftMax, f.offsetRate,
+                   f.offsetWatts, f.spikeFactor}) {
+    h = mixDouble(h, v);
+  }
+  h = mix(h, static_cast<std::uint64_t>(f.stuckRunLength));
+  h = mix(h, f.streamSalt);
   return h;
 }
 
@@ -52,6 +64,21 @@ core::GpuEpStudy makeStudy(const hw::GpuSpec& spec,
   apps::GpuMatMulOptions appOpts;
   appOpts.totalProducts = opts.totalProducts;
   appOpts.useMeter = opts.useMeter;
+  appOpts.faults = opts.faults;
+  if (opts.faults.enabled) {
+    // A fault-injected service should degrade per config, not fail the
+    // whole study: skip-and-record + the faultcheck hardening profile
+    // keep the serve path answering.  Note the hardened tiers repair
+    // spikes/drops/drift but are structurally blind to a constant
+    // offset — that one only the watchdog's decomposition catches.
+    appOpts.failPolicy = fault::FailPolicy::SkipAndRecord;
+    appOpts.robustness.sanitizeSamples = true;
+    appOpts.robustness.maxPlausibleWatts = 600.0;
+    appOpts.robustness.validation.enabled = true;
+    appOpts.robustness.validation.maxGapFactor = 5.0;
+    appOpts.robustness.validation.stuckRunLength = 8;
+    appOpts.robustness.rejectOutliers = true;
+  }
   return core::GpuEpStudy(apps::GpuMatMulApp(hw::GpuModel(spec), appOpts));
 }
 

@@ -17,6 +17,7 @@
 #include <memory>
 
 #include "core/study.hpp"
+#include "fault/fault.hpp"
 #include "serve/request.hpp"
 
 namespace ep::serve {
@@ -48,6 +49,11 @@ struct EpStudyEngineOptions {
   bool useMeter = false;
   // The fixed G x R workload multiplier of the weak-EP study.
   int totalProducts = 8;
+  // Meter-fault campaign (epserved --fault-* flags; requires useMeter).
+  // Part of the tuning hash: a faulty engine must not share cached
+  // results with a clean one.  When enabled, measurement failures skip
+  // the config instead of failing the study.
+  fault::FaultInjectionOptions faults{};
 };
 
 class EpStudyEngine : public TuningEngine {

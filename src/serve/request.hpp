@@ -66,6 +66,23 @@ enum class Status {
 
 [[nodiscard]] const char* statusName(Status s);
 
+// The energy-attribution ledger of one request: what the service spent
+// (or saved) answering it.  Joules and windows are attributed to the
+// request that *executed* a study; cache hits and coalesced joins ride
+// along for free, so summing attributedJoules over any request mix
+// equals the energy of the studies actually measured — no double
+// counting.
+struct RequestReport {
+  double attributedJoules = 0.0;        // dynamic energy newly measured
+  std::uint64_t measurementWindows = 0; // accepted meter windows executed
+  std::uint64_t remeasures = 0;         // fault recoveries along the way
+  std::uint64_t studiesExecuted = 0;    // cold engine evaluations owned
+  std::uint64_t cacheHits = 0;          // studies served from the cache
+  std::uint64_t coalesced = 0;          // studies joined in flight
+  std::uint64_t staleServed = 0;        // stale-while-error answers
+  std::uint64_t skippedConfigs = 0;     // configs dropped by SkipAndRecord
+};
+
 struct TuneResponse {
   Status status = Status::Ok;
   std::string error;  // set when status == Error
@@ -75,6 +92,7 @@ struct TuneResponse {
   // Served from the stale-while-error store: the engine failed (or the
   // breaker is open) and a previously-good result answered instead.
   bool stale = false;
+  RequestReport report;
   Seconds latency{0.0};    // submit -> response
 };
 
@@ -84,6 +102,7 @@ struct StudyResponse {
   core::FrontStatistics statistics;
   std::size_t workloadCacheHits = 0;  // per-workload cache hits inside the sweep
   std::size_t staleWorkloads = 0;     // workloads served stale-while-error
+  RequestReport report;               // aggregated over the sweep
   Seconds latency{0.0};
 };
 

@@ -229,6 +229,25 @@ std::optional<std::string> getString(const Object& obj,
   return it->second.string;
 }
 
+std::optional<bool> getBool(const Object& obj, const std::string& key) {
+  auto it = obj.find(key);
+  if (it == obj.end() || it->second.kind != Value::Kind::Bool) {
+    return std::nullopt;
+  }
+  return it->second.boolean;
+}
+
+void appendReport(ObjectWriter& w, const RequestReport& r) {
+  w.add("attributedJoules", r.attributedJoules)
+      .add("measurementWindows", r.measurementWindows)
+      .add("remeasures", r.remeasures)
+      .add("studiesExecuted", r.studiesExecuted)
+      .add("reportCacheHits", r.cacheHits)
+      .add("reportCoalesced", r.coalesced)
+      .add("reportStaleServed", r.staleServed)
+      .add("skippedConfigs", r.skippedConfigs);
+}
+
 }  // namespace
 
 std::optional<Object> parseObject(const std::string& line,
@@ -315,10 +334,19 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
     req.op = WireRequest::Op::Trace;
     return req;
   }
+  if (*op == "events") {
+    req.op = WireRequest::Op::Events;
+    const double since = getNumber(*obj, "since").value_or(0.0);
+    if (since < 0.0) return fail("\"since\" must be >= 0");
+    req.eventsSince = static_cast<std::uint64_t>(since);
+    return req;
+  }
 
   const auto deviceStr = getString(*obj, "device").value_or("p100");
   const auto device = parseDevice(deviceStr);
   if (!device) return fail("unknown device");
+  req.traceId = getString(*obj, "trace_id").value_or("");
+  req.report = getBool(*obj, "report").value_or(false);
 
   if (*op == "tune") {
     req.op = WireRequest::Op::Tune;
@@ -343,9 +371,11 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
   return fail("unknown \"op\"");
 }
 
-std::string encodeTuneResponse(const TuneResponse& resp) {
+std::string encodeTuneResponse(const TuneResponse& resp,
+                               const std::string& traceId, bool withReport) {
   ObjectWriter w;
   w.add("status", statusName(resp.status));
+  if (!traceId.empty()) w.add("trace_id", traceId);
   if (!resp.error.empty()) w.add("error", resp.error);
   if (resp.status == Status::Ok) {
     const auto& rec = resp.recommendation;
@@ -361,14 +391,17 @@ std::string encodeTuneResponse(const TuneResponse& resp) {
   }
   w.add("cacheHit", resp.cacheHit)
       .add("coalesced", resp.coalesced)
-      .add("stale", resp.stale)
-      .add("latencyMs", resp.latency.value() * 1e3);
+      .add("stale", resp.stale);
+  if (withReport) appendReport(w, resp.report);
+  w.add("latencyMs", resp.latency.value() * 1e3);
   return w.str();
 }
 
-std::string encodeStudyResponse(const StudyResponse& resp) {
+std::string encodeStudyResponse(const StudyResponse& resp,
+                                const std::string& traceId, bool withReport) {
   ObjectWriter w;
   w.add("status", statusName(resp.status));
+  if (!traceId.empty()) w.add("trace_id", traceId);
   if (!resp.error.empty()) w.add("error", resp.error);
   if (resp.status == Status::Ok) {
     const auto& s = resp.statistics;
@@ -387,8 +420,9 @@ std::string encodeStudyResponse(const StudyResponse& resp) {
   }
   w.add("workloadCacheHits",
         static_cast<std::uint64_t>(resp.workloadCacheHits))
-      .add("staleWorkloads", static_cast<std::uint64_t>(resp.staleWorkloads))
-      .add("latencyMs", resp.latency.value() * 1e3);
+      .add("staleWorkloads", static_cast<std::uint64_t>(resp.staleWorkloads));
+  if (withReport) appendReport(w, resp.report);
+  w.add("latencyMs", resp.latency.value() * 1e3);
   return w.str();
 }
 
@@ -423,6 +457,17 @@ std::string encodeMetrics(const ServeMetrics& m) {
 
 std::string encodeTextBody(const std::string& body) {
   return ObjectWriter().add("status", "ok").add("body", body).str();
+}
+
+std::string encodeEvents(std::uint64_t activeAlerts, std::uint64_t recorded,
+                         std::uint64_t dropped, const std::string& body) {
+  return ObjectWriter()
+      .add("status", "ok")
+      .add("alerts", activeAlerts)
+      .add("recorded", recorded)
+      .add("dropped", dropped)
+      .add("body", body)
+      .str();
 }
 
 std::string encodeError(const std::string& message) {

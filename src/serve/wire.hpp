@@ -9,10 +9,20 @@
 //   {"op":"metrics"}
 //   {"op":"metrics","format":"prometheus"}
 //   {"op":"trace"}
+//   {"op":"events","since":0}
 //
-// The last two answer with {"status":"ok","body":"..."} where body is
-// the full Prometheus text exposition / Chrome trace-event JSON as one
-// escaped string (multi-line payloads stay one response line).
+// The metrics/trace ops answer with {"status":"ok","body":"..."} where
+// body is the full Prometheus text exposition / Chrome trace-event JSON
+// as one escaped string (multi-line payloads stay one response line).
+// The events op drains the watchdog flight recorder: body is one flat
+// JSON event per line, plus "alerts"/"recorded"/"dropped" totals.
+//
+// Tune and study requests may carry two observability fields:
+//   * "trace_id" — opaque string naming the caller's trace; the server
+//     runs the request under it (spans in {"op":"trace"} carry the id)
+//     and echoes it back in the response.
+//   * "report":true — the response gains the request's energy-
+//     attribution ledger (attributedJoules, measurementWindows, ...).
 //
 // Responses always carry "status"; tune responses add the recommended
 // configuration and trade-off, study responses the front statistics.
@@ -67,11 +77,17 @@ class ObjectWriter {
 };
 
 struct WireRequest {
-  enum class Op { Tune, Study, Metrics, Trace };
+  enum class Op { Tune, Study, Metrics, Trace, Events };
   Op op = Op::Tune;
   // For Op::Metrics: answer with the Prometheus text exposition
   // instead of the flat JSON snapshot.
   bool prometheus = false;
+  // For Op::Events: drain only events with seq > since.
+  std::uint64_t eventsSince = 0;
+  // Caller-supplied trace id ("" = none) and whether the response
+  // should carry the energy-attribution report.
+  std::string traceId;
+  bool report = false;
   TuneRequest tune;
   StudyRequest study;
 };
@@ -80,12 +96,24 @@ struct WireRequest {
 [[nodiscard]] std::optional<WireRequest> decodeRequest(
     const std::string& line, std::string* error);
 
-[[nodiscard]] std::string encodeTuneResponse(const TuneResponse& resp);
-[[nodiscard]] std::string encodeStudyResponse(const StudyResponse& resp);
+// `traceId` (when non-empty) is echoed back; `withReport` appends the
+// RequestReport ledger fields.
+[[nodiscard]] std::string encodeTuneResponse(const TuneResponse& resp,
+                                             const std::string& traceId = "",
+                                             bool withReport = false);
+[[nodiscard]] std::string encodeStudyResponse(const StudyResponse& resp,
+                                              const std::string& traceId = "",
+                                              bool withReport = false);
 [[nodiscard]] std::string encodeMetrics(const ServeMetrics& m);
 // Wrap a multi-line text payload (Prometheus exposition, Chrome trace
 // JSON) as {"status":"ok","body":"..."} — one response line.
 [[nodiscard]] std::string encodeTextBody(const std::string& body);
+// {"op":"events"} response: totals plus one flat JSON event per body
+// line (empty body when nothing new).
+[[nodiscard]] std::string encodeEvents(std::uint64_t activeAlerts,
+                                       std::uint64_t recorded,
+                                       std::uint64_t dropped,
+                                       const std::string& body);
 [[nodiscard]] std::string encodeError(const std::string& message);
 
 }  // namespace ep::serve::wire

@@ -13,6 +13,7 @@
 #include "core/ncore.hpp"
 #include "core/tuner.hpp"
 #include "core/twocore.hpp"
+#include "core/watchdog.hpp"
 
 namespace ep::core {
 namespace {
@@ -473,6 +474,162 @@ TEST(ServerPark, RejectsMalformedInputs) {
   EXPECT_THROW((void)surveyFleet({}), PreconditionError);
   const ServerPowerCurve bad{"bad", -1.0, 0.3, 1.0};
   EXPECT_THROW((void)specPowerLadder(bad), PreconditionError);
+}
+
+// --- power-anomaly watchdog ---
+
+// A window whose observed energy exceeds the model expectation by
+// exactly `offsetW` watts — the signature of Fig 6's constant
+// component, which sample sanitization and outlier rejection cannot
+// see (a consistent shift passes both).
+power::MeasureWindowObservation offsetWindow(double offsetW,
+                                             double windowS = 2.0) {
+  power::MeasureWindowObservation o;
+  o.scope = "P100";
+  o.windowS = windowS;
+  o.staticJ = 50.0 * windowS;
+  o.expectedJ = (50.0 + 80.0) * windowS;  // base + workload
+  o.observedJ = o.expectedJ + offsetW * windowS;
+  o.traceId = 0xBEEFu;
+  return o;
+}
+
+TEST(Watchdog, RaisesConstantComponentAtTheRollingMedian) {
+  WatchdogOptions opts;
+  opts.constantComponentWatts = 25.0;
+  opts.rollingWindows = 8;
+  opts.minWindows = 4;
+  PowerAnomalyWatchdog wd(opts);
+
+  // Below minWindows nothing can fire, however large the residual.
+  wd.onMeasureWindow(offsetWindow(58.0));
+  wd.onMeasureWindow(offsetWindow(58.0));
+  wd.onMeasureWindow(offsetWindow(58.0));
+  EXPECT_EQ(wd.activeAlerts(), 0u);
+
+  // The fourth window completes the median: one event, raised once.
+  wd.onMeasureWindow(offsetWindow(58.0));
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+  wd.onMeasureWindow(offsetWindow(58.0));
+  EXPECT_EQ(wd.activeAlerts(), 1u);  // no re-raise while active
+
+  const auto events = wd.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].kind, "constant_component");
+  EXPECT_STREQ(events[0].scope, "P100");
+  EXPECT_NEAR(events[0].value, 58.0, 1e-9);
+  EXPECT_DOUBLE_EQ(events[0].threshold, 25.0);
+  EXPECT_EQ(events[0].traceId, 0xBEEFu);
+}
+
+TEST(Watchdog, ConstantComponentClearsWithHysteresis) {
+  WatchdogOptions opts;
+  opts.constantComponentWatts = 25.0;
+  opts.rollingWindows = 4;
+  opts.minWindows = 4;
+  opts.clearFraction = 0.5;
+  PowerAnomalyWatchdog wd(opts);
+  for (int i = 0; i < 4; ++i) wd.onMeasureWindow(offsetWindow(58.0));
+  ASSERT_EQ(wd.activeAlerts(), 1u);
+
+  // Dropping below the threshold is not enough — only below
+  // threshold * clearFraction (12.5 W) does the alert clear.
+  for (int i = 0; i < 4; ++i) wd.onMeasureWindow(offsetWindow(20.0));
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+  for (int i = 0; i < 4; ++i) wd.onMeasureWindow(offsetWindow(1.0));
+  EXPECT_EQ(wd.activeAlerts(), 0u);
+
+  const auto events = wd.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "constant_component");
+  EXPECT_STREQ(events[1].kind, "cleared");
+}
+
+TEST(Watchdog, ScopesTrackAnomaliesIndependently) {
+  WatchdogOptions opts;
+  opts.minWindows = 4;
+  opts.rollingWindows = 4;
+  PowerAnomalyWatchdog wd(opts);
+  for (int i = 0; i < 4; ++i) {
+    auto healthy = offsetWindow(0.0);
+    healthy.scope = "K40c";
+    wd.onMeasureWindow(healthy);
+    wd.onMeasureWindow(offsetWindow(58.0));  // P100
+  }
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+  const auto events = wd.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].scope, "P100");
+}
+
+TEST(Watchdog, CiDegradationRaisesAndConvergenceClears) {
+  WatchdogOptions opts;
+  opts.ciPrecisionLimit = 0.10;
+  PowerAnomalyWatchdog wd(opts);
+
+  wd.onMeasurementResult("P100", /*converged=*/false, /*precision=*/0.35);
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+  wd.onMeasurementResult("P100", false, 0.4);  // still active: no re-raise
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+  // Non-convergence within the limit is not an anomaly.
+  wd.onMeasurementResult("K40c", false, 0.05);
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+
+  wd.onMeasurementResult("P100", /*converged=*/true, 0.02);
+  EXPECT_EQ(wd.activeAlerts(), 0u);
+  const auto events = wd.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "ci_degraded");
+  EXPECT_DOUBLE_EQ(events[0].value, 0.35);
+  EXPECT_STREQ(events[1].kind, "cleared");
+}
+
+TEST(Watchdog, ErrorBudgetBurnsAndRecovers) {
+  WatchdogOptions opts;
+  opts.errorBudget = 0.25;
+  opts.requestWindow = 8;
+  opts.minRequests = 4;
+  opts.clearFraction = 0.5;
+  PowerAnomalyWatchdog wd(opts);
+
+  // 2 errors in 4 = 50 % > 25 %: raised (stale counts like error).
+  wd.observeRequestOutcome("P100", false, false);
+  wd.observeRequestOutcome("P100", true, false);
+  wd.observeRequestOutcome("P100", false, true);
+  EXPECT_EQ(wd.activeAlerts(), 0u);  // below minRequests
+  wd.observeRequestOutcome("P100", false, false);
+  EXPECT_EQ(wd.activeAlerts(), 1u);
+
+  // Healthy traffic pushes the bad outcomes out of the window; the
+  // alert clears once the rate falls to <= budget * clearFraction.
+  for (int i = 0; i < 8; ++i) {
+    wd.observeRequestOutcome("P100", false, false);
+  }
+  EXPECT_EQ(wd.activeAlerts(), 0u);
+  const auto events = wd.events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "error_budget");
+  EXPECT_DOUBLE_EQ(events[0].value, 0.5);
+  EXPECT_DOUBLE_EQ(events[0].threshold, 0.25);
+  EXPECT_STREQ(events[1].kind, "cleared");
+}
+
+TEST(Watchdog, EventsDrainIncrementallyBySequence) {
+  WatchdogOptions opts;
+  opts.minWindows = 4;
+  opts.rollingWindows = 4;
+  opts.clearFraction = 0.5;
+  PowerAnomalyWatchdog wd(opts);
+  for (int i = 0; i < 4; ++i) wd.onMeasureWindow(offsetWindow(58.0));
+  const auto first = wd.events();
+  ASSERT_EQ(first.size(), 1u);
+
+  for (int i = 0; i < 4; ++i) wd.onMeasureWindow(offsetWindow(0.0));
+  // Tailing from the last seen seq yields only the clear event.
+  const auto tail = wd.events(first.back().seq);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_STREQ(tail[0].kind, "cleared");
+  EXPECT_TRUE(wd.events(tail.back().seq).empty());
 }
 
 }  // namespace

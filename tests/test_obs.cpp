@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <cmath>
+#include <map>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -15,9 +16,11 @@
 #include <vector>
 
 #include "apps/gpu_matmul_app.hpp"
+#include "common/thread_pool.hpp"
 #include "core/study.hpp"
 #include "hw/gpu_model.hpp"
 #include "hw/spec.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/wire.hpp"
@@ -25,10 +28,16 @@
 namespace {
 
 using ep::obs::Counter;
+using ep::obs::DoubleCounter;
+using ep::obs::FlightEvent;
+using ep::obs::FlightRecorder;
 using ep::obs::Gauge;
 using ep::obs::Histogram;
+using ep::obs::Labels;
 using ep::obs::Registry;
+using ep::obs::ScopedTraceContext;
 using ep::obs::Span;
+using ep::obs::TraceContext;
 using ep::obs::TraceEvent;
 using ep::obs::Tracer;
 
@@ -175,6 +184,238 @@ TEST(Metrics, RenderPrometheusIsWellFormed) {
     EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
     EXPECT_EQ(parsed, value.size()) << line;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Labels, DoubleCounter, and exposition-format conformance
+
+TEST(Metrics, LabeledChildrenShareOneFamilyHeader) {
+  Registry r;
+  Counter& p100 = r.counter("dev_total", "Per-device ops",
+                            {{"device", "P100"}});
+  Counter& k40c = r.counter("dev_total", "Per-device ops",
+                            {{"device", "K40c"}});
+  EXPECT_NE(&p100, &k40c);
+  // Same name + same labels is the same child.
+  EXPECT_EQ(&p100, &r.counter("dev_total", "Per-device ops",
+                              {{"device", "P100"}}));
+  p100.inc(2);
+  k40c.inc(5);
+
+  const std::string text = r.renderPrometheus();
+  // HELP/TYPE once, then both children.
+  EXPECT_EQ(text.find("# HELP dev_total"), text.rfind("# HELP dev_total"));
+  EXPECT_NE(text.find("dev_total{device=\"P100\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("dev_total{device=\"K40c\"} 5\n"), std::string::npos);
+}
+
+TEST(Metrics, LabelValuesAreEscapedPerExpositionFormat) {
+  Registry r;
+  // Backslash, quote and newline are exactly the three characters the
+  // 0.0.4 text format requires escaping in label values.
+  r.counter("esc_total", "Escapes", {{"path", "a\\b\"c\nd"}}).inc();
+  const std::string text = r.renderPrometheus();
+  EXPECT_NE(text.find("esc_total{path=\"a\\\\b\\\"c\\nd\"} 1\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, HelpTextEscapesBackslashAndNewline) {
+  Registry r;
+  r.counter("h_total", "line one\nline \\ two").inc();
+  const std::string text = r.renderPrometheus();
+  EXPECT_NE(text.find("# HELP h_total line one\\nline \\\\ two\n"),
+            std::string::npos);
+}
+
+TEST(Metrics, InvalidLabelNamesThrow) {
+  Registry r;
+  EXPECT_THROW(r.counter("ok_total", "h", {{"0bad", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(r.counter("ok_total", "h", {{"has-dash", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(r.counter("ok_total", "h", {{"__reserved", "v"}}),
+               std::invalid_argument);
+  EXPECT_THROW(r.counter("ok_total", "h", {{"", "v"}}),
+               std::invalid_argument);
+  // A leading single underscore is legal.
+  EXPECT_NO_THROW(r.counter("ok_total", "h", {{"_fine", "v"}}));
+}
+
+TEST(Metrics, FamilyKindConflictAcrossLabelsThrows) {
+  Registry r;
+  r.counter("mixed_total", "h", {{"a", "1"}}).inc();
+  EXPECT_THROW(r.gauge("mixed_total", "h", {{"a", "2"}}),
+               std::invalid_argument);
+}
+
+TEST(Metrics, DoubleCounterAccumulatesAndRendersAsCounter) {
+  Registry r;
+  DoubleCounter& j = r.doubleCounter("energy_joules", "Joules",
+                                     {{"device", "P100"}});
+  j.add(1.5);
+  j.add(2.25);
+  EXPECT_DOUBLE_EQ(j.value(), 3.75);
+  const std::string text = r.renderPrometheus();
+  EXPECT_NE(text.find("# TYPE energy_joules counter\n"), std::string::npos);
+  EXPECT_NE(text.find("energy_joules{device=\"P100\"} 3.75\n"),
+            std::string::npos);
+}
+
+// Conformance lint over the full exposition grammar: family names and
+// label names against the Prometheus regexes, label values legally
+// escaped, every sample attributable to exactly one HELP/TYPE pair.
+// This is the test the 0.0.4 spec asks scrapers to rely on.
+bool validMetricName(const std::string& s) {
+  if (s.empty()) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return true;
+}
+
+bool validLabelNameForLint(const std::string& s) {
+  if (s.empty() || s.size() >= 2 * 1024) return false;
+  auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (char c : s) {
+    if (!head(c) && !(c >= '0' && c <= '9')) return false;
+  }
+  return !(s.size() >= 2 && s[0] == '_' && s[1] == '_');
+}
+
+// Strip histogram sample suffixes to the family that owns the header.
+std::string familyOf(const std::string& sample) {
+  for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+    const std::string sfx(suffix);
+    if (sample.size() > sfx.size() &&
+        sample.compare(sample.size() - sfx.size(), sfx.size(), sfx) == 0) {
+      return sample.substr(0, sample.size() - sfx.size());
+    }
+  }
+  return sample;
+}
+
+void lintExposition(const std::string& text) {
+  std::map<std::string, std::string> typeOf;  // family -> TYPE
+  std::set<std::string> helped;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos) << "unterminated final line";
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    ASSERT_FALSE(line.empty());
+
+    if (line.rfind("# HELP ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
+      EXPECT_TRUE(validMetricName(name)) << line;
+      EXPECT_TRUE(helped.insert(name).second)
+          << "duplicate HELP for " << name;
+      // Escaped help: a raw newline cannot appear (we split on it), a
+      // backslash must be followed by 'n' or '\\'.
+      const std::string help = line.substr(sp + 1);
+      for (std::size_t i = 0; i < help.size(); ++i) {
+        if (help[i] == '\\') {
+          ASSERT_LT(i + 1, help.size()) << line;
+          EXPECT_TRUE(help[i + 1] == 'n' || help[i + 1] == '\\') << line;
+          ++i;
+        }
+      }
+      continue;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      const std::size_t sp = line.find(' ', 7);
+      ASSERT_NE(sp, std::string::npos) << line;
+      const std::string name = line.substr(7, sp - 7);
+      const std::string type = line.substr(sp + 1);
+      EXPECT_TRUE(validMetricName(name)) << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" ||
+                  type == "histogram" || type == "summary" ||
+                  type == "untyped")
+          << line;
+      EXPECT_TRUE(typeOf.emplace(name, type).second)
+          << "duplicate TYPE for " << name;
+      continue;
+    }
+    ASSERT_NE(line[0], '#') << "unknown comment form: " << line;
+
+    // Sample line: name[{labels}] value
+    std::size_t nameEnd = 0;
+    while (nameEnd < line.size() && line[nameEnd] != '{' &&
+           line[nameEnd] != ' ') {
+      ++nameEnd;
+    }
+    const std::string sample = line.substr(0, nameEnd);
+    EXPECT_TRUE(validMetricName(sample)) << line;
+    const std::string family = familyOf(sample);
+    EXPECT_TRUE(typeOf.count(family))
+        << "sample " << sample << " has no TYPE header";
+    EXPECT_TRUE(helped.count(family))
+        << "sample " << sample << " has no HELP header";
+
+    std::size_t i = nameEnd;
+    if (i < line.size() && line[i] == '{') {
+      ++i;
+      while (i < line.size() && line[i] != '}') {
+        std::size_t eq = line.find('=', i);
+        ASSERT_NE(eq, std::string::npos) << line;
+        EXPECT_TRUE(validLabelNameForLint(line.substr(i, eq - i))) << line;
+        ASSERT_EQ(line[eq + 1], '"') << line;
+        i = eq + 2;
+        while (i < line.size() && line[i] != '"') {
+          if (line[i] == '\\') {
+            ASSERT_LT(i + 1, line.size()) << line;
+            EXPECT_TRUE(line[i + 1] == '\\' || line[i + 1] == '"' ||
+                        line[i + 1] == 'n')
+                << "illegal label-value escape in: " << line;
+            ++i;
+          }
+          ++i;
+        }
+        ASSERT_LT(i, line.size()) << line;
+        ++i;  // closing quote
+        if (i < line.size() && line[i] == ',') ++i;
+      }
+      ASSERT_LT(i, line.size()) << line;
+      ++i;  // closing brace
+    }
+    ASSERT_LT(i, line.size()) << line;
+    ASSERT_EQ(line[i], ' ') << line;
+    const std::string value = line.substr(i + 1);
+    if (value != "+Inf" && value != "-Inf" && value != "NaN") {
+      std::size_t parsed = 0;
+      EXPECT_NO_THROW({ (void)std::stod(value, &parsed); }) << line;
+      EXPECT_EQ(parsed, value.size()) << line;
+    }
+  }
+}
+
+TEST(Metrics, ExpositionPassesConformanceLint) {
+  Registry r;
+  r.counter("ep_requests_total", "Requests").inc(7);
+  r.counter("ep_by_dev_total", "By device", {{"device", "P100"}}).inc(1);
+  r.counter("ep_by_dev_total", "By device", {{"device", "K40c"}}).inc(2);
+  r.doubleCounter("ep_joules", "Energy\nledger", {{"device", "P\\100\""}})
+      .add(12.5);
+  r.gauge("ep_depth", "Depth").set(-3);
+  r.histogram("ep_lat_ms", "Latency", {1.0, 8.0}, {{"op", "tune"}})
+      .observe(3.0);
+  lintExposition(r.renderPrometheus());
+}
+
+// The broker's and the process-global registry's expositions must both
+// pass the same lint (they are concatenated by epserved).
+TEST(Metrics, GlobalRegistryPassesConformanceLint) {
+  lintExposition(Registry::global().renderPrometheus());
 }
 
 // ---------------------------------------------------------------------------
@@ -345,6 +586,341 @@ TEST(Trace, ConcurrentRecordingAndExportIsSafe) {
   t.setEnabled(false);
   EXPECT_EQ(t.recordedCount() + t.droppedCount(),
             2ull * kRecorders * kSpansEach);
+}
+
+// ---------------------------------------------------------------------------
+// TraceContext: request identity across spans, scopes, and pool threads
+
+TEST(TraceContext, TraceIdFromStringParsesHexAndHashesTheRest) {
+  EXPECT_EQ(ep::obs::traceIdFromString(""), 0u);
+  EXPECT_EQ(ep::obs::traceIdFromString("deadbeef"), 0xdeadbeefull);
+  EXPECT_EQ(ep::obs::traceIdFromString("DEADBEEF"), 0xdeadbeefull);
+  EXPECT_EQ(ep::obs::traceIdFromString("ffffffffffffffff"), ~0ull);
+  // Non-hex strings hash to a stable nonzero id.
+  const std::uint64_t h = ep::obs::traceIdFromString("request-42");
+  EXPECT_NE(h, 0u);
+  EXPECT_EQ(h, ep::obs::traceIdFromString("request-42"));
+  EXPECT_NE(h, ep::obs::traceIdFromString("request-43"));
+  // Hex ids round-trip through the export form.
+  EXPECT_EQ(ep::obs::formatTraceId(0xdeadbeefull), "deadbeef");
+}
+
+TEST(TraceContext, ScopedContextInstallsAndRestores) {
+  EXPECT_EQ(ep::obs::currentContext().traceId, 0u);
+  {
+    ScopedTraceContext outer(TraceContext{0xAAu, 1u});
+    EXPECT_EQ(ep::obs::currentContext().traceId, 0xAAu);
+    {
+      ScopedTraceContext inner(TraceContext{0xBBu, 2u});
+      EXPECT_EQ(ep::obs::currentContext().traceId, 0xBBu);
+      EXPECT_EQ(ep::obs::currentContext().spanId, 2u);
+    }
+    EXPECT_EQ(ep::obs::currentContext().traceId, 0xAAu);
+    EXPECT_EQ(ep::obs::currentContext().spanId, 1u);
+  }
+  EXPECT_EQ(ep::obs::currentContext().traceId, 0u);
+}
+
+TEST(TraceContext, SpansRecordTraceIdAndParentChain) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  {
+    ScopedTraceContext scope(TraceContext{0xFACEu, 0u});
+    Span outer("ctx/outer");
+    { Span inner("ctx/inner"); }
+  }
+  Tracer::global().setEnabled(false);
+
+  const auto events = Tracer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  const TraceEvent& inner = events[0];
+  const TraceEvent& outer = events[1];
+  EXPECT_EQ(outer.traceId, 0xFACEu);
+  EXPECT_EQ(inner.traceId, 0xFACEu);
+  EXPECT_NE(outer.spanId, 0u);
+  EXPECT_EQ(outer.parentSpanId, 0u);
+  EXPECT_EQ(inner.parentSpanId, outer.spanId);
+  EXPECT_NE(inner.spanId, outer.spanId);
+}
+
+TEST(TraceContext, DisabledTracingLeavesContextUntouched) {
+  GlobalTracerGuard guard;
+  ScopedTraceContext scope(TraceContext{0x11u, 0u});
+  {
+    Span s("ctx/disabled");
+    EXPECT_EQ(ep::obs::currentContext().spanId, 0u);
+    EXPECT_EQ(s.spanId(), 0u);
+  }
+  EXPECT_EQ(Tracer::global().recordedCount(), 0u);
+}
+
+TEST(TraceContext, ThreadPoolPropagatesSubmitterContext) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  ep::ThreadPool pool(2);
+  std::uint64_t rootSpanId = 0;
+  {
+    ScopedTraceContext scope(TraceContext{0xC0FFEEu, 0u});
+    Span root("ctx/root");
+    rootSpanId = root.spanId();
+    for (int i = 0; i < 8; ++i) {
+      pool.submit([] { Span child("ctx/pool_child"); });
+    }
+    pool.wait();
+  }
+  Tracer::global().setEnabled(false);
+
+  std::size_t children = 0;
+  std::set<std::uint32_t> childTids;
+  std::uint32_t rootTid = 0;
+  for (const auto& e : Tracer::global().snapshot()) {
+    if (std::string(e.name) == "ctx/pool_child") {
+      ++children;
+      childTids.insert(e.tid);
+      // Every pool child links to the submitting root span and carries
+      // the request trace id across the thread hop.
+      EXPECT_EQ(e.traceId, 0xC0FFEEu);
+      EXPECT_EQ(e.parentSpanId, rootSpanId);
+    } else if (std::string(e.name) == "ctx/root") {
+      rootTid = e.tid;
+    }
+  }
+  EXPECT_EQ(children, 8u);
+  // With 2 workers and 8 tasks at least one child ran off the
+  // submitter's thread — the propagation is genuinely cross-thread.
+  EXPECT_TRUE(childTids.size() > 1 || childTids.count(rootTid) == 0);
+}
+
+TEST(TraceContext, ParallelForTasksInheritContext) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  ep::ThreadPool pool(3);
+  {
+    ScopedTraceContext scope(TraceContext{0xABCu, 0u});
+    Span root("ctx/pfroot");
+    pool.parallelFor(0, 32, [](int) { Span s("ctx/pf_child"); });
+  }
+  Tracer::global().setEnabled(false);
+  std::size_t withTrace = 0;
+  std::size_t children = 0;
+  for (const auto& e : Tracer::global().snapshot()) {
+    if (std::string(e.name) == "ctx/pf_child") {
+      ++children;
+      if (e.traceId == 0xABCu) ++withTrace;
+    }
+  }
+  EXPECT_EQ(children, 32u);
+  EXPECT_EQ(withTrace, children);
+}
+
+// Cross-thread edges surface as "s"/"f" flow pairs in the export.
+TEST(TraceContext, ExportEmitsFlowPairsForCrossThreadParents) {
+  GlobalTracerGuard guard;
+  Tracer::global().setEnabled(true);
+  ep::ThreadPool pool(2);
+  {
+    ScopedTraceContext scope(TraceContext{0xF10u, 0u});
+    Span root("ctx/flow_root");
+    for (int i = 0; i < 4; ++i) {
+      pool.submit([] { Span child("ctx/flow_child"); });
+    }
+    pool.wait();
+  }
+  Tracer::global().setEnabled(false);
+
+  const std::string json = Tracer::global().exportChromeTrace();
+  std::size_t flowStarts = 0;
+  std::size_t flowEnds = 0;
+  std::size_t pos = 0;
+  while ((pos = json.find("\"ph\":\"s\"", pos)) != std::string::npos) {
+    ++flowStarts;
+    pos += 8;
+  }
+  pos = 0;
+  while ((pos = json.find("\"ph\":\"f\"", pos)) != std::string::npos) {
+    ++flowEnds;
+    pos += 8;
+  }
+  EXPECT_EQ(flowStarts, flowEnds);
+  EXPECT_GE(flowStarts, 1u);
+}
+
+// Satellite: fill a small ring past capacity, export, and require the
+// output to still be schema-valid with the oldest events dropped and
+// no torn records.
+TEST(Trace, WraparoundExportStaysSchemaValid) {
+  Tracer t(8);
+  auto& buf = t.threadBuffer();
+  // 20 events through an 8-slot ring: 12 dropped, newest 8 retained.
+  for (std::uint64_t i = 1; i <= 20; ++i) {
+    buf.push(TraceEvent{"ring/evt", 1000 * i, 100, buf.tid,
+                        static_cast<std::uint32_t>(i % 3), 0xAB, i, i - 1});
+  }
+  EXPECT_EQ(t.recordedCount(), 8u);
+  EXPECT_EQ(t.droppedCount(), 12u);
+
+  const std::string json = t.exportChromeTrace();
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < json.size()) {
+    const std::size_t nl = json.find('\n', pos);
+    if (nl == std::string::npos) break;
+    lines.push_back(json.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  std::set<std::uint64_t> spans;
+  for (std::size_t i = 1; i + 1 < lines.size(); ++i) {
+    std::string line = lines[i];
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    std::string error;
+    const auto obj = ep::serve::wire::parseObject(line, &error);
+    ASSERT_TRUE(obj) << error << " in " << line;
+    if (obj->at("ph").string != "X") continue;
+    // Untorn: every surviving record keeps its own coherent identity
+    // (span i was pushed with start i*1000 and parent i-1).
+    const auto span = static_cast<std::uint64_t>(obj->at("span").number);
+    // startNs was pushed as span*1000, so ts (microseconds) == span.
+    EXPECT_EQ(obj->at("ts").number, static_cast<double>(span));
+    EXPECT_EQ(obj->at("parent").number, static_cast<double>(span - 1));
+    EXPECT_EQ(obj->at("trace").string, "ab");
+    spans.insert(span);
+  }
+  // Exactly the newest 8, oldest dropped.
+  EXPECT_EQ(spans, (std::set<std::uint64_t>{13, 14, 15, 16, 17, 18, 19, 20}));
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder: the watchdog's lock-free event ring
+
+FlightEvent makeFlight(double value, const char* kind, const char* scope,
+                       const char* msg) {
+  FlightEvent e;
+  e.timeNs = 42;
+  e.traceId = 0xFEEDu;
+  e.value = value;
+  e.threshold = 25.0;
+  ep::obs::setFlightField(e.kind, kind);
+  ep::obs::setFlightField(e.scope, scope);
+  ep::obs::setFlightField(e.message, msg);
+  return e;
+}
+
+TEST(FlightRecorder, RecordsAndSnapshotsInOrder) {
+  FlightRecorder rec(8);
+  EXPECT_EQ(rec.capacity(), 8u);
+  rec.record(makeFlight(58.0, "constant_component", "P100", "58 W step"));
+  rec.record(makeFlight(0.2, "error_budget", "K40c", "burning"));
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 1u);
+  EXPECT_EQ(events[1].seq, 2u);
+  EXPECT_STREQ(events[0].kind, "constant_component");
+  EXPECT_STREQ(events[0].scope, "P100");
+  EXPECT_DOUBLE_EQ(events[0].value, 58.0);
+  EXPECT_EQ(events[0].traceId, 0xFEEDu);
+  EXPECT_STREQ(events[1].kind, "error_budget");
+  // sinceSeq drains incrementally.
+  const auto tail = rec.snapshot(1);
+  ASSERT_EQ(tail.size(), 1u);
+  EXPECT_EQ(tail[0].seq, 2u);
+  EXPECT_TRUE(rec.snapshot(2).empty());
+}
+
+TEST(FlightRecorder, CapacityRoundsUpAndWrapKeepsNewest) {
+  FlightRecorder rec(5);  // rounds to 8
+  EXPECT_EQ(rec.capacity(), 8u);
+  for (int i = 1; i <= 20; ++i) {
+    rec.record(makeFlight(i, "kind", "scope", "m"));
+  }
+  EXPECT_EQ(rec.recorded(), 20u);
+  EXPECT_EQ(rec.dropped(), 0u);  // lapping is overwrite, not drop
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].seq, 13 + i);
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(13 + i));
+  }
+}
+
+TEST(FlightRecorder, FieldSettingTruncatesSafely) {
+  FlightEvent e;
+  const std::string longMsg(300, 'x');
+  ep::obs::setFlightField(e.message, longMsg.c_str());
+  EXPECT_EQ(std::string(e.message).size(), sizeof e.message - 1);
+  ep::obs::setFlightField(e.kind, "");
+  EXPECT_STREQ(e.kind, "");
+  ep::obs::setFlightField(e.kind, nullptr);
+  EXPECT_STREQ(e.kind, "");
+}
+
+TEST(FlightRecorder, ConcurrentRecordAndSnapshotNeverTears) {
+  FlightRecorder rec(16);
+  constexpr int kWriters = 4;
+  constexpr int kEach = 3000;
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> torn{0};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::uint64_t lastSeq = 0;
+      for (const auto& e : rec.snapshot()) {
+        // Every writer stamps a payload whose message is derived from
+        // its value; a mismatch means a torn read escaped the
+        // claim/publish validation.
+        char expect[32];
+        std::snprintf(expect, sizeof expect, "msg-%llu",
+                      static_cast<unsigned long long>(e.value));
+        if (std::string(e.message) != expect) torn.fetch_add(1);
+        if (e.seq <= lastSeq) torn.fetch_add(1);  // snapshot seq order
+        lastSeq = e.seq;
+      }
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&rec, w] {
+      for (int i = 0; i < kEach; ++i) {
+        const std::uint64_t payload =
+            static_cast<std::uint64_t>(w) * 100000u + static_cast<unsigned>(i);
+        FlightEvent e;
+        e.value = static_cast<double>(payload);
+        char msg[32];
+        std::snprintf(msg, sizeof msg, "msg-%llu",
+                      static_cast<unsigned long long>(payload));
+        ep::obs::setFlightField(e.message, msg);
+        rec.record(e);
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(torn.load(), 0u);
+  // Every record attempt is counted exactly once, as recorded or dropped.
+  EXPECT_EQ(rec.recorded(),
+            static_cast<std::uint64_t>(kWriters) * kEach);
+  EXPECT_LE(rec.snapshot().size() + rec.dropped(),
+            16u + rec.dropped());
+}
+
+TEST(FlightRecorder, EncodedLinesParseWithWireParser) {
+  FlightRecorder rec(8);
+  rec.record(makeFlight(58.5, "constant_component", "Nvidia P100",
+                        "a \"quoted\" message\nwith ctrl chars"));
+  const auto events = rec.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const std::string line = ep::obs::encodeFlightEventLine(events[0]);
+  std::string error;
+  const auto obj = ep::serve::wire::parseObject(line, &error);
+  ASSERT_TRUE(obj) << error << " in " << line;
+  EXPECT_EQ(obj->at("seq").number, 1.0);
+  EXPECT_EQ(obj->at("kind").string, "constant_component");
+  EXPECT_EQ(obj->at("scope").string, "Nvidia P100");
+  EXPECT_DOUBLE_EQ(obj->at("value").number, 58.5);
+  EXPECT_DOUBLE_EQ(obj->at("threshold").number, 25.0);
+  EXPECT_EQ(obj->at("trace").string, "feed");
+  // Quotes escape; control characters are stripped so the body stays a
+  // single line-delimited record.
+  EXPECT_EQ(obj->at("message").string, "a \"quoted\" messagewith ctrl chars");
 }
 
 // ---------------------------------------------------------------------------

@@ -4,10 +4,16 @@
 
 #include <cmath>
 
+#include <mutex>
+#include <string>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 #include "power/measurer.hpp"
 #include "power/meter.hpp"
+#include "power/observer.hpp"
 #include "power/profile.hpp"
 #include "power/trace.hpp"
 
@@ -425,6 +431,118 @@ TEST(Sanitize, PlausibilityCeilingDropsSpikes) {
   EXPECT_EQ(sanitizeTrace(copy), 0u);
   EXPECT_EQ(sanitizeTrace(t, /*maxPlausibleWatts=*/350.0), 1u);
   EXPECT_DOUBLE_EQ(t.energyBetween(0.0_s, 2.0_s).value(), 200.0);
+}
+
+// --- measurement observer seam ---
+
+class RecordingObserver : public MeasureObserver {
+ public:
+  struct Window {
+    std::string scope;
+    double observedJ, expectedJ, staticJ, windowS;
+    std::uint64_t traceId;
+  };
+  struct Result {
+    std::string scope;
+    bool converged;
+    double precision;
+  };
+
+  void onMeasureWindow(const MeasureWindowObservation& o) override {
+    std::lock_guard lk(mu_);
+    windows_.push_back(
+        {o.scope, o.observedJ, o.expectedJ, o.staticJ, o.windowS, o.traceId});
+  }
+  void onMeasurementResult(const char* scope, bool converged,
+                           double precision) override {
+    std::lock_guard lk(mu_);
+    results_.push_back({scope, converged, precision});
+  }
+
+  std::vector<Window> windows() const {
+    std::lock_guard lk(mu_);
+    return windows_;
+  }
+  std::vector<Result> results() const {
+    std::lock_guard lk(mu_);
+    return results_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Window> windows_;
+  std::vector<Result> results_;
+};
+
+// Installs/uninstalls around each test so a thrown assertion cannot
+// leave a dangling process-global observer behind.
+struct ObserverGuard {
+  explicit ObserverGuard(MeasureObserver* o) { setMeasureObserver(o); }
+  ~ObserverGuard() { setMeasureObserver(nullptr); }
+};
+
+TEST(Observer, ScopeLabelNestsAndRestores) {
+  EXPECT_STREQ(MeasureScopeLabel::current(), "");
+  {
+    MeasureScopeLabel outer("outer");
+    EXPECT_STREQ(MeasureScopeLabel::current(), "outer");
+    {
+      MeasureScopeLabel inner("inner");
+      EXPECT_STREQ(MeasureScopeLabel::current(), "inner");
+    }
+    EXPECT_STREQ(MeasureScopeLabel::current(), "outer");
+  }
+  EXPECT_STREQ(MeasureScopeLabel::current(), "");
+}
+
+TEST(Observer, MeasurerFeedsWindowsAndVerdictToTheObserver) {
+  RecordingObserver rec;
+  ObserverGuard guard(&rec);
+
+  MeterOptions mopts;
+  mopts.gainNoiseSigma = 0.0;
+  mopts.additiveNoiseSigma = 0.0_W;
+  mopts.quantization = 0.0_W;
+  mopts.randomPhase = false;
+  mopts.sampleInterval = Seconds{0.05};
+  const WattsUpMeter meter(mopts);
+  const EnergyMeasurer measurer(meter, 90.0_W);
+  ProfilePowerSource profile(90.0_W);
+  profile.addSegment({0.0_s, 10.0_s, 60.0_W});
+  Rng rng(21);
+  {
+    MeasureScopeLabel scope("TestDevice");
+    obs::ScopedTraceContext ctx(obs::TraceContext{0xF00Du, 1u});
+    (void)measurer.measure(profile, 10.0_s, rng);
+  }
+
+  const auto windows = rec.windows();
+  ASSERT_GE(windows.size(), 2u);  // the CI protocol repeats the window
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.scope, "TestDevice");
+    EXPECT_GT(w.windowS, 0.0);
+    // Noise-free meter: the observed window energy matches the profile
+    // expectation, so the watchdog's residual decomposes to ~0 W.
+    EXPECT_NEAR(w.observedJ, w.expectedJ, 5.0);
+    EXPECT_NEAR(w.staticJ, 90.0 * w.windowS, 5.0);
+    EXPECT_EQ(w.traceId, 0xF00Du);
+  }
+  const auto results = rec.results();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].scope, "TestDevice");
+  EXPECT_TRUE(results[0].converged);
+  EXPECT_GE(results[0].precision, 0.0);
+}
+
+TEST(Observer, UninstalledObserverMeasuresNormally) {
+  ASSERT_EQ(measureObserver(), nullptr);
+  const WattsUpMeter meter;
+  const EnergyMeasurer measurer(meter, 90.0_W);
+  ProfilePowerSource profile(90.0_W);
+  profile.addSegment({0.0_s, 10.0_s, 60.0_W});
+  Rng rng(22);
+  const MeasuredEnergy m = measurer.measure(profile, 10.0_s, rng);
+  EXPECT_NEAR(m.mean.dynamicEnergy.value(), 600.0, 60.0);
 }
 
 }  // namespace

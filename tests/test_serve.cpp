@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/watchdog.hpp"
+#include "obs/trace.hpp"
 #include "pareto/front.hpp"
 #include "pareto/tradeoff.hpp"
 #include "serve/breaker.hpp"
@@ -59,6 +61,16 @@ class FakeEngine : public TuningEngine {
     }
     core::WorkloadResult r;
     r.n = n;
+    // Two synthetic measured configs so attributeEnergy() sees a
+    // deterministic ledger: 0.01*n + 2 J over 5 windows, 1 remeasure.
+    apps::GpuDataPoint d1;
+    d1.dynamicEnergy = Joules{0.01 * n};
+    d1.repetitions = 3;
+    d1.remeasures = 1;
+    apps::GpuDataPoint d2;
+    d2.dynamicEnergy = Joules{2.0};
+    d2.repetitions = 2;
+    r.data = {d1, d2};
     const double s = 1.0 + static_cast<double>(n) * 1e-4 +
                      (d == Device::K40c ? 0.01 : 0.0);
     r.points = {mk(1.0 * s, 10.0, 0), mk(1.1 * s, 7.0, 1),
@@ -377,6 +389,185 @@ TEST(Broker, CoalescedWaitersSeeEngineFailure) {
   EXPECT_EQ(r2.status, Status::Error);
   EXPECT_NE(r2.error.find("synthetic"), std::string::npos);
   EXPECT_EQ(broker.metrics().failed, 2u);
+}
+
+// --- per-request energy attribution (the RequestReport ledger) ---
+
+// The ledger FakeEngine::evaluate stamps per executed study.
+double fakeStudyJoules(int n) { return 0.01 * n + 2.0; }
+
+TEST(Broker, RequestReportAttributesColdStudyAndZeroesCacheHits) {
+  auto engine = std::make_shared<FakeEngine>();
+  Broker broker(engine, BrokerOptions{});
+
+  const TuneResponse cold = broker.tune(tuneReq(100));
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.report.studiesExecuted, 1u);
+  EXPECT_DOUBLE_EQ(cold.report.attributedJoules, fakeStudyJoules(100));
+  EXPECT_EQ(cold.report.measurementWindows, 5u);
+  EXPECT_EQ(cold.report.remeasures, 1u);
+  EXPECT_EQ(cold.report.cacheHits, 0u);
+
+  const TuneResponse warm = broker.tune(tuneReq(100));
+  ASSERT_EQ(warm.status, Status::Ok);
+  EXPECT_TRUE(warm.cacheHit);
+  EXPECT_EQ(warm.report.cacheHits, 1u);
+  EXPECT_EQ(warm.report.studiesExecuted, 0u);
+  EXPECT_DOUBLE_EQ(warm.report.attributedJoules, 0.0);
+  EXPECT_EQ(warm.report.measurementWindows, 0u);
+  // The mix total equals the energy actually measured: one cold study.
+  EXPECT_DOUBLE_EQ(
+      cold.report.attributedJoules + warm.report.attributedJoules,
+      fakeStudyJoules(100));
+}
+
+TEST(Broker, CoalescedPairReportsExactlyOneStudyOfEnergy) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 4;
+  Broker broker(engine, opts);
+
+  auto owner = broker.submitTune(tuneReq(200));
+  engine->waitEntered();  // the owner is inside the study
+  auto joiner = broker.submitTune(tuneReq(200));
+  while (broker.metrics().coalesced < 1) std::this_thread::yield();
+  engine->release();
+
+  const TuneResponse r0 = owner.get();
+  const TuneResponse r1 = joiner.get();
+  ASSERT_EQ(r0.status, Status::Ok);
+  ASSERT_EQ(r1.status, Status::Ok);
+  EXPECT_EQ(engine->calls(), 1);
+
+  // The executing owner holds the whole ledger; the join rides free.
+  EXPECT_EQ(r0.report.studiesExecuted, 1u);
+  EXPECT_DOUBLE_EQ(r0.report.attributedJoules, fakeStudyJoules(200));
+  EXPECT_TRUE(r1.coalesced);
+  EXPECT_EQ(r1.report.coalesced, 1u);
+  EXPECT_EQ(r1.report.studiesExecuted, 0u);
+  EXPECT_DOUBLE_EQ(r1.report.attributedJoules, 0.0);
+  EXPECT_EQ(r1.report.measurementWindows, 0u);
+  // No double counting: the pair sums to exactly one study's energy.
+  EXPECT_DOUBLE_EQ(
+      r0.report.attributedJoules + r1.report.attributedJoules,
+      fakeStudyJoules(200));
+}
+
+TEST(Broker, StudyReportAggregatesOverTheSweep) {
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+  StudyRequest req;
+  req.nBegin = 100;
+  req.nEnd = 300;
+  req.nStep = 100;
+
+  const StudyResponse cold = broker.study(req);
+  ASSERT_EQ(cold.status, Status::Ok);
+  EXPECT_EQ(cold.report.studiesExecuted, 3u);
+  EXPECT_DOUBLE_EQ(cold.report.attributedJoules,
+                   fakeStudyJoules(100) + fakeStudyJoules(200) +
+                       fakeStudyJoules(300));
+  EXPECT_EQ(cold.report.measurementWindows, 15u);
+  EXPECT_EQ(cold.report.remeasures, 3u);
+  EXPECT_EQ(cold.report.cacheHits, 0u);
+
+  const StudyResponse warm = broker.study(req);
+  ASSERT_EQ(warm.status, Status::Ok);
+  EXPECT_EQ(warm.report.cacheHits, 3u);
+  EXPECT_EQ(warm.report.studiesExecuted, 0u);
+  EXPECT_DOUBLE_EQ(warm.report.attributedJoules, 0.0);
+}
+
+TEST(Broker, EnergyLedgerMetricsCarryDeviceLabels) {
+  auto engine = std::make_shared<FakeEngine>();
+  Broker broker(engine, BrokerOptions{});
+  ASSERT_EQ(broker.tune(tuneReq(100)).status, Status::Ok);
+  ASSERT_EQ(broker.tune(tuneReq(100, 0.5, 0.0, Device::K40c)).status,
+            Status::Ok);
+  const std::string text = broker.renderPrometheus();
+  EXPECT_NE(text.find("ep_request_energy_joules{device=\"P100\"} 3"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ep_request_energy_joules{device=\"K40c\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("ep_request_windows_total{device=\"P100\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("ep_request_windows_total{device=\"K40c\"} 5"),
+            std::string::npos);
+}
+
+// --- watchdog feed from the serve outcome stream ---
+
+TEST(Broker, ErrorStormTripsTheWatchdogErrorBudget) {
+  core::WatchdogOptions wopts;
+  wopts.minRequests = 4;
+  wopts.requestWindow = 8;
+  wopts.errorBudget = 0.5;
+  core::PowerAnomalyWatchdog watchdog(wopts);
+
+  auto engine = std::make_shared<FakeEngine>();
+  engine->failAlways();
+  BrokerOptions opts;
+  opts.watchdog = &watchdog;
+  Broker broker(engine, opts);
+  for (int i = 0; i < 6; ++i) {
+    // Distinct workloads: no cache, every request fails cold.
+    EXPECT_EQ(broker.tune(tuneReq(100 + i)).status, Status::Error);
+  }
+  EXPECT_GE(watchdog.activeAlerts(), 1u);
+  bool sawBudget = false;
+  for (const auto& e : watchdog.events()) {
+    if (std::string(e.kind) == "error_budget") sawBudget = true;
+  }
+  EXPECT_TRUE(sawBudget);
+}
+
+// --- trace propagation across the broker's pool ---
+
+TEST(Broker, TraceContextPropagatesOntoBrokerWorkers) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().setEnabled(true);
+  auto engine = std::make_shared<FakeEngine>();
+
+  std::uint64_t rootSpanId = 0;
+  std::uint32_t rootTid = 0;
+  {
+    // tune() returns when the worker fulfills the promise, which
+    // happens *inside* the serve/tune_job span — scope the broker so
+    // its destructor joins the workers and flushes every span before
+    // the snapshot below.
+    BrokerOptions opts;
+    opts.threads = 2;
+    Broker broker(engine, opts);
+    obs::ScopedTraceContext scope(obs::TraceContext{0x7AC3u, 0u});
+    obs::Span root("test/request");
+    rootSpanId = root.spanId();
+    rootTid = obs::Tracer::global().threadBuffer().tid;
+    ASSERT_EQ(broker.tune(tuneReq(100)).status, Status::Ok);
+  }
+  obs::Tracer::global().setEnabled(false);
+
+  bool sawTuneJob = false;
+  bool sawEval = false;
+  for (const auto& e : obs::Tracer::global().snapshot()) {
+    const std::string name = e.name;
+    if (name == "serve/tune_job") {
+      sawTuneJob = true;
+      // The job span carries the request identity onto the worker
+      // thread and links straight back to the submitting span.
+      EXPECT_EQ(e.traceId, 0x7AC3u);
+      EXPECT_EQ(e.parentSpanId, rootSpanId);
+      EXPECT_NE(e.tid, rootTid);
+    } else if (name == "serve/engine_evaluate") {
+      sawEval = true;
+      EXPECT_EQ(e.traceId, 0x7AC3u);
+    }
+  }
+  EXPECT_TRUE(sawTuneJob);
+  EXPECT_TRUE(sawEval);
+  obs::Tracer::global().clear();
 }
 
 // --- deadlines, backpressure, shutdown ---
@@ -720,6 +911,72 @@ TEST(Wire, ResponsesCarryStalenessOnTheWire) {
   sr.staleWorkloads = 2;
   EXPECT_NE(wire::encodeStudyResponse(sr).find("\"staleWorkloads\":2"),
             std::string::npos);
+}
+
+TEST(Wire, DecodesTraceIdReportAndEventsOp) {
+  std::string error;
+  const auto tune = wire::decodeRequest(
+      R"({"op":"tune","device":"p100","n":256,"maxDegradation":0.1,)"
+      R"("trace_id":"deadbeef","report":true})",
+      &error);
+  ASSERT_TRUE(tune) << error;
+  EXPECT_EQ(tune->traceId, "deadbeef");
+  EXPECT_TRUE(tune->report);
+
+  const auto plain = wire::decodeRequest(
+      R"({"op":"tune","device":"p100","n":256,"maxDegradation":0.1})",
+      &error);
+  ASSERT_TRUE(plain) << error;
+  EXPECT_TRUE(plain->traceId.empty());
+  EXPECT_FALSE(plain->report);
+
+  const auto events =
+      wire::decodeRequest(R"({"op":"events","since":3})", &error);
+  ASSERT_TRUE(events) << error;
+  EXPECT_EQ(events->op, wire::WireRequest::Op::Events);
+  EXPECT_EQ(events->eventsSince, 3u);
+  const auto all = wire::decodeRequest(R"({"op":"events"})", &error);
+  ASSERT_TRUE(all) << error;
+  EXPECT_EQ(all->eventsSince, 0u);
+  EXPECT_FALSE(
+      wire::decodeRequest(R"({"op":"events","since":-1})", &error));
+}
+
+TEST(Wire, TuneResponseEchoesTraceIdAndLedger) {
+  TuneResponse tr;
+  tr.status = Status::Ok;
+  tr.report.attributedJoules = 3.25;
+  tr.report.measurementWindows = 5;
+  tr.report.studiesExecuted = 1;
+  const std::string out = wire::encodeTuneResponse(tr, "deadbeef", true);
+  std::string error;
+  ASSERT_TRUE(wire::parseObject(out, &error)) << error;
+  EXPECT_NE(out.find("\"trace_id\":\"deadbeef\""), std::string::npos);
+  EXPECT_NE(out.find("\"attributedJoules\":3.25"), std::string::npos);
+  EXPECT_NE(out.find("\"measurementWindows\":5"), std::string::npos);
+  EXPECT_NE(out.find("\"studiesExecuted\":1"), std::string::npos);
+  // Off by default: no trace echo, no ledger.
+  const std::string bare = wire::encodeTuneResponse(tr);
+  EXPECT_EQ(bare.find("trace_id"), std::string::npos);
+  EXPECT_EQ(bare.find("attributedJoules"), std::string::npos);
+}
+
+TEST(Wire, EncodeEventsCarriesCountsAndBody) {
+  const std::string out =
+      wire::encodeEvents(2, 10, 1, "{\"seq\":1}\n{\"seq\":2}\n");
+  std::string error;
+  const auto obj = wire::parseObject(out, &error);
+  ASSERT_TRUE(obj) << error;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("alerts").number, 2.0);
+  EXPECT_EQ(obj->at("recorded").number, 10.0);
+  EXPECT_EQ(obj->at("dropped").number, 1.0);
+  // The body round-trips through the frame escaping: each line is
+  // itself a parseable flat object.
+  const std::string body = obj->at("body").string;
+  EXPECT_EQ(body, "{\"seq\":1}\n{\"seq\":2}\n");
+  const auto line = wire::parseObject("{\"seq\":1}", &error);
+  ASSERT_TRUE(line);
 }
 
 // --- circuit breaker state machine (synthetic time, no sleeping) ---

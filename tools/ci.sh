@@ -25,6 +25,48 @@ cmake -B build -S .
 cmake --build build -j "${JOBS}"
 (cd build && ctest --output-on-failure -j "${JOBS}")
 
+echo "== epwatch smoke: watchdog catches an injected 58 W offset =="
+# Anomalous server: a constant +58 W meter offset (the Fig 6 signature)
+# that sample sanitization cannot see.  One metered request later the
+# watchdog must hold an active constant_component alert, which epwatch
+# --check reports as exit 2.
+SMOKE_LOG="$(mktemp)"
+./build/tools/epserved --port 0 --threads 2 --watchdog --fault-offset 58 \
+  >"${SMOKE_LOG}" 2>&1 &
+SERVED_PID=$!
+trap 'kill "${SERVED_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${SMOKE_LOG}" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")"
+[[ -n "${PORT}" ]] || { echo "epserved (anomalous) did not start"; cat "${SMOKE_LOG}"; exit 1; }
+./build/tools/epserve_client --port "${PORT}" --requests 1 --n 256 \
+  --trace-id cafe01 --report
+set +e
+./build/tools/epwatch --port "${PORT}" --check
+WATCH_RC=$?
+set -e
+[[ "${WATCH_RC}" == "2" ]] || { echo "epwatch --check: expected exit 2 (active alert), got ${WATCH_RC}"; exit 1; }
+kill "${SERVED_PID}" 2>/dev/null || true
+wait "${SERVED_PID}" 2>/dev/null || true
+
+# Healthy server: same pipeline without the fault, no alerts, exit 0.
+./build/tools/epserved --port 0 --threads 2 --watchdog >"${SMOKE_LOG}" 2>&1 &
+SERVED_PID=$!
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${SMOKE_LOG}" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")"
+[[ -n "${PORT}" ]] || { echo "epserved (healthy) did not start"; cat "${SMOKE_LOG}"; exit 1; }
+./build/tools/epserve_client --port "${PORT}" --requests 1 --n 256 >/dev/null
+./build/tools/epwatch --port "${PORT}" --check
+kill "${SERVED_PID}" 2>/dev/null || true
+wait "${SERVED_PID}" 2>/dev/null || true
+trap - EXIT
+rm -f "${SMOKE_LOG}"
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== skipping sanitizer configurations (--fast) =="
   exit 0
@@ -54,13 +96,15 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
-  test_serve test_core
+  test_serve test_core test_obs
 # detect_leaks flushes out meter/journal ownership bugs; the fault tests
 # exercise every injected-corruption branch, the serve tests the
-# malformed-frame corpus, test_core the checkpoint journal I/O.
+# malformed-frame corpus, test_core the checkpoint journal I/O, test_obs
+# the byte-copied flight-recorder ring and the trace/metrics encoders.
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fault
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_power
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_serve
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_core
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_obs
 
 echo "== ci.sh: all green =="

@@ -4,11 +4,19 @@
 //   epserve_client [--host H] [--port P] [--requests R] [--connections C]
 //                  [--device p100|k40c] [--n N[,N...]] [--budget B]
 //                  [--deadline-ms D] [--study BEGIN:END:STEP] [--metrics]
+//                  [--trace-id ID] [--report]
 //
 // Default mode sends `--requests` tune requests per connection, cycling
 // through the `--n` workload list, and reports client-side latency
 // percentiles and requests/sec.  `--metrics` additionally fetches the
 // server's own ServeMetrics snapshot at the end.
+//
+// --trace-id tags every request with the given trace (the server's
+// {"op":"trace"} export then shows the request's span tree); --report
+// asks for the per-request energy-attribution ledger and prints the
+// summed attributed joules — over any request mix this equals the
+// energy of the studies actually executed, regardless of cache hits
+// and coalescing.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -42,6 +50,8 @@ struct Args {
   bool study = false;
   int studyBegin = 0, studyEnd = 0, studyStep = 1;
   bool metrics = false;
+  std::string traceId;
+  bool report = false;
 };
 
 std::vector<int> parseIntList(const std::string& s) {
@@ -85,6 +95,10 @@ bool parseArgs(int argc, char** argv, Args* a) {
       }
     } else if (arg == "--metrics") {
       a->metrics = true;
+    } else if (arg == "--trace-id" && (v = next())) {
+      a->traceId = v;
+    } else if (arg == "--report") {
+      a->report = true;
     } else {
       return false;
     }
@@ -139,6 +153,8 @@ struct WorkerResult {
   int ok = 0;
   int rejected = 0;
   int errors = 0;
+  double attributedJoules = 0.0;
+  std::uint64_t studiesExecuted = 0;
 };
 
 std::string tuneLine(const Args& a, int n) {
@@ -146,6 +162,8 @@ std::string tuneLine(const Args& a, int n) {
   w.add("op", "tune").add("device", a.device).add("n", n).add(
       "maxDegradation", a.budget);
   if (a.deadlineMs > 0.0) w.add("deadlineMs", a.deadlineMs);
+  if (!a.traceId.empty()) w.add("trace_id", a.traceId);
+  if (a.report) w.add("report", true);
   return w.str();
 }
 
@@ -178,6 +196,13 @@ void runWorker(const Args& a, WorkerResult* out) {
     if (st != obj->end() && st->second.string == "ok") {
       ++out->ok;
       out->latenciesMs.push_back(ms);
+      if (const auto j = obj->find("attributedJoules"); j != obj->end()) {
+        out->attributedJoules += j->second.number;
+      }
+      if (const auto s = obj->find("studiesExecuted"); s != obj->end()) {
+        out->studiesExecuted +=
+            static_cast<std::uint64_t>(s->second.number);
+      }
     } else {
       ++out->rejected;
     }
@@ -217,6 +242,8 @@ int main(int argc, char** argv) {
         .add("nBegin", args.studyBegin)
         .add("nEnd", args.studyEnd)
         .add("nStep", args.studyStep);
+    if (!args.traceId.empty()) w.add("trace_id", args.traceId);
+    if (args.report) w.add("report", true);
     std::string response;
     if (!conn.roundTrip(w.str(), &response)) {
       std::cerr << "study request failed\n";
@@ -243,6 +270,8 @@ int main(int argc, char** argv) {
     total.ok += r.ok;
     total.rejected += r.rejected;
     total.errors += r.errors;
+    total.attributedJoules += r.attributedJoules;
+    total.studiesExecuted += r.studiesExecuted;
     total.latenciesMs.insert(total.latenciesMs.end(), r.latenciesMs.begin(),
                              r.latenciesMs.end());
   }
@@ -254,6 +283,10 @@ int main(int argc, char** argv) {
   if (wallS > 0.0) {
     std::cout << "throughput: "
               << static_cast<double>(sentTotal) / wallS << " req/s\n";
+  }
+  if (args.report) {
+    std::cout << "attributed energy: " << total.attributedJoules << " J over "
+              << total.studiesExecuted << " executed studies\n";
   }
   if (!total.latenciesMs.empty()) {
     std::cout << "latency ms: p50=" << percentile(total.latenciesMs, 0.50)

@@ -8,6 +8,8 @@
 // Usage:
 //   epserved [--port P] [--threads N] [--queue Q] [--cache C]
 //            [--deadline-ms D] [--meter] [--seed S] [--tracing]
+//            [--watchdog] [--watchdog-watts W]
+//            [--fault-offset W] [--fault-offset-rate R]
 //
 // --port 0 picks an ephemeral port; the chosen one is printed either
 // way so scripts (and epserve_client) can parse it.  SIGINT/SIGTERM
@@ -16,7 +18,16 @@
 // Observability: {"op":"metrics","format":"prometheus"} answers with
 // the combined broker + process registry exposition; with --tracing
 // enabled, {"op":"trace"} answers with the Chrome trace-event JSON
-// recorded so far (load it in Perfetto).
+// recorded so far (load it in Perfetto).  Requests carrying "trace_id"
+// run under that trace (and echo it); "report":true adds the energy-
+// attribution ledger to the response.
+//
+// --watchdog arms the power-anomaly watchdog over every measurement
+// window (implies nothing else; pair with --meter for real windows);
+// {"op":"events"} drains its flight recorder and tools/epwatch renders
+// it.  --fault-offset injects the paper's Fig 6 constant component
+// (default rate 1.0 when only the wattage is given) — the canonical
+// demo is  --meter --watchdog --fault-offset 58.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -32,8 +43,11 @@
 #include <thread>
 #include <vector>
 
+#include "core/watchdog.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "power/observer.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 #include "serve/wire.hpp"
@@ -80,6 +94,10 @@ struct Args {
   bool meter = false;
   bool tracing = false;
   std::uint64_t seed = 0xEB5EEDULL;
+  bool watchdog = false;
+  double watchdogWatts = 25.0;
+  double faultOffset = 0.0;
+  double faultOffsetRate = 1.0;
 };
 
 bool parseArgs(int argc, char** argv, Args* out) {
@@ -116,6 +134,20 @@ bool parseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->seed = std::stoull(v);
+    } else if (a == "--watchdog") {
+      out->watchdog = true;
+    } else if (a == "--watchdog-watts") {
+      const char* v = next();
+      if (!v) return false;
+      out->watchdogWatts = std::stod(v);
+    } else if (a == "--fault-offset") {
+      const char* v = next();
+      if (!v) return false;
+      out->faultOffset = std::stod(v);
+    } else if (a == "--fault-offset-rate") {
+      const char* v = next();
+      if (!v) return false;
+      out->faultOffsetRate = std::stod(v);
     } else {
       return false;
     }
@@ -127,7 +159,8 @@ bool parseArgs(int argc, char** argv, Args* out) {
 // peer closes, the server is shutting down, or the peer streams a
 // "line" past the frame ceiling (buffering is bounded: a client that
 // never sends a newline cannot grow our memory without limit).
-void serveConnection(int fd, ep::serve::Broker& broker) {
+void serveConnection(int fd, ep::serve::Broker& broker,
+                     ep::core::PowerAnomalyWatchdog* watchdog) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -155,14 +188,26 @@ void serveConnection(int fd, ep::serve::Broker& broker) {
         response = ep::serve::wire::encodeError(error);
       } else {
         switch (req->op) {
-          case ep::serve::wire::WireRequest::Op::Tune:
-            response =
-                ep::serve::wire::encodeTuneResponse(broker.tune(req->tune));
+          case ep::serve::wire::WireRequest::Op::Tune: {
+            // Run the request under the caller's trace: the root span
+            // and everything the broker hands to pool workers carry it.
+            ep::obs::TraceContext root;
+            root.traceId = ep::obs::traceIdFromString(req->traceId);
+            ep::obs::ScopedTraceContext traceScope(root);
+            ep::obs::Span span("serve/request");
+            response = ep::serve::wire::encodeTuneResponse(
+                broker.tune(req->tune), req->traceId, req->report);
             break;
-          case ep::serve::wire::WireRequest::Op::Study:
-            response =
-                ep::serve::wire::encodeStudyResponse(broker.study(req->study));
+          }
+          case ep::serve::wire::WireRequest::Op::Study: {
+            ep::obs::TraceContext root;
+            root.traceId = ep::obs::traceIdFromString(req->traceId);
+            ep::obs::ScopedTraceContext traceScope(root);
+            ep::obs::Span span("serve/request");
+            response = ep::serve::wire::encodeStudyResponse(
+                broker.study(req->study), req->traceId, req->report);
             break;
+          }
           case ep::serve::wire::WireRequest::Op::Metrics:
             if (req->prometheus) {
               // Broker registry first, then the process-wide registry
@@ -178,6 +223,23 @@ void serveConnection(int fd, ep::serve::Broker& broker) {
             response = ep::serve::wire::encodeTextBody(
                 ep::obs::Tracer::global().exportChromeTrace());
             break;
+          case ep::serve::wire::WireRequest::Op::Events: {
+            if (watchdog == nullptr) {
+              response = ep::serve::wire::encodeError(
+                  "watchdog disabled (start epserved with --watchdog)");
+              break;
+            }
+            std::string body;
+            for (const ep::obs::FlightEvent& e :
+                 watchdog->events(req->eventsSince)) {
+              body += ep::obs::encodeFlightEventLine(e);
+              body += '\n';
+            }
+            response = ep::serve::wire::encodeEvents(
+                watchdog->activeAlerts(), watchdog->recorder().recorded(),
+                watchdog->recorder().dropped(), body);
+            break;
+          }
         }
       }
       response += '\n';
@@ -199,7 +261,8 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: epserved [--port P] [--threads N] [--queue Q]"
                  " [--cache C] [--deadline-ms D] [--meter] [--seed S]"
-                 " [--tracing]\n";
+                 " [--tracing] [--watchdog] [--watchdog-watts W]"
+                 " [--fault-offset W] [--fault-offset-rate R]\n";
     return 2;
   }
   if (args.tracing) ep::obs::Tracer::global().setEnabled(true);
@@ -207,13 +270,32 @@ int main(int argc, char** argv) {
   ep::serve::EpStudyEngineOptions engineOpts;
   engineOpts.useMeter = args.meter;
   engineOpts.seed = args.seed;
+  if (args.faultOffset > 0.0) {
+    // The Fig 6 constant component rides on the meter; without the
+    // wall-meter protocol there is nothing to offset.
+    engineOpts.useMeter = true;
+    engineOpts.faults.enabled = true;
+    engineOpts.faults.offsetWatts = args.faultOffset;
+    engineOpts.faults.offsetRate = args.faultOffsetRate;
+  }
   auto engine = std::make_shared<ep::serve::EpStudyEngine>(engineOpts);
+
+  // The watchdog outlives the broker (declared first): broker workers
+  // feed it request outcomes, measuring threads feed it windows.
+  std::unique_ptr<ep::core::PowerAnomalyWatchdog> watchdog;
+  if (args.watchdog) {
+    ep::core::WatchdogOptions wdOpts;
+    wdOpts.constantComponentWatts = args.watchdogWatts;
+    watchdog = std::make_unique<ep::core::PowerAnomalyWatchdog>(wdOpts);
+    ep::power::setMeasureObserver(watchdog.get());
+  }
 
   ep::serve::BrokerOptions brokerOpts;
   brokerOpts.threads = args.threads;
   brokerOpts.queueCapacity = args.queue;
   brokerOpts.cacheCapacity = args.cache;
   brokerOpts.defaultDeadlineMs = args.deadlineMs;
+  brokerOpts.watchdog = watchdog.get();
   ep::serve::Broker broker(engine, brokerOpts);
 
   const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
@@ -241,7 +323,13 @@ int main(int argc, char** argv) {
                                     : brokerOpts.threads)
             << " queue=" << brokerOpts.queueCapacity
             << " cache=" << brokerOpts.cacheCapacity
-            << " meter=" << (args.meter ? "on" : "off") << ")" << std::endl;
+            << " meter=" << (engineOpts.useMeter ? "on" : "off")
+            << " watchdog=" << (args.watchdog ? "on" : "off")
+            << (engineOpts.faults.enabled ? " fault-offset=" : "")
+            << (engineOpts.faults.enabled
+                    ? std::to_string(engineOpts.faults.offsetWatts)
+                    : "")
+            << ")" << std::endl;
 
   gListenFd.store(listenFd);
   std::signal(SIGINT, handleStopSignal);
@@ -253,8 +341,8 @@ int main(int argc, char** argv) {
     const int fd = accept(listenFd, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by the signal handler
     registry.add(fd);
-    connections.emplace_back([fd, &broker, &registry] {
-      serveConnection(fd, broker);
+    connections.emplace_back([fd, &broker, &registry, &watchdog] {
+      serveConnection(fd, broker, watchdog.get());
       registry.remove(fd);
       close(fd);
     });
@@ -264,6 +352,7 @@ int main(int argc, char** argv) {
   broker.shutdown();
   registry.shutdownAll();
   for (auto& t : connections) t.join();
+  ep::power::setMeasureObserver(nullptr);
   std::cout << ep::serve::formatMetrics(broker.metrics());
   return 0;
 }

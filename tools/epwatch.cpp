@@ -1,0 +1,239 @@
+// epwatch — text dashboard over epserved's power-anomaly watchdog.
+//
+// Usage:
+//   epwatch [--host H] [--port P] [--since SEQ] [--check] [--raw]
+//
+// Fetches {"op":"events"} (the watchdog flight recorder) plus the
+// Prometheus exposition, and renders:
+//   * the active-alert count and ring totals (recorded / dropped),
+//   * every drained event: seq, kind, scope, value vs threshold, the
+//     trace id it fired under, and the human message,
+//   * the per-device request-attributed energy ledger
+//     (ep_request_energy_joules / ep_request_windows_total).
+//
+// Exit status is script-friendly:
+//   0 — connected, and (with --check) no active alerts
+//   1 — could not connect / server answered with an error
+//   2 — --check and at least one anomaly is raised and not yet cleared
+//
+// --since SEQ drains only events newer than SEQ (incremental tailing:
+// feed the highest seq you have seen back in).  --raw dumps the event
+// lines verbatim (one flat JSON object per line) for jq-style piping.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  std::uint64_t since = 0;
+  bool check = false;
+  bool raw = false;
+};
+
+bool parseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      a->host = v;
+    } else if (arg == "--port" && (v = next())) {
+      a->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (arg == "--since" && (v = next())) {
+      a->since = std::stoull(v);
+    } else if (arg == "--check") {
+      a->check = true;
+    } else if (arg == "--raw") {
+      a->raw = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Connection {
+ public:
+  bool open(const std::string& host, std::uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool roundTrip(const std::string& request, std::string* response) {
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = send(fd_, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    *response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+double numberOr(const ep::serve::wire::Object& obj, const std::string& key,
+                double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::Number) {
+    return fallback;
+  }
+  return it->second.number;
+}
+
+std::string stringOr(const ep::serve::wire::Object& obj,
+                     const std::string& key, const std::string& fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::String) {
+    return fallback;
+  }
+  return it->second.string;
+}
+
+void printEvent(const ep::serve::wire::Object& e) {
+  const std::string kind = stringOr(e, "kind", "?");
+  const auto seq = static_cast<std::uint64_t>(numberOr(e, "seq", 0.0));
+  const std::string scope = stringOr(e, "scope", "");
+  const double value = numberOr(e, "value", 0.0);
+  const double threshold = numberOr(e, "threshold", 0.0);
+  const std::string trace = stringOr(e, "trace", "0");
+  const std::string message = stringOr(e, "message", "");
+  const char* marker = kind == "cleared" ? " ok  " : "ALERT";
+  std::printf("  [%s] #%-4llu %-18s %-14s %9.3g / %-9.3g trace=%s\n",
+              marker, static_cast<unsigned long long>(seq), kind.c_str(),
+              scope.c_str(), value, threshold, trace.c_str());
+  if (!message.empty()) std::printf("          %s\n", message.c_str());
+}
+
+// Pull the attribution families out of the Prometheus exposition; the
+// dashboard shows the ledger without needing a scrape stack.
+void printEnergyLedger(const std::string& prometheus) {
+  std::istringstream in(prometheus);
+  std::string line;
+  bool any = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("ep_request_energy_joules{", 0) == 0 ||
+        line.rfind("ep_request_windows_total{", 0) == 0 ||
+        line.rfind("ep_watchdog_", 0) == 0) {
+      if (!any) std::printf("\nenergy attribution / watchdog metrics:\n");
+      any = true;
+      std::printf("  %s\n", line.c_str());
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr << "usage: epwatch [--host H] [--port P] [--since SEQ]"
+                 " [--check] [--raw]\n";
+    return 2;
+  }
+
+  Connection conn;
+  if (!conn.open(args.host, args.port)) {
+    std::cerr << "epwatch: cannot connect to " << args.host << ":"
+              << args.port << "\n";
+    return 1;
+  }
+
+  ep::serve::wire::ObjectWriter req;
+  req.add("op", "events");
+  if (args.since > 0) req.add("since", args.since);
+  std::string response;
+  if (!conn.roundTrip(req.str(), &response)) {
+    std::cerr << "epwatch: events request failed\n";
+    return 1;
+  }
+  std::string error;
+  const auto obj = ep::serve::wire::parseObject(response, &error);
+  if (!obj) {
+    std::cerr << "epwatch: bad response: " << error << "\n";
+    return 1;
+  }
+  if (stringOr(*obj, "status", "") != "ok") {
+    std::cerr << "epwatch: server error: "
+              << stringOr(*obj, "error", "unknown") << "\n";
+    return 1;
+  }
+
+  const auto alerts = static_cast<std::uint64_t>(numberOr(*obj, "alerts", 0));
+  const auto recorded =
+      static_cast<std::uint64_t>(numberOr(*obj, "recorded", 0));
+  const auto dropped = static_cast<std::uint64_t>(numberOr(*obj, "dropped", 0));
+  const std::string body = stringOr(*obj, "body", "");
+
+  if (args.raw) {
+    std::cout << body;
+  } else {
+    std::printf("epwatch @ %s:%u — %llu active alert(s), %llu event(s)"
+                " recorded, %llu dropped\n",
+                args.host.c_str(), static_cast<unsigned>(args.port),
+                static_cast<unsigned long long>(alerts),
+                static_cast<unsigned long long>(recorded),
+                static_cast<unsigned long long>(dropped));
+    std::istringstream lines(body);
+    std::string line;
+    bool any = false;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      const auto e = ep::serve::wire::parseObject(line, &error);
+      if (!e) continue;
+      any = true;
+      printEvent(*e);
+    }
+    if (!any) std::printf("  (no events%s)\n",
+                          args.since > 0 ? " past --since" : "");
+
+    std::string metricsResp;
+    if (conn.roundTrip("{\"op\":\"metrics\",\"format\":\"prometheus\"}",
+                       &metricsResp)) {
+      if (const auto m = ep::serve::wire::parseObject(metricsResp, &error)) {
+        printEnergyLedger(stringOr(*m, "body", ""));
+      }
+    }
+  }
+
+  if (args.check && alerts > 0) return 2;
+  return 0;
+}
