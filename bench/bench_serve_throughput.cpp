@@ -11,6 +11,7 @@
 #include <memory>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 
@@ -113,10 +114,22 @@ int main() {
   std::printf("  cold/hit   : %10.1fx  %s\n\n", ratio,
               ratio >= 10.0 ? "(PASS >= 10x)" : "(FAIL < 10x)");
 
+  // Machine-readable record, tracked across PRs like BENCH_obs /
+  // BENCH_study: ns_per_op is per request, configs_per_s is req/s.
+  std::vector<ep::bench::BenchRecord> records;
+  records.push_back({"latency/cold_study", 4, split.coldMs * 1e6,
+                     split.coldMs > 0.0 ? 1e3 / split.coldMs : 0.0});
+  records.push_back({"latency/cache_hit", 4, split.hitMs * 1e6,
+                     split.hitMs > 0.0 ? 1e3 / split.hitMs : 0.0});
+
   std::printf("throughput (%d requests, warm cache):\n", kRequests);
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     const double rps = measureThroughput(sizes, threads, kRequests);
     std::printf("  threads=%zu : %12.0f req/s\n", threads, rps);
+    records.push_back({"throughput/warm", static_cast<int>(threads),
+                       rps > 0.0 ? 1e9 / rps : 0.0, rps});
   }
+  ep::bench::writeBenchJson("BENCH_serve.json", "serve_throughput", records);
+  std::printf("\nwrote BENCH_serve.json (%zu records)\n", records.size());
   return 0;
 }

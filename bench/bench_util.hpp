@@ -63,6 +63,34 @@ inline bool writeBenchJson(const std::string& path, const std::string& bench,
   return true;
 }
 
+// One named scalar of a comparison bench (e.g. per-policy cluster
+// energy / p99), for benches whose results are not per-op rates.
+struct BenchValue {
+  std::string name;  // e.g. "energy/clusterJoules"
+  double value = 0.0;
+};
+
+// Write values as `{"bench": ..., "values": [...]}` JSON.  Returns
+// false (with a note on stderr) if the file cannot be written.
+inline bool writeBenchValuesJson(const std::string& path,
+                                 const std::string& bench,
+                                 const std::vector<BenchValue>& values) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"values\": [\n", bench.c_str());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    std::fprintf(f, "    {\"name\": \"%s\", \"value\": %.17g}%s\n",
+                 values[i].name.c_str(), values[i].value,
+                 i + 1 < values.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
 inline void printTradeoff(const std::string& title,
                           const pareto::Tradeoff& tr) {
   std::printf(

@@ -1,0 +1,87 @@
+#include "fleet/ring.hpp"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace ep::fleet {
+
+namespace {
+
+// FNV-1a over the shard id, finished through the avalanche mixer so
+// ids differing in one character land far apart on the ring.
+std::uint64_t shardIdHash(const std::string& id) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : id) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return splitmix64(h);
+}
+
+}  // namespace
+
+std::uint64_t ringKeyHash(serve::Device device, int n) {
+  return mix64(mix64(0, static_cast<std::uint64_t>(device)),
+               static_cast<std::uint64_t>(n));
+}
+
+HashRing::HashRing(std::size_t virtualNodes) : virtualNodes_(virtualNodes) {
+  EP_REQUIRE(virtualNodes_ >= 1, "ring needs >= 1 virtual node per shard");
+}
+
+void HashRing::addShard(const std::string& id) {
+  if (!ids_.insert(id).second) return;
+  const std::uint64_t base = shardIdHash(id);
+  for (std::size_t v = 0; v < virtualNodes_; ++v) {
+    // On the astronomically unlikely vnode-point collision the earlier
+    // owner keeps the point; the shard still lands virtualNodes_-1
+    // points, which balance tolerates.
+    points_.emplace(mix64(base, v), id);
+  }
+}
+
+void HashRing::removeShard(const std::string& id) {
+  if (ids_.erase(id) == 0) return;
+  for (auto it = points_.begin(); it != points_.end();) {
+    it = (it->second == id) ? points_.erase(it) : std::next(it);
+  }
+}
+
+bool HashRing::contains(const std::string& id) const {
+  return ids_.count(id) != 0;
+}
+
+std::vector<std::string> HashRing::shards() const {
+  return {ids_.begin(), ids_.end()};
+}
+
+const std::string& HashRing::shardFor(std::uint64_t keyHash) const {
+  static const std::string kEmpty;
+  if (points_.empty()) return kEmpty;
+  auto it = points_.lower_bound(keyHash);
+  if (it == points_.end()) it = points_.begin();  // wrap
+  return it->second;
+}
+
+std::vector<std::string> HashRing::preferenceOrder(std::uint64_t keyHash,
+                                                   std::size_t count) const {
+  std::vector<std::string> order;
+  if (points_.empty() || count == 0) return order;
+  count = std::min(count, ids_.size());
+  order.reserve(count);
+  auto it = points_.lower_bound(keyHash);
+  if (it == points_.end()) it = points_.begin();  // wrap
+  for (std::size_t steps = 0; steps < points_.size() && order.size() < count;
+       ++steps) {
+    if (std::find(order.begin(), order.end(), it->second) == order.end()) {
+      order.push_back(it->second);
+    }
+    if (++it == points_.end()) it = points_.begin();
+  }
+  return order;
+}
+
+}  // namespace ep::fleet

@@ -1,0 +1,487 @@
+#include "fleet/router.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <utility>
+
+#include "common/error.hpp"
+#include "obs/trace.hpp"
+#include "pareto/front.hpp"
+#include "serve/wire.hpp"
+
+namespace ep::fleet {
+
+namespace {
+
+double bitsToDouble(std::uint64_t b) { return std::bit_cast<double>(b); }
+std::uint64_t doubleToBits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+void atomicAddDouble(std::atomic<std::uint64_t>& a, double v) {
+  std::uint64_t old = a.load(std::memory_order_relaxed);
+  while (!a.compare_exchange_weak(old, doubleToBits(bitsToDouble(old) + v),
+                                  std::memory_order_relaxed)) {
+  }
+}
+
+// EWMA with bits==0 ("never sampled") as the empty state: the first
+// sample is adopted verbatim.  Cold-study costs are strictly positive,
+// so 0.0 cannot be a legitimate stored value.
+void atomicEwma(std::atomic<std::uint64_t>& a, double sample, double alpha) {
+  std::uint64_t old = a.load(std::memory_order_relaxed);
+  for (;;) {
+    const double prev = bitsToDouble(old);
+    const double next =
+        (old == 0) ? sample : alpha * sample + (1.0 - alpha) * prev;
+    if (a.compare_exchange_weak(old, doubleToBits(next),
+                                std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool samePoint(const pareto::BiPoint& a, const pareto::BiPoint& b) {
+  return a.time == b.time && a.energy == b.energy &&
+         a.configId == b.configId && a.label == b.label;
+}
+
+bool sameFront(const std::vector<pareto::BiPoint>& a,
+               const std::vector<pareto::BiPoint>& b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), samePoint);
+}
+
+}  // namespace
+
+bool FleetRouter::Shard::serves(serve::Device d) const {
+  return std::find(devices.begin(), devices.end(), d) != devices.end();
+}
+
+std::size_t FleetRouter::workloadClass(int n) {
+  const auto width = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(n > 0 ? n : 1)));
+  return std::min(width, kClasses) - 1;
+}
+
+std::uint64_t FleetRouter::nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+FleetRouter::FleetRouter(std::vector<FleetShardConfig> shards,
+                         FleetOptions options)
+    : options_(options) {
+  EP_REQUIRE(!shards.empty(), "fleet needs at least one shard");
+  EP_REQUIRE(options_.ewmaAlpha > 0.0 && options_.ewmaAlpha <= 1.0,
+             "ewmaAlpha must be in (0, 1]");
+  auto ring = std::make_shared<HashRing>(options_.virtualNodes);
+  shards_.reserve(shards.size());
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    FleetShardConfig& cfg = shards[i];
+    EP_REQUIRE(!cfg.id.empty(), "shard id must be non-empty");
+    EP_REQUIRE(cfg.engine != nullptr, "shard needs an engine");
+    EP_REQUIRE(!cfg.devices.empty(), "shard needs at least one device");
+    EP_REQUIRE(shardIndex_.emplace(cfg.id, i).second,
+               "duplicate shard id");
+    auto shard = std::make_unique<Shard>();
+    shard->id = cfg.id;
+    shard->devices = cfg.devices;
+    serve::BrokerOptions bopts = cfg.broker;
+    bopts.onTuneComplete = [this, i](const serve::TuneRequest& req,
+                                     const serve::TuneResponse& resp) {
+      onTuneComplete(i, req, resp);
+    };
+    bopts.onStudyExecuted =
+        [this, i](serve::Device device, int n,
+                  std::shared_ptr<const core::WorkloadResult> result) {
+          onStudyExecuted(i, device, n, result);
+        };
+    shard->broker =
+        std::make_unique<serve::Broker>(cfg.engine, std::move(bopts));
+    ring->addShard(cfg.id);
+    shards_.push_back(std::move(shard));
+  }
+  ring_.store(std::shared_ptr<const HashRing>(std::move(ring)),
+              std::memory_order_release);
+}
+
+FleetRouter::~FleetRouter() { shutdown(); }
+
+void FleetRouter::shutdown() {
+  std::lock_guard lk(adminMu_);
+  if (shutdown_) return;
+  shutdown_ = true;
+  for (auto& s : shards_) s->broker->shutdown();
+}
+
+const FleetRouter::Shard* FleetRouter::shardById(const std::string& id) const {
+  const auto it = shardIndex_.find(id);
+  return it == shardIndex_.end() ? nullptr : shards_[it->second].get();
+}
+
+FleetRouter::Shard* FleetRouter::shardById(const std::string& id) {
+  const auto it = shardIndex_.find(id);
+  return it == shardIndex_.end() ? nullptr : shards_[it->second].get();
+}
+
+std::vector<std::string> FleetRouter::shardIds() const {
+  std::vector<std::string> ids;
+  ids.reserve(shards_.size());
+  for (const auto& s : shards_) ids.push_back(s->id);
+  return ids;
+}
+
+double FleetRouter::ewmaColdJoules(serve::Device device, int n) const {
+  return bitsToDouble(
+      ewmaBits_[deviceIndex(device) * kClasses + workloadClass(n)].load(
+          std::memory_order_relaxed));
+}
+
+std::string FleetRouter::homeShard(serve::Device device, int n) const {
+  return ringSnapshot()->shardFor(ringKeyHash(device, n));
+}
+
+void FleetRouter::updateEwma(serve::Device device, int n, double coldJoules) {
+  if (coldJoules <= 0.0) return;
+  atomicEwma(ewmaBits_[deviceIndex(device) * kClasses + workloadClass(n)],
+             coldJoules, options_.ewmaAlpha);
+}
+
+serve::Device FleetRouter::pickDevice(int n) const {
+  const double p = ewmaColdJoules(serve::Device::P100, n);
+  const double k = ewmaColdJoules(serve::Device::K40c, n);
+  if (p == 0.0 && k == 0.0) {
+    // No price signal yet for this class: alternate so both devices
+    // get sampled, after which the cheaper one wins below.
+    return rotation_.load(std::memory_order_relaxed) % 2 == 0
+               ? serve::Device::P100
+               : serve::Device::K40c;
+  }
+  if (p == 0.0) return serve::Device::P100;  // optimistic exploration
+  if (k == 0.0) return serve::Device::K40c;
+  return k < p ? serve::Device::K40c : serve::Device::P100;
+}
+
+serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
+                                      RouteDecision* decision) {
+  obs::Span span("fleet/route_tune");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  serve::TuneRequest req;
+  req.n = freq.n;
+  req.maxDegradation = freq.maxDegradation;
+  req.deadlineMs = freq.deadlineMs;
+  if (freq.n <= 0 || freq.maxDegradation < 0.0) {
+    serve::TuneResponse resp;
+    resp.status = serve::Status::Error;
+    resp.error = "invalid fleet tune request (need n > 0, maxDegradation >= 0)";
+    return resp;
+  }
+  req.device = freq.device ? *freq.device : pickDevice(freq.n);
+  if (decision != nullptr) {
+    *decision = RouteDecision{};
+    decision->device = req.device;
+  }
+
+  // Scoring inputs: an immutable ring snapshot plus per-shard relaxed
+  // atomics.  No lock shared across shards is taken on this path.
+  const std::uint64_t key = ringKeyHash(req.device, req.n);
+  const auto ring = ringSnapshot();
+  const auto pref = ring->preferenceOrder(key, shards_.size());
+  const auto prefRank = [&](const std::string& id) {
+    const auto it = std::find(pref.begin(), pref.end(), id);
+    return static_cast<std::size_t>(it - pref.begin());  // pref.size() = none
+  };
+
+  const std::uint64_t now = nowNs();
+  const double coldPrice = ewmaColdJoules(req.device, req.n);
+  std::vector<CandidateSnapshot> cands(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    CandidateSnapshot& c = cands[i];
+    c.index = i;
+    c.preference = prefRank(s.id);
+    c.inFlight = s.inFlight.load(std::memory_order_relaxed);
+    c.expectedJoules = c.preference == 0 ? 0.0 : coldPrice;
+    c.breakerOpen =
+        s.breakerOpenUntilNs[deviceIndex(req.device)].load(
+            std::memory_order_relaxed) > now;
+    c.alive = s.alive.load(std::memory_order_relaxed) && s.serves(req.device);
+  }
+
+  // Cross-shard stale serving: when the key's home shard is dead, its
+  // replica lives in the next live shard's stale store — answer from
+  // there (flagged stale) instead of paying a fresh cold study.
+  if (!pref.empty() && !cands[shardIndex_.at(pref[0])].alive &&
+      options_.replicateToSuccessor) {
+    for (std::size_t p = 1; p < pref.size(); ++p) {
+      Shard& rep = *shards_[shardIndex_.at(pref[p])];
+      if (!cands[shardIndex_.at(pref[p])].alive) continue;
+      rep.inFlight.fetch_add(1, std::memory_order_relaxed);
+      // On a hit the broker fires onTuneComplete, which balances the
+      // in-flight increment; a miss fires nothing, so undo by hand.
+      if (auto stale = rep.broker->tuneFromStale(req)) {
+        rep.routed.fetch_add(1, std::memory_order_relaxed);
+        staleFallbacks_.fetch_add(1, std::memory_order_relaxed);
+        if (decision != nullptr) {
+          decision->shardId = rep.id;
+          decision->staleFallback = true;
+        }
+        return *stale;
+      }
+      rep.inFlight.fetch_sub(1, std::memory_order_relaxed);
+      break;  // only the first live preference shard holds the replica
+    }
+  }
+
+  const auto pick =
+      pickCandidate(options_.policy, options_.weights, cands,
+                    rotation_.fetch_add(1, std::memory_order_relaxed));
+  if (!pick) {
+    noCandidate_.fetch_add(1, std::memory_order_relaxed);
+    serve::TuneResponse resp;
+    resp.status = serve::Status::Error;
+    resp.error = "no live shard serves device " +
+                 std::string(serve::deviceName(req.device));
+    return resp;
+  }
+  Shard& s = *shards_[*pick];
+  if (decision != nullptr) {
+    decision->shardId = s.id;
+    decision->home = cands[*pick].preference == 0;
+  }
+  s.routed.fetch_add(1, std::memory_order_relaxed);
+  s.inFlight.fetch_add(1, std::memory_order_relaxed);
+  // onTuneComplete (fired when the promise is fulfilled) decrements
+  // inFlight and does all outcome accounting.
+  return s.broker->submitTune(req).get();
+}
+
+serve::StudyResponse FleetRouter::study(const serve::StudyRequest& req,
+                                        std::string* shardId) {
+  obs::Span span("fleet/route_study");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  // Sweeps span workload classes, so key affinity does not apply:
+  // place least-loaded among the live shards serving the device.
+  const std::uint64_t now = nowNs();
+  std::vector<CandidateSnapshot> cands(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& s = *shards_[i];
+    cands[i].index = i;
+    cands[i].inFlight = s.inFlight.load(std::memory_order_relaxed);
+    cands[i].breakerOpen =
+        s.breakerOpenUntilNs[deviceIndex(req.device)].load(
+            std::memory_order_relaxed) > now;
+    cands[i].alive =
+        s.alive.load(std::memory_order_relaxed) && s.serves(req.device);
+  }
+  const auto pick =
+      pickCandidate(PolicyKind::QueueDepth, options_.weights, cands,
+                    rotation_.fetch_add(1, std::memory_order_relaxed));
+  if (!pick) {
+    noCandidate_.fetch_add(1, std::memory_order_relaxed);
+    serve::StudyResponse resp;
+    resp.status = serve::Status::Error;
+    resp.error = "no live shard serves device " +
+                 std::string(serve::deviceName(req.device));
+    return resp;
+  }
+  Shard& s = *shards_[*pick];
+  if (shardId != nullptr) *shardId = s.id;
+  s.routed.fetch_add(1, std::memory_order_relaxed);
+  s.inFlight.fetch_add(1, std::memory_order_relaxed);
+  serve::StudyResponse resp = s.broker->submitStudy(req).get();
+  // Studies have no completion hook; account here.
+  s.inFlight.fetch_sub(1, std::memory_order_relaxed);
+  if (resp.status == serve::Status::Ok) {
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    s.rejected.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (resp.report.studiesExecuted > 0) {
+    s.studiesExecuted.fetch_add(resp.report.studiesExecuted,
+                                std::memory_order_relaxed);
+    atomicAddDouble(s.joulesBits, resp.report.attributedJoules);
+  }
+  return resp;
+}
+
+void FleetRouter::onTuneComplete(std::size_t shardIndex,
+                                 const serve::TuneRequest& req,
+                                 const serve::TuneResponse& resp) {
+  Shard& s = *shards_[shardIndex];
+  s.inFlight.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t di = deviceIndex(req.device);
+  if (resp.status == serve::Status::Ok) {
+    s.completed.fetch_add(1, std::memory_order_relaxed);
+    if (resp.stale) s.staleServed.fetch_add(1, std::memory_order_relaxed);
+    if (resp.report.studiesExecuted > 0) {
+      s.studiesExecuted.fetch_add(resp.report.studiesExecuted,
+                                  std::memory_order_relaxed);
+      atomicAddDouble(s.joulesBits, resp.report.attributedJoules);
+      updateEwma(req.device, req.n, resp.report.attributedJoules);
+      recordServicePoint(resp);
+    }
+    if (!resp.stale) {
+      s.breakerOpenUntilNs[di].store(0, std::memory_order_relaxed);
+    }
+  } else {
+    s.rejected.fetch_add(1, std::memory_order_relaxed);
+    if (resp.status == serve::Status::CircuitOpen) {
+      s.breakerOpenUntilNs[di].store(
+          nowNs() + static_cast<std::uint64_t>(options_.breakerMirrorMs * 1e6),
+          std::memory_order_relaxed);
+    }
+  }
+}
+
+void FleetRouter::onStudyExecuted(
+    std::size_t shardIndex, serve::Device device, int n,
+    const std::shared_ptr<const core::WorkloadResult>& result) {
+  if (options_.replicateToSuccessor && shards_.size() > 1) {
+    const auto ring = ringSnapshot();
+    // Replica target: the first shard in ring preference order that is
+    // not the executor — the successor when the home executed, the
+    // home itself when an overflow shard did.
+    for (const auto& id : ring->preferenceOrder(ringKeyHash(device, n), 2)) {
+      if (id == shards_[shardIndex]->id) continue;
+      if (Shard* target = shardById(id)) {
+        target->broker->installStaleResult(device, n, result);
+      }
+      break;
+    }
+  }
+  std::lock_guard lk(clusterMu_);
+  for (const auto& p : result->globalFront) {
+    configFront_.insert(p);
+    configLog_.push_back(p);
+  }
+}
+
+void FleetRouter::recordServicePoint(const serve::TuneResponse& resp) {
+  std::lock_guard lk(clusterMu_);
+  pareto::BiPoint p;
+  p.time = resp.latency;
+  p.energy = Joules{resp.report.attributedJoules};
+  p.configId = servicePointSeq_++;
+  serviceFront_.insert(p);
+  serviceLog_.push_back(p);
+}
+
+bool FleetRouter::killShard(const std::string& id) {
+  Shard* s = shardById(id);
+  if (s == nullptr) return false;
+  s->alive.store(false, std::memory_order_relaxed);
+  return true;
+}
+
+bool FleetRouter::reviveShard(const std::string& id) {
+  Shard* s = shardById(id);
+  if (s == nullptr) return false;
+  s->alive.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+bool FleetRouter::removeShardFromRing(const std::string& id) {
+  if (shardById(id) == nullptr) return false;
+  std::lock_guard lk(adminMu_);
+  auto next = std::make_shared<HashRing>(*ringSnapshot());
+  next->removeShard(id);
+  ring_.store(std::shared_ptr<const HashRing>(std::move(next)),
+              std::memory_order_release);
+  return true;
+}
+
+bool FleetRouter::addShardToRing(const std::string& id) {
+  if (shardById(id) == nullptr) return false;
+  std::lock_guard lk(adminMu_);
+  auto next = std::make_shared<HashRing>(*ringSnapshot());
+  next->addShard(id);
+  ring_.store(std::shared_ptr<const HashRing>(std::move(next)),
+              std::memory_order_release);
+  return true;
+}
+
+FleetMetrics FleetRouter::metrics() const {
+  FleetMetrics out;
+  out.policy = options_.policy;
+  out.requests = requests_.load(std::memory_order_relaxed);
+  out.staleFallbacks = staleFallbacks_.load(std::memory_order_relaxed);
+  out.noCandidate = noCandidate_.load(std::memory_order_relaxed);
+  const auto ring = ringSnapshot();
+  out.shards.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    FleetShardMetrics m;
+    m.id = s->id;
+    m.alive = s->alive.load(std::memory_order_relaxed);
+    m.inRing = ring->contains(s->id);
+    m.routed = s->routed.load(std::memory_order_relaxed);
+    m.inFlight = s->inFlight.load(std::memory_order_relaxed);
+    m.completed = s->completed.load(std::memory_order_relaxed);
+    m.rejected = s->rejected.load(std::memory_order_relaxed);
+    m.staleServed = s->staleServed.load(std::memory_order_relaxed);
+    m.studiesExecuted = s->studiesExecuted.load(std::memory_order_relaxed);
+    m.attributedJoules =
+        bitsToDouble(s->joulesBits.load(std::memory_order_relaxed));
+    out.clusterJoules += m.attributedJoules;
+    out.shards.push_back(std::move(m));
+  }
+  std::lock_guard lk(clusterMu_);
+  out.configFrontSize = configFront_.size();
+  out.serviceFrontSize = serviceFront_.size();
+  return out;
+}
+
+std::string FleetRouter::renderWireSnapshot() const {
+  const FleetMetrics m = metrics();
+  const bool consistent = frontsConsistent();
+  serve::wire::ObjectWriter w;
+  std::uint64_t alive = 0;
+  for (const auto& s : m.shards) alive += s.alive ? 1 : 0;
+  w.add("status", "ok")
+      .add("policy", policyName(m.policy))
+      .add("shards", static_cast<std::uint64_t>(m.shards.size()))
+      .add("aliveShards", alive)
+      .add("requests", m.requests)
+      .add("staleFallbacks", m.staleFallbacks)
+      .add("noCandidate", m.noCandidate)
+      .add("clusterJoules", m.clusterJoules)
+      .add("configFrontSize", static_cast<std::uint64_t>(m.configFrontSize))
+      .add("serviceFrontSize", static_cast<std::uint64_t>(m.serviceFrontSize))
+      .add("frontsConsistent", consistent);
+  for (const auto& s : m.shards) {
+    const std::string prefix = "shard." + s.id + ".";
+    w.add(prefix + "alive", s.alive)
+        .add(prefix + "inRing", s.inRing)
+        .add(prefix + "routed", s.routed)
+        .add(prefix + "inFlight", s.inFlight)
+        .add(prefix + "completed", s.completed)
+        .add(prefix + "rejected", s.rejected)
+        .add(prefix + "staleServed", s.staleServed)
+        .add(prefix + "studiesExecuted", s.studiesExecuted)
+        .add(prefix + "attributedJoules", s.attributedJoules);
+  }
+  return w.str();
+}
+
+std::vector<pareto::BiPoint> FleetRouter::configFront() const {
+  std::lock_guard lk(clusterMu_);
+  return configFront_.snapshot();
+}
+
+std::vector<pareto::BiPoint> FleetRouter::serviceFront() const {
+  std::lock_guard lk(clusterMu_);
+  return serviceFront_.snapshot();
+}
+
+bool FleetRouter::frontsConsistent() const {
+  std::lock_guard lk(clusterMu_);
+  return sameFront(configFront_.snapshot(), pareto::paretoFront(configLog_)) &&
+         sameFront(serviceFront_.snapshot(),
+                   pareto::paretoFront(serviceLog_));
+}
+
+}  // namespace ep::fleet

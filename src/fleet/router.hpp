@@ -1,0 +1,249 @@
+// FleetRouter: the cluster layer above epserve's single-process Broker.
+//
+// N replicated broker shards sit behind one router.  Each shard owns a
+// subset of the modeled devices and its own result cache; the caches
+// are partitioned by a consistent-hash ring (fleet/ring.hpp), so a
+// given (device, workload) key has one "home" shard that amortizes the
+// key's cold study across all requests for it.  The router scores the
+// live shards with a pluggable policy (fleet/policy.hpp) — round-robin
+// baseline, queue-depth least-loaded, or energy-aware placement priced
+// by the PR 5 per-request energy ledger (EWMA cold-study J/request per
+// workload class).
+//
+// Concurrency contract (the part TSan and the acceptance criteria pin
+// down): the routing decision takes NO lock shared across shards.
+//   * Ring topology is an immutable HashRing snapshot behind an
+//     atomic<shared_ptr>; admin edits copy-modify-swap it.
+//   * Every per-shard scoring input (aliveness, in-flight count,
+//     breaker mirror) and the cluster EWMA price table are relaxed
+//     atomics, updated from broker completion hooks.
+// The only router mutexes are adminMu_ (topology edits, rare) and
+// clusterMu_ (Pareto-front inserts on the *completion* path — O(log n)
+// per executed study, never consulted while scoring).
+//
+// Fault story: killShard() simulates losing a node (the router stops
+// routing to it; the shard's state survives for revival, like a
+// partitioned node).  Executed studies are replicated into the ring
+// successor's stale-while-error store, so when a key's home is dead
+// the router answers from the replica — flagged stale on the wire —
+// instead of paying a fresh cold study or an error.
+//
+// Cluster-level Pareto fronts, maintained by O(log n) streaming insert
+// (pareto/streaming_front.hpp), never re-peeled:
+//   * config front — every executed study's global front streamed in:
+//     the cluster's best-known (time, energy) configurations.
+//   * service front — one (latency, attributed joules) point per
+//     request that executed a cold study: what answering actually cost.
+// Both keep an insert log so frontsConsistent() can check the
+// streaming fronts bitwise against a fresh batch recompute — the
+// invariant the shard-kill drill asserts across a ring rebalance.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "fleet/policy.hpp"
+#include "fleet/ring.hpp"
+#include "pareto/streaming_front.hpp"
+#include "serve/broker.hpp"
+
+namespace ep::fleet {
+
+struct FleetShardConfig {
+  std::string id;
+  std::shared_ptr<const serve::TuningEngine> engine;
+  serve::BrokerOptions broker{};
+  // The modeled devices this shard serves.
+  std::vector<serve::Device> devices = {serve::Device::P100,
+                                        serve::Device::K40c};
+};
+
+struct FleetOptions {
+  std::size_t virtualNodes = 64;
+  PolicyKind policy = PolicyKind::EnergyAware;
+  PolicyWeights weights{};
+  // Smoothing of the cold-study J/request price per workload class.
+  double ewmaAlpha = 0.25;
+  // How long a CircuitOpen response marks the router's relaxed breaker
+  // mirror (the scoring path never touches the broker's own breaker).
+  double breakerMirrorMs = 250.0;
+  // Replicate executed studies into the ring successor's stale store.
+  bool replicateToSuccessor = true;
+};
+
+struct FleetRequest {
+  // nullopt = "auto": the router picks the cheaper device by the EWMA
+  // price table (unsampled devices count as free, so both get explored).
+  std::optional<serve::Device> device;
+  int n = 0;
+  double maxDegradation = 0.0;
+  double deadlineMs = 0.0;
+};
+
+struct RouteDecision {
+  std::string shardId;
+  serve::Device device = serve::Device::P100;
+  bool home = false;           // landed on the key's ring home
+  bool staleFallback = false;  // home dead, answered from a replica
+};
+
+struct FleetShardMetrics {
+  std::string id;
+  bool alive = true;
+  bool inRing = true;
+  std::uint64_t routed = 0;
+  std::uint64_t inFlight = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t staleServed = 0;
+  std::uint64_t studiesExecuted = 0;
+  double attributedJoules = 0.0;
+};
+
+struct FleetMetrics {
+  PolicyKind policy = PolicyKind::EnergyAware;
+  std::vector<FleetShardMetrics> shards;
+  std::uint64_t requests = 0;
+  std::uint64_t staleFallbacks = 0;
+  std::uint64_t noCandidate = 0;
+  double clusterJoules = 0.0;
+  std::size_t configFrontSize = 0;
+  std::size_t serviceFrontSize = 0;
+};
+
+class FleetRouter {
+ public:
+  explicit FleetRouter(std::vector<FleetShardConfig> shards,
+                       FleetOptions options = {});
+  ~FleetRouter();
+
+  FleetRouter(const FleetRouter&) = delete;
+  FleetRouter& operator=(const FleetRouter&) = delete;
+
+  // Route and serve one tune request (blocking; call from any number
+  // of client threads).  `decision`, when non-null, reports where and
+  // why the request landed.
+  [[nodiscard]] serve::TuneResponse tune(const FleetRequest& req,
+                                         RouteDecision* decision = nullptr);
+
+  // Route a study sweep to the least-loaded live shard serving the
+  // device (sweeps span workload classes, so ring affinity of a single
+  // key does not apply).
+  [[nodiscard]] serve::StudyResponse study(const serve::StudyRequest& req,
+                                           std::string* shardId = nullptr);
+
+  [[nodiscard]] std::vector<std::string> shardIds() const;
+
+  // Drill operations; all return false for an unknown shard id.
+  // Kill/revive simulate node loss: a killed shard keeps its state but
+  // receives no traffic until revived.
+  bool killShard(const std::string& id);
+  bool reviveShard(const std::string& id);
+  // Ring rebalance: remove/re-add a shard's vnodes (copy-on-write; in-
+  // flight lookups keep the snapshot they started with).
+  bool removeShardFromRing(const std::string& id);
+  bool addShardToRing(const std::string& id);
+
+  [[nodiscard]] FleetMetrics metrics() const;
+  // One-line flat-JSON body of the {"op":"fleet"} wire snapshot.
+  [[nodiscard]] std::string renderWireSnapshot() const;
+
+  // Cluster fronts (sorted by ascending time) and their oracle:
+  // frontsConsistent() recomputes both fronts batch-style from the
+  // insert logs and compares bitwise against the streaming state.
+  [[nodiscard]] std::vector<pareto::BiPoint> configFront() const;
+  [[nodiscard]] std::vector<pareto::BiPoint> serviceFront() const;
+  [[nodiscard]] bool frontsConsistent() const;
+
+  // The EWMA cold-study price the scorer currently charges for placing
+  // workload `n` on `device` off its home shard (0 = no samples yet).
+  [[nodiscard]] double ewmaColdJoules(serve::Device device, int n) const;
+
+  // The current ring home of key (device, n); empty when the ring is.
+  [[nodiscard]] std::string homeShard(serve::Device device, int n) const;
+
+  // Drain every shard.  Idempotent; the destructor calls it.
+  void shutdown();
+
+ private:
+  static constexpr std::size_t kDevices = 2;
+  static constexpr std::size_t kClasses = 32;  // bit-width buckets of n
+
+  struct Shard {
+    std::string id;
+    std::vector<serve::Device> devices;
+    std::atomic<bool> alive{true};
+    std::atomic<std::uint64_t> routed{0};
+    std::atomic<std::uint64_t> inFlight{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::atomic<std::uint64_t> rejected{0};
+    std::atomic<std::uint64_t> staleServed{0};
+    std::atomic<std::uint64_t> studiesExecuted{0};
+    std::atomic<std::uint64_t> joulesBits{0};  // double, bit-cast
+    // Relaxed mirror of the shard's per-device breaker: steady-clock
+    // ns until which the scorer treats the device circuit as open.
+    std::array<std::atomic<std::uint64_t>, kDevices> breakerOpenUntilNs{};
+    std::unique_ptr<serve::Broker> broker;
+
+    [[nodiscard]] bool serves(serve::Device d) const;
+  };
+
+  static std::size_t deviceIndex(serve::Device d) {
+    return d == serve::Device::K40c ? 1 : 0;
+  }
+  static std::size_t workloadClass(int n);
+  static std::uint64_t nowNs();
+
+  [[nodiscard]] serve::Device pickDevice(int n) const;
+  [[nodiscard]] std::shared_ptr<const HashRing> ringSnapshot() const {
+    return ring_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] const Shard* shardById(const std::string& id) const;
+  [[nodiscard]] Shard* shardById(const std::string& id);
+
+  // Broker completion hooks (run on shard worker/submitter threads).
+  void onTuneComplete(std::size_t shardIndex, const serve::TuneRequest& req,
+                      const serve::TuneResponse& resp);
+  void onStudyExecuted(std::size_t shardIndex, serve::Device device, int n,
+                       const std::shared_ptr<const core::WorkloadResult>& r);
+
+  void updateEwma(serve::Device device, int n, double coldJoules);
+  void recordServicePoint(const serve::TuneResponse& resp);
+
+  FleetOptions options_;
+
+  // Cluster EWMA cold-study price table, indexed [device][class].
+  std::array<std::atomic<std::uint64_t>, kDevices * kClasses> ewmaBits_{};
+
+  std::atomic<std::uint64_t> rotation_{0};  // round-robin / tie rotation
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> staleFallbacks_{0};
+  std::atomic<std::uint64_t> noCandidate_{0};
+
+  // Streaming cluster fronts + full insert logs (the batch oracle).
+  // Completion-path only; never touched while scoring.
+  mutable std::mutex clusterMu_;
+  pareto::StreamingFront configFront_;
+  std::vector<pareto::BiPoint> configLog_;
+  pareto::StreamingFront serviceFront_;
+  std::vector<pareto::BiPoint> serviceLog_;
+  std::uint64_t servicePointSeq_ = 0;
+
+  std::mutex adminMu_;  // serializes topology edits and shutdown
+  bool shutdown_ = false;
+  std::atomic<std::shared_ptr<const HashRing>> ring_;
+
+  // Immutable after construction (only atomics inside mutate); declared
+  // last so shards drain before the state their hooks reference dies.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unordered_map<std::string, std::size_t> shardIndex_;
+};
+
+}  // namespace ep::fleet

@@ -1,0 +1,51 @@
+#include "pareto/streaming_front.hpp"
+
+namespace ep::pareto {
+
+bool StreamingFront::insert(const BiPoint& p) {
+  // Position p would occupy in (time, energy, configId) order.  The
+  // front invariant (strictly increasing time, strictly decreasing
+  // energy outside duplicate groups) makes every domination question
+  // answerable from the immediate neighbours of that position.
+  auto it = members_.lower_bound(p);
+
+  if (it != members_.begin()) {
+    const auto prev = std::prev(it);
+    if (prev->time == p.time) {
+      // All members sharing p's time share one energy (otherwise they
+      // would dominate each other), and prev sorts <= p, so
+      // prev->energy <= p.energy.
+      if (prev->energy < p.energy) return false;  // dominated in place
+      members_.insert(it, p);  // duplicate-objective member: keep
+      return true;
+    }
+    // prev->time < p.time: equal-or-better energy at strictly better
+    // time dominates p.
+    if (prev->energy <= p.energy) return false;
+  }
+
+  // p survives.  Erase the members it dominates: everything at p's time
+  // with worse energy, then everything at later time with energy >=
+  // p's (the front's decreasing-energy order makes them contiguous).
+  while (it != members_.end()) {
+    if (it->time == p.time) {
+      if (it->energy == p.energy) {
+        ++it;  // duplicate-objective member, mutually non-dominating
+        continue;
+      }
+      it = members_.erase(it);  // same time, worse energy
+    } else if (it->energy >= p.energy) {
+      it = members_.erase(it);  // later time, no energy advantage
+    } else {
+      break;
+    }
+  }
+  members_.insert(p);
+  return true;
+}
+
+std::vector<BiPoint> StreamingFront::snapshot() const {
+  return std::vector<BiPoint>(members_.begin(), members_.end());
+}
+
+}  // namespace ep::pareto

@@ -1,0 +1,62 @@
+// Incremental (streaming) Pareto-front maintenance: O(log n) insert
+// instead of re-peeling the whole cloud on every update.
+//
+// The fleet router keeps a live cluster-level front under continuous
+// traffic; re-running paretoFront() per completed request would be
+// O(n log n) each time.  StreamingFront maintains exactly the set (and
+// order) that paretoFront() would produce over every point ever
+// inserted:
+//
+//   * members are ordered by (time, energy, configId) — the same
+//     comparator batch sorting uses, so snapshot() is bitwise-equal to
+//     paretoFront(allInsertedPoints);
+//   * duplicate-objective points are all kept (mutually
+//     non-dominating), matching the batch front's set-stability;
+//   * an insert either rejects a dominated point (O(log n)) or admits
+//     it and erases the members it dominates — each erased member was
+//     admitted by an earlier insert, so the amortized cost stays
+//     O(log n) per insert.
+//
+// Not internally synchronized: callers (the fleet router's completion
+// path) guard it with their own mutex, off the routing hot path.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+#include "pareto/point.hpp"
+
+namespace ep::pareto {
+
+class StreamingFront {
+ public:
+  // Offer one point.  Returns true if the point joined the front
+  // (including as a duplicate-objective member), false if an existing
+  // member dominates it.
+  bool insert(const BiPoint& p);
+
+  [[nodiscard]] std::size_t size() const { return members_.size(); }
+  [[nodiscard]] bool empty() const { return members_.empty(); }
+  void clear() { members_.clear(); }
+
+  // The current front, sorted by ascending time (energy, configId
+  // tie-breaks) — the exact order paretoFront() returns.
+  [[nodiscard]] std::vector<BiPoint> snapshot() const;
+
+ private:
+  // Batch sort order: time, then energy, then configId.  On a valid
+  // front, time strictly increases and energy strictly decreases except
+  // within duplicate-objective groups (equal time AND equal energy).
+  struct Cmp {
+    bool operator()(const BiPoint& a, const BiPoint& b) const {
+      if (a.time != b.time) return a.time < b.time;
+      if (a.energy != b.energy) return a.energy < b.energy;
+      return a.configId < b.configId;
+    }
+  };
+
+  std::multiset<BiPoint, Cmp> members_;
+};
+
+}  // namespace ep::pareto

@@ -143,6 +143,7 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
   job->req = req;
   job->submitted = Clock::now();
   job->deadline = deadlineFor(req.deadlineMs, job->submitted);
+  job->ctx = obs::currentContext();
   auto future = job->promise.get_future();
 
   if (req.n <= 0 || req.maxDegradation < 0.0) {
@@ -490,6 +491,7 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
   StudyOutcome owned{result, false, /*executed=*/true,
                      core::attributeEnergy(*result)};
   accountStudyEnergy(device, owned.attr);
+  if (options_.onStudyExecuted) options_.onStudyExecuted(device, n, result);
   entry->promise.set_value(owned);
   for (const auto& w : waiters) {
     completeTune(w, result, /*cacheHit=*/false, /*coalesced=*/true);
@@ -501,6 +503,11 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
                           bool cacheHit, bool coalesced, bool stale,
                           const core::EnergyAttribution& attribution,
                           bool executed) {
+  // Completion may run on a foreign thread (the study owner's worker
+  // fulfilling coalesced followers): re-install the follower's own
+  // context so its completion span joins its trace, not the owner's.
+  obs::ScopedTraceContext tctx(job->ctx);
+  obs::Span span("serve/complete_tune");
   if (Clock::now() > job->deadline) {
     rejectTune(job, Status::DeadlineExceeded, "");
     return;
@@ -528,11 +535,14 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   hLatencyMs_.observe(elapsedMsSince(job->submitted));
   cCompleted_.inc();
   feedWatchdog(job->req.device, /*error=*/false, stale);
+  if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
   job->promise.set_value(std::move(resp));
 }
 
 void Broker::rejectTune(const TuneJobPtr& job, Status status,
                         const std::string& error) {
+  obs::ScopedTraceContext tctx(job->ctx);
+  obs::Span span("serve/complete_tune");
   switch (status) {
     case Status::DeadlineExceeded:
       cRejectedDeadline_.inc();
@@ -553,7 +563,43 @@ void Broker::rejectTune(const TuneJobPtr& job, Status status,
   resp.status = status;
   resp.error = error;
   resp.latency = elapsedSince(job->submitted);
+  if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
   job->promise.set_value(std::move(resp));
+}
+
+void Broker::installStaleResult(
+    Device device, int n,
+    std::shared_ptr<const core::WorkloadResult> result) {
+  if (result == nullptr || options_.staleCapacity == 0) return;
+  std::lock_guard lk(mu_);
+  staleStore_.put(keyFor(device, n), std::move(result));
+}
+
+std::optional<TuneResponse> Broker::tuneFromStale(const TuneRequest& req) {
+  if (req.n <= 0 || req.maxDegradation < 0.0) return std::nullopt;
+  const Clock::time_point submitted = Clock::now();
+  ResultPtr result;
+  {
+    std::lock_guard lk(mu_);
+    if (!accepting_ || options_.staleCapacity == 0) return std::nullopt;
+    if (auto st = staleStore_.get(keyFor(req.device, req.n))) result = *st;
+  }
+  if (result == nullptr) return std::nullopt;
+  obs::Span span("serve/tune_from_stale");
+  cAccepted_.inc();
+  cStaleServed_.inc();
+  TuneResponse resp;
+  resp.status = Status::Ok;
+  resp.stale = true;
+  resp.report.staleServed = 1;
+  const core::BiObjectiveTuner tuner(req.maxDegradation);
+  resp.recommendation = tuner.recommend(result->globalFront);
+  resp.latency = elapsedSince(submitted);
+  hLatencyMs_.observe(elapsedMsSince(submitted));
+  cCompleted_.inc();
+  feedWatchdog(req.device, /*error=*/false, /*stale=*/true);
+  if (options_.onTuneComplete) options_.onTuneComplete(req, resp);
+  return resp;
 }
 
 void Broker::accountStudyEnergy(Device device,

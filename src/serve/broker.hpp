@@ -27,15 +27,18 @@
 #pragma once
 
 #include <condition_variable>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <unordered_map>
 #include <vector>
 
 #include "common/thread_pool.hpp"
 #include "core/watchdog.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/breaker.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
@@ -62,6 +65,20 @@ struct BrokerOptions {
   // (error / stale / healthy), for the ErrorBudget detector.  Must
   // outlive the broker.
   core::PowerAnomalyWatchdog* watchdog = nullptr;
+  // Fleet-integration hooks; both may be empty.  Called from broker
+  // worker (or submitter) threads with no broker lock held, so they may
+  // call back into any Broker API except shutdown().
+  //   onStudyExecuted: fires once per cold engine evaluation that
+  //     succeeded — the fleet router replicates the result to the key's
+  //     ring successor and streams its front into the cluster fronts.
+  //   onTuneComplete: fires for every fulfilled tune promise (success
+  //     or rejection) — the router's EWMA J/req price signal and
+  //     latency accounting feed off it.
+  std::function<void(Device, int,
+                     std::shared_ptr<const core::WorkloadResult>)>
+      onStudyExecuted;
+  std::function<void(const TuneRequest&, const TuneResponse&)>
+      onTuneComplete;
 };
 
 class Broker {
@@ -93,6 +110,21 @@ class Broker {
   // the instantaneous state, synced at render time).
   [[nodiscard]] std::string renderPrometheus() const;
 
+  // Cross-shard stale serving: install a result computed on another
+  // shard into this broker's stale-while-error store.  Deliberately
+  // never touches the primary result cache — a replica must not mask
+  // this shard's own cold path or its hit-rate accounting.  No-op when
+  // the stale store is disabled.
+  void installStaleResult(Device device, int n,
+                          std::shared_ptr<const core::WorkloadResult> result);
+
+  // Serve a tune request purely from the stale store: the cheap tuner
+  // step over a last-known-good study, flagged stale.  Returns nullopt
+  // when no stale result exists for the key (or during shutdown).
+  // Never queues, never touches the engine or the breaker.
+  [[nodiscard]] std::optional<TuneResponse> tuneFromStale(
+      const TuneRequest& req);
+
   // Stop admitting, drain all queued and in-flight work, return when
   // every outstanding future is fulfilled.  Idempotent.
   void shutdown();
@@ -104,6 +136,10 @@ class Broker {
     TuneRequest req;
     Clock::time_point submitted;
     Clock::time_point deadline;  // time_point::max() = none
+    // The submitter's trace context, re-installed around completion so
+    // coalesced followers (fulfilled on the study owner's worker) stay
+    // linked to their own request's span tree, not the owner's.
+    obs::TraceContext ctx;
     std::promise<TuneResponse> promise;
   };
   using TuneJobPtr = std::shared_ptr<TuneJob>;

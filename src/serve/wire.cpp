@@ -342,8 +342,31 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
     return req;
   }
 
+  if (*op == "fleet") {
+    req.op = WireRequest::Op::Fleet;
+    req.fleetAction = getString(*obj, "action").value_or("snapshot");
+    req.fleetShard = getString(*obj, "shard").value_or("");
+    if (req.fleetAction != "snapshot" && req.fleetAction != "kill" &&
+        req.fleetAction != "revive" && req.fleetAction != "remove" &&
+        req.fleetAction != "add") {
+      return fail("unknown fleet \"action\"");
+    }
+    if (req.fleetAction != "snapshot" && req.fleetShard.empty()) {
+      return fail("fleet action needs \"shard\"");
+    }
+    return req;
+  }
+
   const auto deviceStr = getString(*obj, "device").value_or("p100");
-  const auto device = parseDevice(deviceStr);
+  if (deviceStr == "auto") {
+    // Placement left to the fleet router's policy; only meaningful for
+    // tune (a study names one device's engine).
+    if (*op != "tune") return fail("\"auto\" device is tune-only");
+    req.deviceAuto = true;
+  }
+  const auto device =
+      req.deviceAuto ? std::optional<Device>{Device::P100}
+                     : parseDevice(deviceStr);
   if (!device) return fail("unknown device");
   req.traceId = getString(*obj, "trace_id").value_or("");
   req.report = getBool(*obj, "report").value_or(false);

@@ -77,7 +77,7 @@ class ObjectWriter {
 };
 
 struct WireRequest {
-  enum class Op { Tune, Study, Metrics, Trace, Events };
+  enum class Op { Tune, Study, Metrics, Trace, Events, Fleet };
   Op op = Op::Tune;
   // For Op::Metrics: answer with the Prometheus text exposition
   // instead of the flat JSON snapshot.
@@ -88,6 +88,13 @@ struct WireRequest {
   // should carry the energy-attribution report.
   std::string traceId;
   bool report = false;
+  // For Op::Tune: the request said "device":"auto" — the fleet router
+  // picks the device by policy (single-broker servers reject it).
+  bool deviceAuto = false;
+  // For Op::Fleet: "snapshot" (default), or an admin action
+  // ("kill"/"revive"/"remove"/"add") naming a shard.
+  std::string fleetAction = "snapshot";
+  std::string fleetShard;
   TuneRequest tune;
   StudyRequest study;
 };

@@ -1,0 +1,727 @@
+// epfleet tests: consistent-hash ring properties (balance, minimal
+// remapping), routing-policy scoring, and the FleetRouter end to end —
+// energy-aware cache affinity, cross-shard stale serving after a shard
+// kill, ring-rebalance front consistency, the EWMA price table, and a
+// concurrent mixed-traffic storm for TSan.  Everything runs in-process
+// against a controllable fake engine (no sockets).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "pareto/front.hpp"
+#include "pareto/tradeoff.hpp"
+#include "fleet/policy.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/router.hpp"
+#include "serve/broker.hpp"
+#include "serve/wire.hpp"
+
+namespace ep::fleet {
+namespace {
+
+using serve::Device;
+
+pareto::BiPoint mk(double t, double e, std::uint64_t id) {
+  pareto::BiPoint p;
+  p.time = Seconds{t};
+  p.energy = Joules{e};
+  p.configId = id;
+  p.label = "cfg" + std::to_string(id);
+  return p;
+}
+
+// Deterministic counting engine with a per-device cost multiplier so
+// tests can make one device measurably cheaper than the other.
+class FleetFakeEngine : public serve::TuningEngine {
+ public:
+  explicit FleetFakeEngine(double k40cMultiplier = 1.0)
+      : k40cMultiplier_(k40cMultiplier) {}
+
+  std::uint64_t tuningHash(Device d) const override {
+    return 0xF1EE7u + static_cast<std::uint64_t>(d);
+  }
+
+  core::WorkloadResult evaluate(Device d, int n,
+                                ThreadPool*) const override {
+    calls_.fetch_add(1, std::memory_order_relaxed);
+    perDevice_[d == Device::K40c ? 1 : 0].fetch_add(
+        1, std::memory_order_relaxed);
+    const double mult = d == Device::K40c ? k40cMultiplier_ : 1.0;
+    core::WorkloadResult r;
+    r.n = n;
+    // Deterministic energy ledger: (0.01*n + 2) * mult joules total, so
+    // attributeEnergy() prices the cold study predictably.
+    apps::GpuDataPoint d1;
+    d1.dynamicEnergy = Joules{0.01 * n * mult};
+    d1.repetitions = 3;
+    d1.remeasures = 1;
+    apps::GpuDataPoint d2;
+    d2.dynamicEnergy = Joules{2.0 * mult};
+    d2.repetitions = 2;
+    r.data = {d1, d2};
+    const double s = 1.0 + static_cast<double>(n) * 1e-4 +
+                     (d == Device::K40c ? 0.01 : 0.0);
+    r.points = {mk(1.0 * s, 10.0, 0), mk(1.1 * s, 7.0, 1),
+                mk(1.5 * s, 4.0, 2), mk(2.0 * s, 3.5, 3)};
+    r.globalFront = pareto::paretoFront(r.points);
+    r.localFront = pareto::localFront(r.points, 2);
+    r.globalTradeoff = pareto::analyzeTradeoff(r.points);
+    if (!r.localFront.empty()) {
+      r.localTradeoff = pareto::analyzeTradeoff(r.localFront);
+    }
+    return r;
+  }
+
+  int calls() const { return calls_.load(std::memory_order_relaxed); }
+  int calls(Device d) const {
+    return perDevice_[d == Device::K40c ? 1 : 0].load(
+        std::memory_order_relaxed);
+  }
+
+ private:
+  double k40cMultiplier_;
+  mutable std::atomic<int> calls_{0};
+  mutable std::array<std::atomic<int>, 2> perDevice_{};
+};
+
+std::vector<FleetShardConfig> shardConfigs(
+    const std::shared_ptr<const serve::TuningEngine>& engine, int count,
+    std::size_t threads = 2) {
+  std::vector<FleetShardConfig> cfgs;
+  for (int i = 0; i < count; ++i) {
+    FleetShardConfig c;
+    c.id = "s" + std::to_string(i);
+    c.engine = engine;
+    c.broker.threads = threads;
+    c.broker.queueCapacity = 256;
+    cfgs.push_back(std::move(c));
+  }
+  return cfgs;
+}
+
+FleetRequest freq(int n, Device d = Device::P100, double budget = 0.5) {
+  FleetRequest r;
+  r.device = d;
+  r.n = n;
+  r.maxDegradation = budget;
+  return r;
+}
+
+// --- consistent-hash ring ---
+
+// Satellite property: with 64 vnodes/shard, key ownership across three
+// shards stays within +-20% of the even split.
+TEST(Ring, BalanceWithin20Percent) {
+  HashRing ring(64);
+  ring.addShard("s0");
+  ring.addShard("s1");
+  ring.addShard("s2");
+  std::map<std::string, int> owned;
+  int total = 0;
+  for (int n = 1; n <= 12000; ++n) {
+    for (Device d : {Device::P100, Device::K40c}) {
+      ++owned[ring.shardFor(ringKeyHash(d, n))];
+      ++total;
+    }
+  }
+  ASSERT_EQ(owned.size(), 3u);
+  const double expected = total / 3.0;
+  for (const auto& [id, count] : owned) {
+    EXPECT_GT(count, expected * 0.8) << id;
+    EXPECT_LT(count, expected * 1.2) << id;
+  }
+}
+
+// Satellite property: removing one of N shards remaps only the keys it
+// owned (~1/N), and every other key keeps its owner.
+TEST(Ring, SingleShardRemovalRemapsAtMostItsShare) {
+  constexpr int kShards = 5;
+  HashRing ring(64);
+  for (int i = 0; i < kShards; ++i) ring.addShard("s" + std::to_string(i));
+
+  std::vector<std::uint64_t> keys;
+  for (int n = 1; n <= 10000; ++n) {
+    keys.push_back(ringKeyHash(Device::P100, n));
+    keys.push_back(ringKeyHash(Device::K40c, n));
+  }
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (auto k : keys) before.push_back(ring.shardFor(k));
+
+  HashRing after = ring;
+  after.removeShard("s2");
+  int moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string& now = after.shardFor(keys[i]);
+    if (now != before[i]) {
+      // Only keys the removed shard owned may move.
+      EXPECT_EQ(before[i], "s2");
+      ++moved;
+    } else {
+      EXPECT_NE(before[i], "s2");
+    }
+  }
+  // Everything s2 owned moved somewhere...
+  const auto s2Owned = static_cast<int>(
+      std::count(before.begin(), before.end(), "s2"));
+  EXPECT_EQ(moved, s2Owned);
+  // ...and that share is about 1/N of the space (balance bound again).
+  EXPECT_LT(moved, static_cast<int>(keys.size()) * 1.2 / kShards);
+
+  // Re-adding the shard restores the exact original partition
+  // (vnode positions depend only on the id).
+  after.addShard("s2");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(after.shardFor(keys[i]), before[i]);
+  }
+}
+
+TEST(Ring, PreferenceOrderStartsAtOwnerAndIsDistinct) {
+  HashRing ring(64);
+  for (int i = 0; i < 4; ++i) ring.addShard("s" + std::to_string(i));
+  for (int n : {7, 512, 9999, 123456}) {
+    const auto key = ringKeyHash(Device::P100, n);
+    const auto pref = ring.preferenceOrder(key, 4);
+    ASSERT_EQ(pref.size(), 4u);
+    EXPECT_EQ(pref[0], ring.shardFor(key));
+    EXPECT_EQ(std::set<std::string>(pref.begin(), pref.end()).size(), 4u);
+  }
+  EXPECT_EQ(ring.preferenceOrder(1234, 2).size(), 2u);
+  EXPECT_EQ(ring.preferenceOrder(1234, 99).size(), 4u);
+}
+
+TEST(Ring, EditsAreIdempotentAndEmptyRingIsSane) {
+  HashRing ring(8);
+  EXPECT_EQ(ring.shardFor(42), "");
+  EXPECT_TRUE(ring.preferenceOrder(42, 3).empty());
+  ring.addShard("a");
+  ring.addShard("a");
+  EXPECT_EQ(ring.shardCount(), 1u);
+  ring.removeShard("missing");
+  EXPECT_EQ(ring.shardCount(), 1u);
+  ring.removeShard("a");
+  EXPECT_EQ(ring.shardCount(), 0u);
+  EXPECT_EQ(ring.shardFor(42), "");
+}
+
+TEST(Ring, DeterministicAcrossInstances) {
+  HashRing a(32);
+  HashRing b(32);
+  for (const char* id : {"alpha", "beta", "gamma"}) {
+    a.addShard(id);
+    b.addShard(id);
+  }
+  for (int n = 1; n <= 500; ++n) {
+    const auto key = ringKeyHash(Device::K40c, n);
+    EXPECT_EQ(a.shardFor(key), b.shardFor(key));
+  }
+}
+
+// --- policies ---
+
+TEST(Policy, ParseAndNameRoundTrip) {
+  EXPECT_EQ(parsePolicy("rr"), PolicyKind::RoundRobin);
+  EXPECT_EQ(parsePolicy("round-robin"), PolicyKind::RoundRobin);
+  EXPECT_EQ(parsePolicy("queue"), PolicyKind::QueueDepth);
+  EXPECT_EQ(parsePolicy("energy"), PolicyKind::EnergyAware);
+  EXPECT_EQ(parsePolicy("energy-aware"), PolicyKind::EnergyAware);
+  EXPECT_FALSE(parsePolicy("bogus").has_value());
+  for (PolicyKind k : {PolicyKind::RoundRobin, PolicyKind::QueueDepth,
+                       PolicyKind::EnergyAware}) {
+    EXPECT_EQ(parsePolicy(policyName(k)), k);
+  }
+}
+
+TEST(Policy, EnergyAwarePrefersHomeAtEqualLoad) {
+  PolicyWeights w;
+  CandidateSnapshot home;
+  home.index = 0;
+  home.preference = 0;
+  home.inFlight = 1;
+  CandidateSnapshot away = home;
+  away.index = 1;
+  away.preference = 1;
+  away.expectedJoules = 25.0;
+  EXPECT_LT(scoreCandidate(PolicyKind::EnergyAware, w, home),
+            scoreCandidate(PolicyKind::EnergyAware, w, away));
+  // Queue-depth scoring cannot tell them apart.
+  EXPECT_EQ(scoreCandidate(PolicyKind::QueueDepth, w, home),
+            scoreCandidate(PolicyKind::QueueDepth, w, away));
+  const auto pick = pickCandidate(PolicyKind::EnergyAware, w, {home, away}, 7);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(Policy, QueuePressureOvercomesEnergyPrice) {
+  // A deeply backlogged home loses to an idle overflow shard even
+  // after paying the cold-study price.
+  PolicyWeights w;
+  CandidateSnapshot home;
+  home.preference = 0;
+  home.inFlight = 100;
+  CandidateSnapshot away;
+  away.index = 1;
+  away.preference = 1;
+  away.inFlight = 0;
+  away.expectedJoules = 25.0;
+  const auto pick = pickCandidate(PolicyKind::EnergyAware, w, {home, away}, 0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 1u);
+}
+
+TEST(Policy, OpenBreakerIsLastResort) {
+  PolicyWeights w;
+  CandidateSnapshot a;
+  a.index = 0;
+  a.breakerOpen = true;
+  CandidateSnapshot b;
+  b.index = 1;
+  b.preference = 3;
+  b.inFlight = 50;
+  b.expectedJoules = 100.0;
+  for (PolicyKind k : {PolicyKind::QueueDepth, PolicyKind::EnergyAware}) {
+    const auto pick = pickCandidate(k, w, {a, b}, 0);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, 1u) << policyName(k);
+  }
+  // ...but a breaker alone never makes a shard unroutable.
+  b.alive = false;
+  const auto pick = pickCandidate(PolicyKind::QueueDepth, w, {a, b}, 0);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 0u);
+}
+
+TEST(Policy, RoundRobinRotatesAndSkipsDead) {
+  PolicyWeights w;
+  std::vector<CandidateSnapshot> cands(3);
+  for (std::size_t i = 0; i < cands.size(); ++i) cands[i].index = i;
+  for (std::size_t r = 0; r < 9; ++r) {
+    const auto pick = pickCandidate(PolicyKind::RoundRobin, w, cands, r);
+    ASSERT_TRUE(pick.has_value());
+    EXPECT_EQ(*pick, r % 3);
+  }
+  cands[1].alive = false;
+  const auto pick = pickCandidate(PolicyKind::RoundRobin, w, cands, 1);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(*pick, 2u);  // rotation lands on dead s1, slides to s2
+  cands[0].alive = false;
+  cands[2].alive = false;
+  EXPECT_FALSE(pickCandidate(PolicyKind::RoundRobin, w, cands, 0).has_value());
+}
+
+// --- router: cache affinity and energy accounting ---
+
+TEST(Router, EnergyAwareAffinityExecutesEachKeyOnce) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 3));
+  for (int rep = 0; rep < 3; ++rep) {
+    for (int n : {100, 200, 300}) {
+      RouteDecision d;
+      const auto resp = router.tune(freq(n), &d);
+      ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+      EXPECT_FALSE(resp.stale);
+      // Energy-aware always lands a healthy key on its ring home.
+      EXPECT_EQ(d.shardId, router.homeShard(Device::P100, n));
+      EXPECT_TRUE(d.home);
+    }
+  }
+  // 9 requests, 3 distinct keys: exactly 3 cold studies cluster-wide.
+  EXPECT_EQ(engine->calls(), 3);
+  const auto m = router.metrics();
+  EXPECT_EQ(m.requests, 9u);
+  std::uint64_t completed = 0;
+  std::uint64_t inFlight = 0;
+  for (const auto& s : m.shards) {
+    completed += s.completed;
+    inFlight += s.inFlight;
+  }
+  EXPECT_EQ(completed, 9u);
+  EXPECT_EQ(inFlight, 0u);
+  EXPECT_TRUE(router.frontsConsistent());
+}
+
+TEST(Router, RoundRobinScattersColdStudies) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetOptions opts;
+  opts.policy = PolicyKind::RoundRobin;
+  FleetRouter router(shardConfigs(engine, 3), opts);
+  for (int i = 0; i < 6; ++i) {
+    const auto resp = router.tune(freq(4242));
+    ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+  }
+  // One key, but round-robin visits every shard: each pays the study.
+  EXPECT_EQ(engine->calls(), 3);
+}
+
+TEST(Router, EwmaTracksColdStudyPrice) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  const int n = 1000;
+  EXPECT_EQ(router.ewmaColdJoules(Device::P100, n), 0.0);
+  ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  // FleetFakeEngine bills 0.01*n + 2 J for the cold study; the executed
+  // request owns all of it, so the EWMA adopts it as the first sample.
+  EXPECT_NEAR(router.ewmaColdJoules(Device::P100, n), 0.01 * n + 2.0, 1e-6);
+  // Same workload class (bit-width bucket), so n=1023 shares the price.
+  EXPECT_NEAR(router.ewmaColdJoules(Device::P100, 1023), 0.01 * n + 2.0, 1e-6);
+  // Other device still unsampled.
+  EXPECT_EQ(router.ewmaColdJoules(Device::K40c, n), 0.0);
+}
+
+TEST(Router, AutoDeviceExploresThenPicksCheaper) {
+  // K40c is 3x more expensive per study under this engine.
+  auto engine = std::make_shared<FleetFakeEngine>(3.0);
+  FleetRouter router(shardConfigs(engine, 2));
+  // Exploration phase: with no price signal the router alternates, so
+  // two distinct fresh keys sample both devices.
+  std::set<Device> explored;
+  for (int n : {900, 901}) {
+    FleetRequest r;
+    r.device.reset();  // "auto"
+    r.n = n;
+    r.maxDegradation = 0.5;
+    RouteDecision d;
+    ASSERT_EQ(router.tune(r, &d).status, serve::Status::Ok);
+    explored.insert(d.device);
+  }
+  EXPECT_EQ(explored.size(), 2u);
+  EXPECT_GT(router.ewmaColdJoules(Device::P100, 900), 0.0);
+  EXPECT_GT(router.ewmaColdJoules(Device::K40c, 900), 0.0);
+  // Exploitation: both sampled, P100 is cheaper, auto picks it.
+  for (int n : {902, 903, 904}) {
+    FleetRequest r;
+    r.device.reset();
+    r.n = n;
+    r.maxDegradation = 0.5;
+    RouteDecision d;
+    ASSERT_EQ(router.tune(r, &d).status, serve::Status::Ok);
+    EXPECT_EQ(d.device, Device::P100) << n;
+  }
+}
+
+TEST(Router, RejectsInvalidRequestsWithoutTouchingShards) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  FleetRequest bad;
+  bad.device = Device::P100;
+  bad.n = 0;
+  EXPECT_EQ(router.tune(bad).status, serve::Status::Error);
+  bad.n = 10;
+  bad.maxDegradation = -1.0;
+  EXPECT_EQ(router.tune(bad).status, serve::Status::Error);
+  EXPECT_EQ(engine->calls(), 0);
+  for (const auto& s : router.metrics().shards) {
+    EXPECT_EQ(s.routed, 0u);
+    EXPECT_EQ(s.inFlight, 0u);
+  }
+}
+
+// --- router: shard kill, stale fallback, ring rebalance ---
+
+// The fleetcheck drill in miniature: kill a warm key's home shard,
+// verify the replica answers (flagged stale), then rebalance the ring
+// and verify the streaming cluster fronts still match a fresh batch
+// recompute bitwise.
+TEST(Router, KillHomeServesStaleFromReplicaThenRebalances) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 3));
+
+  // Warm a spread of keys so every shard is home to some of them.
+  std::vector<int> keys;
+  for (int n = 100; n < 124; ++n) keys.push_back(n);
+  for (int n : keys) {
+    ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  }
+  const int coldStudies = engine->calls();
+  EXPECT_EQ(coldStudies, static_cast<int>(keys.size()));
+
+  // Pick a victim key and kill its home shard.
+  const int victimKey = keys.front();
+  const std::string victim = router.homeShard(Device::P100, victimKey);
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(router.killShard(victim));
+
+  // Keys homed on the dead shard are answered from the successor's
+  // replica, marked stale, with no new cold study.
+  int staleHits = 0;
+  for (int n : keys) {
+    if (router.homeShard(Device::P100, n) != victim) continue;
+    RouteDecision d;
+    const auto resp = router.tune(freq(n), &d);
+    ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+    EXPECT_TRUE(resp.stale);
+    EXPECT_TRUE(d.staleFallback);
+    EXPECT_NE(d.shardId, victim);
+    ++staleHits;
+  }
+  ASSERT_GT(staleHits, 0);  // 24 keys over 3 shards: some map to victim
+  EXPECT_EQ(engine->calls(), coldStudies);
+  EXPECT_EQ(router.metrics().staleFallbacks,
+            static_cast<std::uint64_t>(staleHits));
+
+  // Keys homed elsewhere are untouched by the kill.
+  for (int n : keys) {
+    if (router.homeShard(Device::P100, n) == victim) continue;
+    const auto resp = router.tune(freq(n));
+    ASSERT_EQ(resp.status, serve::Status::Ok);
+    EXPECT_FALSE(resp.stale);
+  }
+
+  // Rebalance: drop the dead shard's vnodes.  Its keys re-home and pay
+  // a fresh cold study on their new owner; the streaming cluster fronts
+  // must stay bitwise-identical to a batch recompute throughout.
+  ASSERT_TRUE(router.removeShardFromRing(victim));
+  for (int n : keys) {
+    EXPECT_NE(router.homeShard(Device::P100, n), victim);
+    ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  }
+  EXPECT_GT(engine->calls(), coldStudies);
+  EXPECT_TRUE(router.frontsConsistent());
+
+  // Recovery: revive and re-add; the partition returns to the original
+  // layout and the fronts remain consistent.
+  ASSERT_TRUE(router.reviveShard(victim));
+  ASSERT_TRUE(router.addShardToRing(victim));
+  EXPECT_EQ(router.homeShard(Device::P100, victimKey), victim);
+  for (int n : keys) {
+    ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  }
+  EXPECT_TRUE(router.frontsConsistent());
+  std::uint64_t inFlight = 0;
+  for (const auto& s : router.metrics().shards) inFlight += s.inFlight;
+  EXPECT_EQ(inFlight, 0u);
+}
+
+TEST(Router, AllShardsDeadIsAnErrorNotACrash) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  ASSERT_TRUE(router.killShard("s0"));
+  ASSERT_TRUE(router.killShard("s1"));
+  const auto resp = router.tune(freq(77));
+  EXPECT_EQ(resp.status, serve::Status::Error);
+  EXPECT_NE(resp.error.find("no live shard"), std::string::npos);
+  EXPECT_EQ(router.metrics().noCandidate, 1u);
+  EXPECT_FALSE(router.killShard("nope"));
+  EXPECT_FALSE(router.reviveShard("nope"));
+  EXPECT_FALSE(router.removeShardFromRing("nope"));
+  EXPECT_FALSE(router.addShardToRing("nope"));
+}
+
+TEST(Router, StudySweepRoutesToLeastLoadedAndAccountsEnergy) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  serve::StudyRequest sreq;
+  sreq.device = Device::K40c;
+  sreq.nBegin = 64;
+  sreq.nEnd = 256;
+  sreq.nStep = 64;
+  std::string shardId;
+  const auto resp = router.study(sreq, &shardId);
+  ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+  EXPECT_FALSE(shardId.empty());
+  EXPECT_EQ(engine->calls(), 4);
+  const auto m = router.metrics();
+  double joules = 0.0;
+  for (const auto& s : m.shards) joules += s.attributedJoules;
+  EXPECT_GT(joules, 0.0);
+  EXPECT_NEAR(joules, m.clusterJoules, 1e-9);
+  EXPECT_GT(m.configFrontSize, 0u);
+}
+
+// --- router: wire snapshot ---
+
+TEST(Router, WireSnapshotIsParseableFlatJson) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  ASSERT_EQ(router.tune(freq(321)).status, serve::Status::Ok);
+  const std::string line = router.renderWireSnapshot();
+  std::string err;
+  const auto obj = serve::wire::parseObject(line, &err);
+  ASSERT_TRUE(obj.has_value()) << err;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("policy").string, policyName(PolicyKind::EnergyAware));
+  EXPECT_EQ(obj->at("shards").number, 2.0);
+  EXPECT_EQ(obj->at("aliveShards").number, 2.0);
+  EXPECT_TRUE(obj->at("frontsConsistent").boolean);
+  EXPECT_EQ(obj->at("requests").number, 1.0);
+  ASSERT_TRUE(obj->count("shard.s0.completed"));
+  ASSERT_TRUE(obj->count("shard.s1.completed"));
+  EXPECT_EQ(obj->at("shard.s0.completed").number +
+                obj->at("shard.s1.completed").number,
+            1.0);
+}
+
+TEST(Wire, FleetOpDecodes) {
+  std::string err;
+  auto snap = serve::wire::decodeRequest(R"({"op":"fleet"})", &err);
+  ASSERT_TRUE(snap.has_value()) << err;
+  EXPECT_EQ(snap->op, serve::wire::WireRequest::Op::Fleet);
+  EXPECT_EQ(snap->fleetAction, "snapshot");
+
+  auto kill = serve::wire::decodeRequest(
+      R"({"op":"fleet","action":"kill","shard":"s1"})", &err);
+  ASSERT_TRUE(kill.has_value()) << err;
+  EXPECT_EQ(kill->fleetAction, "kill");
+  EXPECT_EQ(kill->fleetShard, "s1");
+
+  EXPECT_FALSE(serve::wire::decodeRequest(
+      R"({"op":"fleet","action":"explode","shard":"s1"})", &err));
+  EXPECT_FALSE(serve::wire::decodeRequest(
+      R"({"op":"fleet","action":"kill"})", &err));
+}
+
+TEST(Wire, AutoDeviceIsTuneOnly) {
+  std::string err;
+  auto tune = serve::wire::decodeRequest(
+      R"({"op":"tune","device":"auto","n":512,"maxDegradation":0.1})", &err);
+  ASSERT_TRUE(tune.has_value()) << err;
+  EXPECT_TRUE(tune->deviceAuto);
+
+  auto named = serve::wire::decodeRequest(
+      R"({"op":"tune","device":"p100","n":512,"maxDegradation":0.1})", &err);
+  ASSERT_TRUE(named.has_value()) << err;
+  EXPECT_FALSE(named->deviceAuto);
+
+  EXPECT_FALSE(serve::wire::decodeRequest(
+      R"({"op":"study","device":"auto","nBegin":64,"nEnd":128,"nStep":64})",
+      &err));
+  EXPECT_NE(err.find("tune-only"), std::string::npos);
+}
+
+// --- broker stale-replication primitives ---
+
+TEST(Broker, InstallStaleResultEnablesTuneFromStale) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  serve::BrokerOptions opts;
+  opts.threads = 1;
+  serve::Broker b(engine, opts);
+
+  serve::TuneRequest req;
+  req.device = Device::P100;
+  req.n = 640;
+  req.maxDegradation = 0.5;
+
+  // Nothing replicated yet: b has no stale answer.
+  EXPECT_FALSE(b.tuneFromStale(req).has_value());
+
+  // Replicate a finished study's result into b by hand (the router's
+  // onStudyExecuted hook does exactly this with the executor's result).
+  auto replica = std::make_shared<const core::WorkloadResult>(
+      engine->evaluate(req.device, req.n, nullptr));
+  b.installStaleResult(req.device, req.n, replica);
+
+  const auto stale = b.tuneFromStale(req);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_EQ(stale->status, serve::Status::Ok);
+  EXPECT_TRUE(stale->stale);
+  EXPECT_EQ(stale->report.staleServed, 1u);
+  // Served from the replica without executing anything on b.
+  EXPECT_EQ(engine->calls(), 1);  // only the evaluate() above
+
+  // Invalid inputs are refused, not asserted on.
+  serve::TuneRequest bad = req;
+  bad.n = -1;
+  EXPECT_FALSE(b.tuneFromStale(bad).has_value());
+}
+
+// --- concurrency storm (the TSan acceptance target) ---
+
+TEST(Router, ConcurrentMixedTrafficWithKillAndRebalance) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 3));
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 40;
+  std::atomic<int> okCount{0};
+  std::atomic<int> errCount{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Skewed key mix over both devices; some requests run "auto".
+        FleetRequest r;
+        const int pick = (t * kPerThread + i) % 10;
+        r.n = 50 + (pick < 8 ? pick % 3 : pick) * 37;
+        r.maxDegradation = 0.5;
+        if (pick == 9) {
+          r.device.reset();
+        } else {
+          r.device = pick % 2 == 0 ? Device::P100 : Device::K40c;
+        }
+        const auto resp = router.tune(r);
+        (resp.status == serve::Status::Ok ? okCount : errCount)
+            .fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  // Admin churn concurrent with traffic: kill/rebalance/revive one
+  // shard while the clients hammer the other two.
+  std::thread admin([&] {
+    router.killShard("s2");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    router.removeShardFromRing("s2");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    router.addShardToRing("s2");
+    router.reviveShard("s2");
+  });
+  for (auto& c : clients) c.join();
+  admin.join();
+
+  // Every request resolved: stale answers and re-executions both count
+  // as Ok; nothing may error (two shards always stayed alive).
+  EXPECT_EQ(okCount.load(), kThreads * kPerThread);
+  EXPECT_EQ(errCount.load(), 0);
+  const auto m = router.metrics();
+  std::uint64_t inFlight = 0;
+  std::uint64_t completed = 0;
+  for (const auto& s : m.shards) {
+    inFlight += s.inFlight;
+    completed += s.completed;
+  }
+  EXPECT_EQ(inFlight, 0u);
+  EXPECT_EQ(completed, static_cast<std::uint64_t>(okCount.load()));
+  EXPECT_TRUE(router.frontsConsistent());
+  router.shutdown();  // idempotent; the destructor calls it again
+}
+
+// Construction-time validation.
+TEST(Router, ConstructorValidatesConfiguration) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  EXPECT_THROW(FleetRouter({}, {}), PreconditionError);
+  {
+    auto cfgs = shardConfigs(engine, 2);
+    cfgs[1].id = cfgs[0].id;
+    EXPECT_THROW(FleetRouter(std::move(cfgs), {}), PreconditionError);
+  }
+  {
+    auto cfgs = shardConfigs(engine, 1);
+    cfgs[0].engine = nullptr;
+    EXPECT_THROW(FleetRouter(std::move(cfgs), {}), PreconditionError);
+  }
+  {
+    auto cfgs = shardConfigs(engine, 1);
+    cfgs[0].devices.clear();
+    EXPECT_THROW(FleetRouter(std::move(cfgs), {}), PreconditionError);
+  }
+  {
+    FleetOptions opts;
+    opts.ewmaAlpha = 0.0;
+    EXPECT_THROW(FleetRouter(shardConfigs(engine, 1), opts),
+                 PreconditionError);
+  }
+}
+
+}  // namespace
+}  // namespace ep::fleet

@@ -10,6 +10,7 @@
 #include "common/rng.hpp"
 #include "pareto/front.hpp"
 #include "pareto/point.hpp"
+#include "pareto/streaming_front.hpp"
 #include "pareto/tradeoff.hpp"
 
 namespace ep::pareto {
@@ -257,6 +258,86 @@ TEST(LocalFront, EveryLevelMatchesFullSort) {
     for (std::size_t i = 0; i < lf.size(); ++i) {
       EXPECT_EQ(lf[i].configId, fronts[k - 1][i].configId);
     }
+  }
+}
+
+// --- streaming front ---
+
+void expectBitwiseEqual(const std::vector<BiPoint>& got,
+                        const std::vector<BiPoint>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, want[i].time) << "index " << i;
+    EXPECT_EQ(got[i].energy, want[i].energy) << "index " << i;
+    EXPECT_EQ(got[i].configId, want[i].configId) << "index " << i;
+  }
+}
+
+TEST(StreamingFront, BasicInsertSemantics) {
+  StreamingFront f;
+  EXPECT_TRUE(f.empty());
+  EXPECT_TRUE(f.insert(mk(2, 2, 0)));
+  EXPECT_FALSE(f.insert(mk(3, 3, 1)));  // dominated: rejected
+  EXPECT_TRUE(f.insert(mk(1, 4, 2)));   // tradeoff: joins
+  EXPECT_TRUE(f.insert(mk(1, 1, 3)));   // dominates both: evicts (2,2)
+  const auto snap = f.snapshot();
+  ASSERT_EQ(snap.size(), 1u);
+  EXPECT_EQ(snap[0].configId, 3u);
+}
+
+TEST(StreamingFront, KeepsDuplicateObjectivePoints) {
+  // paretoFront keeps every copy of a duplicate-objective point; the
+  // streaming front must agree bitwise.
+  StreamingFront f;
+  EXPECT_TRUE(f.insert(mk(1, 1, 0)));
+  EXPECT_TRUE(f.insert(mk(1, 1, 1)));
+  EXPECT_FALSE(f.insert(mk(2, 2, 2)));
+  expectBitwiseEqual(f.snapshot(),
+                     paretoFront({mk(1, 1, 0), mk(1, 1, 1), mk(2, 2, 2)}));
+}
+
+// Satellite property: 120 random clouds (smooth and coarse-grid, the
+// latter forcing single-objective ties and exact duplicates); after
+// every prefix the streaming front is bitwise-identical to the batch
+// recompute, and insert()'s return value tells whether the point
+// joined the front.
+TEST(StreamingFrontProperty, MatchesBatchFrontOnRandomClouds) {
+  Rng rng(20260809);
+  for (int trial = 0; trial < 120; ++trial) {
+    const bool coarse = trial % 2 == 1;
+    const int n = 1 + static_cast<int>(rng.uniformInt(0, 90));
+    std::vector<BiPoint> pts;
+    for (int i = 0; i < n; ++i) {
+      if (coarse) {
+        pts.push_back(mk(static_cast<double>(rng.uniformInt(1, 5)),
+                         static_cast<double>(rng.uniformInt(1, 5)),
+                         static_cast<std::uint64_t>(i)));
+      } else {
+        pts.push_back(mk(rng.uniform(1.0, 10.0), rng.uniform(1.0, 10.0),
+                         static_cast<std::uint64_t>(i)));
+      }
+    }
+    StreamingFront streaming;
+    std::vector<BiPoint> prefix;
+    for (const auto& p : pts) {
+      const bool joined = streaming.insert(p);
+      prefix.push_back(p);
+      const auto batch = paretoFront(prefix);
+      const bool inBatch = std::any_of(
+          batch.begin(), batch.end(), [&p](const BiPoint& b) {
+            return b.configId == p.configId && b.time == p.time &&
+                   b.energy == p.energy;
+          });
+      EXPECT_EQ(joined, inBatch) << "trial " << trial;
+      expectBitwiseEqual(streaming.snapshot(), batch);
+      // The first level of the full sort is the same front.
+      if (prefix.size() == pts.size()) {
+        expectBitwiseEqual(streaming.snapshot(),
+                           nonDominatedSort(prefix)[0]);
+      }
+    }
+    streaming.clear();
+    EXPECT_TRUE(streaming.empty());
   }
 }
 

@@ -570,6 +570,57 @@ TEST(Broker, TraceContextPropagatesOntoBrokerWorkers) {
   obs::Tracer::global().clear();
 }
 
+// Regression: a coalesced follower's completion used to run under the
+// *owner's* thread-local trace context (the owner's worker fulfills
+// every waiter), so follower completions were attributed to the wrong
+// trace.  The broker now stamps the submitter's context into the job
+// and re-installs it around completion.
+TEST(Broker, CoalescedFollowerCompletionKeepsItsOwnTrace) {
+  obs::Tracer::global().clear();
+  obs::Tracer::global().setEnabled(true);
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+
+  constexpr std::uint64_t kOwnerTrace = 0xA11CEu;
+  constexpr std::uint64_t kFollowerTrace = 0xB0Bu;
+  {
+    BrokerOptions opts;
+    opts.threads = 1;  // one worker: the second request must coalesce
+    Broker broker(engine, opts);
+
+    std::future<TuneResponse> owner;
+    {
+      obs::ScopedTraceContext scope(obs::TraceContext{kOwnerTrace, 0u});
+      owner = broker.submitTune(tuneReq(640));
+    }
+    engine->waitEntered();  // owner study is now in flight
+
+    std::future<TuneResponse> follower;
+    {
+      obs::ScopedTraceContext scope(obs::TraceContext{kFollowerTrace, 0u});
+      follower = broker.submitTune(tuneReq(640));
+    }
+    engine->release();
+    EXPECT_EQ(owner.get().status, Status::Ok);
+    const auto resp = follower.get();
+    EXPECT_EQ(resp.status, Status::Ok);
+    EXPECT_EQ(resp.report.coalesced, 1u);
+  }
+  obs::Tracer::global().setEnabled(false);
+
+  bool ownerCompletion = false;
+  bool followerCompletion = false;
+  for (const auto& e : obs::Tracer::global().snapshot()) {
+    if (std::string(e.name) != "serve/complete_tune") continue;
+    if (e.traceId == kOwnerTrace) ownerCompletion = true;
+    if (e.traceId == kFollowerTrace) followerCompletion = true;
+    // No completion may leak onto an unrelated trace.
+    EXPECT_TRUE(e.traceId == kOwnerTrace || e.traceId == kFollowerTrace);
+  }
+  EXPECT_TRUE(ownerCompletion);
+  EXPECT_TRUE(followerCompletion);
+  obs::Tracer::global().clear();
+}
+
 // --- deadlines, backpressure, shutdown ---
 
 TEST(Broker, ExpiredQueuedRequestIsRejected) {

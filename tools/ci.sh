@@ -65,6 +65,44 @@ PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")
 kill "${SERVED_PID}" 2>/dev/null || true
 wait "${SERVED_PID}" 2>/dev/null || true
 trap - EXIT
+
+echo "== epfleetd smoke: shard kill -> stale serve -> clean recovery =="
+# Three in-process shards behind the energy-aware router.  Warm a key
+# spread, kill one shard, and require at least one wire response served
+# from the replica (flagged "stale":true); after revival fleetcheck
+# --check must see every shard alive and the cluster fronts consistent.
+./build/tools/fleetcheck
+./build/tools/epfleetd --port 0 --shards 3 >"${SMOKE_LOG}" 2>&1 &
+FLEETD_PID=$!
+trap 'kill "${FLEETD_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${SMOKE_LOG}" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")"
+[[ -n "${PORT}" ]] || { echo "epfleetd did not start"; cat "${SMOKE_LOG}"; exit 1; }
+FLEET_NS="256 320 384 448 512 576 640 704"
+for N in ${FLEET_NS}; do
+  ./build/tools/epserve_client --port "${PORT}" \
+    --raw "{\"op\":\"tune\",\"device\":\"p100\",\"n\":${N},\"maxDegradation\":0.11}" \
+    >/dev/null
+done
+./build/tools/epserve_client --port "${PORT}" \
+  --raw '{"op":"fleet","action":"kill","shard":"s1"}' >/dev/null
+STALE=0
+for N in ${FLEET_NS}; do
+  ./build/tools/epserve_client --port "${PORT}" \
+    --raw "{\"op\":\"tune\",\"device\":\"p100\",\"n\":${N},\"maxDegradation\":0.11}" \
+    | grep -q '"stale":true' && STALE=$((STALE + 1))
+done
+[[ "${STALE}" -ge 1 ]] || { echo "expected stale-served responses after shard kill, got ${STALE}"; exit 1; }
+echo "stale-served responses after kill: ${STALE}"
+./build/tools/epserve_client --port "${PORT}" \
+  --raw '{"op":"fleet","action":"revive","shard":"s1"}' >/dev/null
+./build/tools/fleetcheck --port "${PORT}" --check
+kill "${FLEETD_PID}" 2>/dev/null || true
+wait "${FLEETD_PID}" 2>/dev/null || true
+trap - EXIT
 rm -f "${SMOKE_LOG}"
 
 if [[ "${FAST}" == "1" ]]; then
@@ -79,15 +117,17 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs \
-  test_apps
+  test_apps test_fleet
 # halt_on_error: any reported race fails the run, not just the exit
 # status of the last test.  test_apps covers the parallel study engine
 # (pool-backed runWorkload/runSweep, nested parallelFor); test_serve
-# covers study jobs that re-enter the broker's own pool.
+# covers study jobs that re-enter the broker's own pool; test_fleet the
+# router's lock-free scoring path under concurrent admin churn.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_common
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_apps
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_fleet
 
 echo "== ASan+UBSan: fault injection + robust measurement + wire parser =="
 cmake -B build-asan -S . \
@@ -96,15 +136,17 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
-  test_serve test_core test_obs
+  test_serve test_core test_obs test_fleet
 # detect_leaks flushes out meter/journal ownership bugs; the fault tests
 # exercise every injected-corruption branch, the serve tests the
 # malformed-frame corpus, test_core the checkpoint journal I/O, test_obs
-# the byte-copied flight-recorder ring and the trace/metrics encoders.
+# the byte-copied flight-recorder ring and the trace/metrics encoders,
+# test_fleet the ring copy-on-write swaps and stale-replica ownership.
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fault
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_power
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_serve
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_core
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_obs
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fleet
 
 echo "== ci.sh: all green =="

@@ -1,0 +1,332 @@
+// epfleetd — the epfleet TCP frontend: N broker shards behind one
+// energy-aware router, speaking the same line-delimited-JSON protocol
+// as epserved (see serve/wire.hpp) plus the fleet vocabulary:
+//
+//   {"op":"tune","device":"auto","n":10240,"maxDegradation":0.11}
+//   {"op":"fleet"}                                  — cluster snapshot
+//   {"op":"fleet","action":"kill","shard":"s1"}     — drill operations
+//   {"op":"fleet","action":"revive","shard":"s1"}
+//   {"op":"fleet","action":"remove","shard":"s1"}   — ring rebalance
+//   {"op":"fleet","action":"add","shard":"s1"}
+//
+// "device":"auto" lets the router place the workload on the cheaper
+// device by its EWMA cold-study price table.  The fleet snapshot
+// carries per-shard gauges, cluster energy, both cluster Pareto front
+// sizes, and frontsConsistent (streaming fronts vs batch recompute).
+//
+// The shards are in-process broker replicas sharing one deterministic
+// engine (same seed => same tuning hash, so a replica resurrected from
+// a peer's stale store answers for the same cache identity).  --port 0
+// picks an ephemeral port; the chosen one is printed either way.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+std::atomic<int> gListenFd{-1};
+
+void handleStopSignal(int) {
+  // Closing the listener unblocks accept(); the main loop drains.
+  const int fd = gListenFd.exchange(-1);
+  if (fd >= 0) close(fd);
+}
+
+class FdRegistry {
+ public:
+  void add(int fd) {
+    std::lock_guard lk(mu_);
+    fds_.push_back(fd);
+  }
+  void remove(int fd) {
+    std::lock_guard lk(mu_);
+    std::erase(fds_, fd);
+  }
+  void shutdownAll() {
+    std::lock_guard lk(mu_);
+    for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+
+ private:
+  std::mutex mu_;
+  std::vector<int> fds_;
+};
+
+struct Args {
+  std::uint16_t port = 7071;
+  std::size_t shards = 3;
+  std::size_t threads = 2;  // broker workers per shard
+  std::size_t queue = 64;
+  std::size_t cache = 128;
+  std::string policy = "energy";
+  std::size_t vnodes = 64;
+  std::uint64_t seed = 0xEB5EEDULL;
+  bool meter = false;
+  bool tracing = false;
+};
+
+bool parseArgs(int argc, char** argv, Args* out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--port") {
+      const char* v = next();
+      if (!v) return false;
+      out->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (a == "--shards") {
+      const char* v = next();
+      if (!v) return false;
+      out->shards = static_cast<std::size_t>(std::stoul(v));
+      if (out->shards == 0) return false;
+    } else if (a == "--threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->threads = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--queue") {
+      const char* v = next();
+      if (!v) return false;
+      out->queue = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--cache") {
+      const char* v = next();
+      if (!v) return false;
+      out->cache = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--policy") {
+      const char* v = next();
+      if (!v) return false;
+      out->policy = v;
+    } else if (a == "--vnodes") {
+      const char* v = next();
+      if (!v) return false;
+      out->vnodes = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--seed") {
+      const char* v = next();
+      if (!v) return false;
+      out->seed = std::stoull(v);
+    } else if (a == "--meter") {
+      out->meter = true;
+    } else if (a == "--tracing") {
+      out->tracing = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string handleFleetOp(ep::fleet::FleetRouter& router,
+                          const ep::serve::wire::WireRequest& req) {
+  if (req.fleetAction == "snapshot") return router.renderWireSnapshot();
+  bool ok = false;
+  if (req.fleetAction == "kill") {
+    ok = router.killShard(req.fleetShard);
+  } else if (req.fleetAction == "revive") {
+    ok = router.reviveShard(req.fleetShard);
+  } else if (req.fleetAction == "remove") {
+    ok = router.removeShardFromRing(req.fleetShard);
+  } else if (req.fleetAction == "add") {
+    ok = router.addShardToRing(req.fleetShard);
+  }
+  if (!ok) {
+    return ep::serve::wire::encodeError("unknown shard \"" + req.fleetShard +
+                                        "\"");
+  }
+  ep::serve::wire::ObjectWriter w;
+  w.add("status", "ok")
+      .add("action", req.fleetAction)
+      .add("shard", req.fleetShard);
+  return w.str();
+}
+
+void serveConnection(int fd, ep::fleet::FleetRouter& router) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    if (buffer.find('\n') == std::string::npos &&
+        buffer.size() > ep::serve::wire::kMaxFrameBytes) {
+      const std::string reply =
+          ep::serve::wire::encodeError("frame too large") + "\n";
+      (void)send(fd, reply.data(), reply.size(), 0);
+      break;
+    }
+    std::size_t nl;
+    while ((nl = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, nl);
+      buffer.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+
+      std::string response;
+      std::string error;
+      const auto req = ep::serve::wire::decodeRequest(line, &error);
+      if (!req) {
+        response = ep::serve::wire::encodeError(error);
+      } else {
+        switch (req->op) {
+          case ep::serve::wire::WireRequest::Op::Tune: {
+            ep::obs::TraceContext root;
+            root.traceId = ep::obs::traceIdFromString(req->traceId);
+            ep::obs::ScopedTraceContext traceScope(root);
+            ep::obs::Span span("fleet/request");
+            ep::fleet::FleetRequest freq;
+            if (!req->deviceAuto) freq.device = req->tune.device;
+            freq.n = req->tune.n;
+            freq.maxDegradation = req->tune.maxDegradation;
+            freq.deadlineMs = req->tune.deadlineMs;
+            response = ep::serve::wire::encodeTuneResponse(
+                router.tune(freq), req->traceId, req->report);
+            break;
+          }
+          case ep::serve::wire::WireRequest::Op::Study: {
+            ep::obs::TraceContext root;
+            root.traceId = ep::obs::traceIdFromString(req->traceId);
+            ep::obs::ScopedTraceContext traceScope(root);
+            ep::obs::Span span("fleet/request");
+            response = ep::serve::wire::encodeStudyResponse(
+                router.study(req->study), req->traceId, req->report);
+            break;
+          }
+          case ep::serve::wire::WireRequest::Op::Metrics:
+            if (req->prometheus) {
+              response = ep::serve::wire::encodeTextBody(
+                  ep::obs::Registry::global().renderPrometheus());
+            } else {
+              // The cluster snapshot is the fleet's metrics surface.
+              response = router.renderWireSnapshot();
+            }
+            break;
+          case ep::serve::wire::WireRequest::Op::Trace:
+            response = ep::serve::wire::encodeTextBody(
+                ep::obs::Tracer::global().exportChromeTrace());
+            break;
+          case ep::serve::wire::WireRequest::Op::Events:
+            response = ep::serve::wire::encodeError(
+                "events live on epserved (fleet shards are in-process)");
+            break;
+          case ep::serve::wire::WireRequest::Op::Fleet:
+            response = handleFleetOp(router, *req);
+            break;
+        }
+      }
+      response += '\n';
+      std::size_t sent = 0;
+      while (sent < response.size()) {
+        const ssize_t n =
+            send(fd, response.data() + sent, response.size() - sent, 0);
+        if (n <= 0) return;
+        sent += static_cast<std::size_t>(n);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr << "usage: epfleetd [--port P] [--shards N] [--threads T]"
+                 " [--queue Q] [--cache C] [--policy rr|queue|energy]"
+                 " [--vnodes V] [--seed S] [--meter] [--tracing]\n";
+    return 2;
+  }
+  const auto policy = ep::fleet::parsePolicy(args.policy);
+  if (!policy) {
+    std::cerr << "epfleetd: unknown policy \"" << args.policy << "\"\n";
+    return 2;
+  }
+  if (args.tracing) ep::obs::Tracer::global().setEnabled(true);
+
+  ep::serve::EpStudyEngineOptions engineOpts;
+  engineOpts.useMeter = args.meter;
+  engineOpts.seed = args.seed;
+  // One shared deterministic engine: every shard computes the same
+  // result for a key, which is what makes stale replicas equivalent.
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>(engineOpts);
+
+  std::vector<ep::fleet::FleetShardConfig> shards;
+  shards.reserve(args.shards);
+  for (std::size_t i = 0; i < args.shards; ++i) {
+    ep::fleet::FleetShardConfig cfg;
+    cfg.id = "s" + std::to_string(i);
+    cfg.engine = engine;
+    cfg.broker.threads = args.threads;
+    cfg.broker.queueCapacity = args.queue;
+    cfg.broker.cacheCapacity = args.cache;
+    shards.push_back(std::move(cfg));
+  }
+  ep::fleet::FleetOptions fleetOpts;
+  fleetOpts.policy = *policy;
+  fleetOpts.virtualNodes = args.vnodes;
+  ep::fleet::FleetRouter router(std::move(shards), fleetOpts);
+
+  const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
+  if (listenFd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  const int one = 1;
+  setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(args.port);
+  if (bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(listenFd, 64) < 0) {
+    std::perror("bind/listen");
+    close(listenFd);
+    return 1;
+  }
+  socklen_t len = sizeof addr;
+  getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len);
+  std::cout << "epfleetd listening on 127.0.0.1:" << ntohs(addr.sin_port)
+            << " (shards=" << args.shards << " threads=" << args.threads
+            << " policy=" << ep::fleet::policyName(*policy)
+            << " vnodes=" << args.vnodes
+            << " meter=" << (args.meter ? "on" : "off") << ")" << std::endl;
+
+  gListenFd.store(listenFd);
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+
+  FdRegistry registry;
+  std::vector<std::thread> connections;
+  for (;;) {
+    const int fd = accept(listenFd, nullptr, nullptr);
+    if (fd < 0) break;  // listener closed by the signal handler
+    registry.add(fd);
+    connections.emplace_back([fd, &router, &registry] {
+      serveConnection(fd, router);
+      registry.remove(fd);
+      close(fd);
+    });
+  }
+
+  std::cout << "epfleetd: draining..." << std::endl;
+  router.shutdown();
+  registry.shutdownAll();
+  for (auto& t : connections) t.join();
+  std::cout << router.renderWireSnapshot() << std::endl;
+  return 0;
+}

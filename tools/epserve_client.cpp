@@ -4,7 +4,7 @@
 //   epserve_client [--host H] [--port P] [--requests R] [--connections C]
 //                  [--device p100|k40c] [--n N[,N...]] [--budget B]
 //                  [--deadline-ms D] [--study BEGIN:END:STEP] [--metrics]
-//                  [--trace-id ID] [--report]
+//                  [--trace-id ID] [--report] [--raw '<json line>']
 //
 // Default mode sends `--requests` tune requests per connection, cycling
 // through the `--n` workload list, and reports client-side latency
@@ -17,6 +17,11 @@
 // summed attributed joules — over any request mix this equals the
 // energy of the studies actually executed, regardless of cache hits
 // and coalescing.
+//
+// --raw sends one verbatim request line and prints the response line —
+// the escape hatch for ops the flag surface doesn't cover (epfleetd's
+// {"op":"fleet",...} drill actions, "device":"auto" tunes).  Exits 0
+// iff the response says status ok.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -52,6 +57,7 @@ struct Args {
   bool metrics = false;
   std::string traceId;
   bool report = false;
+  std::string raw;
 };
 
 std::vector<int> parseIntList(const std::string& s) {
@@ -99,6 +105,8 @@ bool parseArgs(int argc, char** argv, Args* a) {
       a->traceId = v;
     } else if (arg == "--report") {
       a->report = true;
+    } else if (arg == "--raw" && (v = next())) {
+      a->raw = v;
     } else {
       return false;
     }
@@ -228,6 +236,28 @@ int main(int argc, char** argv) {
            "         [--budget B] [--deadline-ms D] [--study B:E:S]"
            " [--metrics]\n";
     return 2;
+  }
+
+  if (!args.raw.empty()) {
+    Connection conn;
+    if (!conn.open(args.host, args.port)) {
+      std::cerr << "connect failed\n";
+      return 1;
+    }
+    std::string response;
+    if (!conn.roundTrip(args.raw, &response)) {
+      std::cerr << "raw request failed\n";
+      return 1;
+    }
+    std::cout << response << "\n";
+    std::string err;
+    const auto obj = ep::serve::wire::parseObject(response, &err);
+    bool ok = false;
+    if (obj) {
+      const auto st = obj->find("status");
+      ok = st != obj->end() && st->second.string == "ok";
+    }
+    return ok ? 0 : 1;
   }
 
   if (args.study) {

@@ -189,6 +189,12 @@ void serveConnection(int fd, ep::serve::Broker& broker,
       } else {
         switch (req->op) {
           case ep::serve::wire::WireRequest::Op::Tune: {
+            if (req->deviceAuto) {
+              // Device selection needs the fleet's price table.
+              response = ep::serve::wire::encodeError(
+                  "\"auto\" device needs a fleet server (epfleetd)");
+              break;
+            }
             // Run the request under the caller's trace: the root span
             // and everything the broker hands to pool workers carry it.
             ep::obs::TraceContext root;
@@ -240,6 +246,10 @@ void serveConnection(int fd, ep::serve::Broker& broker,
                 watchdog->recorder().dropped(), body);
             break;
           }
+          case ep::serve::wire::WireRequest::Op::Fleet:
+            response = ep::serve::wire::encodeError(
+                "fleet ops need a fleet server (epfleetd)");
+            break;
         }
       }
       response += '\n';

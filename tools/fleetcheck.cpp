@@ -1,0 +1,255 @@
+// fleetcheck — end-to-end drill for the epfleet layer.
+//
+// Default mode runs the whole fault story in-process against the real
+// EpStudyEngine and exits non-zero on the first broken invariant:
+//
+//   1. warm a spread of keys across a 3-shard fleet (energy-aware
+//      routing lands every key on its ring home; each key pays its
+//      cold study exactly once cluster-wide);
+//   2. kill a warm key's home shard and verify the ring successor
+//      answers from the replicated stale store, flagged stale, with
+//      no new cold study;
+//   3. rebalance the ring (drop the dead shard's vnodes), re-drive
+//      the traffic, and verify the streaming cluster Pareto fronts
+//      are still bitwise-identical to a fresh batch recompute;
+//   4. revive + re-add the shard and verify the partition returns to
+//      the original layout and fronts stay consistent.
+//
+// With --port P --check it instead connects to a running epfleetd,
+// fetches {"op":"fleet"} and asserts a clean recovered state: status
+// ok, every shard alive, and frontsConsistent true.  tools/ci.sh runs
+// the drill both ways (in-process, and over the wire after a scripted
+// kill/revive).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/router.hpp"
+#include "serve/engine.hpp"
+#include "serve/wire.hpp"
+
+namespace {
+
+using ep::fleet::FleetOptions;
+using ep::fleet::FleetRequest;
+using ep::fleet::FleetRouter;
+using ep::fleet::FleetShardConfig;
+using ep::fleet::RouteDecision;
+using ep::serve::Device;
+
+int gFailures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+  if (!ok) ++gFailures;
+}
+
+FleetRequest freq(int n, Device d = Device::P100) {
+  FleetRequest r;
+  r.device = d;
+  r.n = n;
+  r.maxDegradation = 0.11;
+  return r;
+}
+
+int runDrill() {
+  std::printf("== fleetcheck: shard-kill / stale-serve / rebalance drill ==\n");
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+  std::vector<FleetShardConfig> cfgs;
+  for (int i = 0; i < 3; ++i) {
+    FleetShardConfig c;
+    c.id = "s" + std::to_string(i);
+    c.engine = engine;
+    c.broker.threads = 2;
+    c.broker.queueCapacity = 128;
+    cfgs.push_back(std::move(c));
+  }
+  FleetRouter router(std::move(cfgs), FleetOptions{});
+
+  // 1. Warm: small sizes keep the real studies fast; 16 keys over 3
+  // shards make every shard home to several.
+  std::printf("-- warm --\n");
+  std::vector<int> keys;
+  for (int n = 512; n < 512 + 16 * 64; n += 64) keys.push_back(n);
+  bool warmOk = true;
+  bool allHome = true;
+  for (int n : keys) {
+    RouteDecision d;
+    const auto resp = router.tune(freq(n), &d);
+    warmOk = warmOk && resp.status == ep::serve::Status::Ok && !resp.stale;
+    allHome = allHome && d.home;
+  }
+  check(warmOk, "all warm requests served fresh");
+  check(allHome, "energy-aware routing landed every key on its ring home");
+  auto m = router.metrics();
+  std::uint64_t executed = 0;
+  for (const auto& s : m.shards) executed += s.studiesExecuted;
+  check(executed == keys.size(), "each key paid its cold study exactly once");
+  check(router.frontsConsistent(), "cluster fronts consistent after warm");
+
+  // 2. Kill a warm key's home; its keys must be stale-served by the
+  // replica holder with no new studies.
+  const std::string victim = router.homeShard(Device::P100, keys.front());
+  std::printf("-- kill %s --\n", victim.c_str());
+  check(router.killShard(victim), "killShard(" + victim + ")");
+  int staleServed = 0;
+  bool staleOk = true;
+  for (int n : keys) {
+    if (router.homeShard(Device::P100, n) != victim) continue;
+    RouteDecision d;
+    const auto resp = router.tune(freq(n), &d);
+    staleOk = staleOk && resp.status == ep::serve::Status::Ok && resp.stale &&
+              d.staleFallback && d.shardId != victim;
+    ++staleServed;
+  }
+  check(staleServed > 0, "victim was home to at least one warm key");
+  check(staleOk, "dead home's keys answered stale from the replica");
+  m = router.metrics();
+  std::uint64_t executedAfterKill = 0;
+  for (const auto& s : m.shards) executedAfterKill += s.studiesExecuted;
+  check(executedAfterKill == executed, "stale serving executed no new study");
+
+  // 3. Rebalance: the dead shard leaves the ring; its keys re-home and
+  // re-execute, and the streaming fronts must match a batch recompute.
+  std::printf("-- rebalance (remove %s from ring) --\n", victim.c_str());
+  check(router.removeShardFromRing(victim), "removeShardFromRing");
+  bool rehomed = true;
+  bool rebalanceOk = true;
+  for (int n : keys) {
+    rehomed = rehomed && router.homeShard(Device::P100, n) != victim;
+    const auto resp = router.tune(freq(n));
+    rebalanceOk = rebalanceOk && resp.status == ep::serve::Status::Ok;
+  }
+  check(rehomed, "no key homes on the removed shard");
+  check(rebalanceOk, "all keys served after rebalance");
+  check(router.frontsConsistent(),
+        "streaming fronts bitwise-match batch recompute after rebalance");
+
+  // 4. Recover: revive, re-add, and the original partition returns.
+  std::printf("-- recover --\n");
+  check(router.reviveShard(victim), "reviveShard");
+  check(router.addShardToRing(victim), "addShardToRing");
+  check(router.homeShard(Device::P100, keys.front()) == victim,
+        "re-added shard owns its original keys again");
+  bool recoverOk = true;
+  for (int n : keys) {
+    recoverOk =
+        recoverOk && router.tune(freq(n)).status == ep::serve::Status::Ok;
+  }
+  check(recoverOk, "all keys served after recovery");
+  check(router.frontsConsistent(), "cluster fronts consistent after recovery");
+  m = router.metrics();
+  std::uint64_t inFlight = 0;
+  for (const auto& s : m.shards) inFlight += s.inFlight;
+  check(inFlight == 0, "no request left in flight");
+  check(m.noCandidate == 0, "no request ever lacked a live shard");
+
+  std::printf("== fleetcheck: %s ==\n",
+              gFailures == 0 ? "all checks passed" : "FAILURES");
+  return gFailures == 0 ? 0 : 1;
+}
+
+// --check mode: assert a running epfleetd reports a clean state.
+int runRemoteCheck(const std::string& host, std::uint16_t port) {
+  std::printf("== fleetcheck --check against %s:%u ==\n", host.c_str(), port);
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    std::perror("connect");
+    close(fd);
+    return 1;
+  }
+  const std::string request = "{\"op\":\"fleet\"}\n";
+  if (send(fd, request.data(), request.size(), 0) <= 0) {
+    std::perror("send");
+    close(fd);
+    return 1;
+  }
+  std::string buffer;
+  char chunk[4096];
+  std::size_t nl;
+  while ((nl = buffer.find('\n')) == std::string::npos) {
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(fd);
+  nl = buffer.find('\n');
+  if (nl == std::string::npos) {
+    std::fprintf(stderr, "no response line\n");
+    return 1;
+  }
+  std::string error;
+  const auto obj =
+      ep::serve::wire::parseObject(buffer.substr(0, nl), &error);
+  if (!obj) {
+    std::fprintf(stderr, "bad snapshot: %s\n", error.c_str());
+    return 1;
+  }
+  auto num = [&](const std::string& key) {
+    const auto it = obj->find(key);
+    return it == obj->end() ? -1.0 : it->second.number;
+  };
+  const auto status = obj->find("status");
+  check(status != obj->end() && status->second.string == "ok",
+        "snapshot status ok");
+  check(num("shards") > 0, "snapshot lists shards");
+  check(num("aliveShards") == num("shards"), "every shard alive");
+  const auto consistent = obj->find("frontsConsistent");
+  check(consistent != obj->end() && consistent->second.boolean,
+        "cluster fronts consistent");
+  std::printf("== fleetcheck --check: %s ==\n",
+              gFailures == 0 ? "clean" : "FAILURES");
+  return gFailures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  bool remoteCheck = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    if (a == "--host") {
+      const char* v = next();
+      if (!v) return 2;
+      host = v;
+    } else if (a == "--port") {
+      const char* v = next();
+      if (!v) return 2;
+      port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (a == "--check") {
+      remoteCheck = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: fleetcheck            (in-process drill)\n"
+                   "       fleetcheck --port P [--host H] --check\n");
+      return 2;
+    }
+  }
+  if (remoteCheck) {
+    if (port == 0) {
+      std::fprintf(stderr, "--check needs --port\n");
+      return 2;
+    }
+    return runRemoteCheck(host, port);
+  }
+  return runDrill();
+}
