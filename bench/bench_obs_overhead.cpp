@@ -17,6 +17,7 @@
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 
 namespace {
 
@@ -113,6 +114,78 @@ void BM_ScopedContextInstall(benchmark::State& state) {
 }
 BENCHMARK(BM_ScopedContextInstall);
 
+// Exemplar-linked observe: the seqlock claim/publish on top of the
+// plain bucket RMW + sum CAS.
+void BM_HistogramObserveWithExemplar(benchmark::State& state) {
+  Registry registry;
+  Histogram& h = registry.histogram("bench_exemplar_ms", "bench",
+                                    {0.1, 1.0, 10.0, 100.0, 1000.0});
+  double v = 0.0;
+  std::uint64_t trace = 1;
+  for (auto _ : state) {
+    v += 0.7;
+    if (v > 2000.0) v = 0.0;
+    h.observe(v, ++trace);
+  }
+  benchmark::DoNotOptimize(h.count());
+}
+BENCHMARK(BM_HistogramObserveWithExemplar);
+
+// A registry with `series` counters plus a few histograms — roughly
+// what a whole broker federates at fleet scale.
+void populateRegistry(Registry& registry, int series) {
+  for (int i = 0; i < series; ++i) {
+    registry
+        .counter("bench_scrape_total", "bench",
+                 {{"worker", std::to_string(i)}})
+        .inc(static_cast<std::uint64_t>(i));
+  }
+  for (int i = 0; i < 8; ++i) {
+    Histogram& h = registry.histogram(
+        "bench_scrape_ms", "bench", {0.1, 1.0, 10.0, 100.0, 1000.0},
+        {{"worker", std::to_string(i)}});
+    for (int j = 0; j < 32; ++j) h.observe(0.3 * j);
+  }
+}
+
+// One full scrape — snapshot + tsdb ingest — at 1k series.  This is
+// the background cost the plane pays per interval, NOT a hot-path tax.
+void BM_ScrapeAt1kSeries(benchmark::State& state) {
+  Registry registry;
+  populateRegistry(registry, 1000);
+  ep::obs::TimeSeriesStore store;
+  std::int64_t now = 0;
+  ep::obs::Scraper::Options opts;
+  opts.clock = [&now] { return now += 1'000'000; };
+  ep::obs::Scraper scraper(
+      &store, [&registry] { return registry.snapshot(); }, opts);
+  for (auto _ : state) {
+    scraper.scrapeOnce();
+  }
+  benchmark::DoNotOptimize(store.seriesCount());
+}
+BENCHMARK(BM_ScrapeAt1kSeries);
+
+// Mutation cost while the background scraper is live on the same
+// registry: the hot path must not feel the scrape cadence.
+void BM_CounterIncScraperOn(benchmark::State& state) {
+  Registry registry;
+  populateRegistry(registry, 1000);
+  Counter& c = registry.counter("bench_hot_total", "bench");
+  ep::obs::TimeSeriesStore store;
+  ep::obs::Scraper::Options opts;
+  opts.intervalMs = 1;
+  ep::obs::Scraper scraper(
+      &store, [&registry] { return registry.snapshot(); }, opts);
+  scraper.start();
+  for (auto _ : state) {
+    c.inc();
+  }
+  scraper.stop();
+  benchmark::DoNotOptimize(c.value());
+}
+BENCHMARK(BM_CounterIncScraperOn);
+
 // --- BENCH_obs.json: the machine-readable overhead record ---
 
 using BenchClock = std::chrono::steady_clock;
@@ -170,6 +243,39 @@ void writeOverheadJson() {
         ScopedTraceContext scope(ctx);
         benchmark::DoNotOptimize(&scope);
       })));
+
+  {
+    Registry scrapeRegistry;
+    populateRegistry(scrapeRegistry, 1000);
+    ep::obs::TimeSeriesStore store;
+    std::int64_t now = 0;
+    ep::obs::Scraper::Options opts;
+    opts.clock = [&now] { return now += 1'000'000; };
+    ep::obs::Scraper scraper(
+        &store, [&scrapeRegistry] { return scrapeRegistry.snapshot(); },
+        opts);
+    records.push_back(record("scrape/1k_series", nsPerOp(2'000u, [&scraper] {
+      scraper.scrapeOnce();
+    })));
+  }
+
+  {
+    Registry hotRegistry;
+    populateRegistry(hotRegistry, 1000);
+    Counter& hot = hotRegistry.counter("bench_json_hot_total", "bench");
+    ep::obs::TimeSeriesStore store;
+    ep::obs::Scraper::Options opts;
+    opts.intervalMs = 1;
+    ep::obs::Scraper scraper(
+        &store, [&hotRegistry] { return hotRegistry.snapshot(); }, opts);
+    scraper.start();
+    records.push_back(
+        record("counter/inc_scraper_on", nsPerOp(20'000'000u, [&hot] {
+          hot.inc();
+        })));
+    scraper.stop();
+    benchmark::DoNotOptimize(hot.value());
+  }
 
   ep::bench::writeBenchJson("BENCH_obs.json", "obs_overhead", records);
   for (const auto& r : records) {

@@ -426,6 +426,10 @@ FleetMetrics FleetRouter::metrics() const {
     m.studiesExecuted = s->studiesExecuted.load(std::memory_order_relaxed);
     m.attributedJoules =
         bitsToDouble(s->joulesBits.load(std::memory_order_relaxed));
+    const serve::ServeMetrics sm = s->broker->metrics();
+    m.q50Ms = sm.latency.quantileUpperBoundMs(0.50);
+    m.q99Ms = sm.latency.quantileUpperBoundMs(0.99);
+    m.queueDepth = sm.queueDepth;
     out.clusterJoules += m.attributedJoules;
     out.shards.push_back(std::move(m));
   }
@@ -462,9 +466,36 @@ std::string FleetRouter::renderWireSnapshot() const {
         .add(prefix + "rejected", s.rejected)
         .add(prefix + "staleServed", s.staleServed)
         .add(prefix + "studiesExecuted", s.studiesExecuted)
-        .add(prefix + "attributedJoules", s.attributedJoules);
+        .add(prefix + "attributedJoules", s.attributedJoules)
+        .add(prefix + "q50Ms", s.q50Ms)
+        .add(prefix + "q99Ms", s.q99Ms)
+        .add(prefix + "queueDepth", s.queueDepth);
   }
   return w.str();
+}
+
+std::vector<std::pair<std::string, obs::RegistrySnapshot>>
+FleetRouter::shardSnapshots() const {
+  std::vector<std::pair<std::string, obs::RegistrySnapshot>> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    out.emplace_back(s->id, s->broker->snapshotRegistry());
+  }
+  return out;
+}
+
+obs::RegistrySnapshot FleetRouter::clusterSnapshot() const {
+  return obs::mergeShardSnapshots(shardSnapshots());
+}
+
+std::string FleetRouter::renderClusterMetrics(
+    obs::ExpositionFormat format) const {
+  return obs::renderExposition(clusterSnapshot(), format);
+}
+
+const serve::Broker* FleetRouter::shardBroker(const std::string& id) const {
+  const Shard* s = shardById(id);
+  return s == nullptr ? nullptr : s->broker.get();
 }
 
 std::vector<pareto::BiPoint> FleetRouter::configFront() const {

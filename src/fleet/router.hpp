@@ -47,6 +47,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "fleet/policy.hpp"
@@ -105,6 +106,11 @@ struct FleetShardMetrics {
   std::uint64_t staleServed = 0;
   std::uint64_t studiesExecuted = 0;
   double attributedJoules = 0.0;
+  // Instantaneous serving state, read from the shard broker at
+  // snapshot time: latency quantile upper bounds and queue depth.
+  double q50Ms = 0.0;
+  double q99Ms = 0.0;
+  std::uint64_t queueDepth = 0;
 };
 
 struct FleetMetrics {
@@ -154,6 +160,23 @@ class FleetRouter {
   [[nodiscard]] FleetMetrics metrics() const;
   // One-line flat-JSON body of the {"op":"fleet"} wire snapshot.
   [[nodiscard]] std::string renderWireSnapshot() const;
+
+  // Cluster metric federation: per-shard broker registry snapshots
+  // (shard id + RegistrySnapshot, dead shards included — their metrics
+  // still exist), and the merged cluster registry: counters summed,
+  // gauges labeled {shard="<id>"}, histograms bucket-merged.
+  [[nodiscard]] std::vector<std::pair<std::string, obs::RegistrySnapshot>>
+  shardSnapshots() const;
+  [[nodiscard]] obs::RegistrySnapshot clusterSnapshot() const;
+  // The federated registry rendered as a text exposition; every series
+  // from a shard-scoped merge keeps or gains its shard label upstream.
+  [[nodiscard]] std::string renderClusterMetrics(
+      obs::ExpositionFormat format) const;
+
+  // Read-only access to one shard's broker (nullptr for unknown ids):
+  // the daemon layer uses it to drain per-shard watchdog recorders for
+  // {"op":"events"} with shard tags.
+  [[nodiscard]] const serve::Broker* shardBroker(const std::string& id) const;
 
   // Cluster fronts (sorted by ascending time) and their oracle:
   // frontsConsistent() recomputes both fronts batch-style from the

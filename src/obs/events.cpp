@@ -87,8 +87,17 @@ std::vector<FlightEvent> FlightRecorder::snapshot(
 }
 
 std::string encodeFlightEventLine(const FlightEvent& e) {
+  return encodeFlightEventLine(e, "");
+}
+
+std::string encodeFlightEventLine(const FlightEvent& e,
+                                  const std::string& shard) {
   char buf[48];
   std::string out = "{\"seq\":" + std::to_string(e.seq);
+  if (!shard.empty()) {
+    out += ",\"shard\":";
+    appendJsonString(out, shard.c_str());
+  }
   out += ",\"timeNs\":" + std::to_string(e.timeNs);
   out += ",\"kind\":";
   appendJsonString(out, e.kind);

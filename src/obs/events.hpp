@@ -96,5 +96,9 @@ class FlightRecorder {
 // the {"op":"events"} wire response; parseable with the in-tree wire
 // parser).
 [[nodiscard]] std::string encodeFlightEventLine(const FlightEvent& e);
+// Same, tagged with the shard the recorder belongs to (fleet-scope
+// drains; a non-empty shard adds a "shard" field to the event line).
+[[nodiscard]] std::string encodeFlightEventLine(const FlightEvent& e,
+                                                const std::string& shard);
 
 }  // namespace ep::obs

@@ -40,6 +40,20 @@ namespace ep::obs {
 // verbatim; keep it stable per family).
 using Labels = std::vector<std::pair<std::string, std::string>>;
 
+// Public metric kind, shared by the registry internals and the
+// snapshot/federation layer below.
+enum class MetricKind { Counter, DoubleCounter, Gauge, Histogram };
+
+// A per-bucket exemplar: the most recent (trace id, observed value)
+// pair that landed in a histogram bucket.  Captured by a per-bucket
+// seqlock so observe() stays lock-free and readers never see a torn
+// pair; concurrent writers may skip (best-effort recency).
+struct Exemplar {
+  std::uint64_t traceId = 0;
+  double value = 0.0;
+  std::uint64_t seq = 0;  // process-wide recency order; 0 = never set
+};
+
 // Monotonically increasing event count.
 class Counter {
  public:
@@ -94,6 +108,10 @@ class Histogram {
   explicit Histogram(std::vector<double> upperBounds);
 
   void observe(double v);
+  // Observe and, when exemplarTraceId != 0, record the pair as the
+  // bucket's exemplar (lock-free best-effort: a writer that loses the
+  // seqlock claim simply skips — the bucket keeps a recent exemplar).
+  void observe(double v, std::uint64_t exemplarTraceId);
 
   [[nodiscard]] const std::vector<double>& upperBounds() const {
     return bounds_;
@@ -101,16 +119,100 @@ class Histogram {
   [[nodiscard]] std::size_t bucketCount() const { return bounds_.size() + 1; }
   // Non-cumulative count of bucket i (i == bounds().size() is +Inf).
   [[nodiscard]] std::uint64_t bucketValue(std::size_t i) const;
+  // The bucket's exemplar; seq == 0 when none was ever recorded (or a
+  // writer was mid-update on every read attempt).
+  [[nodiscard]] Exemplar exemplar(std::size_t i) const;
   [[nodiscard]] std::uint64_t count() const;
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
 
  private:
+  // Seqlock slot: version odd while a writer owns it.  All fields are
+  // atomics, so torn reads are logically rejected via the version and
+  // never a data race.
+  struct ExemplarSlot {
+    std::atomic<std::uint32_t> version{0};
+    std::atomic<std::uint64_t> traceId{0};
+    std::atomic<std::uint64_t> valueBits{0};
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  [[nodiscard]] std::size_t bucketIndexFor(double v) const;
+  void recordExemplar(std::size_t bucket, double v, std::uint64_t traceId);
+
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+  std::unique_ptr<ExemplarSlot[]> exemplarSlots_;
   std::atomic<double> sum_{0.0};
 };
+
+// ---------------------------------------------------------------------------
+// Point-in-time registry snapshots: the substrate for exposition
+// rendering, the eptsdb scraper, and cluster federation.  Values are
+// plain data — no atomics — so snapshots can be merged, shipped and
+// rendered off the hot path.
+
+struct SnapshotExemplar {
+  std::string traceId;  // lower-hex; empty = absent
+  double value = 0.0;
+  std::uint64_t seq = 0;  // recency order across the process; 0 = absent
+};
+
+struct SeriesSnapshot {
+  Labels labels;
+  std::uint64_t counterValue = 0;  // MetricKind::Counter
+  double doubleValue = 0.0;        // MetricKind::DoubleCounter
+  std::int64_t gaugeValue = 0;     // MetricKind::Gauge
+  // MetricKind::Histogram: per-series bounds plus non-cumulative bucket
+  // counts (+Inf last, so buckets.size() == bounds.size() + 1).
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> buckets;
+  double sum = 0.0;
+  // Parallel to buckets when any bucket holds an exemplar; else empty.
+  std::vector<SnapshotExemplar> exemplars;
+};
+
+struct FamilySnapshot {
+  MetricKind kind = MetricKind::Counter;
+  std::string name;
+  std::string help;
+  std::vector<SeriesSnapshot> series;  // insertion order
+};
+
+struct RegistrySnapshot {
+  std::vector<FamilySnapshot> families;  // insertion order
+  // Concatenate another snapshot.  Same-name families merge their
+  // series lists (first HELP/kind wins; a kind conflict throws) so the
+  // combined exposition keeps exactly one header per family.
+  void append(RegistrySnapshot other);
+};
+
+enum class ExpositionFormat {
+  Prometheus004,   // text/plain; version=0.0.4
+  OpenMetrics100,  // application/openmetrics-text; version=1.0.0
+};
+
+// Render a snapshot in either exposition format.  The Prometheus 0.0.4
+// output is byte-identical to the pre-snapshot renderer; OpenMetrics
+// adds `_total` counter sample naming, per-bucket exemplars
+// (`# {trace_id="..."} value`) and the mandatory `# EOF` terminator.
+[[nodiscard]] std::string renderExposition(const RegistrySnapshot& snap,
+                                           ExpositionFormat format);
+
+// Pairwise histogram-series merge: element-wise bucket addition plus
+// sum (bounds must match exactly, else std::invalid_argument); each
+// bucket keeps the exemplar with the larger seq (the newer one), which
+// makes the merge associative and commutative.
+[[nodiscard]] SeriesSnapshot mergeHistogramSeries(const SeriesSnapshot& a,
+                                                  const SeriesSnapshot& b);
+
+// Federate per-shard registry snapshots into one cluster snapshot:
+// counters and double counters are summed across shards by label set,
+// histograms bucket-merged, and gauges kept per shard with an appended
+// shard="<id>" label (summing instantaneous levels would lie).
+[[nodiscard]] RegistrySnapshot mergeShardSnapshots(
+    const std::vector<std::pair<std::string, RegistrySnapshot>>& shards);
 
 // Named metric directory.  Registration is idempotent: asking for an
 // existing name+labels with a matching kind (and, for histograms,
@@ -136,11 +238,21 @@ class Registry {
                        std::vector<double> upperBounds,
                        const Labels& labels = {});
 
+  // Point-in-time copy of every family and series (values loaded
+  // relaxed; cross-metric consistency follows the usual Prometheus
+  // caveat).  The snapshot is plain data: merge, ship or render it off
+  // the hot path.
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
   // Prometheus text exposition (version 0.0.4): # HELP / # TYPE
   // comments once per family followed by every child series with its
   // escaped label block; histograms expand into cumulative
   // _bucket{le="..."} series plus _sum and _count.
   [[nodiscard]] std::string renderPrometheus() const;
+
+  // OpenMetrics 1.0 text exposition (`_total` counter samples,
+  // per-bucket exemplars, `# EOF` terminator).
+  [[nodiscard]] std::string renderOpenMetrics() const;
 
   // The process-wide registry used by library-internal instrumentation
   // (thread pool, cusim executor, study runner).  Components that need
@@ -149,7 +261,7 @@ class Registry {
   static Registry& global();
 
  private:
-  enum class Kind { Counter, DoubleCounter, Gauge, Histogram };
+  using Kind = MetricKind;
   struct Entry {
     Labels labels;
     std::unique_ptr<Counter> counter;

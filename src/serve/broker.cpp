@@ -106,6 +106,18 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
           "ep_request_windows_total",
           "Accepted measurement windows attributed to requests",
           {{"device", "K40c"}})),
+      hEnergyJoulesP100_(registry_.histogram(
+          "ep_request_energy_hist_joules",
+          "Attributed joules per executed cold study",
+          {0.1, 1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0,
+           50000.0},
+          {{"device", "P100"}})),
+      hEnergyJoulesK40c_(registry_.histogram(
+          "ep_request_energy_hist_joules",
+          "Attributed joules per executed cold study",
+          {0.1, 1.0, 10.0, 50.0, 100.0, 500.0, 1000.0, 5000.0, 10000.0,
+           50000.0},
+          {{"device", "K40c"}})),
       cache_(options.cacheCapacity),
       staleStore_(std::max<std::size_t>(1, options.staleCapacity)),
       breakerP100_(options.breaker),
@@ -253,7 +265,12 @@ std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
   ++queueDepth_;
   lk.unlock();
   auto reqCopy = std::make_shared<StudyRequest>(req);
-  pool_->submit([this, reqCopy, submitted, deadline, promise] {
+  // Carry the caller's request context onto the worker (as TuneJob::ctx
+  // does) so the sweep's latency exemplar and energy attribution land
+  // on the paying request's trace.
+  const obs::TraceContext ctx = obs::currentContext();
+  pool_->submit([this, reqCopy, submitted, deadline, promise, ctx] {
+    obs::ScopedTraceContext tctx(ctx);
     runStudyJob(reqCopy, submitted, deadline, promise);
   });
   return future;
@@ -369,7 +386,8 @@ void Broker::runStudyJob(
 
   switch (resp.status) {
     case Status::Ok:
-      hLatencyMs_.observe(elapsedMsSince(submitted));
+      hLatencyMs_.observe(elapsedMsSince(submitted),
+                          obs::currentContext().traceId);
       cCompleted_.inc();
       break;
     case Status::DeadlineExceeded:
@@ -532,7 +550,8 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   const core::BiObjectiveTuner tuner(job->req.maxDegradation);
   resp.recommendation = tuner.recommend(result->globalFront);
   resp.latency = elapsedSince(job->submitted);
-  hLatencyMs_.observe(elapsedMsSince(job->submitted));
+  hLatencyMs_.observe(elapsedMsSince(job->submitted),
+                      obs::currentContext().traceId);
   cCompleted_.inc();
   feedWatchdog(job->req.device, /*error=*/false, stale);
   if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
@@ -595,7 +614,8 @@ std::optional<TuneResponse> Broker::tuneFromStale(const TuneRequest& req) {
   const core::BiObjectiveTuner tuner(req.maxDegradation);
   resp.recommendation = tuner.recommend(result->globalFront);
   resp.latency = elapsedSince(submitted);
-  hLatencyMs_.observe(elapsedMsSince(submitted));
+  hLatencyMs_.observe(elapsedMsSince(submitted),
+                      obs::currentContext().traceId);
   cCompleted_.inc();
   feedWatchdog(req.device, /*error=*/false, /*stale=*/true);
   if (options_.onTuneComplete) options_.onTuneComplete(req, resp);
@@ -604,12 +624,18 @@ std::optional<TuneResponse> Broker::tuneFromStale(const TuneRequest& req) {
 
 void Broker::accountStudyEnergy(Device device,
                                 const core::EnergyAttribution& a) {
+  // Runs on the executing owner's worker, whose trace context is the
+  // paying request's — so the energy histogram's exemplar links the
+  // bucket straight to that request's span tree.
+  const std::uint64_t traceId = obs::currentContext().traceId;
   if (device == Device::K40c) {
     cEnergyJoulesK40c_.add(a.joules);
     cWindowsK40c_.inc(a.windows);
+    hEnergyJoulesK40c_.observe(a.joules, traceId);
   } else {
     cEnergyJoulesP100_.add(a.joules);
     cWindowsP100_.inc(a.windows);
+    hEnergyJoulesP100_.observe(a.joules, traceId);
   }
 }
 
@@ -658,36 +684,43 @@ ServeMetrics Broker::metrics() const {
   return out;
 }
 
+void Broker::syncInstantaneous() const {
+  // Fold the cache's internal stats into the registry as counter
+  // deltas, and mirror the instantaneous state into gauges.
+  std::lock_guard lk(mu_);
+  const LruCacheStats cs = cache_.stats();
+  cCacheHits_.inc(cs.hits - syncedCache_.hits);
+  cCacheMisses_.inc(cs.misses - syncedCache_.misses);
+  cCacheEvictions_.inc(cs.evictions - syncedCache_.evictions);
+  syncedCache_ = cs;
+  gCacheSize_.set(static_cast<std::int64_t>(cs.size));
+  gCacheCapacity_.set(static_cast<std::int64_t>(cs.capacity));
+  gQueueDepth_.set(static_cast<std::int64_t>(queueDepth_));
+  gInFlightStudies_.set(static_cast<std::int64_t>(inFlight_.size()));
+  const Clock::time_point now = Clock::now();
+  const auto stateValue = [&](const CircuitBreaker& b) -> std::int64_t {
+    switch (b.state(now)) {
+      case CircuitBreaker::State::Closed:
+        return 0;
+      case CircuitBreaker::State::HalfOpen:
+        return 1;
+      case CircuitBreaker::State::Open:
+        return 2;
+    }
+    return 0;
+  };
+  gBreakerStateP100_.set(stateValue(breakerP100_));
+  gBreakerStateK40c_.set(stateValue(breakerK40c_));
+}
+
 std::string Broker::renderPrometheus() const {
-  {
-    // Fold the cache's internal stats into the registry as counter
-    // deltas, and mirror the instantaneous state into gauges.
-    std::lock_guard lk(mu_);
-    const LruCacheStats cs = cache_.stats();
-    cCacheHits_.inc(cs.hits - syncedCache_.hits);
-    cCacheMisses_.inc(cs.misses - syncedCache_.misses);
-    cCacheEvictions_.inc(cs.evictions - syncedCache_.evictions);
-    syncedCache_ = cs;
-    gCacheSize_.set(static_cast<std::int64_t>(cs.size));
-    gCacheCapacity_.set(static_cast<std::int64_t>(cs.capacity));
-    gQueueDepth_.set(static_cast<std::int64_t>(queueDepth_));
-    gInFlightStudies_.set(static_cast<std::int64_t>(inFlight_.size()));
-    const Clock::time_point now = Clock::now();
-    const auto stateValue = [&](const CircuitBreaker& b) -> std::int64_t {
-      switch (b.state(now)) {
-        case CircuitBreaker::State::Closed:
-          return 0;
-        case CircuitBreaker::State::HalfOpen:
-          return 1;
-        case CircuitBreaker::State::Open:
-          return 2;
-      }
-      return 0;
-    };
-    gBreakerStateP100_.set(stateValue(breakerP100_));
-    gBreakerStateK40c_.set(stateValue(breakerK40c_));
-  }
+  syncInstantaneous();
   return registry_.renderPrometheus();
+}
+
+obs::RegistrySnapshot Broker::snapshotRegistry() const {
+  syncInstantaneous();
+  return registry_.snapshot();
 }
 
 void Broker::shutdown() {

@@ -110,6 +110,10 @@ class Broker {
   // the instantaneous state, synced at render time).
   [[nodiscard]] std::string renderPrometheus() const;
 
+  // Sync the instantaneous gauges and snapshot the broker's registry —
+  // the scrape source for eptsdb and for cluster federation.
+  [[nodiscard]] obs::RegistrySnapshot snapshotRegistry() const;
+
   // Cross-shard stale serving: install a result computed on another
   // shard into this broker's stale-while-error store.  Deliberately
   // never touches the primary result cache — a replica must not mask
@@ -195,6 +199,10 @@ class Broker {
   void accountStudyEnergy(Device device, const core::EnergyAttribution& a);
   void feedWatchdog(Device device, bool error, bool stale);
 
+  // Fold cache stats into the registry and mirror the instantaneous
+  // state into gauges (shared by renderPrometheus / snapshotRegistry).
+  void syncInstantaneous() const;
+
   void finishJobLocked();  // activeJobs_ bookkeeping + drain signal
 
   std::shared_ptr<const TuningEngine> engine_;
@@ -231,6 +239,10 @@ class Broker {
   obs::DoubleCounter& cEnergyJoulesK40c_;
   obs::Counter& cWindowsP100_;
   obs::Counter& cWindowsK40c_;
+  // Attributed-energy distribution per cold study, exemplar-linked to
+  // the paying request's trace id.
+  obs::Histogram& hEnergyJoulesP100_;
+  obs::Histogram& hEnergyJoulesK40c_;
 
   mutable std::mutex mu_;
   std::condition_variable drained_;

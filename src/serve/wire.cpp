@@ -1,6 +1,7 @@
 #include "serve/wire.hpp"
 
 #include <cctype>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 
@@ -323,11 +324,54 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
     req.op = WireRequest::Op::Metrics;
     const auto format = getString(*obj, "format");
     if (format) {
-      if (*format != "prometheus" && *format != "json") {
+      if (*format == "prometheus") {
+        req.metricsFormat = MetricsFormat::Prometheus;
+      } else if (*format == "openmetrics") {
+        req.metricsFormat = MetricsFormat::OpenMetrics;
+      } else if (*format == "json") {
+        req.metricsFormat = MetricsFormat::Json;
+      } else {
         return fail("unknown metrics \"format\"");
       }
-      req.prometheus = (*format == "prometheus");
     }
+    const auto scope = getString(*obj, "scope");
+    if (scope) {
+      if (*scope != "cluster" && *scope != "process") {
+        return fail("unknown metrics \"scope\"");
+      }
+      req.clusterScope = (*scope == "cluster");
+      // The cluster scope is an exposition of the federated registry;
+      // the flat-JSON snapshot stays the plain {"op":"fleet"} answer.
+      if (req.clusterScope && req.metricsFormat == MetricsFormat::Json) {
+        req.metricsFormat = MetricsFormat::Prometheus;
+      }
+    }
+    return req;
+  }
+  if (*op == "tsdb") {
+    req.op = WireRequest::Op::Tsdb;
+    const auto series = getString(*obj, "series");
+    if (!series || series->empty()) return fail("tsdb needs \"series\"");
+    req.tsdbSeries = *series;
+    req.tsdbAgg = getString(*obj, "agg").value_or("all");
+    if (req.tsdbAgg != "all" && req.tsdbAgg != "min" && req.tsdbAgg != "max" &&
+        req.tsdbAgg != "avg" && req.tsdbAgg != "rate" &&
+        req.tsdbAgg != "last" && req.tsdbAgg != "quantile" &&
+        req.tsdbAgg != "raw") {
+      return fail("unknown tsdb \"agg\"");
+    }
+    req.tsdbQ = getNumber(*obj, "q").value_or(0.99);
+    if (!(req.tsdbQ >= 0.0) || !(req.tsdbQ <= 1.0)) {
+      return fail("tsdb \"q\" must be in [0,1]");
+    }
+    req.tsdbWindowMs = getNumber(*obj, "windowMs").value_or(60000.0);
+    if (!(req.tsdbWindowMs > 0.0)) {
+      return fail("tsdb \"windowMs\" must be > 0");
+    }
+    return req;
+  }
+  if (*op == "slo") {
+    req.op = WireRequest::Op::Slo;
     return req;
   }
   if (*op == "trace") {
@@ -491,6 +535,92 @@ std::string encodeEvents(std::uint64_t activeAlerts, std::uint64_t recorded,
       .add("dropped", dropped)
       .add("body", body)
       .str();
+}
+
+std::string encodeTsdbResponse(const obs::TimeSeriesStore& store,
+                               const WireRequest& req, std::int64_t nowNs) {
+  const std::int64_t fromNs =
+      nowNs - static_cast<std::int64_t>(req.tsdbWindowMs * 1e6);
+  ObjectWriter w;
+  w.add("status", "ok")
+      .add("series", req.tsdbSeries)
+      .add("agg", req.tsdbAgg)
+      .add("windowMs", req.tsdbWindowMs);
+  if (req.tsdbAgg == "quantile") {
+    const double v =
+        store.histogramQuantile(req.tsdbSeries, req.tsdbQ, fromNs, nowNs);
+    // NaN (no data) and +Inf (quantile beyond the last bound) are not
+    // JSON numbers; flag them instead.
+    w.add("q", req.tsdbQ)
+        .add("defined", v == v)
+        .add("unbounded", v > 0.0 && v / 2.0 == v)
+        .add("value", std::isfinite(v) ? v : -1.0);
+    return w.str();
+  }
+  if (req.tsdbAgg == "raw") {
+    std::string body;
+    for (const auto& s : store.range(req.tsdbSeries, fromNs, nowNs)) {
+      body += std::to_string(s.timeNs);
+      body += ' ';
+      char buf[40];
+      std::snprintf(buf, sizeof buf, "%.10g", s.value);
+      body += buf;
+      body += '\n';
+    }
+    w.add("body", body);
+    return w.str();
+  }
+  const obs::SeriesAggregate agg =
+      store.aggregate(req.tsdbSeries, fromNs, nowNs);
+  w.add("samples", static_cast<std::uint64_t>(agg.samples));
+  if (req.tsdbAgg == "all") {
+    w.add("min", agg.min)
+        .add("max", agg.max)
+        .add("avg", agg.avg)
+        .add("first", agg.first)
+        .add("last", agg.last)
+        .add("rate", agg.rate);
+  } else if (req.tsdbAgg == "min") {
+    w.add("value", agg.min);
+  } else if (req.tsdbAgg == "max") {
+    w.add("value", agg.max);
+  } else if (req.tsdbAgg == "avg") {
+    w.add("value", agg.avg);
+  } else if (req.tsdbAgg == "rate") {
+    w.add("value", agg.rate);
+  } else {  // last
+    w.add("value", agg.last);
+  }
+  return w.str();
+}
+
+std::string encodeSloStatus(
+    const std::vector<obs::SloEngine::SloStatus>& status) {
+  ObjectWriter w;
+  std::uint64_t burning = 0;
+  for (const auto& s : status) burning += s.burning ? 1 : 0;
+  w.add("status", "ok")
+      .add("slos", static_cast<std::uint64_t>(status.size()))
+      .add("burning", burning);
+  for (const auto& s : status) {
+    const std::string prefix = "slo." + s.name;
+    w.add(prefix + ".kind",
+          s.kind == obs::SloSpec::Kind::LatencyQuantile ? "latency"
+                                                        : "energy")
+        .add(prefix + ".burning", s.burning)
+        .add(prefix + ".worstBurn", s.worstBurn)
+        .add(prefix + ".raised", s.raisedCount);
+    for (std::size_t i = 0; i < s.windows.size(); ++i) {
+      const auto& wb = s.windows[i];
+      const std::string wp = prefix + ".w" + std::to_string(i);
+      w.add(wp + ".longMs", static_cast<double>(wb.longMs))
+          .add(wp + ".shortMs", static_cast<double>(wb.shortMs))
+          .add(wp + ".threshold", wb.threshold)
+          .add(wp + ".longBurn", wb.longBurn)
+          .add(wp + ".shortBurn", wb.shortBurn);
+    }
+  }
+  return w.str();
 }
 
 std::string encodeError(const std::string& message) {

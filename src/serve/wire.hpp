@@ -33,6 +33,8 @@
 #include <optional>
 #include <string>
 
+#include "obs/slo.hpp"
+#include "obs/tsdb.hpp"
 #include "serve/metrics.hpp"
 #include "serve/request.hpp"
 
@@ -76,12 +78,25 @@ class ObjectWriter {
   bool first_ = true;
 };
 
+// {"op":"metrics"} body format.
+enum class MetricsFormat { Json, Prometheus, OpenMetrics };
+
 struct WireRequest {
-  enum class Op { Tune, Study, Metrics, Trace, Events, Fleet };
+  enum class Op { Tune, Study, Metrics, Trace, Events, Fleet, Tsdb, Slo };
   Op op = Op::Tune;
-  // For Op::Metrics: answer with the Prometheus text exposition
-  // instead of the flat JSON snapshot.
-  bool prometheus = false;
+  // For Op::Metrics: flat JSON snapshot (default), Prometheus 0.0.4
+  // text, or OpenMetrics 1.0 text.
+  MetricsFormat metricsFormat = MetricsFormat::Json;
+  // For Op::Metrics on epfleetd: "scope":"cluster" answers with the
+  // federated cluster registry (per-shard registries merged) instead
+  // of the daemon's process registry.
+  bool clusterScope = false;
+  // For Op::Tsdb: the series key (exposition identity) or histogram
+  // family, the aggregation, quantile and window.
+  std::string tsdbSeries;
+  std::string tsdbAgg = "all";  // all|min|max|avg|rate|last|quantile|raw
+  double tsdbQ = 0.99;
+  double tsdbWindowMs = 60000.0;
   // For Op::Events: drain only events with seq > since.
   std::uint64_t eventsSince = 0;
   // Caller-supplied trace id ("" = none) and whether the response
@@ -121,6 +136,18 @@ struct WireRequest {
                                        std::uint64_t recorded,
                                        std::uint64_t dropped,
                                        const std::string& body);
+// {"op":"tsdb"} response over the store: the requested aggregation of
+// req.tsdbSeries across the trailing req.tsdbWindowMs (ending at
+// nowNs).  agg "raw" answers with the in-window samples as body lines
+// "timeNs value"; "quantile" treats the series as a histogram family.
+[[nodiscard]] std::string encodeTsdbResponse(const obs::TimeSeriesStore& store,
+                                             const WireRequest& req,
+                                             std::int64_t nowNs);
+// {"op":"slo"} response: per-SLO burn state under flat keys
+// ("slo.<name>.burning", ".worstBurn", ".raised", per-window burns)
+// plus the active-alert total.
+[[nodiscard]] std::string encodeSloStatus(
+    const std::vector<obs::SloEngine::SloStatus>& status);
 [[nodiscard]] std::string encodeError(const std::string& message);
 
 }  // namespace ep::serve::wire

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "obs/metrics.hpp"
 #include "pareto/front.hpp"
 #include "pareto/tradeoff.hpp"
 #include "fleet/policy.hpp"
@@ -721,6 +722,128 @@ TEST(Router, ConstructorValidatesConfiguration) {
     EXPECT_THROW(FleetRouter(shardConfigs(engine, 1), opts),
                  PreconditionError);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster metric federation
+
+const obs::FamilySnapshot* familyNamed(const obs::RegistrySnapshot& snap,
+                                       const std::string& name) {
+  for (const auto& f : snap.families) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+// The acceptance pin: the cluster-scope snapshot must be the exact
+// bucket/count merge of the per-shard snapshots — not an approximation,
+// not a re-scrape.
+TEST(Federation, ClusterSnapshotIsExactMergeOfShardSnapshots) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 3));
+  for (int n : {100, 200, 300, 400, 500, 600, 700}) {
+    ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  }
+
+  const auto shardSnaps = router.shardSnapshots();
+  ASSERT_EQ(shardSnaps.size(), 3u);
+  EXPECT_EQ(shardSnaps[0].first, "s0");
+
+  const obs::RegistrySnapshot cluster = router.clusterSnapshot();
+  // Identical render (the strongest equality the snapshot offers).
+  EXPECT_EQ(
+      obs::renderExposition(cluster, obs::ExpositionFormat::Prometheus004),
+      obs::renderExposition(obs::mergeShardSnapshots(shardSnaps),
+                            obs::ExpositionFormat::Prometheus004));
+
+  // Counters: cluster value is the exact per-shard sum.
+  std::uint64_t completedAcrossShards = 0;
+  for (const auto& [id, snap] : shardSnaps) {
+    (void)id;
+    const auto* f = familyNamed(snap, "ep_serve_completed_total");
+    ASSERT_NE(f, nullptr);
+    for (const auto& s : f->series) completedAcrossShards += s.counterValue;
+  }
+  const auto* completed = familyNamed(cluster, "ep_serve_completed_total");
+  ASSERT_NE(completed, nullptr);
+  ASSERT_EQ(completed->series.size(), 1u);
+  EXPECT_EQ(completed->series[0].counterValue, completedAcrossShards);
+  EXPECT_EQ(completedAcrossShards, 7u);
+
+  // Histograms: per-bucket counts and the observation count are the
+  // exact sums too.
+  const auto* latency = familyNamed(cluster, "ep_serve_request_latency_ms");
+  ASSERT_NE(latency, nullptr);
+  ASSERT_EQ(latency->series.size(), 1u);
+  std::uint64_t clusterObs = 0;
+  for (const std::uint64_t b : latency->series[0].buckets) clusterObs += b;
+  std::vector<std::uint64_t> bucketSums(latency->series[0].buckets.size(), 0);
+  std::uint64_t shardObs = 0;
+  for (const auto& [id, snap] : shardSnaps) {
+    (void)id;
+    const auto* f = familyNamed(snap, "ep_serve_request_latency_ms");
+    ASSERT_NE(f, nullptr);
+    for (const auto& s : f->series) {
+      ASSERT_EQ(s.buckets.size(), bucketSums.size());
+      for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+        bucketSums[i] += s.buckets[i];
+        shardObs += s.buckets[i];
+      }
+    }
+  }
+  EXPECT_EQ(latency->series[0].buckets, bucketSums);
+  EXPECT_EQ(clusterObs, shardObs);
+  EXPECT_EQ(clusterObs, 7u);
+
+  // Gauges survive per shard, tagged with the shard id.
+  const auto* depth = familyNamed(cluster, "ep_serve_queue_depth");
+  ASSERT_NE(depth, nullptr);
+  EXPECT_EQ(depth->series.size(), 3u);
+  std::set<std::string> shardLabels;
+  for (const auto& s : depth->series) {
+    ASSERT_FALSE(s.labels.empty());
+    EXPECT_EQ(s.labels.back().first, "shard");
+    shardLabels.insert(s.labels.back().second);
+  }
+  EXPECT_EQ(shardLabels, (std::set<std::string>{"s0", "s1", "s2"}));
+}
+
+TEST(Federation, RenderClusterMetricsSpeaksBothFormats) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  ASSERT_EQ(router.tune(freq(11)).status, serve::Status::Ok);
+
+  const std::string prom =
+      router.renderClusterMetrics(obs::ExpositionFormat::Prometheus004);
+  EXPECT_NE(prom.find("ep_serve_queue_depth{shard=\"s0\"} "),
+            std::string::npos);
+  EXPECT_EQ(prom.find("# EOF"), std::string::npos);
+
+  const std::string om =
+      router.renderClusterMetrics(obs::ExpositionFormat::OpenMetrics100);
+  ASSERT_GE(om.size(), 6u);
+  EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
+  EXPECT_NE(om.find("ep_serve_completed_total 1"), std::string::npos);
+}
+
+TEST(Federation, WireSnapshotCarriesPerShardLatencyAndQueueKeys) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  ASSERT_EQ(router.tune(freq(55)).status, serve::Status::Ok);
+  std::string err;
+  const auto obj = serve::wire::parseObject(router.renderWireSnapshot(), &err);
+  ASSERT_TRUE(obj.has_value()) << err;
+  for (const char* id : {"s0", "s1"}) {
+    const std::string p = std::string("shard.") + id + ".";
+    ASSERT_TRUE(obj->count(p + "q50Ms")) << p;
+    ASSERT_TRUE(obj->count(p + "q99Ms")) << p;
+    ASSERT_TRUE(obj->count(p + "queueDepth")) << p;
+    EXPECT_GE(obj->at(p + "q50Ms").number, 0.0);
+    EXPECT_EQ(obj->at(p + "queueDepth").number, 0.0);
+  }
+  // shardBroker resolves configured shards and rejects strangers.
+  EXPECT_NE(router.shardBroker("s0"), nullptr);
+  EXPECT_EQ(router.shardBroker("nope"), nullptr);
 }
 
 }  // namespace

@@ -6,8 +6,12 @@
 // dependency-free JSON parser can validate them.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <limits>
 #include <map>
 #include <set>
 #include <stdexcept>
@@ -22,21 +26,32 @@
 #include "hw/spec.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "serve/wire.hpp"
 
 namespace {
 
 using ep::obs::Counter;
 using ep::obs::DoubleCounter;
+using ep::obs::ExpositionFormat;
+using ep::obs::FamilySnapshot;
 using ep::obs::FlightEvent;
 using ep::obs::FlightRecorder;
 using ep::obs::Gauge;
 using ep::obs::Histogram;
 using ep::obs::Labels;
+using ep::obs::MetricKind;
 using ep::obs::Registry;
+using ep::obs::RegistrySnapshot;
 using ep::obs::ScopedTraceContext;
+using ep::obs::Scraper;
+using ep::obs::SeriesSnapshot;
+using ep::obs::SloEngine;
+using ep::obs::SloSpec;
 using ep::obs::Span;
+using ep::obs::TimeSeriesStore;
 using ep::obs::TraceContext;
 using ep::obs::TraceEvent;
 using ep::obs::Tracer;
@@ -416,6 +431,594 @@ TEST(Metrics, ExpositionPassesConformanceLint) {
 // pass the same lint (they are concatenated by epserved).
 TEST(Metrics, GlobalRegistryPassesConformanceLint) {
   lintExposition(Registry::global().renderPrometheus());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshots, exemplars, OpenMetrics 1.0, and federation
+
+const FamilySnapshot* familyNamed(const RegistrySnapshot& snap,
+                                  const std::string& name) {
+  for (const auto& f : snap.families) {
+    if (f.name == name) return &f;
+  }
+  return nullptr;
+}
+
+TEST(Snapshot, CapturesEveryKindWithNonCumulativeBuckets) {
+  Registry r;
+  r.counter("sn_req_total", "Requests").inc(3);
+  r.doubleCounter("sn_joules_total", "Energy").add(2.5);
+  r.gauge("sn_depth", "Depth").set(-4);
+  Histogram& h = r.histogram("sn_lat_ms", "Latency", {1.0, 10.0});
+  h.observe(0.5);
+  h.observe(5.0);
+  h.observe(6.0);
+  h.observe(100.0);
+
+  const RegistrySnapshot snap = r.snapshot();
+  ASSERT_EQ(snap.families.size(), 4u);
+
+  const FamilySnapshot* c = familyNamed(snap, "sn_req_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricKind::Counter);
+  ASSERT_EQ(c->series.size(), 1u);
+  EXPECT_EQ(c->series[0].counterValue, 3u);
+
+  const FamilySnapshot* j = familyNamed(snap, "sn_joules_total");
+  ASSERT_NE(j, nullptr);
+  EXPECT_EQ(j->kind, MetricKind::DoubleCounter);
+  EXPECT_DOUBLE_EQ(j->series[0].doubleValue, 2.5);
+
+  const FamilySnapshot* g = familyNamed(snap, "sn_depth");
+  ASSERT_NE(g, nullptr);
+  EXPECT_EQ(g->kind, MetricKind::Gauge);
+  EXPECT_EQ(g->series[0].gaugeValue, -4);
+
+  const FamilySnapshot* hs = familyNamed(snap, "sn_lat_ms");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->kind, MetricKind::Histogram);
+  ASSERT_EQ(hs->series.size(), 1u);
+  const SeriesSnapshot& s = hs->series[0];
+  EXPECT_EQ(s.bounds, (std::vector<double>{1.0, 10.0}));
+  // Per-bucket (non-cumulative) counts; +Inf last.
+  EXPECT_EQ(s.buckets, (std::vector<std::uint64_t>{1, 2, 1}));
+  EXPECT_NEAR(s.sum, 111.5, 1e-9);
+}
+
+// renderExposition(snapshot, 0.0.4) is the render path behind
+// renderPrometheus(); the two must agree byte for byte so nothing the
+// old tests pin ever changes.
+TEST(Snapshot, PrometheusRenderIsByteIdenticalToLegacyPath) {
+  Registry r;
+  r.counter("bi_total", "Requests", {{"device", "P100"}}).inc(7);
+  r.gauge("bi_depth", "Depth").set(5);
+  r.histogram("bi_ms", "Latency", {1.0}).observe(0.25);
+  EXPECT_EQ(ep::obs::renderExposition(r.snapshot(),
+                                      ExpositionFormat::Prometheus004),
+            r.renderPrometheus());
+}
+
+TEST(Exemplars, HistogramKeepsLastTracePerBucket) {
+  Registry r;
+  Histogram& h = r.histogram("ex_ms", "Latency", {1.0, 10.0});
+  h.observe(0.5, 0xAAu);
+  h.observe(0.7, 0xBBu);   // same bucket: newer wins
+  h.observe(5.0, 0xCCu);
+  h.observe(50.0, 0xDDu);  // +Inf bucket
+
+  const ep::obs::Exemplar b0 = h.exemplar(0);
+  EXPECT_EQ(b0.traceId, 0xBBu);
+  EXPECT_DOUBLE_EQ(b0.value, 0.7);
+  EXPECT_NE(b0.seq, 0u);
+  EXPECT_EQ(h.exemplar(1).traceId, 0xCCu);
+  EXPECT_EQ(h.exemplar(2).traceId, 0xDDu);
+
+  // A trace-less observe must not disturb the recorded exemplar.
+  h.observe(0.9);
+  EXPECT_EQ(h.exemplar(0).traceId, 0xBBu);
+}
+
+TEST(Exemplars, OpenMetricsRenderCarriesTraceIdOnBuckets) {
+  Registry r;
+  Histogram& h = r.histogram("om_ms", "Latency", {1.0});
+  h.observe(0.5, 0xCAFE01u);
+
+  const std::string om =
+      ep::obs::renderExposition(r.snapshot(), ExpositionFormat::OpenMetrics100);
+  EXPECT_NE(om.find("om_ms_bucket{le=\"1\"} 1 # {trace_id=\"cafe01\"} 0.5\n"),
+            std::string::npos);
+  // The 0.0.4 exposition of the same snapshot must NOT carry exemplars.
+  const std::string prom =
+      ep::obs::renderExposition(r.snapshot(), ExpositionFormat::Prometheus004);
+  EXPECT_EQ(prom.find("# {"), std::string::npos);
+}
+
+TEST(Exemplars, LabelValuesInExemplarsAreEscaped) {
+  // Build the snapshot by hand: wire trace ids are hex in practice, but
+  // the renderer must escape whatever the exemplar carries.
+  RegistrySnapshot snap;
+  FamilySnapshot fam;
+  fam.kind = MetricKind::Histogram;
+  fam.name = "esc_ms";
+  fam.help = "h";
+  SeriesSnapshot s;
+  s.bounds = {1.0};
+  s.buckets = {1, 0};
+  s.sum = 0.5;
+  s.exemplars = {{"a\"b\\c\nd", 0.5, 1}, {}};
+  fam.series.push_back(s);
+  snap.families.push_back(fam);
+
+  const std::string om =
+      ep::obs::renderExposition(snap, ExpositionFormat::OpenMetrics100);
+  EXPECT_NE(om.find("# {trace_id=\"a\\\"b\\\\c\\nd\"} 0.5"),
+            std::string::npos);
+}
+
+TEST(OpenMetrics, CounterFamiliesDropTotalInMetadataAndEndWithEof) {
+  Registry r;
+  r.counter("omc_total", "Requests").inc(4);
+  r.doubleCounter("omj_total", "Joules").add(1.5);
+  r.gauge("om_gauge_total", "A gauge whose name just ends that way").set(2);
+
+  const std::string om =
+      ep::obs::renderExposition(r.snapshot(), ExpositionFormat::OpenMetrics100);
+  // Counter metadata names the base; samples re-attach _total.
+  EXPECT_NE(om.find("# HELP omc Requests\n"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE omc counter\n"), std::string::npos);
+  EXPECT_NE(om.find("omc_total 4\n"), std::string::npos);
+  EXPECT_NE(om.find("# TYPE omj counter\n"), std::string::npos);
+  EXPECT_NE(om.find("omj_total 1.5\n"), std::string::npos);
+  // Gauges never strip the suffix.
+  EXPECT_NE(om.find("# TYPE om_gauge_total gauge\n"), std::string::npos);
+  EXPECT_NE(om.find("om_gauge_total 2\n"), std::string::npos);
+  // Exactly one # EOF, as the final line.
+  EXPECT_EQ(om.rfind("# EOF\n"), om.size() - 6);
+  EXPECT_EQ(om.find("# EOF"), om.rfind("# EOF"));
+}
+
+// OpenMetrics lint: reuse the 0.0.4 structural lint after normalizing
+// the two OM-only constructs (exemplar clauses and the # EOF trailer)
+// and re-basing counter sample names onto their metadata names.
+void lintOpenMetrics(const std::string& om) {
+  ASSERT_GE(om.size(), 6u);
+  ASSERT_EQ(om.substr(om.size() - 6), "# EOF\n") << "missing # EOF";
+  std::string normalized;
+  std::size_t pos = 0;
+  std::set<std::string> counterBases;
+  // First pass: collect counter metadata names.
+  while (pos < om.size()) {
+    const std::size_t nl = om.find('\n', pos);
+    ASSERT_NE(nl, std::string::npos);
+    const std::string line = om.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.rfind("# TYPE ", 0) == 0 &&
+        line.substr(line.rfind(' ') + 1) == "counter") {
+      const std::size_t sp = line.find(' ', 7);
+      counterBases.insert(line.substr(7, sp - 7));
+    }
+  }
+  pos = 0;
+  while (pos < om.size()) {
+    const std::size_t nl = om.find('\n', pos);
+    const std::string line = om.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line == "# EOF") continue;
+    std::string out = line;
+    if (!out.empty() && out[0] != '#') {
+      // Strip an exemplar clause (" # {...} value") if present.
+      const std::size_t ex = out.find(" # {");
+      if (ex != std::string::npos) {
+        // Validate the clause shape before dropping it.
+        const std::size_t close = out.find("} ", ex + 3);
+        ASSERT_NE(close, std::string::npos) << line;
+        EXPECT_NE(out.find("trace_id=\"", ex), std::string::npos) << line;
+        out = out.substr(0, ex);
+      }
+      // Re-base "name_total" samples whose family metadata is "name".
+      const std::size_t nameEnd = out.find_first_of("{ ");
+      ASSERT_NE(nameEnd, std::string::npos) << line;
+      const std::string sample = out.substr(0, nameEnd);
+      constexpr const char* kTotal = "_total";
+      if (sample.size() > 6 &&
+          sample.compare(sample.size() - 6, 6, kTotal) == 0 &&
+          counterBases.count(sample.substr(0, sample.size() - 6))) {
+        out = sample.substr(0, sample.size() - 6) + out.substr(nameEnd);
+      }
+    }
+    normalized += out;
+    normalized += '\n';
+  }
+  lintExposition(normalized);
+}
+
+TEST(OpenMetrics, ExpositionPassesLintWithExemplars) {
+  Registry r;
+  r.counter("oml_req_total", "Requests").inc(7);
+  r.counter("oml_dev_total", "By device", {{"device", "P100"}}).inc(1);
+  r.doubleCounter("oml_joules_total", "Energy", {{"device", "K40c"}})
+      .add(12.5);
+  r.gauge("oml_depth", "Depth").set(-3);
+  Histogram& h =
+      r.histogram("oml_ms", "Latency", {1.0, 8.0}, {{"op", "tune"}});
+  h.observe(3.0, 0xBEEFu);
+  h.observe(0.5, 0xF00Du);
+  lintOpenMetrics(
+      ep::obs::renderExposition(r.snapshot(), ExpositionFormat::OpenMetrics100));
+  // The daemon-facing Registry::renderOpenMetrics() path too.
+  lintOpenMetrics(r.renderOpenMetrics());
+}
+
+TEST(Federation, BucketMergeIsAssociativeAndExact) {
+  auto mkSeries = [](std::vector<std::uint64_t> buckets, double sum,
+                     std::vector<ep::obs::SnapshotExemplar> ex) {
+    SeriesSnapshot s;
+    s.bounds = {1.0, 10.0};
+    s.buckets = std::move(buckets);
+    s.sum = sum;
+    s.exemplars = std::move(ex);
+    return s;
+  };
+  const SeriesSnapshot a =
+      mkSeries({1, 2, 3}, 40.0, {{"aa", 0.5, 3}, {}, {}});
+  const SeriesSnapshot b =
+      mkSeries({5, 0, 2}, 12.5, {{"bb", 0.9, 7}, {"b1", 4.0, 2}, {}});
+  const SeriesSnapshot c =
+      mkSeries({0, 4, 1}, 9.25, {{"cc", 0.1, 5}, {}, {"c2", 99.0, 9}});
+
+  const SeriesSnapshot ab_c = ep::obs::mergeHistogramSeries(
+      ep::obs::mergeHistogramSeries(a, b), c);
+  const SeriesSnapshot a_bc = ep::obs::mergeHistogramSeries(
+      a, ep::obs::mergeHistogramSeries(b, c));
+
+  EXPECT_EQ(ab_c.buckets, (std::vector<std::uint64_t>{6, 6, 6}));
+  EXPECT_EQ(a_bc.buckets, ab_c.buckets);
+  EXPECT_DOUBLE_EQ(ab_c.sum, 61.75);
+  EXPECT_DOUBLE_EQ(a_bc.sum, ab_c.sum);
+  // Exemplars resolve newest-by-seq regardless of merge order.
+  ASSERT_EQ(ab_c.exemplars.size(), 3u);
+  EXPECT_EQ(ab_c.exemplars[0].traceId, "bb");  // seq 7 beats 3 and 5
+  EXPECT_EQ(ab_c.exemplars[1].traceId, "b1");
+  EXPECT_EQ(ab_c.exemplars[2].traceId, "c2");
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(a_bc.exemplars[i].traceId, ab_c.exemplars[i].traceId);
+    EXPECT_EQ(a_bc.exemplars[i].seq, ab_c.exemplars[i].seq);
+  }
+
+  SeriesSnapshot mismatched = a;
+  mismatched.bounds = {1.0, 20.0};
+  EXPECT_THROW(ep::obs::mergeHistogramSeries(a, mismatched),
+               std::invalid_argument);
+}
+
+TEST(Federation, MergeShardSnapshotsSumsCountersAndLabelsGauges) {
+  Registry s0;
+  s0.counter("fed_req_total", "Requests").inc(3);
+  s0.gauge("fed_depth", "Depth").set(2);
+  s0.histogram("fed_ms", "Latency", {1.0}).observe(0.5);
+  Registry s1;
+  s1.counter("fed_req_total", "Requests").inc(4);
+  s1.gauge("fed_depth", "Depth").set(9);
+  Histogram& h1 = s1.histogram("fed_ms", "Latency", {1.0});
+  h1.observe(0.6);
+  h1.observe(50.0);
+
+  const RegistrySnapshot merged = ep::obs::mergeShardSnapshots(
+      {{"s0", s0.snapshot()}, {"s1", s1.snapshot()}});
+
+  const FamilySnapshot* c = familyNamed(merged, "fed_req_total");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->series.size(), 1u);
+  EXPECT_EQ(c->series[0].counterValue, 7u);
+
+  const FamilySnapshot* g = familyNamed(merged, "fed_depth");
+  ASSERT_NE(g, nullptr);
+  ASSERT_EQ(g->series.size(), 2u);
+  // Gauges stay per shard, tagged with an appended shard label.
+  const std::string text =
+      ep::obs::renderExposition(merged, ExpositionFormat::Prometheus004);
+  EXPECT_NE(text.find("fed_depth{shard=\"s0\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fed_depth{shard=\"s1\"} 9\n"), std::string::npos);
+
+  const FamilySnapshot* h = familyNamed(merged, "fed_ms");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->series.size(), 1u);
+  EXPECT_EQ(h->series[0].buckets, (std::vector<std::uint64_t>{2, 1}));
+  // Cumulative render: le="1" holds 2, +Inf holds all 3.
+  EXPECT_NE(text.find("fed_ms_bucket{le=\"1\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("fed_ms_bucket{le=\"+Inf\"} 3\n"), std::string::npos);
+  lintExposition(text);
+}
+
+// ---------------------------------------------------------------------------
+// eptsdb: ring wraparound, windowed aggregation, histogram quantiles
+
+TEST(Tsdb, RingWraparoundKeepsNewestSamplesInOrder) {
+  TimeSeriesStore store(4);
+  Registry r;
+  Counter& c = r.counter("wrap_total", "h");
+  for (int t = 1; t <= 10; ++t) {
+    c.inc();
+    store.ingest(r.snapshot(), t * 1000);
+  }
+  const auto samples =
+      store.range("wrap_total", 0, std::numeric_limits<std::int64_t>::max());
+  ASSERT_EQ(samples.size(), 4u);  // ring capacity, oldest overwritten
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(samples[i].timeNs, static_cast<std::int64_t>(7 + i) * 1000);
+    EXPECT_DOUBLE_EQ(samples[i].value, 7.0 + static_cast<double>(i));
+  }
+  EXPECT_EQ(store.ringCapacity(), 4u);
+}
+
+TEST(Tsdb, WindowedAggregateAndRate) {
+  TimeSeriesStore store;
+  Registry r;
+  Counter& c = r.counter("agg_total", "h");
+  // One scrape per synthetic second; counter grows by 2 per scrape.
+  for (int t = 1; t <= 10; ++t) {
+    c.inc(2);
+    store.ingest(r.snapshot(), static_cast<std::int64_t>(t) * 1000000000);
+  }
+  const auto agg = store.aggregate("agg_total", 4 * 1000000000LL,
+                                   8 * 1000000000LL);
+  EXPECT_EQ(agg.samples, 5u);  // t = 4..8 inclusive
+  EXPECT_DOUBLE_EQ(agg.first, 8.0);
+  EXPECT_DOUBLE_EQ(agg.last, 16.0);
+  EXPECT_DOUBLE_EQ(agg.min, 8.0);
+  EXPECT_DOUBLE_EQ(agg.max, 16.0);
+  EXPECT_DOUBLE_EQ(agg.avg, 12.0);
+  EXPECT_NEAR(agg.rate, 2.0, 1e-9);  // 8 over 4 seconds
+
+  // Unknown keys are empty, not an error.
+  EXPECT_EQ(store.range("nope_total", 0, 1).size(), 0u);
+  EXPECT_EQ(store.aggregate("nope_total", 0, 1).samples, 0u);
+}
+
+TEST(Tsdb, HistogramDecomposesIntoExpositionKeyedSeries) {
+  TimeSeriesStore store;
+  Registry r;
+  Histogram& h =
+      r.histogram("ts_ms", "Latency", {1.0, 10.0}, {{"op", "tune"}});
+  h.observe(0.5);
+  store.ingest(r.snapshot(), 1000);
+
+  const auto keys = store.seriesKeys();
+  const auto has = [&](const std::string& k) {
+    return std::find(keys.begin(), keys.end(), k) != keys.end();
+  };
+  EXPECT_TRUE(has("ts_ms_count{op=\"tune\"}"));
+  EXPECT_TRUE(has("ts_ms_sum{op=\"tune\"}"));
+  EXPECT_TRUE(has("ts_ms_bucket{op=\"tune\",le=\"1\"}"));
+  EXPECT_TRUE(has("ts_ms_bucket{op=\"tune\",le=\"10\"}"));
+  EXPECT_TRUE(has("ts_ms_bucket{op=\"tune\",le=\"+Inf\"}"));
+
+  const auto metas = store.histogramsForFamily("ts_ms");
+  ASSERT_EQ(metas.size(), 1u);
+  EXPECT_EQ(metas[0].bounds, (std::vector<double>{1.0, 10.0}));
+  // Buckets are stored cumulatively, like a scrape would see them.
+  const auto inf =
+      store.range("ts_ms_bucket{op=\"tune\",le=\"+Inf\"}", 0, 2000);
+  ASSERT_EQ(inf.size(), 1u);
+  EXPECT_DOUBLE_EQ(inf[0].value, 1.0);
+}
+
+TEST(Tsdb, WindowedQuantileFromCumulativeDeltas) {
+  TimeSeriesStore store;
+  Registry r;
+  Histogram& h = r.histogram("q_ms", "Latency", {1.0, 10.0});
+  // Scrape 1: one fast request (this is "before the window's story").
+  h.observe(0.5);
+  store.ingest(r.snapshot(), 1 * 1000000000LL);
+  // Scrape 2: 8 requests in (1,10], 2 beyond every bound.
+  for (int i = 0; i < 8; ++i) h.observe(5.0);
+  h.observe(100.0);
+  h.observe(200.0);
+  store.ingest(r.snapshot(), 2 * 1000000000LL);
+
+  // Window covering both scrapes: deltas are 0/8/2 (total 10).
+  const double p50 =
+      store.histogramQuantile("q_ms", 0.5, 0, 3 * 1000000000LL);
+  EXPECT_DOUBLE_EQ(p50, 10.0);
+  // q into the +Inf bucket: +infinity.
+  const double p99 =
+      store.histogramQuantile("q_ms", 0.99, 0, 3 * 1000000000LL);
+  EXPECT_TRUE(std::isinf(p99));
+  // A window with fewer than two scrapes falls back to the lifetime
+  // distribution (1+8 in-bound, 2 beyond; p50 lands in (1,10]).
+  const double lifetime = store.histogramQuantile(
+      "q_ms", 0.5, 2 * 1000000000LL - 1, 2 * 1000000000LL);
+  EXPECT_DOUBLE_EQ(lifetime, 10.0);
+  // Unknown family: NaN.
+  EXPECT_TRUE(std::isnan(store.histogramQuantile("nope_ms", 0.5, 0, 1)));
+}
+
+TEST(Tsdb, ScraperRunsOnInjectedClockAndFiresHook) {
+  TimeSeriesStore store;
+  Registry r;
+  Counter& c = r.counter("scr_total", "h");
+  std::int64_t now = 1000;
+  std::vector<std::int64_t> hookTimes;
+  Scraper::Options opts;
+  opts.clock = [&now] { return now; };
+  opts.afterScrape = [&hookTimes](std::int64_t t) { hookTimes.push_back(t); };
+  Scraper scraper(&store, [&r] { return r.snapshot(); }, opts);
+
+  c.inc(5);
+  scraper.scrapeOnce();
+  now = 2000;
+  c.inc(5);
+  scraper.scrapeOnce();
+
+  EXPECT_EQ(scraper.scrapes(), 2u);
+  ASSERT_EQ(hookTimes.size(), 2u);
+  EXPECT_EQ(hookTimes[0], 1000);
+  EXPECT_EQ(hookTimes[1], 2000);
+  const auto samples = store.range("scr_total", 0, 5000);
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_DOUBLE_EQ(samples[0].value, 5.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 10.0);
+  EXPECT_GE(scraper.lastScrapeDurationNs(), 0);
+}
+
+TEST(Tsdb, BackgroundScraperStartStopIsClean) {
+  TimeSeriesStore store;
+  Registry r;
+  r.counter("bg_total", "h").inc();
+  Scraper::Options opts;
+  opts.intervalMs = 1;
+  Scraper scraper(&store, [&r] { return r.snapshot(); }, opts);
+  scraper.start();
+  while (scraper.scrapes() < 3) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scraper.stop();
+  const std::uint64_t after = scraper.scrapes();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scraper.scrapes(), after);  // no scrapes past stop()
+  EXPECT_GE(store
+                .range("bg_total", 0,
+                       std::numeric_limits<std::int64_t>::max())
+                .size(),
+            3u);
+}
+
+// ---------------------------------------------------------------------------
+// SLO burn-rate engine
+
+TEST(Slo, ParseSpecGrammar) {
+  std::string err;
+  auto lat = ep::obs::parseSloSpec("latency:0.5:0.99", &err);
+  ASSERT_TRUE(lat.has_value());
+  EXPECT_EQ(lat->kind, SloSpec::Kind::LatencyQuantile);
+  EXPECT_EQ(lat->name, "latency");
+  EXPECT_DOUBLE_EQ(lat->latencyThresholdMs, 0.5);
+  EXPECT_DOUBLE_EQ(lat->objective, 0.99);
+
+  auto en = ep::obs::parseSloSpec("energy:2.5", &err);
+  ASSERT_TRUE(en.has_value());
+  EXPECT_EQ(en->kind, SloSpec::Kind::EnergyPerRequest);
+  EXPECT_EQ(en->name, "energy");
+  EXPECT_DOUBLE_EQ(en->joulesPerRequestBudget, 2.5);
+
+  auto named = ep::obs::parseSloSpec("p99=latency:1.5:0.999", &err);
+  ASSERT_TRUE(named.has_value());
+  EXPECT_EQ(named->name, "p99");
+
+  for (const char* bad :
+       {"", "latency", "latency:0.5", "latency:-1:0.9", "latency:1:1.5",
+        "energy:0", "energy:-2", "watts:5", "=latency:1:0.9",
+        "latency:abc:0.9"}) {
+    EXPECT_FALSE(ep::obs::parseSloSpec(bad, &err).has_value()) << bad;
+  }
+}
+
+// Drive synthetic scrapes through a tsdb and watch a latency SLO raise
+// on sustained badness and clear — with hysteresis — on recovery.
+TEST(Slo, LatencyBurnRaisesAndClearsWithHysteresis) {
+  TimeSeriesStore store;
+  Registry r;
+  Histogram& h = r.histogram("slo_ms", "Latency", {1.0, 10.0});
+  constexpr std::int64_t kSec = 1000000000;
+
+  SloSpec spec;
+  spec.kind = SloSpec::Kind::LatencyQuantile;
+  spec.name = "lat";
+  spec.family = "slo_ms";
+  spec.latencyThresholdMs = 1.0;
+  spec.objective = 0.9;  // budget: 10% slow
+  spec.windows = {{10000, 2000, 5.0}};  // 10s long, 2s short, 5x burn
+  SloEngine engine(&store, {spec});
+
+  auto scrape = [&](int sec) { store.ingest(r.snapshot(), sec * kSec); };
+
+  scrape(0);
+  // 5 seconds of fully-bad traffic: every request slower than 1ms.
+  for (int sec = 1; sec <= 5; ++sec) {
+    for (int i = 0; i < 10; ++i) h.observe(5.0);
+    scrape(sec);
+    engine.evaluate(sec * kSec);
+  }
+  auto status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_TRUE(status[0].burning);
+  // All-bad traffic at a 10% budget burns at 10x.
+  EXPECT_NEAR(status[0].worstBurn, 10.0, 1e-6);
+  EXPECT_EQ(status[0].raisedCount, 1u);
+  EXPECT_EQ(engine.activeAlerts(), 1u);
+  const auto raised = engine.events();
+  ASSERT_FALSE(raised.empty());
+  EXPECT_STREQ(raised.back().kind, "slo_burn");
+  EXPECT_STREQ(raised.back().scope, "lat");
+
+  // Recovery: all-good traffic.  The alert must persist while the long
+  // window still carries the damage (hysteresis), then clear.
+  bool sawBurningDuringRecovery = false;
+  for (int sec = 6; sec <= 20; ++sec) {
+    for (int i = 0; i < 10; ++i) h.observe(0.5);
+    scrape(sec);
+    engine.evaluate(sec * kSec);
+    if (sec <= 7) {
+      sawBurningDuringRecovery =
+          sawBurningDuringRecovery || engine.status()[0].burning;
+    }
+  }
+  EXPECT_TRUE(sawBurningDuringRecovery);
+  status = engine.status();
+  EXPECT_FALSE(status[0].burning);
+  EXPECT_EQ(engine.activeAlerts(), 0u);
+  const auto events = engine.events();
+  ASSERT_GE(events.size(), 2u);
+  EXPECT_STREQ(events.back().kind, "slo_cleared");
+  // Re-evaluating in the clear state raises nothing new.
+  engine.evaluate(21 * kSec);
+  EXPECT_EQ(engine.status()[0].raisedCount, 1u);
+}
+
+TEST(Slo, EnergyBudgetBurnFromLedgerCounters) {
+  TimeSeriesStore store;
+  Registry r;
+  DoubleCounter& joules = r.doubleCounter("slo_j", "Joules");
+  Counter& reqs = r.counter("slo_req_total", "Requests");
+  constexpr std::int64_t kSec = 1000000000;
+
+  SloSpec spec;
+  spec.kind = SloSpec::Kind::EnergyPerRequest;
+  spec.name = "energy";
+  spec.energyFamily = "slo_j";
+  spec.requestsFamily = "slo_req_total";
+  spec.joulesPerRequestBudget = 1.0;
+  spec.windows = {{10000, 2000, 3.0}};
+  SloEngine engine(&store, {spec});
+
+  store.ingest(r.snapshot(), 0);
+  // 5 J per request against a 1 J budget: burn 5x over every window.
+  for (int sec = 1; sec <= 5; ++sec) {
+    joules.add(50.0);
+    reqs.inc(10);
+    store.ingest(r.snapshot(), sec * kSec);
+    engine.evaluate(sec * kSec);
+  }
+  const auto status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_TRUE(status[0].burning);
+  EXPECT_NEAR(status[0].worstBurn, 5.0, 1e-6);
+  EXPECT_EQ(status[0].kind, SloSpec::Kind::EnergyPerRequest);
+  ASSERT_FALSE(engine.events().empty());
+  EXPECT_STREQ(engine.events().back().kind, "slo_burn");
+}
+
+TEST(Slo, NoHistoryMeansNoBurn) {
+  TimeSeriesStore store;
+  SloSpec spec;  // defaults target the broker's families; store is empty
+  SloEngine engine(&store, {spec});
+  engine.evaluate(1000000000);
+  const auto status = engine.status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_FALSE(status[0].burning);
+  EXPECT_DOUBLE_EQ(status[0].worstBurn, 0.0);
+  EXPECT_EQ(engine.activeAlerts(), 0u);
+  EXPECT_TRUE(engine.events().empty());
 }
 
 // ---------------------------------------------------------------------------

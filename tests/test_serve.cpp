@@ -1030,6 +1030,157 @@ TEST(Wire, EncodeEventsCarriesCountsAndBody) {
   ASSERT_TRUE(line);
 }
 
+TEST(Wire, DecodesMetricsFormatAndScope) {
+  std::string error;
+  const auto om = wire::decodeRequest(
+      R"({"op":"metrics","format":"openmetrics"})", &error);
+  ASSERT_TRUE(om) << error;
+  EXPECT_EQ(om->metricsFormat, wire::MetricsFormat::OpenMetrics);
+  EXPECT_FALSE(om->clusterScope);
+
+  const auto cluster = wire::decodeRequest(
+      R"({"op":"metrics","scope":"cluster","format":"openmetrics"})", &error);
+  ASSERT_TRUE(cluster) << error;
+  EXPECT_TRUE(cluster->clusterScope);
+  EXPECT_EQ(cluster->metricsFormat, wire::MetricsFormat::OpenMetrics);
+
+  // Cluster scope is an exposition: a JSON (default) format upgrades
+  // to Prometheus text instead of colliding with {"op":"fleet"}.
+  const auto upgraded =
+      wire::decodeRequest(R"({"op":"metrics","scope":"cluster"})", &error);
+  ASSERT_TRUE(upgraded) << error;
+  EXPECT_TRUE(upgraded->clusterScope);
+  EXPECT_EQ(upgraded->metricsFormat, wire::MetricsFormat::Prometheus);
+
+  const auto process =
+      wire::decodeRequest(R"({"op":"metrics","scope":"process"})", &error);
+  ASSERT_TRUE(process) << error;
+  EXPECT_FALSE(process->clusterScope);
+  EXPECT_EQ(process->metricsFormat, wire::MetricsFormat::Json);
+
+  EXPECT_FALSE(
+      wire::decodeRequest(R"({"op":"metrics","format":"xml"})", &error));
+  EXPECT_FALSE(
+      wire::decodeRequest(R"({"op":"metrics","scope":"galaxy"})", &error));
+}
+
+TEST(Wire, DecodesTsdbOpWithValidation) {
+  std::string error;
+  const auto full = wire::decodeRequest(
+      R"({"op":"tsdb","series":"ep_serve_request_latency_ms",)"
+      R"("agg":"quantile","q":0.5,"windowMs":30000})",
+      &error);
+  ASSERT_TRUE(full) << error;
+  EXPECT_EQ(full->op, wire::WireRequest::Op::Tsdb);
+  EXPECT_EQ(full->tsdbSeries, "ep_serve_request_latency_ms");
+  EXPECT_EQ(full->tsdbAgg, "quantile");
+  EXPECT_DOUBLE_EQ(full->tsdbQ, 0.5);
+  EXPECT_DOUBLE_EQ(full->tsdbWindowMs, 30000.0);
+
+  const auto defaults = wire::decodeRequest(
+      R"({"op":"tsdb","series":"ep_serve_completed_total"})", &error);
+  ASSERT_TRUE(defaults) << error;
+  EXPECT_EQ(defaults->tsdbAgg, "all");
+  EXPECT_DOUBLE_EQ(defaults->tsdbQ, 0.99);
+  EXPECT_DOUBLE_EQ(defaults->tsdbWindowMs, 60000.0);
+
+  EXPECT_FALSE(wire::decodeRequest(R"({"op":"tsdb"})", &error));
+  EXPECT_FALSE(wire::decodeRequest(R"({"op":"tsdb","series":""})", &error));
+  EXPECT_FALSE(wire::decodeRequest(
+      R"({"op":"tsdb","series":"x","agg":"median"})", &error));
+  EXPECT_FALSE(wire::decodeRequest(
+      R"({"op":"tsdb","series":"x","agg":"quantile","q":1.5})", &error));
+  EXPECT_FALSE(wire::decodeRequest(
+      R"({"op":"tsdb","series":"x","windowMs":0})", &error));
+  EXPECT_FALSE(wire::decodeRequest(
+      R"({"op":"tsdb","series":"x","windowMs":-5})", &error));
+}
+
+TEST(Wire, DecodesSloOp) {
+  std::string error;
+  const auto slo = wire::decodeRequest(R"({"op":"slo"})", &error);
+  ASSERT_TRUE(slo) << error;
+  EXPECT_EQ(slo->op, wire::WireRequest::Op::Slo);
+}
+
+TEST(Wire, EncodeTsdbResponseAnswersAggregations) {
+  ep::obs::TimeSeriesStore store;
+  ep::obs::Registry r;
+  ep::obs::Counter& c = r.counter("wt_total", "h");
+  // Synthetic seconds 1..5, +3 per scrape.
+  for (int t = 1; t <= 5; ++t) {
+    c.inc(3);
+    store.ingest(r.snapshot(), static_cast<std::int64_t>(t) * 1000000000);
+  }
+  wire::WireRequest req;
+  req.op = wire::WireRequest::Op::Tsdb;
+  req.tsdbSeries = "wt_total";
+  req.tsdbAgg = "all";
+  req.tsdbWindowMs = 10000.0;  // covers every sample
+  std::string error;
+  const auto all = wire::parseObject(
+      wire::encodeTsdbResponse(store, req, 5 * 1000000000LL), &error);
+  ASSERT_TRUE(all) << error;
+  EXPECT_EQ(all->at("status").string, "ok");
+  EXPECT_EQ(all->at("samples").number, 5.0);
+  EXPECT_EQ(all->at("min").number, 3.0);
+  EXPECT_EQ(all->at("max").number, 15.0);
+  EXPECT_EQ(all->at("last").number, 15.0);
+  EXPECT_NEAR(all->at("rate").number, 3.0, 1e-9);
+
+  req.tsdbAgg = "rate";
+  const auto rate = wire::parseObject(
+      wire::encodeTsdbResponse(store, req, 5 * 1000000000LL), &error);
+  ASSERT_TRUE(rate) << error;
+  EXPECT_NEAR(rate->at("value").number, 3.0, 1e-9);
+
+  req.tsdbAgg = "raw";
+  const auto raw = wire::parseObject(
+      wire::encodeTsdbResponse(store, req, 5 * 1000000000LL), &error);
+  ASSERT_TRUE(raw) << error;
+  EXPECT_EQ(raw->at("body").string,
+            "1000000000 3\n2000000000 6\n3000000000 9\n4000000000 12\n"
+            "5000000000 15\n");
+
+  // Quantile over an unknown family: defined=false, no NaN in the JSON.
+  req.tsdbAgg = "quantile";
+  req.tsdbSeries = "nope_ms";
+  const auto q = wire::parseObject(
+      wire::encodeTsdbResponse(store, req, 5 * 1000000000LL), &error);
+  ASSERT_TRUE(q) << error;
+  EXPECT_FALSE(q->at("defined").boolean);
+  EXPECT_FALSE(q->at("unbounded").boolean);
+}
+
+TEST(Wire, EncodeSloStatusUsesFlatKeys) {
+  ep::obs::SloEngine::SloStatus s;
+  s.name = "p99";
+  s.kind = ep::obs::SloSpec::Kind::LatencyQuantile;
+  s.burning = true;
+  s.worstBurn = 7.25;
+  s.raisedCount = 2;
+  ep::obs::SloEngine::WindowBurn wb;
+  wb.longMs = 3600000;
+  wb.shortMs = 300000;
+  wb.threshold = 14.4;
+  wb.longBurn = 7.25;
+  wb.shortBurn = 6.5;
+  s.windows.push_back(wb);
+  std::string error;
+  const auto obj = wire::parseObject(wire::encodeSloStatus({s}), &error);
+  ASSERT_TRUE(obj) << error;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("slos").number, 1.0);
+  EXPECT_EQ(obj->at("burning").number, 1.0);
+  EXPECT_EQ(obj->at("slo.p99.kind").string, "latency");
+  EXPECT_TRUE(obj->at("slo.p99.burning").boolean);
+  EXPECT_EQ(obj->at("slo.p99.worstBurn").number, 7.25);
+  EXPECT_EQ(obj->at("slo.p99.raised").number, 2.0);
+  EXPECT_EQ(obj->at("slo.p99.w0.threshold").number, 14.4);
+  EXPECT_EQ(obj->at("slo.p99.w0.longBurn").number, 7.25);
+  EXPECT_EQ(obj->at("slo.p99.w0.shortBurn").number, 6.5);
+}
+
 // --- circuit breaker state machine (synthetic time, no sleeping) ---
 
 TEST(CircuitBreaker, DisabledBreakerNeverTrips) {

@@ -103,6 +103,73 @@ echo "stale-served responses after kill: ${STALE}"
 kill "${FLEETD_PID}" 2>/dev/null || true
 wait "${FLEETD_PID}" 2>/dev/null || true
 trap - EXIT
+
+echo "== eptop drill: healthy fleet -> shard kill -> latency SLO burn =="
+# Fleet with the observability plane armed: 100 ms scrapes and a
+# latency SLO (90% of requests within 2 ms, second-scale burn windows
+# so the drill converges fast).  Single tunes — cold or cached — stay
+# well under 2 ms, so after the warm-up ages out of the 3 s window
+# eptop --check must report no burning SLO (exit 0).  Killing a shard
+# and pushing uncached 16-workload study sweeps makes every in-window
+# request blow the threshold, so the burn rate crosses 2x in both
+# windows and eptop --check must exit 2, with the slow requests' trace
+# ids attached as exemplars to the burning cluster buckets.
+./build/tools/epfleetd --port 0 --shards 3 --watchdog --scrape-ms 100 \
+  --slo latency:2:0.9 --slo-window 3000:1000:2 >"${SMOKE_LOG}" 2>&1 &
+FLEETD_PID=$!
+trap 'kill "${FLEETD_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${SMOKE_LOG}" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")"
+[[ -n "${PORT}" ]] || { echo "epfleetd (slo) did not start"; cat "${SMOKE_LOG}"; exit 1; }
+for N in ${FLEET_NS}; do
+  ./build/tools/epserve_client --port "${PORT}" \
+    --raw "{\"op\":\"tune\",\"device\":\"p100\",\"n\":${N},\"maxDegradation\":0.11}" \
+    >/dev/null
+done
+sleep 4  # age the cold-study warm-up out of the 3 s long window
+for N in 256 320; do
+  ./build/tools/epserve_client --port "${PORT}" \
+    --raw "{\"op\":\"tune\",\"device\":\"p100\",\"n\":${N},\"maxDegradation\":0.11}" \
+    >/dev/null
+done
+./build/tools/eptop --port "${PORT}" --once --check >/dev/null \
+  || { echo "eptop --check: healthy fleet should exit 0"; exit 1; }
+
+./build/tools/epserve_client --port "${PORT}" \
+  --raw '{"op":"fleet","action":"kill","shard":"s1"}' >/dev/null
+BURN_RC=0
+COLD_N=1024
+for ROUND in $(seq 1 10); do
+  for _ in 1 2 3 4; do
+    # Sweeps routed to the killed shard are rejected -- that is the
+    # point of the drill; the survivors still carry the burn load.
+    ./build/tools/epserve_client --port "${PORT}" \
+      --raw "{\"op\":\"study\",\"device\":\"p100\",\"nBegin\":${COLD_N},\"nEnd\":$((COLD_N + 3840)),\"nStep\":256,\"trace_id\":\"b0b${ROUND}\"}" \
+      >/dev/null 2>&1 || true
+    COLD_N=$((COLD_N + 4096))
+  done
+  set +e
+  ./build/tools/eptop --port "${PORT}" --once --check >/dev/null
+  BURN_RC=$?
+  set -e
+  [[ "${BURN_RC}" == "2" ]] && break
+  sleep 0.2
+done
+[[ "${BURN_RC}" == "2" ]] || { echo "eptop --check: expected exit 2 (burning latency SLO), got ${BURN_RC}"; exit 1; }
+echo "latency SLO burn caught by eptop --check (round ${ROUND})"
+# The burning cluster histogram must link back to a request: an
+# exemplar trace id on a latency bucket of the OpenMetrics exposition.
+./build/tools/epserve_client --port "${PORT}" \
+  --raw '{"op":"metrics","scope":"cluster","format":"openmetrics"}' \
+  | grep -qE 'ep_serve_request_latency_ms_bucket\{[^}]*\} [0-9]+ # \{trace_id=' \
+  || { echo "no exemplar trace id on the cluster latency buckets"; exit 1; }
+echo "exemplar trace id present on cluster latency buckets"
+kill "${FLEETD_PID}" 2>/dev/null || true
+wait "${FLEETD_PID}" 2>/dev/null || true
+trap - EXIT
 rm -f "${SMOKE_LOG}"
 
 if [[ "${FAST}" == "1" ]]; then

@@ -14,6 +14,18 @@
 // carries per-shard gauges, cluster energy, both cluster Pareto front
 // sizes, and frontsConsistent (streaming fronts vs batch recompute).
 //
+// Cluster observability plane:
+//   {"op":"metrics","scope":"cluster"}                — federated
+//     Prometheus text: per-shard broker registries merged (counters
+//     summed, gauges labeled {shard="sN"}, histogram buckets added);
+//     "format":"openmetrics" renders OpenMetrics 1.0 with exemplars.
+//   {"op":"tsdb", ...}  — windowed queries over the in-process tsdb,
+//     fed by a background scraper of the cluster registry every
+//     --scrape-ms.
+//   {"op":"slo"}        — burn-rate state of every --slo declaration.
+//   {"op":"events"}     — per-shard watchdog recorders (--watchdog)
+//     drained with "shard" tags, plus SLO burn transitions.
+//
 // The shards are in-process broker replicas sharing one deterministic
 // engine (same seed => same tuning hash, so a replica resurrected from
 // a peer's stale store answers for the same cache identity).  --port 0
@@ -24,18 +36,26 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "core/watchdog.hpp"
 #include "fleet/router.hpp"
+#include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "serve/engine.hpp"
 #include "serve/wire.hpp"
 
@@ -80,7 +100,26 @@ struct Args {
   std::uint64_t seed = 0xEB5EEDULL;
   bool meter = false;
   bool tracing = false;
+  bool watchdog = false;
+  std::int64_t scrapeMs = 250;  // 0 disables the background scraper
+  std::vector<std::string> sloSpecs;
+  std::vector<ep::obs::BurnWindow> sloWindows;
 };
+
+bool parseBurnWindow(const std::string& text, ep::obs::BurnWindow* out) {
+  long long longMs = 0;
+  long long shortMs = 0;
+  double burn = 0.0;
+  if (std::sscanf(text.c_str(), "%lld:%lld:%lf", &longMs, &shortMs, &burn) !=
+          3 ||
+      longMs <= 0 || shortMs <= 0 || shortMs > longMs || !(burn > 0.0)) {
+    return false;
+  }
+  out->longMs = longMs;
+  out->shortMs = shortMs;
+  out->burnThreshold = burn;
+  return true;
+}
 
 bool parseArgs(int argc, char** argv, Args* out) {
   for (int i = 1; i < argc; ++i) {
@@ -125,6 +164,21 @@ bool parseArgs(int argc, char** argv, Args* out) {
       out->meter = true;
     } else if (a == "--tracing") {
       out->tracing = true;
+    } else if (a == "--watchdog") {
+      out->watchdog = true;
+    } else if (a == "--scrape-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->scrapeMs = std::stoll(v);
+    } else if (a == "--slo") {
+      const char* v = next();
+      if (!v) return false;
+      out->sloSpecs.emplace_back(v);
+    } else if (a == "--slo-window") {
+      const char* v = next();
+      ep::obs::BurnWindow w;
+      if (!v || !parseBurnWindow(v, &w)) return false;
+      out->sloWindows.push_back(w);
     } else {
       return false;
     }
@@ -156,7 +210,21 @@ std::string handleFleetOp(ep::fleet::FleetRouter& router,
   return w.str();
 }
 
-void serveConnection(int fd, ep::fleet::FleetRouter& router) {
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// One per-shard flight recorder (the shard broker's watchdog), drained
+// with its shard id as the event tag.
+using ShardWatchdogs =
+    std::vector<std::pair<std::string, ep::core::PowerAnomalyWatchdog*>>;
+
+void serveConnection(int fd, ep::fleet::FleetRouter& router,
+                     const ShardWatchdogs& watchdogs,
+                     const ep::obs::TimeSeriesStore& tsdb,
+                     ep::obs::SloEngine* slo) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -207,22 +275,79 @@ void serveConnection(int fd, ep::fleet::FleetRouter& router) {
                 router.study(req->study), req->traceId, req->report);
             break;
           }
-          case ep::serve::wire::WireRequest::Op::Metrics:
-            if (req->prometheus) {
+          case ep::serve::wire::WireRequest::Op::Metrics: {
+            const auto fmt =
+                req->metricsFormat ==
+                        ep::serve::wire::MetricsFormat::OpenMetrics
+                    ? ep::obs::ExpositionFormat::OpenMetrics100
+                    : ep::obs::ExpositionFormat::Prometheus004;
+            if (req->clusterScope) {
+              // Federated cluster registry: every shard broker's
+              // snapshot merged (counters summed, gauges shard-
+              // labeled, histogram buckets added).
               response = ep::serve::wire::encodeTextBody(
-                  ep::obs::Registry::global().renderPrometheus());
-            } else {
-              // The cluster snapshot is the fleet's metrics surface.
+                  router.renderClusterMetrics(fmt));
+            } else if (req->metricsFormat ==
+                       ep::serve::wire::MetricsFormat::Json) {
+              // The cluster snapshot is the fleet's flat-JSON surface.
               response = router.renderWireSnapshot();
+            } else {
+              response = ep::serve::wire::encodeTextBody(
+                  ep::obs::renderExposition(
+                      ep::obs::Registry::global().snapshot(), fmt));
             }
             break;
+          }
           case ep::serve::wire::WireRequest::Op::Trace:
             response = ep::serve::wire::encodeTextBody(
                 ep::obs::Tracer::global().exportChromeTrace());
             break;
-          case ep::serve::wire::WireRequest::Op::Events:
-            response = ep::serve::wire::encodeError(
-                "events live on epserved (fleet shards are in-process)");
+          case ep::serve::wire::WireRequest::Op::Events: {
+            if (watchdogs.empty() && slo == nullptr) {
+              response = ep::serve::wire::encodeError(
+                  "no flight recorders armed (start epfleetd with"
+                  " --watchdog and/or --slo)");
+              break;
+            }
+            std::string body;
+            std::uint64_t alerts = 0;
+            std::uint64_t recorded = 0;
+            std::uint64_t dropped = 0;
+            for (const auto& [shardId, wd] : watchdogs) {
+              for (const ep::obs::FlightEvent& e :
+                   wd->events(req->eventsSince)) {
+                body += ep::obs::encodeFlightEventLine(e, shardId);
+                body += '\n';
+              }
+              alerts += wd->activeAlerts();
+              recorded += wd->recorder().recorded();
+              dropped += wd->recorder().dropped();
+            }
+            if (slo != nullptr) {
+              for (const ep::obs::FlightEvent& e :
+                   slo->events(req->eventsSince)) {
+                body += ep::obs::encodeFlightEventLine(e, "cluster");
+                body += '\n';
+              }
+              alerts += slo->activeAlerts();
+              recorded += slo->recorder().recorded();
+              dropped += slo->recorder().dropped();
+            }
+            response = ep::serve::wire::encodeEvents(alerts, recorded,
+                                                     dropped, body);
+            break;
+          }
+          case ep::serve::wire::WireRequest::Op::Tsdb:
+            response =
+                ep::serve::wire::encodeTsdbResponse(tsdb, *req, steadyNowNs());
+            break;
+          case ep::serve::wire::WireRequest::Op::Slo:
+            if (slo == nullptr) {
+              response = ep::serve::wire::encodeError(
+                  "no SLOs declared (start epfleetd with --slo)");
+            } else {
+              response = ep::serve::wire::encodeSloStatus(slo->status());
+            }
             break;
           case ep::serve::wire::WireRequest::Op::Fleet:
             response = handleFleetOp(router, *req);
@@ -248,8 +373,20 @@ int main(int argc, char** argv) {
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: epfleetd [--port P] [--shards N] [--threads T]"
                  " [--queue Q] [--cache C] [--policy rr|queue|energy]"
-                 " [--vnodes V] [--seed S] [--meter] [--tracing]\n";
+                 " [--vnodes V] [--seed S] [--meter] [--tracing]"
+                 " [--watchdog] [--scrape-ms MS] [--slo SPEC]..."
+                 " [--slo-window L:S:B]...\n";
     return 2;
+  }
+  std::vector<ep::obs::SloSpec> sloSpecs;
+  for (const std::string& text : args.sloSpecs) {
+    std::string sloError;
+    const auto spec = ep::obs::parseSloSpec(text, &sloError);
+    if (!spec) {
+      std::cerr << "epfleetd: " << sloError << "\n";
+      return 2;
+    }
+    sloSpecs.push_back(*spec);
   }
   const auto policy = ep::fleet::parsePolicy(args.policy);
   if (!policy) {
@@ -265,6 +402,10 @@ int main(int argc, char** argv) {
   // result for a key, which is what makes stale replicas equivalent.
   auto engine = std::make_shared<ep::serve::EpStudyEngine>(engineOpts);
 
+  // Per-shard watchdogs (declared before the router so shard brokers
+  // can feed them request outcomes until the router drains).
+  std::vector<std::unique_ptr<ep::core::PowerAnomalyWatchdog>> watchdogs;
+  ShardWatchdogs shardWatchdogs;
   std::vector<ep::fleet::FleetShardConfig> shards;
   shards.reserve(args.shards);
   for (std::size_t i = 0; i < args.shards; ++i) {
@@ -274,12 +415,44 @@ int main(int argc, char** argv) {
     cfg.broker.threads = args.threads;
     cfg.broker.queueCapacity = args.queue;
     cfg.broker.cacheCapacity = args.cache;
+    if (args.watchdog) {
+      watchdogs.push_back(std::make_unique<ep::core::PowerAnomalyWatchdog>(
+          ep::core::WatchdogOptions{}));
+      cfg.broker.watchdog = watchdogs.back().get();
+      shardWatchdogs.emplace_back(cfg.id, watchdogs.back().get());
+    }
     shards.push_back(std::move(cfg));
   }
   ep::fleet::FleetOptions fleetOpts;
   fleetOpts.policy = *policy;
   fleetOpts.virtualNodes = args.vnodes;
   ep::fleet::FleetRouter router(std::move(shards), fleetOpts);
+
+  // Observability plane: scrape the federated cluster registry (plus
+  // the process-wide one) into the tsdb; SLOs evaluate per scrape.
+  ep::obs::TimeSeriesStore tsdb;
+  std::unique_ptr<ep::obs::SloEngine> slo;
+  if (!sloSpecs.empty()) {
+    ep::obs::SloEngine::Options sloOpts;
+    if (!args.sloWindows.empty()) sloOpts.defaultWindows = args.sloWindows;
+    slo = std::make_unique<ep::obs::SloEngine>(&tsdb, sloSpecs, sloOpts);
+  }
+  ep::obs::Scraper::Options scrapeOpts;
+  scrapeOpts.intervalMs = args.scrapeMs > 0 ? args.scrapeMs : 250;
+  if (slo != nullptr) {
+    scrapeOpts.afterScrape = [&slo](std::int64_t nowNs) {
+      slo->evaluate(nowNs);
+    };
+  }
+  ep::obs::Scraper scraper(
+      &tsdb,
+      [&router] {
+        ep::obs::RegistrySnapshot snap = router.clusterSnapshot();
+        snap.append(ep::obs::Registry::global().snapshot());
+        return snap;
+      },
+      scrapeOpts);
+  if (args.scrapeMs > 0) scraper.start();
 
   const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
   if (listenFd < 0) {
@@ -304,7 +477,10 @@ int main(int argc, char** argv) {
             << " (shards=" << args.shards << " threads=" << args.threads
             << " policy=" << ep::fleet::policyName(*policy)
             << " vnodes=" << args.vnodes
-            << " meter=" << (args.meter ? "on" : "off") << ")" << std::endl;
+            << " meter=" << (args.meter ? "on" : "off")
+            << " watchdog=" << (args.watchdog ? "on" : "off")
+            << " scrape-ms=" << (args.scrapeMs > 0 ? args.scrapeMs : 0)
+            << " slos=" << sloSpecs.size() << ")" << std::endl;
 
   gListenFd.store(listenFd);
   std::signal(SIGINT, handleStopSignal);
@@ -316,14 +492,16 @@ int main(int argc, char** argv) {
     const int fd = accept(listenFd, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by the signal handler
     registry.add(fd);
-    connections.emplace_back([fd, &router, &registry] {
-      serveConnection(fd, router);
-      registry.remove(fd);
-      close(fd);
-    });
+    connections.emplace_back(
+        [fd, &router, &registry, &shardWatchdogs, &tsdb, &slo] {
+          serveConnection(fd, router, shardWatchdogs, tsdb, slo.get());
+          registry.remove(fd);
+          close(fd);
+        });
   }
 
   std::cout << "epfleetd: draining..." << std::endl;
+  scraper.stop();
   router.shutdown();
   registry.shutdownAll();
   for (auto& t : connections) t.join();

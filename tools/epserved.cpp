@@ -10,6 +10,7 @@
 //            [--deadline-ms D] [--meter] [--seed S] [--tracing]
 //            [--watchdog] [--watchdog-watts W]
 //            [--fault-offset W] [--fault-offset-rate R]
+//            [--scrape-ms MS] [--slo SPEC]... [--slo-window L:S:B]...
 //
 // --port 0 picks an ephemeral port; the chosen one is printed either
 // way so scripts (and epserve_client) can parse it.  SIGINT/SIGTERM
@@ -28,13 +29,24 @@
 // it.  --fault-offset injects the paper's Fig 6 constant component
 // (default rate 1.0 when only the wattage is given) — the canonical
 // demo is  --meter --watchdog --fault-offset 58.
+//
+// A background scraper feeds the in-process tsdb from the broker +
+// process registries every --scrape-ms (0 disables); {"op":"tsdb"}
+// runs range/window queries over it.  --slo declares latency/energy
+// SLOs ("latency:<ms>:<objective>" / "energy:<joulesPerReq>"),
+// evaluated at scrape cadence with multi-window burn-rate alerting
+// ({"op":"slo"}; burn transitions also land in {"op":"events"}).
+// --slo-window L:S:B (ms:ms:burn) overrides the default window pairs.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <chrono>
 #include <csignal>
+#include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <memory>
@@ -46,7 +58,9 @@
 #include "core/watchdog.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "power/observer.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
@@ -98,7 +112,25 @@ struct Args {
   double watchdogWatts = 25.0;
   double faultOffset = 0.0;
   double faultOffsetRate = 1.0;
+  std::int64_t scrapeMs = 250;  // 0 disables the background scraper
+  std::vector<std::string> sloSpecs;
+  std::vector<ep::obs::BurnWindow> sloWindows;
 };
+
+bool parseBurnWindow(const std::string& text, ep::obs::BurnWindow* out) {
+  long long longMs = 0;
+  long long shortMs = 0;
+  double burn = 0.0;
+  if (std::sscanf(text.c_str(), "%lld:%lld:%lf", &longMs, &shortMs, &burn) !=
+          3 ||
+      longMs <= 0 || shortMs <= 0 || shortMs > longMs || !(burn > 0.0)) {
+    return false;
+  }
+  out->longMs = longMs;
+  out->shortMs = shortMs;
+  out->burnThreshold = burn;
+  return true;
+}
 
 bool parseArgs(int argc, char** argv, Args* out) {
   for (int i = 1; i < argc; ++i) {
@@ -148,6 +180,19 @@ bool parseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->faultOffsetRate = std::stod(v);
+    } else if (a == "--scrape-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->scrapeMs = std::stoll(v);
+    } else if (a == "--slo") {
+      const char* v = next();
+      if (!v) return false;
+      out->sloSpecs.emplace_back(v);
+    } else if (a == "--slo-window") {
+      const char* v = next();
+      ep::obs::BurnWindow w;
+      if (!v || !parseBurnWindow(v, &w)) return false;
+      out->sloWindows.push_back(w);
     } else {
       return false;
     }
@@ -159,8 +204,16 @@ bool parseArgs(int argc, char** argv, Args* out) {
 // peer closes, the server is shutting down, or the peer streams a
 // "line" past the frame ceiling (buffering is bounded: a client that
 // never sends a newline cannot grow our memory without limit).
+std::int64_t steadyNowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
 void serveConnection(int fd, ep::serve::Broker& broker,
-                     ep::core::PowerAnomalyWatchdog* watchdog) {
+                     ep::core::PowerAnomalyWatchdog* watchdog,
+                     const ep::obs::TimeSeriesStore& tsdb,
+                     ep::obs::SloEngine* slo) {
   std::string buffer;
   char chunk[4096];
   for (;;) {
@@ -215,14 +268,26 @@ void serveConnection(int fd, ep::serve::Broker& broker,
             break;
           }
           case ep::serve::wire::WireRequest::Op::Metrics:
-            if (req->prometheus) {
+            if (req->clusterScope) {
+              response = ep::serve::wire::encodeError(
+                  "cluster scope needs a fleet server (epfleetd)");
+            } else if (req->metricsFormat ==
+                       ep::serve::wire::MetricsFormat::Json) {
+              response = ep::serve::wire::encodeMetrics(broker.metrics());
+            } else {
               // Broker registry first, then the process-wide registry
               // (thread pool, cusim, study phases) — disjoint names.
+              // One combined snapshot so the OpenMetrics form carries a
+              // single trailing # EOF.
+              ep::obs::RegistrySnapshot snap = broker.snapshotRegistry();
+              snap.append(ep::obs::Registry::global().snapshot());
+              const auto fmt = req->metricsFormat ==
+                                       ep::serve::wire::MetricsFormat::
+                                           OpenMetrics
+                                   ? ep::obs::ExpositionFormat::OpenMetrics100
+                                   : ep::obs::ExpositionFormat::Prometheus004;
               response = ep::serve::wire::encodeTextBody(
-                  broker.renderPrometheus() +
-                  ep::obs::Registry::global().renderPrometheus());
-            } else {
-              response = ep::serve::wire::encodeMetrics(broker.metrics());
+                  ep::obs::renderExposition(snap, fmt));
             }
             break;
           case ep::serve::wire::WireRequest::Op::Trace:
@@ -230,22 +295,55 @@ void serveConnection(int fd, ep::serve::Broker& broker,
                 ep::obs::Tracer::global().exportChromeTrace());
             break;
           case ep::serve::wire::WireRequest::Op::Events: {
-            if (watchdog == nullptr) {
+            if (watchdog == nullptr && slo == nullptr) {
               response = ep::serve::wire::encodeError(
-                  "watchdog disabled (start epserved with --watchdog)");
+                  "no flight recorders armed (start epserved with"
+                  " --watchdog and/or --slo)");
               break;
             }
+            // One drain over every armed recorder: the watchdog's
+            // power-anomaly events and the SLO engine's burn
+            // transitions share the wire format (epwatch renders both).
             std::string body;
-            for (const ep::obs::FlightEvent& e :
-                 watchdog->events(req->eventsSince)) {
-              body += ep::obs::encodeFlightEventLine(e);
-              body += '\n';
+            std::uint64_t alerts = 0;
+            std::uint64_t recorded = 0;
+            std::uint64_t dropped = 0;
+            if (watchdog != nullptr) {
+              for (const ep::obs::FlightEvent& e :
+                   watchdog->events(req->eventsSince)) {
+                body += ep::obs::encodeFlightEventLine(e);
+                body += '\n';
+              }
+              alerts += watchdog->activeAlerts();
+              recorded += watchdog->recorder().recorded();
+              dropped += watchdog->recorder().dropped();
             }
-            response = ep::serve::wire::encodeEvents(
-                watchdog->activeAlerts(), watchdog->recorder().recorded(),
-                watchdog->recorder().dropped(), body);
+            if (slo != nullptr) {
+              for (const ep::obs::FlightEvent& e :
+                   slo->events(req->eventsSince)) {
+                body += ep::obs::encodeFlightEventLine(e);
+                body += '\n';
+              }
+              alerts += slo->activeAlerts();
+              recorded += slo->recorder().recorded();
+              dropped += slo->recorder().dropped();
+            }
+            response = ep::serve::wire::encodeEvents(alerts, recorded,
+                                                     dropped, body);
             break;
           }
+          case ep::serve::wire::WireRequest::Op::Tsdb:
+            response =
+                ep::serve::wire::encodeTsdbResponse(tsdb, *req, steadyNowNs());
+            break;
+          case ep::serve::wire::WireRequest::Op::Slo:
+            if (slo == nullptr) {
+              response = ep::serve::wire::encodeError(
+                  "no SLOs declared (start epserved with --slo)");
+            } else {
+              response = ep::serve::wire::encodeSloStatus(slo->status());
+            }
+            break;
           case ep::serve::wire::WireRequest::Op::Fleet:
             response = ep::serve::wire::encodeError(
                 "fleet ops need a fleet server (epfleetd)");
@@ -272,8 +370,19 @@ int main(int argc, char** argv) {
     std::cerr << "usage: epserved [--port P] [--threads N] [--queue Q]"
                  " [--cache C] [--deadline-ms D] [--meter] [--seed S]"
                  " [--tracing] [--watchdog] [--watchdog-watts W]"
-                 " [--fault-offset W] [--fault-offset-rate R]\n";
+                 " [--fault-offset W] [--fault-offset-rate R]"
+                 " [--scrape-ms MS] [--slo SPEC]... [--slo-window L:S:B]...\n";
     return 2;
+  }
+  std::vector<ep::obs::SloSpec> sloSpecs;
+  for (const std::string& text : args.sloSpecs) {
+    std::string sloError;
+    const auto spec = ep::obs::parseSloSpec(text, &sloError);
+    if (!spec) {
+      std::cerr << "epserved: " << sloError << "\n";
+      return 2;
+    }
+    sloSpecs.push_back(*spec);
   }
   if (args.tracing) ep::obs::Tracer::global().setEnabled(true);
 
@@ -308,6 +417,34 @@ int main(int argc, char** argv) {
   brokerOpts.watchdog = watchdog.get();
   ep::serve::Broker broker(engine, brokerOpts);
 
+  // Observability plane: the tsdb is fed by a background scraper over
+  // the broker + process registries; the SLO engine (when any --slo was
+  // declared) evaluates on every scrape.  Declared after the broker so
+  // the scraper stops before the broker it snapshots is torn down.
+  ep::obs::TimeSeriesStore tsdb;
+  std::unique_ptr<ep::obs::SloEngine> slo;
+  if (!sloSpecs.empty()) {
+    ep::obs::SloEngine::Options sloOpts;
+    if (!args.sloWindows.empty()) sloOpts.defaultWindows = args.sloWindows;
+    slo = std::make_unique<ep::obs::SloEngine>(&tsdb, sloSpecs, sloOpts);
+  }
+  ep::obs::Scraper::Options scrapeOpts;
+  scrapeOpts.intervalMs = args.scrapeMs > 0 ? args.scrapeMs : 250;
+  if (slo != nullptr) {
+    scrapeOpts.afterScrape = [&slo](std::int64_t nowNs) {
+      slo->evaluate(nowNs);
+    };
+  }
+  ep::obs::Scraper scraper(
+      &tsdb,
+      [&broker] {
+        ep::obs::RegistrySnapshot snap = broker.snapshotRegistry();
+        snap.append(ep::obs::Registry::global().snapshot());
+        return snap;
+      },
+      scrapeOpts);
+  if (args.scrapeMs > 0) scraper.start();
+
   const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
   if (listenFd < 0) {
     std::perror("socket");
@@ -335,6 +472,8 @@ int main(int argc, char** argv) {
             << " cache=" << brokerOpts.cacheCapacity
             << " meter=" << (engineOpts.useMeter ? "on" : "off")
             << " watchdog=" << (args.watchdog ? "on" : "off")
+            << " scrape-ms=" << (args.scrapeMs > 0 ? args.scrapeMs : 0)
+            << " slos=" << sloSpecs.size()
             << (engineOpts.faults.enabled ? " fault-offset=" : "")
             << (engineOpts.faults.enabled
                     ? std::to_string(engineOpts.faults.offsetWatts)
@@ -351,14 +490,15 @@ int main(int argc, char** argv) {
     const int fd = accept(listenFd, nullptr, nullptr);
     if (fd < 0) break;  // listener closed by the signal handler
     registry.add(fd);
-    connections.emplace_back([fd, &broker, &registry, &watchdog] {
-      serveConnection(fd, broker, watchdog.get());
+    connections.emplace_back([fd, &broker, &registry, &watchdog, &tsdb, &slo] {
+      serveConnection(fd, broker, watchdog.get(), tsdb, slo.get());
       registry.remove(fd);
       close(fd);
     });
   }
 
   std::cout << "epserved: draining..." << std::endl;
+  scraper.stop();
   broker.shutdown();
   registry.shutdownAll();
   for (auto& t : connections) t.join();

@@ -1,0 +1,334 @@
+// eptop — live terminal dashboard over the fleet observability plane.
+//
+// Usage:
+//   eptop [--host H] [--port P] [--interval-ms MS] [--once] [--check]
+//
+// Polls an epfleetd (or epserved) endpoint and renders one screen per
+// interval:
+//   * per-shard serving state from {"op":"fleet"}: q50/q99 latency,
+//     queue depth, completed / stale-served counts and J/request
+//     (attributed joules over completed),
+//   * cluster p50/p99 from {"op":"tsdb"} windowed histogram quantiles
+//     over the scraped latency family,
+//   * every declared SLO from {"op":"slo"}: burn gauge (worst window
+//     burn vs threshold) and burning/ok state,
+//   * active flight-recorder alerts from {"op":"events"} when any
+//     recorder is armed.
+//
+// Single-shard epserved endpoints simply have no shard rows; the tsdb
+// and SLO panes work the same against either daemon.
+//
+// Exit status (script/CI-friendly):
+//   0 — connected, and (with --check) no SLO is burning
+//   1 — could not connect / server answered garbage
+//   2 — --check and at least one SLO is burning
+//
+// --once renders a single frame without clearing the screen (the mode
+// the ci.sh burn drill uses with --check); the interactive loop
+// repaints with ANSI home+clear until interrupted.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t gStop = 0;
+void handleStopSignal(int) { gStop = 1; }
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7071;
+  std::int64_t intervalMs = 1000;
+  bool once = false;
+  bool check = false;
+};
+
+bool parseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      a->host = v;
+    } else if (arg == "--port" && (v = next())) {
+      a->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (arg == "--interval-ms" && (v = next())) {
+      a->intervalMs = std::stoll(v);
+    } else if (arg == "--once") {
+      a->once = true;
+    } else if (arg == "--check") {
+      a->check = true;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Connection {
+ public:
+  bool open(const std::string& host, std::uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool roundTrip(const std::string& request, std::string* response) {
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = send(fd_, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char chunk[4096];
+      const ssize_t got = recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    *response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+using Object = ep::serve::wire::Object;
+
+double numberOr(const Object& obj, const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::Number) {
+    return fallback;
+  }
+  return it->second.number;
+}
+
+bool boolOr(const Object& obj, const std::string& key, bool fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::Bool) {
+    return fallback;
+  }
+  return it->second.boolean;
+}
+
+std::string stringOr(const Object& obj, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::String) {
+    return fallback;
+  }
+  return it->second.string;
+}
+
+// Ask one op; nullopt when the transport fails or the line is not a
+// JSON object.  A {"status":"error"} answer still parses — callers
+// check "status" when they care (some ops are legitimately absent,
+// e.g. {"op":"slo"} on a daemon with no --slo).
+std::optional<Object> query(Connection& conn, const std::string& request) {
+  std::string response;
+  if (!conn.roundTrip(request, &response)) return std::nullopt;
+  std::string error;
+  return ep::serve::wire::parseObject(response, &error);
+}
+
+// The shard ids present in a fleet snapshot's flat "shard.<id>.<k>"
+// keys, in key order.
+std::vector<std::string> shardIdsIn(const Object& fleet) {
+  std::vector<std::string> ids;
+  for (const auto& [key, value] : fleet) {
+    (void)value;
+    if (key.rfind("shard.", 0) != 0) continue;
+    const std::size_t dot = key.find('.', 6);
+    if (dot == std::string::npos) continue;
+    const std::string id = key.substr(6, dot - 6);
+    if (ids.empty() || ids.back() != id) {
+      if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+        ids.push_back(id);
+      }
+    }
+  }
+  return ids;
+}
+
+// One "burnGauge" cell: worst burn against its alerting threshold,
+// e.g. "0.31/2.0x".
+std::string burnGauge(double burn, double threshold) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.2f/%.1fx", burn, threshold);
+  return buf;
+}
+
+struct Frame {
+  bool ok = false;          // fleet (or metrics) answered
+  std::uint64_t burning = 0;  // SLOs currently burning
+};
+
+Frame renderFrame(Connection& conn, const Args& args) {
+  Frame frame;
+
+  const auto fleet = query(conn, "{\"op\":\"fleet\"}");
+  const auto slo = query(conn, "{\"op\":\"slo\"}");
+  const auto events = query(conn, "{\"op\":\"events\"}");
+  if (!fleet) return frame;
+  const bool isFleet = stringOr(*fleet, "status", "") == "ok";
+  frame.ok = true;
+
+  std::printf("eptop @ %s:%u", args.host.c_str(),
+              static_cast<unsigned>(args.port));
+  if (isFleet) {
+    std::printf(" — policy=%s shards=%g alive=%g requests=%g "
+                "staleFallbacks=%g",
+                stringOr(*fleet, "policy", "?").c_str(),
+                numberOr(*fleet, "shards", 0), numberOr(*fleet, "aliveShards", 0),
+                numberOr(*fleet, "requests", 0),
+                numberOr(*fleet, "staleFallbacks", 0));
+  }
+  if (events && stringOr(*events, "status", "") == "ok") {
+    std::printf("  alerts=%g", numberOr(*events, "alerts", 0));
+  }
+  std::printf("\n\n");
+
+  if (isFleet) {
+    std::printf("  %-6s %-5s %9s %9s %7s %10s %8s %10s\n", "shard", "state",
+                "q50 ms", "q99 ms", "queue", "completed", "stale",
+                "J/request");
+    for (const std::string& id : shardIdsIn(*fleet)) {
+      const std::string p = "shard." + id + ".";
+      const bool alive = boolOr(*fleet, p + "alive", true);
+      const double completed = numberOr(*fleet, p + "completed", 0);
+      const double joules = numberOr(*fleet, p + "attributedJoules", 0);
+      const double jpr = completed > 0 ? joules / completed : 0.0;
+      std::printf("  %-6s %-5s %9.3f %9.3f %7.0f %10.0f %8.0f %10.4g\n",
+                  id.c_str(), alive ? "up" : "DOWN",
+                  numberOr(*fleet, p + "q50Ms", 0),
+                  numberOr(*fleet, p + "q99Ms", 0),
+                  numberOr(*fleet, p + "queueDepth", 0), completed,
+                  numberOr(*fleet, p + "staleServed", 0), jpr);
+    }
+    std::printf("\n");
+  }
+
+  // Cluster-window latency quantiles out of the tsdb (whatever the
+  // scraper has ingested; absent early in a daemon's life).
+  for (const double q : {0.50, 0.99}) {
+    char reqLine[160];
+    std::snprintf(reqLine, sizeof reqLine,
+                  "{\"op\":\"tsdb\",\"series\":\"ep_serve_request_latency_ms\""
+                  ",\"agg\":\"quantile\",\"q\":%.2f,\"windowMs\":60000}",
+                  q);
+    const auto tq = query(conn, reqLine);
+    if (!tq || stringOr(*tq, "status", "") != "ok") continue;
+    if (!boolOr(*tq, "defined", false)) continue;
+    if (boolOr(*tq, "unbounded", false)) {
+      std::printf("  tsdb p%.0f (60s) : beyond last bucket bound\n", q * 100);
+    } else {
+      std::printf("  tsdb p%.0f (60s) : <= %.3f ms\n", q * 100,
+                  numberOr(*tq, "value", 0));
+    }
+  }
+
+  if (slo && stringOr(*slo, "status", "") == "ok") {
+    frame.burning = static_cast<std::uint64_t>(numberOr(*slo, "burning", 0));
+    std::printf("\n  %-14s %-8s %-8s %12s %8s\n", "slo", "kind", "state",
+                "burn gauge", "raised");
+    // Flat keys "slo.<name>.<field>" — collect the names first.
+    std::vector<std::string> names;
+    for (const auto& [key, value] : *slo) {
+      (void)value;
+      if (key.rfind("slo.", 0) != 0) continue;
+      const std::size_t dot = key.find('.', 4);
+      if (dot == std::string::npos) continue;
+      const std::string name = key.substr(4, dot - 4);
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+    for (const std::string& name : names) {
+      const std::string p = "slo." + name + ".";
+      const bool burning = boolOr(*slo, p + "burning", false);
+      // The tightest (first) window's threshold anchors the gauge.
+      const double threshold = numberOr(*slo, p + "w0.threshold", 1.0);
+      std::printf("  %-14s %-8s %-8s %12s %8.0f\n", name.c_str(),
+                  stringOr(*slo, p + "kind", "?").c_str(),
+                  burning ? "BURNING" : "ok",
+                  burnGauge(numberOr(*slo, p + "worstBurn", 0), threshold)
+                      .c_str(),
+                  numberOr(*slo, p + "raised", 0));
+    }
+  } else {
+    std::printf("\n  (no SLOs declared on this endpoint)\n");
+  }
+  std::fflush(stdout);
+  return frame;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr << "usage: eptop [--host H] [--port P] [--interval-ms MS]"
+                 " [--once] [--check]\n";
+    return 2;
+  }
+
+  Connection conn;
+  if (!conn.open(args.host, args.port)) {
+    std::cerr << "eptop: cannot connect to " << args.host << ":" << args.port
+              << "\n";
+    return 1;
+  }
+
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+
+  Frame frame;
+  for (;;) {
+    if (!args.once) std::printf("\x1b[H\x1b[2J");
+    frame = renderFrame(conn, args);
+    if (!frame.ok) {
+      std::cerr << "eptop: lost connection to " << args.host << ":"
+                << args.port << "\n";
+      return 1;
+    }
+    if (args.once || gStop) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.intervalMs));
+    if (gStop) break;
+  }
+
+  if (args.check && frame.burning > 0) return 2;
+  return 0;
+}

@@ -2,6 +2,7 @@
 //
 // Usage:
 //   epwatch [--host H] [--port P] [--since SEQ] [--check] [--raw]
+//           [--fleet]
 //
 // Fetches {"op":"events"} (the watchdog flight recorder) plus the
 // Prometheus exposition, and renders:
@@ -19,6 +20,12 @@
 // --since SEQ drains only events newer than SEQ (incremental tailing:
 // feed the highest seq you have seen back in).  --raw dumps the event
 // lines verbatim (one flat JSON object per line) for jq-style piping.
+//
+// --fleet points the drain at an epfleetd endpoint (default port 7071
+// unless --port says otherwise): the fleet daemon merges every shard
+// watchdog's recorder plus the SLO engine's burn transitions into one
+// stream, each event tagged with the shard it came from — the tag is
+// rendered as a [shard] column.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -38,9 +45,11 @@ namespace {
 struct Args {
   std::string host = "127.0.0.1";
   std::uint16_t port = 7070;
+  bool portSet = false;
   std::uint64_t since = 0;
   bool check = false;
   bool raw = false;
+  bool fleet = false;
 };
 
 bool parseArgs(int argc, char** argv, Args* a) {
@@ -54,16 +63,20 @@ bool parseArgs(int argc, char** argv, Args* a) {
       a->host = v;
     } else if (arg == "--port" && (v = next())) {
       a->port = static_cast<std::uint16_t>(std::stoi(v));
+      a->portSet = true;
     } else if (arg == "--since" && (v = next())) {
       a->since = std::stoull(v);
     } else if (arg == "--check") {
       a->check = true;
     } else if (arg == "--raw") {
       a->raw = true;
+    } else if (arg == "--fleet") {
+      a->fleet = true;
     } else {
       return false;
     }
   }
+  if (a->fleet && !a->portSet) a->port = 7071;  // epfleetd's default
   return true;
 }
 
@@ -128,7 +141,7 @@ std::string stringOr(const ep::serve::wire::Object& obj,
   return it->second.string;
 }
 
-void printEvent(const ep::serve::wire::Object& e) {
+void printEvent(const ep::serve::wire::Object& e, bool fleet) {
   const std::string kind = stringOr(e, "kind", "?");
   const auto seq = static_cast<std::uint64_t>(numberOr(e, "seq", 0.0));
   const std::string scope = stringOr(e, "scope", "");
@@ -136,10 +149,18 @@ void printEvent(const ep::serve::wire::Object& e) {
   const double threshold = numberOr(e, "threshold", 0.0);
   const std::string trace = stringOr(e, "trace", "0");
   const std::string message = stringOr(e, "message", "");
-  const char* marker = kind == "cleared" ? " ok  " : "ALERT";
-  std::printf("  [%s] #%-4llu %-18s %-14s %9.3g / %-9.3g trace=%s\n",
-              marker, static_cast<unsigned long long>(seq), kind.c_str(),
-              scope.c_str(), value, threshold, trace.c_str());
+  const std::string shard = stringOr(e, "shard", "-");
+  const char* marker =
+      (kind == "cleared" || kind == "slo_cleared") ? " ok  " : "ALERT";
+  if (fleet) {
+    std::printf("  [%s] #%-4llu [%-7s] %-18s %-14s %9.3g / %-9.3g trace=%s\n",
+                marker, static_cast<unsigned long long>(seq), shard.c_str(),
+                kind.c_str(), scope.c_str(), value, threshold, trace.c_str());
+  } else {
+    std::printf("  [%s] #%-4llu %-18s %-14s %9.3g / %-9.3g trace=%s\n",
+                marker, static_cast<unsigned long long>(seq), kind.c_str(),
+                scope.c_str(), value, threshold, trace.c_str());
+  }
   if (!message.empty()) std::printf("          %s\n", message.c_str());
 }
 
@@ -166,7 +187,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: epwatch [--host H] [--port P] [--since SEQ]"
-                 " [--check] [--raw]\n";
+                 " [--check] [--raw] [--fleet]\n";
     return 2;
   }
 
@@ -220,7 +241,7 @@ int main(int argc, char** argv) {
       const auto e = ep::serve::wire::parseObject(line, &error);
       if (!e) continue;
       any = true;
-      printEvent(*e);
+      printEvent(*e, args.fleet);
     }
     if (!any) std::printf("  (no events%s)\n",
                           args.since > 0 ? " past --since" : "");
