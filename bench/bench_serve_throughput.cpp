@@ -1,19 +1,40 @@
-// Serving-path benchmark: requests/sec through the epserve broker and
-// the cache-hit vs cold-study latency split, across thread counts.
+// Serving-path benchmark: requests/sec through the epserve broker —
+// in-process, then over real loopback TCP through the net::Server
+// event loop in all three wire modes (JSON round-trip, JSON pipelined,
+// EPB1 binary pipelined) at 1/4/16/64 connections.
 //
-// The interesting ratio is cold vs hit: a cold TuneRequest pays the
-// full configuration-space study (every launchable (BS, G, R) through
-// the GPU model), while a hit replays the cached front through the
-// budget-specific tuner.  The acceptance bar is hit latency at least
-// 10x better than cold.
+// The interesting in-process ratio is cold vs hit: a cold TuneRequest
+// pays the full configuration-space study (every launchable (BS, G, R)
+// through the GPU model), while a hit replays the cached front through
+// the budget-specific tuner.  The acceptance bar is hit latency at
+// least 10x better than cold.
+//
+// The TCP section is the PR 8 acceptance record: binary pipelined
+// throughput must be >= 3x the thread-per-connection baseline
+// (44.7k req/s); every row lands in BENCH_serve.json.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <deque>
 #include <memory>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "net/frame.hpp"
+#include "net/server.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "serve/wire_binary.hpp"
 
 namespace {
 
@@ -95,6 +116,186 @@ double measureThroughput(const std::vector<int>& sizes, std::size_t threads,
   return static_cast<double>(requests) / s;
 }
 
+// ---------------------------------------------------------------------
+// TCP section: the same broker mounted on the net::Server event loop,
+// driven by loopback client threads (one connection each, epserve_client
+// style sliding window with batched writes).
+
+struct TcpWorkerOut {
+  std::vector<double> latenciesMs;
+  int ok = 0;
+  int errors = 0;
+};
+
+void runTcpWorker(std::uint16_t port, int requests,
+                  const std::vector<int>& sizes, bool binary, int pipeline,
+                  TcpWorkerOut* out) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    out->errors = requests;
+    return;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close(fd);
+    out->errors = requests;
+    return;
+  }
+  out->latenciesMs.reserve(static_cast<std::size_t>(requests));
+
+  std::string outBuf;
+  if (binary) outBuf.append(ep::net::kMagic, sizeof ep::net::kMagic);
+  std::string inBuf;
+  std::deque<Clock::time_point> starts;
+  int queued = 0;
+  int received = 0;
+
+  ep::serve::wire_binary::BinaryTuneRequest breq;
+  breq.tune.maxDegradation = 0.11;
+
+  while (received < requests) {
+    while (queued < requests && queued - received < pipeline) {
+      const int n = sizes[static_cast<std::size_t>(queued) % sizes.size()];
+      starts.push_back(Clock::now());
+      if (binary) {
+        breq.tune.n = n;
+        ep::net::appendFrame(outBuf, ep::net::kOpTune,
+                             ep::serve::wire_binary::encodeTuneRequest(breq));
+      } else {
+        ep::serve::wire::ObjectWriter w;
+        w.add("op", "tune").add("device", "p100").add("n", n).add(
+            "maxDegradation", 0.11);
+        outBuf += w.str();
+        outBuf += '\n';
+      }
+      ++queued;
+    }
+    std::size_t sent = 0;
+    while (sent < outBuf.size()) {
+      const ssize_t k = send(fd, outBuf.data() + sent, outBuf.size() - sent, 0);
+      if (k <= 0) {
+        out->errors += requests - received;
+        close(fd);
+        return;
+      }
+      sent += static_cast<std::size_t>(k);
+    }
+    outBuf.clear();
+
+    bool madeProgress = false;
+    while (!madeProgress || received < queued) {
+      if (binary) {
+        std::uint64_t len = 0;
+        const int used = ep::net::readVarint(inBuf.data(), inBuf.size(), &len);
+        if (used < 0 || (used > 0 && len == 0)) {
+          out->errors += requests - received;
+          close(fd);
+          return;
+        }
+        if (used > 0 && inBuf.size() >= static_cast<std::size_t>(used) + len) {
+          const std::string payload =
+              inBuf.substr(static_cast<std::size_t>(used) + 1,
+                           static_cast<std::size_t>(len) - 1);
+          inBuf.erase(0, static_cast<std::size_t>(used) +
+                             static_cast<std::size_t>(len));
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - starts.front())
+                                .count();
+          starts.pop_front();
+          std::string err;
+          const auto resp =
+              ep::serve::wire_binary::decodeTuneResponse(payload, &err);
+          if (resp && resp->status == ep::serve::Status::Ok) {
+            ++out->ok;
+            out->latenciesMs.push_back(ms);
+          } else {
+            ++out->errors;
+          }
+          ++received;
+          madeProgress = true;
+          continue;
+        }
+      } else {
+        const std::size_t nl = inBuf.find('\n');
+        if (nl != std::string::npos) {
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - starts.front())
+                                .count();
+          starts.pop_front();
+          // Cheap status check: every OK tune response leads with it.
+          static constexpr char kOkPrefix[] = "{\"status\":\"ok\"";
+          if (nl >= sizeof kOkPrefix - 1 &&
+              std::memcmp(inBuf.data(), kOkPrefix, sizeof kOkPrefix - 1) ==
+                  0) {
+            ++out->ok;
+            out->latenciesMs.push_back(ms);
+          } else {
+            ++out->errors;
+          }
+          inBuf.erase(0, nl + 1);
+          ++received;
+          madeProgress = true;
+          continue;
+        }
+      }
+      if (madeProgress) break;  // buffer drained; go refill the window
+      char chunk[65536];
+      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) {
+        out->errors += requests - received;
+        close(fd);
+        return;
+      }
+      inBuf.append(chunk, static_cast<std::size_t>(got));
+    }
+  }
+  close(fd);
+}
+
+double percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  return v[static_cast<std::size_t>(p * static_cast<double>(v.size() - 1))];
+}
+
+struct TcpResult {
+  double rps = 0.0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  int ok = 0;
+  int errors = 0;
+};
+
+TcpResult measureTcp(std::uint16_t port, int connections, int totalRequests,
+                     const std::vector<int>& sizes, bool binary,
+                     int pipeline) {
+  std::vector<TcpWorkerOut> outs(static_cast<std::size_t>(connections));
+  std::vector<std::thread> workers;
+  const int perConn = totalRequests / connections;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back(runTcpWorker, port, perConn, std::cref(sizes), binary,
+                         pipeline, &outs[static_cast<std::size_t>(c)]);
+  }
+  for (auto& t : workers) t.join();
+  const double s = msSince(t0) / 1e3;
+
+  TcpResult r;
+  std::vector<double> all;
+  for (auto& o : outs) {
+    r.ok += o.ok;
+    r.errors += o.errors;
+    all.insert(all.end(), o.latenciesMs.begin(), o.latenciesMs.end());
+  }
+  r.rps = s > 0.0 ? static_cast<double>(r.ok + r.errors) / s : 0.0;
+  r.p50Ms = percentile(all, 0.50);
+  r.p99Ms = percentile(all, 0.99);
+  return r;
+}
+
 }  // namespace
 
 int main() {
@@ -122,13 +323,84 @@ int main() {
   records.push_back({"latency/cache_hit", 4, split.hitMs * 1e6,
                      split.hitMs > 0.0 ? 1e3 / split.hitMs : 0.0});
 
-  std::printf("throughput (%d requests, warm cache):\n", kRequests);
+  std::printf("throughput (%d requests, warm cache, in-process):\n",
+              kRequests);
   for (std::size_t threads : {1u, 2u, 4u, 8u}) {
     const double rps = measureThroughput(sizes, threads, kRequests);
     std::printf("  threads=%zu : %12.0f req/s\n", threads, rps);
-    records.push_back({"throughput/warm", static_cast<int>(threads),
+    records.push_back({"inprocess/warm", static_cast<int>(threads),
                        rps > 0.0 ? 1e9 / rps : 0.0, rps});
   }
+
+  // TCP serving path: one broker behind the net::Server event loop,
+  // loaded over loopback in all three wire modes.  The `threads`
+  // column of these records is the client connection count.
+  {
+    auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+    BrokerOptions opts;
+    opts.threads = 2;
+    opts.queueCapacity = 8192;
+    Broker broker(engine, opts);
+    for (int n : sizes) (void)broker.tune(req(Device::P100, n));
+
+    ep::serve::NetServiceHooks hooks;
+    hooks.tuneBatch =
+        [&broker](std::vector<ep::serve::ServiceTuneItem>&& items) {
+          std::vector<Broker::TuneBatchItem> batch;
+          batch.reserve(items.size());
+          for (auto& item : items) {
+            Broker::TuneBatchItem member;
+            member.req = item.req;
+            member.ctx = item.ctx;
+            member.done = std::move(item.done);
+            batch.push_back(std::move(member));
+          }
+          broker.submitTuneBatch(std::move(batch));
+        };
+    hooks.study = [&broker](const ep::serve::StudyRequest& r) {
+      return broker.study(r);
+    };
+    hooks.control = [](const ep::serve::wire::WireRequest&) {
+      return ep::serve::wire::encodeError("unsupported op");
+    };
+    ep::serve::NetService service(std::move(hooks));
+    ep::net::ServerOptions netOpts;
+    netOpts.port = 0;
+    ep::net::Server server(netOpts, service.handler());
+    std::string netError;
+    if (!server.start(&netError)) {
+      std::fprintf(stderr, "net server: %s\n", netError.c_str());
+      return 1;
+    }
+
+    struct Mode {
+      const char* name;
+      bool binary;
+      int pipeline;
+    };
+    constexpr Mode kModes[] = {{"tcp_json_roundtrip", false, 1},
+                               {"tcp_json_pipelined", false, 32},
+                               {"tcp_binary_pipelined", true, 32}};
+    std::printf(
+        "\ntcp serving path (event-loop server, loopback, warm cache):\n");
+    for (const Mode& mode : kModes) {
+      for (int conns : {1, 4, 16, 64}) {
+        const TcpResult r =
+            measureTcp(server.port(), conns, kRequests, sizes, mode.binary,
+                       mode.pipeline);
+        std::printf(
+            "  %-20s conns=%2d : %9.0f req/s  p50=%7.3f ms  p99=%7.3f ms%s\n",
+            mode.name, conns, r.rps, r.p50Ms, r.p99Ms,
+            r.errors > 0 ? "  (ERRORS)" : "");
+        records.push_back({std::string("tcp/") + mode.name, conns,
+                           r.rps > 0.0 ? 1e9 / r.rps : 0.0, r.rps});
+      }
+    }
+    server.stop();
+    service.stop();
+    broker.shutdown();
+  }
+
   ep::bench::writeBenchJson("BENCH_serve.json", "serve_throughput", records);
   std::printf("\nwrote BENCH_serve.json (%zu records)\n", records.size());
   return 0;

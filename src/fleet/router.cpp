@@ -164,12 +164,13 @@ serve::Device FleetRouter::pickDevice(int n) const {
   return k < p ? serve::Device::K40c : serve::Device::P100;
 }
 
-serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
-                                      RouteDecision* decision) {
+FleetRouter::RoutedTune FleetRouter::routeTune(const FleetRequest& freq,
+                                               RouteDecision* decision) {
   obs::Span span("fleet/route_tune");
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  serve::TuneRequest req;
+  RoutedTune routed;
+  serve::TuneRequest& req = routed.req;
   req.n = freq.n;
   req.maxDegradation = freq.maxDegradation;
   req.deadlineMs = freq.deadlineMs;
@@ -177,7 +178,8 @@ serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
     serve::TuneResponse resp;
     resp.status = serve::Status::Error;
     resp.error = "invalid fleet tune request (need n > 0, maxDegradation >= 0)";
-    return resp;
+    routed.immediate = std::move(resp);
+    return routed;
   }
   req.device = freq.device ? *freq.device : pickDevice(freq.n);
   if (decision != nullptr) {
@@ -229,7 +231,8 @@ serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
           decision->shardId = rep.id;
           decision->staleFallback = true;
         }
-        return *stale;
+        routed.immediate = std::move(*stale);
+        return routed;
       }
       rep.inFlight.fetch_sub(1, std::memory_order_relaxed);
       break;  // only the first live preference shard holds the replica
@@ -245,7 +248,8 @@ serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
     resp.status = serve::Status::Error;
     resp.error = "no live shard serves device " +
                  std::string(serve::deviceName(req.device));
-    return resp;
+    routed.immediate = std::move(resp);
+    return routed;
   }
   Shard& s = *shards_[*pick];
   if (decision != nullptr) {
@@ -254,9 +258,45 @@ serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
   }
   s.routed.fetch_add(1, std::memory_order_relaxed);
   s.inFlight.fetch_add(1, std::memory_order_relaxed);
-  // onTuneComplete (fired when the promise is fulfilled) decrements
+  // onTuneComplete (fired when the response is delivered) decrements
   // inFlight and does all outcome accounting.
-  return s.broker->submitTune(req).get();
+  routed.shard = *pick;
+  return routed;
+}
+
+serve::TuneResponse FleetRouter::tune(const FleetRequest& freq,
+                                      RouteDecision* decision) {
+  RoutedTune routed = routeTune(freq, decision);
+  if (routed.immediate) return std::move(*routed.immediate);
+  return shards_[routed.shard]->broker->submitTune(routed.req).get();
+}
+
+void FleetRouter::submitTuneBatch(std::vector<FleetTuneBatchItem> items) {
+  // Route every item first (lock-free), then one Broker batch per
+  // shard so admission locks and pool hops amortize across the batch.
+  std::unordered_map<std::size_t, std::vector<serve::Broker::TuneBatchItem>>
+      perShard;
+  for (auto& item : items) {
+    RoutedTune routed;
+    {
+      // Route under the item's own context so the fleet/route_tune
+      // span (and any stale-fallback answer) lands on its trace.
+      obs::ScopedTraceContext tctx(item.ctx);
+      routed = routeTune(item.req, nullptr);
+      if (routed.immediate) {
+        item.done(std::move(*routed.immediate));
+        continue;
+      }
+    }
+    serve::Broker::TuneBatchItem member;
+    member.req = routed.req;
+    member.ctx = item.ctx;
+    member.done = std::move(item.done);
+    perShard[routed.shard].push_back(std::move(member));
+  }
+  for (auto& [shard, members] : perShard) {
+    shards_[shard]->broker->submitTuneBatch(std::move(members));
+  }
 }
 
 serve::StudyResponse FleetRouter::study(const serve::StudyRequest& req,

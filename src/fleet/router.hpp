@@ -42,6 +42,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -139,6 +140,23 @@ class FleetRouter {
   [[nodiscard]] serve::TuneResponse tune(const FleetRequest& req,
                                          RouteDecision* decision = nullptr);
 
+  // One member of a submitTuneBatch() call; mirrors
+  // serve::Broker::TuneBatchItem at the fleet layer.
+  struct FleetTuneBatchItem {
+    FleetRequest req;
+    obs::TraceContext ctx;
+    std::function<void(serve::TuneResponse&&)> done;
+  };
+
+  // Route every item (lock-free scoring, exactly as tune()), answer
+  // the inline outcomes (invalid request, stale fallback, no live
+  // candidate) immediately, then hand each shard its members through
+  // ONE serve::Broker::submitTuneBatch call — the event-loop frontend
+  // amortizes one lock acquisition and one pool hop per shard per
+  // epoll round instead of paying them per request.  Every `done` runs
+  // exactly once, under its item's trace context.
+  void submitTuneBatch(std::vector<FleetTuneBatchItem> items);
+
   // Route a study sweep to the least-loaded live shard serving the
   // device (sweeps span workload classes, so ring affinity of a single
   // key does not apply).
@@ -225,6 +243,19 @@ class FleetRouter {
   static std::uint64_t nowNs();
 
   [[nodiscard]] serve::Device pickDevice(int n) const;
+
+  // Routing outcome shared by tune() and submitTuneBatch(): either the
+  // request was answered during routing (`immediate` set: invalid
+  // input, stale fallback, no candidate) or it must be submitted to
+  // shards_[shard] as `req` (routed/inFlight already incremented).
+  struct RoutedTune {
+    std::optional<serve::TuneResponse> immediate;
+    std::size_t shard = 0;
+    serve::TuneRequest req;
+  };
+  [[nodiscard]] RoutedTune routeTune(const FleetRequest& freq,
+                                     RouteDecision* decision);
+
   [[nodiscard]] std::shared_ptr<const HashRing> ringSnapshot() const {
     return ring_.load(std::memory_order_acquire);
   }

@@ -1,0 +1,114 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace ep::net {
+
+void putVarint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out += static_cast<char>((v & 0x7F) | 0x80);
+    v >>= 7;
+  }
+  out += static_cast<char>(v);
+}
+
+int readVarint(const char* p, std::size_t len, std::uint64_t* out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const auto byte = static_cast<std::uint8_t>(p[i]);
+    if (i == 9 && byte > 0x01) return -1;  // would overflow 64 bits
+    v |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return static_cast<int>(i) + 1;
+    }
+    shift += 7;
+    if (i + 1 == 10) return -1;  // 10 continuation bytes: malformed
+  }
+  return 0;  // ran out of input mid-varint
+}
+
+void appendFrame(std::string& out, std::uint8_t opcode,
+                 std::string_view body) {
+  putVarint(out, body.size() + 1);
+  out += static_cast<char>(opcode);
+  out.append(body.data(), body.size());
+}
+
+bool FrameDecoder::feed(std::string_view data, std::vector<Frame>* frames) {
+  if (mode_ == Mode::Broken) return false;
+  buf_.append(data.data(), data.size());
+
+  if (mode_ == Mode::Sniffing) {
+    if (buf_.empty()) return true;
+    // Skip leading whitespace before sniffing (a JSON client may lead
+    // with a blank line); a buffer that is all whitespace stays hungry.
+    std::size_t ws = 0;
+    while (ws < buf_.size() &&
+           (buf_[ws] == ' ' || buf_[ws] == '\t' || buf_[ws] == '\r' ||
+            buf_[ws] == '\n')) {
+      ++ws;
+    }
+    if (ws > 0) buf_.erase(0, ws);
+    if (buf_.empty()) return true;
+    if (buf_[0] == kMagic[0]) {
+      // Candidate EPB1 negotiation: wait for the full 4-byte magic.
+      if (buf_.size() < sizeof kMagic) return true;
+      if (std::memcmp(buf_.data(), kMagic, sizeof kMagic) != 0) {
+        return fail("bad negotiation magic");
+      }
+      buf_.erase(0, sizeof kMagic);
+      mode_ = Mode::Binary;
+    } else if (buf_[0] == '{') {
+      mode_ = Mode::Json;
+    } else {
+      return fail("unrecognized protocol (expected '{' or EPB1 magic)");
+    }
+  }
+
+  return mode_ == Mode::Json ? drainJson(frames) : drainBinary(frames);
+}
+
+bool FrameDecoder::drainJson(std::vector<Frame>* frames) {
+  std::size_t nl;
+  while ((nl = buf_.find('\n')) != std::string::npos) {
+    std::string line = buf_.substr(0, nl);
+    buf_.erase(0, nl + 1);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line.size() > maxFrameBytes_) return fail("frame too large");
+    Frame f;
+    f.binary = false;
+    f.opcode = kOpJson;
+    f.payload = std::move(line);
+    frames->push_back(std::move(f));
+  }
+  // A line that never ends must not grow our memory without bound.
+  if (buf_.size() > maxFrameBytes_) return fail("frame too large");
+  return true;
+}
+
+bool FrameDecoder::drainBinary(std::vector<Frame>* frames) {
+  for (;;) {
+    std::uint64_t len = 0;
+    const int used = readVarint(buf_.data(), buf_.size(), &len);
+    if (used == 0) return true;  // partial length prefix: wait
+    if (used < 0) return fail("malformed frame length");
+    if (len == 0) return fail("empty frame");
+    if (len > maxFrameBytes_) return fail("frame too large");
+    const std::size_t need = static_cast<std::size_t>(used) + len;
+    if (buf_.size() < need) return true;  // mid-frame: wait
+    Frame f;
+    f.binary = true;
+    f.opcode = static_cast<std::uint8_t>(buf_[static_cast<std::size_t>(used)]);
+    f.payload.assign(buf_, static_cast<std::size_t>(used) + 1, len - 1);
+    buf_.erase(0, need);
+    if (f.opcode != kOpJson && f.opcode != kOpTune) {
+      return fail("unknown frame opcode");
+    }
+    frames->push_back(std::move(f));
+  }
+}
+
+}  // namespace ep::net

@@ -1,0 +1,99 @@
+// Wire framing for the epnet event-loop transport.
+//
+// Two framings share one TCP port, distinguished by the first byte a
+// client sends (first-byte sniffing keeps every pre-existing line-JSON
+// client working against the new frontend):
+//
+//   * Line JSON (legacy): requests start with '{' (or whitespace);
+//     one JSON object per '\n'-terminated line, one response line per
+//     request.  Exactly the PR 1 protocol.
+//   * EPB1 binary: the connection opens with the 4-byte magic "EPB1",
+//     after which every frame — both directions — is
+//         varint(payload length) || payload
+//     where payload[0] is an opcode and the rest is opcode-specific.
+//     Lengths are LEB128 varints (7 bits per byte, little-endian,
+//     high bit = continuation) and are capped by maxFrameBytes, so a
+//     hostile declared length can never grow a buffer unboundedly.
+//
+// Opcodes (the codec for kOpTune lives in serve/wire_binary.hpp — this
+// layer is transport-only and never interprets payloads):
+//   0x00 kOpJson — payload is a JSON text request/response (the full
+//        line-JSON vocabulary tunneled through binary framing).
+//   0x01 kOpTune — compact binary tune request/response.
+//
+// FrameDecoder is the per-connection incremental state machine: feed()
+// it raw bytes as they arrive; it emits complete frames and flags
+// protocol errors (oversize declared length, malformed varint, unknown
+// negotiation byte) without ever buffering more than one frame ceiling.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ep::net {
+
+inline constexpr char kMagic[4] = {'E', 'P', 'B', '1'};
+inline constexpr std::uint8_t kOpJson = 0x00;
+inline constexpr std::uint8_t kOpTune = 0x01;
+
+// Append v as a LEB128 varint (at most 10 bytes for a full uint64).
+void putVarint(std::string& out, std::uint64_t v);
+
+// Decode one varint from [p, p+len).  Returns the number of bytes
+// consumed, 0 when more input is needed, -1 on malformed input (more
+// than 10 bytes, or non-canonical overflow past 64 bits).
+int readVarint(const char* p, std::size_t len, std::uint64_t* out);
+
+// Append one framed payload: varint(1 + body.size()) || opcode || body.
+void appendFrame(std::string& out, std::uint8_t opcode,
+                 std::string_view body);
+
+// One complete inbound frame.
+struct Frame {
+  bool binary = false;   // arrived under EPB1 framing (reply in kind)
+  std::uint8_t opcode = kOpJson;  // kOpJson for line-JSON requests
+  std::string payload;   // JSON text for kOpJson, codec bytes otherwise
+};
+
+// Incremental per-connection decoder: line splitter until the first
+// byte picks a mode, EPB1 frame parser afterwards.  The mode is sticky
+// for the connection lifetime — a "mode switch" mid-connection is a
+// protocol error (or simply malformed JSON), never a reinterpretation.
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::size_t maxFrameBytes)
+      : maxFrameBytes_(maxFrameBytes) {}
+
+  enum class Mode { Sniffing, Json, Binary, Broken };
+
+  [[nodiscard]] Mode mode() const { return mode_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  // Bytes buffered but not yet emitted as frames (bounded by the frame
+  // ceiling plus one read chunk).
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+  // Consume `data`, appending every complete frame to *frames.  Returns
+  // false when the connection is broken (protocol error): `error()`
+  // describes it, and the caller should answer once and close.  Frames
+  // already decoded before the error are still appended.
+  bool feed(std::string_view data, std::vector<Frame>* frames);
+
+ private:
+  bool fail(const char* message) {
+    mode_ = Mode::Broken;
+    error_ = message;
+    return false;
+  }
+  bool drainJson(std::vector<Frame>* frames);
+  bool drainBinary(std::vector<Frame>* frames);
+
+  std::size_t maxFrameBytes_;
+  Mode mode_ = Mode::Sniffing;
+  std::string buf_;
+  std::string error_;
+};
+
+}  // namespace ep::net

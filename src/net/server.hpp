@@ -1,0 +1,144 @@
+// epnet: an edge-triggered epoll event-loop TCP server with
+// cross-connection request batching and zero-copy response fan-out.
+//
+// Why it exists: the PR 1 frontend spent a thread per connection and a
+// wakeup per request, which capped epserved at ~45k req/s while the
+// in-process broker does hundreds of thousands — exactly the serving
+// overhead the energy-nonproportionality papers indict (cycles burned
+// per request that do no useful work still draw near-peak power).
+//
+// Architecture
+//   * N event threads (ServerOptions::eventThreads), each owning its
+//     own epoll instance, its own listener (SO_REUSEPORT sharding when
+//     N > 1, so the kernel spreads accepts without a shared accept
+//     lock), an eventfd for cross-thread wakeups, and every connection
+//     the kernel handed it.  No connection state is ever touched by
+//     two event threads.
+//   * Edge-triggered reads: one EPOLLIN wakeup drains a socket to
+//     EAGAIN, the FrameDecoder splits the bytes into frames, and all
+//     frames from all ready sockets of one epoll_wait round are
+//     accumulated into a single batch handed to the BatchHandler — the
+//     cross-connection batching that lets the broker amortize one lock
+//     acquisition and one pool hop over the whole round.
+//   * Responses: the handler answers each frame via respond() exactly
+//     once, from any thread.  Buffers are refcounted
+//     (shared_ptr<const string>): rendered once, enqueued per
+//     connection without copying, written with writev().  Per-frame
+//     sequence numbers restore pipelined response order — a fast
+//     cache hit answered inline never overtakes a slow cold study
+//     answered from a worker thread on the same connection.
+//   * Slow readers: each connection's pending write queue is bounded
+//     by writeHighWaterBytes; a peer that stalls past it is evicted
+//     (connection closed, ep_net_evicted_total incremented) instead of
+//     buffering unboundedly.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "obs/metrics.hpp"
+
+namespace ep::net {
+
+// Refcounted response bytes: render once, enqueue anywhere.
+using ResponseBuffer = std::shared_ptr<const std::string>;
+
+inline ResponseBuffer makeBuffer(std::string s) {
+  return std::make_shared<const std::string>(std::move(s));
+}
+
+struct ServerOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  // 0 = ephemeral; port() reports the choice
+  std::size_t eventThreads = 1;
+  int backlog = 256;
+  std::size_t maxFrameBytes = std::size_t{1} << 20;
+  // Slow-reader eviction threshold: pending unsent response bytes.
+  std::size_t writeHighWaterBytes = std::size_t{8} << 20;
+  // Metrics registry for the ep_net_* family (nullptr = obs global).
+  obs::Registry* registry = nullptr;
+};
+
+// One decoded inbound frame, tagged with enough identity to answer it.
+struct InboundFrame {
+  std::uint64_t conn = 0;  // opaque connection id
+  std::uint64_t seq = 0;   // per-connection arrival order
+  bool binary = false;     // reply must use EPB1 framing
+  std::uint8_t opcode = kOpJson;
+  std::string payload;     // JSON text (kOpJson) or codec bytes
+};
+
+class Server;
+
+// Called on an event thread with every frame drained in one loop
+// iteration (possibly spanning many connections).  For each frame the
+// handler must eventually call Server::respond exactly once — inline
+// for cheap requests, from a worker thread for expensive ones.  The
+// buffer passed to respond() must already be fully framed bytes
+// (JSON line + '\n', or an EPB1 frame).
+using BatchHandler =
+    std::function<void(Server& server, std::vector<InboundFrame>&& batch)>;
+
+class Server {
+ public:
+  Server(ServerOptions options, BatchHandler handler);
+  ~Server();  // stop()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Bind + listen + spawn the event threads.  False (with *error set)
+  // on socket failure.
+  bool start(std::string* error);
+
+  // Close listeners and every connection, join the event threads.
+  // Pending unanswered frames are dropped (their late respond() calls
+  // are ignored).  Idempotent.
+  void stop();
+
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+  [[nodiscard]] bool running() const {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  // Deliver the response for frame (conn, seq).  Thread-safe; callable
+  // from the handler inline or from any worker thread.  Responses are
+  // written to the socket in seq order regardless of completion order.
+  // Silently dropped when the connection is already gone.
+  void respond(std::uint64_t conn, std::uint64_t seq, ResponseBuffer buf);
+
+  // Test/ops introspection.
+  [[nodiscard]] std::uint64_t evicted() const { return cEvicted_.value(); }
+  [[nodiscard]] std::uint64_t protocolErrors() const {
+    return cProtocolErrors_.value();
+  }
+  [[nodiscard]] std::int64_t openConnections() const {
+    return gOpen_.value();
+  }
+
+ private:
+  struct EventLoop;
+  friend struct EventLoop;
+
+  ServerOptions options_;
+  BatchHandler handler_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::vector<std::unique_ptr<EventLoop>> loops_;
+
+  obs::Counter& cConnections_;
+  obs::Counter& cFrames_;
+  obs::Counter& cBatches_;
+  obs::Counter& cEvicted_;
+  obs::Counter& cProtocolErrors_;
+  obs::Counter& cBytesRead_;
+  obs::Counter& cBytesWritten_;
+  obs::Gauge& gOpen_;
+};
+
+}  // namespace ep::net

@@ -150,39 +150,22 @@ Clock::time_point Broker::deadlineFor(double deadlineMs,
                    std::chrono::duration<double, std::milli>(ms));
 }
 
-std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
-  auto job = std::make_shared<TuneJob>();
-  job->req = req;
-  job->submitted = Clock::now();
-  job->deadline = deadlineFor(req.deadlineMs, job->submitted);
-  job->ctx = obs::currentContext();
-  auto future = job->promise.get_future();
-
-  if (req.n <= 0 || req.maxDegradation < 0.0) {
-    cAccepted_.inc();
-    cFailed_.inc();
-    TuneResponse resp;
-    resp.status = Status::Error;
-    resp.error = "invalid tune request (need n > 0, maxDegradation >= 0)";
-    resp.latency = elapsedSince(job->submitted);
-    job->promise.set_value(std::move(resp));
-    return future;
-  }
-
-  std::unique_lock lk(mu_);
+// Everything the admission mutex must witness for one tune job; the
+// unlocked consequences are returned for the caller to perform.
+Broker::TuneAdmission Broker::admitTuneLocked(const TuneJobPtr& job) {
+  TuneAdmission a;
   if (!accepting_) {
     cRejectedShutdown_.inc();
-    lk.unlock();
-    rejectTune(job, Status::ShuttingDown, "");
-    return future;
+    a.act = TuneAdmission::Act::Reject;
+    a.status = Status::ShuttingDown;
+    return a;
   }
-  const StudyKey key = keyFor(req.device, req.n);
+  const StudyKey key = keyFor(job->req.device, job->req.n);
   if (auto hit = cache_.get(key)) {
     cAccepted_.inc();
-    ResultPtr result = *hit;
-    lk.unlock();
-    completeTune(job, result, /*cacheHit=*/true, /*coalesced=*/false);
-    return future;
+    a.act = TuneAdmission::Act::CompleteHit;
+    a.result = *hit;
+    return a;
   }
   if (auto it = inFlight_.find(key); it != inFlight_.end()) {
     // The futures map: join the in-flight computation instead of
@@ -190,9 +173,10 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
     cAccepted_.inc();
     cCoalesced_.inc();
     it->second->waiters.push_back(job);
-    return future;
+    a.act = TuneAdmission::Act::Coalesced;
+    return a;
   }
-  if (breakerFor(req.device).wouldReject(Clock::now())) {
+  if (breakerFor(job->req.device).wouldReject(Clock::now())) {
     // Fail fast while the breaker is open: serve a stale result
     // synchronously when one exists, reject otherwise — either way no
     // queue slot or worker time is spent on a broken engine.
@@ -202,28 +186,155 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
       if (auto st = staleStore_.get(key)) {
         cAccepted_.inc();
         cStaleServed_.inc();
-        ResultPtr result = *st;
-        lk.unlock();
-        completeTune(job, result, /*cacheHit=*/false, /*coalesced=*/false,
-                     /*stale=*/true);
-        return future;
+        a.act = TuneAdmission::Act::CompleteStale;
+        a.result = *st;
+        return a;
       }
     }
-    lk.unlock();
-    rejectTune(job, Status::CircuitOpen, "circuit breaker open");
-    return future;
+    a.act = TuneAdmission::Act::Reject;
+    a.status = Status::CircuitOpen;
+    a.error = "circuit breaker open";
+    return a;
   }
   if (queueDepth_ >= options_.queueCapacity) {
     cRejectedQueueFull_.inc();
-    lk.unlock();
-    rejectTune(job, Status::QueueFull, "");
-    return future;
+    a.act = TuneAdmission::Act::Reject;
+    a.status = Status::QueueFull;
+    return a;
   }
   cAccepted_.inc();
   ++queueDepth_;
+  a.act = TuneAdmission::Act::Queued;
+  return a;
+}
+
+void Broker::settleAdmission(const TuneJobPtr& job, const TuneAdmission& a) {
+  switch (a.act) {
+    case TuneAdmission::Act::CompleteHit:
+      completeTune(job, a.result, /*cacheHit=*/true, /*coalesced=*/false);
+      break;
+    case TuneAdmission::Act::CompleteStale:
+      completeTune(job, a.result, /*cacheHit=*/false, /*coalesced=*/false,
+                   /*stale=*/true);
+      break;
+    case TuneAdmission::Act::Reject:
+      rejectTune(job, a.status, a.error);
+      break;
+    case TuneAdmission::Act::Queued:
+    case TuneAdmission::Act::Coalesced:
+      break;  // nothing unlocked to do here
+  }
+}
+
+namespace {
+
+// Shared by submitTune and submitTuneBatch so a batch of one is
+// behaviorally identical to a lone submit.
+bool validTune(const TuneRequest& req) {
+  return req.n > 0 && req.maxDegradation >= 0.0;
+}
+
+TuneResponse invalidTuneResponse(Clock::time_point submitted) {
+  TuneResponse resp;
+  resp.status = Status::Error;
+  resp.error = "invalid tune request (need n > 0, maxDegradation >= 0)";
+  resp.latency = elapsedSince(submitted);
+  return resp;
+}
+
+}  // namespace
+
+std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
+  auto promise = std::make_shared<std::promise<TuneResponse>>();
+  auto future = promise->get_future();
+  auto job = std::make_shared<TuneJob>();
+  job->req = req;
+  job->submitted = Clock::now();
+  job->deadline = deadlineFor(req.deadlineMs, job->submitted);
+  job->ctx = obs::currentContext();
+  job->deliver = [promise](TuneResponse&& resp) {
+    promise->set_value(std::move(resp));
+  };
+
+  if (!validTune(req)) {
+    cAccepted_.inc();
+    cFailed_.inc();
+    job->deliver(invalidTuneResponse(job->submitted));
+    return future;
+  }
+
+  std::unique_lock lk(mu_);
+  const TuneAdmission a = admitTuneLocked(job);
   lk.unlock();
-  pool_->submit([this, job] { runTuneJob(job); });
+  settleAdmission(job, a);
+  if (a.act == TuneAdmission::Act::Queued) {
+    pool_->submit([this, job] { runTuneJob(job); });
+  }
   return future;
+}
+
+void Broker::submitTuneBatch(std::vector<TuneBatchItem> items) {
+  if (items.empty()) return;
+  const Clock::time_point now = Clock::now();
+
+  std::vector<TuneJobPtr> jobs;
+  jobs.reserve(items.size());
+  for (auto& item : items) {
+    auto job = std::make_shared<TuneJob>();
+    job->req = item.req;
+    job->submitted = now;
+    job->deadline = deadlineFor(item.req.deadlineMs, now);
+    job->ctx = item.ctx;
+    job->deliver = std::move(item.done);
+    jobs.push_back(std::move(job));
+  }
+
+  // Invalid requests never reach the lock — exactly like submitTune,
+  // which answers them before locking.
+  std::vector<TuneJobPtr> valid;
+  valid.reserve(jobs.size());
+  for (auto& job : jobs) {
+    if (!validTune(job->req)) {
+      cAccepted_.inc();
+      cFailed_.inc();
+      obs::ScopedTraceContext tctx(job->ctx);
+      job->deliver(invalidTuneResponse(now));
+    } else {
+      valid.push_back(std::move(job));
+    }
+  }
+
+  // Phase 1 — everything that needs mu_, for every item, under ONE
+  // acquisition.
+  std::vector<TuneAdmission> admissions(valid.size());
+  std::vector<TuneJobPtr> queued;
+  {
+    std::lock_guard lk(mu_);
+    for (std::size_t i = 0; i < valid.size(); ++i) {
+      admissions[i] = admitTuneLocked(valid[i]);
+      if (admissions[i].act == TuneAdmission::Act::Queued) {
+        queued.push_back(valid[i]);
+      }
+    }
+  }
+
+  // Phase 2 — unlocked consequences: inline completions (cache hits,
+  // stale serves) and rejections, each under its own trace context
+  // (completeTune/rejectTune install job->ctx themselves).
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    settleAdmission(valid[i], admissions[i]);
+  }
+
+  // Phase 3 — ONE pool hop for every queued member.  The jobs run
+  // sequentially on that worker; a cold study still fans out across
+  // the whole pool via the engine's nested parallelFor, and duplicate
+  // keys inside the batch resolve to cache hits / coalesced joins
+  // exactly as queued siblings always have.
+  if (!queued.empty()) {
+    pool_->submit([this, queued = std::move(queued)] {
+      for (const auto& job : queued) runTuneJob(job);
+    });
+  }
 }
 
 std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
@@ -555,7 +666,7 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   cCompleted_.inc();
   feedWatchdog(job->req.device, /*error=*/false, stale);
   if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
-  job->promise.set_value(std::move(resp));
+  job->deliver(std::move(resp));
 }
 
 void Broker::rejectTune(const TuneJobPtr& job, Status status,
@@ -583,7 +694,7 @@ void Broker::rejectTune(const TuneJobPtr& job, Status status,
   resp.error = error;
   resp.latency = elapsedSince(job->submitted);
   if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
-  job->promise.set_value(std::move(resp));
+  job->deliver(std::move(resp));
 }
 
 void Broker::installStaleResult(

@@ -92,6 +92,25 @@ class Broker {
   [[nodiscard]] std::future<TuneResponse> submitTune(const TuneRequest& req);
   [[nodiscard]] std::future<StudyResponse> submitStudy(const StudyRequest& req);
 
+  // One member of a submitTuneBatch() call.  `done` is invoked exactly
+  // once — possibly inline during submission (cache hit, rejection),
+  // possibly later from a worker thread — with the item's trace
+  // context installed, so batch members' spans never cross-contaminate.
+  struct TuneBatchItem {
+    TuneRequest req;
+    obs::TraceContext ctx;  // completion runs under this context
+    std::function<void(TuneResponse&&)> done;
+  };
+
+  // Admit a whole batch under ONE mutex acquisition and hand every
+  // queued member to the pool as ONE task (the event-loop frontend
+  // drains all ready sockets per epoll round and submits here, so lock
+  // and pool-hop costs amortize across connections).  Semantics per
+  // item are identical to submitTune: same validation, cache-hit,
+  // coalescing, breaker, deadline and backpressure behavior — a batch
+  // of one is indistinguishable from a lone submitTune.
+  void submitTuneBatch(std::vector<TuneBatchItem> items);
+
   // Blocking conveniences.
   [[nodiscard]] TuneResponse tune(const TuneRequest& req) {
     return submitTune(req).get();
@@ -144,9 +163,32 @@ class Broker {
     // coalesced followers (fulfilled on the study owner's worker) stay
     // linked to their own request's span tree, not the owner's.
     obs::TraceContext ctx;
-    std::promise<TuneResponse> promise;
+    // Invoked exactly once with the final response — a promise wrapper
+    // for submitTune, the caller's callback for submitTuneBatch.
+    std::function<void(TuneResponse&&)> deliver;
   };
   using TuneJobPtr = std::shared_ptr<TuneJob>;
+
+  // Admission verdict for one tune job, decided under mu_; the actions
+  // that must run unlocked (completion, rejection) are returned to the
+  // caller so a batch can make every decision under one acquisition.
+  struct TuneAdmission {
+    enum class Act {
+      Queued,        // admitted: run runTuneJob on the pool
+      Coalesced,     // joined an in-flight study; nothing more to do
+      CompleteHit,   // serve `result` as a cache hit (unlocked)
+      CompleteStale, // serve `result` stale, breaker open (unlocked)
+      Reject,        // reject with `status`/`error` (unlocked)
+    };
+    Act act = Act::Queued;
+    ResultPtr result;
+    Status status = Status::Ok;
+    const char* error = "";
+  };
+  [[nodiscard]] TuneAdmission admitTuneLocked(const TuneJobPtr& job);
+  // The unlocked half: perform what admitTuneLocked decided (except
+  // Queued, whose pool hop the caller owns so batches share one).
+  void settleAdmission(const TuneJobPtr& job, const TuneAdmission& a);
 
   // How a study was resolved: the result plus whether it came from the
   // stale-while-error store (the owner's engine failed but an old good

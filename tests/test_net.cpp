@@ -1,0 +1,486 @@
+// epnet tests: LEB128 varints, the EPB1/line-JSON FrameDecoder state
+// machine, and the epoll event-loop Server over real loopback sockets —
+// pipelined response ordering, slow-reader eviction, protocol-error
+// reply-then-close, and the Broker + NetService stack end to end in
+// both wire modes.
+//
+// The ep_net_* counters live in the process-global registry and are
+// shared by every Server instance in this binary, so the socket tests
+// assert deltas, never absolute values.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/server.hpp"
+#include "serve/broker.hpp"
+#include "serve/engine.hpp"
+#include "serve/service.hpp"
+#include "serve/wire.hpp"
+#include "serve/wire_binary.hpp"
+
+namespace ep::net {
+namespace {
+
+// --- varints ---
+
+TEST(Varint, RoundTripsRepresentativeValues) {
+  const std::uint64_t values[] = {0,
+                                  1,
+                                  127,
+                                  128,
+                                  300,
+                                  16383,
+                                  16384,
+                                  std::uint64_t{1} << 20,
+                                  std::uint64_t{0xFFFFFFFF},
+                                  std::uint64_t{1} << 62,
+                                  ~std::uint64_t{0}};
+  for (const std::uint64_t v : values) {
+    std::string buf;
+    putVarint(buf, v);
+    std::uint64_t out = 0;
+    const int used = readVarint(buf.data(), buf.size(), &out);
+    EXPECT_EQ(used, static_cast<int>(buf.size())) << "value " << v;
+    EXPECT_EQ(out, v);
+  }
+}
+
+TEST(Varint, NeedsMoreInputOnPartialEncoding) {
+  std::string buf;
+  putVarint(buf, 300);  // two bytes
+  std::uint64_t out = 0;
+  EXPECT_EQ(readVarint(buf.data(), 1, &out), 0);
+  EXPECT_EQ(readVarint(buf.data(), 0, &out), 0);
+  EXPECT_EQ(readVarint(buf.data(), 2, &out), 2);
+  EXPECT_EQ(out, 300u);
+}
+
+TEST(Varint, RejectsOverlongAndOverflowingEncodings) {
+  std::uint64_t out = 0;
+  // Ten continuation bytes: no uint64 needs more.
+  const std::string overlong(10, '\x80');
+  EXPECT_EQ(readVarint(overlong.data(), overlong.size(), &out), -1);
+  // Tenth byte carrying more than the one remaining bit overflows.
+  std::string overflow(9, '\xFF');
+  overflow += '\x7F';
+  EXPECT_EQ(readVarint(overflow.data(), overflow.size(), &out), -1);
+}
+
+// --- FrameDecoder ---
+
+TEST(FrameDecoder, SniffsJsonAndSplitsLines) {
+  FrameDecoder dec(1 << 20);
+  std::vector<Frame> frames;
+  EXPECT_TRUE(dec.feed("{\"a\":1}\n{\"b\":2}\r\n", &frames));
+  EXPECT_EQ(dec.mode(), FrameDecoder::Mode::Json);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_FALSE(frames[0].binary);
+  EXPECT_EQ(frames[0].opcode, kOpJson);
+  EXPECT_EQ(frames[0].payload, "{\"a\":1}");
+  EXPECT_EQ(frames[1].payload, "{\"b\":2}");
+}
+
+TEST(FrameDecoder, SkipsLeadingWhitespaceWhileSniffing) {
+  FrameDecoder dec(1 << 20);
+  std::vector<Frame> frames;
+  EXPECT_TRUE(dec.feed("  \r\n\t", &frames));
+  EXPECT_EQ(dec.mode(), FrameDecoder::Mode::Sniffing);
+  EXPECT_TRUE(dec.feed("{\"a\":1}\n", &frames));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "{\"a\":1}");
+}
+
+TEST(FrameDecoder, SniffsMagicAndDecodesBinaryFramesIncrementally) {
+  FrameDecoder dec(1 << 20);
+  std::vector<Frame> frames;
+  std::string wire(kMagic, sizeof kMagic);
+  appendFrame(wire, kOpTune, "tune-bytes");
+  appendFrame(wire, kOpJson, "{\"op\":\"metrics\"}");
+  // Dribble one byte at a time: every prefix must be accepted quietly.
+  for (char c : wire) {
+    EXPECT_TRUE(dec.feed(std::string_view(&c, 1), &frames));
+  }
+  EXPECT_EQ(dec.mode(), FrameDecoder::Mode::Binary);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_TRUE(frames[0].binary);
+  EXPECT_EQ(frames[0].opcode, kOpTune);
+  EXPECT_EQ(frames[0].payload, "tune-bytes");
+  EXPECT_EQ(frames[1].opcode, kOpJson);
+  EXPECT_EQ(frames[1].payload, "{\"op\":\"metrics\"}");
+  EXPECT_EQ(dec.buffered(), 0u);
+}
+
+TEST(FrameDecoder, BadMagicAndUnknownFirstByteAreFatal) {
+  {
+    FrameDecoder dec(1 << 20);
+    std::vector<Frame> frames;
+    EXPECT_FALSE(dec.feed("EPB2....", &frames));
+    EXPECT_EQ(dec.mode(), FrameDecoder::Mode::Broken);
+    EXPECT_EQ(dec.error(), "bad negotiation magic");
+  }
+  {
+    FrameDecoder dec(1 << 20);
+    std::vector<Frame> frames;
+    EXPECT_FALSE(dec.feed("\x02hello", &frames));
+    EXPECT_EQ(dec.error(),
+              "unrecognized protocol (expected '{' or EPB1 magic)");
+  }
+}
+
+TEST(FrameDecoder, EmptyFrameAndUnknownOpcodeAreFatal) {
+  {
+    FrameDecoder dec(1 << 20);
+    std::vector<Frame> frames;
+    std::string wire(kMagic, sizeof kMagic);
+    putVarint(wire, 0);
+    EXPECT_FALSE(dec.feed(wire, &frames));
+    EXPECT_EQ(dec.error(), "empty frame");
+  }
+  {
+    FrameDecoder dec(1 << 20);
+    std::vector<Frame> frames;
+    std::string wire(kMagic, sizeof kMagic);
+    appendFrame(wire, 0x7F, "body");
+    EXPECT_FALSE(dec.feed(wire, &frames));
+    EXPECT_EQ(dec.error(), "unknown frame opcode");
+  }
+}
+
+TEST(FrameDecoder, OversizeJsonLineIsFatalEvenWithoutNewline) {
+  FrameDecoder dec(64);
+  std::vector<Frame> frames;
+  const std::string longLine = "{" + std::string(128, 'x');
+  EXPECT_FALSE(dec.feed(longLine, &frames));
+  EXPECT_EQ(dec.error(), "frame too large");
+}
+
+// --- loopback socket helpers ---
+
+int connectTo(std::uint16_t port) {
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  timeval tv{};
+  tv.tv_sec = 10;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0)
+      << std::strerror(errno);
+  return fd;
+}
+
+void sendAll(int fd, std::string_view data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = send(fd, data.data() + sent, data.size() - sent, 0);
+    ASSERT_GT(n, 0);
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+// Reads until `buf` holds a full '\n'-terminated line; returns it
+// without the newline.  Empty string on EOF/timeout.
+std::string recvLine(int fd, std::string* buf) {
+  for (;;) {
+    const std::size_t nl = buf->find('\n');
+    if (nl != std::string::npos) {
+      std::string line = buf->substr(0, nl);
+      buf->erase(0, nl + 1);
+      return line;
+    }
+    char chunk[4096];
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) return {};
+    buf->append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+// Reads one EPB1 frame; returns true with *opcode/*payload set.
+bool recvFrame(int fd, std::string* buf, std::uint8_t* opcode,
+               std::string* payload) {
+  for (;;) {
+    std::uint64_t len = 0;
+    const int used = readVarint(buf->data(), buf->size(), &len);
+    if (used < 0 || (used > 0 && len == 0)) return false;
+    if (used > 0 && buf->size() >= static_cast<std::size_t>(used) + len) {
+      *opcode = static_cast<std::uint8_t>((*buf)[static_cast<std::size_t>(used)]);
+      payload->assign(*buf, static_cast<std::size_t>(used) + 1,
+                      static_cast<std::size_t>(len) - 1);
+      buf->erase(0, static_cast<std::size_t>(used) +
+                        static_cast<std::size_t>(len));
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+    if (got <= 0) return false;
+    buf->append(chunk, static_cast<std::size_t>(got));
+  }
+}
+
+bool waitFor(const std::function<bool()>& cond, int timeoutMs = 5000) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeoutMs);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+// --- Server over loopback ---
+
+TEST(Server, RestoresPipelinedResponseOrder) {
+  // The handler answers each trio of requests in REVERSE arrival
+  // order; the client must still read responses in request order.
+  struct State {
+    std::mutex mu;
+    std::vector<InboundFrame> pending;
+  };
+  auto state = std::make_shared<State>();
+  ServerOptions opts;
+  Server server(opts, [state](Server& s, std::vector<InboundFrame>&& batch) {
+    std::lock_guard lk(state->mu);
+    for (auto& f : batch) state->pending.push_back(std::move(f));
+    if (state->pending.size() < 3) return;
+    for (auto it = state->pending.rbegin(); it != state->pending.rend();
+         ++it) {
+      s.respond(it->conn, it->seq,
+                makeBuffer("{\"r\":" + std::to_string(it->seq) + "}\n"));
+    }
+    state->pending.clear();
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  const int fd = connectTo(server.port());
+  sendAll(fd, "{\"a\":0}\n{\"a\":1}\n{\"a\":2}\n");
+  std::string buf;
+  EXPECT_EQ(recvLine(fd, &buf), "{\"r\":0}");
+  EXPECT_EQ(recvLine(fd, &buf), "{\"r\":1}");
+  EXPECT_EQ(recvLine(fd, &buf), "{\"r\":2}");
+  close(fd);
+  server.stop();
+}
+
+TEST(Server, EvictsSlowReadersPastTheHighWaterMark) {
+  // Every request earns a 256 KiB response against a 64 KiB write
+  // ceiling; a client that never reads must be evicted, not buffered.
+  ServerOptions opts;
+  opts.writeHighWaterBytes = std::size_t{64} << 10;
+  const auto big = makeBuffer(std::string((std::size_t{256} << 10), 'x'));
+  Server server(opts, [big](Server& s, std::vector<InboundFrame>&& batch) {
+    for (const auto& f : batch) s.respond(f.conn, f.seq, big);
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const std::uint64_t evictedBefore = server.evicted();
+
+  const int fd = connectTo(server.port());
+  std::string requests;
+  for (int i = 0; i < 64; ++i) requests += "{\"a\":1}\n";
+  sendAll(fd, requests);
+  EXPECT_TRUE(waitFor([&] { return server.evicted() > evictedBefore; }))
+      << "slow reader was never evicted";
+  close(fd);
+  server.stop();
+}
+
+TEST(Server, AnswersProtocolErrorsThenCloses) {
+  ServerOptions opts;
+  Server server(opts, [](Server&, std::vector<InboundFrame>&&) {});
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const std::uint64_t errorsBefore = server.protocolErrors();
+
+  const int fd = connectTo(server.port());
+  sendAll(fd, "garbage\n");
+  std::string buf;
+  const std::string reply = recvLine(fd, &buf);
+  EXPECT_NE(reply.find("\"status\":\"bad_request\""), std::string::npos)
+      << reply;
+  EXPECT_NE(reply.find("unrecognized protocol"), std::string::npos);
+  // After the error reply the server closes its end.
+  char c;
+  EXPECT_EQ(recv(fd, &c, 1, 0), 0);
+  EXPECT_EQ(server.protocolErrors(), errorsBefore + 1);
+  close(fd);
+  server.stop();
+}
+
+TEST(Server, SurvivesMidFrameCloseAndKeepsServing) {
+  ServerOptions opts;
+  Server server(opts, [](Server& s, std::vector<InboundFrame>&& batch) {
+    for (const auto& f : batch) {
+      s.respond(f.conn, f.seq, makeBuffer("{\"ok\":true}\n"));
+    }
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  const std::int64_t openBefore = server.openConnections();
+
+  // A binary connection that declares a 100-byte frame, sends 10 bytes,
+  // and vanishes: the partial frame is dropped with the connection.
+  const int fd = connectTo(server.port());
+  std::string wire(kMagic, sizeof kMagic);
+  putVarint(wire, 100);
+  wire += std::string(10, 'z');
+  sendAll(fd, wire);
+  EXPECT_TRUE(
+      waitFor([&] { return server.openConnections() > openBefore; }));
+  close(fd);
+  EXPECT_TRUE(
+      waitFor([&] { return server.openConnections() == openBefore; }));
+
+  // The loop is still healthy: a fresh connection gets served.
+  const int fd2 = connectTo(server.port());
+  sendAll(fd2, "{\"a\":1}\n");
+  std::string buf;
+  EXPECT_EQ(recvLine(fd2, &buf), "{\"ok\":true}");
+  close(fd2);
+  server.stop();
+}
+
+// --- Broker + NetService end to end ---
+
+class NetServiceEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    engine_ = std::make_shared<serve::EpStudyEngine>();
+    serve::BrokerOptions bopts;
+    bopts.threads = 2;
+    bopts.queueCapacity = 256;
+    broker_ = std::make_unique<serve::Broker>(engine_, bopts);
+
+    serve::NetServiceHooks hooks;
+    hooks.tuneBatch =
+        [this](std::vector<serve::ServiceTuneItem>&& items) {
+          std::vector<serve::Broker::TuneBatchItem> batch;
+          for (auto& item : items) {
+            if (item.deviceAuto) {
+              serve::TuneResponse resp;
+              resp.status = serve::Status::Error;
+              resp.error = "\"auto\" device needs a fleet server";
+              item.done(std::move(resp));
+              continue;
+            }
+            serve::Broker::TuneBatchItem member;
+            member.req = item.req;
+            member.ctx = item.ctx;
+            member.done = std::move(item.done);
+            batch.push_back(std::move(member));
+          }
+          broker_->submitTuneBatch(std::move(batch));
+        };
+    hooks.study = [this](const serve::StudyRequest& r) {
+      return broker_->study(r);
+    };
+    hooks.control = [this](const serve::wire::WireRequest&) {
+      return serve::wire::encodeMetrics(broker_->metrics());
+    };
+    service_ = std::make_unique<serve::NetService>(std::move(hooks));
+    server_ = std::make_unique<Server>(ServerOptions{}, service_->handler());
+    std::string error;
+    ASSERT_TRUE(server_->start(&error)) << error;
+  }
+
+  void TearDown() override {
+    server_->stop();
+    service_->stop();
+    broker_->shutdown();
+  }
+
+  std::shared_ptr<serve::EpStudyEngine> engine_;
+  std::unique_ptr<serve::Broker> broker_;
+  std::unique_ptr<serve::NetService> service_;
+  std::unique_ptr<Server> server_;
+};
+
+TEST_F(NetServiceEndToEnd, ServesJsonTunesAndControlOps) {
+  const int fd = connectTo(server_->port());
+  sendAll(fd,
+          "{\"op\":\"tune\",\"device\":\"p100\",\"n\":1024,"
+          "\"maxDegradation\":0.11}\n");
+  std::string buf;
+  std::string reply = recvLine(fd, &buf);
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos) << reply;
+  EXPECT_NE(reply.find("\"recommended\""), std::string::npos);
+
+  sendAll(fd, "{\"op\":\"metrics\"}\n");
+  reply = recvLine(fd, &buf);
+  EXPECT_NE(reply.find("\"status\":\"ok\""), std::string::npos) << reply;
+
+  // device:auto is a fleet-only feature here — inline error, same conn.
+  sendAll(fd, "{\"op\":\"tune\",\"device\":\"auto\",\"n\":1024}\n");
+  reply = recvLine(fd, &buf);
+  EXPECT_NE(reply.find("\"status\":\"error\""), std::string::npos) << reply;
+  close(fd);
+}
+
+TEST_F(NetServiceEndToEnd, ServesBinaryTunesAndTunneledJson) {
+  const int fd = connectTo(server_->port());
+  std::string wire(kMagic, sizeof kMagic);
+  serve::wire_binary::BinaryTuneRequest breq;
+  breq.tune.n = 2048;
+  breq.tune.maxDegradation = 0.11;
+  breq.traceId = "deadbeef";
+  appendFrame(wire, kOpTune, serve::wire_binary::encodeTuneRequest(breq));
+  appendFrame(wire, kOpJson, "{\"op\":\"metrics\"}");
+  sendAll(fd, wire);
+
+  std::string buf;
+  std::uint8_t opcode = 0;
+  std::string payload;
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpTune);
+  std::string derr;
+  const auto resp = serve::wire_binary::decodeTuneResponse(payload, &derr);
+  ASSERT_TRUE(resp.has_value()) << derr;
+  EXPECT_EQ(resp->status, serve::Status::Ok);
+  EXPECT_EQ(resp->traceId, "deadbeef");
+  EXPECT_FALSE(resp->recommended.empty());
+
+  // Tunneled JSON comes back as a kOpJson frame, not a bare line.
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpJson);
+  EXPECT_NE(payload.find("\"status\":\"ok\""), std::string::npos) << payload;
+  close(fd);
+}
+
+TEST_F(NetServiceEndToEnd, MalformedBinaryTuneGetsABinaryError) {
+  const int fd = connectTo(server_->port());
+  std::string wire(kMagic, sizeof kMagic);
+  appendFrame(wire, kOpTune, "\x01");  // truncated codec payload
+  sendAll(fd, wire);
+  std::string buf;
+  std::uint8_t opcode = 0;
+  std::string payload;
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpTune);
+  std::string derr;
+  const auto resp = serve::wire_binary::decodeTuneResponse(payload, &derr);
+  ASSERT_TRUE(resp.has_value()) << derr;
+  EXPECT_EQ(resp->status, serve::Status::Error);
+  EXPECT_NE(resp->error.find("truncated"), std::string::npos);
+  close(fd);
+}
+
+}  // namespace
+}  // namespace ep::net

@@ -17,11 +17,13 @@
 #include "obs/trace.hpp"
 #include "pareto/front.hpp"
 #include "pareto/tradeoff.hpp"
+#include "net/frame.hpp"
 #include "serve/breaker.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
 #include "serve/wire.hpp"
+#include "serve/wire_binary.hpp"
 
 namespace ep::serve {
 namespace {
@@ -1179,6 +1181,352 @@ TEST(Wire, EncodeSloStatusUsesFlatKeys) {
   EXPECT_EQ(obj->at("slo.p99.w0.threshold").number, 14.4);
   EXPECT_EQ(obj->at("slo.p99.w0.longBurn").number, 7.25);
   EXPECT_EQ(obj->at("slo.p99.w0.shortBurn").number, 6.5);
+}
+
+// --- EPB1 binary framing corpus (net/frame.hpp + serve/wire_binary) ---
+
+TEST(BinaryFrame, TruncatedLengthPrefixWaitsForMoreBytes) {
+  net::FrameDecoder dec(1 << 20);
+  std::vector<net::Frame> frames;
+  std::string wire(net::kMagic, sizeof net::kMagic);
+  ASSERT_TRUE(dec.feed(wire, &frames));
+  // A lone continuation byte is an incomplete varint, not an error.
+  ASSERT_TRUE(dec.feed(std::string(1, '\x80'), &frames));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_EQ(dec.mode(), net::FrameDecoder::Mode::Binary);
+  // Completing the prefix (0x80 0x02 = 256) just starts a frame wait.
+  ASSERT_TRUE(dec.feed(std::string(1, '\x02'), &frames));
+  EXPECT_TRUE(frames.empty());
+  EXPECT_GT(dec.buffered(), 0u);
+}
+
+TEST(BinaryFrame, OversizeDeclaredLengthIsRejectedUpFront) {
+  // A hostile length prefix past the 1 MiB ceiling must break the
+  // connection before any buffer grows to match it.
+  const std::size_t kCeiling = std::size_t{1} << 20;
+  net::FrameDecoder dec(kCeiling);
+  std::vector<net::Frame> frames;
+  std::string wire(net::kMagic, sizeof net::kMagic);
+  net::putVarint(wire, kCeiling + 1);
+  EXPECT_FALSE(dec.feed(wire, &frames));
+  EXPECT_EQ(dec.mode(), net::FrameDecoder::Mode::Broken);
+  EXPECT_EQ(dec.error(), "frame too large");
+  EXPECT_TRUE(frames.empty());
+}
+
+TEST(BinaryFrame, MidFrameCloseLosesOnlyThePartialFrame) {
+  // One complete frame followed by a frame cut off mid-body (the
+  // connection then closes): the complete frame is delivered, the
+  // partial one never is, and the decoder is still healthy.
+  net::FrameDecoder dec(1 << 20);
+  std::vector<net::Frame> frames;
+  std::string wire(net::kMagic, sizeof net::kMagic);
+  net::appendFrame(wire, net::kOpTune, "whole");
+  std::string partial;
+  net::appendFrame(partial, net::kOpTune, std::string(100, 'p'));
+  wire.append(partial, 0, partial.size() - 60);
+  ASSERT_TRUE(dec.feed(wire, &frames));
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].payload, "whole");
+  EXPECT_GT(dec.buffered(), 0u);
+}
+
+TEST(BinaryFrame, WireModeIsStickyForTheConnection) {
+  {
+    // A JSON connection that later emits the EPB1 magic stays JSON:
+    // the magic is just line bytes, never a renegotiation.
+    net::FrameDecoder dec(1 << 20);
+    std::vector<net::Frame> frames;
+    ASSERT_TRUE(dec.feed("{\"op\":\"metrics\"}\nEPB1junk\n", &frames));
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_FALSE(frames[1].binary);
+    EXPECT_EQ(frames[1].payload, "EPB1junk");
+  }
+  {
+    // A binary connection fed a bare JSON line never falls back: the
+    // '{' byte reads as a 123-byte length and the "frame" it frames is
+    // garbage — a protocol error, not a mode switch.
+    net::FrameDecoder dec(1 << 20);
+    std::vector<net::Frame> frames;
+    std::string wire(net::kMagic, sizeof net::kMagic);
+    wire += "{\"op\":\"tune\",\"n\":1024}\n";
+    wire += std::string(150, 'x');
+    EXPECT_FALSE(dec.feed(wire, &frames));
+    EXPECT_EQ(dec.mode(), net::FrameDecoder::Mode::Broken);
+    EXPECT_EQ(dec.error(), "unknown frame opcode");
+  }
+}
+
+TEST(WireBinary, TuneRequestRoundTripsEveryField) {
+  wire_binary::BinaryTuneRequest req;
+  req.tune.device = Device::K40c;
+  req.tune.n = 18432;
+  req.tune.maxDegradation = 0.07;
+  req.tune.deadlineMs = 250.5;
+  req.report = true;
+  req.deviceAuto = true;
+  req.traceId = "0123456789abcdef";
+  std::string err;
+  const auto back =
+      wire_binary::decodeTuneRequest(wire_binary::encodeTuneRequest(req), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->tune.device, Device::K40c);
+  EXPECT_EQ(back->tune.n, 18432);
+  EXPECT_DOUBLE_EQ(back->tune.maxDegradation, 0.07);
+  EXPECT_DOUBLE_EQ(back->tune.deadlineMs, 250.5);
+  EXPECT_TRUE(back->report);
+  EXPECT_TRUE(back->deviceAuto);
+  EXPECT_EQ(back->traceId, "0123456789abcdef");
+}
+
+TEST(WireBinary, MalformedTuneRequestsAreRejected) {
+  wire_binary::BinaryTuneRequest req;
+  req.tune.n = 1024;
+  const std::string good = wire_binary::encodeTuneRequest(req);
+
+  // Every truncation point must fail cleanly, never read out of range.
+  for (std::size_t cut = 0; cut < good.size(); ++cut) {
+    std::string err;
+    EXPECT_FALSE(
+        wire_binary::decodeTuneRequest(good.substr(0, cut), &err).has_value())
+        << "cut at " << cut;
+    EXPECT_EQ(err, "truncated tune request");
+  }
+
+  std::string badDevice = good;
+  badDevice[0] = '\x02';
+  std::string err;
+  EXPECT_FALSE(wire_binary::decodeTuneRequest(badDevice, &err).has_value());
+  EXPECT_EQ(err, "unknown device");
+
+  wire_binary::BinaryTuneRequest huge;
+  huge.tune.n = (1 << 30);  // encoder caps negative, decoder caps huge
+  std::string wire = wire_binary::encodeTuneRequest(huge);
+  // Patch the n varint (offset 2) from 2^30 to 2^30 + 1.
+  EXPECT_TRUE(
+      wire_binary::decodeTuneRequest(wire, &err).has_value());  // boundary ok
+  wire[2] = static_cast<char>(0x81);
+  EXPECT_FALSE(wire_binary::decodeTuneRequest(wire, &err).has_value());
+  EXPECT_EQ(err, "workload out of range");
+}
+
+TEST(WireBinary, TuneResponseRoundTripsRecommendationAndLedger) {
+  TuneResponse resp;
+  resp.status = Status::Ok;
+  resp.cacheHit = true;
+  resp.stale = true;
+  resp.latency = Seconds{0.0042};
+  resp.recommendation.recommended = mk(1.5, 80.0, 7);
+  resp.recommendation.performanceOptimal = mk(1.2, 120.0, 1);
+  resp.recommendation.energyOptimal = mk(2.0, 60.0, 9);
+  resp.recommendation.knee = mk(1.6, 70.0, 8);
+  resp.recommendation.energySavings = 0.33;
+  resp.recommendation.performanceDegradation = 0.25;
+  resp.recommendation.globalFront = {mk(1.0, 9.0, 0), mk(2.0, 8.0, 1)};
+  resp.report.attributedJoules = 123.5;
+  resp.report.studiesExecuted = 1;
+  resp.report.measurementWindows = 5;
+
+  std::string err;
+  const auto back = wire_binary::decodeTuneResponse(
+      wire_binary::encodeTuneResponse(resp, "cafe", /*withReport=*/true),
+      &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->status, Status::Ok);
+  EXPECT_TRUE(back->cacheHit);
+  EXPECT_FALSE(back->coalesced);
+  EXPECT_TRUE(back->stale);
+  EXPECT_EQ(back->traceId, "cafe");
+  EXPECT_DOUBLE_EQ(back->latencyMs, 4.2);
+  EXPECT_EQ(back->recommended, "cfg7");
+  EXPECT_DOUBLE_EQ(back->recommendedTimeS, 1.5);
+  EXPECT_DOUBLE_EQ(back->recommendedEnergyJ, 80.0);
+  EXPECT_DOUBLE_EQ(back->energySavings, 0.33);
+  EXPECT_DOUBLE_EQ(back->performanceDegradation, 0.25);
+  EXPECT_EQ(back->performanceOptimal, "cfg1");
+  EXPECT_EQ(back->energyOptimal, "cfg9");
+  EXPECT_EQ(back->knee, "cfg8");
+  EXPECT_EQ(back->frontSize, 2u);
+  ASSERT_TRUE(back->hasReport);
+  EXPECT_DOUBLE_EQ(back->report.attributedJoules, 123.5);
+  EXPECT_EQ(back->report.studiesExecuted, 1u);
+  EXPECT_EQ(back->report.measurementWindows, 5u);
+
+  // Truncations of the response body fail cleanly too.
+  const std::string good =
+      wire_binary::encodeTuneResponse(resp, "cafe", /*withReport=*/true);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{1}, good.size() / 2,
+                          good.size() - 1}) {
+    EXPECT_FALSE(
+        wire_binary::decodeTuneResponse(good.substr(0, cut), &err).has_value())
+        << "cut at " << cut;
+  }
+}
+
+// --- submitTuneBatch: one lock acquisition for a whole epoll round ---
+
+// Collects batch completions; done() callbacks may run on any thread.
+struct BatchCollector {
+  explicit BatchCollector(std::size_t n) : responses(n), traceIds(n) {}
+  std::vector<TuneResponse> responses;
+  std::vector<std::uint64_t> traceIds;  // obs context seen inside done()
+  std::vector<std::promise<void>> arrived{};
+  std::vector<std::future<void>> futures{};
+
+  Broker::TuneBatchItem item(std::size_t i, TuneRequest req,
+                             std::uint64_t traceId = 0) {
+    arrived.emplace_back();
+    futures.push_back(arrived.back().get_future());
+    Broker::TuneBatchItem it;
+    it.req = req;
+    it.ctx.traceId = traceId;
+    it.done = [this, i](TuneResponse&& resp) {
+      traceIds[i] = obs::currentContext().traceId;
+      responses[i] = std::move(resp);
+      arrived[i].set_value();
+    };
+    return it;
+  }
+  void waitAll() {
+    for (auto& f : futures) f.wait();
+  }
+};
+
+TEST(BrokerBatch, BatchMatchesSequentialSubmitsFieldForField) {
+  // The same request mix — two cold keys, one repeat — through a
+  // sequential broker and a batched broker must produce identical
+  // responses (admission logic is shared verbatim by both paths).
+  const std::vector<TuneRequest> mix = {tuneReq(100), tuneReq(200),
+                                        tuneReq(100)};
+
+  auto engineSeq = std::make_shared<FakeEngine>();
+  Broker sequential(engineSeq, BrokerOptions{});
+  std::vector<TuneResponse> seqResponses;
+  for (const auto& r : mix) seqResponses.push_back(sequential.tune(r));
+
+  auto engineBatch = std::make_shared<FakeEngine>();
+  Broker batched(engineBatch, BrokerOptions{});
+  BatchCollector collect(mix.size());
+  std::vector<Broker::TuneBatchItem> items;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    items.push_back(collect.item(i, mix[i]));
+  }
+  batched.submitTuneBatch(std::move(items));
+  collect.waitAll();
+
+  EXPECT_EQ(engineBatch->calls(), engineSeq->calls());
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    const TuneResponse& a = seqResponses[i];
+    const TuneResponse& b = collect.responses[i];
+    EXPECT_EQ(a.status, b.status) << "item " << i;
+    EXPECT_EQ(a.cacheHit, b.cacheHit) << "item " << i;
+    EXPECT_EQ(a.stale, b.stale) << "item " << i;
+    EXPECT_EQ(a.recommendation.recommended.configId,
+              b.recommendation.recommended.configId)
+        << "item " << i;
+    EXPECT_EQ(a.recommendation.recommended.label,
+              b.recommendation.recommended.label);
+    EXPECT_DOUBLE_EQ(a.recommendation.recommended.time.value(),
+                     b.recommendation.recommended.time.value());
+    EXPECT_DOUBLE_EQ(a.recommendation.recommended.energy.value(),
+                     b.recommendation.recommended.energy.value());
+    EXPECT_DOUBLE_EQ(a.recommendation.energySavings,
+                     b.recommendation.energySavings);
+  }
+  // Same totals on the metrics surface, minus the latency values.
+  const ServeMetrics ms = sequential.metrics();
+  const ServeMetrics mb = batched.metrics();
+  EXPECT_EQ(ms.completed, mb.completed);
+  EXPECT_EQ(ms.cacheHits, mb.cacheHits);
+  EXPECT_EQ(ms.studiesExecuted, mb.studiesExecuted);
+}
+
+TEST(BrokerBatch, BackpressureAndCoalescingApplyPerBatchMember) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 1;
+  Broker broker(engine, opts);
+
+  auto blocker = broker.submitTune(tuneReq(1));
+  engine->waitEntered();  // lone worker stuck; queue empty
+
+  // One batch: member 0 coalesces onto the in-flight study, member 1
+  // takes the only queue slot, member 2 bounces with backpressure.
+  BatchCollector collect(3);
+  std::vector<Broker::TuneBatchItem> items;
+  items.push_back(collect.item(0, tuneReq(1)));
+  items.push_back(collect.item(1, tuneReq(2)));
+  items.push_back(collect.item(2, tuneReq(3)));
+  broker.submitTuneBatch(std::move(items));
+
+  // Rejection is decided at admission, before any study finishes.
+  collect.futures[2].wait();
+  EXPECT_EQ(collect.responses[2].status, Status::QueueFull);
+
+  engine->release();
+  EXPECT_EQ(blocker.get().status, Status::Ok);
+  collect.waitAll();
+  EXPECT_EQ(collect.responses[0].status, Status::Ok);
+  EXPECT_TRUE(collect.responses[0].coalesced);
+  EXPECT_EQ(collect.responses[1].status, Status::Ok);
+  EXPECT_FALSE(collect.responses[1].coalesced);
+
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.coalesced, 1u);
+  EXPECT_EQ(m.rejectedQueueFull, 1u);
+  EXPECT_EQ(m.completed, 3u);
+}
+
+TEST(BrokerBatch, ExpiredBatchMemberIsRejectedAtExecution) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.queueCapacity = 8;
+  Broker broker(engine, opts);
+
+  auto blocker = broker.submitTune(tuneReq(1));
+  engine->waitEntered();
+
+  BatchCollector collect(2);
+  std::vector<Broker::TuneBatchItem> items;
+  items.push_back(collect.item(0, tuneReq(2, 0.5, /*deadlineMs=*/5.0)));
+  items.push_back(collect.item(1, tuneReq(3)));  // no deadline
+  broker.submitTuneBatch(std::move(items));
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  engine->release();
+
+  EXPECT_EQ(blocker.get().status, Status::Ok);
+  collect.waitAll();
+  EXPECT_EQ(collect.responses[0].status, Status::DeadlineExceeded);
+  EXPECT_EQ(collect.responses[1].status, Status::Ok);
+  EXPECT_EQ(broker.metrics().rejectedDeadline, 1u);
+}
+
+TEST(BrokerBatch, TraceContextsDoNotCrossContaminate) {
+  // Every done() must observe ITS item's trace context, even though
+  // all queued members of a batch execute inside one pool task.
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+  (void)broker.tune(tuneReq(300));  // warm one key: mix hit + cold paths
+
+  BatchCollector collect(3);
+  std::vector<Broker::TuneBatchItem> items;
+  items.push_back(collect.item(0, tuneReq(100), /*traceId=*/0xAAA1u));
+  items.push_back(collect.item(1, tuneReq(200), /*traceId=*/0xBBB2u));
+  items.push_back(collect.item(2, tuneReq(300), /*traceId=*/0xCCC3u));
+  broker.submitTuneBatch(std::move(items));
+  collect.waitAll();
+
+  EXPECT_EQ(collect.responses[0].status, Status::Ok);
+  EXPECT_EQ(collect.responses[1].status, Status::Ok);
+  EXPECT_EQ(collect.responses[2].status, Status::Ok);
+  EXPECT_TRUE(collect.responses[2].cacheHit);
+  EXPECT_EQ(collect.traceIds[0], 0xAAA1u);
+  EXPECT_EQ(collect.traceIds[1], 0xBBB2u);
+  EXPECT_EQ(collect.traceIds[2], 0xCCC3u);
 }
 
 // --- circuit breaker state machine (synthetic time, no sleeping) ---

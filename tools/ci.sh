@@ -66,6 +66,29 @@ kill "${SERVED_PID}" 2>/dev/null || true
 wait "${SERVED_PID}" 2>/dev/null || true
 trap - EXIT
 
+echo "== net smoke: epoll event loop serves line-JSON and EPB1 binary =="
+# The same daemon, two wire protocols negotiated per connection by the
+# first byte: a plain line-JSON client (the pre-event-loop wire format,
+# unchanged) and an EPB1 binary client with batched pipelining.  Both
+# must complete with zero errors against a multi-threaded event loop.
+./build/tools/epserved --port 0 --threads 2 --event-threads 2 \
+  >"${SMOKE_LOG}" 2>&1 &
+SERVED_PID=$!
+trap 'kill "${SERVED_PID}" 2>/dev/null || true' EXIT
+for _ in $(seq 1 100); do
+  grep -q "listening on" "${SMOKE_LOG}" && break
+  sleep 0.1
+done
+PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${SMOKE_LOG}")"
+[[ -n "${PORT}" ]] || { echo "epserved (net smoke) did not start"; cat "${SMOKE_LOG}"; exit 1; }
+./build/tools/epserve_client --port "${PORT}" --requests 64 --n 256 \
+  --connections 2 >/dev/null
+./build/tools/epserve_client --port "${PORT}" --requests 512 --n 256 \
+  --binary --pipeline 32 --connections 2
+kill "${SERVED_PID}" 2>/dev/null || true
+wait "${SERVED_PID}" 2>/dev/null || true
+trap - EXIT
+
 echo "== epfleetd smoke: shard kill -> stale serve -> clean recovery =="
 # Three in-process shards behind the energy-aware router.  Warm a key
 # spread, kill one shard, and require at least one wire response served
@@ -99,6 +122,10 @@ done
 echo "stale-served responses after kill: ${STALE}"
 ./build/tools/epserve_client --port "${PORT}" \
   --raw '{"op":"fleet","action":"revive","shard":"s1"}' >/dev/null
+# Binary pipelined traffic through the router: the EPB1 path must route
+# and batch across shards without breaking the line-JSON fleet checks.
+./build/tools/epserve_client --port "${PORT}" --requests 256 --n 256 \
+  --binary --pipeline 16 >/dev/null
 ./build/tools/fleetcheck --port "${PORT}" --check
 kill "${FLEETD_PID}" 2>/dev/null || true
 wait "${FLEETD_PID}" 2>/dev/null || true
@@ -184,7 +211,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs \
-  test_apps test_fleet
+  test_apps test_fleet test_net
 # halt_on_error: any reported race fails the run, not just the exit
 # status of the last test.  test_apps covers the parallel study engine
 # (pool-backed runWorkload/runSweep, nested parallelFor); test_serve
@@ -195,6 +222,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_serve
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_obs
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_apps
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_fleet
+# test_net runs the epoll event loop end to end: event threads racing
+# the broker pool on respond(), eviction racing writes, stop() racing
+# in-flight connections.
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_net
 
 echo "== ASan+UBSan: fault injection + robust measurement + wire parser =="
 cmake -B build-asan -S . \
@@ -203,7 +234,7 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
-  test_serve test_core test_obs test_fleet
+  test_serve test_core test_obs test_fleet test_net
 # detect_leaks flushes out meter/journal ownership bugs; the fault tests
 # exercise every injected-corruption branch, the serve tests the
 # malformed-frame corpus, test_core the checkpoint journal I/O, test_obs
@@ -215,5 +246,8 @@ ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_serve
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_core
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_obs
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fleet
+# test_net feeds the frame decoder truncated varints, oversize lengths,
+# and mid-frame closes -- the hostile-input half of the wire parser.
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_net
 
 echo "== ci.sh: all green =="

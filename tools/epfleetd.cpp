@@ -1,6 +1,10 @@
 // epfleetd — the epfleet TCP frontend: N broker shards behind one
-// energy-aware router, speaking the same line-delimited-JSON protocol
-// as epserved (see serve/wire.hpp) plus the fleet vocabulary:
+// energy-aware router, mounted on the same net::Server event loop as
+// epserved (edge-triggered epoll, SO_REUSEPORT sharding, cross-
+// connection request batching).  Two wire framings share the port,
+// picked per connection by the first byte: line-delimited JSON (see
+// serve/wire.hpp) and EPB1 binary framing (net/frame.hpp).  The fleet
+// vocabulary on top of the serve one:
 //
 //   {"op":"tune","device":"auto","n":10240,"maxDegradation":0.11}
 //   {"op":"fleet"}                                  — cluster snapshot
@@ -10,7 +14,10 @@
 //   {"op":"fleet","action":"add","shard":"s1"}
 //
 // "device":"auto" lets the router place the workload on the cheaper
-// device by its EWMA cold-study price table.  The fleet snapshot
+// device by its EWMA cold-study price table (binary tune frames carry
+// the same flag).  Every tune drained in one epoll round — across all
+// connections — is routed lock-free and handed to the shard brokers
+// through ONE FleetRouter::submitTuneBatch call.  The fleet snapshot
 // carries per-shard gauges, cluster energy, both cluster Pareto front
 // sizes, and frontsConsistent (streaming fronts vs batch recompute).
 //
@@ -30,69 +37,47 @@
 // engine (same seed => same tuning hash, so a replica resurrected from
 // a peer's stale store answers for the same cache identity).  --port 0
 // picks an ephemeral port; the chosen one is printed either way.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <utility>
 #include <vector>
 
 #include "core/watchdog.hpp"
 #include "fleet/router.hpp"
+#include "net/server.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "obs/tsdb.hpp"
 #include "serve/engine.hpp"
+#include "serve/service.hpp"
 #include "serve/wire.hpp"
 
 namespace {
 
-std::atomic<int> gListenFd{-1};
+// Self-pipe: the signal handler's only async-signal-safe job is one
+// write; the main thread parks on the read end.
+int gStopPipe[2] = {-1, -1};
 
 void handleStopSignal(int) {
-  // Closing the listener unblocks accept(); the main loop drains.
-  const int fd = gListenFd.exchange(-1);
-  if (fd >= 0) close(fd);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t rc = write(gStopPipe[1], &byte, 1);
 }
-
-class FdRegistry {
- public:
-  void add(int fd) {
-    std::lock_guard lk(mu_);
-    fds_.push_back(fd);
-  }
-  void remove(int fd) {
-    std::lock_guard lk(mu_);
-    std::erase(fds_, fd);
-  }
-  void shutdownAll() {
-    std::lock_guard lk(mu_);
-    for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-
- private:
-  std::mutex mu_;
-  std::vector<int> fds_;
-};
 
 struct Args {
   std::uint16_t port = 7071;
   std::size_t shards = 3;
   std::size_t threads = 2;  // broker workers per shard
+  std::size_t eventThreads = 1;
   std::size_t queue = 64;
   std::size_t cache = 128;
   std::string policy = "energy";
@@ -140,6 +125,10 @@ bool parseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->threads = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--event-threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->eventThreads = static_cast<std::size_t>(std::stoul(v));
     } else if (a == "--queue") {
       const char* v = next();
       if (!v) return false;
@@ -221,149 +210,84 @@ std::int64_t steadyNowNs() {
 using ShardWatchdogs =
     std::vector<std::pair<std::string, ep::core::PowerAnomalyWatchdog*>>;
 
-void serveConnection(int fd, ep::fleet::FleetRouter& router,
-                     const ShardWatchdogs& watchdogs,
-                     const ep::obs::TimeSeriesStore& tsdb,
-                     ep::obs::SloEngine* slo) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
-    if (got <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    if (buffer.find('\n') == std::string::npos &&
-        buffer.size() > ep::serve::wire::kMaxFrameBytes) {
-      const std::string reply =
-          ep::serve::wire::encodeError("frame too large") + "\n";
-      (void)send(fd, reply.data(), reply.size(), 0);
-      break;
+// The non-tune, non-study op switch (runs inline on event threads; all
+// of these are string renders).
+std::string handleControlOp(const ep::serve::wire::WireRequest& req,
+                            ep::fleet::FleetRouter& router,
+                            const ShardWatchdogs& watchdogs,
+                            const ep::obs::TimeSeriesStore& tsdb,
+                            ep::obs::SloEngine* slo) {
+  using ep::serve::wire::WireRequest;
+  switch (req.op) {
+    case WireRequest::Op::Metrics: {
+      const auto fmt =
+          req.metricsFormat == ep::serve::wire::MetricsFormat::OpenMetrics
+              ? ep::obs::ExpositionFormat::OpenMetrics100
+              : ep::obs::ExpositionFormat::Prometheus004;
+      if (req.clusterScope) {
+        // Federated cluster registry: every shard broker's snapshot
+        // merged (counters summed, gauges shard-labeled, histogram
+        // buckets added).
+        return ep::serve::wire::encodeTextBody(
+            router.renderClusterMetrics(fmt));
+      }
+      if (req.metricsFormat == ep::serve::wire::MetricsFormat::Json) {
+        // The cluster snapshot is the fleet's flat-JSON surface.
+        return router.renderWireSnapshot();
+      }
+      // Process-wide registry (thread pools, cusim, study phases, the
+      // ep_net_* transport family).
+      return ep::serve::wire::encodeTextBody(ep::obs::renderExposition(
+          ep::obs::Registry::global().snapshot(), fmt));
     }
-    std::size_t nl;
-    while ((nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-
-      std::string response;
-      std::string error;
-      const auto req = ep::serve::wire::decodeRequest(line, &error);
-      if (!req) {
-        response = ep::serve::wire::encodeError(error);
-      } else {
-        switch (req->op) {
-          case ep::serve::wire::WireRequest::Op::Tune: {
-            ep::obs::TraceContext root;
-            root.traceId = ep::obs::traceIdFromString(req->traceId);
-            ep::obs::ScopedTraceContext traceScope(root);
-            ep::obs::Span span("fleet/request");
-            ep::fleet::FleetRequest freq;
-            if (!req->deviceAuto) freq.device = req->tune.device;
-            freq.n = req->tune.n;
-            freq.maxDegradation = req->tune.maxDegradation;
-            freq.deadlineMs = req->tune.deadlineMs;
-            response = ep::serve::wire::encodeTuneResponse(
-                router.tune(freq), req->traceId, req->report);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Study: {
-            ep::obs::TraceContext root;
-            root.traceId = ep::obs::traceIdFromString(req->traceId);
-            ep::obs::ScopedTraceContext traceScope(root);
-            ep::obs::Span span("fleet/request");
-            response = ep::serve::wire::encodeStudyResponse(
-                router.study(req->study), req->traceId, req->report);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Metrics: {
-            const auto fmt =
-                req->metricsFormat ==
-                        ep::serve::wire::MetricsFormat::OpenMetrics
-                    ? ep::obs::ExpositionFormat::OpenMetrics100
-                    : ep::obs::ExpositionFormat::Prometheus004;
-            if (req->clusterScope) {
-              // Federated cluster registry: every shard broker's
-              // snapshot merged (counters summed, gauges shard-
-              // labeled, histogram buckets added).
-              response = ep::serve::wire::encodeTextBody(
-                  router.renderClusterMetrics(fmt));
-            } else if (req->metricsFormat ==
-                       ep::serve::wire::MetricsFormat::Json) {
-              // The cluster snapshot is the fleet's flat-JSON surface.
-              response = router.renderWireSnapshot();
-            } else {
-              response = ep::serve::wire::encodeTextBody(
-                  ep::obs::renderExposition(
-                      ep::obs::Registry::global().snapshot(), fmt));
-            }
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Trace:
-            response = ep::serve::wire::encodeTextBody(
-                ep::obs::Tracer::global().exportChromeTrace());
-            break;
-          case ep::serve::wire::WireRequest::Op::Events: {
-            if (watchdogs.empty() && slo == nullptr) {
-              response = ep::serve::wire::encodeError(
-                  "no flight recorders armed (start epfleetd with"
-                  " --watchdog and/or --slo)");
-              break;
-            }
-            std::string body;
-            std::uint64_t alerts = 0;
-            std::uint64_t recorded = 0;
-            std::uint64_t dropped = 0;
-            for (const auto& [shardId, wd] : watchdogs) {
-              for (const ep::obs::FlightEvent& e :
-                   wd->events(req->eventsSince)) {
-                body += ep::obs::encodeFlightEventLine(e, shardId);
-                body += '\n';
-              }
-              alerts += wd->activeAlerts();
-              recorded += wd->recorder().recorded();
-              dropped += wd->recorder().dropped();
-            }
-            if (slo != nullptr) {
-              for (const ep::obs::FlightEvent& e :
-                   slo->events(req->eventsSince)) {
-                body += ep::obs::encodeFlightEventLine(e, "cluster");
-                body += '\n';
-              }
-              alerts += slo->activeAlerts();
-              recorded += slo->recorder().recorded();
-              dropped += slo->recorder().dropped();
-            }
-            response = ep::serve::wire::encodeEvents(alerts, recorded,
-                                                     dropped, body);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Tsdb:
-            response =
-                ep::serve::wire::encodeTsdbResponse(tsdb, *req, steadyNowNs());
-            break;
-          case ep::serve::wire::WireRequest::Op::Slo:
-            if (slo == nullptr) {
-              response = ep::serve::wire::encodeError(
-                  "no SLOs declared (start epfleetd with --slo)");
-            } else {
-              response = ep::serve::wire::encodeSloStatus(slo->status());
-            }
-            break;
-          case ep::serve::wire::WireRequest::Op::Fleet:
-            response = handleFleetOp(router, *req);
-            break;
+    case WireRequest::Op::Trace:
+      return ep::serve::wire::encodeTextBody(
+          ep::obs::Tracer::global().exportChromeTrace());
+    case WireRequest::Op::Events: {
+      if (watchdogs.empty() && slo == nullptr) {
+        return ep::serve::wire::encodeError(
+            "no flight recorders armed (start epfleetd with"
+            " --watchdog and/or --slo)");
+      }
+      std::string body;
+      std::uint64_t alerts = 0;
+      std::uint64_t recorded = 0;
+      std::uint64_t dropped = 0;
+      for (const auto& [shardId, wd] : watchdogs) {
+        for (const ep::obs::FlightEvent& e : wd->events(req.eventsSince)) {
+          body += ep::obs::encodeFlightEventLine(e, shardId);
+          body += '\n';
         }
+        alerts += wd->activeAlerts();
+        recorded += wd->recorder().recorded();
+        dropped += wd->recorder().dropped();
       }
-      response += '\n';
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t n =
-            send(fd, response.data() + sent, response.size() - sent, 0);
-        if (n <= 0) return;
-        sent += static_cast<std::size_t>(n);
+      if (slo != nullptr) {
+        for (const ep::obs::FlightEvent& e : slo->events(req.eventsSince)) {
+          body += ep::obs::encodeFlightEventLine(e, "cluster");
+          body += '\n';
+        }
+        alerts += slo->activeAlerts();
+        recorded += slo->recorder().recorded();
+        dropped += slo->recorder().dropped();
       }
+      return ep::serve::wire::encodeEvents(alerts, recorded, dropped, body);
     }
+    case WireRequest::Op::Tsdb:
+      return ep::serve::wire::encodeTsdbResponse(tsdb, req, steadyNowNs());
+    case WireRequest::Op::Slo:
+      if (slo == nullptr) {
+        return ep::serve::wire::encodeError(
+            "no SLOs declared (start epfleetd with --slo)");
+      }
+      return ep::serve::wire::encodeSloStatus(slo->status());
+    case WireRequest::Op::Fleet:
+      return handleFleetOp(router, req);
+    case WireRequest::Op::Tune:
+    case WireRequest::Op::Study:
+      break;  // handled by NetService, never routed here
   }
+  return ep::serve::wire::encodeError("unsupported op");
 }
 
 }  // namespace
@@ -372,7 +296,8 @@ int main(int argc, char** argv) {
   Args args;
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: epfleetd [--port P] [--shards N] [--threads T]"
-                 " [--queue Q] [--cache C] [--policy rr|queue|energy]"
+                 " [--event-threads E] [--queue Q] [--cache C]"
+                 " [--policy rr|queue|energy]"
                  " [--vnodes V] [--seed S] [--meter] [--tracing]"
                  " [--watchdog] [--scrape-ms MS] [--slo SPEC]..."
                  " [--slo-window L:S:B]...\n";
@@ -454,27 +379,48 @@ int main(int argc, char** argv) {
       scrapeOpts);
   if (args.scrapeMs > 0) scraper.start();
 
-  const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
-  if (listenFd < 0) {
-    std::perror("socket");
+  // Frame batches -> router.  Tunes from every connection in one epoll
+  // round are routed lock-free and admitted per shard through ONE
+  // Broker::submitTuneBatch call; "device":"auto" (deviceAuto) maps to
+  // the nullopt-device FleetRequest the router's price table resolves.
+  ep::serve::NetServiceHooks hooks;
+  hooks.tuneBatch = [&router](std::vector<ep::serve::ServiceTuneItem>&& items) {
+    std::vector<ep::fleet::FleetRouter::FleetTuneBatchItem> batch;
+    batch.reserve(items.size());
+    for (auto& item : items) {
+      ep::fleet::FleetRouter::FleetTuneBatchItem member;
+      if (!item.deviceAuto) member.req.device = item.req.device;
+      member.req.n = item.req.n;
+      member.req.maxDegradation = item.req.maxDegradation;
+      member.req.deadlineMs = item.req.deadlineMs;
+      member.ctx = item.ctx;
+      member.done = std::move(item.done);
+      batch.push_back(std::move(member));
+    }
+    router.submitTuneBatch(std::move(batch));
+  };
+  hooks.study = [&router](const ep::serve::StudyRequest& req) {
+    return router.study(req);
+  };
+  hooks.control = [&router, &shardWatchdogs, &tsdb, &slo](
+                      const ep::serve::wire::WireRequest& req) {
+    return handleControlOp(req, router, shardWatchdogs, tsdb, slo.get());
+  };
+  ep::serve::NetService service(std::move(hooks));
+
+  ep::net::ServerOptions netOpts;
+  netOpts.port = args.port;
+  netOpts.eventThreads = args.eventThreads;
+  ep::net::Server server(netOpts, service.handler());
+  std::string netError;
+  if (!server.start(&netError)) {
+    std::cerr << "epfleetd: " << netError << "\n";
     return 1;
   }
-  const int one = 1;
-  setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(args.port);
-  if (bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      listen(listenFd, 64) < 0) {
-    std::perror("bind/listen");
-    close(listenFd);
-    return 1;
-  }
-  socklen_t len = sizeof addr;
-  getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len);
-  std::cout << "epfleetd listening on 127.0.0.1:" << ntohs(addr.sin_port)
+
+  std::cout << "epfleetd listening on 127.0.0.1:" << server.port()
             << " (shards=" << args.shards << " threads=" << args.threads
+            << " event-threads=" << args.eventThreads
             << " policy=" << ep::fleet::policyName(*policy)
             << " vnodes=" << args.vnodes
             << " meter=" << (args.meter ? "on" : "off")
@@ -482,29 +428,24 @@ int main(int argc, char** argv) {
             << " scrape-ms=" << (args.scrapeMs > 0 ? args.scrapeMs : 0)
             << " slos=" << sloSpecs.size() << ")" << std::endl;
 
-  gListenFd.store(listenFd);
+  if (pipe(gStopPipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
   std::signal(SIGINT, handleStopSignal);
   std::signal(SIGTERM, handleStopSignal);
-
-  FdRegistry registry;
-  std::vector<std::thread> connections;
-  for (;;) {
-    const int fd = accept(listenFd, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by the signal handler
-    registry.add(fd);
-    connections.emplace_back(
-        [fd, &router, &registry, &shardWatchdogs, &tsdb, &slo] {
-          serveConnection(fd, router, shardWatchdogs, tsdb, slo.get());
-          registry.remove(fd);
-          close(fd);
-        });
+  char byte = 0;
+  while (read(gStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
 
   std::cout << "epfleetd: draining..." << std::endl;
   scraper.stop();
+  // Order matters: stop the transport first (drops unanswered frames),
+  // then the slow-op pool, THEN drain the shards — late done-callbacks
+  // hit a stopped but still-alive server and are ignored.
+  server.stop();
+  service.stop();
   router.shutdown();
-  registry.shutdownAll();
-  for (auto& t : connections) t.join();
   std::cout << router.renderWireSnapshot() << std::endl;
   return 0;
 }

@@ -5,6 +5,7 @@
 //                  [--device p100|k40c] [--n N[,N...]] [--budget B]
 //                  [--deadline-ms D] [--study BEGIN:END:STEP] [--metrics]
 //                  [--trace-id ID] [--report] [--raw '<json line>']
+//                  [--binary] [--pipeline W]
 //
 // Default mode sends `--requests` tune requests per connection, cycling
 // through the `--n` workload list, and reports client-side latency
@@ -18,6 +19,14 @@
 // energy of the studies actually executed, regardless of cache hits
 // and coalescing.
 //
+// --binary speaks the EPB1 framing (net/frame.hpp) with the compact
+// binary tune codec (serve/wire_binary.hpp) instead of line JSON;
+// --pipeline W keeps up to W tune requests in flight per connection
+// with batched writes (one send() per window refill) — the pair is how
+// the event-loop server's cross-connection batching is actually fed.
+// Both apply to the default tune-load mode only; --study/--raw/
+// --metrics stay line-JSON round trips.
+//
 // --raw sends one verbatim request line and prints the response line —
 // the escape hatch for ops the flag surface doesn't cover (epfleetd's
 // {"op":"fleet",...} drill actions, "device":"auto" tunes).  Exits 0
@@ -30,6 +39,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <deque>
 #include <iostream>
 #include <numeric>
 #include <sstream>
@@ -37,7 +47,9 @@
 #include <thread>
 #include <vector>
 
+#include "net/frame.hpp"
 #include "serve/wire.hpp"
+#include "serve/wire_binary.hpp"
 
 namespace {
 
@@ -58,6 +70,8 @@ struct Args {
   std::string traceId;
   bool report = false;
   std::string raw;
+  bool binary = false;
+  int pipeline = 1;  // in-flight tune requests per connection
 };
 
 std::vector<int> parseIntList(const std::string& s) {
@@ -107,11 +121,16 @@ bool parseArgs(int argc, char** argv, Args* a) {
       a->report = true;
     } else if (arg == "--raw" && (v = next())) {
       a->raw = v;
+    } else if (arg == "--binary") {
+      a->binary = true;
+    } else if (arg == "--pipeline" && (v = next())) {
+      a->pipeline = std::stoi(v);
     } else {
       return false;
     }
   }
-  return !a->ns.empty() && a->requests > 0 && a->connections > 0;
+  return !a->ns.empty() && a->requests > 0 && a->connections > 0 &&
+         a->pipeline > 0;
 }
 
 class Connection {
@@ -129,6 +148,8 @@ class Connection {
   ~Connection() {
     if (fd_ >= 0) close(fd_);
   }
+
+  [[nodiscard]] int fd() const { return fd_; }
 
   // One request line out, one response line back.
   bool roundTrip(const std::string& request, std::string* response) {
@@ -175,6 +196,53 @@ std::string tuneLine(const Args& a, int n) {
   return w.str();
 }
 
+// Tally one decoded response (either wire format) into the result.
+void tallyJson(const std::string& line, double ms, WorkerResult* out) {
+  std::string err;
+  const auto obj = ep::serve::wire::parseObject(line, &err);
+  if (!obj) {
+    ++out->errors;
+    return;
+  }
+  const auto st = obj->find("status");
+  if (st != obj->end() && st->second.string == "ok") {
+    ++out->ok;
+    out->latenciesMs.push_back(ms);
+    if (const auto j = obj->find("attributedJoules"); j != obj->end()) {
+      out->attributedJoules += j->second.number;
+    }
+    if (const auto s = obj->find("studiesExecuted"); s != obj->end()) {
+      out->studiesExecuted += static_cast<std::uint64_t>(s->second.number);
+    }
+  } else {
+    ++out->rejected;
+  }
+}
+
+void tallyBinary(const std::string& payload, double ms, WorkerResult* out) {
+  std::string err;
+  const auto resp = ep::serve::wire_binary::decodeTuneResponse(payload, &err);
+  if (!resp) {
+    ++out->errors;
+    return;
+  }
+  if (resp->status == ep::serve::Status::Ok) {
+    ++out->ok;
+    out->latenciesMs.push_back(ms);
+    if (resp->hasReport) {
+      out->attributedJoules += resp->report.attributedJoules;
+      out->studiesExecuted += resp->report.studiesExecuted;
+    }
+  } else {
+    ++out->rejected;
+  }
+}
+
+// The tune-load worker: a sliding window of up to a.pipeline requests
+// in flight, writes batched per window refill (one send() covers many
+// requests), responses decoded incrementally.  Responses arrive in
+// request order (the server restores pipelined order per connection),
+// so a FIFO of start times matches them up.
 void runWorker(const Args& a, WorkerResult* out) {
   Connection conn;
   if (!conn.open(a.host, a.port)) {
@@ -182,37 +250,99 @@ void runWorker(const Args& a, WorkerResult* out) {
     out->errors = a.requests;
     return;
   }
+  const int fd = conn.fd();
   out->latenciesMs.reserve(static_cast<std::size_t>(a.requests));
-  for (int i = 0; i < a.requests; ++i) {
-    const int n = a.ns[static_cast<std::size_t>(i) % a.ns.size()];
-    const auto start = Clock::now();
-    std::string response;
-    if (!conn.roundTrip(tuneLine(a, n), &response)) {
-      ++out->errors;
-      break;
-    }
-    const double ms =
-        std::chrono::duration<double, std::milli>(Clock::now() - start)
-            .count();
-    std::string err;
-    const auto obj = ep::serve::wire::parseObject(response, &err);
-    if (!obj) {
-      ++out->errors;
-      continue;
-    }
-    const auto st = obj->find("status");
-    if (st != obj->end() && st->second.string == "ok") {
-      ++out->ok;
-      out->latenciesMs.push_back(ms);
-      if (const auto j = obj->find("attributedJoules"); j != obj->end()) {
-        out->attributedJoules += j->second.number;
+
+  std::string outBuf;
+  if (a.binary) outBuf.append(ep::net::kMagic, sizeof ep::net::kMagic);
+  std::string inBuf;
+  std::deque<Clock::time_point> starts;
+  int queued = 0;    // requests encoded (and soon flushed)
+  int received = 0;  // responses tallied
+
+  ep::serve::wire_binary::BinaryTuneRequest breq;
+  breq.tune.device = a.device == "k40c" ? ep::serve::Device::K40c
+                                        : ep::serve::Device::P100;
+  breq.tune.maxDegradation = a.budget;
+  breq.tune.deadlineMs = a.deadlineMs > 0.0 ? a.deadlineMs : 0.0;
+  breq.report = a.report;
+  breq.traceId = a.traceId;
+
+  while (received < a.requests) {
+    while (queued < a.requests && queued - received < a.pipeline) {
+      const int n = a.ns[static_cast<std::size_t>(queued) % a.ns.size()];
+      starts.push_back(Clock::now());
+      if (a.binary) {
+        breq.tune.n = n;
+        ep::net::appendFrame(outBuf, ep::net::kOpTune,
+                             ep::serve::wire_binary::encodeTuneRequest(breq));
+      } else {
+        outBuf += tuneLine(a, n);
+        outBuf += '\n';
       }
-      if (const auto s = obj->find("studiesExecuted"); s != obj->end()) {
-        out->studiesExecuted +=
-            static_cast<std::uint64_t>(s->second.number);
+      ++queued;
+    }
+    std::size_t sent = 0;
+    while (sent < outBuf.size()) {
+      const ssize_t k = send(fd, outBuf.data() + sent, outBuf.size() - sent, 0);
+      if (k <= 0) {
+        out->errors += a.requests - received;
+        return;
       }
-    } else {
-      ++out->rejected;
+      sent += static_cast<std::size_t>(k);
+    }
+    outBuf.clear();
+
+    // Read until at least one full response is available, then drain
+    // everything already buffered.
+    bool madeProgress = false;
+    while (!madeProgress || received < queued) {
+      if (a.binary) {
+        std::uint64_t len = 0;
+        const int used =
+            ep::net::readVarint(inBuf.data(), inBuf.size(), &len);
+        if (used < 0 || (used > 0 && len == 0)) {
+          out->errors += a.requests - received;
+          return;
+        }
+        if (used > 0 && inBuf.size() >= static_cast<std::size_t>(used) + len) {
+          const std::string payload =
+              inBuf.substr(static_cast<std::size_t>(used) + 1,
+                           static_cast<std::size_t>(len) - 1);
+          inBuf.erase(0, static_cast<std::size_t>(used) +
+                             static_cast<std::size_t>(len));
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - starts.front())
+                                .count();
+          starts.pop_front();
+          tallyBinary(payload, ms, out);
+          ++received;
+          madeProgress = true;
+          continue;
+        }
+      } else {
+        const std::size_t nl = inBuf.find('\n');
+        if (nl != std::string::npos) {
+          std::string line = inBuf.substr(0, nl);
+          inBuf.erase(0, nl + 1);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - starts.front())
+                                .count();
+          starts.pop_front();
+          tallyJson(line, ms, out);
+          ++received;
+          madeProgress = true;
+          continue;
+        }
+      }
+      if (madeProgress) break;  // buffer drained; go refill the window
+      char chunk[65536];
+      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) {
+        out->errors += a.requests - received;
+        return;
+      }
+      inBuf.append(chunk, static_cast<std::size_t>(got));
     }
   }
 }
@@ -234,7 +364,9 @@ int main(int argc, char** argv) {
         << "usage: epserve_client [--host H] [--port P] [--requests R]\n"
            "         [--connections C] [--device p100|k40c] [--n N[,N...]]\n"
            "         [--budget B] [--deadline-ms D] [--study B:E:S]"
-           " [--metrics]\n";
+           " [--metrics]\n"
+           "         [--binary] [--pipeline W] [--trace-id ID] [--report]"
+           " [--raw J]\n";
     return 2;
   }
 

@@ -1,14 +1,19 @@
 // epserved — the epserve TCP frontend.
 //
-// A thin line-delimited-JSON transport over the in-process Broker: one
-// request per line, one response line per request (see serve/wire.hpp
-// for the vocabulary).  All tuning logic lives in the broker; this file
-// only does sockets, line framing and signal-driven shutdown.
+// Mounts net::Server (edge-triggered epoll event loop, SO_REUSEPORT
+// sharding, cross-connection request batching) over the in-process
+// Broker.  Two wire framings share the port, picked per connection by
+// the first byte:
+//   * line-delimited JSON (the PR 1 protocol; see serve/wire.hpp),
+//   * EPB1 binary framing (see net/frame.hpp) carrying either compact
+//     binary tune frames or the full JSON vocabulary tunneled.
+// Every tune request drained in one epoll round — across all
+// connections — is admitted through ONE Broker::submitTuneBatch call.
 //
 // Usage:
-//   epserved [--port P] [--threads N] [--queue Q] [--cache C]
-//            [--deadline-ms D] [--meter] [--seed S] [--tracing]
-//            [--watchdog] [--watchdog-watts W]
+//   epserved [--port P] [--threads N] [--event-threads E] [--queue Q]
+//            [--cache C] [--deadline-ms D] [--meter] [--seed S]
+//            [--tracing] [--watchdog] [--watchdog-watts W]
 //            [--fault-offset W] [--fault-offset-rate R]
 //            [--scrape-ms MS] [--slo SPEC]... [--slo-window L:S:B]...
 //
@@ -17,11 +22,11 @@
 // drain in-flight work before exiting and print the final metrics.
 //
 // Observability: {"op":"metrics","format":"prometheus"} answers with
-// the combined broker + process registry exposition; with --tracing
-// enabled, {"op":"trace"} answers with the Chrome trace-event JSON
-// recorded so far (load it in Perfetto).  Requests carrying "trace_id"
-// run under that trace (and echo it); "report":true adds the energy-
-// attribution ledger to the response.
+// the combined broker + process registry exposition (now including the
+// ep_net_* transport family); with --tracing enabled, {"op":"trace"}
+// answers with the Chrome trace-event JSON recorded so far (load it in
+// Perfetto).  Requests carrying "trace_id" run under that trace (and
+// echo it); "report":true adds the energy-attribution ledger.
 //
 // --watchdog arms the power-anomaly watchdog over every measurement
 // window (implies nothing else; pair with --meter for real windows);
@@ -37,25 +42,22 @@
 // evaluated at scrape cadence with multi-window burn-rate alerting
 // ({"op":"slo"}; burn transitions also land in {"op":"events"}).
 // --slo-window L:S:B (ms:ms:burn) overrides the default window pairs.
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "core/watchdog.hpp"
+#include "net/server.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
 #include "obs/slo.hpp"
@@ -64,44 +66,24 @@
 #include "power/observer.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
+#include "serve/service.hpp"
 #include "serve/wire.hpp"
 
 namespace {
 
-std::atomic<int> gListenFd{-1};
+// Self-pipe: the signal handler's only async-signal-safe job is one
+// write; the main thread parks on the read end.
+int gStopPipe[2] = {-1, -1};
 
 void handleStopSignal(int) {
-  // Closing the listener unblocks accept(); the main loop does the
-  // orderly drain.  (Async-signal-safe: close only.)
-  const int fd = gListenFd.exchange(-1);
-  if (fd >= 0) close(fd);
+  const char byte = 1;
+  [[maybe_unused]] ssize_t rc = write(gStopPipe[1], &byte, 1);
 }
-
-// Open connection sockets, so shutdown can unblock threads parked in
-// recv() on idle connections.
-class FdRegistry {
- public:
-  void add(int fd) {
-    std::lock_guard lk(mu_);
-    fds_.push_back(fd);
-  }
-  void remove(int fd) {
-    std::lock_guard lk(mu_);
-    std::erase(fds_, fd);
-  }
-  void shutdownAll() {
-    std::lock_guard lk(mu_);
-    for (int fd : fds_) ::shutdown(fd, SHUT_RDWR);
-  }
-
- private:
-  std::mutex mu_;
-  std::vector<int> fds_;
-};
 
 struct Args {
   std::uint16_t port = 7070;
   std::size_t threads = 0;
+  std::size_t eventThreads = 1;
   std::size_t queue = 64;
   std::size_t cache = 128;
   double deadlineMs = 0.0;
@@ -146,6 +128,10 @@ bool parseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->threads = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--event-threads") {
+      const char* v = next();
+      if (!v) return false;
+      out->eventThreads = static_cast<std::size_t>(std::stoul(v));
     } else if (a == "--queue") {
       const char* v = next();
       if (!v) return false;
@@ -200,166 +186,93 @@ bool parseArgs(int argc, char** argv, Args* out) {
   return true;
 }
 
-// Serve one connection: read lines, answer each.  Returns when the
-// peer closes, the server is shutting down, or the peer streams a
-// "line" past the frame ceiling (buffering is bounded: a client that
-// never sends a newline cannot grow our memory without limit).
 std::int64_t steadyNowNs() {
   return std::chrono::duration_cast<std::chrono::nanoseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
 
-void serveConnection(int fd, ep::serve::Broker& broker,
-                     ep::core::PowerAnomalyWatchdog* watchdog,
-                     const ep::obs::TimeSeriesStore& tsdb,
-                     ep::obs::SloEngine* slo) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
-    if (got <= 0) break;
-    buffer.append(chunk, static_cast<std::size_t>(got));
-    if (buffer.find('\n') == std::string::npos &&
-        buffer.size() > ep::serve::wire::kMaxFrameBytes) {
-      const std::string reply =
-          ep::serve::wire::encodeError("frame too large") + "\n";
-      (void)send(fd, reply.data(), reply.size(), 0);
-      break;
-    }
-    std::size_t nl;
-    while ((nl = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, nl);
-      buffer.erase(0, nl + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      if (line.empty()) continue;
-
-      std::string response;
-      std::string error;
-      const auto req = ep::serve::wire::decodeRequest(line, &error);
-      if (!req) {
-        response = ep::serve::wire::encodeError(error);
+// The non-tune, non-study op switch (runs inline on event threads; all
+// of these are string renders).
+std::string handleControlOp(const ep::serve::wire::WireRequest& req,
+                            ep::serve::Broker& broker,
+                            ep::core::PowerAnomalyWatchdog* watchdog,
+                            const ep::obs::TimeSeriesStore& tsdb,
+                            ep::obs::SloEngine* slo) {
+  using ep::serve::wire::WireRequest;
+  switch (req.op) {
+    case WireRequest::Op::Metrics:
+      if (req.clusterScope) {
+        return ep::serve::wire::encodeError(
+            "cluster scope needs a fleet server (epfleetd)");
+      } else if (req.metricsFormat == ep::serve::wire::MetricsFormat::Json) {
+        return ep::serve::wire::encodeMetrics(broker.metrics());
       } else {
-        switch (req->op) {
-          case ep::serve::wire::WireRequest::Op::Tune: {
-            if (req->deviceAuto) {
-              // Device selection needs the fleet's price table.
-              response = ep::serve::wire::encodeError(
-                  "\"auto\" device needs a fleet server (epfleetd)");
-              break;
-            }
-            // Run the request under the caller's trace: the root span
-            // and everything the broker hands to pool workers carry it.
-            ep::obs::TraceContext root;
-            root.traceId = ep::obs::traceIdFromString(req->traceId);
-            ep::obs::ScopedTraceContext traceScope(root);
-            ep::obs::Span span("serve/request");
-            response = ep::serve::wire::encodeTuneResponse(
-                broker.tune(req->tune), req->traceId, req->report);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Study: {
-            ep::obs::TraceContext root;
-            root.traceId = ep::obs::traceIdFromString(req->traceId);
-            ep::obs::ScopedTraceContext traceScope(root);
-            ep::obs::Span span("serve/request");
-            response = ep::serve::wire::encodeStudyResponse(
-                broker.study(req->study), req->traceId, req->report);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Metrics:
-            if (req->clusterScope) {
-              response = ep::serve::wire::encodeError(
-                  "cluster scope needs a fleet server (epfleetd)");
-            } else if (req->metricsFormat ==
-                       ep::serve::wire::MetricsFormat::Json) {
-              response = ep::serve::wire::encodeMetrics(broker.metrics());
-            } else {
-              // Broker registry first, then the process-wide registry
-              // (thread pool, cusim, study phases) — disjoint names.
-              // One combined snapshot so the OpenMetrics form carries a
-              // single trailing # EOF.
-              ep::obs::RegistrySnapshot snap = broker.snapshotRegistry();
-              snap.append(ep::obs::Registry::global().snapshot());
-              const auto fmt = req->metricsFormat ==
-                                       ep::serve::wire::MetricsFormat::
-                                           OpenMetrics
-                                   ? ep::obs::ExpositionFormat::OpenMetrics100
-                                   : ep::obs::ExpositionFormat::Prometheus004;
-              response = ep::serve::wire::encodeTextBody(
-                  ep::obs::renderExposition(snap, fmt));
-            }
-            break;
-          case ep::serve::wire::WireRequest::Op::Trace:
-            response = ep::serve::wire::encodeTextBody(
-                ep::obs::Tracer::global().exportChromeTrace());
-            break;
-          case ep::serve::wire::WireRequest::Op::Events: {
-            if (watchdog == nullptr && slo == nullptr) {
-              response = ep::serve::wire::encodeError(
-                  "no flight recorders armed (start epserved with"
-                  " --watchdog and/or --slo)");
-              break;
-            }
-            // One drain over every armed recorder: the watchdog's
-            // power-anomaly events and the SLO engine's burn
-            // transitions share the wire format (epwatch renders both).
-            std::string body;
-            std::uint64_t alerts = 0;
-            std::uint64_t recorded = 0;
-            std::uint64_t dropped = 0;
-            if (watchdog != nullptr) {
-              for (const ep::obs::FlightEvent& e :
-                   watchdog->events(req->eventsSince)) {
-                body += ep::obs::encodeFlightEventLine(e);
-                body += '\n';
-              }
-              alerts += watchdog->activeAlerts();
-              recorded += watchdog->recorder().recorded();
-              dropped += watchdog->recorder().dropped();
-            }
-            if (slo != nullptr) {
-              for (const ep::obs::FlightEvent& e :
-                   slo->events(req->eventsSince)) {
-                body += ep::obs::encodeFlightEventLine(e);
-                body += '\n';
-              }
-              alerts += slo->activeAlerts();
-              recorded += slo->recorder().recorded();
-              dropped += slo->recorder().dropped();
-            }
-            response = ep::serve::wire::encodeEvents(alerts, recorded,
-                                                     dropped, body);
-            break;
-          }
-          case ep::serve::wire::WireRequest::Op::Tsdb:
-            response =
-                ep::serve::wire::encodeTsdbResponse(tsdb, *req, steadyNowNs());
-            break;
-          case ep::serve::wire::WireRequest::Op::Slo:
-            if (slo == nullptr) {
-              response = ep::serve::wire::encodeError(
-                  "no SLOs declared (start epserved with --slo)");
-            } else {
-              response = ep::serve::wire::encodeSloStatus(slo->status());
-            }
-            break;
-          case ep::serve::wire::WireRequest::Op::Fleet:
-            response = ep::serve::wire::encodeError(
-                "fleet ops need a fleet server (epfleetd)");
-            break;
+        // Broker registry first, then the process-wide registry
+        // (thread pool, cusim, study phases, epnet) — disjoint names.
+        // One combined snapshot so the OpenMetrics form carries a
+        // single trailing # EOF.
+        ep::obs::RegistrySnapshot snap = broker.snapshotRegistry();
+        snap.append(ep::obs::Registry::global().snapshot());
+        const auto fmt =
+            req.metricsFormat == ep::serve::wire::MetricsFormat::OpenMetrics
+                ? ep::obs::ExpositionFormat::OpenMetrics100
+                : ep::obs::ExpositionFormat::Prometheus004;
+        return ep::serve::wire::encodeTextBody(
+            ep::obs::renderExposition(snap, fmt));
+      }
+    case WireRequest::Op::Trace:
+      return ep::serve::wire::encodeTextBody(
+          ep::obs::Tracer::global().exportChromeTrace());
+    case WireRequest::Op::Events: {
+      if (watchdog == nullptr && slo == nullptr) {
+        return ep::serve::wire::encodeError(
+            "no flight recorders armed (start epserved with"
+            " --watchdog and/or --slo)");
+      }
+      // One drain over every armed recorder: the watchdog's
+      // power-anomaly events and the SLO engine's burn transitions
+      // share the wire format (epwatch renders both).
+      std::string body;
+      std::uint64_t alerts = 0;
+      std::uint64_t recorded = 0;
+      std::uint64_t dropped = 0;
+      if (watchdog != nullptr) {
+        for (const ep::obs::FlightEvent& e : watchdog->events(req.eventsSince)) {
+          body += ep::obs::encodeFlightEventLine(e);
+          body += '\n';
         }
+        alerts += watchdog->activeAlerts();
+        recorded += watchdog->recorder().recorded();
+        dropped += watchdog->recorder().dropped();
       }
-      response += '\n';
-      std::size_t sent = 0;
-      while (sent < response.size()) {
-        const ssize_t n =
-            send(fd, response.data() + sent, response.size() - sent, 0);
-        if (n <= 0) return;
-        sent += static_cast<std::size_t>(n);
+      if (slo != nullptr) {
+        for (const ep::obs::FlightEvent& e : slo->events(req.eventsSince)) {
+          body += ep::obs::encodeFlightEventLine(e);
+          body += '\n';
+        }
+        alerts += slo->activeAlerts();
+        recorded += slo->recorder().recorded();
+        dropped += slo->recorder().dropped();
       }
+      return ep::serve::wire::encodeEvents(alerts, recorded, dropped, body);
     }
+    case WireRequest::Op::Tsdb:
+      return ep::serve::wire::encodeTsdbResponse(tsdb, req, steadyNowNs());
+    case WireRequest::Op::Slo:
+      if (slo == nullptr) {
+        return ep::serve::wire::encodeError(
+            "no SLOs declared (start epserved with --slo)");
+      }
+      return ep::serve::wire::encodeSloStatus(slo->status());
+    case WireRequest::Op::Fleet:
+      return ep::serve::wire::encodeError(
+          "fleet ops need a fleet server (epfleetd)");
+    case WireRequest::Op::Tune:
+    case WireRequest::Op::Study:
+      break;  // handled by NetService, never routed here
   }
+  return ep::serve::wire::encodeError("unsupported op");
 }
 
 }  // namespace
@@ -367,7 +280,8 @@ void serveConnection(int fd, ep::serve::Broker& broker,
 int main(int argc, char** argv) {
   Args args;
   if (!parseArgs(argc, argv, &args)) {
-    std::cerr << "usage: epserved [--port P] [--threads N] [--queue Q]"
+    std::cerr << "usage: epserved [--port P] [--threads N]"
+                 " [--event-threads E] [--queue Q]"
                  " [--cache C] [--deadline-ms D] [--meter] [--seed S]"
                  " [--tracing] [--watchdog] [--watchdog-watts W]"
                  " [--fault-offset W] [--fault-offset-rate R]"
@@ -445,29 +359,53 @@ int main(int argc, char** argv) {
       scrapeOpts);
   if (args.scrapeMs > 0) scraper.start();
 
-  const int listenFd = socket(AF_INET, SOCK_STREAM, 0);
-  if (listenFd < 0) {
-    std::perror("socket");
+  // Frame batches -> broker.  Tunes from every connection in one epoll
+  // round are admitted via ONE submitTuneBatch call; the single-broker
+  // daemon rejects "device":"auto" (that needs the fleet's price table).
+  ep::serve::NetServiceHooks hooks;
+  hooks.tuneBatch = [&broker](std::vector<ep::serve::ServiceTuneItem>&& items) {
+    std::vector<ep::serve::Broker::TuneBatchItem> batch;
+    batch.reserve(items.size());
+    for (auto& item : items) {
+      if (item.deviceAuto) {
+        ep::serve::TuneResponse resp;
+        resp.status = ep::serve::Status::Error;
+        resp.error = "\"auto\" device needs a fleet server (epfleetd)";
+        item.done(std::move(resp));
+        continue;
+      }
+      ep::serve::Broker::TuneBatchItem member;
+      member.req = item.req;
+      member.ctx = item.ctx;
+      member.done = std::move(item.done);
+      batch.push_back(std::move(member));
+    }
+    broker.submitTuneBatch(std::move(batch));
+  };
+  hooks.study = [&broker](const ep::serve::StudyRequest& req) {
+    return broker.study(req);
+  };
+  hooks.control = [&broker, &watchdog, &tsdb, &slo](
+                      const ep::serve::wire::WireRequest& req) {
+    return handleControlOp(req, broker, watchdog.get(), tsdb, slo.get());
+  };
+  ep::serve::NetService service(std::move(hooks));
+
+  ep::net::ServerOptions netOpts;
+  netOpts.port = args.port;
+  netOpts.eventThreads = args.eventThreads;
+  ep::net::Server server(netOpts, service.handler());
+  std::string netError;
+  if (!server.start(&netError)) {
+    std::cerr << "epserved: " << netError << "\n";
     return 1;
   }
-  const int one = 1;
-  setsockopt(listenFd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(args.port);
-  if (bind(listenFd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
-      listen(listenFd, 64) < 0) {
-    std::perror("bind/listen");
-    close(listenFd);
-    return 1;
-  }
-  socklen_t len = sizeof addr;
-  getsockname(listenFd, reinterpret_cast<sockaddr*>(&addr), &len);
-  std::cout << "epserved listening on 127.0.0.1:" << ntohs(addr.sin_port)
+
+  std::cout << "epserved listening on 127.0.0.1:" << server.port()
             << " (threads=" << (brokerOpts.threads == 0
                                     ? std::thread::hardware_concurrency()
                                     : brokerOpts.threads)
+            << " event-threads=" << args.eventThreads
             << " queue=" << brokerOpts.queueCapacity
             << " cache=" << brokerOpts.cacheCapacity
             << " meter=" << (engineOpts.useMeter ? "on" : "off")
@@ -480,28 +418,24 @@ int main(int argc, char** argv) {
                     : "")
             << ")" << std::endl;
 
-  gListenFd.store(listenFd);
+  if (pipe(gStopPipe) != 0) {
+    std::perror("pipe");
+    return 1;
+  }
   std::signal(SIGINT, handleStopSignal);
   std::signal(SIGTERM, handleStopSignal);
-
-  FdRegistry registry;
-  std::vector<std::thread> connections;
-  for (;;) {
-    const int fd = accept(listenFd, nullptr, nullptr);
-    if (fd < 0) break;  // listener closed by the signal handler
-    registry.add(fd);
-    connections.emplace_back([fd, &broker, &registry, &watchdog, &tsdb, &slo] {
-      serveConnection(fd, broker, watchdog.get(), tsdb, slo.get());
-      registry.remove(fd);
-      close(fd);
-    });
+  char byte = 0;
+  while (read(gStopPipe[0], &byte, 1) < 0 && errno == EINTR) {
   }
 
   std::cout << "epserved: draining..." << std::endl;
   scraper.stop();
+  // Order matters: stop the transport first (drops unanswered frames),
+  // THEN drain the broker — its late done-callbacks hit a stopped but
+  // still-alive server and are ignored.
+  server.stop();
+  service.stop();
   broker.shutdown();
-  registry.shutdownAll();
-  for (auto& t : connections) t.join();
   ep::power::setMeasureObserver(nullptr);
   std::cout << ep::serve::formatMetrics(broker.metrics());
   return 0;
