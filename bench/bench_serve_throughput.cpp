@@ -12,6 +12,11 @@
 // The TCP section is the PR 8 acceptance record: binary pipelined
 // throughput must be >= 3x the thread-per-connection baseline
 // (44.7k req/s); every row lands in BENCH_serve.json.
+//
+// The chaos-off overhead section is the PR 9 acceptance record: with
+// admission disabled the broker must run the pre-epchaos hot path at
+// full speed, and even an enabled-but-never-shedding admission gate
+// must cost <= 10% on warm hits.
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -93,11 +98,19 @@ LatencySplit measureLatencies(const std::vector<int>& sizes,
 }
 
 double measureThroughput(const std::vector<int>& sizes, std::size_t threads,
-                         int requests) {
+                         int requests, bool admission = false) {
   auto engine = std::make_shared<ep::serve::EpStudyEngine>();
   BrokerOptions opts;
   opts.threads = threads;
   opts.queueCapacity = static_cast<std::size_t>(requests) + 16;
+  if (admission) {
+    // Generous AIMD limit: the point is to price the admission branch
+    // itself, not to shed load.
+    opts.admission.enabled = true;
+    opts.admission.initialLimit = 1 << 16;
+    opts.admission.maxLimit = 1 << 16;
+    opts.admission.targetLatencyMs = 1e9;
+  }
   Broker broker(engine, opts);
 
   // Warm the cache so the measured mix is the steady serving state
@@ -330,6 +343,31 @@ int main() {
     std::printf("  threads=%zu : %12.0f req/s\n", threads, rps);
     records.push_back({"inprocess/warm", static_cast<int>(threads),
                        rps > 0.0 ? 1e9 / rps : 0.0, rps});
+  }
+
+  // epchaos acceptance gate: with chaos fully off the broker takes the
+  // exact pre-epchaos hot path (one disabled-admission bool test), so
+  // warm throughput must stay within noise of the admission-on run
+  // with a never-shedding limit.  Best-of-3 each to damp CI jitter.
+  {
+    double rpsOff = 0.0;
+    double rpsOn = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      rpsOff = std::max(rpsOff, measureThroughput(sizes, 4, kRequests, false));
+      rpsOn = std::max(rpsOn, measureThroughput(sizes, 4, kRequests, true));
+    }
+    const double deltaPct =
+        rpsOff > 0.0 ? (rpsOff - rpsOn) / rpsOff * 100.0 : 0.0;
+    std::printf("\nchaos-off overhead (warm hot path, threads=4):\n");
+    std::printf("  admission off : %12.0f req/s\n", rpsOff);
+    std::printf("  admission on  : %12.0f req/s\n", rpsOn);
+    std::printf("  delta         : %11.1f%%  %s\n", deltaPct,
+                deltaPct <= 10.0 ? "(PASS <= 10% overhead)"
+                                 : "(FAIL > 10% overhead)");
+    records.push_back({"chaos/admission_off", 4,
+                       rpsOff > 0.0 ? 1e9 / rpsOff : 0.0, rpsOff});
+    records.push_back({"chaos/admission_on", 4,
+                       rpsOn > 0.0 ? 1e9 / rpsOn : 0.0, rpsOn});
   }
 
   // TCP serving path: one broker behind the net::Server event loop,

@@ -1,0 +1,43 @@
+#include "chaos/chaos.hpp"
+
+#include <sstream>
+
+namespace ep::chaos {
+
+ChaosOptions ChaosOptions::campaign(double rate) {
+  ChaosOptions o;
+  o.enabled = rate > 0.0;
+  o.connectResetRate = rate * 0.40;
+  o.tornFrameRate = rate * 0.25;
+  o.corruptFrameRate = rate * 0.20;
+  o.stallRate = rate * 0.15;
+  o.stallMs = 1.0;
+  o.acceptDropRate = rate * 0.30;
+  o.inboundCorruptRate = rate * 0.20;
+  return o;
+}
+
+ChaosCounts& ChaosCounts::operator+=(const ChaosCounts& o) {
+  connectResets += o.connectResets;
+  tornFrames += o.tornFrames;
+  corruptedFrames += o.corruptedFrames;
+  stalls += o.stalls;
+  acceptDrops += o.acceptDrops;
+  inboundCorruptions += o.inboundCorruptions;
+  engineFailures += o.engineFailures;
+  engineHangs += o.engineHangs;
+  return *this;
+}
+
+std::string ChaosCounts::summary() const {
+  std::ostringstream os;
+  os << "resets=" << connectResets << " torn=" << tornFrames
+     << " corrupted=" << corruptedFrames << " stalls=" << stalls
+     << " accept_drops=" << acceptDrops
+     << " inbound_corruptions=" << inboundCorruptions
+     << " engine_failures=" << engineFailures
+     << " engine_hangs=" << engineHangs << " total=" << total();
+  return os.str();
+}
+
+}  // namespace ep::chaos

@@ -1,0 +1,76 @@
+// epchaos — deterministic fault injection for the serving fleet.
+//
+// PR 4's epfault hardened the *measurement* pipeline against faulty
+// meters; this library applies the same design to the net/fleet path:
+// connection resets, torn frames, corrupted EPB1 varints, stalled
+// sockets, and whole-shard crash/hang, every decision drawn from an
+// ep::Rng stream forked off a campaign seed.  A campaign with a fixed
+// seed is bit-for-bit reproducible at any thread count, which is what
+// lets chaoscheck assert "degrades predictably" instead of "usually
+// survives".
+//
+// The pieces (each in its own header):
+//   FaultyTransport  client-side socket wrapper injecting transport
+//                    faults between a real client and a real server.
+//   NetChaos         server-side decision engine bound into the
+//                    net::ServerChaosHooks test seam.
+//   ChaosEngine      TuningEngine decorator injecting evaluate()
+//                    failures, hangs and whole-shard crashes.
+//   RetryPolicy      seeded exponential-backoff-with-jitter schedules
+//                    plus client retry budgets (retry.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ep::chaos {
+
+struct ChaosOptions {
+  bool enabled = false;
+
+  // Campaign seed; every injection stream is forked off this.
+  std::uint64_t seed = 0xC4A05EEDULL;
+
+  // Client-transport faults (FaultyTransport), decided per attempt:
+  double connectResetRate = 0.0;  // close instead of sending (peer: reset)
+  double tornFrameRate = 0.0;     // send a strict prefix, then close
+  double corruptFrameRate = 0.0;  // flip a byte in the EPB1 length varint
+  double stallRate = 0.0;         // delay before sending (stalled socket)
+  double stallMs = 2.0;
+
+  // Server-side faults (NetChaos -> net::ServerChaosHooks):
+  double acceptDropRate = 0.0;     // close a connection right after accept
+  double inboundCorruptRate = 0.0; // flip a byte in one inbound chunk
+
+  // Salt of the injection streams; distinct consumers over the same
+  // seed stay decorrelated with distinct salts.
+  std::uint64_t streamSalt = 0xC4405A17ULL;
+
+  // The scripted campaign shape used by tools/chaoscheck and the tests:
+  // `rate` is the total per-request transport-fault probability, split
+  // across the fault kinds; server-side faults run at half that rate so
+  // a campaign exercises both seams without doubling the error budget.
+  [[nodiscard]] static ChaosOptions campaign(double rate);
+};
+
+// Injection tally of one chaos component (transport, server hook, or
+// engine decorator); aggregated by chaoscheck for the campaign report.
+struct ChaosCounts {
+  std::uint64_t connectResets = 0;
+  std::uint64_t tornFrames = 0;
+  std::uint64_t corruptedFrames = 0;
+  std::uint64_t stalls = 0;
+  std::uint64_t acceptDrops = 0;
+  std::uint64_t inboundCorruptions = 0;
+  std::uint64_t engineFailures = 0;
+  std::uint64_t engineHangs = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return connectResets + tornFrames + corruptedFrames + stalls +
+           acceptDrops + inboundCorruptions + engineFailures + engineHangs;
+  }
+  ChaosCounts& operator+=(const ChaosCounts& o);
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace ep::chaos

@@ -1,0 +1,69 @@
+// TuningEngine decorator injecting compute-side faults: sporadic
+// evaluate() failures, slow evaluations (hangs), and whole-shard
+// crash/hang toggled at runtime — the shard-level analogue of PR 4's
+// FaultyMeter.
+//
+// tuningHash() delegates to the inner engine on purpose: a chaotic
+// engine computes the *same* results as a clean one when it does not
+// fault, so shards sharing the inner engine keep one cache identity and
+// replica stale-serving across shards stays exercised under chaos.
+//
+// Sporadic decisions are drawn per (device, n) from forked Rng streams,
+// so which keys fault is a pure function of the campaign seed — not of
+// request interleaving — keeping campaigns reproducible at any thread
+// count.  crash() flips an atomic consulted by every evaluate(): the
+// drill path for "shard dies, breaker opens, health probes eject it,
+// recovery reinstates it".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+
+#include "serve/engine.hpp"
+
+namespace ep::chaos {
+
+struct ChaosEngineOptions {
+  // Probability that a given (device, n) study key always fails.
+  double failRate = 0.0;
+  // Probability that a given (device, n) study key is slow, sleeping
+  // hangMs before delegating (models a hung kernel, not a crash).
+  double hangRate = 0.0;
+  double hangMs = 50.0;
+  std::uint64_t seed = 0xC4A05EEDULL;
+  std::uint64_t streamSalt = 0x5AADE9ULL;
+};
+
+class ChaosEngine : public serve::TuningEngine {
+ public:
+  explicit ChaosEngine(std::shared_ptr<const serve::TuningEngine> inner,
+                       ChaosEngineOptions options = {});
+
+  [[nodiscard]] std::uint64_t tuningHash(serve::Device device) const override;
+  [[nodiscard]] core::WorkloadResult evaluate(
+      serve::Device device, int n, ThreadPool* pool = nullptr) const override;
+
+  // Whole-shard crash: every evaluate() throws until recover().
+  void crash() { crashed_.store(true, std::memory_order_release); }
+  void recover() { crashed_.store(false, std::memory_order_release); }
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::uint64_t failuresInjected() const {
+    return failures_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t hangsInjected() const {
+    return hangs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const serve::TuningEngine> inner_;
+  ChaosEngineOptions options_;
+  std::atomic<bool> crashed_{false};
+  mutable std::atomic<std::uint64_t> failures_{0};
+  mutable std::atomic<std::uint64_t> hangs_{0};
+};
+
+}  // namespace ep::chaos

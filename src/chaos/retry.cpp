@@ -1,0 +1,59 @@
+#include "chaos/retry.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+
+namespace ep::chaos {
+
+double RetryPolicy::delayMs(std::uint64_t stream, std::uint64_t requestIndex,
+                            int attempt) const {
+  if (attempt <= 0) return 0.0;
+  double envelope = baseDelayMs;
+  for (int k = 1; k < attempt; ++k) {
+    envelope *= 2.0;
+    if (envelope >= maxDelayMs) break;
+  }
+  envelope = std::min(envelope, maxDelayMs);
+  // One fork per (stream, request, attempt): the draw depends on the
+  // identity of the retry, never on scheduling order.
+  Rng rng(seed);
+  Rng stream_rng = rng.fork(
+      mix64(mix64(mix64(streamSalt, stream), requestIndex),
+            static_cast<std::uint64_t>(attempt)));
+  const double u = stream_rng.uniform(0.0, 1.0);
+  return envelope * (1.0 - jitter * u);
+}
+
+RetryBudget::RetryBudget(double ratio, double maxTokens, double initialTokens)
+    : ratio_(ratio),
+      maxScaled_(static_cast<std::int64_t>(maxTokens * kScale)),
+      tokensScaled_(static_cast<std::int64_t>(
+          std::min(initialTokens, maxTokens) * kScale)) {}
+
+void RetryBudget::onAttempt() {
+  const auto earn = static_cast<std::int64_t>(ratio_ * kScale);
+  std::int64_t cur = tokensScaled_.load(std::memory_order_relaxed);
+  while (true) {
+    const std::int64_t next = std::min(cur + earn, maxScaled_);
+    if (tokensScaled_.compare_exchange_weak(cur, next,
+                                            std::memory_order_relaxed)) {
+      return;
+    }
+  }
+}
+
+bool RetryBudget::tryRetry() {
+  std::int64_t cur = tokensScaled_.load(std::memory_order_relaxed);
+  while (cur >= kScale) {
+    if (tokensScaled_.compare_exchange_weak(cur, cur - kScale,
+                                            std::memory_order_relaxed)) {
+      granted_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+  }
+  denied_.fetch_add(1, std::memory_order_relaxed);
+  return false;
+}
+
+}  // namespace ep::chaos

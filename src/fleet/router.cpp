@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <bit>
 #include <chrono>
+#include <future>
+#include <string_view>
 #include <utility>
 
 #include "common/error.hpp"
@@ -70,12 +72,32 @@ std::uint64_t FleetRouter::nowNs() {
           .count());
 }
 
+FleetRouter::HealthState::HealthState(const FleetHealthOptions& opts)
+    : probes(registry.counter("fleet_health_probes_total",
+                              "Synthetic health probes sent to shards")),
+      probeFailures(registry.counter("fleet_health_probe_failures_total",
+                                     "Health probes that failed")),
+      ejects(registry.counter("fleet_shard_ejected_total",
+                              "Shards auto-ejected by the health monitor")),
+      reinstates(registry.counter(
+          "fleet_shard_reinstated_total",
+          "Ejected shards auto-reinstated after probe recovery")) {
+  EP_REQUIRE(opts.ejectAfterFailures >= 1,
+             "ejectAfterFailures must be >= 1");
+  EP_REQUIRE(opts.reinstateAfterSuccesses >= 1,
+             "reinstateAfterSuccesses must be >= 1");
+  EP_REQUIRE(opts.probeN > 0, "probeN must be positive");
+}
+
 FleetRouter::FleetRouter(std::vector<FleetShardConfig> shards,
                          FleetOptions options)
     : options_(options) {
   EP_REQUIRE(!shards.empty(), "fleet needs at least one shard");
   EP_REQUIRE(options_.ewmaAlpha > 0.0 && options_.ewmaAlpha <= 1.0,
              "ewmaAlpha must be in (0, 1]");
+  if (options_.health.enabled) {
+    health_ = std::make_unique<HealthState>(options_.health);
+  }
   auto ring = std::make_shared<HashRing>(options_.virtualNodes);
   shards_.reserve(shards.size());
   for (std::size_t i = 0; i < shards.size(); ++i) {
@@ -113,6 +135,14 @@ void FleetRouter::shutdown() {
   std::lock_guard lk(adminMu_);
   if (shutdown_) return;
   shutdown_ = true;
+  if (health_ != nullptr && health_->monitor.joinable()) {
+    {
+      std::lock_guard mlk(health_->monitorMu);
+      health_->stopMonitor = true;
+    }
+    health_->monitorCv.notify_all();
+    health_->monitor.join();
+  }
   for (auto& s : shards_) s->broker->shutdown();
 }
 
@@ -384,13 +414,17 @@ void FleetRouter::onStudyExecuted(
   if (options_.replicateToSuccessor && shards_.size() > 1) {
     const auto ring = ringSnapshot();
     // Replica target: the first shard in ring preference order that is
-    // not the executor — the successor when the home executed, the
-    // home itself when an overflow shard did.
-    for (const auto& id : ring->preferenceOrder(ringKeyHash(device, n), 2)) {
+    // not the executor AND serves the device — the successor when the
+    // home executed, the home itself when an overflow shard did.  The
+    // serves() filter matters only for heterogeneous fleets: a replica
+    // on a shard that cannot serve the device would never be found by
+    // the stale-fallback path (which skips non-serving shards).
+    for (const auto& id :
+         ring->preferenceOrder(ringKeyHash(device, n), shards_.size())) {
       if (id == shards_[shardIndex]->id) continue;
-      if (Shard* target = shardById(id)) {
-        target->broker->installStaleResult(device, n, result);
-      }
+      Shard* target = shardById(id);
+      if (target == nullptr || !target->serves(device)) continue;
+      target->broker->installStaleResult(device, n, result);
       break;
     }
   }
@@ -415,6 +449,11 @@ bool FleetRouter::killShard(const std::string& id) {
   Shard* s = shardById(id);
   if (s == nullptr) return false;
   s->alive.store(false, std::memory_order_relaxed);
+  // A manual kill overrides the health monitor: with ejected clear the
+  // monitor neither probes the shard nor resurrects it.
+  s->ejected.store(false, std::memory_order_relaxed);
+  s->probeFailures.store(0, std::memory_order_relaxed);
+  s->probeSuccesses.store(0, std::memory_order_relaxed);
   return true;
 }
 
@@ -422,7 +461,128 @@ bool FleetRouter::reviveShard(const std::string& id) {
   Shard* s = shardById(id);
   if (s == nullptr) return false;
   s->alive.store(true, std::memory_order_relaxed);
+  s->ejected.store(false, std::memory_order_relaxed);
+  s->probeFailures.store(0, std::memory_order_relaxed);
+  s->probeSuccesses.store(0, std::memory_order_relaxed);
   return true;
+}
+
+bool FleetRouter::probeShard(Shard& s) {
+  // The breaker is the probe's failure detector for engine death: the
+  // fixed probe key caches after its first study, so only the breaker
+  // — tripped by real traffic hitting uncached keys — can see an
+  // engine that started failing.  Open on any served device = sick.
+  const serve::ServeMetrics m = s.broker->metrics();
+  for (const serve::Device d : s.devices) {
+    const char* state =
+        deviceIndex(d) == 0 ? m.breakerStateP100 : m.breakerStateK40c;
+    if (std::string_view(state) == "open") return false;
+  }
+  serve::TuneRequest req;
+  req.device = s.devices.front();
+  req.n = options_.health.probeN;
+  req.maxDegradation = options_.health.probeMaxDegradation;
+  req.deadlineMs = options_.health.probeDeadlineMs;
+  // Probes bypass routing, but the broker's onTuneComplete hook still
+  // fires and decrements inFlight — balance it here.  A probe that
+  // outlives the timeout keeps its slot until the hook runs, which is
+  // exactly right: a hung shard *is* loaded.
+  s.inFlight.fetch_add(1, std::memory_order_relaxed);
+  auto fut = s.broker->submitTune(req);
+  if (options_.health.probeTimeoutMs > 0.0) {
+    const auto wait = std::chrono::duration<double, std::milli>(
+        options_.health.probeTimeoutMs);
+    if (fut.wait_for(wait) != std::future_status::ready) return false;
+  }
+  const serve::TuneResponse resp = fut.get();
+  return resp.status == serve::Status::Ok && !resp.stale;
+}
+
+void FleetRouter::healthTick() {
+  if (health_ == nullptr) return;
+  std::lock_guard lk(health_->tickMu);
+  for (auto& sp : shards_) {
+    Shard& s = *sp;
+    const bool alive = s.alive.load(std::memory_order_relaxed);
+    const bool ejected = s.ejected.load(std::memory_order_relaxed);
+    if (!alive && !ejected) continue;  // manually killed: operator owns it
+    health_->probes.inc();
+    if (probeShard(s)) {
+      s.probeFailures.store(0, std::memory_order_relaxed);
+      if (!ejected) continue;
+      const int runs =
+          s.probeSuccesses.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (runs < options_.health.reinstateAfterSuccesses) continue;
+      s.probeSuccesses.store(0, std::memory_order_relaxed);
+      s.ejected.store(false, std::memory_order_relaxed);
+      // The exact store reviveShard() makes, so routing after an
+      // auto-reinstate is bitwise-identical to a manual revive.
+      s.alive.store(true, std::memory_order_relaxed);
+      health_->reinstates.inc();
+      obs::FlightEvent e;
+      e.timeNs = nowNs();
+      e.value = static_cast<double>(runs);
+      e.threshold = static_cast<double>(options_.health.reinstateAfterSuccesses);
+      obs::setFlightField(e.kind, "shard_reinstated");
+      obs::setFlightField(e.scope, s.id.c_str());
+      obs::setFlightField(e.message,
+                          "probes recovered; shard back in rotation");
+      health_->recorder.record(e);
+    } else {
+      health_->probeFailures.inc();
+      s.probeSuccesses.store(0, std::memory_order_relaxed);
+      if (ejected) continue;
+      const int fails =
+          s.probeFailures.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (fails < options_.health.ejectAfterFailures) continue;
+      s.probeFailures.store(0, std::memory_order_relaxed);
+      s.ejected.store(true, std::memory_order_relaxed);
+      // The exact store killShard() makes: routing and ring-successor
+      // stale-serving treat an auto-eject like a manual kill.
+      s.alive.store(false, std::memory_order_relaxed);
+      health_->ejects.inc();
+      obs::FlightEvent e;
+      e.timeNs = nowNs();
+      e.value = static_cast<double>(fails);
+      e.threshold = static_cast<double>(options_.health.ejectAfterFailures);
+      obs::setFlightField(e.kind, "shard_ejected");
+      obs::setFlightField(e.scope, s.id.c_str());
+      obs::setFlightField(e.message,
+                          "consecutive probe failures; shard ejected");
+      health_->recorder.record(e);
+    }
+  }
+}
+
+void FleetRouter::startHealthMonitor() {
+  if (health_ == nullptr) return;
+  std::lock_guard lk(adminMu_);
+  if (shutdown_ || health_->monitor.joinable()) return;
+  health_->monitor = std::thread([this] {
+    std::unique_lock mlk(health_->monitorMu);
+    for (;;) {
+      const auto interval = std::chrono::duration<double, std::milli>(
+          options_.health.probeIntervalMs);
+      if (health_->monitorCv.wait_for(
+              mlk, interval, [this] { return health_->stopMonitor; })) {
+        return;
+      }
+      mlk.unlock();
+      healthTick();
+      mlk.lock();
+    }
+  });
+}
+
+bool FleetRouter::shardEjected(const std::string& id) const {
+  const Shard* s = shardById(id);
+  return s != nullptr && s->ejected.load(std::memory_order_relaxed);
+}
+
+std::vector<obs::FlightEvent> FleetRouter::healthEvents(
+    std::uint64_t sinceSeq) const {
+  if (health_ == nullptr) return {};
+  return health_->recorder.snapshot(sinceSeq);
 }
 
 bool FleetRouter::removeShardFromRing(const std::string& id) {
@@ -457,6 +617,7 @@ FleetMetrics FleetRouter::metrics() const {
     FleetShardMetrics m;
     m.id = s->id;
     m.alive = s->alive.load(std::memory_order_relaxed);
+    m.ejected = s->ejected.load(std::memory_order_relaxed);
     m.inRing = ring->contains(s->id);
     m.routed = s->routed.load(std::memory_order_relaxed);
     m.inFlight = s->inFlight.load(std::memory_order_relaxed);
@@ -472,6 +633,12 @@ FleetMetrics FleetRouter::metrics() const {
     m.queueDepth = sm.queueDepth;
     out.clusterJoules += m.attributedJoules;
     out.shards.push_back(std::move(m));
+  }
+  if (health_ != nullptr) {
+    out.healthProbes = health_->probes.value();
+    out.healthProbeFailures = health_->probeFailures.value();
+    out.shardsEjected = health_->ejects.value();
+    out.shardsReinstated = health_->reinstates.value();
   }
   std::lock_guard lk(clusterMu_);
   out.configFrontSize = configFront_.size();
@@ -496,11 +663,20 @@ std::string FleetRouter::renderWireSnapshot() const {
       .add("configFrontSize", static_cast<std::uint64_t>(m.configFrontSize))
       .add("serviceFrontSize", static_cast<std::uint64_t>(m.serviceFrontSize))
       .add("frontsConsistent", consistent);
+  // Health keys only exist on a health-enabled fleet, so the snapshot
+  // of a chaos-free fleet is byte-identical to the pre-epchaos one.
+  if (health_ != nullptr) {
+    w.add("healthProbes", m.healthProbes)
+        .add("healthProbeFailures", m.healthProbeFailures)
+        .add("shardsEjected", m.shardsEjected)
+        .add("shardsReinstated", m.shardsReinstated);
+  }
   for (const auto& s : m.shards) {
     const std::string prefix = "shard." + s.id + ".";
     w.add(prefix + "alive", s.alive)
-        .add(prefix + "inRing", s.inRing)
-        .add(prefix + "routed", s.routed)
+        .add(prefix + "inRing", s.inRing);
+    if (health_ != nullptr) w.add(prefix + "ejected", s.ejected);
+    w.add(prefix + "routed", s.routed)
         .add(prefix + "inFlight", s.inFlight)
         .add(prefix + "completed", s.completed)
         .add(prefix + "rejected", s.rejected)
@@ -525,7 +701,14 @@ FleetRouter::shardSnapshots() const {
 }
 
 obs::RegistrySnapshot FleetRouter::clusterSnapshot() const {
-  return obs::mergeShardSnapshots(shardSnapshots());
+  auto shards = shardSnapshots();
+  if (health_ != nullptr) {
+    // The health registry federates like a shard of its own; absent
+    // entirely when health is off, so the merged snapshot of a
+    // health-off fleet is byte-identical to the pre-epchaos merge.
+    shards.emplace_back("health", health_->registry.snapshot());
+  }
+  return obs::mergeShardSnapshots(shards);
 }
 
 std::string FleetRouter::renderClusterMetrics(

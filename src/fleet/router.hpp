@@ -41,18 +41,21 @@
 
 #include <array>
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "fleet/policy.hpp"
 #include "fleet/ring.hpp"
+#include "obs/events.hpp"
 #include "pareto/streaming_front.hpp"
 #include "serve/broker.hpp"
 
@@ -67,6 +70,40 @@ struct FleetShardConfig {
                                         serve::Device::K40c};
 };
 
+// Self-healing shard health (the epchaos tentpole's fleet half).
+//
+// A periodic probe — a cheap synthetic tune against a fixed key — is
+// sent to every shard.  A probe FAILS when the shard's circuit breaker
+// is open on any device it serves (the breaker is the failure
+// detector: the fixed probe key caches after its first study, so only
+// the breaker can see an engine that started dying under real
+// traffic), when the probe response is not Ok or had to be served
+// stale, or when the shard does not answer inside probeTimeoutMs.
+//
+// ejectAfterFailures consecutive failures auto-eject the shard: the
+// router stops routing to it through EXACTLY the same alive flag that
+// killShard() flips, so routing and ring-successor stale-serving
+// behave bitwise-identically to a manual kill.  An ejected shard keeps
+// being probed (half-open); reinstateAfterSuccesses consecutive
+// successes — possible once the shard breaker leaves "open" after its
+// openMs — auto-reinstate it.  A shard killed *manually* is the
+// operator's decision: the monitor never probes or resurrects it.
+struct FleetHealthOptions {
+  bool enabled = false;
+  // Synthetic probe request (fixed key: caches after the first study).
+  int probeN = 1 << 12;
+  double probeMaxDegradation = 0.5;
+  double probeDeadlineMs = 0.0;  // 0 = probes carry no deadline
+  // A shard that does not answer the probe inside this window counts
+  // as a failure (hung engine); the abandoned probe still releases its
+  // slot through the completion hook if it ever finishes.
+  double probeTimeoutMs = 250.0;
+  int ejectAfterFailures = 3;
+  int reinstateAfterSuccesses = 2;
+  // Cadence of the optional background monitor (startHealthMonitor()).
+  double probeIntervalMs = 50.0;
+};
+
 struct FleetOptions {
   std::size_t virtualNodes = 64;
   PolicyKind policy = PolicyKind::EnergyAware;
@@ -78,6 +115,9 @@ struct FleetOptions {
   double breakerMirrorMs = 250.0;
   // Replicate executed studies into the ring successor's stale store.
   bool replicateToSuccessor = true;
+  // Active health probing + auto eject/reinstate; off by default so a
+  // chaos-free fleet is bitwise-identical to one built before epchaos.
+  FleetHealthOptions health{};
 };
 
 struct FleetRequest {
@@ -100,6 +140,7 @@ struct FleetShardMetrics {
   std::string id;
   bool alive = true;
   bool inRing = true;
+  bool ejected = false;  // auto-ejected by health probes (not manual kill)
   std::uint64_t routed = 0;
   std::uint64_t inFlight = 0;
   std::uint64_t completed = 0;
@@ -123,6 +164,12 @@ struct FleetMetrics {
   double clusterJoules = 0.0;
   std::size_t configFrontSize = 0;
   std::size_t serviceFrontSize = 0;
+  // Health-monitor totals (all zero when FleetHealthOptions.enabled
+  // is false).
+  std::uint64_t healthProbes = 0;
+  std::uint64_t healthProbeFailures = 0;
+  std::uint64_t shardsEjected = 0;
+  std::uint64_t shardsReinstated = 0;
 };
 
 class FleetRouter {
@@ -167,9 +214,26 @@ class FleetRouter {
 
   // Drill operations; all return false for an unknown shard id.
   // Kill/revive simulate node loss: a killed shard keeps its state but
-  // receives no traffic until revived.
+  // receives no traffic until revived.  Both clear any health-monitor
+  // state: a manual kill/revive is the operator overriding the probes.
   bool killShard(const std::string& id);
   bool reviveShard(const std::string& id);
+
+  // Self-healing: probe every shard once and apply the eject /
+  // reinstate state machine (no-op unless FleetHealthOptions.enabled).
+  // Deterministic and synchronous — drills and tests drive it
+  // directly; daemons run it from the background monitor instead.
+  void healthTick();
+  // Start the background monitor thread (one healthTick every
+  // probeIntervalMs).  Idempotent; stopped by shutdown().
+  void startHealthMonitor();
+  // True while `id` is auto-ejected by the health monitor (false for
+  // unknown ids and for manual kills).
+  [[nodiscard]] bool shardEjected(const std::string& id) const;
+  // Eject/reinstate transitions recorded by the health monitor (kind
+  // "shard_ejected" / "shard_reinstated"), in seq order.
+  [[nodiscard]] std::vector<obs::FlightEvent> healthEvents(
+      std::uint64_t sinceSeq = 0) const;
   // Ring rebalance: remove/re-add a shard's vnodes (copy-on-write; in-
   // flight lookups keep the snapshot they started with).
   bool removeShardFromRing(const std::string& id);
@@ -221,6 +285,11 @@ class FleetRouter {
     std::string id;
     std::vector<serve::Device> devices;
     std::atomic<bool> alive{true};
+    // Health-monitor state: ejected distinguishes an auto-eject (keep
+    // probing, may reinstate) from a manual kill (operator owns it).
+    std::atomic<bool> ejected{false};
+    std::atomic<int> probeFailures{0};
+    std::atomic<int> probeSuccesses{0};
     std::atomic<std::uint64_t> routed{0};
     std::atomic<std::uint64_t> inFlight{0};
     std::atomic<std::uint64_t> completed{0};
@@ -262,6 +331,10 @@ class FleetRouter {
   [[nodiscard]] const Shard* shardById(const std::string& id) const;
   [[nodiscard]] Shard* shardById(const std::string& id);
 
+  // One synthetic probe against `s`; true = healthy.  Never takes the
+  // admin lock; accounts its in-flight slot like routed traffic.
+  [[nodiscard]] bool probeShard(Shard& s);
+
   // Broker completion hooks (run on shard worker/submitter threads).
   void onTuneComplete(std::size_t shardIndex, const serve::TuneRequest& req,
                       const serve::TuneResponse& resp);
@@ -293,6 +366,25 @@ class FleetRouter {
   std::mutex adminMu_;  // serializes topology edits and shutdown
   bool shutdown_ = false;
   std::atomic<std::shared_ptr<const HashRing>> ring_;
+
+  // Health-monitor state; null unless FleetHealthOptions.enabled, so a
+  // health-off router carries no extra registry and clusterSnapshot()
+  // stays byte-identical to the pre-epchaos fleet.
+  struct HealthState {
+    explicit HealthState(const FleetHealthOptions& opts);
+    obs::Registry registry;
+    obs::Counter& probes;
+    obs::Counter& probeFailures;
+    obs::Counter& ejects;
+    obs::Counter& reinstates;
+    obs::FlightRecorder recorder{64};
+    std::mutex tickMu;  // one healthTick at a time (monitor vs drill)
+    std::mutex monitorMu;
+    std::condition_variable monitorCv;
+    bool stopMonitor = false;
+    std::thread monitor;
+  };
+  std::unique_ptr<HealthState> health_;
 
   // Immutable after construction (only atomics inside mutate); declared
   // last so shards drain before the state their hooks reference dies.

@@ -26,11 +26,6 @@ namespace {
 // respond() can route a completion without any shared lookup table.
 constexpr int kConnLoopShift = 48;
 
-obs::Registry& pickRegistry(const ServerOptions& options) {
-  return options.registry != nullptr ? *options.registry
-                                     : obs::Registry::global();
-}
-
 }  // namespace
 
 struct Server::EventLoop {
@@ -156,6 +151,15 @@ struct Server::EventLoop {
       conn->fd = fd;
       conn->id = (static_cast<std::uint64_t>(index) << kConnLoopShift) |
                  ++nextConnSerial;
+      const ServerChaosHooks* chaos = server->options_.chaos;
+      if (chaos != nullptr && chaos->dropOnAccept &&
+          chaos->dropOnAccept(conn->id)) {
+        // Injected accept fault: the peer sees a reset on its next I/O.
+        // The connection serial is consumed either way, so a campaign's
+        // ids are a pure function of accept order.
+        ::close(fd);
+        continue;
+      }
       epoll_event ev{};
       ev.events = EPOLLIN | EPOLLET;
       ev.data.fd = fd;
@@ -180,8 +184,17 @@ struct Server::EventLoop {
       if (got > 0) {
         server->cBytesRead_.inc(static_cast<std::uint64_t>(got));
         std::vector<Frame> frames;
-        const bool ok = c.decoder.feed(
-            std::string_view(chunk, static_cast<std::size_t>(got)), &frames);
+        bool ok;
+        bool chaosClose = false;
+        const ServerChaosHooks* chaos = server->options_.chaos;
+        if (chaos != nullptr && chaos->onInbound) {
+          std::string mutated(chunk, static_cast<std::size_t>(got));
+          chaosClose = chaos->onInbound(c.id, mutated);
+          ok = c.decoder.feed(mutated, &frames);
+        } else {
+          ok = c.decoder.feed(
+              std::string_view(chunk, static_cast<std::size_t>(got)), &frames);
+        }
         for (auto& f : frames) {
           InboundFrame in;
           in.conn = c.id;
@@ -194,6 +207,14 @@ struct Server::EventLoop {
         if (!ok) {
           protocolError(c);
           return true;  // conn stays alive until the error reply flushes
+        }
+        if (chaosClose) {
+          // Injected mid-stream drop: the connection dies now, so late
+          // respond() calls for frames decoded from the mutated chunk
+          // are silently dropped — exactly the lost-response shape a
+          // real mid-request reset produces.
+          closeConn(c);
+          return false;
         }
         // A short read means the kernel buffer is empty (stream
         // socket); a full chunk means there may be more.
@@ -372,24 +393,31 @@ thread_local Server::EventLoop* Server::EventLoop::tlsLoop = nullptr;
 Server::Server(ServerOptions options, BatchHandler handler)
     : options_(std::move(options)),
       handler_(std::move(handler)),
-      cConnections_(pickRegistry(options_).counter(
-          "ep_net_connections_total", "Connections accepted")),
-      cFrames_(pickRegistry(options_).counter("ep_net_frames_total",
-                                              "Request frames decoded")),
-      cBatches_(pickRegistry(options_).counter(
+      ownedRegistry_(options_.registry == nullptr
+                         ? std::make_unique<obs::Registry>()
+                         : nullptr),
+      cConnections_(registry().counter("ep_net_connections_total",
+                                       "Connections accepted")),
+      cFrames_(registry().counter("ep_net_frames_total",
+                                  "Request frames decoded")),
+      cBatches_(registry().counter(
           "ep_net_batches_total", "Cross-connection batches handed off")),
-      cEvicted_(pickRegistry(options_).counter(
+      cEvicted_(registry().counter(
           "ep_net_evicted_total",
           "Connections evicted for stalling past the write high-water mark")),
-      cProtocolErrors_(pickRegistry(options_).counter(
+      cProtocolErrors_(registry().counter(
           "ep_net_protocol_errors_total", "Connections broken by framing")),
-      cBytesRead_(pickRegistry(options_).counter("ep_net_bytes_read_total",
-                                                 "Bytes read from sockets")),
-      cBytesWritten_(pickRegistry(options_).counter(
-          "ep_net_bytes_written_total", "Bytes written to sockets")),
-      gOpen_(pickRegistry(options_).gauge("ep_net_open_connections",
-                                          "Currently open connections")) {
+      cBytesRead_(registry().counter("ep_net_bytes_read_total",
+                                     "Bytes read from sockets")),
+      cBytesWritten_(registry().counter("ep_net_bytes_written_total",
+                                        "Bytes written to sockets")),
+      gOpen_(registry().gauge("ep_net_open_connections",
+                              "Currently open connections")) {
   if (options_.eventThreads == 0) options_.eventThreads = 1;
+}
+
+obs::Registry& Server::registry() {
+  return options_.registry != nullptr ? *options_.registry : *ownedRegistry_;
 }
 
 Server::~Server() { stop(); }

@@ -52,6 +52,21 @@ inline ResponseBuffer makeBuffer(std::string s) {
   return std::make_shared<const std::string>(std::move(s));
 }
 
+// Fault-injection test seam (bound by chaos::NetChaos; see
+// src/chaos/net_chaos.hpp).  All callbacks run on event threads with
+// the connection's state consistent; unset std::functions are skipped.
+// A null hook pointer costs one pointer compare per accept/read — the
+// chaos-off hot path is byte-for-byte the PR 8 behaviour.
+struct ServerChaosHooks {
+  // Consulted once per accepted connection; true = close it immediately
+  // (the peer sees a reset on its next I/O).
+  std::function<bool(std::uint64_t conn)> dropOnAccept;
+  // Consulted with every inbound chunk before it reaches the frame
+  // decoder; may mutate the bytes (corruption).  Returning true
+  // additionally hard-closes the connection after the chunk is decoded.
+  std::function<bool(std::uint64_t conn, std::string& bytes)> onInbound;
+};
+
 struct ServerOptions {
   std::string host = "127.0.0.1";
   std::uint16_t port = 0;  // 0 = ephemeral; port() reports the choice
@@ -60,8 +75,15 @@ struct ServerOptions {
   std::size_t maxFrameBytes = std::size_t{1} << 20;
   // Slow-reader eviction threshold: pending unsent response bytes.
   std::size_t writeHighWaterBytes = std::size_t{8} << 20;
-  // Metrics registry for the ep_net_* family (nullptr = obs global).
+  // Metrics registry for the ep_net_* family.  nullptr = the server
+  // owns a private registry, so concurrent servers in one process never
+  // alias each other's counters; daemons that want the ep_net_* family
+  // on their process-wide {"op":"metrics"} surface pass
+  // &obs::Registry::global() explicitly.
   obs::Registry* registry = nullptr;
+  // Deterministic fault injection (tests/drills only); nullptr = off.
+  // Must outlive the server.
+  const ServerChaosHooks* chaos = nullptr;
 };
 
 // One decoded inbound frame, tagged with enough identity to answer it.
@@ -120,6 +142,9 @@ class Server {
   [[nodiscard]] std::int64_t openConnections() const {
     return gOpen_.value();
   }
+  // The registry holding this server's ep_net_* family: the one passed
+  // in ServerOptions, or the server-owned private registry.
+  [[nodiscard]] obs::Registry& registry();
 
  private:
   struct EventLoop;
@@ -131,6 +156,9 @@ class Server {
   std::atomic<bool> running_{false};
   std::vector<std::unique_ptr<EventLoop>> loops_;
 
+  // Owned when options_.registry == nullptr; declared before the
+  // counter references so it outlives their initialization.
+  std::unique_ptr<obs::Registry> ownedRegistry_;
   obs::Counter& cConnections_;
   obs::Counter& cFrames_;
   obs::Counter& cBatches_;

@@ -11,14 +11,15 @@ namespace ep::serve {
 
 namespace {
 
-Seconds elapsedSince(Clock::time_point start) {
-  return Seconds{
-      std::chrono::duration<double>(Clock::now() - start).count()};
+// Elapsed helpers take the broker's current time explicitly: every time
+// read in this file goes through Broker::now(), so an injected clock
+// governs deadlines, breaker windows, latency and admission uniformly.
+Seconds elapsedSince(Clock::time_point start, Clock::time_point now) {
+  return Seconds{std::chrono::duration<double>(now - start).count()};
 }
 
-double elapsedMsSince(Clock::time_point start) {
-  return std::chrono::duration<double, std::milli>(Clock::now() - start)
-      .count();
+double elapsedMsSince(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
 }
 
 std::string describe(const std::exception_ptr& err) {
@@ -71,6 +72,15 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
       cStaleServed_(registry_.counter(
           "ep_serve_stale_served_total",
           "Responses served from the stale-while-error store")),
+      cRejectedOverload_(registry_.counter(
+          "ep_serve_rejected_overload_total",
+          "Submissions shed by the adaptive admission limit")),
+      cShedDeadline_(registry_.counter(
+          "ep_serve_shed_deadline_total",
+          "Uncached submissions shed as deadline-infeasible at admission")),
+      gAdmissionLimit_(registry_.gauge(
+          "ep_serve_admission_limit",
+          "Adaptive concurrency limit (0 = admission control disabled)")),
       gQueueDepth_(registry_.gauge("ep_serve_queue_depth",
                                    "Admitted, not yet started jobs")),
       gInFlightStudies_(registry_.gauge("ep_serve_in_flight_studies",
@@ -122,6 +132,7 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
       staleStore_(std::max<std::size_t>(1, options.staleCapacity)),
       breakerP100_(options.breaker),
       breakerK40c_(options.breaker),
+      admission_(options.admission),
       pool_(std::make_unique<ThreadPool>(options.threads)) {
   EP_REQUIRE(engine_ != nullptr, "broker needs an engine");
   EP_REQUIRE(options_.queueCapacity >= 1, "queue capacity must be >= 1");
@@ -176,7 +187,7 @@ Broker::TuneAdmission Broker::admitTuneLocked(const TuneJobPtr& job) {
     a.act = TuneAdmission::Act::Coalesced;
     return a;
   }
-  if (breakerFor(job->req.device).wouldReject(Clock::now())) {
+  if (breakerFor(job->req.device).wouldReject(now())) {
     // Fail fast while the breaker is open: serve a stale result
     // synchronously when one exists, reject otherwise — either way no
     // queue slot or worker time is spent on a broken engine.
@@ -196,7 +207,37 @@ Broker::TuneAdmission Broker::admitTuneLocked(const TuneJobPtr& job) {
     a.error = "circuit breaker open";
     return a;
   }
+  if (admission_.enabled()) {
+    // This request needs a cold study (cache, in-flight and breaker
+    // paths all returned above).  Shed it now if it cannot finish in
+    // time or the adaptive concurrency limit is saturated — a clean
+    // fast-fail instead of queue time plus a guaranteed timeout.
+    if (job->deadline != Clock::time_point::max()) {
+      const double remainingMs =
+          std::chrono::duration<double, std::milli>(job->deadline - now())
+              .count();
+      if (!admission_.deadlineFeasible(remainingMs)) {
+        cShedDeadline_.inc();
+        a.act = TuneAdmission::Act::Reject;
+        a.status = Status::DeadlineExceeded;
+        a.error = "deadline cannot cover the expected cold-study cost";
+        return a;
+      }
+    }
+    if (!admission_.tryAcquire()) {
+      cRejectedOverload_.inc();
+      a.act = TuneAdmission::Act::Reject;
+      a.status = Status::Overloaded;
+      a.error = "adaptive admission limit reached";
+      return a;
+    }
+    job->admitted = true;
+  }
   if (queueDepth_ >= options_.queueCapacity) {
+    if (job->admitted) {
+      admission_.release(-1.0);
+      job->admitted = false;
+    }
     cRejectedQueueFull_.inc();
     a.act = TuneAdmission::Act::Reject;
     a.status = Status::QueueFull;
@@ -234,11 +275,12 @@ bool validTune(const TuneRequest& req) {
   return req.n > 0 && req.maxDegradation >= 0.0;
 }
 
-TuneResponse invalidTuneResponse(Clock::time_point submitted) {
+TuneResponse invalidTuneResponse(Clock::time_point submitted,
+                                 Clock::time_point now) {
   TuneResponse resp;
   resp.status = Status::Error;
   resp.error = "invalid tune request (need n > 0, maxDegradation >= 0)";
-  resp.latency = elapsedSince(submitted);
+  resp.latency = elapsedSince(submitted, now);
   return resp;
 }
 
@@ -249,7 +291,7 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
   auto future = promise->get_future();
   auto job = std::make_shared<TuneJob>();
   job->req = req;
-  job->submitted = Clock::now();
+  job->submitted = now();
   job->deadline = deadlineFor(req.deadlineMs, job->submitted);
   job->ctx = obs::currentContext();
   job->deliver = [promise](TuneResponse&& resp) {
@@ -259,7 +301,7 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
   if (!validTune(req)) {
     cAccepted_.inc();
     cFailed_.inc();
-    job->deliver(invalidTuneResponse(job->submitted));
+    job->deliver(invalidTuneResponse(job->submitted, now()));
     return future;
   }
 
@@ -275,7 +317,7 @@ std::future<TuneResponse> Broker::submitTune(const TuneRequest& req) {
 
 void Broker::submitTuneBatch(std::vector<TuneBatchItem> items) {
   if (items.empty()) return;
-  const Clock::time_point now = Clock::now();
+  const Clock::time_point now = this->now();
 
   std::vector<TuneJobPtr> jobs;
   jobs.reserve(items.size());
@@ -298,7 +340,7 @@ void Broker::submitTuneBatch(std::vector<TuneBatchItem> items) {
       cAccepted_.inc();
       cFailed_.inc();
       obs::ScopedTraceContext tctx(job->ctx);
-      job->deliver(invalidTuneResponse(now));
+      job->deliver(invalidTuneResponse(now, now));
     } else {
       valid.push_back(std::move(job));
     }
@@ -340,14 +382,14 @@ void Broker::submitTuneBatch(std::vector<TuneBatchItem> items) {
 std::future<StudyResponse> Broker::submitStudy(const StudyRequest& req) {
   auto promise = std::make_shared<std::promise<StudyResponse>>();
   auto future = promise->get_future();
-  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point submitted = now();
   const Clock::time_point deadline = deadlineFor(req.deadlineMs, submitted);
 
   auto respondNow = [&](Status status, const std::string& error) {
     StudyResponse resp;
     resp.status = status;
     resp.error = error;
-    resp.latency = elapsedSince(submitted);
+    resp.latency = elapsedSince(submitted, now());
     promise->set_value(std::move(resp));
   };
 
@@ -393,7 +435,7 @@ void Broker::runTuneJob(const TuneJobPtr& job) {
   --queueDepth_;
   ++activeJobs_;
 
-  if (Clock::now() > job->deadline) {
+  if (now() > job->deadline) {
     lk.unlock();
     rejectTune(job, Status::DeadlineExceeded, "");
     lk.lock();
@@ -452,7 +494,7 @@ void Broker::runStudyJob(
   const std::vector<int> sizes = req->sizes();
   results.reserve(sizes.size());
   for (int n : sizes) {
-    if (Clock::now() > deadline) {
+    if (now() > deadline) {
       resp.status = Status::DeadlineExceeded;
       break;
     }
@@ -493,11 +535,12 @@ void Broker::runStudyJob(
     resp.status = Status::Error;
     resp.error = "study incomplete";
   }
-  resp.latency = elapsedSince(submitted);
+  const Clock::time_point finished = now();
+  resp.latency = elapsedSince(submitted, finished);
 
   switch (resp.status) {
     case Status::Ok:
-      hLatencyMs_.observe(elapsedMsSince(submitted),
+      hLatencyMs_.observe(elapsedMsSince(submitted, finished),
                           obs::currentContext().traceId);
       cCompleted_.inc();
       break;
@@ -550,7 +593,7 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
   // onFailure() below (cache hits and coalesced joins never consume
   // half-open probes).
   CircuitBreaker& breaker = breakerFor(device);
-  if (!breaker.allow(Clock::now())) {
+  if (!breaker.allow(now())) {
     if (options_.staleCapacity > 0) {
       if (auto st = staleStore_.get(key)) {
         cStaleServed_.inc();
@@ -571,6 +614,11 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
 
   ResultPtr result;
   std::exception_ptr err;
+  // Cold-study wall time feeds the admission controller's deadline
+  // shedding; only read the clock when that consumer exists.
+  const bool timeStudy = admission_.enabled();
+  const Clock::time_point evalStart =
+      timeStudy ? now() : Clock::time_point{};
   try {
     obs::Span span("serve/engine_evaluate");
     // This thread is itself a pool worker; handing the pool to the
@@ -580,6 +628,9 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
         engine_->evaluate(device, n, pool_.get()));
   } catch (...) {
     err = std::current_exception();
+  }
+  if (timeStudy && result != nullptr) {
+    admission_.observeColdStudyMs(elapsedMsSince(evalStart, now()));
   }
 
   ResultPtr stale;
@@ -596,7 +647,7 @@ Broker::StudyOutcome Broker::obtainStudy(Device device, int n, bool* cacheHit,
 
   if (err) {
     const auto opensBefore = breaker.opens();
-    breaker.onFailure(Clock::now());
+    breaker.onFailure(now());
     if (breaker.opens() != opensBefore) cBreakerOpens_.inc();
     if (stale) {
       // Stale-while-error: the engine failed but a previously-good
@@ -637,7 +688,7 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   // context so its completion span joins its trace, not the owner's.
   obs::ScopedTraceContext tctx(job->ctx);
   obs::Span span("serve/complete_tune");
-  if (Clock::now() > job->deadline) {
+  if (now() > job->deadline) {
     rejectTune(job, Status::DeadlineExceeded, "");
     return;
   }
@@ -660,9 +711,16 @@ void Broker::completeTune(const TuneJobPtr& job, const ResultPtr& result,
   // every budget-admissible energy minimum are Pareto-optimal.
   const core::BiObjectiveTuner tuner(job->req.maxDegradation);
   resp.recommendation = tuner.recommend(result->globalFront);
-  resp.latency = elapsedSince(job->submitted);
-  hLatencyMs_.observe(elapsedMsSince(job->submitted),
-                      obs::currentContext().traceId);
+  const Clock::time_point finished = now();
+  const double latencyMs = elapsedMsSince(job->submitted, finished);
+  resp.latency = elapsedSince(job->submitted, finished);
+  hLatencyMs_.observe(latencyMs, obs::currentContext().traceId);
+  if (job->admitted) {
+    // AIMD feedback: this queued request's full latency against the
+    // SLO target grows or shrinks the concurrency limit.
+    admission_.release(latencyMs);
+    job->admitted = false;
+  }
   cCompleted_.inc();
   feedWatchdog(job->req.device, /*error=*/false, stale);
   if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
@@ -689,10 +747,20 @@ void Broker::rejectTune(const TuneJobPtr& job, Status status,
   if (status == Status::Error || status == Status::CircuitOpen) {
     feedWatchdog(job->req.device, /*error=*/true, /*stale=*/false);
   }
+  const Clock::time_point finished = now();
+  if (job->admitted) {
+    // A deadline blown *after* admission is the strongest overload
+    // signal there is — feed the elapsed time so AIMD backs off.  Other
+    // rejections say nothing about service time: release silently.
+    admission_.release(status == Status::DeadlineExceeded
+                           ? elapsedMsSince(job->submitted, finished)
+                           : -1.0);
+    job->admitted = false;
+  }
   TuneResponse resp;
   resp.status = status;
   resp.error = error;
-  resp.latency = elapsedSince(job->submitted);
+  resp.latency = elapsedSince(job->submitted, finished);
   if (options_.onTuneComplete) options_.onTuneComplete(job->req, resp);
   job->deliver(std::move(resp));
 }
@@ -707,7 +775,7 @@ void Broker::installStaleResult(
 
 std::optional<TuneResponse> Broker::tuneFromStale(const TuneRequest& req) {
   if (req.n <= 0 || req.maxDegradation < 0.0) return std::nullopt;
-  const Clock::time_point submitted = Clock::now();
+  const Clock::time_point submitted = now();
   ResultPtr result;
   {
     std::lock_guard lk(mu_);
@@ -724,8 +792,9 @@ std::optional<TuneResponse> Broker::tuneFromStale(const TuneRequest& req) {
   resp.report.staleServed = 1;
   const core::BiObjectiveTuner tuner(req.maxDegradation);
   resp.recommendation = tuner.recommend(result->globalFront);
-  resp.latency = elapsedSince(submitted);
-  hLatencyMs_.observe(elapsedMsSince(submitted),
+  const Clock::time_point finished = now();
+  resp.latency = elapsedSince(submitted, finished);
+  hLatencyMs_.observe(elapsedMsSince(submitted, finished),
                       obs::currentContext().traceId);
   cCompleted_.inc();
   feedWatchdog(req.device, /*error=*/false, /*stale=*/true);
@@ -775,9 +844,12 @@ ServeMetrics Broker::metrics() const {
   out.coalesced = cCoalesced_.value();
   out.studiesExecuted = cStudiesExecuted_.value();
   out.staleServed = cStaleServed_.value();
+  out.rejectedOverload = cRejectedOverload_.value();
+  out.shedDeadline = cShedDeadline_.value();
   out.accepted = cAccepted_.value();
   out.breakerOpens = breakerP100_.opens() + breakerK40c_.opens();
-  const Clock::time_point now = Clock::now();
+  out.admissionLimit = admission_.enabled() ? admission_.limit() : 0;
+  const Clock::time_point now = this->now();
   out.breakerStateP100 = breakerStateName(breakerP100_.state(now));
   out.breakerStateK40c = breakerStateName(breakerK40c_.state(now));
   for (std::size_t i = 0; i < LatencyHistogram::kBuckets; ++i) {
@@ -808,7 +880,10 @@ void Broker::syncInstantaneous() const {
   gCacheCapacity_.set(static_cast<std::int64_t>(cs.capacity));
   gQueueDepth_.set(static_cast<std::int64_t>(queueDepth_));
   gInFlightStudies_.set(static_cast<std::int64_t>(inFlight_.size()));
-  const Clock::time_point now = Clock::now();
+  gAdmissionLimit_.set(admission_.enabled()
+                           ? static_cast<std::int64_t>(admission_.limit())
+                           : 0);
+  const Clock::time_point now = this->now();
   const auto stateValue = [&](const CircuitBreaker& b) -> std::int64_t {
     switch (b.state(now)) {
       case CircuitBreaker::State::Closed:

@@ -39,6 +39,7 @@
 #include "core/watchdog.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "serve/admission.hpp"
 #include "serve/breaker.hpp"
 #include "serve/engine.hpp"
 #include "serve/lru_cache.hpp"
@@ -65,6 +66,14 @@ struct BrokerOptions {
   // (error / stale / healthy), for the ErrorBudget detector.  Must
   // outlive the broker.
   core::PowerAnomalyWatchdog* watchdog = nullptr;
+  // Adaptive overload control (see serve/admission.hpp); disabled by
+  // default — the admission path then skips it entirely.
+  AdmissionOptions admission{};
+  // Injectable time source for deadlines, breaker windows, latency
+  // accounting and admission AIMD; unset = steady clock.  Tests and
+  // drills drive overload/recovery scenarios deterministically with a
+  // fake clock; production brokers leave it unset.
+  std::function<Clock::time_point()> clock;
   // Fleet-integration hooks; both may be empty.  Called from broker
   // worker (or submitter) threads with no broker lock held, so they may
   // call back into any Broker API except shutdown().
@@ -166,6 +175,9 @@ class Broker {
     // Invoked exactly once with the final response — a promise wrapper
     // for submitTune, the caller's callback for submitTuneBatch.
     std::function<void(TuneResponse&&)> deliver;
+    // Holds an admission-controller concurrency slot (queued jobs only);
+    // released exactly once at completion/rejection.
+    bool admitted = false;
   };
   using TuneJobPtr = std::shared_ptr<TuneJob>;
 
@@ -208,6 +220,10 @@ class Broker {
   };
 
   [[nodiscard]] StudyKey keyFor(Device device, int n) const;
+  // The broker's time source (options_.clock or the steady clock).
+  [[nodiscard]] Clock::time_point now() const {
+    return options_.clock ? options_.clock() : Clock::now();
+  }
   [[nodiscard]] Clock::time_point deadlineFor(double deadlineMs,
                                               Clock::time_point now) const;
   [[nodiscard]] CircuitBreaker& breakerFor(Device device);
@@ -269,6 +285,9 @@ class Broker {
   obs::Counter& cRejectedCircuitOpen_;
   obs::Counter& cBreakerOpens_;
   obs::Counter& cStaleServed_;
+  obs::Counter& cRejectedOverload_;
+  obs::Counter& cShedDeadline_;
+  obs::Gauge& gAdmissionLimit_;
   obs::Gauge& gQueueDepth_;
   obs::Gauge& gInFlightStudies_;
   obs::Gauge& gCacheSize_;
@@ -301,6 +320,9 @@ class Broker {
   // circuit for P100 traffic.  Own leaf mutex; safe to call under mu_.
   CircuitBreaker breakerP100_;
   CircuitBreaker breakerK40c_;
+  // Adaptive concurrency + deadline shedding.  Leaf mutex like the
+  // breakers; consulted under mu_ at admission, released unlocked.
+  AdmissionController admission_;
   // Cache stats already mirrored into the registry counters (guarded
   // by mu_; renderPrometheus syncs the delta).
   mutable LruCacheStats syncedCache_;

@@ -29,7 +29,9 @@ std::string formatMetrics(const ServeMetrics& m) {
      << "rejected: queue_full=" << m.rejectedQueueFull
      << " deadline=" << m.rejectedDeadline
      << " shutdown=" << m.rejectedShutdown
-     << " circuit_open=" << m.rejectedCircuitOpen << "\n"
+     << " circuit_open=" << m.rejectedCircuitOpen
+     << " overloaded=" << m.rejectedOverload
+     << " shed_deadline=" << m.shedDeadline << "\n"
      << "sharing:  coalesced=" << m.coalesced
      << " studies_executed=" << m.studiesExecuted << "\n"
      << "breaker:  opens=" << m.breakerOpens
@@ -40,7 +42,8 @@ std::string formatMetrics(const ServeMetrics& m) {
      << " evictions=" << m.cacheEvictions << " size=" << m.cacheSize << "/"
      << m.cacheCapacity << "\n"
      << "state:    queue_depth=" << m.queueDepth
-     << " in_flight_studies=" << m.inFlightStudies << "\n"
+     << " in_flight_studies=" << m.inFlightStudies
+     << " admission_limit=" << m.admissionLimit << "\n"
      << "latency:  completed=" << m.latency.total()
      << " p50<=" << m.latency.quantileUpperBoundMs(0.50) << "ms"
      << " p99<=" << m.latency.quantileUpperBoundMs(0.99) << "ms\n"

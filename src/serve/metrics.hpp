@@ -55,6 +55,8 @@ struct ServeMetrics {
   std::uint64_t accepted = 0;  // entered the service (queued/coalesced/hit)
   std::uint64_t rejectedQueueFull = 0;
   std::uint64_t rejectedShutdown = 0;
+  std::uint64_t rejectedOverload = 0;  // adaptive admission limit fast-fails
+  std::uint64_t shedDeadline = 0;      // deadline-aware sheds at admission
 
   // Outcome: every *accepted* request ends in exactly one of these.
   std::uint64_t completed = 0;
@@ -80,6 +82,7 @@ struct ServeMetrics {
   // Instantaneous state.
   std::size_t queueDepth = 0;      // submitted, not yet picked up by a worker
   std::size_t inFlightStudies = 0; // engine evaluations currently running
+  std::size_t admissionLimit = 0;  // AIMD concurrency limit (0 = disabled)
 
   // Latency of completed requests, submit -> response.
   LatencyHistogram latency;

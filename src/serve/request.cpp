@@ -41,6 +41,8 @@ const char* statusName(Status s) {
       return "error";
     case Status::CircuitOpen:
       return "circuit_open";
+    case Status::Overloaded:
+      return "overloaded";
   }
   return "unknown";
 }

@@ -62,6 +62,7 @@ enum class Status {
   ShuttingDown,      // broker no longer accepts work
   Error,             // engine failure (e.g. unlaunchable workload)
   CircuitOpen,       // breaker tripped and no stale result to serve
+  Overloaded,        // adaptive admission limit reached: retry with backoff
 };
 
 [[nodiscard]] const char* statusName(Status s);

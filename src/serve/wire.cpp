@@ -503,6 +503,8 @@ std::string encodeMetrics(const ServeMetrics& m) {
       .add("rejectedDeadline", m.rejectedDeadline)
       .add("rejectedShutdown", m.rejectedShutdown)
       .add("rejectedCircuitOpen", m.rejectedCircuitOpen)
+      .add("rejectedOverload", m.rejectedOverload)
+      .add("shedDeadline", m.shedDeadline)
       .add("coalesced", m.coalesced)
       .add("studiesExecuted", m.studiesExecuted)
       .add("breakerOpens", m.breakerOpens)
@@ -516,6 +518,7 @@ std::string encodeMetrics(const ServeMetrics& m) {
       .add("cacheCapacity", static_cast<std::uint64_t>(m.cacheCapacity))
       .add("queueDepth", static_cast<std::uint64_t>(m.queueDepth))
       .add("inFlightStudies", static_cast<std::uint64_t>(m.inFlightStudies))
+      .add("admissionLimit", static_cast<std::uint64_t>(m.admissionLimit))
       .add("latencyCount", m.latency.total())
       .add("latencyP50UpperMs", m.latency.quantileUpperBoundMs(0.50))
       .add("latencyP99UpperMs", m.latency.quantileUpperBoundMs(0.99));

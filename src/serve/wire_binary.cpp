@@ -157,7 +157,7 @@ std::optional<BinaryTuneResponse> decodeTuneResponse(std::string_view body,
     if (error != nullptr) *error = "truncated tune response";
     return std::nullopt;
   }
-  if (status > static_cast<std::uint8_t>(Status::CircuitOpen)) {
+  if (status > static_cast<std::uint8_t>(Status::Overloaded)) {
     if (error != nullptr) *error = "unknown status";
     return std::nullopt;
   }

@@ -1,0 +1,331 @@
+// epchaos tests: deterministic retry backoff schedules (serial ==
+// parallel), retry budgets that never amplify under concurrency, the
+// per-key determinism of the ChaosEngine decorator, NetChaos decision
+// streams, and FaultyTransport campaigns over a real loopback server.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos.hpp"
+#include "chaos/chaos_engine.hpp"
+#include "chaos/faulty_transport.hpp"
+#include "chaos/net_chaos.hpp"
+#include "chaos/retry.hpp"
+#include "net/server.hpp"
+#include "serve/engine.hpp"
+
+namespace ep::chaos {
+namespace {
+
+// --- RetryPolicy ---
+
+TEST(RetryPolicy, DelayIsAPureFunctionOfItsInputs) {
+  RetryPolicy a;
+  RetryPolicy b;
+  for (std::uint64_t stream = 0; stream < 4; ++stream) {
+    for (std::uint64_t req = 0; req < 16; ++req) {
+      for (int attempt = 1; attempt <= 4; ++attempt) {
+        EXPECT_DOUBLE_EQ(a.delayMs(stream, req, attempt),
+                         b.delayMs(stream, req, attempt));
+      }
+    }
+  }
+  // Distinct streams decorrelate: the schedules cannot all coincide.
+  bool anyDiffer = false;
+  for (std::uint64_t req = 0; req < 16 && !anyDiffer; ++req) {
+    anyDiffer = a.delayMs(0, req, 1) != a.delayMs(1, req, 1);
+  }
+  EXPECT_TRUE(anyDiffer);
+}
+
+TEST(RetryPolicy, DelaysStayInsideTheJitteredExponentialEnvelope) {
+  RetryPolicy p;
+  p.baseDelayMs = 2.0;
+  p.maxDelayMs = 50.0;
+  p.jitter = 0.5;
+  for (std::uint64_t req = 0; req < 64; ++req) {
+    for (int attempt = 1; attempt <= 8; ++attempt) {
+      const double envelope =
+          std::min(p.baseDelayMs * static_cast<double>(1ULL << (attempt - 1)),
+                   p.maxDelayMs);
+      const double d = p.delayMs(7, req, attempt);
+      EXPECT_LE(d, envelope) << "attempt " << attempt;
+      EXPECT_GE(d, (1.0 - p.jitter) * envelope) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(RetryPolicy, ScheduleIsIdenticalSerialAndParallel) {
+  RetryPolicy p;
+  constexpr int kStreams = 4;
+  constexpr int kRequests = 64;
+  constexpr int kAttempts = 3;
+  // Serial reference schedule.
+  std::vector<std::vector<double>> serial(kStreams);
+  for (int s = 0; s < kStreams; ++s) {
+    for (int r = 0; r < kRequests; ++r) {
+      for (int a = 1; a <= kAttempts; ++a) {
+        serial[s].push_back(p.delayMs(static_cast<std::uint64_t>(s),
+                                      static_cast<std::uint64_t>(r), a));
+      }
+    }
+  }
+  // The same schedule computed by concurrent workers.
+  std::vector<std::vector<double>> parallel(kStreams);
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kStreams; ++s) {
+    threads.emplace_back([&p, &parallel, s] {
+      for (int r = 0; r < kRequests; ++r) {
+        for (int a = 1; a <= kAttempts; ++a) {
+          parallel[s].push_back(p.delayMs(static_cast<std::uint64_t>(s),
+                                          static_cast<std::uint64_t>(r), a));
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(serial, parallel);
+}
+
+// --- RetryBudget ---
+
+TEST(RetryBudget, AccruesPerAttemptAndSpendsPerRetry) {
+  RetryBudget budget(/*ratio=*/0.5, /*maxTokens=*/8.0, /*initialTokens=*/1.0);
+  budget.onAttempt();
+  budget.onAttempt();  // 1 initial + 2 * 0.5 accrued = 2 tokens
+  EXPECT_TRUE(budget.tryRetry());
+  EXPECT_TRUE(budget.tryRetry());
+  EXPECT_FALSE(budget.tryRetry());
+  EXPECT_EQ(budget.granted(), 2u);
+  EXPECT_EQ(budget.denied(), 1u);
+}
+
+TEST(RetryBudget, NeverExceedsTheRatioUnderConcurrentCoalescedCallers) {
+  // 8 workers sharing one budget: 100 first attempts each, then every
+  // worker hammers tryRetry.  Whatever the interleaving, grants can
+  // never exceed ratio * attempts (plus nothing: initialTokens = 0).
+  RetryBudget budget(/*ratio=*/0.1, /*maxTokens=*/1e9, /*initialTokens=*/0.0);
+  constexpr int kWorkers = 8;
+  constexpr int kAttemptsPer = 100;
+  constexpr int kRetryTriesPer = 50;
+  std::atomic<std::uint64_t> grants{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kAttemptsPer; ++i) budget.onAttempt();
+      for (int i = 0; i < kRetryTriesPer; ++i) {
+        if (budget.tryRetry()) grants.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::uint64_t cap = static_cast<std::uint64_t>(
+      0.1 * kWorkers * kAttemptsPer);  // = 80 whole tokens
+  EXPECT_LE(budget.granted(), cap);
+  EXPECT_EQ(budget.granted(), grants.load());
+  EXPECT_EQ(budget.granted() + budget.denied(),
+            static_cast<std::uint64_t>(kWorkers) * kRetryTriesPer);
+}
+
+// --- ChaosOptions / ChaosCounts ---
+
+TEST(ChaosOptions, CampaignSplitsTheBudgetAcrossFaultKinds) {
+  const ChaosOptions o = ChaosOptions::campaign(0.05);
+  EXPECT_TRUE(o.enabled);
+  EXPECT_NEAR(o.connectResetRate + o.tornFrameRate + o.corruptFrameRate +
+                  o.stallRate,
+              0.05, 1e-12);
+  EXPECT_GT(o.acceptDropRate, 0.0);
+  EXPECT_GT(o.inboundCorruptRate, 0.0);
+  EXPECT_FALSE(ChaosOptions::campaign(0.0).enabled);
+}
+
+TEST(ChaosCounts, AccumulatesAndSummarizes) {
+  ChaosCounts a;
+  a.connectResets = 2;
+  a.engineFailures = 1;
+  ChaosCounts b;
+  b.connectResets = 1;
+  b.stalls = 3;
+  a += b;
+  EXPECT_EQ(a.connectResets, 3u);
+  EXPECT_EQ(a.stalls, 3u);
+  EXPECT_EQ(a.total(), 7u);
+  EXPECT_NE(a.summary().find("resets=3"), std::string::npos);
+  EXPECT_NE(a.summary().find("total=7"), std::string::npos);
+}
+
+// --- ChaosEngine ---
+
+std::shared_ptr<serve::EpStudyEngine> innerEngine() {
+  return std::make_shared<serve::EpStudyEngine>();
+}
+
+TEST(ChaosEngine, DelegatesBitwiseWhenNoFaultFires) {
+  auto inner = innerEngine();
+  ChaosEngineOptions o;  // failRate/hangRate 0
+  ChaosEngine chaotic(inner, o);
+  EXPECT_EQ(chaotic.tuningHash(serve::Device::P100),
+            inner->tuningHash(serve::Device::P100));
+  const auto clean = inner->evaluate(serve::Device::P100, 512);
+  const auto wrapped = chaotic.evaluate(serve::Device::P100, 512);
+  ASSERT_EQ(wrapped.points.size(), clean.points.size());
+  for (std::size_t i = 0; i < clean.points.size(); ++i) {
+    EXPECT_EQ(wrapped.points[i].time.value(), clean.points[i].time.value());
+    EXPECT_EQ(wrapped.points[i].energy.value(),
+              clean.points[i].energy.value());
+  }
+  EXPECT_EQ(chaotic.failuresInjected(), 0u);
+}
+
+TEST(ChaosEngine, FaultingKeysAreAPureFunctionOfTheSeed) {
+  auto inner = innerEngine();
+  ChaosEngineOptions o;
+  o.failRate = 0.5;
+  o.seed = 0xFEEDULL;
+  auto faultedKeys = [&](const ChaosEngine& e) {
+    std::set<int> keys;
+    for (int n = 64; n <= 64 * 40; n += 64) {
+      try {
+        (void)e.evaluate(serve::Device::P100, n);
+      } catch (...) {
+        keys.insert(n);
+      }
+    }
+    return keys;
+  };
+  ChaosEngine a(inner, o);
+  ChaosEngine b(inner, o);
+  const auto ka = faultedKeys(a);
+  EXPECT_EQ(ka, faultedKeys(b));
+  EXPECT_FALSE(ka.empty());
+  EXPECT_LT(ka.size(), 40u);  // rate 0.5 faults some, not all
+  o.seed = 0xBEEFULL;
+  ChaosEngine c(inner, o);
+  EXPECT_NE(ka, faultedKeys(c));
+}
+
+TEST(ChaosEngine, CrashFailsEveryKeyUntilRecover) {
+  auto inner = innerEngine();
+  ChaosEngine chaotic(inner, ChaosEngineOptions{});
+  EXPECT_NO_THROW((void)chaotic.evaluate(serve::Device::P100, 256));
+  chaotic.crash();
+  EXPECT_TRUE(chaotic.crashed());
+  EXPECT_THROW((void)chaotic.evaluate(serve::Device::P100, 256),
+               std::exception);
+  EXPECT_THROW((void)chaotic.evaluate(serve::Device::K40c, 512),
+               std::exception);
+  chaotic.recover();
+  EXPECT_NO_THROW((void)chaotic.evaluate(serve::Device::P100, 256));
+}
+
+TEST(ChaosEngine, HangDelegatesAfterTheDelayAndCounts) {
+  auto inner = innerEngine();
+  ChaosEngineOptions o;
+  o.hangRate = 1.0;
+  o.hangMs = 5.0;
+  ChaosEngine chaotic(inner, o);
+  const auto r = chaotic.evaluate(serve::Device::P100, 384);
+  EXPECT_FALSE(r.points.empty());  // slow, not wrong
+  EXPECT_GE(chaotic.hangsInjected(), 1u);
+}
+
+// --- NetChaos ---
+
+TEST(NetChaos, DecisionStreamsAreReproducible) {
+  ChaosOptions o;
+  o.enabled = true;
+  o.acceptDropRate = 0.3;
+  o.inboundCorruptRate = 0.3;
+  auto runStream = [&o] {
+    NetChaos chaos(o);
+    const auto hooks = chaos.hooks();
+    std::string journal;
+    for (std::uint64_t conn = 1; conn <= 50; ++conn) {
+      journal += hooks.dropOnAccept(conn) ? 'D' : '.';
+      for (int chunk = 0; chunk < 4; ++chunk) {
+        std::string bytes(32, static_cast<char>('a' + chunk));
+        const bool close = hooks.onInbound(conn, bytes);
+        journal += close ? 'C' : '-';
+        journal += bytes;  // mutations included in the comparison
+      }
+    }
+    return std::make_pair(journal, chaos.counts().summary());
+  };
+  const auto a = runStream();
+  const auto b = runStream();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  EXPECT_NE(a.first.find('D'), std::string::npos);
+}
+
+// --- FaultyTransport over a real loopback server ---
+
+net::ResponseBuffer okBuffer() { return net::makeBuffer("{\"ok\":true}\n"); }
+
+TEST(FaultyTransport, CampaignIsReproducibleAgainstARealServer) {
+  net::ServerOptions so;
+  net::Server server(so, [](net::Server& s,
+                            std::vector<net::InboundFrame>&& batch) {
+    for (const auto& f : batch) s.respond(f.conn, f.seq, okBuffer());
+  });
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  auto runCampaign = [&server] {
+    FaultyTransportOptions to;
+    to.port = server.port();
+    to.recvTimeoutMs = 200.0;
+    to.chaos = ChaosOptions::campaign(0.3);
+    FaultyTransport transport(to, /*stream=*/3);
+    std::string journal;
+    for (int i = 0; i < 48; ++i) {
+      const auto out = transport.roundTrip(
+          "{\"op\":\"noop\"}\n", static_cast<std::uint64_t>(i));
+      journal += out.ok ? 'k' : 'x';
+      journal += std::to_string(out.attempts);
+      journal += '/';
+      journal += std::to_string(out.faultsInjected);
+      journal += ';';
+    }
+    return std::make_pair(journal, transport.counts().summary());
+  };
+  const auto a = runCampaign();
+  const auto b = runCampaign();
+  EXPECT_EQ(a.first, b.first);
+  EXPECT_EQ(a.second, b.second);
+  // A 30% campaign over 48 requests must actually inject.
+  EXPECT_NE(a.first.find('/'), std::string::npos);
+  server.stop();
+}
+
+TEST(FaultyTransport, NeverWedgesWhenTheServerVanishes) {
+  net::ServerOptions so;
+  auto server = std::make_unique<net::Server>(
+      so, [](net::Server& s, std::vector<net::InboundFrame>&& batch) {
+        for (const auto& f : batch) s.respond(f.conn, f.seq, okBuffer());
+      });
+  std::string error;
+  ASSERT_TRUE(server->start(&error)) << error;
+  FaultyTransportOptions to;
+  to.port = server->port();
+  to.maxAttempts = 3;
+  to.recvTimeoutMs = 100.0;
+  FaultyTransport transport(to, /*stream=*/4);
+  EXPECT_TRUE(transport.roundTrip("{\"op\":\"noop\"}\n", 0).ok);
+  server->stop();
+  server.reset();
+  const auto out = transport.roundTrip("{\"op\":\"noop\"}\n", 1);
+  EXPECT_FALSE(out.ok);  // bounded attempts, no hang, no throw
+  EXPECT_LE(out.attempts, 3);
+}
+
+}  // namespace
+}  // namespace ep::chaos

@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/chaos_engine.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
 #include "pareto/front.hpp"
@@ -844,6 +845,326 @@ TEST(Federation, WireSnapshotCarriesPerShardLatencyAndQueueKeys) {
   // shardBroker resolves configured shards and rejects strangers.
   EXPECT_NE(router.shardBroker("s0"), nullptr);
   EXPECT_EQ(router.shardBroker("nope"), nullptr);
+}
+
+// --- self-healing shard health (epchaos) ---
+
+// Builds a 3-shard fleet where `victimIndex` runs behind a ChaosEngine
+// (crashable); the other shards use the shared inner engine directly.
+struct ChaosFleet {
+  std::shared_ptr<FleetFakeEngine> inner;
+  std::shared_ptr<chaos::ChaosEngine> chaos;
+  std::vector<FleetShardConfig> configs;
+};
+
+ChaosFleet chaosFleet(int victimIndex) {
+  ChaosFleet f;
+  f.inner = std::make_shared<FleetFakeEngine>();
+  f.chaos = std::make_shared<chaos::ChaosEngine>(f.inner);
+  for (int i = 0; i < 3; ++i) {
+    FleetShardConfig c;
+    c.id = "s" + std::to_string(i);
+    c.engine = i == victimIndex
+                   ? std::static_pointer_cast<const serve::TuningEngine>(
+                         f.chaos)
+                   : std::static_pointer_cast<const serve::TuningEngine>(
+                         f.inner);
+    c.broker.threads = 2;
+    c.broker.queueCapacity = 256;
+    f.configs.push_back(std::move(c));
+  }
+  return f;
+}
+
+FleetOptions healthOpts(int ejectAfter = 2, int reinstateAfter = 2) {
+  FleetOptions o;
+  o.health.enabled = true;
+  o.health.ejectAfterFailures = ejectAfter;
+  o.health.reinstateAfterSuccesses = reinstateAfter;
+  return o;
+}
+
+TEST(Health, AutoEjectRoutesBitwiseLikeAManualKill) {
+  // The ring is deterministic across instances, so the victim of key
+  // 300 can be located on a throwaway router first.
+  std::string victim;
+  int victimIndex = 0;
+  {
+    auto engine = std::make_shared<FleetFakeEngine>();
+    FleetRouter probe(shardConfigs(engine, 3));
+    victim = probe.homeShard(Device::P100, 300);
+    victimIndex = victim.back() - '0';
+  }
+
+  ChaosFleet f = chaosFleet(victimIndex);
+  FleetRouter router(f.configs, healthOpts());
+  std::vector<int> keys;
+  for (int n = 300; n < 324; ++n) keys.push_back(n);
+  for (int n : keys) ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+
+  // Crash the victim's engine; two failed probes auto-eject it.
+  f.chaos->crash();
+  router.healthTick();
+  EXPECT_FALSE(router.shardEjected(victim));  // 1 failure < ejectAfter
+  router.healthTick();
+  ASSERT_TRUE(router.shardEjected(victim));
+
+  // Record the full decision stream against the auto-ejected shard...
+  auto drive = [&] {
+    std::vector<std::string> journal;
+    for (int n : keys) {
+      RouteDecision d;
+      const auto resp = router.tune(freq(n), &d);
+      EXPECT_EQ(resp.status, serve::Status::Ok) << resp.error;
+      journal.push_back(d.shardId + (d.staleFallback ? "*" : "") +
+                        (resp.stale ? "~" : ""));
+    }
+    return journal;
+  };
+  const std::vector<std::string> ejectedJournal = drive();
+
+  // ...then replay the identical traffic against a *manual* kill of the
+  // same shard.  Auto-eject flips the same alive flag killShard() does,
+  // so the decisions must match entry for entry.
+  ASSERT_TRUE(router.reviveShard(victim));
+  ASSERT_TRUE(router.killShard(victim));
+  EXPECT_FALSE(router.shardEjected(victim));  // manual kill, not ejected
+  EXPECT_EQ(drive(), ejectedJournal);
+
+  bool sawStale = false;
+  for (const std::string& entry : ejectedJournal) {
+    EXPECT_TRUE(entry.find(victim) == std::string::npos) << entry;
+    if (entry.find('*') != std::string::npos) sawStale = true;
+  }
+  EXPECT_TRUE(sawStale);  // 24 keys over 3 shards: some homed on victim
+  router.shutdown();
+}
+
+TEST(Health, AutoReinstateRestoresHomeRoutingAndRecordsEvents) {
+  ChaosFleet f = chaosFleet(1);
+  FleetRouter router(f.configs, healthOpts(/*ejectAfter=*/2,
+                                           /*reinstateAfter=*/2));
+  std::vector<int> keys;
+  for (int n = 400; n < 424; ++n) keys.push_back(n);
+  for (int n : keys) ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  int victimKey = -1;
+  for (int n : keys) {
+    if (router.homeShard(Device::P100, n) == "s1") { victimKey = n; break; }
+  }
+  ASSERT_NE(victimKey, -1);
+
+  f.chaos->crash();
+  router.healthTick();
+  router.healthTick();
+  ASSERT_TRUE(router.shardEjected("s1"));
+  EXPECT_EQ(router.metrics().shardsEjected, 1u);
+
+  // Ejected shards keep being probed; recovery reinstates after exactly
+  // reinstateAfterSuccesses clean probes.
+  f.chaos->recover();
+  router.healthTick();
+  EXPECT_TRUE(router.shardEjected("s1"));  // 1 success < reinstateAfter
+  router.healthTick();
+  ASSERT_FALSE(router.shardEjected("s1"));
+  const FleetMetrics m = router.metrics();
+  EXPECT_EQ(m.shardsReinstated, 1u);
+  EXPECT_GT(m.healthProbes, 0u);
+  EXPECT_GT(m.healthProbeFailures, 0u);
+
+  // Both transitions land in the flight recorder, scoped to the shard.
+  const auto events = router.healthEvents();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(std::string_view(events[0].kind), "shard_ejected");
+  EXPECT_EQ(std::string_view(events[1].kind), "shard_reinstated");
+  for (const auto& e : events) {
+    EXPECT_EQ(std::string_view(e.scope), "s1");
+  }
+
+  // The reinstated shard serves its warm home keys fresh again.
+  RouteDecision d;
+  const auto resp = router.tune(freq(victimKey), &d);
+  ASSERT_EQ(resp.status, serve::Status::Ok);
+  EXPECT_FALSE(resp.stale);
+  EXPECT_EQ(d.shardId, "s1");
+  EXPECT_TRUE(d.home);
+  router.shutdown();
+}
+
+TEST(Health, ManualKillIsNeverProbedOrResurrected) {
+  ChaosFleet f = chaosFleet(0);
+  FleetRouter router(f.configs, healthOpts(/*ejectAfter=*/1));
+  std::vector<int> keys;
+  for (int n = 500; n < 524; ++n) keys.push_back(n);
+  for (int n : keys) ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  const std::string victim = router.homeShard(Device::P100, keys.front());
+
+  ASSERT_TRUE(router.killShard(victim));
+  const std::uint64_t probesBefore = router.metrics().healthProbes;
+  for (int i = 0; i < 5; ++i) router.healthTick();
+  const FleetMetrics m = router.metrics();
+  // Exactly the two live shards are probed per tick: the monitor never
+  // touches an operator-killed shard, and never resurrects it.
+  EXPECT_EQ(m.healthProbes - probesBefore, 10u);
+  EXPECT_EQ(m.shardsEjected, 0u);
+  EXPECT_EQ(m.shardsReinstated, 0u);
+  EXPECT_FALSE(router.shardEjected(victim));
+  for (const auto& s : m.shards) {
+    if (s.id == victim) {
+      EXPECT_FALSE(s.alive);
+      EXPECT_FALSE(s.ejected);
+    }
+  }
+  RouteDecision d;
+  const auto resp = router.tune(freq(keys.front()), &d);
+  ASSERT_EQ(resp.status, serve::Status::Ok);
+  EXPECT_TRUE(d.staleFallback);
+  EXPECT_NE(d.shardId, victim);
+  router.shutdown();
+}
+
+TEST(Health, DisabledHealthIsInvisibleInEverySurface) {
+  // Chaos off: a health-disabled fleet must expose byte-identical
+  // snapshots to a pre-epchaos build — no health keys, no health
+  // metric families, no events, and healthTick() is a no-op.
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 3));
+  for (int n : {700, 701, 702}) {
+    ASSERT_EQ(router.tune(freq(n)).status, serve::Status::Ok);
+  }
+  router.healthTick();  // no-op: must not probe or study anything
+  EXPECT_EQ(engine->calls(), 3);
+
+  const std::string wire = router.renderWireSnapshot();
+  EXPECT_EQ(wire.find("health"), std::string::npos);
+  EXPECT_EQ(wire.find("shardsEjected"), std::string::npos);
+  EXPECT_EQ(wire.find(".ejected"), std::string::npos);
+  const std::string prom =
+      router.renderClusterMetrics(obs::ExpositionFormat::Prometheus004);
+  EXPECT_EQ(prom.find("fleet_health"), std::string::npos);
+  EXPECT_EQ(prom.find("fleet_shard_ejected_total"), std::string::npos);
+
+  EXPECT_TRUE(router.healthEvents().empty());
+  EXPECT_FALSE(router.shardEjected("s0"));
+  const FleetMetrics m = router.metrics();
+  EXPECT_EQ(m.healthProbes, 0u);
+  EXPECT_EQ(m.shardsEjected, 0u);
+
+  // The enabled counterpart *does* carry the extra surfaces, proving
+  // the assertions above test absence rather than misspelled keys.
+  ChaosFleet f = chaosFleet(0);
+  FleetRouter healthy(f.configs, healthOpts());
+  healthy.healthTick();
+  EXPECT_NE(healthy.renderWireSnapshot().find("healthProbes"),
+            std::string::npos);
+  EXPECT_NE(healthy.renderClusterMetrics(obs::ExpositionFormat::Prometheus004)
+                .find("fleet_health_probes_total"),
+            std::string::npos);
+  healthy.shutdown();
+  router.shutdown();
+}
+
+// --- heterogeneous fleets (GPU-only and mixed shards) ---
+
+TEST(Hetero, AutoDeviceRespectsShardCapabilities) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  std::vector<FleetShardConfig> cfgs;
+  const std::vector<std::vector<Device>> caps = {
+      {Device::K40c},                 // g0: CPU-only shard
+      {Device::P100, Device::K40c},   // g1: mixed
+      {Device::P100},                 // g2: GPU-only shard
+  };
+  for (int i = 0; i < 3; ++i) {
+    FleetShardConfig c;
+    c.id = "g" + std::to_string(i);
+    c.engine = engine;
+    c.broker.threads = 2;
+    c.devices = caps[static_cast<std::size_t>(i)];
+    cfgs.push_back(std::move(c));
+  }
+  FleetRouter router(cfgs);
+
+  // "device":"auto" requests must only ever land where the chosen
+  // device is actually served.
+  for (int i = 0; i < 16; ++i) {
+    FleetRequest r;
+    r.n = 900 + i * 7;
+    r.maxDegradation = 0.5;
+    RouteDecision d;
+    const auto resp = router.tune(r, &d);
+    ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+    if (d.shardId == "g0") {
+      EXPECT_EQ(d.device, Device::K40c);
+    }
+    if (d.shardId == "g2") {
+      EXPECT_EQ(d.device, Device::P100);
+    }
+  }
+
+  // Pinned-device requests never touch a shard that lacks the device.
+  for (int i = 0; i < 12; ++i) {
+    RouteDecision d;
+    ASSERT_EQ(router.tune(freq(1200 + i * 13, Device::K40c), &d).status,
+              serve::Status::Ok);
+    EXPECT_NE(d.shardId, "g2");
+    ASSERT_EQ(router.tune(freq(1600 + i * 13, Device::P100), &d).status,
+              serve::Status::Ok);
+    EXPECT_NE(d.shardId, "g0");
+  }
+  EXPECT_EQ(router.metrics().noCandidate, 0u);
+  EXPECT_TRUE(router.frontsConsistent());
+  router.shutdown();
+}
+
+TEST(Hetero, StaleServingCrossesOnlyCapableShards) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  std::vector<FleetShardConfig> cfgs;
+  const std::vector<std::vector<Device>> caps = {
+      {Device::K40c}, {Device::P100, Device::K40c}, {Device::P100}};
+  for (int i = 0; i < 3; ++i) {
+    FleetShardConfig c;
+    c.id = "g" + std::to_string(i);
+    c.engine = engine;
+    c.broker.threads = 2;
+    c.devices = caps[static_cast<std::size_t>(i)];
+    cfgs.push_back(std::move(c));
+  }
+  FleetRouter router(cfgs);
+
+  // Warm K40c keys, remembering who actually executed each one (the
+  // ring home of a K40c key may be the GPU-only shard, in which case
+  // the router already diverted it).
+  std::vector<int> keys;
+  std::vector<std::string> servedBy;
+  for (int n = 2000; n < 2024; ++n) {
+    keys.push_back(n);
+    RouteDecision d;
+    ASSERT_EQ(router.tune(freq(n, Device::K40c), &d).status,
+              serve::Status::Ok);
+    servedBy.push_back(d.shardId);
+  }
+  const std::string victim = servedBy.front();
+  const std::string survivor = victim == "g0" ? "g1" : "g0";
+
+  // Replicas of an executed K40c study can only live on the *other*
+  // K40c-capable shard, so after the executor dies every one of its
+  // keys stale-serves from that survivor — never from the GPU-only g2.
+  ASSERT_TRUE(router.killShard(victim));
+  const int callsBefore = engine->calls();
+  int staleHits = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (servedBy[i] != victim) continue;
+    RouteDecision d;
+    const auto resp = router.tune(freq(keys[i], Device::K40c), &d);
+    ASSERT_EQ(resp.status, serve::Status::Ok) << resp.error;
+    EXPECT_TRUE(resp.stale);
+    EXPECT_TRUE(d.staleFallback);
+    EXPECT_EQ(d.shardId, survivor);
+    ++staleHits;
+  }
+  ASSERT_GT(staleHits, 0);
+  EXPECT_EQ(engine->calls(), callsBefore);  // stale serving, no re-study
+  EXPECT_TRUE(router.frontsConsistent());
+  router.shutdown();
 }
 
 }  // namespace

@@ -4,9 +4,9 @@
 // reply-then-close, and the Broker + NetService stack end to end in
 // both wire modes.
 //
-// The ep_net_* counters live in the process-global registry and are
-// shared by every Server instance in this binary, so the socket tests
-// assert deltas, never absolute values.
+// Each Server owns a private metrics registry unless ServerOptions
+// points it elsewhere, so the ep_net_* counters here start at zero per
+// test and the socket tests assert absolute values.
 #include <gtest/gtest.h>
 
 #include <arpa/inet.h>
@@ -291,13 +291,12 @@ TEST(Server, EvictsSlowReadersPastTheHighWaterMark) {
   });
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
-  const std::uint64_t evictedBefore = server.evicted();
 
   const int fd = connectTo(server.port());
   std::string requests;
   for (int i = 0; i < 64; ++i) requests += "{\"a\":1}\n";
   sendAll(fd, requests);
-  EXPECT_TRUE(waitFor([&] { return server.evicted() > evictedBefore; }))
+  EXPECT_TRUE(waitFor([&] { return server.evicted() > 0; }))
       << "slow reader was never evicted";
   close(fd);
   server.stop();
@@ -308,7 +307,6 @@ TEST(Server, AnswersProtocolErrorsThenCloses) {
   Server server(opts, [](Server&, std::vector<InboundFrame>&&) {});
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
-  const std::uint64_t errorsBefore = server.protocolErrors();
 
   const int fd = connectTo(server.port());
   sendAll(fd, "garbage\n");
@@ -320,7 +318,7 @@ TEST(Server, AnswersProtocolErrorsThenCloses) {
   // After the error reply the server closes its end.
   char c;
   EXPECT_EQ(recv(fd, &c, 1, 0), 0);
-  EXPECT_EQ(server.protocolErrors(), errorsBefore + 1);
+  EXPECT_EQ(server.protocolErrors(), 1u);
   close(fd);
   server.stop();
 }
@@ -334,7 +332,6 @@ TEST(Server, SurvivesMidFrameCloseAndKeepsServing) {
   });
   std::string error;
   ASSERT_TRUE(server.start(&error)) << error;
-  const std::int64_t openBefore = server.openConnections();
 
   // A binary connection that declares a 100-byte frame, sends 10 bytes,
   // and vanishes: the partial frame is dropped with the connection.
@@ -343,11 +340,9 @@ TEST(Server, SurvivesMidFrameCloseAndKeepsServing) {
   putVarint(wire, 100);
   wire += std::string(10, 'z');
   sendAll(fd, wire);
-  EXPECT_TRUE(
-      waitFor([&] { return server.openConnections() > openBefore; }));
+  EXPECT_TRUE(waitFor([&] { return server.openConnections() == 1; }));
   close(fd);
-  EXPECT_TRUE(
-      waitFor([&] { return server.openConnections() == openBefore; }));
+  EXPECT_TRUE(waitFor([&] { return server.openConnections() == 0; }));
 
   // The loop is still healthy: a fresh connection gets served.
   const int fd2 = connectTo(server.port());
@@ -356,6 +351,36 @@ TEST(Server, SurvivesMidFrameCloseAndKeepsServing) {
   EXPECT_EQ(recvLine(fd2, &buf), "{\"ok\":true}");
   close(fd2);
   server.stop();
+}
+
+TEST(Server, PrivateRegistryScopesCountersPerServer) {
+  const auto echo = [](Server& s, std::vector<InboundFrame>&& batch) {
+    for (const auto& f : batch) {
+      s.respond(f.conn, f.seq, makeBuffer("{\"ok\":true}\n"));
+    }
+  };
+  Server a{ServerOptions{}, echo};
+  Server b{ServerOptions{}, echo};
+  std::string error;
+  ASSERT_TRUE(a.start(&error)) << error;
+  ASSERT_TRUE(b.start(&error)) << error;
+
+  const int fd = connectTo(a.port());
+  sendAll(fd, "{\"a\":1}\n");
+  std::string buf;
+  EXPECT_EQ(recvLine(fd, &buf), "{\"ok\":true}");
+  close(fd);
+
+  // The served frame lands only in a's private registry; b's ep_net_*
+  // family, same names, stays at zero.
+  const std::string aProm = a.registry().renderPrometheus();
+  EXPECT_NE(aProm.find("ep_net_frames_total 1"), std::string::npos) << aProm;
+  EXPECT_NE(aProm.find("ep_net_connections_total 1"), std::string::npos);
+  const std::string bProm = b.registry().renderPrometheus();
+  EXPECT_NE(bProm.find("ep_net_frames_total 0"), std::string::npos) << bProm;
+  EXPECT_NE(bProm.find("ep_net_connections_total 0"), std::string::npos);
+  a.stop();
+  b.stop();
 }
 
 // --- Broker + NetService end to end ---

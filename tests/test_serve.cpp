@@ -1771,5 +1771,179 @@ TEST(Broker, DeadlineAndBreakerRacesResolveEveryRequest) {
   EXPECT_EQ(m.inFlightStudies, 0u);
 }
 
+// --- adaptive admission (epchaos overload control) ---
+
+// A controllable time source: BrokerOptions.clock routes every
+// deadline, latency and AIMD observation through it, so overload and
+// recovery scenarios run deterministically with no real sleeping.
+struct FakeClock {
+  std::atomic<std::int64_t> ns{0};
+  void advanceMs(double ms) {
+    ns.fetch_add(static_cast<std::int64_t>(ms * 1e6));
+  }
+  std::function<Clock::time_point()> fn() {
+    return [this] { return Clock::time_point(Clock::duration(ns.load())); };
+  }
+};
+
+TEST(Admission, OverflowFastFailsOverloadedWhileAdmittedWorkCompletes) {
+  // 2x sustained overload: 8 distinct cold keys offered against an
+  // admission limit of 4.  The overflow must fast-fail Overloaded
+  // without queueing; every admitted request must complete with
+  // latency inside the SLO target (the p99-of-admitted pin).
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  FakeClock clock;
+  BrokerOptions opts;
+  opts.threads = 2;
+  opts.queueCapacity = 32;
+  opts.clock = clock.fn();
+  opts.admission.enabled = true;
+  opts.admission.targetLatencyMs = 50.0;
+  opts.admission.initialLimit = 4;
+  opts.admission.minLimit = 1;
+  opts.admission.maxLimit = 4;
+  Broker broker(engine, opts);
+
+  std::vector<std::future<TuneResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    TuneRequest req;
+    req.device = Device::P100;
+    req.n = 100 + i;
+    futures.push_back(broker.submitTune(req));
+  }
+  // The 4 rejections are inline: their futures are ready while both
+  // workers are still parked inside the gated engine.
+  int fastFailed = 0;
+  for (auto& f : futures) {
+    if (f.wait_for(std::chrono::seconds(0)) == std::future_status::ready) {
+      ++fastFailed;
+    }
+  }
+  EXPECT_EQ(fastFailed, 4);
+  clock.advanceMs(49.0);  // queueing time, still inside the target
+  engine->release();
+  int ok = 0;
+  int overloaded = 0;
+  double maxLatencyMs = 0.0;
+  for (auto& f : futures) {
+    const TuneResponse resp = f.get();
+    if (resp.status == Status::Ok) {
+      ++ok;
+      maxLatencyMs = std::max(maxLatencyMs, resp.latency.value() * 1e3);
+    } else {
+      ASSERT_EQ(resp.status, Status::Overloaded);
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok, 4);
+  EXPECT_EQ(overloaded, 4);
+  EXPECT_LE(maxLatencyMs, opts.admission.targetLatencyMs);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.rejectedOverload, 4u);
+  EXPECT_EQ(m.rejectedQueueFull, 0u);  // shed at admission, not the queue
+  broker.shutdown();
+}
+
+TEST(Admission, AimdHalvesOnOverTargetLatencyAndGrowsBack) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  FakeClock clock;
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.clock = clock.fn();
+  opts.admission.enabled = true;
+  opts.admission.targetLatencyMs = 50.0;
+  opts.admission.initialLimit = 8;
+  opts.admission.minLimit = 1;
+  opts.admission.maxLimit = 16;
+  Broker broker(engine, opts);
+  EXPECT_EQ(broker.metrics().admissionLimit, 8u);
+
+  // One over-target completion (100 ms against a 50 ms target)
+  // multiplicatively halves the limit.
+  TuneRequest req;
+  req.device = Device::P100;
+  req.n = 42;
+  auto slow = broker.submitTune(req);
+  engine->waitEntered(1);
+  clock.advanceMs(100.0);
+  engine->release();
+  EXPECT_EQ(slow.get().status, Status::Ok);
+  EXPECT_EQ(broker.metrics().admissionLimit, 4u);
+
+  // In-target completions additively re-open it (fractional increase:
+  // ~1 slot per `limit` completions).
+  for (int i = 0; i < 40; ++i) {
+    TuneRequest r;
+    r.device = Device::P100;
+    r.n = 1000 + i;
+    EXPECT_EQ(broker.submitTune(r).get().status, Status::Ok);
+  }
+  EXPECT_GT(broker.metrics().admissionLimit, 4u);
+  broker.shutdown();
+}
+
+TEST(Admission, DeadlineInfeasibleColdRequestsShedAtAdmission) {
+  auto engine = std::make_shared<FakeEngine>(/*gated=*/true);
+  FakeClock clock;
+  BrokerOptions opts;
+  opts.threads = 1;
+  opts.clock = clock.fn();
+  opts.admission.enabled = true;
+  opts.admission.initialLimit = 8;
+  Broker broker(engine, opts);
+
+  // Teach the EWMA cost model that a cold study takes ~80 ms.
+  TuneRequest first;
+  first.device = Device::P100;
+  first.n = 7;
+  auto f = broker.submitTune(first);
+  engine->waitEntered(1);
+  clock.advanceMs(80.0);
+  engine->release();
+  EXPECT_EQ(f.get().status, Status::Ok);
+  const int callsAfterWarm = engine->calls();
+
+  // An uncached request with a 10 ms deadline cannot cover that cost:
+  // it must be refused at admission without burning any pool time.
+  TuneRequest doomed;
+  doomed.device = Device::P100;
+  doomed.n = 8;
+  doomed.deadlineMs = 10.0;
+  const TuneResponse resp = broker.submitTune(doomed).get();
+  EXPECT_EQ(resp.status, Status::DeadlineExceeded);
+  EXPECT_EQ(engine->calls(), callsAfterWarm);
+  EXPECT_EQ(broker.metrics().shedDeadline, 1u);
+
+  // A feasible deadline still goes through.
+  TuneRequest fine;
+  fine.device = Device::P100;
+  fine.n = 9;
+  fine.deadlineMs = 500.0;
+  EXPECT_EQ(broker.submitTune(fine).get().status, Status::Ok);
+  broker.shutdown();
+}
+
+TEST(Admission, DisabledAdmissionNeverRejectsOverloaded) {
+  // Chaos off => the admission branch is never taken; behaviour (and
+  // the metrics surface) matches a pre-epchaos broker.
+  auto engine = std::make_shared<FakeEngine>();
+  BrokerOptions opts;
+  opts.threads = 2;
+  Broker broker(engine, opts);
+  std::vector<std::future<TuneResponse>> futures;
+  for (int i = 0; i < 32; ++i) {
+    TuneRequest req;
+    req.device = Device::P100;
+    req.n = 3000 + i;
+    futures.push_back(broker.submitTune(req));
+  }
+  for (auto& f : futures) EXPECT_NE(f.get().status, Status::Overloaded);
+  const ServeMetrics m = broker.metrics();
+  EXPECT_EQ(m.rejectedOverload, 0u);
+  EXPECT_EQ(m.shedDeadline, 0u);
+  EXPECT_EQ(m.admissionLimit, 0u);  // gauge reads 0 when disabled
+  broker.shutdown();
+}
+
 }  // namespace
 }  // namespace ep::serve

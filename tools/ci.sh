@@ -95,7 +95,12 @@ echo "== epfleetd smoke: shard kill -> stale serve -> clean recovery =="
 # from the replica (flagged "stale":true); after revival fleetcheck
 # --check must see every shard alive and the cluster fronts consistent.
 ./build/tools/fleetcheck
-./build/tools/epfleetd --port 0 --shards 3 >"${SMOKE_LOG}" 2>&1 &
+# --health-probe-ms arms the background health monitor; the manual
+# kill below must stay killed (the monitor never resurrects an
+# operator decision) and the final fleetcheck --check must still see
+# every shard alive after the explicit revive.
+./build/tools/epfleetd --port 0 --shards 3 --health-probe-ms 25 \
+  >"${SMOKE_LOG}" 2>&1 &
 FLEETD_PID=$!
 trap 'kill "${FLEETD_PID}" 2>/dev/null || true' EXIT
 for _ in $(seq 1 100); do
@@ -130,6 +135,16 @@ echo "stale-served responses after kill: ${STALE}"
 kill "${FLEETD_PID}" 2>/dev/null || true
 wait "${FLEETD_PID}" 2>/dev/null || true
 trap - EXIT
+
+echo "== chaoscheck drill: fault campaign -> self-heal -> overload =="
+# The epchaos end-to-end drill: a seeded 5% transport-fault campaign
+# (resets, torn frames, corrupt varints, stalls) against a live fleet,
+# server-side accept/inbound chaos, whole-shard crash with auto-eject
+# and auto-reinstate, a 2x overload burst shed by adaptive admission,
+# an SLO burn raised and cleared, and the energy-aware-beats-round-
+# robin routing check.  Every phase is bitwise-reproducible from the
+# seed; any assertion failure exits non-zero.
+./build/tools/chaoscheck
 
 echo "== eptop drill: healthy fleet -> shard kill -> latency SLO burn =="
 # Fleet with the observability plane armed: 100 ms scrapes and a
@@ -211,7 +226,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs \
-  test_apps test_fleet test_net
+  test_apps test_fleet test_net test_chaos
 # halt_on_error: any reported race fails the run, not just the exit
 # status of the last test.  test_apps covers the parallel study engine
 # (pool-backed runWorkload/runSweep, nested parallelFor); test_serve
@@ -226,6 +241,10 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_fleet
 # the broker pool on respond(), eviction racing writes, stop() racing
 # in-flight connections.
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_net
+# test_chaos hammers the retry budget from coalesced callers and runs
+# the faulty transport against a live server (reconnects racing the
+# event loop's eviction path).
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_chaos
 
 echo "== ASan+UBSan: fault injection + robust measurement + wire parser =="
 cmake -B build-asan -S . \
@@ -234,7 +253,7 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
-  test_serve test_core test_obs test_fleet test_net
+  test_serve test_core test_obs test_fleet test_net test_chaos
 # detect_leaks flushes out meter/journal ownership bugs; the fault tests
 # exercise every injected-corruption branch, the serve tests the
 # malformed-frame corpus, test_core the checkpoint journal I/O, test_obs
@@ -249,5 +268,8 @@ ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_fleet
 # test_net feeds the frame decoder truncated varints, oversize lengths,
 # and mid-frame closes -- the hostile-input half of the wire parser.
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_net
+# test_chaos injects the corruption the parser must survive on purpose:
+# flipped varint bytes, truncated frames, and mid-stream disconnects.
+ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_chaos
 
 echo "== ci.sh: all green =="

@@ -31,7 +31,9 @@
 //     --scrape-ms.
 //   {"op":"slo"}        — burn-rate state of every --slo declaration.
 //   {"op":"events"}     — per-shard watchdog recorders (--watchdog)
-//     drained with "shard" tags, plus SLO burn transitions.
+//     drained with "shard" tags, SLO burn transitions, and — with
+//     --health-probe-ms — shard eject/reinstate transitions from the
+//     self-healing monitor, tagged "fleet".
 //
 // The shards are in-process broker replicas sharing one deterministic
 // engine (same seed => same tuning hash, so a replica resurrected from
@@ -87,6 +89,10 @@ struct Args {
   bool tracing = false;
   bool watchdog = false;
   std::int64_t scrapeMs = 250;  // 0 disables the background scraper
+  // Self-healing shard health: probe cadence of the background monitor
+  // (fleet/router.hpp FleetHealthOptions); 0 disables health entirely,
+  // keeping the fleet bitwise-identical to a pre-epchaos one.
+  double healthProbeMs = 0.0;
   std::vector<std::string> sloSpecs;
   std::vector<ep::obs::BurnWindow> sloWindows;
 };
@@ -159,6 +165,11 @@ bool parseArgs(int argc, char** argv, Args* out) {
       const char* v = next();
       if (!v) return false;
       out->scrapeMs = std::stoll(v);
+    } else if (a == "--health-probe-ms") {
+      const char* v = next();
+      if (!v) return false;
+      out->healthProbeMs = std::stod(v);
+      if (out->healthProbeMs < 0.0) return false;
     } else if (a == "--slo") {
       const char* v = next();
       if (!v) return false;
@@ -216,7 +227,7 @@ std::string handleControlOp(const ep::serve::wire::WireRequest& req,
                             ep::fleet::FleetRouter& router,
                             const ShardWatchdogs& watchdogs,
                             const ep::obs::TimeSeriesStore& tsdb,
-                            ep::obs::SloEngine* slo) {
+                            ep::obs::SloEngine* slo, bool healthArmed) {
   using ep::serve::wire::WireRequest;
   switch (req.op) {
     case WireRequest::Op::Metrics: {
@@ -244,10 +255,10 @@ std::string handleControlOp(const ep::serve::wire::WireRequest& req,
       return ep::serve::wire::encodeTextBody(
           ep::obs::Tracer::global().exportChromeTrace());
     case WireRequest::Op::Events: {
-      if (watchdogs.empty() && slo == nullptr) {
+      if (watchdogs.empty() && slo == nullptr && !healthArmed) {
         return ep::serve::wire::encodeError(
             "no flight recorders armed (start epfleetd with"
-            " --watchdog and/or --slo)");
+            " --watchdog, --slo and/or --health-probe-ms)");
       }
       std::string body;
       std::uint64_t alerts = 0;
@@ -270,6 +281,15 @@ std::string handleControlOp(const ep::serve::wire::WireRequest& req,
         alerts += slo->activeAlerts();
         recorded += slo->recorder().recorded();
         dropped += slo->recorder().dropped();
+      }
+      if (healthArmed) {
+        // Shard eject/reinstate transitions from the health monitor.
+        for (const ep::obs::FlightEvent& e :
+             router.healthEvents(req.eventsSince)) {
+          body += ep::obs::encodeFlightEventLine(e, "fleet");
+          body += '\n';
+          ++recorded;
+        }
       }
       return ep::serve::wire::encodeEvents(alerts, recorded, dropped, body);
     }
@@ -299,8 +319,8 @@ int main(int argc, char** argv) {
                  " [--event-threads E] [--queue Q] [--cache C]"
                  " [--policy rr|queue|energy]"
                  " [--vnodes V] [--seed S] [--meter] [--tracing]"
-                 " [--watchdog] [--scrape-ms MS] [--slo SPEC]..."
-                 " [--slo-window L:S:B]...\n";
+                 " [--watchdog] [--scrape-ms MS] [--health-probe-ms MS]"
+                 " [--slo SPEC]... [--slo-window L:S:B]...\n";
     return 2;
   }
   std::vector<ep::obs::SloSpec> sloSpecs;
@@ -351,7 +371,12 @@ int main(int argc, char** argv) {
   ep::fleet::FleetOptions fleetOpts;
   fleetOpts.policy = *policy;
   fleetOpts.virtualNodes = args.vnodes;
+  if (args.healthProbeMs > 0.0) {
+    fleetOpts.health.enabled = true;
+    fleetOpts.health.probeIntervalMs = args.healthProbeMs;
+  }
   ep::fleet::FleetRouter router(std::move(shards), fleetOpts);
+  if (args.healthProbeMs > 0.0) router.startHealthMonitor();
 
   // Observability plane: scrape the federated cluster registry (plus
   // the process-wide one) into the tsdb; SLOs evaluate per scrape.
@@ -402,15 +427,21 @@ int main(int argc, char** argv) {
   hooks.study = [&router](const ep::serve::StudyRequest& req) {
     return router.study(req);
   };
-  hooks.control = [&router, &shardWatchdogs, &tsdb, &slo](
+  const bool healthArmed = args.healthProbeMs > 0.0;
+  hooks.control = [&router, &shardWatchdogs, &tsdb, &slo, healthArmed](
                       const ep::serve::wire::WireRequest& req) {
-    return handleControlOp(req, router, shardWatchdogs, tsdb, slo.get());
+    return handleControlOp(req, router, shardWatchdogs, tsdb, slo.get(),
+                           healthArmed);
   };
   ep::serve::NetService service(std::move(hooks));
 
   ep::net::ServerOptions netOpts;
   netOpts.port = args.port;
   netOpts.eventThreads = args.eventThreads;
+  // Keep the ep_net_* transport family on the process registry the
+  // {"op":"metrics"} handler renders (servers default to a private
+  // per-instance registry now).
+  netOpts.registry = &ep::obs::Registry::global();
   ep::net::Server server(netOpts, service.handler());
   std::string netError;
   if (!server.start(&netError)) {
@@ -426,6 +457,7 @@ int main(int argc, char** argv) {
             << " meter=" << (args.meter ? "on" : "off")
             << " watchdog=" << (args.watchdog ? "on" : "off")
             << " scrape-ms=" << (args.scrapeMs > 0 ? args.scrapeMs : 0)
+            << " health-probe-ms=" << args.healthProbeMs
             << " slos=" << sloSpecs.size() << ")" << std::endl;
 
   if (pipe(gStopPipe) != 0) {

@@ -5,7 +5,7 @@
 //                  [--device p100|k40c] [--n N[,N...]] [--budget B]
 //                  [--deadline-ms D] [--study BEGIN:END:STEP] [--metrics]
 //                  [--trace-id ID] [--report] [--raw '<json line>']
-//                  [--binary] [--pipeline W]
+//                  [--binary] [--pipeline W] [--retry N] [--backoff]
 //
 // Default mode sends `--requests` tune requests per connection, cycling
 // through the `--n` workload list, and reports client-side latency
@@ -27,6 +27,13 @@
 // Both apply to the default tune-load mode only; --study/--raw/
 // --metrics stay line-JSON round trips.
 //
+// --retry N re-sends requests the server shed (overloaded, queue_full,
+// circuit_open) up to N times each once the main window drains, under
+// a process-wide retry budget (chaos/retry.hpp) so a retry storm can
+// never multiply offered load unboundedly; --backoff spaces the
+// attempts with deterministic exponential-backoff-plus-jitter from the
+// same seeded schedule the chaos tests pin.
+//
 // --raw sends one verbatim request line and prints the response line —
 // the escape hatch for ops the flag surface doesn't cover (epfleetd's
 // {"op":"fleet",...} drill actions, "device":"auto" tunes).  Exits 0
@@ -47,6 +54,7 @@
 #include <thread>
 #include <vector>
 
+#include "chaos/retry.hpp"
 #include "net/frame.hpp"
 #include "serve/wire.hpp"
 #include "serve/wire_binary.hpp"
@@ -72,6 +80,8 @@ struct Args {
   std::string raw;
   bool binary = false;
   int pipeline = 1;  // in-flight tune requests per connection
+  int retry = 0;     // retries per shed request (0 = no retries)
+  bool backoff = false;  // exponential backoff + jitter between retries
 };
 
 std::vector<int> parseIntList(const std::string& s) {
@@ -125,12 +135,16 @@ bool parseArgs(int argc, char** argv, Args* a) {
       a->binary = true;
     } else if (arg == "--pipeline" && (v = next())) {
       a->pipeline = std::stoi(v);
+    } else if (arg == "--retry" && (v = next())) {
+      a->retry = std::stoi(v);
+    } else if (arg == "--backoff") {
+      a->backoff = true;
     } else {
       return false;
     }
   }
   return !a->ns.empty() && a->requests > 0 && a->connections > 0 &&
-         a->pipeline > 0;
+         a->pipeline > 0 && a->retry >= 0;
 }
 
 class Connection {
@@ -184,6 +198,9 @@ struct WorkerResult {
   int errors = 0;
   double attributedJoules = 0.0;
   std::uint64_t studiesExecuted = 0;
+  int retriesAttempted = 0;
+  int retriesRecovered = 0;   // shed requests that succeeded on retry
+  int retriesDenied = 0;      // retry budget refused the attempt
 };
 
 std::string tuneLine(const Args& a, int n) {
@@ -196,16 +213,26 @@ std::string tuneLine(const Args& a, int n) {
   return w.str();
 }
 
+bool retryableStatus(const std::string& status) {
+  return status == "overloaded" || status == "queue_full" ||
+         status == "circuit_open";
+}
+
 // Tally one decoded response (either wire format) into the result.
-void tallyJson(const std::string& line, double ms, WorkerResult* out) {
+// When `mayRetry` is set, a retryable rejection (overloaded /
+// queue_full / circuit_open) is NOT counted — the caller re-sends it —
+// and true is returned; everything else is counted and returns false.
+bool tallyJson(const std::string& line, double ms, bool mayRetry,
+               WorkerResult* out) {
   std::string err;
   const auto obj = ep::serve::wire::parseObject(line, &err);
   if (!obj) {
     ++out->errors;
-    return;
+    return false;
   }
   const auto st = obj->find("status");
-  if (st != obj->end() && st->second.string == "ok") {
+  const std::string status = st != obj->end() ? st->second.string : "";
+  if (status == "ok") {
     ++out->ok;
     out->latenciesMs.push_back(ms);
     if (const auto j = obj->find("attributedJoules"); j != obj->end()) {
@@ -214,17 +241,21 @@ void tallyJson(const std::string& line, double ms, WorkerResult* out) {
     if (const auto s = obj->find("studiesExecuted"); s != obj->end()) {
       out->studiesExecuted += static_cast<std::uint64_t>(s->second.number);
     }
+  } else if (mayRetry && retryableStatus(status)) {
+    return true;
   } else {
     ++out->rejected;
   }
+  return false;
 }
 
-void tallyBinary(const std::string& payload, double ms, WorkerResult* out) {
+bool tallyBinary(const std::string& payload, double ms, bool mayRetry,
+                 WorkerResult* out) {
   std::string err;
   const auto resp = ep::serve::wire_binary::decodeTuneResponse(payload, &err);
   if (!resp) {
     ++out->errors;
-    return;
+    return false;
   }
   if (resp->status == ep::serve::Status::Ok) {
     ++out->ok;
@@ -233,9 +264,14 @@ void tallyBinary(const std::string& payload, double ms, WorkerResult* out) {
       out->attributedJoules += resp->report.attributedJoules;
       out->studiesExecuted += resp->report.studiesExecuted;
     }
+  } else if (mayRetry && (resp->status == ep::serve::Status::Overloaded ||
+                          resp->status == ep::serve::Status::QueueFull ||
+                          resp->status == ep::serve::Status::CircuitOpen)) {
+    return true;
   } else {
     ++out->rejected;
   }
+  return false;
 }
 
 // The tune-load worker: a sliding window of up to a.pipeline requests
@@ -243,7 +279,8 @@ void tallyBinary(const std::string& payload, double ms, WorkerResult* out) {
 // requests), responses decoded incrementally.  Responses arrive in
 // request order (the server restores pipelined order per connection),
 // so a FIFO of start times matches them up.
-void runWorker(const Args& a, WorkerResult* out) {
+void runWorker(const Args& a, std::uint64_t stream,
+               ep::chaos::RetryBudget* budget, WorkerResult* out) {
   Connection conn;
   if (!conn.open(a.host, a.port)) {
     std::cerr << "connect failed\n";
@@ -256,7 +293,14 @@ void runWorker(const Args& a, WorkerResult* out) {
   std::string outBuf;
   if (a.binary) outBuf.append(ep::net::kMagic, sizeof ep::net::kMagic);
   std::string inBuf;
-  std::deque<Clock::time_point> starts;
+  struct Pending {
+    Clock::time_point start;
+    int n = 0;
+    int requestIndex = 0;
+  };
+  std::deque<Pending> starts;
+  // Shed requests parked for the retry pass after the window drains.
+  std::vector<Pending> toRetry;
   int queued = 0;    // requests encoded (and soon flushed)
   int received = 0;  // responses tallied
 
@@ -271,7 +315,8 @@ void runWorker(const Args& a, WorkerResult* out) {
   while (received < a.requests) {
     while (queued < a.requests && queued - received < a.pipeline) {
       const int n = a.ns[static_cast<std::size_t>(queued) % a.ns.size()];
-      starts.push_back(Clock::now());
+      if (a.retry > 0) budget->onAttempt();
+      starts.push_back(Pending{Clock::now(), n, queued});
       if (a.binary) {
         breq.tune.n = n;
         ep::net::appendFrame(outBuf, ep::net::kOpTune,
@@ -311,11 +356,12 @@ void runWorker(const Args& a, WorkerResult* out) {
                            static_cast<std::size_t>(len) - 1);
           inBuf.erase(0, static_cast<std::size_t>(used) +
                              static_cast<std::size_t>(len));
-          const double ms = std::chrono::duration<double, std::milli>(
-                                Clock::now() - starts.front())
-                                .count();
+          const Pending p = starts.front();
           starts.pop_front();
-          tallyBinary(payload, ms, out);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - p.start)
+                                .count();
+          if (tallyBinary(payload, ms, a.retry > 0, out)) toRetry.push_back(p);
           ++received;
           madeProgress = true;
           continue;
@@ -325,11 +371,12 @@ void runWorker(const Args& a, WorkerResult* out) {
         if (nl != std::string::npos) {
           std::string line = inBuf.substr(0, nl);
           inBuf.erase(0, nl + 1);
-          const double ms = std::chrono::duration<double, std::milli>(
-                                Clock::now() - starts.front())
-                                .count();
+          const Pending p = starts.front();
           starts.pop_front();
-          tallyJson(line, ms, out);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                Clock::now() - p.start)
+                                .count();
+          if (tallyJson(line, ms, a.retry > 0, out)) toRetry.push_back(p);
           ++received;
           madeProgress = true;
           continue;
@@ -345,6 +392,93 @@ void runWorker(const Args& a, WorkerResult* out) {
       inBuf.append(chunk, static_cast<std::size_t>(got));
     }
   }
+
+  if (toRetry.empty()) return;
+
+  // Retry pass: re-send shed requests serially on the same connection
+  // once the burst has drained, each under the shared retry budget and
+  // (with --backoff) the deterministic seeded backoff schedule.
+  const ep::chaos::RetryPolicy policy{};
+  auto sendOne = [&](int n) -> bool {
+    std::string req;
+    if (a.binary) {
+      breq.tune.n = n;
+      ep::net::appendFrame(req, ep::net::kOpTune,
+                           ep::serve::wire_binary::encodeTuneRequest(breq));
+    } else {
+      req = tuneLine(a, n) + "\n";
+    }
+    std::size_t sent = 0;
+    while (sent < req.size()) {
+      const ssize_t k = send(fd, req.data() + sent, req.size() - sent, 0);
+      if (k <= 0) return false;
+      sent += static_cast<std::size_t>(k);
+    }
+    return true;
+  };
+  auto recvOne = [&](std::string* payload) -> bool {
+    for (;;) {
+      if (a.binary) {
+        std::uint64_t len = 0;
+        const int used = ep::net::readVarint(inBuf.data(), inBuf.size(), &len);
+        if (used < 0 || (used > 0 && len == 0)) return false;
+        if (used > 0 && inBuf.size() >= static_cast<std::size_t>(used) + len) {
+          payload->assign(inBuf, static_cast<std::size_t>(used) + 1,
+                          static_cast<std::size_t>(len) - 1);
+          inBuf.erase(0, static_cast<std::size_t>(used) +
+                             static_cast<std::size_t>(len));
+          return true;
+        }
+      } else {
+        const std::size_t nl = inBuf.find('\n');
+        if (nl != std::string::npos) {
+          payload->assign(inBuf, 0, nl);
+          inBuf.erase(0, nl + 1);
+          return true;
+        }
+      }
+      char chunk[65536];
+      const ssize_t got = recv(fd, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;
+      inBuf.append(chunk, static_cast<std::size_t>(got));
+    }
+  };
+
+  const int okBefore = out->ok;
+  for (const Pending& p : toRetry) {
+    bool resolved = false;
+    for (int attempt = 1; attempt <= a.retry && !resolved; ++attempt) {
+      if (!budget->tryRetry()) {
+        ++out->retriesDenied;
+        break;
+      }
+      ++out->retriesAttempted;
+      if (a.backoff) {
+        const double delayMs = policy.delayMs(
+            stream, static_cast<std::uint64_t>(p.requestIndex), attempt);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double, std::milli>(delayMs));
+      }
+      const auto t0 = Clock::now();
+      std::string payload;
+      if (!sendOne(p.n) || !recvOne(&payload)) {
+        ++out->errors;
+        resolved = true;
+        break;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+      const bool mayRetryAgain = attempt < a.retry;
+      const bool shedAgain =
+          a.binary ? tallyBinary(payload, ms, mayRetryAgain, out)
+                   : tallyJson(payload, ms, mayRetryAgain, out);
+      if (!shedAgain) resolved = true;
+    }
+    // Budget denied before any attempt could be counted: the original
+    // shed response becomes the request's final outcome.
+    if (!resolved) ++out->rejected;
+  }
+  out->retriesRecovered = out->ok - okBefore;
 }
 
 double percentile(std::vector<double>& v, double p) {
@@ -365,8 +499,8 @@ int main(int argc, char** argv) {
            "         [--connections C] [--device p100|k40c] [--n N[,N...]]\n"
            "         [--budget B] [--deadline-ms D] [--study B:E:S]"
            " [--metrics]\n"
-           "         [--binary] [--pipeline W] [--trace-id ID] [--report]"
-           " [--raw J]\n";
+           "         [--binary] [--pipeline W] [--retry N] [--backoff]\n"
+           "         [--trace-id ID] [--report] [--raw J]\n";
     return 2;
   }
 
@@ -418,9 +552,13 @@ int main(int argc, char** argv) {
   std::vector<WorkerResult> results(
       static_cast<std::size_t>(args.connections));
   std::vector<std::thread> workers;
+  // One retry budget for the whole client process: every connection's
+  // attempts accrue tokens into it, every retry draws from it.
+  ep::chaos::RetryBudget budget;
   const auto start = Clock::now();
   for (int c = 0; c < args.connections; ++c) {
     workers.emplace_back(runWorker, std::cref(args),
+                         static_cast<std::uint64_t>(c), &budget,
                          &results[static_cast<std::size_t>(c)]);
   }
   for (auto& t : workers) t.join();
@@ -434,6 +572,9 @@ int main(int argc, char** argv) {
     total.errors += r.errors;
     total.attributedJoules += r.attributedJoules;
     total.studiesExecuted += r.studiesExecuted;
+    total.retriesAttempted += r.retriesAttempted;
+    total.retriesRecovered += r.retriesRecovered;
+    total.retriesDenied += r.retriesDenied;
     total.latenciesMs.insert(total.latenciesMs.end(), r.latenciesMs.begin(),
                              r.latenciesMs.end());
   }
@@ -445,6 +586,11 @@ int main(int argc, char** argv) {
   if (wallS > 0.0) {
     std::cout << "throughput: "
               << static_cast<double>(sentTotal) / wallS << " req/s\n";
+  }
+  if (args.retry > 0) {
+    std::cout << "retries: attempted=" << total.retriesAttempted
+              << " recovered=" << total.retriesRecovered
+              << " budget_denied=" << total.retriesDenied << "\n";
   }
   if (args.report) {
     std::cout << "attributed energy: " << total.attributedJoules << " J over "

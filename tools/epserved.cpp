@@ -394,6 +394,10 @@ int main(int argc, char** argv) {
   ep::net::ServerOptions netOpts;
   netOpts.port = args.port;
   netOpts.eventThreads = args.eventThreads;
+  // Keep the ep_net_* transport family on the process registry the
+  // {"op":"metrics"} handler renders (servers default to a private
+  // per-instance registry now).
+  netOpts.registry = &ep::obs::Registry::global();
   ep::net::Server server(netOpts, service.handler());
   std::string netError;
   if (!server.start(&netError)) {

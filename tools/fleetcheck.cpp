@@ -13,7 +13,11 @@
 //      the traffic, and verify the streaming cluster Pareto fronts
 //      are still bitwise-identical to a fresh batch recompute;
 //   4. revive + re-add the shard and verify the partition returns to
-//      the original layout and fronts stay consistent.
+//      the original layout and fronts stay consistent;
+//   5. a heterogeneous-fleet drill (one GPU-only shard, one mixed, one
+//      CPU-only): "device":"auto" routing only lands on shards serving
+//      the resolved device, and replica stale-serving keeps working
+//      across the asymmetric shard set.
 //
 // With --port P --check it instead connects to a running epfleetd,
 // fetches {"op":"fleet"} and asserts a clean recovered state: status
@@ -155,6 +159,88 @@ int runDrill() {
   return gFailures == 0 ? 0 : 1;
 }
 
+// Heterogeneous fleet: shards with asymmetric device sets.  "auto"
+// requests must only ever land on shards serving the resolved device,
+// and replica stale-serving must keep working when the ring successor
+// chain skips a shard that cannot serve the key's device.
+int runHeteroDrill() {
+  std::printf("== fleetcheck: heterogeneous-fleet drill ==\n");
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+  std::vector<FleetShardConfig> cfgs;
+  for (int i = 0; i < 3; ++i) {
+    FleetShardConfig c;
+    c.id = "g" + std::to_string(i);
+    c.engine = engine;
+    c.broker.threads = 2;
+    c.broker.queueCapacity = 128;
+    cfgs.push_back(std::move(c));
+  }
+  cfgs[0].devices = {Device::K40c};                 // GPU-only shard
+  cfgs[1].devices = {Device::P100, Device::K40c};   // mixed shard
+  cfgs[2].devices = {Device::P100};                 // CPU-only shard
+  FleetRouter router(std::move(cfgs), ep::fleet::FleetOptions{});
+
+  // "device":"auto": the router resolves the device first, then routes
+  // within the shards that serve it.
+  bool autoOk = true;
+  bool autoPlaced = true;
+  for (int n = 768; n < 768 + 12 * 96; n += 96) {
+    FleetRequest r;
+    r.n = n;  // no device: auto
+    r.maxDegradation = 0.11;
+    RouteDecision d;
+    const auto resp = router.tune(r, &d);
+    autoOk = autoOk && resp.status == ep::serve::Status::Ok;
+    // The decision's shard must actually serve the decision's device.
+    const bool gpuShardOk = d.shardId != "g2" || d.device == Device::P100;
+    const bool cpuShardOk = d.shardId != "g0" || d.device == Device::K40c;
+    autoPlaced = autoPlaced && gpuShardOk && cpuShardOk;
+  }
+  check(autoOk, "auto-device requests all served");
+  check(autoPlaced, "auto requests only landed on shards serving the device");
+
+  // Warm explicit K40c keys (served by g0 or g1 only), then kill the
+  // shard that served them and require the other K40c-capable shard to
+  // answer from its replicated stale store.  (The ring home of a K40c
+  // key may be the CPU-only shard; what matters is who executed it.)
+  std::vector<int> gpuKeys;
+  std::vector<std::string> servedBy;
+  for (int n = 2048; n < 2048 + 12 * 128; n += 128) gpuKeys.push_back(n);
+  bool warmOk = true;
+  for (int n : gpuKeys) {
+    RouteDecision d;
+    const auto resp = router.tune(freq(n, Device::K40c), &d);
+    warmOk = warmOk && resp.status == ep::serve::Status::Ok && !resp.stale &&
+             d.shardId != "g2";
+    servedBy.push_back(d.shardId);
+  }
+  check(warmOk, "explicit K40c keys served fresh by K40c-capable shards");
+  const std::string gpuVictim = servedBy.front();
+  check(router.killShard(gpuVictim), "killShard(" + gpuVictim + ")");
+  const std::string gpuSurvivor = gpuVictim == "g0" ? "g1" : "g0";
+  int staleServed = 0;
+  bool staleOk = true;
+  for (std::size_t i = 0; i < gpuKeys.size(); ++i) {
+    if (servedBy[i] != gpuVictim) continue;
+    RouteDecision d;
+    const auto resp = router.tune(freq(gpuKeys[i], Device::K40c), &d);
+    staleOk = staleOk && resp.status == ep::serve::Status::Ok && resp.stale &&
+              d.staleFallback && d.shardId == gpuSurvivor;
+    ++staleServed;
+  }
+  check(staleServed > 0, "victim served at least one warm K40c key");
+  check(staleOk, "K40c keys stale-served by the other K40c-capable shard");
+  check(router.reviveShard(gpuVictim), "reviveShard(" + gpuVictim + ")");
+  check(router.frontsConsistent(), "cluster fronts consistent (hetero)");
+  auto m = router.metrics();
+  check(m.noCandidate == 0, "no request ever lacked a capable shard");
+  router.shutdown();
+
+  std::printf("== fleetcheck hetero: %s ==\n",
+              gFailures == 0 ? "all checks passed" : "FAILURES");
+  return gFailures == 0 ? 0 : 1;
+}
+
 // --check mode: assert a running epfleetd reports a clean state.
 int runRemoteCheck(const std::string& host, std::uint16_t port) {
   std::printf("== fleetcheck --check against %s:%u ==\n", host.c_str(), port);
@@ -251,5 +337,7 @@ int main(int argc, char** argv) {
     }
     return runRemoteCheck(host, port);
   }
-  return runDrill();
+  const int rc = runDrill();
+  const int heteroRc = runHeteroDrill();
+  return rc != 0 ? rc : heteroRc;
 }
