@@ -12,12 +12,16 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <future>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "obs/tsdb.hpp"
+#include "serve/broker.hpp"
+#include "serve/engine.hpp"
 
 namespace {
 
@@ -277,10 +281,99 @@ void writeOverheadJson() {
     benchmark::DoNotOptimize(hot.value());
   }
 
+  // --- epprof section (the PR 10 acceptance record) ---
+  //
+  // Frame-push micro-costs first: disarmed, a ProfileFrame is one
+  // relaxed load and a branch (the "profiler-off is free" claim), and
+  // armed it adds two relaxed stores.
+  ep::obs::Profiler& prof = ep::obs::Profiler::global();
+  records.push_back(record("profile_frame/disarmed", nsPerOp(20'000'000u, [] {
+    ep::obs::ProfileFrame frame("bench/frame_disarmed");
+    benchmark::DoNotOptimize(&frame);
+  })));
+  {
+    ep::obs::ProfilerOptions popts;
+    popts.cpuSampling = false;  // arm the gate without SIGPROF noise
+    prof.start(popts);
+    records.push_back(record("profile_frame/armed", nsPerOp(20'000'000u, [] {
+      ep::obs::ProfileFrame frame("bench/frame_armed");
+      benchmark::DoNotOptimize(&frame);
+    })));
+    prof.stop();
+    prof.clear();
+  }
+
+  // The gated end-to-end number: warm-hit serve throughput with the
+  // profiler off, then armed at the default always-on rate (10 ms CPU
+  // per sample, 100 Hz per busy thread).  The armed tax must stay
+  // within 5 % for "always-on" to be an honest default.
+  auto engine = std::make_shared<ep::serve::EpStudyEngine>();
+  ep::serve::BrokerOptions bopts;
+  bopts.threads = 4;
+  constexpr int kRequests = 4000;
+  bopts.queueCapacity = kRequests + 16;
+  ep::serve::Broker broker(engine, bopts);
+  const std::vector<int> sizes = {8192, 9216, 10240, 11264};
+  {
+    ep::serve::TuneRequest treq;
+    treq.device = ep::serve::Device::P100;
+    treq.maxDegradation = 0.11;
+    for (int n : sizes) {  // warm the front cache: steady serving state
+      treq.n = n;
+      (void)broker.tune(treq);
+    }
+  }
+  const auto warmHitNsPerReq = [&broker, &sizes] {
+    ep::serve::TuneRequest treq;
+    treq.device = ep::serve::Device::P100;
+    treq.maxDegradation = 0.11;
+    std::vector<std::future<ep::serve::TuneResponse>> futures;
+    futures.reserve(kRequests);
+    const auto t0 = BenchClock::now();
+    for (int i = 0; i < kRequests; ++i) {
+      treq.n = sizes[static_cast<std::size_t>(i) % sizes.size()];
+      futures.push_back(broker.submitTune(treq));
+    }
+    for (auto& f : futures) (void)f.get();
+    const auto t1 = BenchClock::now();
+    return static_cast<double>(
+               std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+                   .count()) /
+           static_cast<double>(kRequests);
+  };
+  // Same broker, same warm cache, one discarded pass per mode: the
+  // delta prices the profiler alone, not allocator or cache warm-up.
+  const auto bestOfThree = [&warmHitNsPerReq] {
+    (void)warmHitNsPerReq();
+    double best = warmHitNsPerReq();
+    for (int i = 0; i < 2; ++i) {
+      const double ns = warmHitNsPerReq();
+      if (ns < best) best = ns;
+    }
+    return best;
+  };
+  const double offNs = bestOfThree();
+  prof.start(ep::obs::ProfilerOptions{});
+  const double onNs = bestOfThree();
+  prof.stop();
+  prof.clear();
+  const double overheadPct = offNs > 0.0 ? (onNs - offNs) / offNs * 100.0
+                                         : 0.0;
+  records.push_back(record("serve/warm_hit_profiler_off", offNs));
+  records.push_back(record("serve/warm_hit_profiler_on", onNs));
+  ep::bench::BenchRecord gate;
+  gate.name = "profiler/warm_hit_overhead_pct";
+  gate.threads = 4;
+  gate.nsPerOp = overheadPct;  // percent, not ns: the gated ratio
+  gate.itemsPerSecond = 0.0;
+  records.push_back(gate);
+
   ep::bench::writeBenchJson("BENCH_obs.json", "obs_overhead", records);
   for (const auto& r : records) {
-    std::printf("%-24s %8.2f ns/op\n", r.name.c_str(), r.nsPerOp);
+    std::printf("%-32s %10.2f ns/op\n", r.name.c_str(), r.nsPerOp);
   }
+  std::printf("profiler warm-hit overhead: %.2f%% %s\n", overheadPct,
+              overheadPct <= 5.0 ? "(PASS <= 5%)" : "(FAIL > 5%)");
 }
 
 }  // namespace

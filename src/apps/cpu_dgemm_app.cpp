@@ -9,6 +9,8 @@
 #include "common/error.hpp"
 #include "blas/dgemm.hpp"
 #include "common/mathutil.hpp"
+#include "obs/profile_frames.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace ep::apps {
@@ -79,9 +81,18 @@ CpuDataPoint CpuDgemmApp::runConfig(const hw::CpuDgemmConfig& cfg,
     out.time = out.model.time;
     out.dynamicPower = out.model.dynamicPower;
     out.dynamicEnergy = out.model.dynamicEnergy();
+    // epprof energy profile, model-direct mode: fold the same joules
+    // the ledger attributes under the kernel frame.
+    if (obs::profilerArmed()) {
+      obs::ProfileFrame kernelFrame("kernel/dgemm");
+      obs::Profiler::global().recordEnergySample(
+          out.dynamicEnergy.value(), obs::currentContext().traceId);
+    }
     return out;
   }
 
+  // epprof kernel frame: measurement CPU/joules attribute to DGEMM.
+  obs::ProfileFrame kernelFrame("kernel/dgemm");
   power::ProfilePowerSource profile(model_.spec().nodeIdlePower);
   profile.addSegment({Seconds{0.0}, out.model.time, out.model.dynamicPower});
   const power::EnergyMeasurer measurer(

@@ -5,6 +5,9 @@
 
 #include "common/error.hpp"
 #include "fft/fft.hpp"
+#include "obs/profile_frames.hpp"
+#include "obs/profiler.hpp"
+#include "obs/trace.hpp"
 
 namespace ep::apps {
 
@@ -66,9 +69,18 @@ FftDataPoint Fft2dApp::runSize(int n, Rng& rng) const {
            (run.time + run.uncoreTail / static_cast<double>(repeats));
     }
     out.dynamicEnergy = e;
+    // epprof energy profile, model-direct mode: fold the same joules
+    // the ledger attributes under the kernel frame.
+    if (obs::profilerArmed()) {
+      obs::ProfileFrame kernelFrame("kernel/fft2d");
+      obs::Profiler::global().recordEnergySample(
+          out.dynamicEnergy.value(), obs::currentContext().traceId);
+    }
     return out;
   }
 
+  // epprof kernel frame: measurement CPU/joules attribute to the FFT.
+  obs::ProfileFrame kernelFrame("kernel/fft2d");
   power::ProfilePowerSource profile(run.idlePower);
   profile.addSegment({Seconds{0.0}, window, run.corePower});
   Seconds tail{0.0};

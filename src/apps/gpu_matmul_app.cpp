@@ -8,6 +8,7 @@
 #include "common/error.hpp"
 #include "fault/faulty_meter.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "power/observer.hpp"
 
@@ -101,11 +102,22 @@ GpuDataPoint GpuMatMulApp::runConfig(const hw::MatMulConfig& cfg,
     out.time = out.model.time;
     out.dynamicEnergy = out.model.dynamicEnergy();
     out.repetitions = 1;
+    // epprof energy profile, model-direct mode: the ledger attributes
+    // these model joules per config, so the flamegraph folds the same
+    // quantity under the kernel frame to stay reconcilable.
+    if (obs::profilerArmed()) {
+      obs::ProfileFrame kernelFrame("kernel/dgemm");
+      obs::Profiler::global().recordEnergySample(
+          out.dynamicEnergy.value(), obs::currentContext().traceId);
+    }
     return out;
   }
 
   // Build the node's ground-truth power profile for one execution.
   obs::Span span("power/measure_window");
+  // epprof kernel frame: CPU and energy samples taken during this
+  // config's measurement attribute to the DGEMM kernel.
+  obs::ProfileFrame kernelFrame("kernel/dgemm");
   // Attribution scope for the anomaly watchdog: windows measured here
   // belong to this device model.
   power::MeasureScopeLabel scopeLabel(model_.spec().name.c_str());

@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 
 namespace ep {
@@ -108,7 +109,9 @@ void ThreadPool::runChunks(ParallelForState& st) {
   }
 }
 
-ThreadPool::ThreadPool(std::size_t threads) {
+ThreadPool::ThreadPool(std::size_t threads, std::string profileLabel)
+    : profileLabel_(profileLabel.empty() ? std::string("pool/worker")
+                                         : std::move(profileLabel)) {
   if (threads == 0) {
     threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
@@ -166,6 +169,11 @@ void ThreadPool::wait() {
 }
 
 void ThreadPool::workerLoop() {
+  // Root frame + registration for the continuous profiler: pushed
+  // unconditionally (thread-lifetime) so arming epprof mid-run still
+  // sees every worker labeled; profileLabel_ outlives the worker.
+  obs::ProfileThreadLabel profileRoot(profileLabel_.c_str());
+  obs::Profiler::global().registerCurrentThread();
   PoolMetrics& metrics = PoolMetrics::get();
   for (;;) {
     std::function<void()> task;

@@ -19,6 +19,7 @@
 #include <functional>
 #include <mutex>
 #include <queue>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -28,7 +29,11 @@ namespace ep {
 class ThreadPool {
  public:
   // threads == 0 means hardware_concurrency (at least 1).
-  explicit ThreadPool(std::size_t threads = 0);
+  // profileLabel, when non-empty, is pushed as each worker's root frame
+  // on the epprof shadow stack ("pool/worker" by default; the fleet
+  // router labels each shard's pool "shard/<id>" so cluster profiles
+  // partition by shard).
+  explicit ThreadPool(std::size_t threads = 0, std::string profileLabel = {});
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -86,6 +91,7 @@ class ThreadPool {
   // Claim-and-run loop shared by the caller and the helper tasks.
   static void runChunks(ParallelForState& st);
 
+  const std::string profileLabel_;  // stable: workers hold its c_str()
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   mutable std::mutex mutex_;

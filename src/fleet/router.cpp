@@ -111,6 +111,10 @@ FleetRouter::FleetRouter(std::vector<FleetShardConfig> shards,
     shard->id = cfg.id;
     shard->devices = cfg.devices;
     serve::BrokerOptions bopts = cfg.broker;
+    // epprof: each shard's worker threads carry a "shard/<id>" root
+    // frame, so cluster CPU/energy profiles partition by shard (the
+    // profile analogue of metric federation's shard labels).
+    if (bopts.profileLabel.empty()) bopts.profileLabel = "shard/" + cfg.id;
     bopts.onTuneComplete = [this, i](const serve::TuneRequest& req,
                                      const serve::TuneResponse& resp) {
       onTuneComplete(i, req, resp);
@@ -714,6 +718,68 @@ obs::RegistrySnapshot FleetRouter::clusterSnapshot() const {
 std::string FleetRouter::renderClusterMetrics(
     obs::ExpositionFormat format) const {
   return obs::renderExposition(clusterSnapshot(), format);
+}
+
+std::vector<std::pair<std::string, obs::ProfileSnapshot>>
+FleetRouter::shardProfiles(obs::ProfileKind kind) const {
+  // All shards share one process (and therefore one Profiler); the
+  // partition key is the "shard/<id>" root frame the shard pools push.
+  const obs::ProfileSnapshot global = obs::Profiler::global().snapshot(kind);
+  std::vector<std::pair<std::string, obs::ProfileSnapshot>> out;
+  out.reserve(shards_.size());
+  for (const auto& s : shards_) {
+    obs::ProfileSnapshot snap;
+    snap.kind = global.kind;
+    snap.samplePeriodUs = global.samplePeriodUs;
+    const std::string root = "shard/" + s->id;
+    for (const obs::ProfileEntry& e : global.entries) {
+      if (e.stack.empty() || e.stack.front() != root) continue;
+      obs::ProfileEntry stripped;
+      if (e.stack.size() == 1) {
+        // CPU at the root itself: the worker's own dispatch loop.
+        stripped.stack = {"(worker)"};
+      } else {
+        stripped.stack.assign(e.stack.begin() + 1, e.stack.end());
+      }
+      stripped.samples = e.samples;
+      stripped.weight = e.weight;
+      snap.samples += e.samples;
+      snap.totalWeight += e.weight;
+      snap.entries.push_back(std::move(stripped));
+    }
+    out.emplace_back(s->id, std::move(snap));
+  }
+  return out;
+}
+
+obs::ProfileSnapshot FleetRouter::clusterProfile(obs::ProfileKind kind) const {
+  // Reconstruct the cluster view through the same merge the wire layer
+  // uses, then carry over router-side stacks (frontend threads, event
+  // loops) and the global per-trace slices that a per-shard partition
+  // cannot attribute.
+  const obs::ProfileSnapshot global = obs::Profiler::global().snapshot(kind);
+  obs::ProfileSnapshot merged = obs::mergeProfileSnapshots(shardProfiles(kind));
+  merged.kind = global.kind;
+  merged.samplePeriodUs = global.samplePeriodUs;
+  merged.dropped = global.dropped;
+  merged.truncated = global.truncated;
+  for (const obs::ProfileEntry& e : global.entries) {
+    if (!e.stack.empty() && e.stack.front().rfind("shard/", 0) == 0 &&
+        shardIndex_.count(e.stack.front().substr(6)) != 0) {
+      continue;  // already federated through its shard
+    }
+    merged.samples += e.samples;
+    merged.totalWeight += e.weight;
+    merged.entries.push_back(e);
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const obs::ProfileEntry& a, const obs::ProfileEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.stack < b.stack;
+            });
+  merged.traces = global.traces;
+  return merged;
 }
 
 const serve::Broker* FleetRouter::shardBroker(const std::string& id) const {

@@ -56,6 +56,7 @@
 #include "fleet/policy.hpp"
 #include "fleet/ring.hpp"
 #include "obs/events.hpp"
+#include "obs/profile_export.hpp"
 #include "pareto/streaming_front.hpp"
 #include "serve/broker.hpp"
 
@@ -254,6 +255,16 @@ class FleetRouter {
   // from a shard-scoped merge keeps or gains its shard label upstream.
   [[nodiscard]] std::string renderClusterMetrics(
       obs::ExpositionFormat format) const;
+
+  // Profile federation, mirroring metric federation: shardProfiles()
+  // partitions the process profiler's aggregated stacks on the
+  // "shard/<id>" root frames each shard pool pushes (per-shard stacks
+  // with the root stripped; trace slices stay cluster-global), and
+  // clusterProfile() merges them back — shard-rooted — together with
+  // router-side stacks and the global per-trace slices.
+  [[nodiscard]] std::vector<std::pair<std::string, obs::ProfileSnapshot>>
+  shardProfiles(obs::ProfileKind kind) const;
+  [[nodiscard]] obs::ProfileSnapshot clusterProfile(obs::ProfileKind kind) const;
 
   // Read-only access to one shard's broker (nullptr for unknown ids):
   // the daemon layer uses it to drain per-shard watchdog recorders for

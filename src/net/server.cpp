@@ -18,6 +18,8 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/profiler.hpp"
+
 namespace ep::net {
 
 namespace {
@@ -84,6 +86,10 @@ struct Server::EventLoop {
 
   void run() {
     tlsLoop = this;
+    // epprof: label + register this event thread so network-side CPU
+    // shows up in continuous profiles under its own root frame.
+    obs::ProfileThreadLabel profileRoot("net/event_loop");
+    obs::Profiler::global().registerCurrentThread();
     std::vector<epoll_event> events(128);
     while (!quit.load(std::memory_order_acquire)) {
       const int n =

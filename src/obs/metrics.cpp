@@ -567,7 +567,29 @@ std::string Registry::renderOpenMetrics() const {
 Registry& Registry::global() {
   static Registry* r = new Registry();  // never destroyed: metric
                                         // references outlive main()
+  static bool stamped = (registerBuildInfo(*r), true);
+  (void)stamped;
   return *r;
+}
+
+// Build identity baked in by src/obs/CMakeLists.txt at configure time.
+#ifndef EP_BUILD_GIT_HASH
+#define EP_BUILD_GIT_HASH "unknown"
+#endif
+#ifndef EP_BUILD_TYPE
+#define EP_BUILD_TYPE "unspecified"
+#endif
+#ifndef EP_BUILD_COMPILER
+#define EP_BUILD_COMPILER "unknown"
+#endif
+
+void registerBuildInfo(Registry& registry) {
+  registry
+      .gauge("ep_build_info", "Build identity (info-style: value always 1)",
+             {{"git_hash", EP_BUILD_GIT_HASH},
+              {"build_type", EP_BUILD_TYPE},
+              {"compiler", EP_BUILD_COMPILER}})
+      .set(1);
 }
 
 }  // namespace ep::obs

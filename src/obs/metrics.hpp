@@ -207,6 +207,16 @@ enum class ExpositionFormat {
 [[nodiscard]] SeriesSnapshot mergeHistogramSeries(const SeriesSnapshot& a,
                                                   const SeriesSnapshot& b);
 
+class Registry;
+
+// Register the ep_build_info info-style gauge (value pinned to 1;
+// identity in git_hash / build_type / compiler labels) on `registry`.
+// Idempotent.  Registry::global() and per-component registries that
+// expose over the wire (serve broker) call this so every exposition —
+// including federated cluster views, where gauges gain shard labels —
+// carries build identity.
+void registerBuildInfo(Registry& registry);
+
 // Federate per-shard registry snapshots into one cluster snapshot:
 // counters and double counters are summed across shards by label set,
 // histograms bucket-merged, and gauges kept per shard with an appended

@@ -1,0 +1,213 @@
+#include "obs/profile_export.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ep::obs {
+
+namespace {
+
+void appendJsonString(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) >= 0x20) out += c;
+  }
+  out += '"';
+}
+
+void appendDouble(std::string& out, double v) {
+  if (!std::isfinite(v)) v = 0.0;
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  out += buf;
+}
+
+// The integer count a collapsed line carries: raw samples for CPU
+// profiles, rounded microjoules for energy (flamegraph.pl only takes
+// integers, and typical windows are single-digit joules).
+std::uint64_t collapsedCount(const ProfileSnapshot& snap,
+                             const ProfileEntry& e) {
+  if (snap.kind == ProfileKind::Energy) {
+    const double uj = e.weight * 1e6;
+    return uj <= 0.0 ? 0 : static_cast<std::uint64_t>(std::llround(uj));
+  }
+  return e.samples;
+}
+
+}  // namespace
+
+std::string renderCollapsed(const ProfileSnapshot& snap) {
+  std::string out;
+  for (const ProfileEntry& e : snap.entries) {
+    const std::uint64_t n = collapsedCount(snap, e);
+    if (n == 0) continue;
+    std::string line;
+    for (std::size_t i = 0; i < e.stack.size(); ++i) {
+      if (i != 0) line += ';';
+      line += e.stack[i];
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof buf, " %llu\n",
+                  static_cast<unsigned long long>(n));
+    out += line;
+    out += buf;
+  }
+  return out;
+}
+
+std::string renderSpeedscope(const ProfileSnapshot& snap,
+                             const std::string& name) {
+  // Intern frames in first-seen order (entries are weight-descending,
+  // so hot frames get small indices).
+  std::vector<std::string> frames;
+  std::unordered_map<std::string, std::size_t> index;
+  auto intern = [&](const std::string& f) {
+    auto [it, inserted] = index.emplace(f, frames.size());
+    if (inserted) frames.push_back(f);
+    return it->second;
+  };
+  struct Row {
+    std::vector<std::size_t> stack;
+    double weight;
+  };
+  std::vector<Row> rows;
+  rows.reserve(snap.entries.size());
+  double total = 0.0;
+  for (const ProfileEntry& e : snap.entries) {
+    Row r;
+    r.stack.reserve(e.stack.size());
+    for (const std::string& f : e.stack) r.stack.push_back(intern(f));
+    r.weight = e.weight;
+    total += e.weight;
+    rows.push_back(std::move(r));
+  }
+
+  const char* unit = snap.kind == ProfileKind::Energy ? "none" : "seconds";
+  std::string out;
+  out += "{\"$schema\":\"https://www.speedscope.app/file-format-schema.json\",\n";
+  out += "\"shared\":{\"frames\":[\n";
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    out += "{\"name\":";
+    appendJsonString(out, frames[i]);
+    out += i + 1 < frames.size() ? "},\n" : "}\n";
+  }
+  out += "]},\n";
+  out += "\"profiles\":[\n";
+  out += "{\"type\":\"sampled\",\"name\":";
+  appendJsonString(out, name);
+  out += ",\"unit\":\"";
+  out += unit;
+  out += "\",\"startValue\":0,\"endValue\":";
+  appendDouble(out, total);
+  out += ",\n\"samples\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out += ',';
+    out += '[';
+    for (std::size_t j = 0; j < rows[i].stack.size(); ++j) {
+      if (j != 0) out += ',';
+      char buf[24];
+      std::snprintf(buf, sizeof buf, "%zu", rows[i].stack[j]);
+      out += buf;
+    }
+    out += ']';
+  }
+  out += "],\n\"weights\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i != 0) out += ',';
+    appendDouble(out, rows[i].weight);
+  }
+  out += "]}\n";
+  out += "],\n\"name\":";
+  appendJsonString(out, name);
+  out += ",\"activeProfileIndex\":0,\"exporter\":\"epprof\"}\n";
+  return out;
+}
+
+std::vector<FrameShare> topFrames(const ProfileSnapshot& snap,
+                                  std::size_t topN) {
+  std::unordered_map<std::string, FrameShare> acc;
+  std::unordered_set<std::string> seen;  // per-stack dedup (recursion)
+  for (const ProfileEntry& e : snap.entries) {
+    seen.clear();
+    for (const std::string& f : e.stack) {
+      if (!seen.insert(f).second) continue;
+      FrameShare& fs = acc[f];
+      fs.frame = f;
+      fs.samples += e.samples;
+      fs.weight += e.weight;
+    }
+  }
+  std::vector<FrameShare> out;
+  out.reserve(acc.size());
+  for (auto& [f, fs] : acc) {
+    if (snap.totalWeight > 0.0) fs.share = fs.weight / snap.totalWeight;
+    out.push_back(std::move(fs));
+  }
+  std::sort(out.begin(), out.end(), [](const FrameShare& a,
+                                       const FrameShare& b) {
+    if (a.weight != b.weight) return a.weight > b.weight;
+    if (a.samples != b.samples) return a.samples > b.samples;
+    return a.frame < b.frame;
+  });
+  if (topN > 0 && out.size() > topN) out.resize(topN);
+  return out;
+}
+
+ProfileSnapshot mergeProfileSnapshots(
+    const std::vector<std::pair<std::string, ProfileSnapshot>>& shards) {
+  ProfileSnapshot merged;
+  bool first = true;
+  for (const auto& [shard, snap] : shards) {
+    if (first) {
+      merged.kind = snap.kind;
+      merged.samplePeriodUs = snap.samplePeriodUs;
+      first = false;
+    }
+    merged.samples += snap.samples;
+    merged.totalWeight += snap.totalWeight;
+    merged.dropped += snap.dropped;
+    merged.truncated += snap.truncated;
+    const std::string root = "shard/" + shard;
+    for (const ProfileEntry& e : snap.entries) {
+      ProfileEntry re;
+      re.stack.reserve(e.stack.size() + 1);
+      re.stack.push_back(root);
+      re.stack.insert(re.stack.end(), e.stack.begin(), e.stack.end());
+      re.samples = e.samples;
+      re.weight = e.weight;
+      merged.entries.push_back(std::move(re));
+    }
+    for (const TraceSlice& t : snap.traces) {
+      // Same trace id can touch several shards (fleet fan-out): sum.
+      auto it = std::find_if(merged.traces.begin(), merged.traces.end(),
+                             [&](const TraceSlice& m) {
+                               return m.traceId == t.traceId;
+                             });
+      if (it == merged.traces.end()) {
+        merged.traces.push_back(t);
+      } else {
+        it->samples += t.samples;
+        it->weight += t.weight;
+      }
+    }
+  }
+  std::sort(merged.entries.begin(), merged.entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.stack < b.stack;
+            });
+  std::sort(merged.traces.begin(), merged.traces.end(),
+            [](const TraceSlice& a, const TraceSlice& b) {
+              if (a.weight != b.weight) return a.weight > b.weight;
+              if (a.samples != b.samples) return a.samples > b.samples;
+              return a.traceId < b.traceId;
+            });
+  return merged;
+}
+
+}  // namespace ep::obs

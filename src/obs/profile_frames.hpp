@@ -1,0 +1,124 @@
+// epprof shadow frame stack: the async-signal-safe substrate of the
+// continuous profiler (obs/profiler.hpp).
+//
+// Every profiled thread carries a fixed-size thread-local stack of
+// frame labels (string literals or other storage outliving the
+// thread).  obs::Span pushes its name here while the profiler is
+// armed, so sampled stacks read as the span hierarchy the tracer
+// already names ("serve/request;study/workload;kernel/dgemm;...");
+// hot compute kernels add explicit ProfileFrame markers where no span
+// exists.  The SIGPROF handler copies the stack verbatim — plain
+// same-thread memory reads ordered by signal fences, no locks, no
+// allocation — which is what makes sampling safe to leave always-on.
+//
+// Cost model: a gated push is one relaxed atomic load and a branch
+// when the profiler is disarmed (the permanent state), two relaxed
+// stores when armed.  Thread-lifetime root labels (pool worker, net
+// event loop) push unconditionally so arming mid-run still sees them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace ep::obs {
+
+namespace prof_detail {
+
+// Deep enough for the span nesting the codebase actually produces
+// (serve -> study -> app eval -> pool task -> kernel -> measure ->
+// ci loop is 7); samples that would exceed it are clipped and counted.
+inline constexpr int kMaxProfileFrames = 32;
+
+// One process-wide flag: armed exactly while Profiler::start()..stop().
+inline std::atomic<bool> gProfilerArmed{false};
+
+struct FrameStack {
+  const char* frames[kMaxProfileFrames];
+  // Written by the owning thread, read by the SIGPROF handler on the
+  // SAME thread: relaxed atomics plus signal fences give the handler a
+  // consistent (depth, frames[0..depth)) view without locks.
+  std::atomic<int> depth{0};
+  std::atomic<std::uint64_t> truncated{0};  // pushes dropped at the cap
+};
+
+inline FrameStack& tlsFrameStack() noexcept {
+  thread_local FrameStack fs;
+  return fs;
+}
+
+// True push (unconditional).  Returns false when the stack is full so
+// the caller knows not to pop.
+inline bool pushFrame(const char* name) noexcept {
+  FrameStack& fs = tlsFrameStack();
+  const int d = fs.depth.load(std::memory_order_relaxed);
+  if (d >= kMaxProfileFrames) {
+    fs.truncated.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  fs.frames[d] = name;
+  // The frame pointer must be visible before the depth that exposes it
+  // to the signal handler.
+  std::atomic_signal_fence(std::memory_order_release);
+  fs.depth.store(d + 1, std::memory_order_relaxed);
+  return true;
+}
+
+inline void popFrame() noexcept {
+  FrameStack& fs = tlsFrameStack();
+  fs.depth.store(fs.depth.load(std::memory_order_relaxed) - 1,
+                 std::memory_order_relaxed);
+}
+
+}  // namespace prof_detail
+
+// Whether the continuous profiler is currently armed (sampling +
+// energy folding live).  One relaxed load; safe from any thread.
+[[nodiscard]] inline bool profilerArmed() noexcept {
+  return prof_detail::gProfilerArmed.load(std::memory_order_relaxed);
+}
+
+// Hot-path RAII frame: pushes only while the profiler is armed, so a
+// disarmed process pays one load + branch.  `name` must be a string
+// literal (or outlive every sample that can reference it).  Arming
+// transitions mid-scope stay balanced: the destructor pops exactly
+// when the constructor pushed.
+class ProfileFrame {
+ public:
+  explicit ProfileFrame(const char* name) {
+    if (name != nullptr && profilerArmed()) {
+      pushed_ = prof_detail::pushFrame(name);
+    }
+  }
+  ~ProfileFrame() {
+    if (pushed_) prof_detail::popFrame();
+  }
+
+  ProfileFrame(const ProfileFrame&) = delete;
+  ProfileFrame& operator=(const ProfileFrame&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+// Thread-lifetime root label (pool worker pools, net event threads,
+// daemon main threads).  Pushes unconditionally — once per thread —
+// so profiles armed later still slice by thread role / fleet shard.
+class ProfileThreadLabel {
+ public:
+  explicit ProfileThreadLabel(const char* name) {
+    if (name != nullptr && name[0] != '\0') {
+      pushed_ = prof_detail::pushFrame(name);
+    }
+  }
+  ~ProfileThreadLabel() {
+    if (pushed_) prof_detail::popFrame();
+  }
+
+  ProfileThreadLabel(const ProfileThreadLabel&) = delete;
+  ProfileThreadLabel& operator=(const ProfileThreadLabel&) = delete;
+
+ private:
+  bool pushed_ = false;
+};
+
+}  // namespace ep::obs

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/profile_frames.hpp"
+
 namespace ep::obs {
 
 // Request-scoped identity carried across threads.  traceId groups all
@@ -194,6 +196,9 @@ class Tracer {
 class Span {
  public:
   explicit Span(const char* name) {
+    // Mirror the span onto the profiler's shadow stack while sampling
+    // is armed, so profiles read as the span hierarchy.
+    if (profilerArmed()) framePushed_ = prof_detail::pushFrame(name);
     Tracer& t = Tracer::global();
     if (!t.enabled()) return;
     buf_ = &t.threadBuffer();
@@ -207,6 +212,7 @@ class Span {
   }
 
   ~Span() {
+    if (framePushed_) prof_detail::popFrame();
     if (buf_ == nullptr) return;
     --buf_->depth;
     detail::tlsContext() = saved_;
@@ -227,6 +233,7 @@ class Span {
   std::uint64_t startNs_ = 0;
   std::uint32_t depth_ = 0;
   std::uint64_t spanId_ = 0;
+  bool framePushed_ = false;
   TraceContext saved_{};
 };
 

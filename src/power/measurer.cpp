@@ -7,6 +7,7 @@
 
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/trace.hpp"
 #include "power/observer.hpp"
 
@@ -361,6 +362,15 @@ MeasuredEnergy EnergyMeasurer::measure(
   out.executionTimeStats = timeProtocol.runBestEffort(observeTime);
 
   out.mean.dynamicEnergy = Joules{out.dynamicEnergyStats.mean};
+  // epprof energy profile: fold this protocol's attributed dynamic
+  // joules — the exact quantity the study ledger sums per config — onto
+  // the measuring thread's current stack, sliced by the request trace.
+  // Once per protocol, so the energy flamegraph total reconciles with
+  // RequestReport.attributedJoules.
+  if (obs::profilerArmed() && std::isfinite(out.dynamicEnergyStats.mean)) {
+    obs::Profiler::global().recordEnergySample(out.dynamicEnergyStats.mean,
+                                               obs::currentContext().traceId);
+  }
   out.mean.executionTime = Seconds{out.executionTimeStats.mean};
   const Seconds window = executionTime + tailWindow;
   out.mean.staticEnergy = basePower_ * window;

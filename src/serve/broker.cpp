@@ -133,9 +133,13 @@ Broker::Broker(std::shared_ptr<const TuningEngine> engine,
       breakerP100_(options.breaker),
       breakerK40c_(options.breaker),
       admission_(options.admission),
-      pool_(std::make_unique<ThreadPool>(options.threads)) {
+      pool_(std::make_unique<ThreadPool>(options.threads,
+                                         options.profileLabel)) {
   EP_REQUIRE(engine_ != nullptr, "broker needs an engine");
   EP_REQUIRE(options_.queueCapacity >= 1, "queue capacity must be >= 1");
+  // Every broker exposition (including federated cluster views)
+  // carries build identity.
+  obs::registerBuildInfo(registry_);
 }
 
 Broker::~Broker() { shutdown(); }

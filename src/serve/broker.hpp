@@ -51,6 +51,10 @@ namespace ep::serve {
 struct BrokerOptions {
   std::size_t threads = 0;        // 0 = hardware concurrency
   std::size_t queueCapacity = 64; // admitted-but-not-started jobs
+  // epprof root frame for this broker's worker threads (empty keeps the
+  // pool default "pool/worker"); the fleet router sets "shard/<id>" so
+  // cluster CPU/energy profiles partition by shard.
+  std::string profileLabel;
   std::size_t cacheCapacity = 128;
   // Applied to requests that carry no deadline; <= 0 keeps them
   // deadline-free.

@@ -386,6 +386,41 @@ std::optional<WireRequest> decodeRequest(const std::string& line,
     return req;
   }
 
+  if (*op == "profile") {
+    req.op = WireRequest::Op::Profile;
+    req.profileAction = getString(*obj, "action").value_or("status");
+    if (req.profileAction != "status" && req.profileAction != "start" &&
+        req.profileAction != "stop" && req.profileAction != "clear" &&
+        req.profileAction != "snapshot") {
+      return fail("unknown profile \"action\"");
+    }
+    req.profileKind = getString(*obj, "kind").value_or("cpu");
+    if (req.profileKind != "cpu" && req.profileKind != "energy") {
+      return fail("unknown profile \"kind\"");
+    }
+    req.profileFormat = getString(*obj, "format").value_or("collapsed");
+    if (req.profileFormat != "collapsed" && req.profileFormat != "speedscope") {
+      return fail("unknown profile \"format\"");
+    }
+    const double topN = getNumber(*obj, "topN").value_or(10.0);
+    if (topN < 0.0) return fail("profile \"topN\" must be >= 0");
+    req.profileTopN = static_cast<std::size_t>(topN);
+    const double periodUs = getNumber(*obj, "periodUs").value_or(10000.0);
+    if (!(periodUs >= 100.0)) {
+      return fail("profile \"periodUs\" must be >= 100");
+    }
+    req.profilePeriodUs = static_cast<std::uint64_t>(periodUs);
+    req.profileCpuSampling = getBool(*obj, "cpuSampling").value_or(true);
+    const auto scope = getString(*obj, "scope");
+    if (scope) {
+      if (*scope != "cluster" && *scope != "process") {
+        return fail("unknown profile \"scope\"");
+      }
+      req.clusterScope = (*scope == "cluster");
+    }
+    return req;
+  }
+
   if (*op == "fleet") {
     req.op = WireRequest::Op::Fleet;
     req.fleetAction = getString(*obj, "action").value_or("snapshot");
@@ -623,6 +658,45 @@ std::string encodeSloStatus(
           .add(wp + ".shortBurn", wb.shortBurn);
     }
   }
+  return w.str();
+}
+
+std::string encodeProfileStatus(bool running, std::size_t threads,
+                                const char* action) {
+  return ObjectWriter()
+      .add("status", "ok")
+      .add("action", action)
+      .add("running", running)
+      .add("threads", static_cast<std::uint64_t>(threads))
+      .str();
+}
+
+std::string encodeProfileSnapshot(const obs::ProfileSnapshot& snap,
+                                  const WireRequest& req) {
+  ObjectWriter w;
+  w.add("status", "ok")
+      .add("kind", obs::profileKindName(snap.kind))
+      .add("samples", snap.samples)
+      .add("totalWeight", snap.totalWeight)
+      .add("dropped", snap.dropped)
+      .add("truncated", snap.truncated)
+      .add("periodUs", snap.samplePeriodUs)
+      .add("stacks", static_cast<std::uint64_t>(snap.entries.size()))
+      .add("traces", static_cast<std::uint64_t>(snap.traces.size()));
+  const auto top = obs::topFrames(snap, req.profileTopN);
+  w.add("top", static_cast<std::uint64_t>(top.size()));
+  for (std::size_t i = 0; i < top.size(); ++i) {
+    const std::string p = "top." + std::to_string(i);
+    w.add(p + ".frame", top[i].frame)
+        .add(p + ".samples", top[i].samples)
+        .add(p + ".weight", top[i].weight)
+        .add(p + ".share", top[i].share);
+  }
+  w.add("body", req.profileFormat == "speedscope"
+                    ? obs::renderSpeedscope(
+                          snap, std::string("epprof-") +
+                                    obs::profileKindName(snap.kind))
+                    : obs::renderCollapsed(snap));
   return w.str();
 }
 

@@ -33,6 +33,7 @@
 #include <optional>
 #include <string>
 
+#include "obs/profile_export.hpp"
 #include "obs/slo.hpp"
 #include "obs/tsdb.hpp"
 #include "serve/metrics.hpp"
@@ -82,7 +83,17 @@ class ObjectWriter {
 enum class MetricsFormat { Json, Prometheus, OpenMetrics };
 
 struct WireRequest {
-  enum class Op { Tune, Study, Metrics, Trace, Events, Fleet, Tsdb, Slo };
+  enum class Op {
+    Tune,
+    Study,
+    Metrics,
+    Trace,
+    Events,
+    Fleet,
+    Tsdb,
+    Slo,
+    Profile
+  };
   Op op = Op::Tune;
   // For Op::Metrics: flat JSON snapshot (default), Prometheus 0.0.4
   // text, or OpenMetrics 1.0 text.
@@ -110,6 +121,20 @@ struct WireRequest {
   // ("kill"/"revive"/"remove"/"add") naming a shard.
   std::string fleetAction = "snapshot";
   std::string fleetShard;
+  // For Op::Profile: control + read the continuous profiler.
+  //   {"op":"profile","action":"start","periodUs":10000}
+  //   {"op":"profile","action":"snapshot","kind":"energy","topN":5}
+  //   {"op":"profile","action":"snapshot","format":"speedscope"}
+  // action: status (default) | start | stop | clear | snapshot.
+  // kind cpu|energy and topN/format shape the snapshot; "scope":
+  // "cluster" on epfleetd federates shard profiles (clusterScope
+  // above).  cpuSampling=false gives an energy-only start.
+  std::string profileAction = "status";
+  std::string profileKind = "cpu";
+  std::string profileFormat = "collapsed";  // collapsed | speedscope
+  std::size_t profileTopN = 10;
+  std::uint64_t profilePeriodUs = 10000;
+  bool profileCpuSampling = true;
   TuneRequest tune;
   StudyRequest study;
 };
@@ -148,6 +173,17 @@ struct WireRequest {
 // plus the active-alert total.
 [[nodiscard]] std::string encodeSloStatus(
     const std::vector<obs::SloEngine::SloStatus>& status);
+// {"op":"profile"} responses.  Status/start/stop/clear answer with the
+// run state; snapshot answers with totals, the top-N frames by
+// INCLUSIVE weight under flat keys ("top.<i>.frame" / ".weight" /
+// ".share" / ".samples") and the full profile as "body" (collapsed
+// stacks, or a speedscope JSON document when req.profileFormat says
+// so).  Weight units: seconds (cpu) / joules (energy).
+[[nodiscard]] std::string encodeProfileStatus(bool running,
+                                              std::size_t threads,
+                                              const char* action);
+[[nodiscard]] std::string encodeProfileSnapshot(
+    const obs::ProfileSnapshot& snap, const WireRequest& req);
 [[nodiscard]] std::string encodeError(const std::string& message);
 
 }  // namespace ep::serve::wire

@@ -21,6 +21,7 @@
 #include "chaos/chaos_engine.hpp"
 #include "common/error.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "pareto/front.hpp"
 #include "pareto/tradeoff.hpp"
 #include "fleet/policy.hpp"
@@ -825,6 +826,98 @@ TEST(Federation, RenderClusterMetricsSpeaksBothFormats) {
   ASSERT_GE(om.size(), 6u);
   EXPECT_EQ(om.substr(om.size() - 6), "# EOF\n");
   EXPECT_NE(om.find("ep_serve_completed_total 1"), std::string::npos);
+}
+
+TEST(Federation, BuildInfoGaugeSurvivesClusterShardLabeling) {
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+  // Every shard broker stamps ep_build_info into its private registry;
+  // the cluster merge must keep the build labels and add the shard tag.
+  const std::string prom =
+      router.renderClusterMetrics(obs::ExpositionFormat::Prometheus004);
+  for (const char* shard : {"s0", "s1"}) {
+    const std::string needle = std::string("shard=\"") + shard + "\"";
+    bool found = false;
+    std::size_t pos = prom.find("ep_build_info{");
+    while (pos != std::string::npos) {
+      const std::size_t eol = prom.find('\n', pos);
+      const std::string line = prom.substr(pos, eol - pos);
+      if (line.find(needle) != std::string::npos) {
+        found = true;
+        EXPECT_NE(line.find("git_hash=\""), std::string::npos) << line;
+        EXPECT_NE(line.find("build_type=\""), std::string::npos) << line;
+        EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+      }
+      pos = prom.find("ep_build_info{", eol);
+    }
+    EXPECT_TRUE(found) << "no ep_build_info for shard " << shard;
+  }
+}
+
+TEST(Federation, ClusterProfileFederatesShardStacksAndKeepsRouterFrames) {
+  obs::Profiler& prof = obs::Profiler::global();
+  obs::ProfilerOptions popts;
+  popts.cpuSampling = false;  // deterministic energy-only window
+  ASSERT_TRUE(prof.start(popts));
+  prof.clear();
+  auto engine = std::make_shared<FleetFakeEngine>();
+  FleetRouter router(shardConfigs(engine, 2));
+
+  // Deterministic energy records standing in for shard pool work: the
+  // root frames are exactly what the shard worker pools push.
+  {
+    obs::ProfileThreadLabel root("shard/s0");
+    obs::ProfileFrame kernel("kernel/dgemm");
+    prof.recordEnergySample(2.0, 0x42u);
+  }
+  {
+    obs::ProfileThreadLabel root("shard/s1");
+    obs::ProfileFrame kernel("kernel/fft2d");
+    prof.recordEnergySample(3.0, 0x42u);
+  }
+  {
+    obs::ProfileThreadLabel root("fleet/main");  // router-side stack
+    prof.recordEnergySample(1.0, 0u);
+  }
+  {
+    obs::ProfileThreadLabel root("shard/ghost");  // not a configured shard
+    prof.recordEnergySample(0.25, 0u);
+  }
+  prof.stop();
+
+  const auto shards = router.shardProfiles(obs::ProfileKind::Energy);
+  ASSERT_EQ(shards.size(), 2u);
+  EXPECT_EQ(shards[0].first, "s0");
+  ASSERT_EQ(shards[0].second.entries.size(), 1u);
+  // Per-shard partitions strip their own root frame.
+  EXPECT_EQ(shards[0].second.entries[0].stack,
+            (std::vector<std::string>{"kernel/dgemm"}));
+  EXPECT_DOUBLE_EQ(shards[0].second.totalWeight, 2.0);
+  EXPECT_EQ(shards[1].first, "s1");
+  EXPECT_DOUBLE_EQ(shards[1].second.totalWeight, 3.0);
+
+  // The cluster view re-merges the shard partitions (roots restored)
+  // and carries router-side frames plus unconfigured shard/* stacks.
+  const obs::ProfileSnapshot cluster =
+      router.clusterProfile(obs::ProfileKind::Energy);
+  EXPECT_EQ(cluster.samples, 4u);
+  EXPECT_DOUBLE_EQ(cluster.totalWeight, 6.25);
+  ASSERT_EQ(cluster.entries.size(), 4u);
+  EXPECT_EQ(cluster.entries[0].stack,
+            (std::vector<std::string>{"shard/s1", "kernel/fft2d"}));
+  EXPECT_EQ(cluster.entries[1].stack,
+            (std::vector<std::string>{"shard/s0", "kernel/dgemm"}));
+  EXPECT_EQ(cluster.entries[2].stack,
+            (std::vector<std::string>{"fleet/main"}));
+  EXPECT_EQ(cluster.entries[3].stack,
+            (std::vector<std::string>{"shard/ghost"}));
+
+  // Trace slices stay global: the fanned-out request sums both shards.
+  ASSERT_EQ(cluster.traces.size(), 2u);
+  EXPECT_EQ(cluster.traces[0].traceId, 0x42u);
+  EXPECT_DOUBLE_EQ(cluster.traces[0].weight, 5.0);
+  EXPECT_EQ(cluster.traces[0].samples, 2u);
+  prof.clear();
 }
 
 TEST(Federation, WireSnapshotCarriesPerShardLatencyAndQueueKeys) {

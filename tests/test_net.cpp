@@ -28,6 +28,10 @@
 
 #include "net/frame.hpp"
 #include "net/server.hpp"
+#include "obs/events.hpp"
+#include "obs/profiler.hpp"
+#include "obs/slo.hpp"
+#include "obs/tsdb.hpp"
 #include "serve/broker.hpp"
 #include "serve/engine.hpp"
 #include "serve/service.hpp"
@@ -417,8 +421,45 @@ class NetServiceEndToEnd : public ::testing::Test {
     hooks.study = [this](const serve::StudyRequest& r) {
       return broker_->study(r);
     };
-    hooks.control = [this](const serve::wire::WireRequest&) {
-      return serve::wire::encodeMetrics(broker_->metrics());
+    // The control plane mirrors epserved's op switch so reachability
+    // of the observability ops over both framings stays regression-
+    // tested here: tsdb reads a fixture-ingested store, slo a no-burn
+    // engine, profile the process profiler's status.
+    tsdbRegistry_.counter("tun_total", "Tunneled scrapes").inc(5);
+    tsdb_.ingest(tsdbRegistry_.snapshot(), 9 * 1000000000LL);
+    tsdbRegistry_.counter("tun_total", "Tunneled scrapes").inc(5);
+    tsdb_.ingest(tsdbRegistry_.snapshot(), 10 * 1000000000LL);
+    std::string sloError;
+    const auto spec = ep::obs::parseSloSpec("api=latency:0.5:0.99", &sloError);
+    ASSERT_TRUE(spec.has_value()) << sloError;
+    slo_ = std::make_unique<ep::obs::SloEngine>(
+        &tsdb_, std::vector<ep::obs::SloSpec>{*spec});
+    slo_->evaluate(10 * 1000000000LL);
+    hooks.control = [this](const serve::wire::WireRequest& req) {
+      using Op = serve::wire::WireRequest::Op;
+      switch (req.op) {
+        case Op::Events: {
+          std::string body;
+          for (const ep::obs::FlightEvent& e : slo_->events(req.eventsSince)) {
+            body += ep::obs::encodeFlightEventLine(e);
+            body += '\n';
+          }
+          return serve::wire::encodeEvents(slo_->activeAlerts(),
+                                           slo_->recorder().recorded(),
+                                           slo_->recorder().dropped(), body);
+        }
+        case Op::Tsdb:
+          return serve::wire::encodeTsdbResponse(tsdb_, req,
+                                                 10 * 1000000000LL);
+        case Op::Slo:
+          return serve::wire::encodeSloStatus(slo_->status());
+        case Op::Profile:
+          return serve::wire::encodeProfileStatus(
+              ep::obs::Profiler::global().running(),
+              ep::obs::Profiler::global().registeredThreads(), "status");
+        default:
+          return serve::wire::encodeMetrics(broker_->metrics());
+      }
     };
     service_ = std::make_unique<serve::NetService>(std::move(hooks));
     server_ = std::make_unique<Server>(ServerOptions{}, service_->handler());
@@ -436,6 +477,9 @@ class NetServiceEndToEnd : public ::testing::Test {
   std::unique_ptr<serve::Broker> broker_;
   std::unique_ptr<serve::NetService> service_;
   std::unique_ptr<Server> server_;
+  ep::obs::Registry tsdbRegistry_;
+  ep::obs::TimeSeriesStore tsdb_;
+  std::unique_ptr<ep::obs::SloEngine> slo_;
 };
 
 TEST_F(NetServiceEndToEnd, ServesJsonTunesAndControlOps) {
@@ -486,6 +530,67 @@ TEST_F(NetServiceEndToEnd, ServesBinaryTunesAndTunneledJson) {
   ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
   EXPECT_EQ(opcode, kOpJson);
   EXPECT_NE(payload.find("\"status\":\"ok\""), std::string::npos) << payload;
+  close(fd);
+}
+
+// Regression for the observability control plane over EPB1: every op
+// the line-JSON frontend answers must also be reachable through
+// kOpJson tunneling on a binary connection, in pipelined order.
+TEST_F(NetServiceEndToEnd, ObservabilityOpsTunnelOverBinaryFraming) {
+  const int fd = connectTo(server_->port());
+  std::string wire(kMagic, sizeof kMagic);
+  appendFrame(wire, kOpJson, "{\"op\":\"events\",\"since\":0}");
+  appendFrame(wire, kOpJson,
+              "{\"op\":\"tsdb\",\"series\":\"tun_total\",\"agg\":\"all\","
+              "\"windowMs\":60000}");
+  appendFrame(wire, kOpJson, "{\"op\":\"slo\"}");
+  appendFrame(wire, kOpJson, "{\"op\":\"profile\"}");
+  sendAll(fd, wire);
+
+  std::string buf;
+  std::uint8_t opcode = 0;
+  std::string payload;
+  std::string perr;
+
+  // events: totals present, no alerts from the quiet SLO engine.
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpJson);
+  auto obj = serve::wire::parseObject(payload, &perr);
+  ASSERT_TRUE(obj.has_value()) << payload << ": " << perr;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("alerts").number, 0.0);
+  ASSERT_NE(obj->find("recorded"), obj->end());
+  ASSERT_NE(obj->find("body"), obj->end());
+
+  // tsdb: the fixture ingested two scrapes of tun_total (5 then 10).
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpJson);
+  obj = serve::wire::parseObject(payload, &perr);
+  ASSERT_TRUE(obj.has_value()) << payload << ": " << perr;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("series").string, "tun_total");
+  EXPECT_EQ(obj->at("samples").number, 2.0);
+  EXPECT_EQ(obj->at("min").number, 5.0);
+  EXPECT_EQ(obj->at("max").number, 10.0);
+
+  // slo: one declared SLO, not burning without error history.
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpJson);
+  obj = serve::wire::parseObject(payload, &perr);
+  ASSERT_TRUE(obj.has_value()) << payload << ": " << perr;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("slos").number, 1.0);
+  EXPECT_EQ(obj->at("burning").number, 0.0);
+  EXPECT_FALSE(obj->at("slo.api.burning").boolean);
+
+  // profile: the status op answers even with the profiler disarmed.
+  ASSERT_TRUE(recvFrame(fd, &buf, &opcode, &payload));
+  EXPECT_EQ(opcode, kOpJson);
+  obj = serve::wire::parseObject(payload, &perr);
+  ASSERT_TRUE(obj.has_value()) << payload << ": " << perr;
+  EXPECT_EQ(obj->at("status").string, "ok");
+  EXPECT_EQ(obj->at("action").string, "status");
+  ASSERT_NE(obj->find("running"), obj->end());
   close(fd);
 }
 

@@ -26,6 +26,8 @@
 #include "hw/spec.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profile_export.hpp"
+#include "obs/profiler.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "obs/tsdb.hpp"
@@ -55,6 +57,15 @@ using ep::obs::TimeSeriesStore;
 using ep::obs::TraceContext;
 using ep::obs::TraceEvent;
 using ep::obs::Tracer;
+
+using ep::obs::ProfileEntry;
+using ep::obs::ProfileFrame;
+using ep::obs::ProfileKind;
+using ep::obs::Profiler;
+using ep::obs::ProfilerOptions;
+using ep::obs::ProfileSnapshot;
+using ep::obs::ProfileThreadLabel;
+using ep::obs::TraceSlice;
 
 // ---------------------------------------------------------------------------
 // Registry
@@ -1572,6 +1583,496 @@ TEST(Instrumentation, StudyRunEmitsPhaseSpansAndCounters) {
   EXPECT_LE(insideNs, workloadEnd - workloadStart);
   EXPECT_GE(static_cast<double>(insideNs),
             0.5 * static_cast<double>(workloadEnd - workloadStart));
+}
+
+// ---------------------------------------------------------------------------
+// epprof: continuous profiler
+//
+// Profiler::global() is process state (signal dispositions, timers),
+// so every test here arms, clears, and disarms around its own window.
+
+TEST(Profiler, EnergyRecordsFoldOntoStacksAndTraceSlices) {
+  Profiler& prof = Profiler::global();
+  ProfilerOptions opts;
+  opts.cpuSampling = false;  // deterministic: no signals, no timers
+  ASSERT_TRUE(prof.start(opts));
+  prof.clear();
+  {
+    ProfileThreadLabel root("test/main");
+    {
+      ProfileFrame kernel("test/kernel_a");
+      ScopedTraceContext scope(TraceContext{0xABu, 0u});
+      prof.recordEnergySample(2.0, ep::obs::currentContext().traceId);
+      prof.recordEnergySample(1.5, ep::obs::currentContext().traceId);
+    }
+    {
+      ProfileFrame kernel("test/kernel_b");
+      prof.recordEnergySample(0.5, 0);  // untraced window
+    }
+    // Faulted windows (negative / NaN) must not poison the profile.
+    prof.recordEnergySample(-1.0, 0);
+    prof.recordEnergySample(std::numeric_limits<double>::quiet_NaN(), 0);
+  }
+  prof.stop();
+
+  const ProfileSnapshot snap = prof.snapshot(ProfileKind::Energy);
+  EXPECT_EQ(snap.samples, 3u);
+  EXPECT_DOUBLE_EQ(snap.totalWeight, 4.0);
+  EXPECT_EQ(snap.samplePeriodUs, 0u);  // energy profiles carry no period
+  ASSERT_EQ(snap.entries.size(), 2u);
+  // Weight-descending, root-first stacks.
+  EXPECT_EQ(snap.entries[0].stack,
+            (std::vector<std::string>{"test/main", "test/kernel_a"}));
+  EXPECT_EQ(snap.entries[0].samples, 2u);
+  EXPECT_DOUBLE_EQ(snap.entries[0].weight, 3.5);
+  EXPECT_EQ(snap.entries[1].stack,
+            (std::vector<std::string>{"test/main", "test/kernel_b"}));
+  EXPECT_DOUBLE_EQ(snap.entries[1].weight, 0.5);
+  // Per-trace slices: the traced request owns 3.5 J, slice 0 the rest.
+  ASSERT_EQ(snap.traces.size(), 2u);
+  EXPECT_EQ(snap.traces[0].traceId, 0xABu);
+  EXPECT_DOUBLE_EQ(snap.traces[0].weight, 3.5);
+  EXPECT_EQ(snap.traces[0].samples, 2u);
+  EXPECT_EQ(snap.traces[1].traceId, 0u);
+  EXPECT_DOUBLE_EQ(snap.traces[1].weight, 0.5);
+  prof.clear();
+}
+
+TEST(Profiler, DisarmedRecordingIsANoOpAndSpansPushNoFrames) {
+  Profiler& prof = Profiler::global();
+  ASSERT_FALSE(prof.running());
+  prof.clear();
+  {
+    ProfileFrame kernel("test/never");  // disarmed: not pushed
+    prof.recordEnergySample(7.0, 0);    // disarmed: dropped
+  }
+  const ProfileSnapshot snap = prof.snapshot(ProfileKind::Energy);
+  EXPECT_EQ(snap.samples, 0u);
+  EXPECT_DOUBLE_EQ(snap.totalWeight, 0.0);
+  EXPECT_TRUE(snap.entries.empty());
+}
+
+// The TSan signal-safety smoke the issue pins: arm real SIGPROF
+// sampling, hammer Span push/pop from several busy threads, and
+// require samples to aggregate without a crash, race report, or
+// unbounded drop count.
+TEST(Profiler, CpuSamplingSmokeAcrossBusyThreads) {
+  Profiler& prof = Profiler::global();
+  ProfilerOptions opts;
+  opts.samplePeriodUs = 1000;  // 1 kHz of per-thread CPU time: fast smoke
+  opts.aggregateIntervalMs = 5;
+  ASSERT_TRUE(prof.start(opts));
+  EXPECT_FALSE(prof.start(opts));  // second start is a rejected no-op
+  prof.clear();
+
+  std::atomic<bool> stopFlag{false};
+  std::atomic<std::uint64_t> spins{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stopFlag, &spins] {
+      ProfileThreadLabel root("test/worker");
+      Profiler::global().registerCurrentThread();
+      double acc = 1.0;
+      while (!stopFlag.load(std::memory_order_relaxed)) {
+        Span burn("test/burn");
+        for (int i = 0; i < 4096; ++i) {
+          acc += std::sqrt(acc + static_cast<double>(i));
+        }
+        spins.fetch_add(acc > 0.0 ? 1 : 0, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // CPU-time timers only fire while threads burn cycles, so a busy
+  // quartet at 1 kHz reaches 64 samples almost immediately; the
+  // deadline is generous for sanitizer builds.
+  ProfileSnapshot snap;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  do {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    snap = prof.snapshot(ProfileKind::Cpu);
+  } while (snap.samples < 64 &&
+           std::chrono::steady_clock::now() < deadline);
+  stopFlag.store(true);
+  for (std::thread& w : workers) w.join();
+  prof.stop();
+  EXPECT_FALSE(prof.running());
+
+  snap = prof.snapshot(ProfileKind::Cpu);
+  EXPECT_GE(snap.samples, 64u) << "no SIGPROF samples after 30 s of burn";
+  EXPECT_EQ(snap.samplePeriodUs, 1000u);
+  // Every CPU sample weighs exactly one period.
+  EXPECT_NEAR(snap.totalWeight, static_cast<double>(snap.samples) * 1e-3,
+              1e-9);
+  ASSERT_FALSE(snap.entries.empty());
+  // The worker root label must anchor sampled stacks.
+  std::uint64_t rooted = 0;
+  for (const ProfileEntry& e : snap.entries) {
+    ASSERT_FALSE(e.stack.empty());
+    if (e.stack.front() == "test/worker") rooted += e.samples;
+  }
+  EXPECT_GT(rooted, 0u);
+  prof.clear();
+
+  // Stop/start cycling: a fresh window arms cleanly after a full stop.
+  ASSERT_TRUE(prof.start(opts));
+  prof.stop();
+}
+
+// The pinned reconciliation criterion: an energy-weighted profile of a
+// fault-free metered study sweep must sum to the request ledger's
+// attributed joules within 5 %, with the DGEMM kernel frame owning the
+// profile (what the ci.sh drill asserts over the wire).
+TEST(Profiler, EnergyProfileReconcilesWithStudyLedger) {
+  Profiler& prof = Profiler::global();
+  ProfilerOptions opts;
+  opts.cpuSampling = false;  // energy-only: bit-deterministic study
+  ASSERT_TRUE(prof.start(opts));
+  prof.clear();
+
+  ep::apps::GpuMatMulOptions mopts;
+  mopts.totalProducts = 4;
+  mopts.bsMax = 8;
+  mopts.useMeter = true;
+  mopts.meter.sampleInterval = ep::Seconds{0.02};
+  mopts.meter.randomPhase = false;
+  mopts.measurement.minRepetitions = 3;
+  mopts.measurement.maxRepetitions = 12;
+  ep::apps::GpuMatMulApp app(ep::hw::GpuModel(ep::hw::nvidiaK40c()), mopts);
+  ep::core::GpuEpStudy study(app);
+  ep::Rng rng(17);
+  const auto result = study.runWorkload(2048, rng);
+  prof.stop();
+
+  ASSERT_FALSE(result.data.empty());
+  const auto ledger = ep::core::attributeEnergy(result);
+  ASSERT_GT(ledger.joules, 0.0);
+
+  const ProfileSnapshot snap = prof.snapshot(ProfileKind::Energy);
+  // One energy sample per finished measurement protocol = per config.
+  EXPECT_EQ(snap.samples, result.data.size());
+  EXPECT_NEAR(snap.totalWeight, ledger.joules, 0.05 * ledger.joules);
+  // The kernel marker frame carries (inclusively) the whole profile.
+  const auto top = ep::obs::topFrames(snap, 0);
+  ASSERT_FALSE(top.empty());
+  bool sawKernel = false;
+  for (const auto& f : top) {
+    if (f.frame == "kernel/dgemm") {
+      sawKernel = true;
+      EXPECT_GT(f.share, 0.95) << "kernel frame no longer dominates";
+    }
+  }
+  EXPECT_TRUE(sawKernel) << "kernel/dgemm missing from the energy profile";
+  prof.clear();
+}
+
+// --- export schemas ---
+
+ProfileSnapshot syntheticEnergySnapshot() {
+  ProfileSnapshot snap;
+  snap.kind = ProfileKind::Energy;
+  snap.samples = 4;
+  ProfileEntry a;
+  a.stack = {"serve/main", "kernel/dgemm"};
+  a.samples = 3;
+  a.weight = 2.5;
+  ProfileEntry b;
+  b.stack = {"serve/main", "\"quoted\\frame\""};
+  b.samples = 1;
+  b.weight = 0.5;
+  snap.entries = {a, b};
+  snap.totalWeight = 3.0;
+  TraceSlice t;
+  t.traceId = 0xFEEDu;
+  t.samples = 3;
+  t.weight = 2.5;
+  snap.traces = {t};
+  return snap;
+}
+
+TEST(ProfileExport, CollapsedStacksRoundTripCountsAndSkipZeroes) {
+  ProfileSnapshot snap = syntheticEnergySnapshot();
+  snap.entries[1].weight = 0.0;  // zero µJ: line must be skipped
+  const std::string text = ep::obs::renderCollapsed(snap);
+  // Energy counts are rounded microjoules; 2.5 J = 2.5e6 µJ.
+  EXPECT_EQ(text, "serve/main;kernel/dgemm 2500000\n");
+
+  ProfileSnapshot cpu = syntheticEnergySnapshot();
+  cpu.kind = ProfileKind::Cpu;
+  const std::string cpuText = ep::obs::renderCollapsed(cpu);
+  // CPU counts are raw sample counts, every frame ';'-joined.
+  EXPECT_NE(cpuText.find("serve/main;kernel/dgemm 3\n"), std::string::npos);
+  EXPECT_NE(cpuText.find(" 1\n"), std::string::npos);
+  // Each line is "stack count": one space, integer tail.
+  std::size_t start = 0;
+  while (start < cpuText.size()) {
+    const std::size_t nl = cpuText.find('\n', start);
+    ASSERT_NE(nl, std::string::npos);
+    const std::string line = cpuText.substr(start, nl - start);
+    const std::size_t sp = line.rfind(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(std::stoull(line.substr(sp + 1)), 0u);
+    start = nl + 1;
+  }
+}
+
+TEST(ProfileExport, SpeedscopeDocumentIsSchemaValidViaWireParser) {
+  const ProfileSnapshot snap = syntheticEnergySnapshot();
+  const std::string doc = ep::obs::renderSpeedscope(snap, "unit-test");
+  EXPECT_NE(
+      doc.find("\"$schema\":\"https://www.speedscope.app/"
+               "file-format-schema.json\""),
+      std::string::npos);
+  EXPECT_NE(doc.find("\"type\":\"sampled\""), std::string::npos);
+  EXPECT_NE(doc.find("\"activeProfileIndex\":0"), std::string::npos);
+  EXPECT_NE(doc.find("\"exporter\":\"epprof\""), std::string::npos);
+  // Energy profiles are unit-less weights; CPU would say "seconds".
+  EXPECT_NE(doc.find("\"unit\":\"none\""), std::string::npos);
+
+  // Frame objects are emitted one per line precisely so the in-tree
+  // flat parser can validate them, mirroring the Chrome trace test.
+  const std::size_t open = doc.find("\"frames\":[\n");
+  ASSERT_NE(open, std::string::npos);
+  std::size_t cursor = open + std::string("\"frames\":[\n").size();
+  std::size_t frameCount = 0;
+  while (doc.compare(cursor, 1, "]") != 0) {
+    const std::size_t nl = doc.find('\n', cursor);
+    ASSERT_NE(nl, std::string::npos);
+    std::string line = doc.substr(cursor, nl - cursor);
+    if (!line.empty() && line.back() == ',') line.pop_back();
+    std::string perr;
+    const auto obj = ep::serve::wire::parseObject(line, &perr);
+    ASSERT_TRUE(obj.has_value()) << line << ": " << perr;
+    const auto it = obj->find("name");
+    ASSERT_NE(it, obj->end());
+    EXPECT_EQ(it->second.kind, ep::serve::wire::Value::Kind::String);
+    EXPECT_FALSE(it->second.string.empty());
+    ++frameCount;
+    cursor = nl + 1;
+  }
+  // 3 distinct frames interned once each ("serve/main" shared).
+  EXPECT_EQ(frameCount, 3u);
+  // One sample row and one weight per entry.
+  const std::size_t samplesPos = doc.find("\"samples\":[[");
+  ASSERT_NE(samplesPos, std::string::npos);
+  const std::size_t weightsPos = doc.find("\"weights\":[");
+  ASSERT_NE(weightsPos, std::string::npos);
+  EXPECT_NE(doc.find("\"endValue\":3"), std::string::npos);
+}
+
+TEST(ProfileExport, TopFramesAreInclusiveWithRecursionDedup) {
+  ProfileSnapshot snap;
+  snap.kind = ProfileKind::Cpu;
+  ProfileEntry ab;
+  ab.stack = {"a", "b"};
+  ab.samples = 3;
+  ab.weight = 3.0;
+  ProfileEntry aba;  // recursive: 'a' appears twice, counts once
+  aba.stack = {"a", "b", "a"};
+  aba.samples = 1;
+  aba.weight = 1.0;
+  ProfileEntry c;
+  c.stack = {"c"};
+  c.samples = 6;
+  c.weight = 6.0;
+  snap.entries = {ab, aba, c};
+  snap.samples = 10;
+  snap.totalWeight = 10.0;
+
+  const auto top = ep::obs::topFrames(snap, 0);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0].frame, "c");
+  EXPECT_DOUBLE_EQ(top[0].weight, 6.0);
+  EXPECT_DOUBLE_EQ(top[0].share, 0.6);
+  // a and b both cover the two a;b stacks: inclusive weight 4 each.
+  EXPECT_EQ(top[1].frame, "a");
+  EXPECT_DOUBLE_EQ(top[1].weight, 4.0);
+  EXPECT_EQ(top[1].samples, 4u);
+  EXPECT_EQ(top[2].frame, "b");
+  EXPECT_DOUBLE_EQ(top[2].weight, 4.0);
+
+  // topN truncates after ranking.
+  EXPECT_EQ(ep::obs::topFrames(snap, 1).size(), 1u);
+  EXPECT_EQ(ep::obs::topFrames(snap, 1)[0].frame, "c");
+}
+
+TEST(ProfileExport, MergeProfileSnapshotsPrefixesShardRootsAndSumsTraces) {
+  ProfileSnapshot s0;
+  s0.kind = ProfileKind::Energy;
+  ProfileEntry e0;
+  e0.stack = {"kernel/dgemm"};
+  e0.samples = 2;
+  e0.weight = 2.0;
+  s0.entries = {e0};
+  s0.samples = 2;
+  s0.totalWeight = 2.0;
+  TraceSlice t0;
+  t0.traceId = 0x42u;
+  t0.samples = 2;
+  t0.weight = 2.0;
+  s0.traces = {t0};
+
+  ProfileSnapshot s1;
+  s1.kind = ProfileKind::Energy;
+  ProfileEntry e1;
+  e1.stack = {"kernel/fft2d"};
+  e1.samples = 1;
+  e1.weight = 5.0;
+  s1.entries = {e1};
+  s1.samples = 1;
+  s1.totalWeight = 5.0;
+  TraceSlice t1;  // same request fanned out across both shards
+  t1.traceId = 0x42u;
+  t1.samples = 1;
+  t1.weight = 5.0;
+  s1.traces = {t1};
+
+  const ProfileSnapshot merged =
+      ep::obs::mergeProfileSnapshots({{"s0", s0}, {"s1", s1}});
+  EXPECT_EQ(merged.kind, ProfileKind::Energy);
+  EXPECT_EQ(merged.samples, 3u);
+  EXPECT_DOUBLE_EQ(merged.totalWeight, 7.0);
+  ASSERT_EQ(merged.entries.size(), 2u);
+  // Weight-descending; every stack gains its shard root.
+  EXPECT_EQ(merged.entries[0].stack,
+            (std::vector<std::string>{"shard/s1", "kernel/fft2d"}));
+  EXPECT_EQ(merged.entries[1].stack,
+            (std::vector<std::string>{"shard/s0", "kernel/dgemm"}));
+  // The cross-shard trace slice sums instead of duplicating.
+  ASSERT_EQ(merged.traces.size(), 1u);
+  EXPECT_EQ(merged.traces[0].traceId, 0x42u);
+  EXPECT_EQ(merged.traces[0].samples, 3u);
+  EXPECT_DOUBLE_EQ(merged.traces[0].weight, 7.0);
+}
+
+// ---------------------------------------------------------------------------
+// eptsdb satellites: scraper lifecycle cycling and quantile reads that
+// straddle a series-ring wraparound (exercised under TSan in ci.sh).
+
+TEST(Tsdb, ScraperStartStopStartCyclesCleanly) {
+  TimeSeriesStore store;
+  Registry r;
+  Histogram& h = r.histogram("cyc_ms", "Latency", {1.0, 10.0});
+  h.observe(0.5);
+  Scraper::Options opts;
+  opts.intervalMs = 1;
+  Scraper scraper(&store, [&r] { return r.snapshot(); }, opts);
+
+  // Concurrent quantile reads while the background scraper ingests:
+  // the satellite's TSan surface.
+  std::atomic<bool> stopReader{false};
+  std::thread reader([&store, &stopReader] {
+    while (!stopReader.load(std::memory_order_relaxed)) {
+      (void)store.histogramQuantile(
+          "cyc_ms", 0.5, 0, std::numeric_limits<std::int64_t>::max());
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  scraper.start();
+  while (scraper.scrapes() < 3) {
+    h.observe(5.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scraper.stop();
+  const std::uint64_t firstRun = scraper.scrapes();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scraper.scrapes(), firstRun);  // fully stopped
+
+  // Restart resumes into the same store with a fresh thread.
+  scraper.start();
+  while (scraper.scrapes() < firstRun + 3) {
+    h.observe(5.0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  scraper.stop();
+  stopReader.store(true);
+  reader.join();
+  const std::uint64_t total = scraper.scrapes();
+  EXPECT_GE(total, firstRun + 3);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(scraper.scrapes(), total);  // second stop is clean too
+  EXPECT_GE(store
+                .range("cyc_ms_count", 0,
+                       std::numeric_limits<std::int64_t>::max())
+                .size(),
+            3u);
+}
+
+TEST(Tsdb, QuantileReadsStraddleSeriesRingWraparound) {
+  // A 4-slot ring receiving 10 scrapes: the retained window is scrapes
+  // 7..10, so the quantile must be computed from post-wrap deltas.
+  TimeSeriesStore store(4);
+  Registry r;
+  Histogram& h = r.histogram("wrapq_ms", "Latency", {1.0, 10.0});
+  for (int t = 1; t <= 10; ++t) {
+    // Scrapes 1..8 add in-bound observations, 9..10 add outliers.
+    h.observe(t <= 8 ? 5.0 : 100.0);
+    store.ingest(r.snapshot(), static_cast<std::int64_t>(t) * 1000000000);
+  }
+  const auto retained = store.range(
+      "wrapq_ms_count", 0, std::numeric_limits<std::int64_t>::max());
+  ASSERT_EQ(retained.size(), 4u);  // the ring wrapped: only 7..10 live
+  EXPECT_DOUBLE_EQ(retained.front().value, 7.0);
+  EXPECT_DOUBLE_EQ(retained.back().value, 10.0);
+
+  // Window deltas across the wrap: scrape 7 -> 10 adds one 5.0 (t=8)
+  // and two 100.0s, so low quantiles resolve in (1,10] and high ones
+  // escape to +Inf.
+  const std::int64_t lo = 0;
+  const std::int64_t hi = std::numeric_limits<std::int64_t>::max();
+  EXPECT_DOUBLE_EQ(store.histogramQuantile("wrapq_ms", 0.25, lo, hi), 10.0);
+  EXPECT_TRUE(std::isinf(store.histogramQuantile("wrapq_ms", 0.9, lo, hi)));
+}
+
+// ---------------------------------------------------------------------------
+// ep_build_info satellite: the info gauge is stamped on the global
+// registry and on explicit registries, idempotently, and its labels
+// survive federation shard-labeling.
+
+TEST(BuildInfo, StampedOnGlobalRegistryWithLabels) {
+  const std::string text = Registry::global().renderPrometheus();
+  const std::size_t pos = text.find("ep_build_info{");
+  ASSERT_NE(pos, std::string::npos) << "global registry lacks ep_build_info";
+  const std::size_t eol = text.find('\n', pos);
+  const std::string line = text.substr(pos, eol - pos);
+  EXPECT_NE(line.find("git_hash=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("build_type=\""), std::string::npos) << line;
+  EXPECT_NE(line.find("compiler=\""), std::string::npos) << line;
+  EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+}
+
+TEST(BuildInfo, RegistrationIsIdempotentAndSurvivesShardMerge) {
+  Registry s0;
+  ep::obs::registerBuildInfo(s0);
+  ep::obs::registerBuildInfo(s0);  // second stamp: same gauge, still 1
+  Registry s1;
+  ep::obs::registerBuildInfo(s1);
+
+  const RegistrySnapshot merged = ep::obs::mergeShardSnapshots(
+      {{"s0", s0.snapshot()}, {"s1", s1.snapshot()}});
+  const std::string text =
+      ep::obs::renderExposition(merged, ExpositionFormat::Prometheus004);
+  // Info gauges stay per shard: one labeled series each, value 1, with
+  // the build labels intact next to the appended shard label.
+  for (const char* shard : {"s0", "s1"}) {
+    const std::string needle = std::string("shard=\"") + shard + "\"";
+    std::size_t pos = text.find("ep_build_info{");
+    bool found = false;
+    while (pos != std::string::npos) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::string line = text.substr(pos, eol - pos);
+      if (line.find(needle) != std::string::npos) {
+        found = true;
+        EXPECT_NE(line.find("git_hash=\""), std::string::npos) << line;
+        EXPECT_EQ(line.substr(line.size() - 2), " 1") << line;
+      }
+      pos = text.find("ep_build_info{", eol);
+    }
+    EXPECT_TRUE(found) << "no ep_build_info for shard " << shard;
+  }
+  lintExposition(text);
 }
 
 }  // namespace

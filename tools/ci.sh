@@ -20,6 +20,52 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 FAST=0
 [[ "${1:-}" == "--fast" ]] && FAST=1
 
+# Profiler smoke drill, parameterised on the build flavour.  Arms the
+# always-on profiler over the wire on a *metered* daemon, pushes a
+# cold tune spread (every request executes a metered study sweep — the
+# repetition loop under the kernel frame is the dominant CPU cost),
+# and requires that (a) the CPU profile finds the dgemm kernel frame
+# dominant, (b) so does the energy flamegraph, and (c) the energy
+# profile's total weight reconciles with the request ledger's summed
+# attributed joules within 5%.  Running it against the sanitizer builds
+# puts the SIGPROF handler, the per-thread sample rings, and the
+# energy-sample fold under TSan and ASan+UBSan on a live daemon.
+profiler_drill() {
+  local BUILD_DIR="$1"
+  echo "== epprof drill (${BUILD_DIR}): kernel-dominant profile vs ledger =="
+  local DRILL_LOG
+  DRILL_LOG="$(mktemp)"
+  "./${BUILD_DIR}/tools/epserved" --port 0 --threads 2 --meter \
+    >"${DRILL_LOG}" 2>&1 &
+  SERVED_PID=$!
+  trap 'kill "${SERVED_PID}" 2>/dev/null || true' EXIT
+  for _ in $(seq 1 100); do
+    grep -q "listening on" "${DRILL_LOG}" && break
+    sleep 0.1
+  done
+  PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "${DRILL_LOG}")"
+  [[ -n "${PORT}" ]] || { echo "epserved (epprof drill) did not start"; cat "${DRILL_LOG}"; exit 1; }
+  # 1 kHz so even a fast metered sweep yields a solid CPU sample set.
+  "./${BUILD_DIR}/tools/epprof" --port "${PORT}" --start --period-us 1000
+  REPORT="$("./${BUILD_DIR}/tools/epserve_client" --port "${PORT}" \
+    --requests 4 --device k40c --n 256,320,384,448 --report)"
+  echo "${REPORT}" | grep "attributed energy"
+  JOULES="$(echo "${REPORT}" \
+    | sed -n 's/^attributed energy: \([0-9.eE+-]*\) J over.*/\1/p')"
+  [[ -n "${JOULES}" ]] || { echo "no attributed-energy line in client report"; exit 1; }
+  "./${BUILD_DIR}/tools/epprof" --port "${PORT}" --kind cpu \
+    --check kernel/dgemm --min-share 0.5
+  "./${BUILD_DIR}/tools/epprof" --port "${PORT}" --kind energy \
+    --check kernel/dgemm --min-share 0.9
+  "./${BUILD_DIR}/tools/epprof" --port "${PORT}" --kind energy \
+    --check-total "${JOULES}" --tol 0.05
+  "./${BUILD_DIR}/tools/epprof" --port "${PORT}" --stop
+  kill "${SERVED_PID}" 2>/dev/null || true
+  wait "${SERVED_PID}" 2>/dev/null || true
+  trap - EXIT
+  rm -f "${DRILL_LOG}"
+}
+
 echo "== tier-1: configure + build (-Wall -Wextra) + ctest =="
 cmake -B build -S .
 cmake --build build -j "${JOBS}"
@@ -214,6 +260,8 @@ wait "${FLEETD_PID}" 2>/dev/null || true
 trap - EXIT
 rm -f "${SMOKE_LOG}"
 
+profiler_drill build
+
 if [[ "${FAST}" == "1" ]]; then
   echo "== skipping sanitizer configurations (--fast) =="
   exit 0
@@ -226,7 +274,7 @@ cmake -B build-tsan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=thread -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
 cmake --build build-tsan -j "${JOBS}" --target test_serve test_common test_obs \
-  test_apps test_fleet test_net test_chaos
+  test_apps test_fleet test_net test_chaos epserved epserve_client epprof
 # halt_on_error: any reported race fails the run, not just the exit
 # status of the last test.  test_apps covers the parallel study engine
 # (pool-backed runWorkload/runSweep, nested parallelFor); test_serve
@@ -245,6 +293,11 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_net
 # the faulty transport against a live server (reconnects racing the
 # event loop's eviction path).
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/test_chaos
+# Live-daemon profiler drill under TSan: the SIGPROF handler racing the
+# aggregator thread and the broker pool is exactly what TSan is for.
+export TSAN_OPTIONS="halt_on_error=1"
+profiler_drill build-tsan
+unset TSAN_OPTIONS
 
 echo "== ASan+UBSan: fault injection + robust measurement + wire parser =="
 cmake -B build-asan -S . \
@@ -253,7 +306,8 @@ cmake -B build-asan -S . \
   -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -g -O1" \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
 cmake --build build-asan -j "${JOBS}" --target test_fault test_power \
-  test_serve test_core test_obs test_fleet test_net test_chaos
+  test_serve test_core test_obs test_fleet test_net test_chaos \
+  epserved epserve_client epprof
 # detect_leaks flushes out meter/journal ownership bugs; the fault tests
 # exercise every injected-corruption branch, the serve tests the
 # malformed-frame corpus, test_core the checkpoint journal I/O, test_obs
@@ -271,5 +325,10 @@ ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_net
 # test_chaos injects the corruption the parser must survive on purpose:
 # flipped varint bytes, truncated frames, and mid-stream disconnects.
 ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/test_chaos
+# Live-daemon profiler drill under ASan+UBSan: sample-ring indexing,
+# stack-copy bounds, and the export encoders on a real serve workload.
+export ASAN_OPTIONS="detect_leaks=1"
+profiler_drill build-asan
+unset ASAN_OPTIONS
 
 echo "== ci.sh: all green =="

@@ -303,6 +303,41 @@ std::string handleControlOp(const ep::serve::wire::WireRequest& req,
       return ep::serve::wire::encodeSloStatus(slo->status());
     case WireRequest::Op::Fleet:
       return handleFleetOp(router, req);
+    case WireRequest::Op::Profile: {
+      ep::obs::Profiler& prof = ep::obs::Profiler::global();
+      if (req.profileAction == "start") {
+        ep::obs::ProfilerOptions popts;
+        popts.samplePeriodUs = req.profilePeriodUs;
+        popts.cpuSampling = req.profileCpuSampling;
+        const bool started = prof.start(popts);
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(),
+            started ? "start" : "already_running");
+      }
+      if (req.profileAction == "stop") {
+        prof.stop();
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(), "stop");
+      }
+      if (req.profileAction == "clear") {
+        prof.clear();
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(), "clear");
+      }
+      if (req.profileAction == "snapshot") {
+        const ep::obs::ProfileKind kind = req.profileKind == "energy"
+                                              ? ep::obs::ProfileKind::Energy
+                                              : ep::obs::ProfileKind::Cpu;
+        // Cluster scope federates shard profiles (stacks partitioned by
+        // the shard/<id> roots, merged back like clusterSnapshot()).
+        return ep::serve::wire::encodeProfileSnapshot(
+            req.clusterScope ? router.clusterProfile(kind)
+                             : ep::obs::Profiler::global().snapshot(kind),
+            req);
+      }
+      return ep::serve::wire::encodeProfileStatus(
+          prof.running(), prof.registeredThreads(), "status");
+    }
     case WireRequest::Op::Tune:
     case WireRequest::Op::Study:
       break;  // handled by NetService, never routed here
@@ -434,6 +469,10 @@ int main(int argc, char** argv) {
                            healthArmed);
   };
   ep::serve::NetService service(std::move(hooks));
+
+  // epprof: register the main thread for continuous profiles.
+  ep::obs::ProfileThreadLabel profileRoot("fleet/main");
+  ep::obs::Profiler::global().registerCurrentThread();
 
   ep::net::ServerOptions netOpts;
   netOpts.port = args.port;

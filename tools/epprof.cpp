@@ -1,0 +1,384 @@
+// epprof — client for the continuous profiler on epserved / epfleetd.
+//
+// Usage:
+//   epprof [--host H] [--port P] [--kind cpu|energy] [--scope cluster]
+//          [--top N] [--interval-ms MS] [--once]
+//          [--start] [--period-us US] [--energy-only] [--stop] [--clear]
+//          [--collapse FILE] [--speedscope FILE]
+//          [--check FRAME --min-share X]
+//          [--check-total J --tol FRAC]
+//
+// Default mode is a live "top frames" view (inclusive weight and share
+// per frame label), repainted every interval until interrupted; --once
+// renders a single frame.  Control flags (--start/--stop/--clear) act
+// and exit.  --collapse / --speedscope fetch one snapshot and write the
+// flamegraph input file.  The check flags are the scriptable face the
+// ci.sh profiler drill uses:
+//   --check FRAME --min-share X   exit 2 unless FRAME's inclusive share
+//                                 of the profile weight is >= X
+//   --check-total J --tol FRAC    exit 2 unless the profile's total
+//                                 weight matches J within FRAC
+//                                 (|total - J| <= FRAC * max(J, eps))
+//
+// Exit status: 0 ok / checks passed; 1 transport or server error;
+// 2 a check failed.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <csignal>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+
+#include "serve/wire.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t gStop = 0;
+void handleStopSignal(int) { gStop = 1; }
+
+struct Args {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7070;
+  std::string kind = "cpu";
+  bool cluster = false;
+  std::size_t top = 20;
+  std::int64_t intervalMs = 1000;
+  bool once = false;
+  bool start = false;
+  std::uint64_t periodUs = 10000;
+  bool energyOnly = false;
+  bool stop = false;
+  bool clear = false;
+  std::string collapseFile;
+  std::string speedscopeFile;
+  std::string checkFrame;
+  double minShare = 0.5;
+  double checkTotal = -1.0;
+  double tol = 0.05;
+};
+
+bool parseArgs(int argc, char** argv, Args* a) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return (i + 1 < argc) ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (arg == "--host" && (v = next())) {
+      a->host = v;
+    } else if (arg == "--port" && (v = next())) {
+      a->port = static_cast<std::uint16_t>(std::stoi(v));
+    } else if (arg == "--kind" && (v = next())) {
+      a->kind = v;
+      if (a->kind != "cpu" && a->kind != "energy") return false;
+    } else if (arg == "--scope" && (v = next())) {
+      if (std::string(v) == "cluster") {
+        a->cluster = true;
+      } else if (std::string(v) != "process") {
+        return false;
+      }
+    } else if (arg == "--top" && (v = next())) {
+      a->top = static_cast<std::size_t>(std::stoul(v));
+    } else if (arg == "--interval-ms" && (v = next())) {
+      a->intervalMs = std::stoll(v);
+    } else if (arg == "--once") {
+      a->once = true;
+    } else if (arg == "--start") {
+      a->start = true;
+    } else if (arg == "--period-us" && (v = next())) {
+      a->periodUs = std::stoull(v);
+    } else if (arg == "--energy-only") {
+      a->energyOnly = true;
+    } else if (arg == "--stop") {
+      a->stop = true;
+    } else if (arg == "--clear") {
+      a->clear = true;
+    } else if (arg == "--collapse" && (v = next())) {
+      a->collapseFile = v;
+    } else if (arg == "--speedscope" && (v = next())) {
+      a->speedscopeFile = v;
+    } else if (arg == "--check" && (v = next())) {
+      a->checkFrame = v;
+    } else if (arg == "--min-share" && (v = next())) {
+      a->minShare = std::stod(v);
+    } else if (arg == "--check-total" && (v = next())) {
+      a->checkTotal = std::stod(v);
+    } else if (arg == "--tol" && (v = next())) {
+      a->tol = std::stod(v);
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+class Connection {
+ public:
+  bool open(const std::string& host, std::uint16_t port) {
+    fd_ = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) return false;
+    return connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  }
+
+  ~Connection() {
+    if (fd_ >= 0) close(fd_);
+  }
+
+  bool roundTrip(const std::string& request, std::string* response) {
+    std::string line = request + "\n";
+    std::size_t sent = 0;
+    while (sent < line.size()) {
+      const ssize_t n = send(fd_, line.data() + sent, line.size() - sent, 0);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    std::size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char chunk[65536];
+      const ssize_t got = recv(fd_, chunk, sizeof chunk, 0);
+      if (got <= 0) return false;
+      buffer_.append(chunk, static_cast<std::size_t>(got));
+    }
+    *response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    return true;
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+using Object = ep::serve::wire::Object;
+
+bool boolOr(const Object& obj, const std::string& key, bool fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::Bool) {
+    return fallback;
+  }
+  return it->second.boolean;
+}
+
+double numberOr(const Object& obj, const std::string& key, double fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::Number) {
+    return fallback;
+  }
+  return it->second.number;
+}
+
+std::string stringOr(const Object& obj, const std::string& key,
+                     const std::string& fallback) {
+  const auto it = obj.find(key);
+  if (it == obj.end() ||
+      it->second.kind != ep::serve::wire::Value::Kind::String) {
+    return fallback;
+  }
+  return it->second.string;
+}
+
+std::optional<Object> query(Connection& conn, const std::string& request) {
+  std::string response;
+  if (!conn.roundTrip(request, &response)) return std::nullopt;
+  std::string error;
+  return ep::serve::wire::parseObject(response, &error);
+}
+
+std::string snapshotRequest(const Args& args, std::size_t topN,
+                            const std::string& format) {
+  ep::serve::wire::ObjectWriter w;
+  w.add("op", "profile")
+      .add("action", "snapshot")
+      .add("kind", args.kind)
+      .add("topN", static_cast<std::uint64_t>(topN))
+      .add("format", format);
+  if (args.cluster) w.add("scope", "cluster");
+  return w.str();
+}
+
+const char* weightUnit(const std::string& kind) {
+  return kind == "energy" ? "J" : "s";
+}
+
+// One live-top frame; false on transport/server failure.
+bool renderTop(Connection& conn, const Args& args) {
+  const auto snap = query(conn, snapshotRequest(args, args.top, "collapsed"));
+  if (!snap || stringOr(*snap, "status", "") != "ok") return false;
+  std::printf("epprof @ %s:%u — kind=%s%s samples=%.0f total=%.4g%s "
+              "stacks=%.0f dropped=%.0f truncated=%.0f\n\n",
+              args.host.c_str(), static_cast<unsigned>(args.port),
+              stringOr(*snap, "kind", "?").c_str(),
+              args.cluster ? " scope=cluster" : "",
+              numberOr(*snap, "samples", 0),
+              numberOr(*snap, "totalWeight", 0), weightUnit(args.kind),
+              numberOr(*snap, "stacks", 0), numberOr(*snap, "dropped", 0),
+              numberOr(*snap, "truncated", 0));
+  const auto top = static_cast<std::size_t>(numberOr(*snap, "top", 0));
+  std::printf("  %-44s %10s %12s %8s\n", "frame (inclusive)", "samples",
+              "weight", "share");
+  for (std::size_t i = 0; i < top; ++i) {
+    const std::string p = "top." + std::to_string(i);
+    std::printf("  %-44s %10.0f %10.4g %s %7.1f%%\n",
+                stringOr(*snap, p + ".frame", "?").c_str(),
+                numberOr(*snap, p + ".samples", 0),
+                numberOr(*snap, p + ".weight", 0), weightUnit(args.kind),
+                numberOr(*snap, p + ".share", 0) * 100.0);
+  }
+  std::fflush(stdout);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  if (!parseArgs(argc, argv, &args)) {
+    std::cerr
+        << "usage: epprof [--host H] [--port P] [--kind cpu|energy]"
+           " [--scope cluster] [--top N] [--interval-ms MS] [--once]\n"
+           "              [--start] [--period-us US] [--energy-only]"
+           " [--stop] [--clear]\n"
+           "              [--collapse FILE] [--speedscope FILE]\n"
+           "              [--check FRAME --min-share X]"
+           " [--check-total J --tol FRAC]\n";
+    return 2;
+  }
+
+  Connection conn;
+  if (!conn.open(args.host, args.port)) {
+    std::cerr << "epprof: cannot connect to " << args.host << ":" << args.port
+              << "\n";
+    return 1;
+  }
+
+  // Control actions: act, report, exit.
+  if (args.start || args.stop || args.clear) {
+    int rc = 0;
+    auto act = [&](const std::string& request, const char* what) {
+      const auto resp = query(conn, request);
+      if (!resp || stringOr(*resp, "status", "") != "ok") {
+        std::cerr << "epprof: " << what << " failed\n";
+        rc = 1;
+        return;
+      }
+      std::printf("%s: running=%s threads=%.0f\n",
+                  stringOr(*resp, "action", what).c_str(),
+                  boolOr(*resp, "running", false) ? "yes" : "no",
+                  numberOr(*resp, "threads", 0));
+    };
+    if (args.clear) act("{\"op\":\"profile\",\"action\":\"clear\"}", "clear");
+    if (args.stop) act("{\"op\":\"profile\",\"action\":\"stop\"}", "stop");
+    if (args.start) {
+      ep::serve::wire::ObjectWriter w;
+      w.add("op", "profile")
+          .add("action", "start")
+          .add("periodUs", static_cast<std::uint64_t>(args.periodUs));
+      if (args.energyOnly) w.add("cpuSampling", false);
+      act(w.str(), "start");
+    }
+    return rc;
+  }
+
+  // One-shot export / check modes fetch a single full snapshot.
+  const bool exporting =
+      !args.collapseFile.empty() || !args.speedscopeFile.empty();
+  const bool checking = !args.checkFrame.empty() || args.checkTotal >= 0.0;
+  if (exporting || checking) {
+    // topN=0 = every frame (the checks must see non-top frames too).
+    const auto snap = query(conn, snapshotRequest(args, 0, "collapsed"));
+    if (!snap || stringOr(*snap, "status", "") != "ok") {
+      std::cerr << "epprof: snapshot failed\n";
+      return 1;
+    }
+    if (!args.collapseFile.empty()) {
+      std::ofstream out(args.collapseFile);
+      out << stringOr(*snap, "body", "");
+      if (!out) {
+        std::cerr << "epprof: cannot write " << args.collapseFile << "\n";
+        return 1;
+      }
+      std::printf("wrote %s\n", args.collapseFile.c_str());
+    }
+    if (!args.speedscopeFile.empty()) {
+      const auto ss = query(conn, snapshotRequest(args, 0, "speedscope"));
+      if (!ss || stringOr(*ss, "status", "") != "ok") {
+        std::cerr << "epprof: speedscope snapshot failed\n";
+        return 1;
+      }
+      std::ofstream out(args.speedscopeFile);
+      out << stringOr(*ss, "body", "");
+      if (!out) {
+        std::cerr << "epprof: cannot write " << args.speedscopeFile << "\n";
+        return 1;
+      }
+      std::printf("wrote %s\n", args.speedscopeFile.c_str());
+    }
+    int rc = 0;
+    if (!args.checkFrame.empty()) {
+      const auto n = static_cast<std::size_t>(numberOr(*snap, "top", 0));
+      double share = -1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string p = "top." + std::to_string(i);
+        if (stringOr(*snap, p + ".frame", "") == args.checkFrame) {
+          share = numberOr(*snap, p + ".share", 0);
+          break;
+        }
+      }
+      if (share >= args.minShare) {
+        std::printf("check ok: %s share %.3f >= %.3f\n",
+                    args.checkFrame.c_str(), share, args.minShare);
+      } else {
+        std::printf("check FAILED: %s share %.3f < %.3f\n",
+                    args.checkFrame.c_str(), std::max(share, 0.0),
+                    args.minShare);
+        rc = 2;
+      }
+    }
+    if (args.checkTotal >= 0.0) {
+      const double total = numberOr(*snap, "totalWeight", 0);
+      const double scale = std::max(args.checkTotal, 1e-12);
+      const double rel = std::fabs(total - args.checkTotal) / scale;
+      if (rel <= args.tol) {
+        std::printf("check ok: total %.6g within %.1f%% of %.6g\n", total,
+                    args.tol * 100.0, args.checkTotal);
+      } else {
+        std::printf("check FAILED: total %.6g vs %.6g (rel err %.3f > %.3f)\n",
+                    total, args.checkTotal, rel, args.tol);
+        rc = 2;
+      }
+    }
+    return rc;
+  }
+
+  // Live top.
+  std::signal(SIGINT, handleStopSignal);
+  std::signal(SIGTERM, handleStopSignal);
+  for (;;) {
+    if (!args.once) std::printf("\x1b[H\x1b[2J");
+    if (!renderTop(conn, args)) {
+      std::cerr << "epprof: lost connection to " << args.host << ":"
+                << args.port << "\n";
+      return 1;
+    }
+    if (args.once || gStop) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(args.intervalMs));
+    if (gStop) break;
+  }
+  return 0;
+}

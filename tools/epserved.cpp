@@ -268,6 +268,41 @@ std::string handleControlOp(const ep::serve::wire::WireRequest& req,
     case WireRequest::Op::Fleet:
       return ep::serve::wire::encodeError(
           "fleet ops need a fleet server (epfleetd)");
+    case WireRequest::Op::Profile: {
+      ep::obs::Profiler& prof = ep::obs::Profiler::global();
+      if (req.profileAction == "start") {
+        ep::obs::ProfilerOptions popts;
+        popts.samplePeriodUs = req.profilePeriodUs;
+        popts.cpuSampling = req.profileCpuSampling;
+        const bool started = prof.start(popts);
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(),
+            started ? "start" : "already_running");
+      }
+      if (req.profileAction == "stop") {
+        prof.stop();
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(), "stop");
+      }
+      if (req.profileAction == "clear") {
+        prof.clear();
+        return ep::serve::wire::encodeProfileStatus(
+            prof.running(), prof.registeredThreads(), "clear");
+      }
+      if (req.profileAction == "snapshot") {
+        if (req.clusterScope) {
+          return ep::serve::wire::encodeError(
+              "cluster scope needs a fleet server (epfleetd)");
+        }
+        return ep::serve::wire::encodeProfileSnapshot(
+            prof.snapshot(req.profileKind == "energy"
+                              ? ep::obs::ProfileKind::Energy
+                              : ep::obs::ProfileKind::Cpu),
+            req);
+      }
+      return ep::serve::wire::encodeProfileStatus(
+          prof.running(), prof.registeredThreads(), "status");
+    }
     case WireRequest::Op::Tune:
     case WireRequest::Op::Study:
       break;  // handled by NetService, never routed here
@@ -390,6 +425,11 @@ int main(int argc, char** argv) {
     return handleControlOp(req, broker, watchdog.get(), tsdb, slo.get());
   };
   ep::serve::NetService service(std::move(hooks));
+
+  // epprof: the main thread participates in continuous profiles too
+  // (it mostly sleeps, so per-thread CPU timers make it nearly free).
+  ep::obs::ProfileThreadLabel profileRoot("serve/main");
+  ep::obs::Profiler::global().registerCurrentThread();
 
   ep::net::ServerOptions netOpts;
   netOpts.port = args.port;

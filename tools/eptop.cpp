@@ -56,6 +56,7 @@ struct Args {
   std::int64_t intervalMs = 1000;
   bool once = false;
   bool check = false;
+  bool json = false;  // one machine-readable snapshot line, no screen
 };
 
 bool parseArgs(int argc, char** argv, Args* a) {
@@ -75,6 +76,9 @@ bool parseArgs(int argc, char** argv, Args* a) {
       a->once = true;
     } else if (arg == "--check") {
       a->check = true;
+    } else if (arg == "--json") {
+      a->json = true;
+      a->once = true;  // one snapshot, no repaint loop
     } else {
       return false;
     }
@@ -196,6 +200,78 @@ struct Frame {
   std::uint64_t burning = 0;  // SLOs currently burning
 };
 
+// Re-emit every key of `src` into `w` under `prefix` with its original
+// JSON kind (the op responses are flat, so this is lossless); `skip`
+// names one key to drop (bulky text bodies).
+void copyInto(ep::serve::wire::ObjectWriter& w, const Object& src,
+              const std::string& prefix, const std::string& skip = "") {
+  for (const auto& [key, value] : src) {
+    if (key == "status" || (!skip.empty() && key == skip)) continue;
+    const std::string out = prefix + key;
+    switch (value.kind) {
+      case ep::serve::wire::Value::Kind::String:
+        w.add(out, value.string);
+        break;
+      case ep::serve::wire::Value::Kind::Number:
+        w.add(out, value.number);
+        break;
+      case ep::serve::wire::Value::Kind::Bool:
+        w.add(out, value.boolean);
+        break;
+      case ep::serve::wire::Value::Kind::Null:
+        break;
+    }
+  }
+}
+
+// --json: one flat JSON object on stdout — the fleet snapshot, tsdb
+// latency quantiles, SLO burn state, alert totals and the profiler's
+// top frames, each family under its own key prefix.  This is the
+// machine-readable face ci drills consume instead of scraping the
+// human screen.
+Frame renderJson(Connection& conn, const Args& args) {
+  Frame frame;
+  const auto fleet = query(conn, "{\"op\":\"fleet\"}");
+  if (!fleet) return frame;
+  frame.ok = true;
+
+  ep::serve::wire::ObjectWriter w;
+  w.add("status", "ok").add("host", args.host).add("port",
+                                                   static_cast<int>(args.port));
+  if (stringOr(*fleet, "status", "") == "ok") {
+    copyInto(w, *fleet, "fleet.");
+  }
+  for (const double q : {0.50, 0.99}) {
+    char reqLine[160];
+    std::snprintf(reqLine, sizeof reqLine,
+                  "{\"op\":\"tsdb\",\"series\":\"ep_serve_request_latency_ms\""
+                  ",\"agg\":\"quantile\",\"q\":%.2f,\"windowMs\":60000}",
+                  q);
+    const auto tq = query(conn, reqLine);
+    if (!tq || stringOr(*tq, "status", "") != "ok") continue;
+    char prefix[32];
+    std::snprintf(prefix, sizeof prefix, "tsdb.p%.0f.", q * 100);
+    copyInto(w, *tq, prefix);
+  }
+  const auto slo = query(conn, "{\"op\":\"slo\"}");
+  if (slo && stringOr(*slo, "status", "") == "ok") {
+    frame.burning = static_cast<std::uint64_t>(numberOr(*slo, "burning", 0));
+    copyInto(w, *slo, "");  // keeps the natural "slo.<name>.*" keys
+  }
+  const auto events = query(conn, "{\"op\":\"events\"}");
+  if (events && stringOr(*events, "status", "") == "ok") {
+    w.add("alerts", numberOr(*events, "alerts", 0));
+  }
+  const auto prof =
+      query(conn, "{\"op\":\"profile\",\"action\":\"snapshot\",\"topN\":5}");
+  if (prof && stringOr(*prof, "status", "") == "ok") {
+    copyInto(w, *prof, "profile.", "body");
+  }
+  std::printf("%s\n", w.str().c_str());
+  std::fflush(stdout);
+  return frame;
+}
+
 Frame renderFrame(Connection& conn, const Args& args) {
   Frame frame;
 
@@ -301,7 +377,7 @@ int main(int argc, char** argv) {
   Args args;
   if (!parseArgs(argc, argv, &args)) {
     std::cerr << "usage: eptop [--host H] [--port P] [--interval-ms MS]"
-                 " [--once] [--check]\n";
+                 " [--once] [--check] [--json]\n";
     return 2;
   }
 
@@ -318,7 +394,7 @@ int main(int argc, char** argv) {
   Frame frame;
   for (;;) {
     if (!args.once) std::printf("\x1b[H\x1b[2J");
-    frame = renderFrame(conn, args);
+    frame = args.json ? renderJson(conn, args) : renderFrame(conn, args);
     if (!frame.ok) {
       std::cerr << "eptop: lost connection to " << args.host << ":"
                 << args.port << "\n";
